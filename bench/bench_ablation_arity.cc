@@ -1,0 +1,45 @@
+// Ablation: k-ary key space (paper footnote 3).  Sweeps the arity of the
+// structured key space and reports the lookup-vs-maintenance trade-off and
+// the resulting total costs, confirming the paper's claim that the
+// qualitative results hold beyond the binary space.
+
+#include "bench_common.h"
+#include "model/cost_model.h"
+#include "model/selection_model.h"
+
+int main(int argc, char** argv) {
+  using namespace pdht;
+  std::string csv = bench::CsvPathFromArgs(argc, argv);
+  bench::PrintHeader("bench_ablation_arity -- k-ary key space sweep",
+                     "footnote 3 generalization");
+
+  const double f = 1.0 / 300;
+  TableWriter t({"k", "cSIndx [msg]", "cRtn [msg/s/key]", "maxRank",
+                 "partial ideal [msg/s]", "partial TTL [msg/s]",
+                 "savings vs indexAll"});
+  bool partial_always_wins = true;
+  for (uint32_t k : {2u, 4u, 8u, 16u, 64u}) {
+    model::ScenarioParams p;
+    p.key_space_arity = k;
+    model::CostModel cm(p);
+    model::SelectionModel sel(p);
+    model::CostBreakdown b = cm.Evaluate(f);
+    double ttl_total = sel.TotalPartialSelection(f);
+    if (b.partial > b.index_all || b.partial > b.no_index) {
+      partial_always_wins = false;
+    }
+    t.AddRow({std::to_string(k),
+              TableWriter::FormatDouble(
+                  cm.CostSearchIndex(cm.NumActivePeers(p.keys)), 5),
+              TableWriter::FormatDouble(cm.CostRoutingMaintenance(p.keys), 5),
+              std::to_string(b.max_rank),
+              TableWriter::FormatDouble(b.partial, 6),
+              TableWriter::FormatDouble(ttl_total, 6),
+              TableWriter::FormatDouble(b.savings_vs_index_all, 4)});
+  }
+  bench::EmitTable(t, csv);
+  std::printf("shape check: partial indexing beats both baselines at every "
+              "arity: %s\n",
+              partial_always_wins ? "PASS" : "FAIL");
+  return partial_always_wins ? 0 : 1;
+}

@@ -1,0 +1,162 @@
+// Ablation: per-primitive cost validation.  Measures each cost primitive
+// (cSUnstr via random walks, cSIndx via Chord and P-Grid lookups, cRtn via
+// probing maintenance, repl*dup2 via replica gossip) on the real substrate
+// and prints measured-vs-model rows for Eqs. 6-9 and 16.
+
+#include <cmath>
+
+#include "bench_common.h"
+#include "model/cost_model.h"
+#include "overlay/dht/chord.h"
+#include "overlay/dht/maintenance.h"
+#include "overlay/pgrid/pgrid.h"
+#include "overlay/replica/gossip.h"
+#include "overlay/unstructured/random_walk.h"
+#include "overlay/unstructured/replication.h"
+#include "stats/histogram.h"
+
+int main(int argc, char** argv) {
+  using namespace pdht;
+  std::string csv = bench::CsvPathFromArgs(argc, argv);
+  bench::PrintHeader("bench_ablation_costs -- cost primitives vs model",
+                     "Eqs. 6, 7, 8, 9/16 (Section 3)");
+
+  model::ScenarioParams p;
+  p.num_peers = 1000;
+  p.keys = 2000;
+  p.stor = 50;
+  p.repl = 25;
+  model::CostModel model_(p);
+  const uint32_t n = static_cast<uint32_t>(p.num_peers);
+
+  TableWriter t({"primitive", "measured [msg]", "model [msg]", "ratio"});
+  auto add = [&](const std::string& name, double measured, double modeled) {
+    t.AddRow({name, TableWriter::FormatDouble(measured, 5),
+              TableWriter::FormatDouble(modeled, 5),
+              TableWriter::FormatDouble(measured / modeled, 3)});
+  };
+
+  // --- cSUnstr (Eq. 6): random-walk search cost.
+  {
+    Rng rng(1);
+    overlay::RandomGraph graph(n, 6.0, &rng);
+    CounterRegistry counters;
+    net::Network net(&counters);
+    for (uint32_t i = 0; i < n; ++i) net.SetOnline(i, true);
+    overlay::ReplicaPlacement placement(n, static_cast<uint32_t>(p.repl),
+                                        Rng(2));
+    placement.PlaceKeys(100);
+    overlay::RandomWalkConfig cfg;
+    cfg.check_interval = 0;
+    overlay::RandomWalkSearch walk(
+        &graph, &net,
+        [&](net::PeerId peer, uint64_t key) {
+          return placement.PeerHoldsKey(peer, key);
+        },
+        cfg, Rng(3));
+    Histogram h;
+    Rng pick(4);
+    for (int trial = 0; trial < 400; ++trial) {
+      overlay::WalkResult r =
+          walk.Search(static_cast<net::PeerId>(pick.UniformU64(n)),
+                      trial % 100);
+      if (r.found) h.Add(static_cast<double>(r.messages));
+    }
+    add("cSUnstr (random walks)", h.mean(),
+        model_.CostSearchUnstructured());
+  }
+
+  // --- cSIndx (Eq. 7): Chord lookup hops.
+  {
+    CounterRegistry counters;
+    net::Network net(&counters);
+    overlay::ChordOverlay chord(&net, Rng(5));
+    std::vector<net::PeerId> members;
+    for (uint32_t i = 0; i < n; ++i) {
+      members.push_back(i);
+      net.SetOnline(i, true);
+    }
+    chord.SetMembers(members);
+    Histogram h;
+    Rng pick(6);
+    for (int trial = 0; trial < 600; ++trial) {
+      overlay::LookupResult r = chord.Lookup(
+          static_cast<net::PeerId>(pick.UniformU64(n)), pick.Next());
+      if (r.success) h.Add(static_cast<double>(r.hops));
+    }
+    add("cSIndx (chord hops)", h.mean(), model_.CostSearchIndex(n));
+  }
+
+  // --- cSIndx (Eq. 7): P-Grid lookup hops.
+  {
+    CounterRegistry counters;
+    net::Network net(&counters);
+    overlay::PGridOverlay grid(&net, Rng(7));
+    std::vector<net::PeerId> members;
+    for (uint32_t i = 0; i < n; ++i) {
+      members.push_back(i);
+      net.SetOnline(i, true);
+    }
+    grid.SetMembers(members);
+    Histogram h;
+    Rng pick(8);
+    for (int trial = 0; trial < 600; ++trial) {
+      overlay::LookupResult r = grid.Lookup(
+          static_cast<net::PeerId>(pick.UniformU64(n)), pick.Next());
+      if (r.success) h.Add(static_cast<double>(r.hops));
+    }
+    add("cSIndx (p-grid hops)", h.mean(), model_.CostSearchIndex(n));
+  }
+
+  // --- cRtn numerator (Eq. 8): probe traffic per peer per round.
+  {
+    CounterRegistry counters;
+    net::Network net(&counters);
+    overlay::ChordOverlay chord(&net, Rng(9));
+    std::vector<net::PeerId> members;
+    for (uint32_t i = 0; i < n; ++i) {
+      members.push_back(i);
+      net.SetOnline(i, true);
+    }
+    chord.SetMembers(members);
+    overlay::ChordMaintenance maint(&chord, &net, p.env, Rng(10));
+    constexpr int kRounds = 50;
+    for (int r = 0; r < kRounds; ++r) maint.RunRound();
+    double per_peer_per_round =
+        static_cast<double>(maint.stats().probes_sent) / kRounds /
+        static_cast<double>(n);
+    add("probe msgs/peer/round (env*log2 n)", per_peer_per_round,
+        p.env * std::log2(static_cast<double>(n)));
+  }
+
+  // --- repl*dup2 (Eq. 9/16): replica subnetwork flood cost.
+  {
+    CounterRegistry counters;
+    net::Network net(&counters);
+    Rng rng(11);
+    std::vector<net::PeerId> members;
+    for (uint32_t i = 0; i < p.repl; ++i) {
+      members.push_back(i);
+      net.SetOnline(i, true);
+    }
+    overlay::GossipProtocol gossip(&net);
+    Histogram h;
+    for (int trial = 0; trial < 50; ++trial) {
+      // A subnetwork of average degree dup2+1 floods at ~repl*dup2 cost
+      // (each informed replica forwards to all neighbors but its source).
+      overlay::ReplicaGroup group(trial, members, p.dup2 + 1.0, &rng);
+      uint64_t v = group.ProduceUpdate(0);
+      overlay::GossipResult r = gossip.PushUpdate(&group, 0, v);
+      h.Add(static_cast<double>(r.messages));
+    }
+    add("replica flood (repl*dup2)", h.mean(),
+        static_cast<double>(p.repl) * p.dup2);
+  }
+
+  bench::EmitTable(t, csv);
+  std::printf("note: ratios within [0.5, 2.0] validate the model's shape; "
+              "constants differ by substrate details (successor lists,\n"
+              "      walker overlap) exactly as the paper's 'simplifying "
+              "assumptions' anticipate.\n");
+  return 0;
+}

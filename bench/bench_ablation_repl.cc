@@ -1,0 +1,60 @@
+// Ablation: replication factor sweep.  Eq. 6 makes cSUnstr inversely
+// proportional to repl while Eq. 9/16 make replica maintenance linear in
+// repl -- the sweep exposes that tension in both the model and the
+// simulator.
+
+#include "bench_common.h"
+#include "core/pdht_system.h"
+#include "model/cost_model.h"
+#include "model/selection_model.h"
+
+int main(int argc, char** argv) {
+  using namespace pdht;
+  std::string csv = bench::CsvPathFromArgs(argc, argv);
+  bench::PrintHeader("bench_ablation_repl -- replication factor sweep",
+                     "Eqs. 6 and 9/16 interplay (Section 3)");
+
+  TableWriter t({"repl", "model cSUnstr", "model partialTtl [msg/s]",
+                 "sim msg/round", "sim hit rate"});
+  std::vector<double> model_cost;
+  std::vector<double> sim_cost;
+  for (uint64_t repl : {5ull, 10ull, 20ull, 40ull}) {
+    model::ScenarioParams p;
+    p.num_peers = 400;
+    p.keys = 800;
+    p.stor = 20;
+    p.repl = repl;
+    p.f_qry = 1.0 / 5.0;
+    p.f_upd = 1.0 / 3600.0;
+    model::CostModel cm(p);
+    model::SelectionModel sel(p);
+    double model_total = sel.TotalPartialSelection(p.f_qry);
+    model_cost.push_back(model_total);
+
+    core::SystemConfig c;
+    c.params = p;
+    c.strategy = core::Strategy::kPartialTtl;
+    c.churn.enabled = false;
+    c.seed = 77;
+    core::PdhtSystem sys(c);
+    sys.RunRounds(100);
+    sim_cost.push_back(sys.TailMessageRate(25));
+
+    t.AddRow({std::to_string(repl),
+              TableWriter::FormatDouble(cm.CostSearchUnstructured(), 5),
+              TableWriter::FormatDouble(model_total, 6),
+              TableWriter::FormatDouble(sys.TailMessageRate(25), 6),
+              TableWriter::FormatDouble(sys.TailHitRate(25), 3)});
+  }
+  bench::EmitTable(t, csv);
+
+  // Shape: model and simulation must agree on the *direction* of the
+  // repl-5 -> repl-40 change.
+  bool same_direction =
+      (model_cost.back() - model_cost.front()) *
+          (sim_cost.back() - sim_cost.front()) >= 0.0;
+  std::printf("shape check: model and simulation agree on cost direction "
+              "across repl sweep: %s\n",
+              same_direction ? "PASS" : "FAIL");
+  return same_direction ? 0 : 1;
+}

@@ -1,0 +1,47 @@
+// Shared helpers for the figure/table bench binaries.
+//
+// Each binary prints (a) a header identifying the paper artifact it
+// regenerates, (b) an aligned table with the same series the paper plots,
+// and (c) optionally writes a CSV next to the binary when --csv=<path> is
+// passed.
+
+#ifndef PDHT_BENCH_BENCH_COMMON_H_
+#define PDHT_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+
+#include "stats/table_writer.h"
+
+namespace pdht::bench {
+
+inline std::string CsvPathFromArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--csv=", 0) == 0) return arg.substr(6);
+  }
+  return "";
+}
+
+inline void PrintHeader(const std::string& title,
+                        const std::string& paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void EmitTable(const TableWriter& table, const std::string& csv_path) {
+  std::printf("%s\n", table.ToText().c_str());
+  if (!csv_path.empty()) {
+    if (table.WriteCsvFile(csv_path)) {
+      std::printf("csv written to %s\n", csv_path.c_str());
+    } else {
+      std::printf("FAILED to write csv to %s\n", csv_path.c_str());
+    }
+  }
+}
+
+}  // namespace pdht::bench
+
+#endif  // PDHT_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,54 @@
+// Regenerates paper Fig. 1: query frequency per peer (x axis) vs total
+// sent messages per second for indexAll (Eq. 11), noIndex (Eq. 12) and
+// ideal partial indexing (Eq. 13).
+//
+// Shape expectations (paper): noIndex falls linearly with fQry and is by
+// far the most expensive at high load; indexAll is nearly flat
+// (maintenance-bound); partial <= min(indexAll, noIndex) everywhere.
+
+#include "bench_common.h"
+#include "model/sweep.h"
+#include "stats/ascii_chart.h"
+
+int main(int argc, char** argv) {
+  using namespace pdht;
+  std::string csv = bench::CsvPathFromArgs(argc, argv);
+  bench::PrintHeader(
+      "bench_fig1 -- strategy cost vs query frequency",
+      "Fig. 1 (Section 4): indexAll / noIndex / ideal partial");
+  model::ScenarioParams params;
+  auto rows =
+      model::SweepFig1(params, model::ScenarioParams::PaperQueryFrequencies());
+  bench::EmitTable(model::Fig1Table(rows), csv);
+
+  AsciiChart chart(64, 16);
+  chart.SetLogY(true);
+  std::vector<double> index_all, no_index, partial;
+  std::vector<std::string> labels;
+  for (const auto& r : rows) {
+    index_all.push_back(r.index_all);
+    no_index.push_back(r.no_index);
+    partial.push_back(r.partial);
+    labels.push_back(model::FrequencyLabel(r.f_qry));
+  }
+  chart.AddSeries("indexAll", index_all, 'A');
+  chart.AddSeries("noIndex", no_index, 'N');
+  chart.AddSeries("partial", partial, 'P');
+  chart.SetXLabels(labels);
+  std::printf("%s\n", chart.Render().c_str());
+
+  // Shape assertions printed for the record (EXPERIMENTS.md references
+  // these lines).
+  bool partial_wins = true;
+  for (const auto& r : rows) {
+    if (r.partial > r.index_all || r.partial > r.no_index) {
+      partial_wins = false;
+    }
+  }
+  std::printf("shape check: partial <= min(indexAll, noIndex) at all "
+              "frequencies: %s\n",
+              partial_wins ? "PASS" : "FAIL");
+  std::printf("shape check: noIndex/indexAll at 1/30 = %.1f (paper: ~19x)\n",
+              rows.front().no_index / rows.front().index_all);
+  return partial_wins ? 0 : 1;
+}

@@ -1,0 +1,51 @@
+// Regenerates paper Fig. 2: savings of ideal partial indexing compared to
+// indexing all keys and compared to broadcasting all queries.
+//
+// Shape expectations (paper): savings vs indexAll grow toward 1 as load
+// falls; savings vs noIndex grow toward 1 as load rises; both positive.
+
+#include "bench_common.h"
+#include "model/sweep.h"
+#include "stats/ascii_chart.h"
+
+int main(int argc, char** argv) {
+  using namespace pdht;
+  std::string csv = bench::CsvPathFromArgs(argc, argv);
+  bench::PrintHeader("bench_fig2 -- savings of ideal partial indexing",
+                     "Fig. 2 (Section 4)");
+  model::ScenarioParams params;
+  auto rows =
+      model::SweepFig2(params, model::ScenarioParams::PaperQueryFrequencies());
+  bench::EmitTable(model::Fig2Table(rows), csv);
+
+  AsciiChart chart(64, 12);
+  chart.SetYRange(0.0, 1.0);
+  std::vector<double> vs_all, vs_none;
+  std::vector<std::string> labels;
+  for (const auto& r : rows) {
+    vs_all.push_back(r.savings_vs_index_all);
+    vs_none.push_back(r.savings_vs_no_index);
+    labels.push_back(model::FrequencyLabel(r.f_qry));
+  }
+  chart.AddSeries("vs indexAll", vs_all, 'A');
+  chart.AddSeries("vs noIndex", vs_none, 'N');
+  chart.SetXLabels(labels);
+  std::printf("%s\n", chart.Render().c_str());
+
+  bool monotone_vs_index_all = true;
+  bool monotone_vs_no_index = true;
+  for (size_t i = 1; i < rows.size(); ++i) {
+    // Frequencies descend across rows.
+    if (rows[i].savings_vs_index_all < rows[i - 1].savings_vs_index_all) {
+      monotone_vs_index_all = false;
+    }
+    if (rows[i].savings_vs_no_index > rows[i - 1].savings_vs_no_index) {
+      monotone_vs_no_index = false;
+    }
+  }
+  std::printf("shape check: savings vs indexAll increase as load falls: %s\n",
+              monotone_vs_index_all ? "PASS" : "FAIL");
+  std::printf("shape check: savings vs noIndex increase as load rises: %s\n",
+              monotone_vs_no_index ? "PASS" : "FAIL");
+  return (monotone_vs_index_all && monotone_vs_no_index) ? 0 : 1;
+}

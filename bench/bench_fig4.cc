@@ -1,0 +1,61 @@
+// Regenerates paper Fig. 4: savings of the realized TTL selection
+// algorithm (Eqs. 14-17) compared to indexAll and noIndex.
+//
+// Shape expectations (paper): savings are lower than the ideal Fig. 2
+// numbers (four overheads enumerated in Section 5.1) but remain
+// substantial, especially at average query frequencies; savings vs noIndex
+// can vanish at the very highest load.
+
+#include "bench_common.h"
+#include "model/sweep.h"
+#include "stats/ascii_chart.h"
+
+int main(int argc, char** argv) {
+  using namespace pdht;
+  std::string csv = bench::CsvPathFromArgs(argc, argv);
+  bench::PrintHeader("bench_fig4 -- savings of the TTL selection algorithm",
+                     "Fig. 4 (Section 5)");
+  model::ScenarioParams params;
+  auto freqs = model::ScenarioParams::PaperQueryFrequencies();
+  auto rows4 = model::SweepFig4(params, freqs);
+  bench::EmitTable(model::Fig4Table(rows4), csv);
+
+  AsciiChart chart(64, 12);
+  chart.SetYRange(-0.5, 1.0);
+  std::vector<double> vs_all, vs_none;
+  std::vector<std::string> labels;
+  for (const auto& r : rows4) {
+    vs_all.push_back(r.savings_vs_index_all);
+    vs_none.push_back(r.savings_vs_no_index);
+    labels.push_back(model::FrequencyLabel(r.f_qry));
+  }
+  chart.AddSeries("vs indexAll", vs_all, 'A');
+  chart.AddSeries("vs noIndex", vs_none, 'N');
+  chart.SetXLabels(labels);
+  std::printf("%s\n", chart.Render().c_str());
+
+  auto rows2 = model::SweepFig2(params, freqs);
+  bool below_ideal = true;
+  for (size_t i = 0; i < rows4.size(); ++i) {
+    if (rows4[i].savings_vs_index_all >
+            rows2[i].savings_vs_index_all + 1e-9 ||
+        rows4[i].savings_vs_no_index >
+            rows2[i].savings_vs_no_index + 1e-9) {
+      below_ideal = false;
+    }
+  }
+  std::printf("shape check: selection-algorithm savings <= ideal savings "
+              "everywhere: %s\n",
+              below_ideal ? "PASS" : "FAIL");
+  bool mid_band_substantial = true;
+  for (size_t i = 3; i <= 6; ++i) {  // 1/300 .. 1/3600
+    if (rows4[i].savings_vs_index_all < 0.2 ||
+        rows4[i].savings_vs_no_index < 0.2) {
+      mid_band_substantial = false;
+    }
+  }
+  std::printf("shape check: substantial savings at average frequencies: "
+              "%s\n",
+              mid_band_substantial ? "PASS" : "FAIL");
+  return (below_ideal && mid_band_substantial) ? 0 : 1;
+}

@@ -1,0 +1,123 @@
+// google-benchmark microbenchmarks for the hot primitives of the library:
+// RNG, Zipf sampling, TTL-index operations, Chord lookups, analytical
+// model evaluation.  These guard the simulator's throughput (a 20,000-peer
+// run issues millions of these operations).
+
+#include <benchmark/benchmark.h>
+
+#include "core/ttl_index.h"
+#include "model/cost_model.h"
+#include "model/selection_model.h"
+#include "net/network.h"
+#include "overlay/dht/chord.h"
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace {
+
+using namespace pdht;
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.Next());
+  }
+}
+BENCHMARK(BM_RngNext);
+
+void BM_RngUniformBounded(benchmark::State& state) {
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.UniformU64(12345));
+  }
+}
+BENCHMARK(BM_RngUniformBounded);
+
+void BM_ZipfTableSample(benchmark::State& state) {
+  ZipfSampler z(static_cast<uint64_t>(state.range(0)), 1.2);
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(z.Sample(rng));
+  }
+}
+BENCHMARK(BM_ZipfTableSample)->Arg(1000)->Arg(40000);
+
+void BM_ZipfRejectionSample(benchmark::State& state) {
+  ZipfRejectionSampler z(static_cast<uint64_t>(state.range(0)), 1.2);
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(z.Sample(rng));
+  }
+}
+BENCHMARK(BM_ZipfRejectionSample)->Arg(1000)->Arg(40000);
+
+void BM_TtlIndexPutTouch(benchmark::State& state) {
+  core::TtlIndex idx(static_cast<uint64_t>(state.range(0)));
+  Rng rng(5);
+  double now = 0.0;
+  for (auto _ : state) {
+    now += 0.001;
+    uint64_t key = rng.UniformU64(1000);
+    if (!idx.Touch(key, now, 100.0)) {
+      idx.Put(key, now, 100.0);
+    }
+  }
+}
+BENCHMARK(BM_TtlIndexPutTouch)->Arg(0)->Arg(100);
+
+void BM_TtlIndexEvictExpired(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::TtlIndex idx;
+    for (uint64_t k = 0; k < 1000; ++k) {
+      idx.Put(k, 0.0, 1.0 + static_cast<double>(k % 10));
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(idx.EvictExpired(100.0));
+  }
+}
+BENCHMARK(BM_TtlIndexEvictExpired);
+
+void BM_ChordLookup(benchmark::State& state) {
+  CounterRegistry counters;
+  net::Network net(&counters);
+  overlay::ChordOverlay chord(&net, Rng(6));
+  uint32_t n = static_cast<uint32_t>(state.range(0));
+  std::vector<net::PeerId> members;
+  for (uint32_t i = 0; i < n; ++i) {
+    members.push_back(i);
+    net.SetOnline(i, true);
+  }
+  chord.SetMembers(members);
+  Rng pick(7);
+  for (auto _ : state) {
+    overlay::LookupResult r = chord.Lookup(
+        static_cast<net::PeerId>(pick.UniformU64(n)), pick.Next());
+    benchmark::DoNotOptimize(r.hops);
+  }
+}
+BENCHMARK(BM_ChordLookup)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_CostModelEvaluate(benchmark::State& state) {
+  model::ScenarioParams p;
+  model::CostModel m(p);
+  double f = 1.0 / 300;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.Evaluate(f).partial);
+  }
+}
+BENCHMARK(BM_CostModelEvaluate);
+
+void BM_SelectionModelEvaluate(benchmark::State& state) {
+  model::ScenarioParams p;
+  model::SelectionModel sel(p);
+  double f = 1.0 / 300;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sel.Evaluate(f).partial);
+  }
+}
+BENCHMARK(BM_SelectionModelEvaluate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,44 @@
+// Regenerates paper Table 1: parameters of the sample scenario, plus the
+// derived primitive costs of Section 3 at each end of the load range.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "model/cost_model.h"
+#include "model/scenario_params.h"
+
+int main(int argc, char** argv) {
+  using namespace pdht;
+  std::string csv = bench::CsvPathFromArgs(argc, argv);
+  bench::PrintHeader("bench_table1 -- scenario parameters",
+                     "Table 1 (Section 4)");
+  model::ScenarioParams params;
+  std::printf("%s\n", params.ToTable().c_str());
+
+  // Derived quantities the text quotes alongside Table 1.
+  model::CostModel m(params);
+  TableWriter derived({"derived quantity", "value", "paper reference"});
+  derived.AddRow({"cSUnstr [msg]",
+                  TableWriter::FormatDouble(m.CostSearchUnstructured(), 6),
+                  "Eq. 6 (= 720)"});
+  derived.AddRow({"cSIndx(full DHT) [msg]",
+                  TableWriter::FormatDouble(m.CostSearchIndex(20000), 6),
+                  "Eq. 7 (~ 7.1)"});
+  derived.AddRow({"cRtn(full index) [msg/s/key]",
+                  TableWriter::FormatDouble(m.CostRoutingMaintenance(40000), 6),
+                  "Eq. 8 (~ 0.51)"});
+  derived.AddRow({"cUpd(full DHT) [msg/s/key]",
+                  TableWriter::FormatDouble(m.CostUpdate(20000), 6),
+                  "Eq. 9 (~ 0.0011)"});
+  derived.AddRow({"cIndKey(full index) [msg/s/key]",
+                  TableWriter::FormatDouble(m.CostIndexKey(40000), 6),
+                  "Eq. 10"});
+  derived.AddRow({"fMin(full index) [1/s]",
+                  TableWriter::FormatDouble(m.FMin(40000), 6),
+                  "Eq. 2"});
+  derived.AddRow(
+      {"peers for full index", std::to_string(m.NumActivePeers(40000)),
+       "Section 4 (= 20000)"});
+  bench::EmitTable(derived, csv);
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Demonstrates the headline adaptive behaviour (paper Sections 5.2/6):
+// the TTL-based partial index follows the query distribution.  We run the
+// system to steady state, flip the entire popularity ranking ("the range
+// of the key space that is actually queried ... can dramatically change
+// over time"), and print the hit-rate timeline around the shift.
+
+#include <cstdio>
+
+#include "core/pdht_system.h"
+
+int main() {
+  using namespace pdht;
+
+  core::SystemConfig config;
+  config.params.num_peers = 400;
+  config.params.keys = 800;
+  config.params.stor = 20;
+  config.params.repl = 10;
+  config.params.f_qry = 1.0 / 5.0;
+  config.strategy = core::Strategy::kPartialTtl;
+  config.churn.enabled = false;
+  config.seed = 99;
+  core::PdhtSystem system(config);
+
+  const uint64_t warmup = 100;
+  system.RunRounds(warmup);
+  std::printf("steady state after %llu rounds: hit rate %.2f, "
+              "index %llu keys\n\n",
+              (unsigned long long)warmup, system.TailHitRate(25),
+              (unsigned long long)system.IndexedKeyCount());
+
+  std::printf(">>> popularity distribution shifts completely <<<\n\n");
+  system.ShiftPopularity();
+  system.RunRounds(150);
+
+  const auto& hits =
+      system.engine().Series(core::PdhtSystem::kSeriesHitRate);
+  auto smooth = hits.MovingAverage(10);
+  std::printf("hit rate timeline (smoothed, every 10 rounds):\n");
+  std::printf("%-8s %-10s %s\n", "round", "hit rate", "bar");
+  for (size_t r = warmup - 20; r < smooth.size(); r += 10) {
+    int bar = static_cast<int>(smooth[r] * 50);
+    std::printf("%-8zu %-10.2f ", r, smooth[r]);
+    for (int i = 0; i < bar; ++i) std::printf("#");
+    if (r < warmup && r + 10 >= warmup) {
+      std::printf("   <-- shift happens here");
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nfinal: hit rate %.2f, index %llu keys -- the index "
+              "re-learned the new hot set without any coordination.\n",
+              system.TailHitRate(25),
+              (unsigned long long)system.IndexedKeyCount());
+  return 0;
+}

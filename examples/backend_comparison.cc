@@ -1,0 +1,53 @@
+// Runs the identical TTL-selection workload over all three structured
+// overlay backends (Chord ring, P-Grid trie, CAN torus) and prints a
+// side-by-side comparison -- the paper's "generic enough ... for any of
+// the DHT based systems" claim, made concrete.
+
+#include <cstdio>
+#include <string>
+
+#include "core/pdht_system.h"
+
+int main() {
+  using namespace pdht;
+
+  std::printf("%-8s %-12s %-10s %-12s %-12s %-12s\n", "backend",
+              "msg/round", "hit rate", "index keys", "dht msgs",
+              "maint msgs");
+  std::printf("%s\n", std::string(70, '-').c_str());
+
+  for (auto backend : {core::DhtBackend::kChord, core::DhtBackend::kPGrid,
+                       core::DhtBackend::kCan}) {
+    core::SystemConfig c;
+    c.params.num_peers = 400;
+    c.params.keys = 800;
+    c.params.stor = 20;
+    c.params.repl = 10;
+    c.params.f_qry = 1.0 / 5.0;
+    c.params.f_upd = 1.0 / 3600.0;
+    c.strategy = core::Strategy::kPartialTtl;
+    c.backend = backend;
+    c.churn.enabled = true;
+    c.churn.mean_online_s = 300;
+    c.churn.mean_offline_s = 100;
+    c.seed = 2004;
+    core::PdhtSystem sys(c);
+    sys.RunRounds(120);
+    std::printf("%-8s %-12.0f %-10.2f %-12llu %-12.0f %-12.0f\n",
+                core::DhtBackendName(backend), sys.TailMessageRate(30),
+                sys.TailHitRate(30),
+                (unsigned long long)sys.IndexedKeyCount(),
+                sys.engine()
+                    .Series(core::PdhtSystem::kSeriesMsgDht)
+                    .TailMean(30),
+                sys.engine()
+                    .Series(core::PdhtSystem::kSeriesMsgMaint)
+                    .TailMean(30));
+  }
+  std::printf(
+      "\nAll three overlays sustain the query-adaptive partial index;\n"
+      "they differ only in how lookup cost (log n ring hops, trie prefix\n"
+      "hops, sqrt n torus hops) trades against routing-table upkeep --\n"
+      "the same trade-off Eq. 7 vs Eq. 8 captures analytically.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Interactive-ish cost explorer: evaluates the paper's analytical model
+// for user-supplied parameters and prints the full strategy comparison,
+// answering the paper's title question -- "to index or not to index?" --
+// for any scenario.
+//
+// Usage:
+//   cost_explorer [numPeers] [keys] [fQryPeriod] [repl] [stor]
+// Defaults reproduce Table 1 with fQry = 1/300.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "model/cost_model.h"
+#include "model/selection_model.h"
+#include "stats/table_writer.h"
+
+int main(int argc, char** argv) {
+  using namespace pdht;
+
+  model::ScenarioParams p;
+  p.f_qry = 1.0 / 300.0;
+  if (argc > 1) p.num_peers = std::strtoull(argv[1], nullptr, 10);
+  if (argc > 2) p.keys = std::strtoull(argv[2], nullptr, 10);
+  if (argc > 3) p.f_qry = 1.0 / std::strtod(argv[3], nullptr);
+  if (argc > 4) p.repl = std::strtoull(argv[4], nullptr, 10);
+  if (argc > 5) p.stor = std::strtoull(argv[5], nullptr, 10);
+  std::string err = p.Validate();
+  if (!err.empty()) {
+    std::fprintf(stderr, "invalid parameters: %s\n", err.c_str());
+    return 1;
+  }
+
+  std::printf("%s\n", p.ToTable().c_str());
+
+  model::CostModel cost(p);
+  model::SelectionModel sel(p);
+  model::CostBreakdown b = cost.Evaluate(p.f_qry);
+  model::SelectionBreakdown s = sel.Evaluate(p.f_qry);
+
+  std::printf("primitive costs (Section 3):\n");
+  std::printf("  cSUnstr       = %10.2f msg      (Eq. 6)\n", b.c_s_unstr);
+  std::printf("  cSIndx        = %10.2f msg      (Eq. 7, nap=%llu)\n",
+              b.c_s_indx, (unsigned long long)b.num_active_peers);
+  std::printf("  cRtn          = %10.4f msg/s    (Eq. 8)\n", b.c_rtn);
+  std::printf("  cUpd          = %10.6f msg/s    (Eq. 9)\n", b.c_upd);
+  std::printf("  cIndKey       = %10.4f msg/s    (Eq. 10)\n", b.c_ind_key);
+  std::printf("  fMin          = %10.6f 1/s      (Eq. 2)\n\n", b.f_min);
+
+  std::printf("to index or not to index? keys above rank %llu are NOT "
+              "worth indexing.\n\n",
+              (unsigned long long)b.max_rank);
+
+  TableWriter t({"strategy", "total [msg/s]", "vs best", "notes"});
+  double best = std::min({b.index_all, b.no_index, b.partial, s.partial});
+  auto rel = [&](double v) {
+    return TableWriter::FormatDouble(v / best, 3) + "x";
+  };
+  t.AddRow({"indexAll (Eq. 11)", TableWriter::FormatDouble(b.index_all, 6),
+            rel(b.index_all), "maintains all " + std::to_string(p.keys) +
+            " keys"});
+  t.AddRow({"noIndex (Eq. 12)", TableWriter::FormatDouble(b.no_index, 6),
+            rel(b.no_index), "every query broadcasts"});
+  t.AddRow({"partial ideal (Eq. 13)",
+            TableWriter::FormatDouble(b.partial, 6), rel(b.partial),
+            "oracle; pIndxd=" + TableWriter::FormatDouble(b.p_indxd, 3)});
+  t.AddRow({"partial TTL (Eq. 17)", TableWriter::FormatDouble(s.partial, 6),
+            rel(s.partial),
+            "keyTtl=" + TableWriter::FormatDouble(s.key_ttl, 4) +
+                " rounds"});
+  std::printf("%s", t.ToText().c_str());
+  return 0;
+}

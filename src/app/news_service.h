@@ -1,0 +1,89 @@
+// Application facade: the paper's decentralized news system end-to-end.
+//
+// Wires the metadata substrate (articles -> predicate keys, Section 1/4)
+// to the PDHT (core/pdht_system.h) behind the API a downstream application
+// would actually use:
+//
+//   NewsService svc(options);
+//   svc.Run(rounds);                             // background traffic
+//   auto res = svc.Search("title=Weather Iraklion");
+//   auto res2 = svc.SearchConjunction({"title", "..."}, {"date", "..."});
+//
+// The service owns the hash->dense-key mapping (the DHT key space is the
+// 64-bit predicate-hash space; the workload generator operates on dense
+// ids) and resolves query results back to article ids.
+
+#ifndef PDHT_APP_NEWS_SERVICE_H_
+#define PDHT_APP_NEWS_SERVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/pdht_system.h"
+#include "metadata/article.h"
+#include "metadata/key_generator.h"
+
+namespace pdht::app {
+
+struct NewsServiceOptions {
+  uint64_t num_articles = 100;
+  uint32_t keys_per_article = 20;
+  uint64_t corpus_seed = 2004;
+  /// PDHT configuration; `params.keys` is overwritten with the corpus's
+  /// actual distinct-key count.
+  core::SystemConfig system;
+};
+
+/// Result of one application-level search.
+struct SearchResult {
+  bool found = false;                ///< the predicate resolved to a value.
+  bool answered_from_index = false;  ///< served by the DHT index.
+  uint64_t messages = 0;             ///< total network cost of this search.
+  std::vector<uint64_t> article_ids; ///< articles matching the predicate.
+  std::string predicate;             ///< canonical predicate searched.
+};
+
+class NewsService {
+ public:
+  explicit NewsService(const NewsServiceOptions& options);
+
+  /// Advances background traffic (the whole population querying with the
+  /// configured Zipf workload) by `rounds` rounds.
+  void Run(uint64_t rounds);
+
+  /// Searches for an exact canonical predicate, e.g.
+  /// "title=Weather Iraklion" or "date=2004/03/14 AND title=...".
+  /// Unknown predicates cost a full broadcast search and return found =
+  /// false -- exactly the system behaviour the paper models.
+  SearchResult Search(const std::string& predicate);
+
+  /// Convenience: canonicalizes and searches `a AND b`.
+  SearchResult SearchConjunction(const metadata::MetadataPair& a,
+                                 const metadata::MetadataPair& b);
+
+  /// All canonical predicates for an article (what a publisher announces).
+  std::vector<std::string> PredicatesOf(uint64_t article_id) const;
+
+  const metadata::ArticleCorpus& corpus() const { return corpus_; }
+  core::PdhtSystem& system() { return *system_; }
+  uint64_t key_universe_size() const { return hash_to_dense_.size(); }
+
+  /// Dense key id for a predicate, or kUnknownKey.
+  static constexpr uint64_t kUnknownKey = UINT64_MAX;
+  uint64_t DenseKeyOf(const std::string& predicate) const;
+
+ private:
+  metadata::ArticleCorpus corpus_;
+  metadata::KeyGenerator generator_;
+  std::unordered_map<uint64_t, uint64_t> hash_to_dense_;
+  std::vector<std::vector<uint64_t>> dense_to_articles_;
+  std::vector<std::string> dense_to_predicate_;
+  std::unique_ptr<core::PdhtSystem> system_;
+};
+
+}  // namespace pdht::app
+
+#endif  // PDHT_APP_NEWS_SERVICE_H_

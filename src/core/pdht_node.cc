@@ -1,0 +1,5 @@
+#include "core/pdht_node.h"
+
+// PdhtNode is header-only today; this translation unit anchors the target
+// and reserves a home for future out-of-line logic (e.g. per-node
+// persistence hooks).

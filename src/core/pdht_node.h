@@ -1,0 +1,57 @@
+// Per-peer state in the PDHT system.
+//
+// A peer participating in the structured overlay ("active peer") carries a
+// TTL-evicting index shard bounded by the scenario's per-peer storage
+// capacity (stor).  Non-member peers carry no index state; all peers can
+// originate queries and hold content replicas (articles), which are
+// tracked by ReplicaPlacement in the unstructured substrate.
+
+#ifndef PDHT_CORE_PDHT_NODE_H_
+#define PDHT_CORE_PDHT_NODE_H_
+
+#include <cstdint>
+
+#include "core/ttl_index.h"
+#include "net/message.h"
+
+namespace pdht::core {
+
+class PdhtNode {
+ public:
+  PdhtNode() : PdhtNode(net::kInvalidPeer, 0) {}
+  PdhtNode(net::PeerId id, uint64_t index_capacity)
+      : id_(id), index_(index_capacity) {}
+
+  net::PeerId id() const { return id_; }
+
+  TtlIndex& index() { return index_; }
+  const TtlIndex& index() const { return index_; }
+
+  bool is_dht_member() const { return is_dht_member_; }
+  void set_dht_member(bool v) { is_dht_member_ = v; }
+
+  /// Lifetime query statistics (originated by this peer).
+  uint64_t queries_sent() const { return queries_sent_; }
+  uint64_t hits() const { return hits_; }
+  void RecordQuery(bool hit) {
+    ++queries_sent_;
+    if (hit) ++hits_;
+  }
+  double HitRate() const {
+    return queries_sent_ == 0
+               ? 0.0
+               : static_cast<double>(hits_) /
+                     static_cast<double>(queries_sent_);
+  }
+
+ private:
+  net::PeerId id_;
+  TtlIndex index_;
+  bool is_dht_member_ = false;
+  uint64_t queries_sent_ = 0;
+  uint64_t hits_ = 0;
+};
+
+}  // namespace pdht::core
+
+#endif  // PDHT_CORE_PDHT_NODE_H_

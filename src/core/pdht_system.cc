@@ -1,0 +1,573 @@
+#include "core/pdht_system.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "model/selection_model.h"
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace pdht::core {
+
+std::string SystemConfig::Validate() const {
+  std::string err = params.Validate();
+  if (!err.empty()) return err;
+  if (ttl_scale <= 0.0) return "ttl_scale must be positive";
+  if (key_ttl < 0.0) return "key_ttl must be non-negative";
+  if (overlay_degree < 2.0) return "overlay_degree must be >= 2";
+  if (walk.num_walkers == 0) return "walk.num_walkers must be >= 1";
+  return "";
+}
+
+PdhtSystem::PdhtSystem(const SystemConfig& config)
+    : config_(config), rng_(config.seed), engine_(1.0),
+      autotuner_(config.autotuner) {
+  assert(config_.Validate().empty());
+  DeriveSettings();
+  BuildSubstrates();
+  SelectDhtMembers();
+  PreloadIndex();
+  RegisterActors();
+}
+
+PdhtSystem::~PdhtSystem() = default;
+
+void PdhtSystem::DeriveSettings() {
+  const auto& p = config_.params;
+  model::CostModel cost(p);
+  oracle_max_rank_ = cost.SolveMaxRank(p.f_qry);
+
+  if (config_.key_ttl > 0.0) {
+    key_ttl_ = config_.key_ttl * config_.ttl_scale;
+  } else {
+    model::SelectionModel sel(p);
+    key_ttl_ = sel.IdealKeyTtl(p.f_qry) * config_.ttl_scale;
+  }
+
+  if (config_.dht_member_target > 0) {
+    dht_member_target_ = config_.dht_member_target;
+  } else {
+    switch (config_.strategy) {
+      case Strategy::kNoIndex:
+        dht_member_target_ = 0;
+        break;
+      case Strategy::kIndexAll:
+        dht_member_target_ =
+            static_cast<uint32_t>(cost.NumActivePeers(p.keys));
+        break;
+      case Strategy::kPartialIdeal:
+        dht_member_target_ = static_cast<uint32_t>(
+            cost.NumActivePeers(std::max<uint64_t>(oracle_max_rank_, 1)));
+        break;
+      case Strategy::kPartialTtl: {
+        model::SelectionModel sel(p);
+        double expected = sel.ExpectedKeysInIndex(p.f_qry, key_ttl_);
+        uint64_t whole =
+            static_cast<uint64_t>(std::ceil(std::max(expected, 1.0)));
+        dht_member_target_ =
+            static_cast<uint32_t>(cost.NumActivePeers(whole));
+        break;
+      }
+    }
+  }
+  // A functioning ring needs a handful of members.
+  if (config_.strategy != Strategy::kNoIndex) {
+    dht_member_target_ = std::max<uint32_t>(dht_member_target_, 4);
+    dht_member_target_ = std::min<uint32_t>(
+        dht_member_target_, static_cast<uint32_t>(p.num_peers));
+  }
+
+  if (config_.walk.max_steps_per_walker == 0) {
+    // Budget ~8x the expected steps-to-hit, split across walkers.
+    uint64_t expected_total =
+        8 * p.num_peers / std::max<uint64_t>(1, p.repl);
+    config_.walk.max_steps_per_walker = static_cast<uint32_t>(
+        std::max<uint64_t>(64, expected_total / config_.walk.num_walkers));
+  }
+}
+
+void PdhtSystem::BuildSubstrates() {
+  const auto& p = config_.params;
+  network_ = std::make_unique<net::Network>(&engine_.counters());
+  nodes_.resize(p.num_peers);
+  for (uint32_t i = 0; i < p.num_peers; ++i) {
+    nodes_[i] = PdhtNode(i, p.stor);
+    network_->SetOnline(i, true);
+  }
+
+  Rng churn_rng = rng_.Fork();
+  churn_ = std::make_unique<sim::ChurnModel>(
+      static_cast<uint32_t>(p.num_peers), config_.churn, churn_rng);
+  churn_->AddObserver(&PdhtSystem::ChurnTrampoline, this);
+  // Align network state with the churn model's initial draw.
+  for (uint32_t i = 0; i < p.num_peers; ++i) {
+    network_->SetOnline(i, churn_->IsOnline(i));
+  }
+
+  Rng graph_rng = rng_.Fork();
+  graph_ = std::make_unique<overlay::RandomGraph>(
+      static_cast<uint32_t>(p.num_peers), config_.overlay_degree,
+      &graph_rng);
+
+  content_ = std::make_unique<overlay::ReplicaPlacement>(
+      static_cast<uint32_t>(p.num_peers), static_cast<uint32_t>(p.repl),
+      rng_.Fork());
+  content_->PlaceKeys(p.keys);
+
+  auto oracle = [this](net::PeerId peer, uint64_t key) {
+    return content_->PeerHoldsKey(peer, key);
+  };
+  walk_ = std::make_unique<overlay::RandomWalkSearch>(
+      graph_.get(), network_.get(), oracle, config_.walk, rng_.Fork());
+
+  workload_ = std::make_unique<metadata::QueryWorkload>(
+      p.keys, p.alpha, rng_.Fork());
+}
+
+void PdhtSystem::SelectDhtMembers() {
+  const auto& p = config_.params;
+  dht_members_.clear();
+  if (config_.strategy == Strategy::kNoIndex || dht_member_target_ == 0) {
+    return;
+  }
+  // Random member sample without replacement.
+  std::vector<net::PeerId> all(p.num_peers);
+  for (uint32_t i = 0; i < p.num_peers; ++i) all[i] = i;
+  rng_.Shuffle(all.data(), all.size());
+  dht_members_.assign(all.begin(), all.begin() + dht_member_target_);
+  for (net::PeerId m : dht_members_) nodes_[m].set_dht_member(true);
+
+  switch (config_.backend) {
+    case DhtBackend::kChord:
+      chord_ = std::make_unique<overlay::ChordOverlay>(network_.get(),
+                                                       rng_.Fork());
+      chord_->SetMembers(dht_members_);
+      chord_maint_ = std::make_unique<overlay::ChordMaintenance>(
+          chord_.get(), network_.get(), p.env, rng_.Fork());
+      break;
+    case DhtBackend::kPGrid: {
+      overlay::PGridConfig pc;
+      pc.refs_per_level = 4;
+      pc.max_leaf_peers = static_cast<uint32_t>(
+          std::max<uint64_t>(1, std::min<uint64_t>(p.repl, p.num_peers)));
+      pgrid_ = std::make_unique<overlay::PGridOverlay>(network_.get(),
+                                                       rng_.Fork(), pc);
+      pgrid_->SetMembers(dht_members_);
+      break;
+    }
+    case DhtBackend::kCan:
+      can_ = std::make_unique<overlay::CanOverlay>(network_.get(),
+                                                   rng_.Fork());
+      can_->SetMembers(dht_members_);
+      break;
+  }
+}
+
+std::vector<net::PeerId> PdhtSystem::IndexReplicasOf(uint64_t key) const {
+  // "Index and content are replicated with the same factor" (Section 4)
+  // and content replication is random.  The responsible member (the
+  // lookup terminus) is replica 0 -- the insertion point -- and the
+  // remaining repl-1 replicas are hash-derived members, which spreads the
+  // storage load uniformly (successor-consecutive replicas would make
+  // whole arcs overflow their stor capacity together).
+  if (pgrid_) return pgrid_->ResponsiblePeers(key);
+  if (chord_ || can_) {
+    const std::vector<net::PeerId>& members =
+        chord_ ? chord_->members_sorted_by_id() : can_->members();
+    net::PeerId responsible = chord_ ? chord_->ResponsibleMember(key)
+                                     : can_->ResponsibleMember(key);
+    if (responsible == net::kInvalidPeer || members.empty()) return {};
+    uint32_t want = static_cast<uint32_t>(
+        std::min<uint64_t>(config_.params.repl, members.size()));
+    std::vector<net::PeerId> out;
+    out.reserve(want);
+    out.push_back(responsible);
+    uint64_t salt = 0;
+    while (out.size() < want && salt < 16 * want) {
+      net::PeerId cand =
+          members[Mix64(HashCombine(key, ++salt)) % members.size()];
+      if (std::find(out.begin(), out.end(), cand) == out.end()) {
+        out.push_back(cand);
+      }
+    }
+    return out;
+  }
+  return {};
+}
+
+void PdhtSystem::IncResidency(uint64_t key) { ++residency_[key]; }
+
+void PdhtSystem::DecResidency(uint64_t key) {
+  auto it = residency_.find(key);
+  if (it == residency_.end()) return;
+  if (--it->second == 0) residency_.erase(it);
+}
+
+void PdhtSystem::PreloadIndex() {
+  const auto& p = config_.params;
+  uint64_t preload = 0;
+  switch (config_.strategy) {
+    case Strategy::kIndexAll:
+      preload = p.keys;
+      break;
+    case Strategy::kPartialIdeal:
+      preload = oracle_max_rank_;
+      break;
+    default:
+      return;  // TTL strategy starts empty; noIndex has no index.
+  }
+  constexpr double kForever = 1e15;
+  for (uint64_t r = 1; r <= preload; ++r) {
+    uint64_t key = config_.strategy == Strategy::kIndexAll
+                       ? r - 1
+                       : workload_->KeyAtRank(r);
+    for (net::PeerId rep : IndexReplicasOf(key)) {
+      uint64_t displaced = nodes_[rep].index().Put(key, 0.0, kForever);
+      if (displaced != TtlIndex::kNoKey) DecResidency(displaced);
+      IncResidency(key);
+    }
+  }
+}
+
+void PdhtSystem::RegisterActors() {
+  engine_.AddActor("churn", [this](sim::RoundContext& ctx) {
+    churn_->AdvanceTo(ctx.time);
+  });
+  engine_.AddActor("maintenance", [this](sim::RoundContext&) {
+    if (config_.strategy == Strategy::kNoIndex) return;
+    if (chord_maint_) chord_maint_->RunRound();
+    if (pgrid_) pgrid_->RunMaintenanceRound(config_.params.env);
+    if (can_) can_->RunMaintenanceRound(config_.params.env);
+    // Feed the TTL autotuner the round's maintenance traffic: probes per
+    // round per currently indexed key approximate cRtn (Eq. 8).
+    uint64_t probes = engine_.counters().Value("msg.maint.probe");
+    uint64_t delta = probes - last_probe_count_;
+    last_probe_count_ = probes;
+    autotuner_.ObserveMaintenanceRound(
+        static_cast<double>(delta), static_cast<double>(residency_.size()));
+  });
+  engine_.AddActor("queries", [this](sim::RoundContext& ctx) {
+    RunQueryActor(ctx);
+  });
+  engine_.AddActor("updates", [this](sim::RoundContext& ctx) {
+    RunUpdateActor(ctx);
+  });
+  engine_.AddActor("eviction", [this](sim::RoundContext& ctx) {
+    RunEvictionActor(ctx);
+  });
+
+  engine_.AddCounterRateMetric(kSeriesMsgTotal, "msg.total");
+  engine_.AddCounterRateMetric(kSeriesMsgDht, "msg.dht.");
+  engine_.AddCounterRateMetric(kSeriesMsgUnstructured, "msg.unstructured.");
+  engine_.AddCounterRateMetric(kSeriesMsgReplica, "msg.replica.");
+  engine_.AddCounterRateMetric(kSeriesMsgMaint, "msg.maint.");
+  engine_.AddMetric(kSeriesHitRate, [this](const sim::RoundContext&) {
+    return round_queries_ == 0
+               ? 0.0
+               : static_cast<double>(round_hits_) /
+                     static_cast<double>(round_queries_);
+  });
+  engine_.AddMetric(kSeriesIndexSize, [this](const sim::RoundContext&) {
+    return static_cast<double>(residency_.size());
+  });
+  engine_.AddMetric(kSeriesOnlineFraction,
+                    [this](const sim::RoundContext&) {
+                      return churn_->OnlineFraction();
+                    });
+}
+
+void PdhtSystem::RunRounds(uint64_t n) { engine_.Run(n); }
+
+net::PeerId PdhtSystem::RandomOnlinePeer() {
+  const auto& p = config_.params;
+  for (int attempt = 0; attempt < 128; ++attempt) {
+    net::PeerId cand =
+        static_cast<net::PeerId>(rng_.UniformU64(p.num_peers));
+    if (network_->IsOnline(cand)) return cand;
+  }
+  for (uint32_t i = 0; i < p.num_peers; ++i) {
+    if (network_->IsOnline(i)) return i;
+  }
+  return net::kInvalidPeer;
+}
+
+net::PeerId PdhtSystem::DhtEntryPoint(net::PeerId origin) {
+  if (origin != net::kInvalidPeer && nodes_[origin].is_dht_member() &&
+      network_->IsOnline(origin)) {
+    return origin;
+  }
+  net::PeerId entry = net::kInvalidPeer;
+  if (chord_) entry = chord_->RandomOnlineMember(rng_);
+  if (pgrid_) entry = pgrid_->RandomOnlineMember(rng_);
+  if (can_) entry = can_->RandomOnlineMember(rng_);
+  if (entry != net::kInvalidPeer && origin != net::kInvalidPeer) {
+    // Forwarding the query from the non-member origin into the DHT is one
+    // message ("it is sufficient to know at least one online peer that is
+    // participating in the DHT", Section 3.2).
+    net::Message m;
+    m.type = net::MessageType::kDhtLookup;
+    m.from = origin;
+    m.to = entry;
+    network_->Send(m);
+  }
+  return entry;
+}
+
+overlay::LookupResult PdhtSystem::DhtLookup(net::PeerId origin,
+                                            uint64_t key) {
+  if (chord_) return chord_->Lookup(origin, key);
+  if (pgrid_) return pgrid_->Lookup(origin, key);
+  assert(can_ != nullptr);
+  return can_->Lookup(origin, key);
+}
+
+uint64_t PdhtSystem::StatisticalReplicaFloodCost() {
+  // Flooding the replica subnetwork costs ~ repl * dup2 messages (Eq. 16);
+  // the fractional part is realized probabilistically so the expectation
+  // is exact.
+  double cost = static_cast<double>(config_.params.repl) *
+                config_.params.dup2;
+  uint64_t whole = static_cast<uint64_t>(cost);
+  double frac = cost - static_cast<double>(whole);
+  return whole + (rng_.Bernoulli(frac) ? 1 : 0);
+}
+
+void PdhtSystem::InsertIntoIndex(uint64_t key, double now, double ttl) {
+  // Route the insert to the responsible region (cSIndx) ...
+  net::PeerId entry = DhtEntryPoint(net::kInvalidPeer);
+  if (entry == net::kInvalidPeer) return;
+  overlay::LookupResult route = DhtLookup(entry, key);
+  (void)route;
+  // ... then flood the replica subnetwork with the new value (repl * dup2).
+  network_->CountOnly(net::MessageType::kReplicaPush,
+                      StatisticalReplicaFloodCost());
+  for (net::PeerId rep : IndexReplicasOf(key)) {
+    if (!network_->IsOnline(rep)) continue;  // offline replicas pull later
+    uint64_t displaced = nodes_[rep].index().Put(key, now, ttl);
+    if (displaced != TtlIndex::kNoKey) DecResidency(displaced);
+    IncResidency(key);
+  }
+}
+
+QueryOutcome PdhtSystem::RunUnstructuredQuery(net::PeerId origin,
+                                              uint64_t key) {
+  QueryOutcome out;
+  out.origin = origin;
+  out.used_unstructured = true;
+  overlay::WalkResult wr = walk_->Search(origin, key);
+  out.found = wr.found;
+  out.unstructured_messages = wr.messages;
+  if (wr.found) {
+    autotuner_.ObserveUnstructuredSearch(
+        static_cast<double>(wr.messages));
+  }
+  return out;
+}
+
+QueryOutcome PdhtSystem::RunIndexFirstQuery(net::PeerId origin, uint64_t key,
+                                            bool ttl_semantics) {
+  QueryOutcome out;
+  out.origin = origin;
+  const double now = engine_.now();
+  uint64_t before = network_->TotalMessages();
+
+  net::PeerId entry = DhtEntryPoint(origin);
+  if (entry == net::kInvalidPeer) {
+    // DHT unreachable (everything offline): degrade to broadcast.
+    QueryOutcome fallback = RunUnstructuredQuery(origin, key);
+    fallback.index_messages = network_->TotalMessages() - before -
+                              fallback.unstructured_messages;
+    return fallback;
+  }
+
+  overlay::LookupResult route = DhtLookup(entry, key);
+  net::PeerId holder = net::kInvalidPeer;
+  if (route.success && route.terminus != net::kInvalidPeer &&
+      nodes_[route.terminus].index().Contains(key, now)) {
+    holder = route.terminus;
+  }
+  if (holder == net::kInvalidPeer) {
+    // Terminus cannot answer: flood the replica subnetwork (Section 5.1;
+    // purging leaves replicas unsynchronized, so siblings may still hold
+    // the key).
+    network_->CountOnly(net::MessageType::kReplicaFlood,
+                        StatisticalReplicaFloodCost());
+    for (net::PeerId rep : IndexReplicasOf(key)) {
+      if (!network_->IsOnline(rep)) continue;
+      if (nodes_[rep].index().Contains(key, now)) {
+        holder = rep;
+        break;
+      }
+    }
+  }
+
+  if (holder != net::kInvalidPeer) {
+    if (ttl_semantics) {
+      nodes_[holder].index().Touch(key, now, EffectiveKeyTtl());
+    }
+    out.found = true;
+    out.answered_from_index = true;
+    out.index_messages = network_->TotalMessages() - before;
+    autotuner_.ObserveIndexSearch(
+        static_cast<double>(out.index_messages));
+    return out;
+  }
+
+  out.index_messages = network_->TotalMessages() - before;
+  autotuner_.ObserveIndexSearch(static_cast<double>(out.index_messages));
+  // Miss: broadcast search, then (TTL algorithm only) insert the result.
+  QueryOutcome walk_out = RunUnstructuredQuery(origin, key);
+  out.used_unstructured = true;
+  out.found = walk_out.found;
+  out.unstructured_messages = walk_out.unstructured_messages;
+  if (ttl_semantics && out.found) {
+    uint64_t before_insert = network_->TotalMessages();
+    InsertIntoIndex(key, now, EffectiveKeyTtl());
+    out.index_messages += network_->TotalMessages() - before_insert;
+  }
+  return out;
+}
+
+QueryOutcome PdhtSystem::ExecuteQuery(uint64_t key) {
+  net::PeerId origin = RandomOnlinePeer();
+  QueryOutcome out;
+  if (origin == net::kInvalidPeer) return out;
+
+  switch (config_.strategy) {
+    case Strategy::kNoIndex:
+      out = RunUnstructuredQuery(origin, key);
+      break;
+    case Strategy::kIndexAll:
+      out = RunIndexFirstQuery(origin, key, /*ttl_semantics=*/false);
+      break;
+    case Strategy::kPartialIdeal: {
+      // Oracle: every peer knows whether the key is worth indexing.
+      bool indexed = workload_->RankOf(key) <= oracle_max_rank_;
+      out = indexed ? RunIndexFirstQuery(origin, key, false)
+                    : RunUnstructuredQuery(origin, key);
+      break;
+    }
+    case Strategy::kPartialTtl:
+      out = RunIndexFirstQuery(origin, key, /*ttl_semantics=*/true);
+      break;
+  }
+  nodes_[origin].RecordQuery(out.answered_from_index);
+  return out;
+}
+
+void PdhtSystem::RunQueryActor(sim::RoundContext& ctx) {
+  const auto& p = config_.params;
+  round_queries_ = 0;
+  round_hits_ = 0;
+  if (config_.trace != nullptr) {
+    // Trace replay: every entry tagged with this round, verbatim.
+    auto [begin, end] = config_.trace->RoundRange(ctx.round);
+    for (size_t i = begin; i < end; ++i) {
+      uint64_t key = config_.trace->entries()[i].key;
+      if (key >= p.keys) continue;  // foreign trace entries are skipped
+      QueryOutcome out = ExecuteQuery(key);
+      ++round_queries_;
+      if (out.answered_from_index) ++round_hits_;
+    }
+    return;
+  }
+  uint64_t count = workload_->SampleQueryCount(p.num_peers, p.f_qry);
+  for (uint64_t q = 0; q < count; ++q) {
+    uint64_t key = workload_->SampleKey();
+    QueryOutcome out = ExecuteQuery(key);
+    ++round_queries_;
+    if (out.answered_from_index) ++round_hits_;
+  }
+}
+
+void PdhtSystem::RunUpdateActor(sim::RoundContext&) {
+  // Proactive updates exist only while the index is proactively maintained
+  // (Section 5.1 removes cUpd: the TTL algorithm refreshes values on
+  // miss-triggered re-insertion).
+  if (config_.strategy != Strategy::kIndexAll &&
+      config_.strategy != Strategy::kPartialIdeal) {
+    return;
+  }
+  const auto& p = config_.params;
+  uint64_t indexed_keys = config_.strategy == Strategy::kIndexAll
+                              ? p.keys
+                              : oracle_max_rank_;
+  if (indexed_keys == 0) return;
+  update_carry_ += static_cast<double>(indexed_keys) * p.f_upd;
+  constexpr double kForever = 1e15;
+  while (update_carry_ >= 1.0) {
+    update_carry_ -= 1.0;
+    uint64_t rank = 1 + rng_.UniformU64(indexed_keys);
+    uint64_t key = config_.strategy == Strategy::kIndexAll
+                       ? rank - 1
+                       : workload_->KeyAtRank(rank);
+    // Insert at one responsible peer (cSIndx) + gossip to replicas
+    // (repl * dup2): exactly Eq. 9's per-update cost.
+    net::PeerId entry = DhtEntryPoint(net::kInvalidPeer);
+    if (entry == net::kInvalidPeer) continue;
+    DhtLookup(entry, key);
+    network_->CountOnly(net::MessageType::kReplicaPush,
+                        StatisticalReplicaFloodCost());
+    for (net::PeerId rep : IndexReplicasOf(key)) {
+      if (!network_->IsOnline(rep)) continue;
+      uint64_t displaced =
+          nodes_[rep].index().Put(key, engine_.now(), kForever);
+      if (displaced != TtlIndex::kNoKey) DecResidency(displaced);
+      IncResidency(key);
+    }
+  }
+}
+
+void PdhtSystem::RunEvictionActor(sim::RoundContext& ctx) {
+  if (config_.strategy != Strategy::kPartialTtl) return;
+  for (net::PeerId m : dht_members_) {
+    nodes_[m].index().EvictExpired(
+        ctx.time, [this](uint64_t key) { DecResidency(key); });
+  }
+}
+
+void PdhtSystem::OnChurnFlip(net::PeerId peer, bool online) {
+  network_->SetOnline(peer, online);
+  if (!online) return;
+  if (!nodes_[peer].is_dht_member()) return;
+  // Rejoin: refresh routing state (piggybacked, free) and pull missed
+  // replica updates (one pull + one response).
+  if (chord_maint_) chord_maint_->OnPeerRejoin(peer);
+  if (pgrid_) pgrid_->RefreshNode(peer);
+  network_->CountOnly(net::MessageType::kReplicaPull, 2);
+}
+
+void PdhtSystem::ChurnTrampoline(void* ctx, uint32_t peer, bool online,
+                                 double /*when*/) {
+  static_cast<PdhtSystem*>(ctx)->OnChurnFlip(peer, online);
+}
+
+void PdhtSystem::ShiftPopularity() { workload_->ShufflePopularity(); }
+
+void PdhtSystem::RotatePopularity(uint64_t offset) {
+  workload_->RotatePopularity(offset);
+}
+
+double PdhtSystem::EffectiveKeyTtl() const {
+  if (config_.autotune_ttl && autotuner_.HasEnoughData()) {
+    return autotuner_.RecommendedTtl();
+  }
+  return key_ttl_;
+}
+
+uint64_t PdhtSystem::IndexedKeyCount() const { return residency_.size(); }
+
+uint32_t PdhtSystem::DhtMemberCount() const {
+  return static_cast<uint32_t>(dht_members_.size());
+}
+
+double PdhtSystem::TailMessageRate(size_t tail) const {
+  return engine_.Series(kSeriesMsgTotal).TailMean(tail);
+}
+
+double PdhtSystem::TailHitRate(size_t tail) const {
+  return engine_.Series(kSeriesHitRate).TailMean(tail);
+}
+
+}  // namespace pdht::core

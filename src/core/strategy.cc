@@ -1,0 +1,74 @@
+#include "core/strategy.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace pdht::core {
+
+namespace {
+std::string Lower(const std::string& s) {
+  std::string out = s;
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+}  // namespace
+
+const char* StrategyName(Strategy s) {
+  switch (s) {
+    case Strategy::kIndexAll:
+      return "indexAll";
+    case Strategy::kNoIndex:
+      return "noIndex";
+    case Strategy::kPartialIdeal:
+      return "partialIdeal";
+    case Strategy::kPartialTtl:
+      return "partialTtl";
+  }
+  return "?";
+}
+
+bool ParseStrategy(const std::string& name, Strategy* out) {
+  std::string n = Lower(name);
+  if (n == "indexall") {
+    *out = Strategy::kIndexAll;
+  } else if (n == "noindex") {
+    *out = Strategy::kNoIndex;
+  } else if (n == "partialideal") {
+    *out = Strategy::kPartialIdeal;
+  } else if (n == "partialttl") {
+    *out = Strategy::kPartialTtl;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* DhtBackendName(DhtBackend b) {
+  switch (b) {
+    case DhtBackend::kChord:
+      return "chord";
+    case DhtBackend::kPGrid:
+      return "pgrid";
+    case DhtBackend::kCan:
+      return "can";
+  }
+  return "?";
+}
+
+bool ParseDhtBackend(const std::string& name, DhtBackend* out) {
+  std::string n = Lower(name);
+  if (n == "chord") {
+    *out = DhtBackend::kChord;
+  } else if (n == "pgrid" || n == "p-grid") {
+    *out = DhtBackend::kPGrid;
+  } else if (n == "can") {
+    *out = DhtBackend::kCan;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace pdht::core

@@ -1,0 +1,53 @@
+// Indexing strategies.
+//
+// The paper compares three regimes (Section 4) plus the realized selection
+// algorithm (Section 5); all four run on identical substrates in the
+// simulator so cost differences are attributable to the policy alone
+// (design decision #3 in DESIGN.md):
+//
+//  * kIndexAll     -- every key proactively indexed; queries go to the DHT
+//                     only (Eq. 11).
+//  * kNoIndex      -- no DHT at all; every query broadcast-searches the
+//                     unstructured network (Eq. 12).
+//  * kPartialIdeal -- oracle partial indexing: the top-maxRank keys (from
+//                     the analytical fixed point) are indexed, and every
+//                     peer magically knows whether a key is indexed
+//                     (Eq. 13's lower bound).
+//  * kPartialTtl   -- the decentralized selection algorithm: search the
+//                     index first, broadcast on miss, insert the result
+//                     with a TTL; unqueried keys time out (Eq. 17).
+
+#ifndef PDHT_CORE_STRATEGY_H_
+#define PDHT_CORE_STRATEGY_H_
+
+#include <cstdint>
+#include <string>
+
+namespace pdht::core {
+
+enum class Strategy : uint8_t {
+  kIndexAll,
+  kNoIndex,
+  kPartialIdeal,
+  kPartialTtl,
+};
+
+const char* StrategyName(Strategy s);
+
+/// Parses "indexAll" / "noIndex" / "partialIdeal" / "partialTtl"
+/// (case-insensitive); returns false on unknown input.
+bool ParseStrategy(const std::string& name, Strategy* out);
+
+/// Which structured overlay implementation backs the index.
+enum class DhtBackend : uint8_t {
+  kChord,
+  kPGrid,
+  kCan,
+};
+
+const char* DhtBackendName(DhtBackend b);
+bool ParseDhtBackend(const std::string& name, DhtBackend* out);
+
+}  // namespace pdht::core
+
+#endif  // PDHT_CORE_STRATEGY_H_

@@ -1,0 +1,64 @@
+#include "core/ttl_autotuner.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pdht::core {
+
+KeyTtlAutotuner::KeyTtlAutotuner(const AutotunerConfig& config)
+    : config_(config) {
+  assert(config.alpha > 0.0 && config.alpha <= 1.0);
+  assert(config.min_ttl > 0.0);
+  assert(config.max_ttl >= config.min_ttl);
+}
+
+void KeyTtlAutotuner::Ewma(double* est, double sample, double alpha,
+                           bool* seeded) {
+  if (!*seeded) {
+    *est = sample;
+    *seeded = true;
+  } else {
+    *est += alpha * (sample - *est);
+  }
+}
+
+void KeyTtlAutotuner::ObserveUnstructuredSearch(double messages) {
+  if (messages < 0.0) return;
+  Ewma(&c_s_unstr_hat_, messages, config_.alpha, &unstr_seeded_);
+}
+
+void KeyTtlAutotuner::ObserveIndexSearch(double messages) {
+  if (messages < 0.0) return;
+  Ewma(&c_s_indx_hat_, messages, config_.alpha, &indx_seeded_);
+}
+
+void KeyTtlAutotuner::ObserveMaintenanceRound(double probe_messages,
+                                              double indexed_keys) {
+  if (indexed_keys <= 0.0 || probe_messages < 0.0) return;
+  Ewma(&c_rtn_hat_, probe_messages / indexed_keys, config_.alpha,
+       &rtn_seeded_);
+}
+
+bool KeyTtlAutotuner::HasEnoughData() const {
+  return unstr_seeded_ && indx_seeded_ && rtn_seeded_ && c_rtn_hat_ > 0.0;
+}
+
+double KeyTtlAutotuner::EstimatedFMin() const {
+  if (!HasEnoughData()) return 0.0;
+  double margin = c_s_unstr_hat_ - c_s_indx_hat_;
+  if (margin <= 0.0) {
+    // The index search is not observed to be cheaper: indexing never
+    // amortizes, so demand an (effectively) infinite query frequency.
+    return 1.0 / config_.min_ttl;
+  }
+  return c_rtn_hat_ / margin;
+}
+
+double KeyTtlAutotuner::RecommendedTtl() const {
+  if (!HasEnoughData()) return config_.initial_ttl;
+  double f_min = EstimatedFMin();
+  double ttl = f_min > 0.0 ? 1.0 / f_min : config_.max_ttl;
+  return std::clamp(ttl, config_.min_ttl, config_.max_ttl);
+}
+
+}  // namespace pdht::core

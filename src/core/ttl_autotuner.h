@@ -1,0 +1,81 @@
+// Self-tuning keyTtl estimation (paper Section 5.1.1, future work).
+//
+// "It is important that peers insert keys into the index with the right
+// expiration time (keyTtl).  The value of keyTtl can be calculated by
+// estimating cSUnstr, cSIndx, and cIndKey. ... A mechanism to self-tune
+// keyTtl based on the query distribution and frequency is part of future
+// work."
+//
+// This module implements that mechanism from locally observable traffic
+// only -- no global knowledge:
+//   * cSUnstr_hat  -- EWMA of observed broadcast-search message costs;
+//   * cSIndx_hat   -- EWMA of observed index-search message costs
+//                     (routing + replica flood, i.e. cSIndx2 semantics);
+//   * cRtn_hat     -- maintenance probes per round divided by the
+//                     (estimated) number of indexed keys;
+// and sets keyTtl = 1 / fMin_hat = (cSUnstr_hat - cSIndx_hat) / cRtn_hat
+// (the reciprocal of Eq. 2), clamped to a configurable band.
+//
+// Section 5.1.1 says a +-50% estimation error barely hurts; the property
+// tests assert the estimator converges well inside that band under a
+// stationary workload and re-converges after a load change.
+
+#ifndef PDHT_CORE_TTL_AUTOTUNER_H_
+#define PDHT_CORE_TTL_AUTOTUNER_H_
+
+#include <cstdint>
+
+namespace pdht::core {
+
+struct AutotunerConfig {
+  /// EWMA smoothing factor per observation in (0, 1]; higher = faster.
+  double alpha = 0.05;
+  /// keyTtl clamp band [min_ttl, max_ttl] in rounds.
+  double min_ttl = 1.0;
+  double max_ttl = 1e6;
+  /// Initial keyTtl until both cost estimates have observations.
+  double initial_ttl = 100.0;
+};
+
+class KeyTtlAutotuner {
+ public:
+  explicit KeyTtlAutotuner(const AutotunerConfig& config = {});
+
+  /// Feed one observed broadcast-search cost (messages).
+  void ObserveUnstructuredSearch(double messages);
+
+  /// Feed one observed index-search cost (messages, cSIndx2 semantics:
+  /// routing hops + replica flood).
+  void ObserveIndexSearch(double messages);
+
+  /// Feed one round's maintenance traffic and the current index size
+  /// (keys).  Ignored while the index is empty.
+  void ObserveMaintenanceRound(double probe_messages, double indexed_keys);
+
+  /// Current keyTtl recommendation [rounds].
+  double RecommendedTtl() const;
+
+  /// Current fMin estimate [1/round]; 0 while insufficient data.
+  double EstimatedFMin() const;
+
+  // Raw estimates (test/diagnostic access).
+  double c_s_unstr_hat() const { return c_s_unstr_hat_; }
+  double c_s_indx_hat() const { return c_s_indx_hat_; }
+  double c_rtn_hat() const { return c_rtn_hat_; }
+  bool HasEnoughData() const;
+
+ private:
+  static void Ewma(double* est, double sample, double alpha, bool* seeded);
+
+  AutotunerConfig config_;
+  double c_s_unstr_hat_ = 0.0;
+  double c_s_indx_hat_ = 0.0;
+  double c_rtn_hat_ = 0.0;
+  bool unstr_seeded_ = false;
+  bool indx_seeded_ = false;
+  bool rtn_seeded_ = false;
+};
+
+}  // namespace pdht::core
+
+#endif  // PDHT_CORE_TTL_AUTOTUNER_H_

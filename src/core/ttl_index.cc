@@ -1,0 +1,94 @@
+#include "core/ttl_index.h"
+
+#include <cassert>
+
+namespace pdht::core {
+
+TtlIndex::TtlIndex(uint64_t capacity) : capacity_(capacity) {}
+
+uint64_t TtlIndex::Put(uint64_t key, double now, double ttl) {
+  assert(ttl > 0.0);
+  uint64_t displaced = kNoKey;
+  auto it = map_.find(key);
+  if (it == map_.end() && capacity_ > 0 && map_.size() >= capacity_) {
+    // Displace the entry nearest to expiry.
+    Compact();
+    while (!heap_.empty()) {
+      HeapEntry top = heap_.top();
+      auto vit = map_.find(top.key);
+      if (vit == map_.end() || vit->second.generation != top.generation) {
+        heap_.pop();  // stale heap entry
+        continue;
+      }
+      heap_.pop();
+      map_.erase(vit);
+      displaced = top.key;
+      break;
+    }
+  }
+  double expires = now + ttl;
+  uint64_t gen = next_generation_++;
+  map_[key] = MapEntry{expires, gen};
+  heap_.push(HeapEntry{expires, key, gen});
+  return displaced;
+}
+
+bool TtlIndex::Contains(uint64_t key, double now) const {
+  auto it = map_.find(key);
+  return it != map_.end() && it->second.expires > now;
+}
+
+bool TtlIndex::Touch(uint64_t key, double now, double ttl) {
+  auto it = map_.find(key);
+  if (it == map_.end() || it->second.expires <= now) return false;
+  double expires = now + ttl;
+  uint64_t gen = next_generation_++;
+  it->second = MapEntry{expires, gen};
+  heap_.push(HeapEntry{expires, key, gen});
+  return true;
+}
+
+bool TtlIndex::Erase(uint64_t key) {
+  return map_.erase(key) > 0;  // heap entries become stale, skipped later
+}
+
+uint64_t TtlIndex::EvictExpired(
+    double now, const std::function<void(uint64_t)>& on_evict) {
+  uint64_t evicted = 0;
+  while (!heap_.empty() && heap_.top().expires <= now) {
+    HeapEntry top = heap_.top();
+    heap_.pop();
+    auto it = map_.find(top.key);
+    if (it == map_.end() || it->second.generation != top.generation) {
+      continue;  // superseded by a Touch/Put or already erased
+    }
+    map_.erase(it);
+    ++evicted;
+    if (on_evict) on_evict(top.key);
+  }
+  return evicted;
+}
+
+double TtlIndex::ExpiryOf(uint64_t key) const {
+  auto it = map_.find(key);
+  return it == map_.end() ? kNever : it->second.expires;
+}
+
+std::vector<uint64_t> TtlIndex::Keys() const {
+  std::vector<uint64_t> out;
+  out.reserve(map_.size());
+  for (const auto& [k, e] : map_) out.push_back(k);
+  return out;
+}
+
+void TtlIndex::Compact() {
+  // Drop stale heap heads so capacity displacement sees a live entry.
+  while (!heap_.empty()) {
+    const HeapEntry& top = heap_.top();
+    auto it = map_.find(top.key);
+    if (it != map_.end() && it->second.generation == top.generation) break;
+    heap_.pop();
+  }
+}
+
+}  // namespace pdht::core

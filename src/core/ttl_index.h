@@ -1,0 +1,93 @@
+// Per-peer TTL-evicting index store (the heart of the selection algorithm,
+// paper Section 5.1).
+//
+// "Each key has an expiration time keyTtl, which determines how long the
+// key stays in the index.  The expiration time of a key is reset to a
+// predefined value whenever the peer that stores the key receives a query
+// for it.  Therefore, peers evict those keys from their local storage that
+// have not been queried for keyTtl rounds."
+//
+// The store also enforces the scenario's per-peer capacity (stor = 100
+// key-value pairs): when full, the entry closest to expiry is displaced
+// (it is the one the TTL policy would give up on first).
+//
+// Complexity: Put/Touch/Contains O(log n); EvictExpired amortized
+// O(k log n) for k evictions via a lazy min-heap over expiry times.
+
+#ifndef PDHT_CORE_TTL_INDEX_H_
+#define PDHT_CORE_TTL_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+namespace pdht::core {
+
+class TtlIndex {
+ public:
+  /// `capacity` = 0 means unbounded (used by the indexAll strategy whose
+  /// sizing guarantees fit by construction).
+  explicit TtlIndex(uint64_t capacity = 0);
+
+  /// Inserts or refreshes `key` with expiry `now + ttl`.  Returns the key
+  /// displaced by the capacity bound, or kNoKey.
+  static constexpr uint64_t kNoKey = UINT64_MAX;
+  uint64_t Put(uint64_t key, double now, double ttl);
+
+  /// True iff `key` is resident and unexpired at `now`.
+  bool Contains(uint64_t key, double now) const;
+
+  /// Resets `key`'s expiry to now + ttl if resident; returns whether it
+  /// was.  This is the query-driven TTL refresh.
+  bool Touch(uint64_t key, double now, double ttl);
+
+  /// Removes `key` immediately; returns whether it was resident.
+  bool Erase(uint64_t key);
+
+  /// Evicts everything expired at `now`; calls `on_evict` per key.
+  uint64_t EvictExpired(double now,
+                        const std::function<void(uint64_t)>& on_evict = {});
+
+  /// Currently resident (possibly including expired-but-not-yet-collected)
+  /// key count; call EvictExpired first for an exact live count.
+  uint64_t size() const { return map_.size(); }
+  uint64_t capacity() const { return capacity_; }
+  bool empty() const { return map_.empty(); }
+
+  /// Expiry time of `key` (kNever if absent).
+  static constexpr double kNever = -1.0;
+  double ExpiryOf(uint64_t key) const;
+
+  /// All resident keys (test support; O(n)).
+  std::vector<uint64_t> Keys() const;
+
+ private:
+  struct HeapEntry {
+    double expires;
+    uint64_t key;
+    uint64_t generation;
+    bool operator>(const HeapEntry& o) const {
+      if (expires != o.expires) return expires > o.expires;
+      return key > o.key;
+    }
+  };
+  struct MapEntry {
+    double expires;
+    uint64_t generation;
+  };
+
+  void Compact();
+
+  uint64_t capacity_;
+  uint64_t next_generation_ = 1;
+  std::unordered_map<uint64_t, MapEntry> map_;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>>
+      heap_;
+};
+
+}  // namespace pdht::core
+
+#endif  // PDHT_CORE_TTL_INDEX_H_

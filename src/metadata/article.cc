@@ -1,0 +1,119 @@
+#include "metadata/article.h"
+
+#include <array>
+#include <cassert>
+
+#include "util/hash.h"
+#include "util/rng.h"
+
+namespace pdht::metadata {
+
+std::string MetadataPair::Canonical() const {
+  return element + "=" + value;
+}
+
+std::string Article::ValueOf(const std::string& element) const {
+  for (const auto& p : metadata) {
+    if (p.element == element) return p.value;
+  }
+  return "";
+}
+
+namespace {
+
+constexpr std::array<const char*, 16> kTopics = {
+    "weather",  "election", "storm",   "market",  "festival", "earthquake",
+    "transfer", "summit",   "protest", "harvest", "eclipse",  "regatta",
+    "wildfire", "budget",   "derby",   "launch"};
+
+constexpr std::array<const char*, 12> kPlaces = {
+    "Iraklion", "Lausanne", "Geneva", "Zurich",  "Athens",  "Tokyo",
+    "Berlin",   "Paris",    "Oslo",   "Madrid",  "Lisbon",  "Vienna"};
+
+constexpr std::array<const char*, 10> kAgencies = {
+    "Crete Weather Service", "Alpine News Agency", "Swiss Daily Wire",
+    "Aegean Press",          "Metro Bulletin",     "Continental Report",
+    "Harbor Gazette",        "Summit Times",       "Valley Observer",
+    "Capital Dispatch"};
+
+constexpr std::array<const char*, 8> kCategories = {
+    "weather", "politics", "sports", "economy",
+    "culture", "science",  "local",  "world"};
+
+constexpr std::array<const char*, 6> kLanguages = {"en", "de", "fr",
+                                                   "el", "es", "it"};
+
+std::string MakeDate(Rng& rng) {
+  // Dates within the paper's year.
+  int month = static_cast<int>(rng.UniformInt(1, 12));
+  int day = static_cast<int>(rng.UniformInt(1, 28));
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "2004/%02d/%02d", month, day);
+  return buf;
+}
+
+}  // namespace
+
+ArticleCorpus::ArticleCorpus(uint64_t count, uint32_t pairs_per_article,
+                             uint64_t seed)
+    : pairs_per_article_(pairs_per_article), seed_(seed) {
+  assert(pairs_per_article >= 4 &&
+         "need at least title/author/date/size pairs");
+  articles_.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    articles_.push_back(Generate(i));
+  }
+}
+
+Article ArticleCorpus::Generate(uint64_t id) {
+  // Per-article deterministic stream so regeneration of article i does not
+  // perturb other articles.
+  Rng rng(HashCombine(seed_, HashCombine(id, generation_)));
+  Article a;
+  a.id = id;
+  const std::string topic = kTopics[rng.UniformU64(kTopics.size())];
+  const std::string place = kPlaces[rng.UniformU64(kPlaces.size())];
+  a.metadata.push_back({"title", topic + " " + place});
+  a.metadata.push_back(
+      {"author", kAgencies[rng.UniformU64(kAgencies.size())]});
+  a.metadata.push_back({"date", MakeDate(rng)});
+  a.metadata.push_back(
+      {"size", std::to_string(rng.UniformInt(500, 50000))});
+  uint32_t extras = pairs_per_article_ > 4 ? pairs_per_article_ - 4 : 0;
+  for (uint32_t e = 0; e < extras; ++e) {
+    switch (e % 5) {
+      case 0:
+        a.metadata.push_back(
+            {"category", kCategories[rng.UniformU64(kCategories.size())]});
+        break;
+      case 1:
+        a.metadata.push_back(
+            {"language", kLanguages[rng.UniformU64(kLanguages.size())]});
+        break;
+      case 2:
+        a.metadata.push_back(
+            {"keyword" + std::to_string(e / 5),
+             std::string(kTopics[rng.UniformU64(kTopics.size())])});
+        break;
+      case 3:
+        a.metadata.push_back(
+            {"location" + std::to_string(e / 5),
+             std::string(kPlaces[rng.UniformU64(kPlaces.size())])});
+        break;
+      default:
+        a.metadata.push_back(
+            {"rev" + std::to_string(e / 5),
+             std::to_string(rng.UniformInt(1, 9))});
+        break;
+    }
+  }
+  return a;
+}
+
+void ArticleCorpus::ReplaceArticle(uint64_t i) {
+  assert(i < articles_.size());
+  ++generation_;
+  articles_[i] = Generate(i);
+}
+
+}  // namespace pdht::metadata

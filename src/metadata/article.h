@@ -1,0 +1,69 @@
+// News articles and their metadata (paper Sections 1 and 4).
+//
+// "Peers generate news articles, which are described by metadata.  These
+// metadata files consist of element-value pairs, such as title = 'Weather
+// Iraklion', author = 'Crete Weather Service', date = '2004/03/14', and
+// size = '2405'."  The evaluation scenario stores 2,000 unique articles,
+// each described by 20 metadata keys, for 40,000 index keys total.
+
+#ifndef PDHT_METADATA_ARTICLE_H_
+#define PDHT_METADATA_ARTICLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pdht::metadata {
+
+/// One element = value metadata pair.
+struct MetadataPair {
+  std::string element;
+  std::string value;
+
+  /// Canonical "element=value" rendering used for hashing.
+  std::string Canonical() const;
+
+  bool operator==(const MetadataPair&) const = default;
+};
+
+/// An article: identifier plus its metadata record.
+struct Article {
+  uint64_t id = 0;
+  std::vector<MetadataPair> metadata;
+
+  /// Returns the value for `element`, or empty string.
+  std::string ValueOf(const std::string& element) const;
+};
+
+/// Deterministic synthetic article corpus generator: produces articles
+/// whose metadata draws from realistic news-domain vocabularies (titles
+/// with topic words, authors from a pool of agencies, dates, sizes,
+/// categories, locations).  Substitute for a real news feed (see DESIGN.md
+/// substitutions); what matters to the experiments is the key structure,
+/// not the prose.
+class ArticleCorpus {
+ public:
+  /// Generates `count` articles with ~`pairs_per_article` metadata pairs
+  /// each, deterministically from `seed`.
+  ArticleCorpus(uint64_t count, uint32_t pairs_per_article, uint64_t seed);
+
+  const std::vector<Article>& articles() const { return articles_; }
+  const Article& at(uint64_t i) const { return articles_[i]; }
+  uint64_t size() const { return articles_.size(); }
+
+  /// Replaces article `i` with a freshly generated one (same id, new
+  /// metadata) -- the scenario's "each article is replaced every 24 hours".
+  void ReplaceArticle(uint64_t i);
+
+ private:
+  Article Generate(uint64_t id);
+
+  uint32_t pairs_per_article_;
+  uint64_t seed_;
+  uint64_t generation_ = 0;
+  std::vector<Article> articles_;
+};
+
+}  // namespace pdht::metadata
+
+#endif  // PDHT_METADATA_ARTICLE_H_

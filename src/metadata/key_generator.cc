@@ -1,0 +1,75 @@
+#include "metadata/key_generator.h"
+
+#include <cassert>
+
+#include "metadata/stopwords.h"
+#include "util/hash.h"
+
+namespace pdht::metadata {
+
+KeyGenerator::KeyGenerator(uint32_t keys_per_article)
+    : keys_per_article_(keys_per_article) {
+  assert(keys_per_article >= 1);
+}
+
+uint64_t KeyGenerator::HashPredicate(const std::string& predicate) {
+  return Fnv1a64(predicate);
+}
+
+std::string KeyGenerator::ConjunctivePredicate(const MetadataPair& a,
+                                               const MetadataPair& b) {
+  // Canonical order by element name so "A AND B" == "B AND A".
+  if (a.element <= b.element) {
+    return a.Canonical() + " AND " + b.Canonical();
+  }
+  return b.Canonical() + " AND " + a.Canonical();
+}
+
+std::vector<IndexKey> KeyGenerator::KeysFor(const Article& article) const {
+  std::vector<IndexKey> keys;
+  keys.reserve(keys_per_article_);
+
+  auto indexable = [](const MetadataPair& p) {
+    // A value whose content words are all stop words carries no signal
+    // ("stop words ... are ignored", Section 4).
+    return !ContentWords(p.value).empty();
+  };
+
+  // Single-pair keys first, but cap them at half the budget: the paper's
+  // motivating keys are conjunctive predicates (title AND date), which are
+  // far more selective, so they get at least half the key slots.
+  uint32_t singles_budget =
+      keys_per_article_ > 1 ? keys_per_article_ / 2 : keys_per_article_;
+  for (const auto& p : article.metadata) {
+    if (keys.size() >= singles_budget) break;
+    if (!indexable(p)) continue;
+    std::string pred = p.Canonical();
+    keys.push_back(IndexKey{HashPredicate(pred), pred});
+  }
+  // Conjunctions of pair i with pair j (i < j), most-selective-first order:
+  // combinations involving earlier (title/author/date) pairs first.
+  for (size_t i = 0;
+       i < article.metadata.size() && keys.size() < keys_per_article_; ++i) {
+    for (size_t j = i + 1;
+         j < article.metadata.size() && keys.size() < keys_per_article_;
+         ++j) {
+      const auto& a = article.metadata[i];
+      const auto& b = article.metadata[j];
+      if (!indexable(a) || !indexable(b)) continue;
+      std::string pred = ConjunctivePredicate(a, b);
+      keys.push_back(IndexKey{HashPredicate(pred), pred});
+    }
+  }
+  // If the article had too few pairs for the requested key count, pad with
+  // article-scoped synthetic predicates (id-qualified) so the key space
+  // size stays exact -- the scenario fixes keys = articles * 20.
+  uint32_t pad = 0;
+  while (keys.size() < keys_per_article_) {
+    std::string pred = "article=" + std::to_string(article.id) +
+                       " AND slot=" + std::to_string(pad++);
+    keys.push_back(IndexKey{HashPredicate(pred), pred});
+  }
+  return keys;
+}
+
+}  // namespace pdht::metadata

@@ -1,0 +1,58 @@
+// DHT key generation from article metadata [FeBi04].
+//
+// "In case we decide to index a specific metadata attribute we generate
+// keys by hashing single or concatenated key-value pairs, such as key1 =
+// hash(title = 'Weather Iraklion' AND date = '2004/03/14')" (Section 1).
+// KeyGenerator derives exactly `keys_per_article` keys per article:
+// one per single element-value pair plus conjunctive combinations of
+// adjacent pairs, skipping pairs whose value consists only of stop words.
+
+#ifndef PDHT_METADATA_KEY_GENERATOR_H_
+#define PDHT_METADATA_KEY_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "metadata/article.h"
+
+namespace pdht::metadata {
+
+/// One generated index key: the hash plus the human-readable predicate it
+/// came from (for debugging/examples).
+struct IndexKey {
+  uint64_t hash = 0;
+  std::string predicate;  ///< e.g. "title=weather Iraklion AND date=..."
+
+  bool operator==(const IndexKey& o) const { return hash == o.hash; }
+};
+
+class KeyGenerator {
+ public:
+  /// `keys_per_article`: the scenario uses 20 (2,000 articles -> 40,000
+  /// keys).
+  explicit KeyGenerator(uint32_t keys_per_article = 20);
+
+  /// Derives the article's index keys: singles first, then pairwise
+  /// conjunctions (element_i AND element_j in canonical order), truncated
+  /// or cycled to exactly keys_per_article entries.  Values that contain
+  /// only stop words are skipped (not worth indexing at all).
+  std::vector<IndexKey> KeysFor(const Article& article) const;
+
+  /// Hash of a single predicate string (exposed so queries can be formed
+  /// against the same key space).
+  static uint64_t HashPredicate(const std::string& predicate);
+
+  /// Builds the canonical conjunctive predicate for two pairs.
+  static std::string ConjunctivePredicate(const MetadataPair& a,
+                                          const MetadataPair& b);
+
+  uint32_t keys_per_article() const { return keys_per_article_; }
+
+ private:
+  uint32_t keys_per_article_;
+};
+
+}  // namespace pdht::metadata
+
+#endif  // PDHT_METADATA_KEY_GENERATOR_H_

@@ -1,0 +1,79 @@
+#include "metadata/predicate.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace pdht::metadata {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+/// Case-insensitive search for the standalone keyword " AND " starting at
+/// `from`; returns npos when absent.
+size_t FindAnd(const std::string& s, size_t from) {
+  for (size_t i = from; i + 5 <= s.size(); ++i) {
+    if (std::isspace(static_cast<unsigned char>(s[i])) &&
+        std::toupper(static_cast<unsigned char>(s[i + 1])) == 'A' &&
+        std::toupper(static_cast<unsigned char>(s[i + 2])) == 'N' &&
+        std::toupper(static_cast<unsigned char>(s[i + 3])) == 'D' &&
+        std::isspace(static_cast<unsigned char>(s[i + 4]))) {
+      return i;
+    }
+  }
+  return std::string::npos;
+}
+
+}  // namespace
+
+bool ParsePredicate(const std::string& text, ParsedPredicate* out) {
+  out->terms.clear();
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t and_pos = FindAnd(text, pos);
+    std::string term = and_pos == std::string::npos
+                           ? text.substr(pos)
+                           : text.substr(pos, and_pos - pos);
+    term = Trim(term);
+    if (term.empty()) return false;
+    size_t eq = term.find('=');
+    if (eq == std::string::npos) return false;
+    MetadataPair pair;
+    pair.element = Trim(term.substr(0, eq));
+    pair.value = Trim(term.substr(eq + 1));
+    if (pair.element.empty() || pair.value.empty()) return false;
+    out->terms.push_back(std::move(pair));
+    if (and_pos == std::string::npos) break;
+    pos = and_pos + 5;
+  }
+  return !out->terms.empty();
+}
+
+std::string CanonicalPredicate(const ParsedPredicate& parsed) {
+  std::vector<MetadataPair> sorted = parsed.terms;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const MetadataPair& a, const MetadataPair& b) {
+              if (a.element != b.element) return a.element < b.element;
+              return a.value < b.value;
+            });
+  std::string out;
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) out += " AND ";
+    out += sorted[i].Canonical();
+  }
+  return out;
+}
+
+std::string NormalizePredicate(const std::string& text) {
+  ParsedPredicate parsed;
+  if (!ParsePredicate(text, &parsed)) return "";
+  return CanonicalPredicate(parsed);
+}
+
+}  // namespace pdht::metadata

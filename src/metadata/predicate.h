@@ -1,0 +1,42 @@
+// Predicate parsing and canonicalization.
+//
+// Queries in the paper's news system are conjunctions of element = value
+// terms ("element1 = value1 AND element2 = value2", Section 1).  Users
+// write them in any order and with loose whitespace; the index key is the
+// hash of the *canonical* form (terms sorted by element name, single
+// spaces, "e=v AND e=v"), so parsing + canonicalization is what makes
+// "date=... AND title=..." and "title=... AND date=..." the same key.
+
+#ifndef PDHT_METADATA_PREDICATE_H_
+#define PDHT_METADATA_PREDICATE_H_
+
+#include <string>
+#include <vector>
+
+#include "metadata/article.h"
+
+namespace pdht::metadata {
+
+struct ParsedPredicate {
+  std::vector<MetadataPair> terms;
+
+  bool empty() const { return terms.empty(); }
+};
+
+/// Parses "elem=value" or "elem1=value1 AND elem2=value2 AND ...".
+/// Whitespace around terms, '=' and the AND keyword is tolerated; the AND
+/// keyword is case-insensitive.  Returns false on malformed input (empty
+/// element, missing '=', empty predicate).  Values may contain '=' only
+/// in their tail (the first '=' splits element from value).
+bool ParsePredicate(const std::string& text, ParsedPredicate* out);
+
+/// Canonical string form: terms sorted by element (ties by value), joined
+/// with " AND ", each rendered "element=value".
+std::string CanonicalPredicate(const ParsedPredicate& parsed);
+
+/// Convenience: parse + canonicalize; returns empty string on parse error.
+std::string NormalizePredicate(const std::string& text);
+
+}  // namespace pdht::metadata
+
+#endif  // PDHT_METADATA_PREDICATE_H_

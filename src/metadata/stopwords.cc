@@ -1,0 +1,59 @@
+#include "metadata/stopwords.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+namespace pdht::metadata {
+
+namespace {
+
+// The classic short English stop-word list; sorted for binary search.
+constexpr std::array<std::string_view, 48> kStopWords = {
+    "a",    "about", "after", "all",  "an",   "and",  "any",  "are",
+    "as",   "at",    "be",    "but",  "by",   "for",  "from", "had",
+    "has",  "have",  "he",    "her",  "his",  "if",   "in",   "into",
+    "is",   "it",    "its",   "no",   "not",  "of",   "on",   "or",
+    "our",  "she",   "so",    "that", "the",  "their", "then", "there",
+    "they", "this",  "to",    "was",  "we",   "were", "will", "with"};
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+}  // namespace
+
+bool IsStopWord(std::string_view word) {
+  std::string lower = ToLower(word);
+  return std::binary_search(kStopWords.begin(), kStopWords.end(),
+                            std::string_view(lower));
+}
+
+std::vector<std::string> ContentWords(std::string_view text) {
+  std::vector<std::string> out;
+  std::string cur;
+  auto flush = [&] {
+    if (!cur.empty()) {
+      if (!IsStopWord(cur)) out.push_back(cur);
+      cur.clear();
+    }
+  };
+  for (char ch : text) {
+    if (std::isalnum(static_cast<unsigned char>(ch))) {
+      cur.push_back(static_cast<char>(std::tolower(
+          static_cast<unsigned char>(ch))));
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return out;
+}
+
+size_t StopWordCount() { return kStopWords.size(); }
+
+}  // namespace pdht::metadata

@@ -1,0 +1,30 @@
+// Globally known stop-word set.
+//
+// "It is a standard approach in information retrieval to avoid indexing
+// stop words, such as 'the', 'and', etc.  We assume that the set of such
+// stop words is globally known to all peers in the system and are ignored"
+// (Section 4).
+
+#ifndef PDHT_METADATA_STOPWORDS_H_
+#define PDHT_METADATA_STOPWORDS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pdht::metadata {
+
+/// Case-insensitive membership test against the built-in English stop-word
+/// list.
+bool IsStopWord(std::string_view word);
+
+/// Splits `text` on whitespace/punctuation and returns the lower-cased
+/// tokens that are not stop words.
+std::vector<std::string> ContentWords(std::string_view text);
+
+/// Number of built-in stop words (for tests).
+size_t StopWordCount();
+
+}  // namespace pdht::metadata
+
+#endif  // PDHT_METADATA_STOPWORDS_H_

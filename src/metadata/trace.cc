@@ -1,0 +1,96 @@
+#include "metadata/trace.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+namespace pdht::metadata {
+
+void QueryTrace::Append(uint64_t round, uint64_t key) {
+  assert(entries_.empty() || round >= entries_.back().round);
+  entries_.push_back(TraceEntry{round, key});
+}
+
+QueryTrace QueryTrace::Synthesize(QueryWorkload& workload, uint64_t rounds,
+                                  uint64_t num_peers, double f_qry) {
+  QueryTrace trace;
+  for (uint64_t r = 0; r < rounds; ++r) {
+    uint64_t count = workload.SampleQueryCount(num_peers, f_qry);
+    for (uint64_t q = 0; q < count; ++q) {
+      trace.Append(r, workload.SampleKey());
+    }
+  }
+  return trace;
+}
+
+bool QueryTrace::SaveCsv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << "round,key\n";
+  for (const auto& e : entries_) {
+    f << e.round << "," << e.key << "\n";
+  }
+  return static_cast<bool>(f);
+}
+
+bool QueryTrace::LoadCsv(const std::string& path, QueryTrace* out) {
+  std::ifstream f(path);
+  if (!f) return false;
+  out->entries_.clear();
+  std::string line;
+  bool first = true;
+  while (std::getline(f, line)) {
+    if (first) {
+      first = false;
+      if (line.rfind("round", 0) == 0) continue;  // header
+    }
+    if (line.empty()) continue;
+    uint64_t round = 0;
+    uint64_t key = 0;
+    if (std::sscanf(line.c_str(), "%" SCNu64 ",%" SCNu64, &round, &key) !=
+        2) {
+      return false;
+    }
+    if (!out->entries_.empty() && round < out->entries_.back().round) {
+      return false;  // replay requires non-decreasing rounds
+    }
+    out->entries_.push_back(TraceEntry{round, key});
+  }
+  return true;
+}
+
+TraceStats QueryTrace::Stats() const {
+  TraceStats s;
+  s.total_queries = entries_.size();
+  if (entries_.empty()) return s;
+  std::unordered_map<uint64_t, uint64_t> counts;
+  uint64_t max_round = 0;
+  for (const auto& e : entries_) {
+    ++counts[e.key];
+    max_round = std::max(max_round, e.round);
+  }
+  s.distinct_keys = counts.size();
+  s.rounds = max_round + 1;
+  uint64_t top = 0;
+  for (const auto& [key, c] : counts) top = std::max(top, c);
+  s.head_share =
+      static_cast<double>(top) / static_cast<double>(entries_.size());
+  return s;
+}
+
+std::pair<size_t, size_t> QueryTrace::RoundRange(uint64_t round) const {
+  auto lo = std::lower_bound(
+      entries_.begin(), entries_.end(), round,
+      [](const TraceEntry& e, uint64_t r) { return e.round < r; });
+  auto hi = std::upper_bound(
+      entries_.begin(), entries_.end(), round,
+      [](uint64_t r, const TraceEntry& e) { return r < e.round; });
+  return {static_cast<size_t>(lo - entries_.begin()),
+          static_cast<size_t>(hi - entries_.begin())};
+}
+
+}  // namespace pdht::metadata

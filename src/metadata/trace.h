@@ -1,0 +1,67 @@
+// Query trace recording and replay.
+//
+// The paper's evaluation uses synthetic Zipf workloads; real deployments
+// evaluate against recorded traces (the paper itself leans on the
+// Gnutella trace studies [Srip01], [MaCa03]).  QueryTrace bridges the
+// two: it can synthesize a trace from a QueryWorkload (so experiments are
+// repeatable across systems and seeds), persist it as CSV, and replay it
+// through PdhtSystem (SystemConfig::trace), giving every strategy an
+// *identical* query sequence instead of merely an identical distribution.
+
+#ifndef PDHT_METADATA_TRACE_H_
+#define PDHT_METADATA_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "metadata/workload.h"
+
+namespace pdht::metadata {
+
+struct TraceEntry {
+  uint64_t round = 0;  ///< round in which the query is issued.
+  uint64_t key = 0;    ///< dense key id queried.
+
+  bool operator==(const TraceEntry&) const = default;
+};
+
+struct TraceStats {
+  uint64_t total_queries = 0;
+  uint64_t distinct_keys = 0;
+  uint64_t rounds = 0;          ///< 1 + max round (0 when empty).
+  double head_share = 0.0;      ///< fraction of queries on the top-1 key.
+};
+
+class QueryTrace {
+ public:
+  /// Appends one query; rounds must be non-decreasing (replay is a single
+  /// forward scan).
+  void Append(uint64_t round, uint64_t key);
+
+  const std::vector<TraceEntry>& entries() const { return entries_; }
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Draws a `rounds`-round trace from `workload` with the scenario's
+  /// per-round query counts (numPeers * fQry expected per round).
+  static QueryTrace Synthesize(QueryWorkload& workload, uint64_t rounds,
+                               uint64_t num_peers, double f_qry);
+
+  /// CSV persistence ("round,key" per line, header included).
+  bool SaveCsv(const std::string& path) const;
+  static bool LoadCsv(const std::string& path, QueryTrace* out);
+
+  TraceStats Stats() const;
+
+  /// Entries with .round == `round` as an index range [begin, end) into
+  /// entries(); O(log n).
+  std::pair<size_t, size_t> RoundRange(uint64_t round) const;
+
+ private:
+  std::vector<TraceEntry> entries_;
+};
+
+}  // namespace pdht::metadata
+
+#endif  // PDHT_METADATA_TRACE_H_

@@ -1,0 +1,87 @@
+#include "metadata/workload.h"
+
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace pdht::metadata {
+
+QueryWorkload::QueryWorkload(uint64_t num_keys, double alpha, Rng rng)
+    : num_keys_(num_keys),
+      rng_(rng),
+      sampler_(num_keys, alpha),
+      rank_to_key_(num_keys),
+      key_to_rank_(num_keys) {
+  assert(num_keys >= 1);
+  std::iota(rank_to_key_.begin(), rank_to_key_.end(), 0);
+  rng_.Shuffle(rank_to_key_.data(), rank_to_key_.size());
+  for (uint64_t r = 0; r < num_keys; ++r) {
+    key_to_rank_[rank_to_key_[r]] = r + 1;
+  }
+}
+
+uint64_t QueryWorkload::SampleKey() {
+  uint64_t rank = sampler_.Sample(rng_);
+  return rank_to_key_[rank - 1];
+}
+
+uint64_t QueryWorkload::SampleQueryCount(uint64_t num_peers, double f_qry) {
+  // Expected queries per round = num_peers * f_qry.  Use a normal
+  // approximation to Binomial(num_peers, f_qry) for large networks and the
+  // exact integer + Bernoulli remainder for the mean when f_qry is fixed;
+  // the approximation error is irrelevant at the aggregate level the paper
+  // models.
+  double mean = static_cast<double>(num_peers) * f_qry;
+  if (mean <= 0.0) return 0;
+  double variance = mean * (1.0 - std::min(f_qry, 1.0));
+  if (variance <= 0.0) {
+    uint64_t whole = static_cast<uint64_t>(mean);
+    double frac = mean - static_cast<double>(whole);
+    return whole + (rng_.Bernoulli(frac) ? 1 : 0);
+  }
+  // Box-Muller.
+  double u1 = rng_.UniformDouble();
+  double u2 = rng_.UniformDouble();
+  while (u1 <= 0.0) u1 = rng_.UniformDouble();
+  double z = std::sqrt(-2.0 * std::log(u1)) *
+             std::cos(2.0 * 3.14159265358979323846 * u2);
+  double sample = mean + z * std::sqrt(variance);
+  if (sample < 0.0) sample = 0.0;
+  return static_cast<uint64_t>(std::llround(sample));
+}
+
+uint64_t QueryWorkload::RankOf(uint64_t key) const {
+  assert(key < num_keys_);
+  return key_to_rank_[key];
+}
+
+uint64_t QueryWorkload::KeyAtRank(uint64_t rank) const {
+  assert(rank >= 1 && rank <= num_keys_);
+  return rank_to_key_[rank - 1];
+}
+
+double QueryWorkload::ProbOf(uint64_t key) const {
+  return sampler_.Pmf(RankOf(key));
+}
+
+void QueryWorkload::ShufflePopularity() {
+  rng_.Shuffle(rank_to_key_.data(), rank_to_key_.size());
+  for (uint64_t r = 0; r < num_keys_; ++r) {
+    key_to_rank_[rank_to_key_[r]] = r + 1;
+  }
+}
+
+void QueryWorkload::RotatePopularity(uint64_t offset) {
+  offset %= num_keys_;
+  if (offset == 0) return;
+  std::vector<uint64_t> rotated(num_keys_);
+  for (uint64_t r = 0; r < num_keys_; ++r) {
+    rotated[r] = rank_to_key_[(r + offset) % num_keys_];
+  }
+  rank_to_key_ = std::move(rotated);
+  for (uint64_t r = 0; r < num_keys_; ++r) {
+    key_to_rank_[rank_to_key_[r]] = r + 1;
+  }
+}
+
+}  // namespace pdht::metadata

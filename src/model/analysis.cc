@@ -1,0 +1,98 @@
+#include "model/analysis.h"
+
+#include <cassert>
+
+#include "model/cost_model.h"
+#include "model/selection_model.h"
+
+namespace pdht::model {
+
+const char* CostCurveName(CostCurve c) {
+  switch (c) {
+    case CostCurve::kIndexAll:
+      return "indexAll";
+    case CostCurve::kNoIndex:
+      return "noIndex";
+    case CostCurve::kPartialIdeal:
+      return "partialIdeal";
+    case CostCurve::kPartialTtl:
+      return "partialTtl";
+  }
+  return "?";
+}
+
+double EvaluateCurve(const ScenarioParams& params, CostCurve curve,
+                     double f_qry) {
+  switch (curve) {
+    case CostCurve::kIndexAll:
+      return CostModel(params).TotalIndexAll(f_qry);
+    case CostCurve::kNoIndex:
+      return CostModel(params).TotalNoIndex(f_qry);
+    case CostCurve::kPartialIdeal:
+      return CostModel(params).TotalPartialIdeal(f_qry);
+    case CostCurve::kPartialTtl:
+      return SelectionModel(params).TotalPartialSelection(f_qry);
+  }
+  return 0.0;
+}
+
+double FindCrossoverFrequency(const ScenarioParams& params, CostCurve a,
+                              CostCurve b, double f_lo, double f_hi,
+                              int iterations) {
+  assert(f_lo > 0.0 && f_hi > f_lo);
+  // Reuse the models across evaluations: constructing the Zipf table per
+  // call would dominate.
+  CostModel cost(params);
+  SelectionModel sel(params);
+  auto eval = [&](CostCurve c, double f) {
+    switch (c) {
+      case CostCurve::kIndexAll:
+        return cost.TotalIndexAll(f);
+      case CostCurve::kNoIndex:
+        return cost.TotalNoIndex(f);
+      case CostCurve::kPartialIdeal:
+        return cost.TotalPartialIdeal(f);
+      case CostCurve::kPartialTtl:
+        return sel.TotalPartialSelection(f);
+    }
+    return 0.0;
+  };
+  auto diff = [&](double f) { return eval(a, f) - eval(b, f); };
+  double d_lo = diff(f_lo);
+  double d_hi = diff(f_hi);
+  if (d_lo == 0.0) return f_lo;
+  if (d_hi == 0.0) return f_hi;
+  if ((d_lo > 0.0) == (d_hi > 0.0)) return 0.0;  // no sign change
+  for (int i = 0; i < iterations; ++i) {
+    double mid = 0.5 * (f_lo + f_hi);
+    double d_mid = diff(mid);
+    if (d_mid == 0.0) return mid;
+    if ((d_mid > 0.0) == (d_lo > 0.0)) {
+      f_lo = mid;
+      d_lo = d_mid;
+    } else {
+      f_hi = mid;
+    }
+  }
+  return 0.5 * (f_lo + f_hi);
+}
+
+Optimum OptimizeReplication(const ScenarioParams& params, CostCurve curve,
+                            uint64_t repl_lo, uint64_t repl_hi,
+                            uint64_t step) {
+  assert(repl_lo >= 1 && repl_hi >= repl_lo && step >= 1);
+  Optimum best;
+  for (uint64_t r = repl_lo; r <= repl_hi; r += step) {
+    ScenarioParams p = params;
+    p.repl = r;
+    if (!p.Validate().empty()) continue;
+    double cost = EvaluateCurve(p, curve, p.f_qry);
+    if (best.repl == 0 || cost < best.cost) {
+      best.repl = r;
+      best.cost = cost;
+    }
+  }
+  return best;
+}
+
+}  // namespace pdht::model

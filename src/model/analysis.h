@@ -1,0 +1,58 @@
+// Analysis utilities on top of the cost model.
+//
+// Fig. 1's qualitative story is about *where the curves cross*: below
+// some query frequency, broadcasting everything beats maintaining a full
+// index, and partial indexing interpolates.  CrossoverFinder locates those
+// frequencies by bisection.  ReplOptimizer quantifies the replication
+// tension (Eq. 6 cheapens broadcasts as repl grows; Eqs. 9/16 make replica
+// floods linear in repl) by minimizing total cost over repl.  Both are
+// deterministic pure functions of ScenarioParams.
+
+#ifndef PDHT_MODEL_ANALYSIS_H_
+#define PDHT_MODEL_ANALYSIS_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "model/scenario_params.h"
+
+namespace pdht::model {
+
+/// Which total-cost curve (Section 4) to evaluate.
+enum class CostCurve : uint8_t {
+  kIndexAll,      ///< Eq. 11
+  kNoIndex,       ///< Eq. 12
+  kPartialIdeal,  ///< Eq. 13
+  kPartialTtl,    ///< Eq. 17
+};
+
+const char* CostCurveName(CostCurve c);
+
+/// Evaluates one curve at query frequency `f_qry` for `params`.
+double EvaluateCurve(const ScenarioParams& params, CostCurve curve,
+                     double f_qry);
+
+/// Finds a query frequency in [f_lo, f_hi] where curve `a` and curve `b`
+/// cost the same, by bisection on the (assumed monotone) cost difference.
+/// Returns 0 if the difference does not change sign on the interval.
+double FindCrossoverFrequency(const ScenarioParams& params, CostCurve a,
+                              CostCurve b, double f_lo, double f_hi,
+                              int iterations = 60);
+
+/// Result of a one-dimensional parameter optimization.
+struct Optimum {
+  uint64_t repl = 0;     ///< best replication factor found.
+  double cost = 0.0;     ///< total cost at the optimum [msg/s].
+};
+
+/// Minimizes the chosen curve's total cost over repl in [repl_lo,
+/// repl_hi] (exhaustive scan; the cost is not convex in general because
+/// numActivePeers quantizes).  The paper defers replication choice to
+/// [VaCh02]; this utility exposes the cost surface that choice navigates.
+Optimum OptimizeReplication(const ScenarioParams& params, CostCurve curve,
+                            uint64_t repl_lo, uint64_t repl_hi,
+                            uint64_t step = 1);
+
+}  // namespace pdht::model
+
+#endif  // PDHT_MODEL_ANALYSIS_H_

@@ -1,0 +1,152 @@
+#include "model/cost_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "util/bits.h"
+
+namespace pdht::model {
+
+CostModel::CostModel(const ScenarioParams& params)
+    : params_(params),
+      zipf_(std::make_shared<ZipfDistribution>(params.keys, params.alpha)) {
+  assert(params.Validate().empty());
+}
+
+double CostModel::CostSearchUnstructured() const {
+  return static_cast<double>(params_.num_peers) /
+         static_cast<double>(params_.repl) * params_.dup;
+}
+
+uint64_t CostModel::NumActivePeers(uint64_t max_rank) const {
+  if (max_rank == 0) return 0;
+  // ceil(maxRank * repl / stor)
+  uint64_t needed = (max_rank * params_.repl + params_.stor - 1) / params_.stor;
+  needed = std::max<uint64_t>(needed, 1);
+  return std::min(needed, params_.num_peers);
+}
+
+double CostModel::CostSearchIndex(uint64_t num_active_peers) const {
+  if (num_active_peers <= 1) return 0.5;  // a single peer: one hop at most.
+  // Eq. 7 for the binary space; footnote 3's k-ary generalization divides
+  // the hop count by log2(k): half the expected log_k(nap) corrections.
+  double log_k = Log2(static_cast<double>(params_.key_space_arity));
+  return 0.5 * Log2(static_cast<double>(num_active_peers)) / log_k;
+}
+
+double CostModel::CostRoutingMaintenance(uint64_t max_rank) const {
+  if (max_rank == 0) return 0.0;
+  uint64_t nap = NumActivePeers(max_rank);
+  if (nap <= 1) return 0.0;  // a lone peer has no routing entries to probe.
+  double napd = static_cast<double>(nap);
+  // Eq. 8 with a k-ary routing table: (k-1) entries per level over
+  // log_k(nap) levels; k = 2 recovers the paper's log2(nap) table size.
+  double k = static_cast<double>(params_.key_space_arity);
+  double table = (k - 1.0) * Log2(napd) / Log2(k);
+  return params_.env * table * napd / static_cast<double>(max_rank);
+}
+
+double CostModel::CostUpdate(uint64_t num_active_peers) const {
+  return (CostSearchIndex(num_active_peers) +
+          static_cast<double>(params_.repl) * params_.dup2) *
+         params_.f_upd;
+}
+
+double CostModel::CostIndexKey(uint64_t max_rank) const {
+  if (max_rank == 0) return 0.0;
+  return CostRoutingMaintenance(max_rank) +
+         CostUpdate(NumActivePeers(max_rank));
+}
+
+double CostModel::FMin(uint64_t max_rank) const {
+  double c_s_unstr = CostSearchUnstructured();
+  double c_s_indx = CostSearchIndex(NumActivePeers(max_rank));
+  double margin = c_s_unstr - c_s_indx;
+  if (margin <= 0.0) return std::numeric_limits<double>::infinity();
+  return CostIndexKey(max_rank) / margin;
+}
+
+bool CostModel::WorthIndexing(double f_qry_k, uint64_t max_rank) const {
+  // Eq. 1: fQry_k * (cSUnstr - cSIndx) - cIndKey > 0.
+  double c_s_unstr = CostSearchUnstructured();
+  double c_s_indx = CostSearchIndex(NumActivePeers(max_rank));
+  return f_qry_k * (c_s_unstr - c_s_indx) - CostIndexKey(max_rank) > 0.0;
+}
+
+uint64_t CostModel::SolveMaxRank(double f_qry) const {
+  const double total_queries =
+      f_qry * static_cast<double>(params_.num_peers);
+  // Self-consistency: g(r) = probT(r) - fMin(r) with maxRank := r.
+  // probT is non-increasing in r and fMin non-decreasing (the log factors
+  // in cRtn and cSIndx grow with the index), so g is non-increasing and the
+  // answer is the largest r with g(r) >= 0.
+  auto satisfied = [&](uint64_t r) {
+    double prob_t = zipf_->ProbQueriedAtLeastOnce(r, total_queries);
+    return prob_t >= FMin(r);
+  };
+  if (!satisfied(1)) return 0;
+  uint64_t lo = 1;             // invariant: satisfied(lo)
+  uint64_t hi = params_.keys + 1;  // invariant: !satisfied(hi) or out of range
+  if (satisfied(params_.keys)) return params_.keys;
+  while (hi - lo > 1) {
+    uint64_t mid = lo + (hi - lo) / 2;
+    if (satisfied(mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+double CostModel::TotalIndexAll(double f_qry) const {
+  double c_ind_key = CostIndexKey(params_.keys);
+  double c_s_indx = CostSearchIndex(NumActivePeers(params_.keys));
+  return static_cast<double>(params_.keys) * c_ind_key +
+         f_qry * static_cast<double>(params_.num_peers) * c_s_indx;
+}
+
+double CostModel::TotalNoIndex(double f_qry) const {
+  return f_qry * static_cast<double>(params_.num_peers) *
+         CostSearchUnstructured();
+}
+
+double CostModel::TotalPartialIdeal(double f_qry) const {
+  uint64_t max_rank = SolveMaxRank(f_qry);
+  if (max_rank == 0) return TotalNoIndex(f_qry);
+  double p_indxd = zipf_->Cdf(max_rank);
+  double c_ind_key = CostIndexKey(max_rank);
+  double c_s_indx = CostSearchIndex(NumActivePeers(max_rank));
+  double c_s_unstr = CostSearchUnstructured();
+  double queries = f_qry * static_cast<double>(params_.num_peers);
+  return static_cast<double>(max_rank) * c_ind_key +
+         p_indxd * queries * c_s_indx +
+         (1.0 - p_indxd) * queries * c_s_unstr;
+}
+
+CostBreakdown CostModel::Evaluate() const { return Evaluate(params_.f_qry); }
+
+CostBreakdown CostModel::Evaluate(double f_qry) const {
+  CostBreakdown out;
+  out.c_s_unstr = CostSearchUnstructured();
+  out.max_rank = SolveMaxRank(f_qry);
+  out.num_active_peers = NumActivePeers(out.max_rank);
+  out.c_s_indx = CostSearchIndex(out.num_active_peers);
+  out.c_rtn = CostRoutingMaintenance(out.max_rank);
+  out.c_upd = CostUpdate(out.num_active_peers);
+  out.c_ind_key = CostIndexKey(out.max_rank);
+  out.f_min = FMin(out.max_rank);
+  out.p_indxd = out.max_rank == 0 ? 0.0 : zipf_->Cdf(out.max_rank);
+  out.index_all = TotalIndexAll(f_qry);
+  out.no_index = TotalNoIndex(f_qry);
+  out.partial = TotalPartialIdeal(f_qry);
+  out.savings_vs_index_all =
+      out.index_all > 0.0 ? 1.0 - out.partial / out.index_all : 0.0;
+  out.savings_vs_no_index =
+      out.no_index > 0.0 ? 1.0 - out.partial / out.no_index : 0.0;
+  return out;
+}
+
+}  // namespace pdht::model

@@ -1,0 +1,134 @@
+// Analytical cost model (paper Sections 2-4).
+//
+// Implements the closed-form message-cost model:
+//
+//   cSUnstr = numPeers / repl * dup                                   (Eq. 6)
+//   cSIndx  = 1/2 * log2(numActivePeers)                              (Eq. 7)
+//   cRtn    = env * log2(numActivePeers) * numActivePeers / maxRank   (Eq. 8)
+//   cUpd    = (cSIndx + repl * dup2) * fUpd                           (Eq. 9)
+//   cIndKey = cRtn + cUpd                                             (Eq.10)
+//
+// and the index-worthiness criterion
+//
+//   fQry_k > cIndKey / (cSUnstr - cSIndx)     =: fMin                 (Eq. 2)
+//
+// Total-cost formulas for the three strategies (Section 4):
+//
+//   indexAll = keys*cIndKey + fQry*numPeers*cSIndx                    (Eq.11)
+//   noIndex  = fQry*numPeers*cSUnstr                                  (Eq.12)
+//   partial  = maxRank*cIndKey + pIndxd*fQry*numPeers*cSIndx
+//            + (1-pIndxd)*fQry*numPeers*cSUnstr                       (Eq.13)
+//
+// Circularity note (documented as design decision #2 in DESIGN.md): fMin
+// depends on cIndKey, which depends on numActivePeers = maxRank*repl/stor,
+// which depends on maxRank -- the very quantity fMin determines.  Because
+// probT(rank) is non-increasing in rank while fMin(rank) (with maxRank :=
+// rank) is non-decreasing in rank, the self-consistency condition
+// probT(r) >= fMin(r) defines a prefix of ranks, and the partial-index size
+// is the largest r in it.  We solve it with a binary search; a property
+// test confirms the returned value is a fixed point of the paper's
+// iteration.
+
+#ifndef PDHT_MODEL_COST_MODEL_H_
+#define PDHT_MODEL_COST_MODEL_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "model/scenario_params.h"
+#include "model/zipf_distribution.h"
+
+namespace pdht::model {
+
+/// Everything the model derives for one parameter setting.
+struct CostBreakdown {
+  // Primitive costs [msg] and [msg/s].
+  double c_s_unstr = 0.0;      ///< Eq. 6, cost of one unstructured search.
+  double c_s_indx = 0.0;       ///< Eq. 7, cost of one index search.
+  double c_rtn = 0.0;          ///< Eq. 8, routing maintenance per key per s.
+  double c_upd = 0.0;          ///< Eq. 9, update cost per key per s.
+  double c_ind_key = 0.0;      ///< Eq. 10, total indexing cost per key per s.
+  // Partial-index solution.
+  double f_min = 0.0;          ///< Eq. 2 threshold at the fixed point.
+  uint64_t max_rank = 0;       ///< number of keys worth indexing.
+  uint64_t num_active_peers = 0;  ///< peers needed to store the index.
+  double p_indxd = 0.0;        ///< Eq. 5, fraction of queries hitting index.
+  // Strategy totals [msg/s].
+  double index_all = 0.0;      ///< Eq. 11.
+  double no_index = 0.0;       ///< Eq. 12.
+  double partial = 0.0;        ///< Eq. 13 (ideal partial indexing).
+  // Savings (Fig. 2).
+  double savings_vs_index_all = 0.0;  ///< 1 - partial/indexAll.
+  double savings_vs_no_index = 0.0;   ///< 1 - partial/noIndex.
+};
+
+/// Closed-form evaluator.  One instance precomputes the Zipf tables for a
+/// (keys, alpha) pair; Evaluate() can then be called for any query
+/// frequency cheaply.
+class CostModel {
+ public:
+  explicit CostModel(const ScenarioParams& params);
+
+  const ScenarioParams& params() const { return params_; }
+  const ZipfDistribution& zipf() const { return *zipf_; }
+
+  // --- Primitive cost terms -------------------------------------------
+
+  /// Eq. 6: cSUnstr = numPeers/repl * dup.  Independent of index state.
+  double CostSearchUnstructured() const;
+
+  /// Number of peers needed to store an index of `maxRank` keys with the
+  /// scenario's replication factor and per-peer capacity:
+  /// ceil(maxRank*repl/stor), clamped to [1, numPeers].
+  uint64_t NumActivePeers(uint64_t max_rank) const;
+
+  /// Eq. 7: cSIndx = 1/2 * log2(numActivePeers).
+  double CostSearchIndex(uint64_t num_active_peers) const;
+
+  /// Eq. 8: cRtn = env * log2(nap) * nap / maxRank.  `max_rank` >= 1.
+  double CostRoutingMaintenance(uint64_t max_rank) const;
+
+  /// Eq. 9: cUpd = (cSIndx + repl*dup2) * fUpd.
+  double CostUpdate(uint64_t num_active_peers) const;
+
+  /// Eq. 10: cIndKey = cRtn + cUpd for an index of `max_rank` keys.
+  double CostIndexKey(uint64_t max_rank) const;
+
+  /// Eq. 2 threshold for an index of `max_rank` keys:
+  /// fMin = cIndKey/(cSUnstr - cSIndx).  Returns +inf when the index search
+  /// is not cheaper than the unstructured search (nothing worth indexing).
+  double FMin(uint64_t max_rank) const;
+
+  /// Eq. 1 predicate: is a key with query frequency `f_qry_k` worth keeping
+  /// in an index currently holding `max_rank` keys?
+  bool WorthIndexing(double f_qry_k, uint64_t max_rank) const;
+
+  // --- Partial-index fixed point --------------------------------------
+
+  /// Solves for the self-consistent index size: the largest rank r such
+  /// that probT(r) >= fMin(r).  Returns 0 when indexing nothing is optimal.
+  uint64_t SolveMaxRank(double f_qry) const;
+
+  // --- Strategy totals --------------------------------------------------
+
+  /// Eq. 11 at the scenario's full index size (maxRank = keys).
+  double TotalIndexAll(double f_qry) const;
+
+  /// Eq. 12.
+  double TotalNoIndex(double f_qry) const;
+
+  /// Eq. 13 using the solved maxRank.
+  double TotalPartialIdeal(double f_qry) const;
+
+  /// Full evaluation for the scenario's f_qry (or an explicit override).
+  CostBreakdown Evaluate() const;
+  CostBreakdown Evaluate(double f_qry) const;
+
+ private:
+  ScenarioParams params_;
+  std::shared_ptr<const ZipfDistribution> zipf_;
+};
+
+}  // namespace pdht::model
+
+#endif  // PDHT_MODEL_COST_MODEL_H_

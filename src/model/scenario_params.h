@@ -1,0 +1,80 @@
+// Scenario parameters (paper Table 1).
+//
+// All analytical-model and simulation experiments are driven by a
+// ScenarioParams value.  Defaults reproduce the paper's news-system
+// scenario exactly:
+//
+//   Total number of peers                    numPeers         20,000
+//   Number of unique keys                    keys             40,000
+//   Storage capacity for indexing per peer   stor             100
+//   Replication factor                       repl             50
+//   alpha of query Zipf distribution         alpha            1.2   [Srip01]
+//   Frequency of queries per peer per sec    fQry             1/30 .. 1/7200
+//   Avg. update freq. per key                fUpd             1/(3600*24)
+//   Route maintenance constant               env              1/14  [MaCa03]
+//   Message duplication factors              dup, dup2        1.8   [LvCa02]
+//
+// One "round" is one second (paper footnote 1), so all frequencies are per
+// second and all costs are messages per second.
+
+#ifndef PDHT_MODEL_SCENARIO_PARAMS_H_
+#define PDHT_MODEL_SCENARIO_PARAMS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pdht::model {
+
+struct ScenarioParams {
+  /// Total number of peers in the system (structured + unstructured).
+  uint64_t num_peers = 20000;
+  /// Number of unique keys occurring in the network (40,000 = 2,000 news
+  /// articles x 20 metadata keys each).
+  uint64_t keys = 40000;
+  /// Per-peer index storage capacity in key-value pairs.
+  uint64_t stor = 100;
+  /// Replication factor for both index entries and content.
+  uint64_t repl = 50;
+  /// Zipf exponent of the query popularity distribution.
+  double alpha = 1.2;
+  /// Average query frequency per peer per round [1/s].
+  double f_qry = 1.0 / 30.0;
+  /// Average update frequency per key per round [1/s] (one replacement per
+  /// article per 24 h).
+  double f_upd = 1.0 / (3600.0 * 24.0);
+  /// Routing-table maintenance constant: probe messages per routing entry
+  /// per peer per round.  env = 1/log2(17000) ~= 1/14 from the Pastry study
+  /// [MaCa03].
+  double env = 1.0 / 14.0;
+  /// Message duplication factor for searches in the unstructured network.
+  double dup = 1.8;
+  /// Message duplication factor for flooding the replica subnetwork.
+  double dup2 = 1.8;
+  /// Arity of the structured key space (paper footnote 3: "the analysis
+  /// can also be generalized for a k-ary key space").  k = 2 is the
+  /// paper's binary space; larger k shortens lookups (log_k hops) but
+  /// enlarges routing tables ((k-1)*log_k entries), shifting cSIndx down
+  /// and cRtn up -- bench_ablation_arity sweeps the trade-off.
+  uint32_t key_space_arity = 2;
+
+  /// The eight query frequencies the paper sweeps in Figs. 1-4:
+  /// 1/30, 1/60, 1/120, 1/300, 1/600, 1/1800, 1/3600, 1/7200.
+  static std::vector<double> PaperQueryFrequencies();
+
+  /// Returns a copy with f_qry replaced.
+  ScenarioParams WithQueryFrequency(double f) const;
+
+  /// Validates invariants (positive counts, alpha >= 0, ...); returns an
+  /// empty string when valid, otherwise a description of the violation.
+  std::string Validate() const;
+
+  /// Renders Table 1 as an aligned text table.
+  std::string ToTable() const;
+
+  bool operator==(const ScenarioParams&) const = default;
+};
+
+}  // namespace pdht::model
+
+#endif  // PDHT_MODEL_SCENARIO_PARAMS_H_

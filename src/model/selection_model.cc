@@ -1,0 +1,99 @@
+#include "model/selection_model.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace pdht::model {
+
+namespace {
+
+/// (1 - (1 - probT)^ttl) computed stably for tiny probT.
+double ProbInIndex(double prob_t, double key_ttl) {
+  if (prob_t <= 0.0) return 0.0;
+  if (prob_t >= 1.0) return 1.0;
+  return -std::expm1(key_ttl * std::log1p(-prob_t));
+}
+
+}  // namespace
+
+SelectionModel::SelectionModel(const ScenarioParams& params)
+    : params_(params), cost_model_(params) {}
+
+double SelectionModel::IdealKeyTtl(double f_qry) const {
+  uint64_t max_rank = cost_model_.SolveMaxRank(f_qry);
+  double f_min = cost_model_.FMin(max_rank == 0 ? 1 : max_rank);
+  if (!(f_min > 0.0) || std::isinf(f_min)) {
+    // Degenerate: indexing never pays off; a 1-round TTL evicts instantly.
+    return 1.0;
+  }
+  return 1.0 / f_min;
+}
+
+double SelectionModel::PIndxd(double f_qry, double key_ttl) const {
+  const ZipfDistribution& zipf = cost_model_.zipf();
+  double total_queries = f_qry * static_cast<double>(params_.num_peers);
+  double acc = 0.0;
+  for (uint64_t r = 1; r <= params_.keys; ++r) {
+    double prob_t = zipf.ProbQueriedAtLeastOnce(r, total_queries);
+    acc += zipf.Prob(r) * ProbInIndex(prob_t, key_ttl);
+  }
+  return acc;
+}
+
+double SelectionModel::ExpectedKeysInIndex(double f_qry,
+                                           double key_ttl) const {
+  const ZipfDistribution& zipf = cost_model_.zipf();
+  double total_queries = f_qry * static_cast<double>(params_.num_peers);
+  double acc = 0.0;
+  for (uint64_t r = 1; r <= params_.keys; ++r) {
+    double prob_t = zipf.ProbQueriedAtLeastOnce(r, total_queries);
+    acc += ProbInIndex(prob_t, key_ttl);
+  }
+  return acc;
+}
+
+double SelectionModel::TotalPartialSelection(double f_qry) const {
+  return TotalPartialSelection(f_qry, IdealKeyTtl(f_qry));
+}
+
+double SelectionModel::TotalPartialSelection(double f_qry,
+                                             double key_ttl) const {
+  return Evaluate(f_qry, key_ttl / IdealKeyTtl(f_qry)).partial;
+}
+
+SelectionBreakdown SelectionModel::Evaluate(double f_qry,
+                                            double ttl_scale) const {
+  assert(ttl_scale > 0.0);
+  SelectionBreakdown out;
+  out.key_ttl = IdealKeyTtl(f_qry) * ttl_scale;
+  out.p_indxd = PIndxd(f_qry, out.key_ttl);
+  out.keys_in_index = ExpectedKeysInIndex(f_qry, out.key_ttl);
+
+  // The index must be big enough for the expected number of resident keys.
+  uint64_t whole_keys =
+      static_cast<uint64_t>(std::ceil(out.keys_in_index));
+  out.num_active_peers = cost_model_.NumActivePeers(whole_keys);
+  double c_s_indx = cost_model_.CostSearchIndex(out.num_active_peers);
+  out.c_s_indx2 = c_s_indx + static_cast<double>(params_.repl) * params_.dup2;
+  out.c_rtn = whole_keys == 0
+                  ? 0.0
+                  : cost_model_.CostRoutingMaintenance(whole_keys);
+
+  double queries = f_qry * static_cast<double>(params_.num_peers);
+  double c_s_unstr = cost_model_.CostSearchUnstructured();
+  // Eq. 17.  Hit: one index search.  Miss: index search + broadcast +
+  // re-insertion (another index search).
+  out.partial = out.keys_in_index * out.c_rtn +
+                out.p_indxd * queries * out.c_s_indx2 +
+                (1.0 - out.p_indxd) * queries *
+                    (out.c_s_indx2 + c_s_unstr + out.c_s_indx2);
+  out.index_all = cost_model_.TotalIndexAll(f_qry);
+  out.no_index = cost_model_.TotalNoIndex(f_qry);
+  out.savings_vs_index_all =
+      out.index_all > 0.0 ? 1.0 - out.partial / out.index_all : 0.0;
+  out.savings_vs_no_index =
+      out.no_index > 0.0 ? 1.0 - out.partial / out.no_index : 0.0;
+  return out;
+}
+
+}  // namespace pdht::model

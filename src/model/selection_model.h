@@ -1,0 +1,84 @@
+// Cost model of the decentralized TTL selection algorithm (paper Section 5).
+//
+// The realized algorithm differs from ideal partial indexing in four ways
+// the paper enumerates: (I) keys worth indexing can time out before being
+// re-queried, (II) keys not worth indexing occupy the index for keyTtl
+// rounds after a miss-triggered insertion, (III) the index search must also
+// flood the replica subnetwork (cSIndx2 = cSIndx + repl*dup2, Eq. 16)
+// because purged keys leave replicas out of sync, and (IV) a peer cannot
+// tell whether a key is indexed and therefore always searches the index
+// first, broadcasting only on a miss and re-inserting the result.
+//
+// Closed forms:
+//   pIndxd      = sum_r prob(r) * (1 - (1 - probT(r))^keyTtl)        (Eq.14)
+//   keysInIndex = sum_r (1 - (1 - probT(r))^keyTtl)                  (Eq.15)
+//   cSIndx2     = cSIndx + repl*dup2                                 (Eq.16)
+//   partial     = keysInIndex*cRtn
+//               + pIndxd     * fQry*numPeers * cSIndx2
+//               + (1-pIndxd) * fQry*numPeers * (cSIndx2+cSUnstr+cSIndx2)
+//                                                                    (Eq.17)
+// Proactive updates (cUpd) disappear: a key's value is refreshed whenever a
+// miss re-inserts it, so only routing maintenance (cRtn) remains in the
+// per-key holding cost.
+
+#ifndef PDHT_MODEL_SELECTION_MODEL_H_
+#define PDHT_MODEL_SELECTION_MODEL_H_
+
+#include <cstdint>
+
+#include "model/cost_model.h"
+#include "model/scenario_params.h"
+
+namespace pdht::model {
+
+/// Result of evaluating the selection-algorithm model at one setting.
+struct SelectionBreakdown {
+  double key_ttl = 0.0;          ///< expiration time used [rounds].
+  double p_indxd = 0.0;          ///< Eq. 14.
+  double keys_in_index = 0.0;    ///< Eq. 15 (expected, fractional).
+  uint64_t num_active_peers = 0; ///< peers needed for keys_in_index keys.
+  double c_s_indx2 = 0.0;        ///< Eq. 16.
+  double c_rtn = 0.0;            ///< per-key routing maintenance.
+  double partial = 0.0;          ///< Eq. 17 total [msg/s].
+  double index_all = 0.0;        ///< Eq. 11 baseline.
+  double no_index = 0.0;         ///< Eq. 12 baseline.
+  double savings_vs_index_all = 0.0;
+  double savings_vs_no_index = 0.0;
+};
+
+/// Evaluator for the TTL selection algorithm's expected cost.
+class SelectionModel {
+ public:
+  explicit SelectionModel(const ScenarioParams& params);
+
+  const CostModel& cost_model() const { return cost_model_; }
+
+  /// The paper's choice of expiration time: keyTtl = 1/fMin, where fMin is
+  /// taken at the ideal model's fixed point for this query frequency.
+  double IdealKeyTtl(double f_qry) const;
+
+  /// Eq. 14 for an arbitrary keyTtl.
+  double PIndxd(double f_qry, double key_ttl) const;
+
+  /// Eq. 15 for an arbitrary keyTtl.
+  double ExpectedKeysInIndex(double f_qry, double key_ttl) const;
+
+  /// Eq. 17 total cost with keyTtl = IdealKeyTtl(f_qry).
+  double TotalPartialSelection(double f_qry) const;
+
+  /// Eq. 17 total with an explicit keyTtl (for the +-50% sensitivity study
+  /// of Section 5.1.1).
+  double TotalPartialSelection(double f_qry, double key_ttl) const;
+
+  /// Full evaluation; `ttl_scale` multiplies the ideal keyTtl (1.0 = the
+  /// paper's choice, 0.5 / 1.5 = the estimation-error study).
+  SelectionBreakdown Evaluate(double f_qry, double ttl_scale = 1.0) const;
+
+ private:
+  ScenarioParams params_;
+  CostModel cost_model_;
+};
+
+}  // namespace pdht::model
+
+#endif  // PDHT_MODEL_SELECTION_MODEL_H_

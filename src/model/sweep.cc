@@ -1,0 +1,153 @@
+#include "model/sweep.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace pdht::model {
+
+std::string FrequencyLabel(double f_qry) {
+  // The paper's x axis labels frequencies as 1/period with integer periods.
+  double period = 1.0 / f_qry;
+  double rounded = std::round(period);
+  char buf[32];
+  if (std::abs(period - rounded) < 1e-9 * period) {
+    std::snprintf(buf, sizeof(buf), "1/%lld",
+                  static_cast<long long>(rounded));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g", f_qry);
+  }
+  return buf;
+}
+
+std::vector<Fig1Row> SweepFig1(const ScenarioParams& params,
+                               const std::vector<double>& frequencies) {
+  CostModel model(params);
+  std::vector<Fig1Row> rows;
+  rows.reserve(frequencies.size());
+  for (double f : frequencies) {
+    CostBreakdown b = model.Evaluate(f);
+    rows.push_back({f, b.index_all, b.no_index, b.partial});
+  }
+  return rows;
+}
+
+std::vector<Fig2Row> SweepFig2(const ScenarioParams& params,
+                               const std::vector<double>& frequencies) {
+  CostModel model(params);
+  std::vector<Fig2Row> rows;
+  rows.reserve(frequencies.size());
+  for (double f : frequencies) {
+    CostBreakdown b = model.Evaluate(f);
+    rows.push_back({f, b.savings_vs_index_all, b.savings_vs_no_index});
+  }
+  return rows;
+}
+
+std::vector<Fig3Row> SweepFig3(const ScenarioParams& params,
+                               const std::vector<double>& frequencies) {
+  CostModel model(params);
+  std::vector<Fig3Row> rows;
+  rows.reserve(frequencies.size());
+  for (double f : frequencies) {
+    CostBreakdown b = model.Evaluate(f);
+    rows.push_back({f,
+                    static_cast<double>(b.max_rank) /
+                        static_cast<double>(params.keys),
+                    b.p_indxd, b.max_rank});
+  }
+  return rows;
+}
+
+std::vector<Fig4Row> SweepFig4(const ScenarioParams& params,
+                               const std::vector<double>& frequencies) {
+  SelectionModel model(params);
+  std::vector<Fig4Row> rows;
+  rows.reserve(frequencies.size());
+  for (double f : frequencies) {
+    SelectionBreakdown b = model.Evaluate(f);
+    rows.push_back({f, b.savings_vs_index_all, b.savings_vs_no_index,
+                    b.p_indxd, b.keys_in_index, b.key_ttl});
+  }
+  return rows;
+}
+
+std::vector<TtlSensitivityRow> SweepTtlSensitivity(
+    const ScenarioParams& params, const std::vector<double>& frequencies,
+    const std::vector<double>& ttl_scales) {
+  SelectionModel model(params);
+  std::vector<TtlSensitivityRow> rows;
+  rows.reserve(frequencies.size() * ttl_scales.size());
+  for (double f : frequencies) {
+    for (double scale : ttl_scales) {
+      SelectionBreakdown b = model.Evaluate(f, scale);
+      rows.push_back({f, scale, b.key_ttl, b.partial,
+                      b.savings_vs_index_all, b.savings_vs_no_index});
+    }
+  }
+  return rows;
+}
+
+TableWriter Fig1Table(const std::vector<Fig1Row>& rows) {
+  TableWriter t({"fQry [1/s]", "indexAll [msg/s]", "noIndex [msg/s]",
+                 "partial [msg/s]"});
+  for (const auto& r : rows) {
+    t.AddRow({FrequencyLabel(r.f_qry),
+              TableWriter::FormatDouble(r.index_all, 6),
+              TableWriter::FormatDouble(r.no_index, 6),
+              TableWriter::FormatDouble(r.partial, 6)});
+  }
+  return t;
+}
+
+TableWriter Fig2Table(const std::vector<Fig2Row>& rows) {
+  TableWriter t({"fQry [1/s]", "savings vs indexAll", "savings vs noIndex"});
+  for (const auto& r : rows) {
+    t.AddRow({FrequencyLabel(r.f_qry),
+              TableWriter::FormatDouble(r.savings_vs_index_all, 4),
+              TableWriter::FormatDouble(r.savings_vs_no_index, 4)});
+  }
+  return t;
+}
+
+TableWriter Fig3Table(const std::vector<Fig3Row>& rows) {
+  TableWriter t({"fQry [1/s]", "index size (maxRank/keys)", "pIndxd",
+                 "maxRank"});
+  for (const auto& r : rows) {
+    t.AddRow({FrequencyLabel(r.f_qry),
+              TableWriter::FormatDouble(r.index_size_fraction, 4),
+              TableWriter::FormatDouble(r.p_indxd, 4),
+              std::to_string(r.max_rank)});
+  }
+  return t;
+}
+
+TableWriter Fig4Table(const std::vector<Fig4Row>& rows) {
+  TableWriter t({"fQry [1/s]", "savings vs indexAll", "savings vs noIndex",
+                 "pIndxd", "keys in index", "keyTtl [rounds]"});
+  for (const auto& r : rows) {
+    t.AddRow({FrequencyLabel(r.f_qry),
+              TableWriter::FormatDouble(r.savings_vs_index_all, 4),
+              TableWriter::FormatDouble(r.savings_vs_no_index, 4),
+              TableWriter::FormatDouble(r.p_indxd, 4),
+              TableWriter::FormatDouble(r.keys_in_index, 6),
+              TableWriter::FormatDouble(r.key_ttl, 6)});
+  }
+  return t;
+}
+
+TableWriter TtlSensitivityTable(const std::vector<TtlSensitivityRow>& rows) {
+  TableWriter t({"fQry [1/s]", "ttl scale", "keyTtl [rounds]",
+                 "partial [msg/s]", "savings vs indexAll",
+                 "savings vs noIndex"});
+  for (const auto& r : rows) {
+    t.AddRow({FrequencyLabel(r.f_qry),
+              TableWriter::FormatDouble(r.ttl_scale, 3),
+              TableWriter::FormatDouble(r.key_ttl, 6),
+              TableWriter::FormatDouble(r.partial, 6),
+              TableWriter::FormatDouble(r.savings_vs_index_all, 4),
+              TableWriter::FormatDouble(r.savings_vs_no_index, 4)});
+  }
+  return t;
+}
+
+}  // namespace pdht::model

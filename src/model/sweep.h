@@ -1,0 +1,85 @@
+// Parameter sweeps over the analytical model.
+//
+// Produces exactly the series plotted in the paper's Figs. 1-4 plus the
+// keyTtl sensitivity study, as TableWriter tables that the bench binaries
+// print and optionally dump to CSV.
+
+#ifndef PDHT_MODEL_SWEEP_H_
+#define PDHT_MODEL_SWEEP_H_
+
+#include <vector>
+
+#include "model/cost_model.h"
+#include "model/scenario_params.h"
+#include "model/selection_model.h"
+#include "stats/table_writer.h"
+
+namespace pdht::model {
+
+/// One row per query frequency: the three strategy totals (Fig. 1).
+struct Fig1Row {
+  double f_qry;
+  double index_all;
+  double no_index;
+  double partial;
+};
+
+/// One row per query frequency: ideal-partial savings (Fig. 2).
+struct Fig2Row {
+  double f_qry;
+  double savings_vs_index_all;
+  double savings_vs_no_index;
+};
+
+/// One row per query frequency: index size fraction and pIndxd (Fig. 3).
+struct Fig3Row {
+  double f_qry;
+  double index_size_fraction;  // maxRank / keys
+  double p_indxd;
+  uint64_t max_rank;
+};
+
+/// One row per query frequency: selection-algorithm savings (Fig. 4).
+struct Fig4Row {
+  double f_qry;
+  double savings_vs_index_all;
+  double savings_vs_no_index;
+  double p_indxd;
+  double keys_in_index;
+  double key_ttl;
+};
+
+/// One row per (f_qry, ttl_scale): Section 5.1.1 sensitivity.
+struct TtlSensitivityRow {
+  double f_qry;
+  double ttl_scale;
+  double key_ttl;
+  double partial;
+  double savings_vs_index_all;
+  double savings_vs_no_index;
+};
+
+std::vector<Fig1Row> SweepFig1(const ScenarioParams& params,
+                               const std::vector<double>& frequencies);
+std::vector<Fig2Row> SweepFig2(const ScenarioParams& params,
+                               const std::vector<double>& frequencies);
+std::vector<Fig3Row> SweepFig3(const ScenarioParams& params,
+                               const std::vector<double>& frequencies);
+std::vector<Fig4Row> SweepFig4(const ScenarioParams& params,
+                               const std::vector<double>& frequencies);
+std::vector<TtlSensitivityRow> SweepTtlSensitivity(
+    const ScenarioParams& params, const std::vector<double>& frequencies,
+    const std::vector<double>& ttl_scales);
+
+TableWriter Fig1Table(const std::vector<Fig1Row>& rows);
+TableWriter Fig2Table(const std::vector<Fig2Row>& rows);
+TableWriter Fig3Table(const std::vector<Fig3Row>& rows);
+TableWriter Fig4Table(const std::vector<Fig4Row>& rows);
+TableWriter TtlSensitivityTable(const std::vector<TtlSensitivityRow>& rows);
+
+/// Renders "1/30" style labels for the paper's frequency axis.
+std::string FrequencyLabel(double f_qry);
+
+}  // namespace pdht::model
+
+#endif  // PDHT_MODEL_SWEEP_H_

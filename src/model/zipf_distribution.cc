@@ -1,0 +1,64 @@
+#include "model/zipf_distribution.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace pdht::model {
+
+ZipfDistribution::ZipfDistribution(uint64_t keys, double alpha)
+    : keys_(keys), alpha_(alpha), pmf_(keys), cdf_(keys) {
+  assert(keys >= 1);
+  double h = 0.0;
+  for (uint64_t r = 1; r <= keys; ++r) {
+    pmf_[r - 1] = std::pow(static_cast<double>(r), -alpha);
+    h += pmf_[r - 1];
+  }
+  double acc = 0.0;
+  for (uint64_t r = 1; r <= keys; ++r) {
+    pmf_[r - 1] /= h;
+    acc += pmf_[r - 1];
+    cdf_[r - 1] = acc;
+  }
+  cdf_[keys - 1] = 1.0;
+}
+
+double ZipfDistribution::Prob(uint64_t rank) const {
+  if (rank < 1 || rank > keys_) return 0.0;
+  return pmf_[rank - 1];
+}
+
+double ZipfDistribution::Cdf(uint64_t rank) const {
+  if (rank < 1) return 0.0;
+  if (rank >= keys_) return 1.0;
+  return cdf_[rank - 1];
+}
+
+double ZipfDistribution::ProbQueriedAtLeastOnce(
+    uint64_t rank, double total_queries_per_round) const {
+  double p = Prob(rank);
+  if (p <= 0.0) return 0.0;
+  // 1 - (1-p)^q computed stably via expm1/log1p: for tiny p the naive
+  // form loses all precision.
+  return -std::expm1(total_queries_per_round * std::log1p(-p));
+}
+
+uint64_t ZipfDistribution::MaxRankWithProbTAtLeast(
+    double threshold, double total_queries_per_round) const {
+  if (ProbQueriedAtLeastOnce(1, total_queries_per_round) < threshold) {
+    return 0;
+  }
+  // Invariant: probT(lo) >= threshold; probT(hi) < threshold or hi == keys+1.
+  uint64_t lo = 1;
+  uint64_t hi = keys_ + 1;
+  while (hi - lo > 1) {
+    uint64_t mid = lo + (hi - lo) / 2;
+    if (ProbQueriedAtLeastOnce(mid, total_queries_per_round) >= threshold) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace pdht::model

@@ -1,0 +1,54 @@
+// Query popularity distribution used by the analytical model.
+//
+// Wraps the Zipf pmf/cdf (Eq. 3) together with the per-round "queried at
+// least once" probability (Eq. 4):
+//
+//   probT(rank) = 1 - (1 - prob(rank))^(numPeers * fQry)
+//
+// All 1-based ranks.  Tables are precomputed once per (keys, alpha) pair so
+// cost-model sweeps over fQry reuse the pmf.
+
+#ifndef PDHT_MODEL_ZIPF_DISTRIBUTION_H_
+#define PDHT_MODEL_ZIPF_DISTRIBUTION_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace pdht::model {
+
+class ZipfDistribution {
+ public:
+  /// Precomputes pmf and cdf for ranks {1..keys}.  alpha >= 0.
+  ZipfDistribution(uint64_t keys, double alpha);
+
+  uint64_t keys() const { return keys_; }
+  double alpha() const { return alpha_; }
+
+  /// Eq. 3: probability that a random query targets the rank-th key.
+  double Prob(uint64_t rank) const;
+
+  /// Cumulative probability of ranks {1..rank} (the paper's pIndxd for an
+  /// index holding the top `rank` keys, Eq. 5).
+  double Cdf(uint64_t rank) const;
+
+  /// Eq. 4: probability the rank-th key is queried at least once per round
+  /// when `total_queries_per_round` = numPeers * fQry queries are issued.
+  double ProbQueriedAtLeastOnce(uint64_t rank,
+                                double total_queries_per_round) const;
+
+  /// Largest rank r with ProbQueriedAtLeastOnce(r, q) >= threshold, or 0 if
+  /// even rank 1 falls below the threshold.  probT is non-increasing in
+  /// rank, so this is a binary search.
+  uint64_t MaxRankWithProbTAtLeast(double threshold,
+                                   double total_queries_per_round) const;
+
+ private:
+  uint64_t keys_;
+  double alpha_;
+  std::vector<double> pmf_;  // pmf_[r-1] = Prob(r)
+  std::vector<double> cdf_;  // cdf_[r-1] = Cdf(r)
+};
+
+}  // namespace pdht::model
+
+#endif  // PDHT_MODEL_ZIPF_DISTRIBUTION_H_

@@ -1,0 +1,43 @@
+#include "net/message.h"
+
+namespace pdht::net {
+
+const char* MessageTypeName(MessageType t) {
+  switch (t) {
+    case MessageType::kFloodQuery:
+      return "msg.unstructured.flood";
+    case MessageType::kWalkQuery:
+      return "msg.unstructured.walk";
+    case MessageType::kWalkCheck:
+      return "msg.unstructured.walk_check";
+    case MessageType::kQueryResponse:
+      return "msg.unstructured.response";
+    case MessageType::kDhtLookup:
+      return "msg.dht.lookup";
+    case MessageType::kDhtInsert:
+      return "msg.dht.insert";
+    case MessageType::kDhtResponse:
+      return "msg.dht.response";
+    case MessageType::kRoutingProbe:
+      return "msg.maint.probe";
+    case MessageType::kRoutingProbeAck:
+      return "msg.maint.probe_ack";
+    case MessageType::kStabilize:
+      return "msg.maint.stabilize";
+    case MessageType::kReplicaPush:
+      return "msg.replica.push";
+    case MessageType::kReplicaPull:
+      return "msg.replica.pull";
+    case MessageType::kReplicaFlood:
+      return "msg.replica.flood";
+    case MessageType::kJoin:
+      return "msg.overlay.join";
+    case MessageType::kExchange:
+      return "msg.overlay.exchange";
+    case MessageType::kCount:
+      return "msg.invalid";
+  }
+  return "msg.invalid";
+}
+
+}  // namespace pdht::net

@@ -1,0 +1,57 @@
+#include "net/network.h"
+
+#include <cassert>
+
+namespace pdht::net {
+
+Network::Network(CounterRegistry* counters) : counters_(counters) {
+  assert(counters != nullptr);
+}
+
+void Network::Register(PeerId peer, MessageHandler* handler) {
+  if (peer >= handlers_.size()) {
+    handlers_.resize(peer + 1, nullptr);
+    online_.resize(peer + 1, true);
+  }
+  handlers_[peer] = handler;
+}
+
+void Network::SetOnline(PeerId peer, bool online) {
+  if (peer >= online_.size()) {
+    handlers_.resize(peer + 1, nullptr);
+    online_.resize(peer + 1, true);
+  }
+  online_[peer] = online;
+}
+
+bool Network::IsOnline(PeerId peer) const {
+  return peer < online_.size() && online_[peer];
+}
+
+bool Network::Send(const Message& msg) {
+  counters_->Get(MessageTypeName(msg.type)).Add();
+  counters_->Get("msg.total").Add();
+  if (msg.to >= handlers_.size()) return false;
+  if (!online_[msg.to]) return false;
+  // An online peer receives the message whether or not a handler object is
+  // attached; most protocol logic in this library runs at system level and
+  // only needs the delivered/lost outcome.
+  MessageHandler* h = handlers_[msg.to];
+  if (h != nullptr) h->HandleMessage(msg);
+  return true;
+}
+
+void Network::CountOnly(MessageType type, uint64_t n) {
+  counters_->Get(MessageTypeName(type)).Add(n);
+  counters_->Get("msg.total").Add(n);
+}
+
+uint64_t Network::TotalMessages() const {
+  return counters_->Value("msg.total");
+}
+
+uint64_t Network::MessagesOfType(MessageType type) const {
+  return counters_->Value(MessageTypeName(type));
+}
+
+}  // namespace pdht::net

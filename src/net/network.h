@@ -1,0 +1,73 @@
+// Simulated network with message accounting.
+//
+// Design decision #5 (DESIGN.md): protocols do not count their own
+// messages; every send goes through Network::Send, which attributes the
+// message to the per-type counter registry.  This prevents a protocol
+// implementation from under-reporting its cost and gives the benches a
+// single source of truth.
+//
+// Delivery model: synchronous (the message is handed to the destination's
+// handler immediately).  The paper's cost model counts messages, not
+// latency, so a delay model is unnecessary; hop-by-hop control flow is
+// expressed directly in the protocol code.  Sends to offline peers are
+// counted (the bytes hit the wire) but flagged undelivered, which is what
+// makes stale routing entries costly and probing worthwhile.
+
+#ifndef PDHT_NET_NETWORK_H_
+#define PDHT_NET_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/message.h"
+#include "stats/counter.h"
+
+namespace pdht::net {
+
+/// Interface implemented by anything that can receive messages.
+class MessageHandler {
+ public:
+  virtual ~MessageHandler() = default;
+  virtual void HandleMessage(const Message& msg) = 0;
+};
+
+class Network {
+ public:
+  /// `counters` must outlive the network.
+  explicit Network(CounterRegistry* counters);
+
+  /// Registers/replaces the handler for `peer`.  Peers without handlers
+  /// swallow deliveries (counted, not processed).
+  void Register(PeerId peer, MessageHandler* handler);
+
+  /// Marks a peer online/offline.  Offline peers receive nothing.
+  void SetOnline(PeerId peer, bool online);
+  bool IsOnline(PeerId peer) const;
+
+  /// Sends `msg`; counts it under MessageTypeName(msg.type) and "msg.total".
+  /// Returns true iff the destination was online (delivered); a registered
+  /// handler, if any, is invoked on delivery.  Peers never seen by
+  /// Register/SetOnline are unreachable.
+  bool Send(const Message& msg);
+
+  /// Counts a message without delivering it.  Used for aggregate traffic
+  /// the simulation accounts for statistically rather than hop-by-hop
+  /// (e.g. duplication overhead factors).
+  void CountOnly(MessageType type, uint64_t n = 1);
+
+  uint64_t TotalMessages() const;
+  uint64_t MessagesOfType(MessageType type) const;
+  CounterRegistry* counters() { return counters_; }
+
+  size_t num_registered() const { return handlers_.size(); }
+
+ private:
+  CounterRegistry* counters_;
+  std::vector<MessageHandler*> handlers_;
+  std::vector<bool> online_;
+};
+
+}  // namespace pdht::net
+
+#endif  // PDHT_NET_NETWORK_H_

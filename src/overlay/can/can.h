@@ -1,0 +1,106 @@
+// CAN-style structured overlay [RaFr01] ("A scalable content-addressable
+// network", cited by the paper among the traditional DHTs).
+//
+// Peers own hyper-rectangular zones of a d-dimensional unit torus; a key
+// hashes to a point and is owned by the zone containing it.  Routing is
+// greedy: forward to the neighbor (zone sharing a face) whose zone is
+// closest to the target point, giving O(d * n^(1/d)) hops -- a different
+// asymptotic regime from Chord/P-Grid's O(log n), which makes CAN the
+// most demanding test of the paper's claim that the analysis "can be
+// adapted to suit most other DHT proposals": cSIndx changes, the
+// qualitative picture must not (bench_ablation_backends covers it).
+//
+// Construction splits zones recursively round-robin across dimensions
+// (balanced, deterministic).  Churn handling mirrors the other overlays:
+// sends to offline owners are counted and lost; routing falls back to the
+// best *online* neighbor that still makes progress.
+
+#ifndef PDHT_OVERLAY_CAN_CAN_H_
+#define PDHT_OVERLAY_CAN_CAN_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/network.h"
+#include "overlay/dht/chord.h"  // reuses LookupResult
+#include "util/rng.h"
+
+namespace pdht::overlay {
+
+/// Dimensionality is fixed at compile time for simplicity; 2 is CAN's
+/// classic illustration and keeps zone geometry easy to reason about.
+constexpr int kCanDims = 2;
+
+struct CanPoint {
+  std::array<double, kCanDims> x{};
+};
+
+struct CanZone {
+  std::array<double, kCanDims> lo{};
+  std::array<double, kCanDims> hi{};
+
+  bool Contains(const CanPoint& p) const;
+  CanPoint Center() const;
+  /// Shares a (d-1)-face on the torus: abutting in exactly one dimension
+  /// and overlapping in all others.
+  bool IsNeighbor(const CanZone& other) const;
+  double Volume() const;
+};
+
+class CanOverlay {
+ public:
+  CanOverlay(net::Network* network, Rng rng);
+
+  /// Builds the zone partition over the given members (free, like the
+  /// other overlays' SetMembers).
+  void SetMembers(const std::vector<net::PeerId>& members);
+
+  bool IsMember(net::PeerId peer) const;
+  size_t num_members() const { return zones_.size(); }
+  const std::vector<net::PeerId>& members() const { return member_list_; }
+
+  const CanZone& ZoneOf(net::PeerId peer) const;
+  const std::vector<net::PeerId>& NeighborsOf(net::PeerId peer) const;
+
+  /// Point a key hashes to.
+  static CanPoint KeyToPoint(uint64_t key);
+
+  /// Owner of the key's point.
+  net::PeerId ResponsibleMember(uint64_t key) const;
+
+  /// Greedy torus routing from `origin`; counts kDhtLookup per hop
+  /// attempt (failed sends to offline neighbors included).
+  LookupResult Lookup(net::PeerId origin, uint64_t key);
+
+  net::PeerId RandomOnlineMember(Rng& rng) const;
+
+  /// Probe-based neighbor maintenance (env semantics as elsewhere).
+  /// CAN zones are static here, so "repair" means remembering the
+  /// neighbor is down; probes detect and are counted.  Returns probes.
+  uint64_t RunMaintenanceRound(double env);
+
+  size_t TableSize(net::PeerId peer) const;
+
+  /// Zone-partition invariants: volumes sum to 1, zones don't overlap (on
+  /// a sample), every sampled point has an owner.  Empty string when ok.
+  std::string CheckInvariants() const;
+
+ private:
+  /// Torus distance between a point and a zone (0 if inside).
+  static double DistanceToZone(const CanPoint& p, const CanZone& z);
+
+  net::Network* network_;
+  Rng rng_;
+  std::unordered_map<net::PeerId, CanZone> zones_;
+  std::unordered_map<net::PeerId, std::vector<net::PeerId>> neighbors_;
+  std::vector<net::PeerId> member_list_;
+  std::unordered_map<net::PeerId, double> probe_budget_;
+  std::vector<net::PeerId> empty_;
+};
+
+}  // namespace pdht::overlay
+
+#endif  // PDHT_OVERLAY_CAN_CAN_H_

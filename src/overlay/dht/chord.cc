@@ -1,0 +1,354 @@
+#include "overlay/dht/chord.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+#include "util/bits.h"
+
+namespace pdht::overlay {
+
+ChordOverlay::ChordOverlay(net::Network* network, Rng rng,
+                           uint32_t successor_list_size)
+    : network_(network), rng_(rng),
+      successor_list_size_(successor_list_size) {
+  assert(network != nullptr);
+}
+
+void ChordOverlay::SetMembers(const std::vector<net::PeerId>& members) {
+  ring_.clear();
+  peer_to_index_.clear();
+  members_cache_valid_ = false;
+  ring_.reserve(members.size());
+  for (net::PeerId p : members) {
+    ring_.push_back(Member{PeerToNodeId(p), p, FingerTable{}});
+  }
+  std::sort(ring_.begin(), ring_.end(),
+            [](const Member& a, const Member& b) { return a.id < b.id; });
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    peer_to_index_[ring_[i].peer] = i;
+  }
+  for (auto& m : ring_) BuildTable(m);
+}
+
+size_t ChordOverlay::SuccessorIndex(NodeId id) const {
+  assert(!ring_.empty());
+  // First member with member.id >= id; wraps to 0.
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), id,
+      [](const Member& m, NodeId v) { return m.id < v; });
+  if (it == ring_.end()) return 0;
+  return static_cast<size_t>(it - ring_.begin());
+}
+
+void ChordOverlay::BuildTable(Member& m) {
+  m.table.Clear();
+  if (ring_.size() <= 1) return;
+  // Fingers at offsets 2^63, 2^62, ... down to the ring's resolution.
+  // ceil(log2(n)) + 2 fingers suffice to reach any region.
+  int num_fingers = CeilLog2(ring_.size()) + 2;
+  num_fingers = std::min(num_fingers, 56);
+  auto& fingers = m.table.fingers();
+  fingers.reserve(num_fingers);
+  for (int i = 0; i < num_fingers; ++i) {
+    NodeId offset = NodeId{1} << (63 - i);
+    NodeId start = m.id + offset;  // wrapping add
+    size_t si = SuccessorIndex(start);
+    const Member& target = ring_[si];
+    if (target.peer == m.peer) continue;  // self-pointer: useless entry
+    fingers.push_back(FingerEntry{start, target.peer, target.id});
+  }
+  // Successor list.
+  auto& succ = m.table.successors();
+  size_t my_idx = peer_to_index_.at(m.peer);
+  succ.reserve(successor_list_size_);
+  for (uint32_t k = 1;
+       k <= successor_list_size_ && k < ring_.size(); ++k) {
+    const Member& s = ring_[(my_idx + k) % ring_.size()];
+    succ.push_back(FingerEntry{s.id, s.peer, s.id});
+  }
+}
+
+void ChordOverlay::AddMember(net::PeerId peer) {
+  if (IsMember(peer)) return;
+  Member nm{PeerToNodeId(peer), peer, FingerTable{}};
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), nm.id,
+      [](const Member& m, NodeId v) { return m.id < v; });
+  size_t pos = static_cast<size_t>(it - ring_.begin());
+  ring_.insert(it, std::move(nm));
+  peer_to_index_.clear();
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    peer_to_index_[ring_[i].peer] = i;
+  }
+  members_cache_valid_ = false;
+  BuildTable(ring_[pos]);
+  // Join traffic: Chord's join costs O(log^2 n) messages to populate the
+  // new node's table and notify affected nodes.  Count it explicitly.
+  uint64_t join_msgs = 0;
+  if (ring_.size() > 1) {
+    int lg = CeilLog2(ring_.size());
+    join_msgs = static_cast<uint64_t>(lg) * static_cast<uint64_t>(lg);
+  }
+  network_->CountOnly(net::MessageType::kJoin, join_msgs);
+  // Repair other nodes' fingers that should now point to the new member.
+  for (auto& m : ring_) {
+    if (m.peer == peer) continue;
+    for (auto& f : m.table.fingers()) {
+      size_t si = SuccessorIndex(f.start);
+      if (ring_[si].peer != f.peer) {
+        f.peer = ring_[si].peer;
+        f.peer_id = ring_[si].id;
+      }
+    }
+  }
+}
+
+void ChordOverlay::RemoveMember(net::PeerId peer) {
+  auto it = peer_to_index_.find(peer);
+  if (it == peer_to_index_.end()) return;
+  ring_.erase(ring_.begin() + static_cast<long>(it->second));
+  peer_to_index_.clear();
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    peer_to_index_[ring_[i].peer] = i;
+  }
+  members_cache_valid_ = false;
+  // Entries pointing at the departed peer are repaired lazily by
+  // maintenance (or eagerly here for tests via RefreshNode).
+}
+
+bool ChordOverlay::IsMember(net::PeerId peer) const {
+  return peer_to_index_.count(peer) > 0;
+}
+
+const std::vector<net::PeerId>& ChordOverlay::members_sorted_by_id() const {
+  if (!members_cache_valid_) {
+    members_cache_.clear();
+    members_cache_.reserve(ring_.size());
+    for (const auto& m : ring_) members_cache_.push_back(m.peer);
+    members_cache_valid_ = true;
+  }
+  return members_cache_;
+}
+
+net::PeerId ChordOverlay::ResponsibleMember(uint64_t key) const {
+  if (ring_.empty()) return net::kInvalidPeer;
+  return ring_[SuccessorIndex(KeyToNodeId(key))].peer;
+}
+
+std::vector<net::PeerId> ChordOverlay::ResponsibleReplicas(
+    uint64_t key, uint32_t count) const {
+  std::vector<net::PeerId> out;
+  if (ring_.empty()) return out;
+  size_t idx = SuccessorIndex(KeyToNodeId(key));
+  uint32_t n = static_cast<uint32_t>(
+      std::min<size_t>(count, ring_.size()));
+  out.reserve(n);
+  for (uint32_t k = 0; k < n; ++k) {
+    out.push_back(ring_[(idx + k) % ring_.size()].peer);
+  }
+  return out;
+}
+
+ChordOverlay::Member* ChordOverlay::FindMember(net::PeerId peer) {
+  auto it = peer_to_index_.find(peer);
+  if (it == peer_to_index_.end()) return nullptr;
+  return &ring_[it->second];
+}
+
+const ChordOverlay::Member* ChordOverlay::FindMember(
+    net::PeerId peer) const {
+  auto it = peer_to_index_.find(peer);
+  if (it == peer_to_index_.end()) return nullptr;
+  return &ring_[it->second];
+}
+
+LookupResult ChordOverlay::Lookup(net::PeerId origin, uint64_t key) {
+  LookupResult result;
+  if (ring_.empty()) return result;
+  Member* cur = FindMember(origin);
+  assert(cur != nullptr && "lookup origin must be a member");
+  const NodeId target = KeyToNodeId(key);
+  const size_t owner_idx = SuccessorIndex(target);
+  const net::PeerId owner = ring_[owner_idx].peer;
+  result.responsible = owner;
+
+  const uint32_t hop_limit =
+      4 * static_cast<uint32_t>(CeilLog2(ring_.size() + 1)) + 16;
+  while (cur->peer != owner && result.hops < hop_limit) {
+    uint64_t skip = 0;
+    const FingerEntry* next = nullptr;
+    // Try progressively less aggressive entries until one is reachable;
+    // each failed attempt is a real (lost) message to a stale entry.
+    while (true) {
+      next = cur->table.ClosestPreceding(cur->id, target, skip);
+      if (next == nullptr) break;
+      net::Message m;
+      m.type = net::MessageType::kDhtLookup;
+      m.from = cur->peer;
+      m.to = next->peer;
+      m.key = key;
+      m.tag = result.hops;
+      network_->Send(m);
+      ++result.messages;
+      if (network_->IsOnline(next->peer)) break;
+      ++result.failed_probes;
+      int idx = cur->table.IndexOf(next);
+      if (idx >= 0 && idx < 64) skip |= (uint64_t{1} << idx);
+      next = nullptr;
+    }
+    if (next == nullptr) {
+      // No finger makes progress (all stale or table empty): step to the
+      // first online successor on the ring -- linear but guaranteed.
+      size_t my_idx = peer_to_index_.at(cur->peer);
+      Member* step = nullptr;
+      for (size_t k = 1; k < ring_.size(); ++k) {
+        Member& cand = ring_[(my_idx + k) % ring_.size()];
+        net::Message m;
+        m.type = net::MessageType::kDhtLookup;
+        m.from = cur->peer;
+        m.to = cand.peer;
+        m.key = key;
+        m.tag = result.hops;
+        network_->Send(m);
+        ++result.messages;
+        if (network_->IsOnline(cand.peer)) {
+          step = &cand;
+          break;
+        }
+        ++result.failed_probes;
+        // If cand is the (offline) owner we keep scanning: the key's
+        // queries are served by the owner's first online successor.
+      }
+      if (step == nullptr) {
+        return result;  // network effectively dead
+      }
+      cur = step;
+      ++result.hops;
+      if (InIntervalOpenClosed(target, ring_[my_idx].id, cur->id)) {
+        // We stepped past the target: cur is the live successor.
+        break;
+      }
+      continue;
+    }
+    cur = FindMember(next->peer);
+    assert(cur != nullptr);
+    ++result.hops;
+  }
+
+  result.responsible_online = network_->IsOnline(owner);
+  result.terminus = cur->peer;
+  result.success =
+      cur->peer == owner ? result.responsible_online
+                         : network_->IsOnline(cur->peer);
+  // Result delivery back to the originator.
+  if (result.success && cur->peer != origin) {
+    net::Message resp;
+    resp.type = net::MessageType::kDhtResponse;
+    resp.from = cur->peer;
+    resp.to = origin;
+    resp.key = key;
+    network_->Send(resp);
+    ++result.messages;
+  }
+  return result;
+}
+
+net::PeerId ChordOverlay::RandomOnlineMember(Rng& rng) const {
+  if (ring_.empty()) return net::kInvalidPeer;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const Member& m = ring_[rng.UniformU64(ring_.size())];
+    if (network_->IsOnline(m.peer)) return m.peer;
+  }
+  for (const auto& m : ring_) {
+    if (network_->IsOnline(m.peer)) return m.peer;
+  }
+  return net::kInvalidPeer;
+}
+
+FingerTable* ChordOverlay::TableOf(net::PeerId peer) {
+  Member* m = FindMember(peer);
+  return m == nullptr ? nullptr : &m->table;
+}
+
+const FingerTable* ChordOverlay::TableOf(net::PeerId peer) const {
+  const Member* m = FindMember(peer);
+  return m == nullptr ? nullptr : &m->table;
+}
+
+void ChordOverlay::RefreshNode(net::PeerId peer) {
+  Member* m = FindMember(peer);
+  if (m != nullptr) BuildTable(*m);
+}
+
+void ChordOverlay::RepairFinger(net::PeerId peer, size_t idx) {
+  Member* m = FindMember(peer);
+  if (m == nullptr) return;
+  auto& fingers = m->table.fingers();
+  if (idx < fingers.size()) {
+    size_t si = SuccessorIndex(fingers[idx].start);
+    // Point at the first *online* member at or after the finger start so
+    // the repair actually removes the staleness.
+    for (size_t k = 0; k < ring_.size(); ++k) {
+      const Member& cand = ring_[(si + k) % ring_.size()];
+      if (network_->IsOnline(cand.peer) || k + 1 == ring_.size()) {
+        fingers[idx].peer = cand.peer;
+        fingers[idx].peer_id = cand.id;
+        break;
+      }
+    }
+    return;
+  }
+  idx -= fingers.size();
+  auto& succ = m->table.successors();
+  if (idx < succ.size()) {
+    // Rebuild the successor list from the next *online* members so the
+    // repair actually removes staleness (an offline successor would be
+    // re-detected immediately).
+    size_t my_idx = peer_to_index_.at(peer);
+    succ.clear();
+    for (size_t k = 1;
+         k < ring_.size() && succ.size() < successor_list_size_; ++k) {
+      const Member& s = ring_[(my_idx + k) % ring_.size()];
+      if (!network_->IsOnline(s.peer)) continue;
+      succ.push_back(FingerEntry{s.id, s.peer, s.id});
+    }
+  }
+}
+
+double ChordOverlay::StaleFingerFraction() const {
+  uint64_t total = 0;
+  uint64_t stale = 0;
+  for (const auto& m : ring_) {
+    if (!network_->IsOnline(m.peer)) continue;
+    for (const auto& f : m.table.fingers()) {
+      ++total;
+      if (!network_->IsOnline(f.peer)) ++stale;
+    }
+    for (const auto& s : m.table.successors()) {
+      ++total;
+      if (!network_->IsOnline(s.peer)) ++stale;
+    }
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(stale) / static_cast<double>(total);
+}
+
+std::string ChordOverlay::CheckInvariants() const {
+  std::ostringstream err;
+  for (size_t i = 1; i < ring_.size(); ++i) {
+    if (!(ring_[i - 1].id < ring_[i].id)) {
+      err << "ring not strictly sorted at index " << i;
+      return err.str();
+    }
+  }
+  for (const auto& [peer, idx] : peer_to_index_) {
+    if (idx >= ring_.size() || ring_[idx].peer != peer) {
+      err << "peer_to_index_ inconsistent for peer " << peer;
+      return err.str();
+    }
+  }
+  return "";
+}
+
+}  // namespace pdht::overlay

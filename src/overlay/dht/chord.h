@@ -1,0 +1,125 @@
+// Chord-like structured overlay ("traditional DHT", paper Section 3.2).
+//
+// A ring of member peers in the 2^64 binary id space with power-of-two
+// finger tables: lookups take ~ 1/2 * log2(numActivePeers) hops (Eq. 7),
+// which the ablation bench verifies empirically.  Membership is dynamic in
+// two senses:
+//  * the *member set* is chosen by the PDHT layer (only numActivePeers
+//    peers participate in the DHT when the index is small, Section 3.2);
+//  * members churn on/off; fingers pointing at offline members are stale
+//    until probing maintenance (maintenance.h) refreshes them, and lookups
+//    pay extra messages to route around them.
+
+#ifndef PDHT_OVERLAY_DHT_CHORD_H_
+#define PDHT_OVERLAY_DHT_CHORD_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/network.h"
+#include "overlay/dht/finger_table.h"
+#include "overlay/dht/id.h"
+#include "util/rng.h"
+
+namespace pdht::overlay {
+
+struct LookupResult {
+  bool success = false;
+  net::PeerId responsible = net::kInvalidPeer;  ///< member owning the key.
+  net::PeerId terminus = net::kInvalidPeer;     ///< where routing ended
+                                                ///< (owner, or its first
+                                                ///< online successor).
+  bool responsible_online = false;
+  uint32_t hops = 0;          ///< routing hops actually taken.
+  uint32_t failed_probes = 0; ///< sends to stale (offline) entries.
+  uint64_t messages = 0;      ///< total messages (hops + failures + reply).
+};
+
+class ChordOverlay {
+ public:
+  /// `network` must outlive the overlay.  `successor_list_size` entries of
+  /// redundancy for routing around failures.
+  ChordOverlay(net::Network* network, Rng rng,
+               uint32_t successor_list_size = 8);
+
+  /// (Re)builds the ring over the given member peers.  Ids derive from
+  /// peer numbers; finger tables are constructed fresh (bootstrap traffic
+  /// is not the object of the paper's model, so construction is free; join
+  /// messages for *incremental* joins are counted in AddMember).
+  void SetMembers(const std::vector<net::PeerId>& members);
+
+  /// Incrementally adds a member: builds its table and repairs affected
+  /// fingers, counting kJoin traffic (O(log^2 n) messages, as in Chord).
+  void AddMember(net::PeerId peer);
+
+  /// Removes a member permanently (not churn -- actual departure).
+  void RemoveMember(net::PeerId peer);
+
+  bool IsMember(net::PeerId peer) const;
+  size_t num_members() const { return ring_.size(); }
+  const std::vector<net::PeerId>& members_sorted_by_id() const;
+
+  /// The member responsible for `key`: successor(KeyToNodeId(key)).
+  net::PeerId ResponsibleMember(uint64_t key) const;
+
+  /// The `count` members succeeding the responsible one (replica holders).
+  std::vector<net::PeerId> ResponsibleReplicas(uint64_t key,
+                                               uint32_t count) const;
+
+  /// Routes from `origin` (must be a member) toward `key`'s owner,
+  /// counting one kDhtLookup per hop attempt.  If the owner is offline the
+  /// lookup terminates at its first online successor with
+  /// responsible_online = false.
+  LookupResult Lookup(net::PeerId origin, uint64_t key);
+
+  /// Picks a uniformly random *online* member, or kInvalidPeer if none.
+  /// Used by non-member peers that "know at least one online peer that is
+  /// participating in the DHT" (Section 3.2) as their entry point.
+  net::PeerId RandomOnlineMember(Rng& rng) const;
+
+  /// Rebuilds one node's routing state from current membership; called by
+  /// maintenance on finger repair and on rejoin after churn.
+  void RefreshNode(net::PeerId peer);
+
+  /// Recomputes where finger `idx` of `peer` should point and updates it.
+  void RepairFinger(net::PeerId peer, size_t idx);
+
+  FingerTable* TableOf(net::PeerId peer);
+  const FingerTable* TableOf(net::PeerId peer) const;
+
+  /// Fraction of finger entries (across online members) pointing at
+  /// currently-offline peers: the stale-entry rate maintenance fights.
+  double StaleFingerFraction() const;
+
+  /// Verifies ring invariants (sorted ids, finger targets correct under
+  /// current membership); returns an empty string or a violation message.
+  /// Test-support API.
+  std::string CheckInvariants() const;
+
+ private:
+  struct Member {
+    NodeId id;
+    net::PeerId peer;
+    FingerTable table;
+  };
+
+  /// Index into ring_ of successor(id) (the first member with
+  /// member.id >= id, wrapping).
+  size_t SuccessorIndex(NodeId id) const;
+  void BuildTable(Member& m);
+  Member* FindMember(net::PeerId peer);
+  const Member* FindMember(net::PeerId peer) const;
+
+  net::Network* network_;
+  Rng rng_;
+  uint32_t successor_list_size_;
+  std::vector<Member> ring_;  // sorted by id
+  std::unordered_map<net::PeerId, size_t> peer_to_index_;
+  mutable std::vector<net::PeerId> members_cache_;
+  mutable bool members_cache_valid_ = false;
+};
+
+}  // namespace pdht::overlay
+
+#endif  // PDHT_OVERLAY_DHT_CHORD_H_

@@ -1,0 +1,42 @@
+#include "overlay/dht/finger_table.h"
+
+namespace pdht::overlay {
+
+const FingerEntry* FingerTable::ClosestPreceding(NodeId self, NodeId target,
+                                                 uint64_t skip_mask) const {
+  const FingerEntry* best = nullptr;
+  NodeId best_dist = 0;
+  size_t idx = 0;
+  auto consider = [&](const FingerEntry& e) {
+    size_t my_idx = idx++;
+    if (my_idx < 64 && (skip_mask >> my_idx) & 1) return;
+    if (e.peer == net::kInvalidPeer) return;
+    // Candidate must lie strictly between self and target (clockwise) so
+    // that every hop makes progress.
+    if (!InIntervalOpen(e.peer_id, self, target)) return;
+    // Prefer the candidate closest to (i.e. least clockwise distance to)
+    // the target: that is the "closest preceding" node.
+    NodeId dist = RingDistance(e.peer_id, target);
+    if (best == nullptr || dist < best_dist) {
+      best = &e;
+      best_dist = dist;
+    }
+  };
+  for (const auto& f : fingers_) consider(f);
+  for (const auto& s : successors_) consider(s);
+  return best;
+}
+
+int FingerTable::IndexOf(const FingerEntry* entry) const {
+  for (size_t i = 0; i < fingers_.size(); ++i) {
+    if (&fingers_[i] == entry) return static_cast<int>(i);
+  }
+  for (size_t i = 0; i < successors_.size(); ++i) {
+    if (&successors_[i] == entry) {
+      return static_cast<int>(fingers_.size() + i);
+    }
+  }
+  return -1;
+}
+
+}  // namespace pdht::overlay

@@ -1,0 +1,64 @@
+// Per-node routing state for the Chord-like overlay.
+//
+// A finger table holds, for each power-of-two offset 2^i, a pointer to the
+// first member clockwise of (node_id + 2^i).  Entries record the peer they
+// point to; whether that peer is currently reachable is a property of the
+// network, and a pointer whose target went offline is precisely a "stale
+// routing entry" in the paper's maintenance model (Eq. 8).  The table also
+// keeps a short successor list for routing around failures.
+
+#ifndef PDHT_OVERLAY_DHT_FINGER_TABLE_H_
+#define PDHT_OVERLAY_DHT_FINGER_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "net/message.h"
+#include "overlay/dht/id.h"
+
+namespace pdht::overlay {
+
+struct FingerEntry {
+  NodeId start = 0;                     ///< node_id + 2^i (the target).
+  net::PeerId peer = net::kInvalidPeer; ///< member the entry points to.
+  NodeId peer_id = 0;                   ///< that member's ring id.
+};
+
+class FingerTable {
+ public:
+  /// `bits` fingers (offsets 2^(64-bits) .. 2^63 would be overkill for
+  /// small rings; we use the lowest `bits` powers scaled to ring size 2^64:
+  /// offsets 2^(64-1-i)).  In practice bits = ceil(log2(ring size)) + few.
+  FingerTable() = default;
+
+  void Clear() {
+    fingers_.clear();
+    successors_.clear();
+  }
+
+  std::vector<FingerEntry>& fingers() { return fingers_; }
+  const std::vector<FingerEntry>& fingers() const { return fingers_; }
+  std::vector<FingerEntry>& successors() { return successors_; }
+  const std::vector<FingerEntry>& successors() const { return successors_; }
+
+  size_t size() const { return fingers_.size() + successors_.size(); }
+
+  /// Closest finger (or successor) strictly preceding `target` clockwise
+  /// from `self`, skipping entries whose index is in `skip` (already tried
+  /// and found dead).  Returns nullptr if none qualifies.
+  /// `skip` is a bitmask over fingers_ then successors_ concatenated.
+  const FingerEntry* ClosestPreceding(NodeId self, NodeId target,
+                                      uint64_t skip_mask) const;
+
+  /// Index (into the concatenated finger+successor sequence) of `entry`;
+  /// used to build skip masks.  Returns -1 if not found.
+  int IndexOf(const FingerEntry* entry) const;
+
+ private:
+  std::vector<FingerEntry> fingers_;
+  std::vector<FingerEntry> successors_;
+};
+
+}  // namespace pdht::overlay
+
+#endif  // PDHT_OVERLAY_DHT_FINGER_TABLE_H_

@@ -1,0 +1,38 @@
+#include "overlay/dht/id.h"
+
+#include <cstdio>
+
+#include "util/hash.h"
+
+namespace pdht::overlay {
+
+NodeId RingDistance(NodeId from, NodeId to) {
+  return to - from;  // unsigned wrap-around is exactly ring distance
+}
+
+bool InIntervalOpenClosed(NodeId x, NodeId a, NodeId b) {
+  if (a == b) return true;  // full ring
+  return RingDistance(a, x) != 0 && RingDistance(a, x) <= RingDistance(a, b);
+}
+
+bool InIntervalOpen(NodeId x, NodeId a, NodeId b) {
+  if (a == b) return x != a;  // full ring minus the endpoint
+  return RingDistance(a, x) != 0 && RingDistance(a, x) < RingDistance(a, b);
+}
+
+NodeId PeerToNodeId(net::PeerId peer) {
+  return Mix64(0x7065657273ULL ^ (static_cast<uint64_t>(peer) << 1));
+}
+
+NodeId KeyToNodeId(uint64_t key) {
+  return Mix64(0x6b657973ULL ^ (key * 0x9e3779b97f4a7c15ULL));
+}
+
+std::string NodeIdToString(NodeId id) {
+  char buf[19];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+}  // namespace pdht::overlay

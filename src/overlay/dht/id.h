@@ -1,0 +1,40 @@
+// Circular binary identifier space for the structured overlay.
+//
+// "For simplicity we assume a binary key space" (paper footnote 3).  Ids
+// are 64-bit values on a ring of size 2^64; keys are hashed into the same
+// space.  All interval logic is clockwise (increasing ids, wrapping).
+
+#ifndef PDHT_OVERLAY_DHT_ID_H_
+#define PDHT_OVERLAY_DHT_ID_H_
+
+#include <cstdint>
+#include <string>
+
+#include "net/message.h"
+
+namespace pdht::overlay {
+
+using NodeId = uint64_t;
+
+/// Clockwise distance from `from` to `to` on the 2^64 ring.
+NodeId RingDistance(NodeId from, NodeId to);
+
+/// True iff x lies in the half-open clockwise interval (a, b].
+bool InIntervalOpenClosed(NodeId x, NodeId a, NodeId b);
+
+/// True iff x lies in the open clockwise interval (a, b).
+bool InIntervalOpen(NodeId x, NodeId a, NodeId b);
+
+/// Maps a peer to its node id (uniform over the ring, derived from the
+/// peer number via a bijective mixer so ids are deterministic yet spread).
+NodeId PeerToNodeId(net::PeerId peer);
+
+/// Maps an application key to its position on the ring.
+NodeId KeyToNodeId(uint64_t key);
+
+/// Hex rendering for logs/tests.
+std::string NodeIdToString(NodeId id);
+
+}  // namespace pdht::overlay
+
+#endif  // PDHT_OVERLAY_DHT_ID_H_

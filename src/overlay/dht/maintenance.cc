@@ -1,0 +1,55 @@
+#include "overlay/dht/maintenance.h"
+
+#include <cmath>
+
+namespace pdht::overlay {
+
+ChordMaintenance::ChordMaintenance(ChordOverlay* overlay,
+                                   net::Network* network, double env,
+                                   Rng rng)
+    : overlay_(overlay), network_(network), env_(env), rng_(rng) {}
+
+double ChordMaintenance::ExpectedProbesPerPeer(net::PeerId peer) const {
+  const FingerTable* table = overlay_->TableOf(peer);
+  if (table == nullptr) return 0.0;
+  return env_ * static_cast<double>(table->size());
+}
+
+void ChordMaintenance::RunRound() {
+  for (net::PeerId peer : overlay_->members_sorted_by_id()) {
+    if (!network_->IsOnline(peer)) continue;
+    FingerTable* table = overlay_->TableOf(peer);
+    if (table == nullptr || table->size() == 0) continue;
+    // Accumulate this round's probe budget; spend whole probes.
+    double& budget = budget_[peer];
+    budget += env_ * static_cast<double>(table->size());
+    while (budget >= 1.0) {
+      budget -= 1.0;
+      size_t total = table->size();
+      size_t idx = static_cast<size_t>(rng_.UniformU64(total));
+      const FingerEntry& entry =
+          idx < table->fingers().size()
+              ? table->fingers()[idx]
+              : table->successors()[idx - table->fingers().size()];
+      if (entry.peer == net::kInvalidPeer) continue;
+      net::Message probe;
+      probe.type = net::MessageType::kRoutingProbe;
+      probe.from = peer;
+      probe.to = entry.peer;
+      network_->Send(probe);
+      ++stats_.probes_sent;
+      if (!network_->IsOnline(entry.peer)) {
+        ++stats_.stale_detected;
+        // Repair is free (piggybacked), per the paper's assumption.
+        overlay_->RepairFinger(peer, idx);
+        ++stats_.repairs;
+      }
+    }
+  }
+}
+
+void ChordMaintenance::OnPeerRejoin(net::PeerId peer) {
+  overlay_->RefreshNode(peer);
+}
+
+}  // namespace pdht::overlay

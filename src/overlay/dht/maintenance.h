@@ -1,0 +1,65 @@
+// Probe-based routing table maintenance (paper Section 3.3.1, Eq. 8).
+//
+// "One possible strategy is to probe routing entries with a given rate to
+// detect offline peers [MaCa03] ... we need only messages to detect stale
+// routing entries (by probing) but assume no additional messages to repair
+// those routing entries" (piggybacked repair).
+//
+// Each online member probes `env` messages per routing entry per round:
+// with a table of size ~log2(numActivePeers), that is env * log2(nap)
+// probe messages per peer per round, i.e. exactly the cRtn numerator of
+// Eq. 8.  A probe that hits an offline target detects the stale entry,
+// which is then repaired for free (RepairFinger), per the paper's
+// piggybacking assumption.  Fractional probe budgets accumulate across
+// rounds so env < 1 is honoured exactly in expectation.
+
+#ifndef PDHT_OVERLAY_DHT_MAINTENANCE_H_
+#define PDHT_OVERLAY_DHT_MAINTENANCE_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "net/network.h"
+#include "overlay/dht/chord.h"
+#include "util/rng.h"
+
+namespace pdht::overlay {
+
+struct MaintenanceStats {
+  uint64_t probes_sent = 0;
+  uint64_t stale_detected = 0;
+  uint64_t repairs = 0;
+};
+
+class ChordMaintenance {
+ public:
+  /// `env`: probe messages per routing entry per round.
+  ChordMaintenance(ChordOverlay* overlay, net::Network* network, double env,
+                   Rng rng);
+
+  /// Runs one maintenance round across all online members.
+  void RunRound();
+
+  /// Refreshes a peer's full table without message cost; call when a peer
+  /// rejoins after downtime ("piggybacking routing information on queries"
+  /// keeps rejoining cheap in the paper's model).
+  void OnPeerRejoin(net::PeerId peer);
+
+  const MaintenanceStats& stats() const { return stats_; }
+  double env() const { return env_; }
+
+  /// Expected probe messages per online member per round: env * table size.
+  double ExpectedProbesPerPeer(net::PeerId peer) const;
+
+ private:
+  ChordOverlay* overlay_;
+  net::Network* network_;
+  double env_;
+  Rng rng_;
+  MaintenanceStats stats_;
+  std::unordered_map<net::PeerId, double> budget_;  // fractional carry-over
+};
+
+}  // namespace pdht::overlay
+
+#endif  // PDHT_OVERLAY_DHT_MAINTENANCE_H_

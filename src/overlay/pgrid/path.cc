@@ -1,0 +1,76 @@
+#include "overlay/pgrid/path.h"
+
+#include <cassert>
+
+#include "util/bits.h"
+
+namespace pdht::overlay {
+
+namespace {
+uint64_t MaskTop(int len) {
+  if (len <= 0) return 0;
+  if (len >= 64) return ~uint64_t{0};
+  return ~uint64_t{0} << (64 - len);
+}
+}  // namespace
+
+TriePath::TriePath(uint64_t msb_bits, int len)
+    : bits_(msb_bits & MaskTop(len)), len_(len) {
+  assert(len >= 0 && len <= 64);
+}
+
+TriePath TriePath::FromString(const std::string& s) {
+  assert(s.size() <= 64);
+  uint64_t bits = 0;
+  for (size_t i = 0; i < s.size(); ++i) {
+    assert(s[i] == '0' || s[i] == '1');
+    if (s[i] == '1') bits |= uint64_t{1} << (63 - i);
+  }
+  return TriePath(bits, static_cast<int>(s.size()));
+}
+
+int TriePath::Bit(int i) const {
+  assert(i >= 0 && i < len_);
+  return static_cast<int>((bits_ >> (63 - i)) & 1);
+}
+
+TriePath TriePath::Child(int bit) const {
+  assert(len_ < 64);
+  uint64_t bits = bits_;
+  if (bit) bits |= uint64_t{1} << (63 - len_);
+  return TriePath(bits, len_ + 1);
+}
+
+TriePath TriePath::Prefix(int n) const {
+  assert(n >= 0 && n <= len_);
+  return TriePath(bits_, n);
+}
+
+TriePath TriePath::SiblingAt(int i) const {
+  assert(i >= 0 && i < len_);
+  uint64_t bits = bits_ ^ (uint64_t{1} << (63 - i));
+  return TriePath(bits, i + 1);
+}
+
+bool TriePath::IsPrefixOf(const TriePath& other) const {
+  if (len_ > other.len_) return false;
+  return (other.bits_ & MaskTop(len_)) == bits_;
+}
+
+bool TriePath::IsPrefixOfKey(uint64_t key_id) const {
+  return (key_id & MaskTop(len_)) == bits_;
+}
+
+int TriePath::CommonPrefixWithKey(uint64_t key_id) const {
+  int cpl = CommonPrefixLength(bits_, key_id);
+  return cpl < len_ ? cpl : len_;
+}
+
+std::string TriePath::ToString() const {
+  std::string s;
+  s.reserve(len_);
+  for (int i = 0; i < len_; ++i) s.push_back(Bit(i) ? '1' : '0');
+  return s;
+}
+
+}  // namespace pdht::overlay

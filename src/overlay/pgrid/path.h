@@ -1,0 +1,70 @@
+// P-Grid binary trie paths [Aber01].
+//
+// In P-Grid every peer is associated with a binary string (its "path");
+// the peer is responsible for all keys whose binary representation starts
+// with that path.  Paths are stored MSB-aligned in a uint64 so prefix
+// relations against 64-bit key ids are simple integer operations.
+
+#ifndef PDHT_OVERLAY_PGRID_PATH_H_
+#define PDHT_OVERLAY_PGRID_PATH_H_
+
+#include <cstdint>
+#include <string>
+
+namespace pdht::overlay {
+
+class TriePath {
+ public:
+  TriePath() = default;
+
+  /// Builds from the top `len` bits of `msb_bits` (remaining bits cleared).
+  TriePath(uint64_t msb_bits, int len);
+
+  /// Parses "0110..." (at most 64 chars of '0'/'1').
+  static TriePath FromString(const std::string& s);
+
+  int length() const { return len_; }
+  bool empty() const { return len_ == 0; }
+  uint64_t msb_bits() const { return bits_; }
+
+  /// Bit i (0-based from the root/MSB); requires i < length().
+  int Bit(int i) const;
+
+  /// Path extended by one bit.
+  TriePath Child(int bit) const;
+
+  /// First `n` bits of this path (n <= length()).
+  TriePath Prefix(int n) const;
+
+  /// Path with bit `i` flipped and truncated to i+1 bits: the "other side"
+  /// reference target at trie level i.
+  TriePath SiblingAt(int i) const;
+
+  /// True iff this path is a prefix of (or equal to) `other`.
+  bool IsPrefixOf(const TriePath& other) const;
+
+  /// True iff this path is a prefix of the 64-bit key id.
+  bool IsPrefixOfKey(uint64_t key_id) const;
+
+  /// Number of leading bits shared with `key_id` (capped at length()).
+  int CommonPrefixWithKey(uint64_t key_id) const;
+
+  std::string ToString() const;
+
+  bool operator==(const TriePath& o) const {
+    return len_ == o.len_ && bits_ == o.bits_;
+  }
+  /// Lexicographic-by-bits ordering (shorter prefix first on ties).
+  bool operator<(const TriePath& o) const {
+    if (bits_ != o.bits_) return bits_ < o.bits_;
+    return len_ < o.len_;
+  }
+
+ private:
+  uint64_t bits_ = 0;  // MSB-aligned; bits past len_ are zero.
+  int len_ = 0;
+};
+
+}  // namespace pdht::overlay
+
+#endif  // PDHT_OVERLAY_PGRID_PATH_H_

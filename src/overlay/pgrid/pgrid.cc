@@ -1,0 +1,339 @@
+#include "overlay/pgrid/pgrid.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <sstream>
+
+#include "overlay/dht/id.h"
+#include "util/bits.h"
+
+namespace pdht::overlay {
+
+PGridOverlay::PGridOverlay(net::Network* network, Rng rng, PGridConfig config)
+    : network_(network), rng_(rng), config_(config) {
+  assert(network != nullptr);
+  assert(config_.refs_per_level >= 1);
+  assert(config_.max_leaf_peers >= 1);
+}
+
+void PGridOverlay::SetMembers(const std::vector<net::PeerId>& members) {
+  paths_.clear();
+  member_list_ = members;
+  probe_budget_.clear();
+  if (members.empty()) return;
+  // Recursive halving: split the (shuffled) member set until groups are at
+  // most max_leaf_peers, assigning '0' to one half and '1' to the other.
+  std::vector<net::PeerId> shuffled = members;
+  rng_.Shuffle(shuffled.data(), shuffled.size());
+  std::function<void(size_t, size_t, TriePath)> assign =
+      [&](size_t lo, size_t hi, TriePath path) {
+        size_t n = hi - lo;
+        if (n <= config_.max_leaf_peers || path.length() >= 62) {
+          for (size_t i = lo; i < hi; ++i) {
+            paths_[shuffled[i]] = NodeState{path, {}};
+          }
+          return;
+        }
+        size_t mid = lo + n / 2;
+        assign(lo, mid, path.Child(0));
+        assign(mid, hi, path.Child(1));
+      };
+  assign(0, shuffled.size(), TriePath{});
+  BuildRoutingTables();
+}
+
+uint64_t PGridOverlay::BuildByExchanges(
+    const std::vector<net::PeerId>& members, uint64_t max_exchanges) {
+  paths_.clear();
+  member_list_ = members;
+  probe_budget_.clear();
+  for (net::PeerId p : members) paths_[p] = NodeState{TriePath{}, {}};
+  if (members.size() < 2) return 0;
+
+  // P-Grid bootstrap: random pairwise meetings.  When two peers with the
+  // same path meet, they split (one takes '0', the other '1') provided the
+  // leaf population allows it; when their paths diverge they recurse into
+  // referencing each other (we only track paths here; references are
+  // rebuilt after convergence).  Splitting stops when a peer's leaf group
+  // would drop below max_leaf_peers coverage of the opposite side, which
+  // we approximate with a target depth of ceil(log2(n / max_leaf_peers)).
+  const int target_depth = CeilLog2(
+      std::max<uint64_t>(1, members.size() / config_.max_leaf_peers));
+  uint64_t exchanges = 0;
+  uint64_t stable_streak = 0;
+  while (exchanges < max_exchanges && stable_streak < members.size() * 4) {
+    net::PeerId a = members[rng_.UniformU64(members.size())];
+    net::PeerId b = members[rng_.UniformU64(members.size())];
+    if (a == b) continue;
+    ++exchanges;
+    network_->CountOnly(net::MessageType::kExchange, 1);
+    NodeState& sa = paths_[a];
+    NodeState& sb = paths_[b];
+    // Meet at the longest common prefix of the two paths.
+    int cpl = 0;
+    int max_cpl = std::min(sa.path.length(), sb.path.length());
+    while (cpl < max_cpl && sa.path.Bit(cpl) == sb.path.Bit(cpl)) ++cpl;
+    bool a_ends = cpl == sa.path.length();
+    bool b_ends = cpl == sb.path.length();
+    if (a_ends && b_ends) {
+      // Same path: split if below target depth.
+      if (sa.path.length() < target_depth) {
+        sa.path = sa.path.Child(0);
+        sb.path = sb.path.Child(1);
+        stable_streak = 0;
+      } else {
+        ++stable_streak;
+      }
+    } else if (a_ends != b_ends) {
+      // One path is a strict prefix of the other: the shallower peer
+      // specializes to the unoccupied side.
+      NodeState& shallow = a_ends ? sa : sb;
+      NodeState& deep = a_ends ? sb : sa;
+      int bit = deep.path.Bit(cpl);
+      shallow.path = shallow.path.Child(1 - bit);
+      stable_streak = 0;
+    } else {
+      ++stable_streak;  // diverged: reference exchange only
+    }
+  }
+  BuildRoutingTables();
+  return exchanges;
+}
+
+std::vector<net::PeerId> PGridOverlay::PeersUnder(
+    const TriePath& prefix) const {
+  std::vector<net::PeerId> out;
+  for (const auto& [peer, st] : paths_) {
+    if (prefix.IsPrefixOf(st.path)) out.push_back(peer);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void PGridOverlay::BuildRefsFor(net::PeerId peer) {
+  NodeState& st = paths_[peer];
+  st.levels.assign(static_cast<size_t>(st.path.length()), LevelRefs{});
+  for (int l = 0; l < st.path.length(); ++l) {
+    // Candidates: peers under the sibling prefix at level l.
+    std::vector<net::PeerId> cands = PeersUnder(st.path.SiblingAt(l));
+    rng_.Shuffle(cands.data(), cands.size());
+    uint32_t want = std::min<uint32_t>(config_.refs_per_level,
+                                       static_cast<uint32_t>(cands.size()));
+    st.levels[l].refs.assign(cands.begin(), cands.begin() + want);
+  }
+}
+
+void PGridOverlay::BuildRoutingTables() {
+  for (auto& [peer, st] : paths_) {
+    (void)st;
+    BuildRefsFor(peer);
+  }
+}
+
+bool PGridOverlay::IsMember(net::PeerId peer) const {
+  return paths_.count(peer) > 0;
+}
+
+const TriePath& PGridOverlay::PathOf(net::PeerId peer) const {
+  static const TriePath kEmpty;
+  auto it = paths_.find(peer);
+  return it == paths_.end() ? kEmpty : it->second.path;
+}
+
+std::vector<net::PeerId> PGridOverlay::ResponsiblePeers(uint64_t key) const {
+  uint64_t key_id = KeyToNodeId(key);
+  std::vector<net::PeerId> out;
+  for (const auto& [peer, st] : paths_) {
+    if (st.path.IsPrefixOfKey(key_id)) out.push_back(peer);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+net::PeerId PGridOverlay::ResponsibleMember(uint64_t key) const {
+  auto peers = ResponsiblePeers(key);
+  return peers.empty() ? net::kInvalidPeer : peers.front();
+}
+
+LookupResult PGridOverlay::Lookup(net::PeerId origin, uint64_t key) {
+  LookupResult result;
+  if (paths_.empty()) return result;
+  auto origin_it = paths_.find(origin);
+  assert(origin_it != paths_.end() && "lookup origin must be a member");
+  const uint64_t key_id = KeyToNodeId(key);
+  result.responsible = ResponsibleMember(key);
+
+  net::PeerId cur = origin;
+  const uint32_t hop_limit = 64 + 16;
+  while (result.hops < hop_limit) {
+    NodeState& st = paths_.at(cur);
+    if (st.path.IsPrefixOfKey(key_id)) break;  // cur is responsible
+    int l = st.path.CommonPrefixWithKey(key_id);  // first differing level
+    // Try references at level l; all point to the key's side of the trie.
+    bool advanced = false;
+    assert(l < static_cast<int>(st.levels.size()));
+    for (net::PeerId ref : st.levels[static_cast<size_t>(l)].refs) {
+      net::Message m;
+      m.type = net::MessageType::kDhtLookup;
+      m.from = cur;
+      m.to = ref;
+      m.key = key;
+      m.tag = result.hops;
+      network_->Send(m);
+      ++result.messages;
+      if (network_->IsOnline(ref)) {
+        cur = ref;
+        ++result.hops;
+        advanced = true;
+        break;
+      }
+      ++result.failed_probes;
+    }
+    if (!advanced) {
+      // All references at the required level are dead: the lookup fails
+      // (P-Grid would retry via alternative paths; redundant refs make
+      // this rare at our churn levels, and the failure is reported).
+      result.success = false;
+      result.terminus = cur;
+      return result;
+    }
+  }
+
+  result.terminus = cur;
+  const NodeState& st = paths_.at(cur);
+  result.responsible_online = network_->IsOnline(cur);
+  result.success =
+      st.path.IsPrefixOfKey(key_id) && network_->IsOnline(cur);
+  if (result.success && cur != origin) {
+    net::Message resp;
+    resp.type = net::MessageType::kDhtResponse;
+    resp.from = cur;
+    resp.to = origin;
+    resp.key = key;
+    network_->Send(resp);
+    ++result.messages;
+  }
+  return result;
+}
+
+net::PeerId PGridOverlay::RandomOnlineMember(Rng& rng) const {
+  if (member_list_.empty()) return net::kInvalidPeer;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    net::PeerId p = member_list_[rng.UniformU64(member_list_.size())];
+    if (network_->IsOnline(p)) return p;
+  }
+  for (net::PeerId p : member_list_) {
+    if (network_->IsOnline(p)) return p;
+  }
+  return net::kInvalidPeer;
+}
+
+size_t PGridOverlay::TableSize(net::PeerId peer) const {
+  auto it = paths_.find(peer);
+  if (it == paths_.end()) return 0;
+  size_t total = 0;
+  for (const auto& lvl : it->second.levels) total += lvl.refs.size();
+  return total;
+}
+
+uint64_t PGridOverlay::RunMaintenanceRound(double env) {
+  uint64_t probes = 0;
+  for (net::PeerId peer : member_list_) {
+    if (!network_->IsOnline(peer)) continue;
+    NodeState& st = paths_[peer];
+    size_t table = TableSize(peer);
+    if (table == 0) continue;
+    double& budget = probe_budget_[peer];
+    budget += env * static_cast<double>(table);
+    while (budget >= 1.0) {
+      budget -= 1.0;
+      // Pick a random reference uniformly across levels.
+      size_t idx = rng_.UniformU64(table);
+      for (auto& lvl : st.levels) {
+        if (idx < lvl.refs.size()) {
+          net::PeerId target = lvl.refs[idx];
+          net::Message probe;
+          probe.type = net::MessageType::kRoutingProbe;
+          probe.from = peer;
+          probe.to = target;
+          network_->Send(probe);
+          ++probes;
+          if (!network_->IsOnline(target)) {
+            // Re-pick a live peer from the same sibling subtree (repair is
+            // free, piggybacked -- same assumption as ChordMaintenance).
+            int level = static_cast<int>(&lvl - st.levels.data());
+            auto cands = PeersUnder(st.path.SiblingAt(level));
+            for (int a = 0; a < 16 && !cands.empty(); ++a) {
+              net::PeerId cand = cands[rng_.UniformU64(cands.size())];
+              if (network_->IsOnline(cand) && cand != target) {
+                lvl.refs[idx] = cand;
+                break;
+              }
+            }
+          }
+          break;
+        }
+        idx -= lvl.refs.size();
+      }
+    }
+  }
+  return probes;
+}
+
+void PGridOverlay::RefreshNode(net::PeerId peer) {
+  if (paths_.count(peer)) BuildRefsFor(peer);
+}
+
+double PGridOverlay::StaleReferenceFraction() const {
+  uint64_t total = 0;
+  uint64_t stale = 0;
+  for (const auto& [peer, st] : paths_) {
+    if (!network_->IsOnline(peer)) continue;
+    for (const auto& lvl : st.levels) {
+      for (net::PeerId ref : lvl.refs) {
+        ++total;
+        if (!network_->IsOnline(ref)) ++stale;
+      }
+    }
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(stale) / static_cast<double>(total);
+}
+
+std::string PGridOverlay::CheckInvariants() const {
+  // Prefix-freeness: no member's path is a strict prefix of another's
+  // (they would both claim the same keys ambiguously) -- except identical
+  // paths, which are replicas and allowed.
+  for (const auto& [pa, sa] : paths_) {
+    for (const auto& [pb, sb] : paths_) {
+      if (pa == pb) continue;
+      if (sa.path.length() < sb.path.length() &&
+          sa.path.IsPrefixOf(sb.path)) {
+        std::ostringstream err;
+        err << "path of peer " << pa << " (" << sa.path.ToString()
+            << ") is a strict prefix of peer " << pb << " ("
+            << sb.path.ToString() << ")";
+        return err.str();
+      }
+    }
+  }
+  // Coverage: probe a sample of key ids; each must have >= 1 responsible.
+  for (uint64_t k = 0; k < 64; ++k) {
+    uint64_t key_id = KeyToNodeId(k * 0x123456789ULL + 7);
+    bool covered = false;
+    for (const auto& [peer, st] : paths_) {
+      (void)peer;
+      if (st.path.IsPrefixOfKey(key_id)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered && !paths_.empty()) {
+      return "key space not covered";
+    }
+  }
+  return "";
+}
+
+}  // namespace pdht::overlay

@@ -1,0 +1,118 @@
+// P-Grid trie-structured overlay [Aber01].
+//
+// The paper's prototype of the selection algorithm was built on P-Grid
+// ("We have been implementing a simulator for partial indexing with P-Grid",
+// Section 5.2), so we provide it as a second structured-overlay backend
+// next to Chord.  Peers carry binary trie paths; a peer is responsible for
+// keys prefixed by its path.  Routing tables hold, per path level l,
+// references to peers on the *other* side of the trie at that level
+// (paths sharing the first l bits and differing at bit l).  A lookup
+// resolves the key bit-by-bit, each hop extending the matched prefix by at
+// least one bit, giving O(log n) hops -- the same cSIndx regime as Chord
+// (design note: the paper's analysis is "generic enough such that it can
+// be adapted to suit most other DHT proposals").
+//
+// Construction is available in two modes:
+//  * Balanced assignment (default): paths are assigned by recursive
+//    halving -- deterministic, used by the cost experiments.
+//  * Exchange-based (BuildByExchanges): random pairwise meetings split and
+//    refine paths as in the P-Grid bootstrap protocol; message cost is
+//    counted as kExchange.  A test verifies both converge to tries with
+//    complete key-space coverage.
+
+#ifndef PDHT_OVERLAY_PGRID_PGRID_H_
+#define PDHT_OVERLAY_PGRID_PGRID_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/network.h"
+#include "overlay/dht/chord.h"  // reuses LookupResult
+#include "overlay/pgrid/path.h"
+#include "util/rng.h"
+
+namespace pdht::overlay {
+
+struct PGridConfig {
+  uint32_t refs_per_level = 4;   ///< redundant references per trie level.
+  uint32_t max_leaf_peers = 1;   ///< peers sharing one leaf path (replicas).
+};
+
+class PGridOverlay {
+ public:
+  PGridOverlay(net::Network* network, Rng rng, PGridConfig config = {});
+
+  /// Balanced path assignment + routing table construction (free, like
+  /// ChordOverlay::SetMembers).
+  void SetMembers(const std::vector<net::PeerId>& members);
+
+  /// Exchange-based construction: starts all members at the empty path and
+  /// runs random pairwise exchanges until paths stabilize (or the round
+  /// budget is exhausted).  Counts kExchange messages.  Returns the number
+  /// of exchanges performed.
+  uint64_t BuildByExchanges(const std::vector<net::PeerId>& members,
+                            uint64_t max_exchanges);
+
+  bool IsMember(net::PeerId peer) const;
+  size_t num_members() const { return paths_.size(); }
+  const std::vector<net::PeerId>& members() const { return member_list_; }
+
+  const TriePath& PathOf(net::PeerId peer) const;
+
+  /// All peers whose path is a prefix of the key id (the responsible leaf
+  /// group; size max_leaf_peers under balanced assignment).
+  std::vector<net::PeerId> ResponsiblePeers(uint64_t key) const;
+
+  /// First responsible peer (deterministic representative).
+  net::PeerId ResponsibleMember(uint64_t key) const;
+
+  /// Prefix-routing lookup from `origin`; counts kDhtLookup per hop
+  /// attempt, like ChordOverlay::Lookup.
+  LookupResult Lookup(net::PeerId origin, uint64_t key);
+
+  net::PeerId RandomOnlineMember(Rng& rng) const;
+
+  /// Total routing references of `peer` (for maintenance sizing).
+  size_t TableSize(net::PeerId peer) const;
+
+  /// Probe-based maintenance round (same env semantics as
+  /// ChordMaintenance): probes random references, re-picks dead ones.
+  /// Returns probes sent.
+  uint64_t RunMaintenanceRound(double env);
+
+  /// Rebuilds a peer's references from current paths (rejoin refresh).
+  void RefreshNode(net::PeerId peer);
+
+  /// Empty string when the trie is well-formed (paths prefix-free and
+  /// covering: every key id has >= 1 responsible peer). Test-support API.
+  std::string CheckInvariants() const;
+
+  double StaleReferenceFraction() const;
+
+ private:
+  struct LevelRefs {
+    std::vector<net::PeerId> refs;
+  };
+  struct NodeState {
+    TriePath path;
+    std::vector<LevelRefs> levels;  // levels[l]: refs for level l
+  };
+
+  void BuildRoutingTables();
+  void BuildRefsFor(net::PeerId peer);
+  /// Peers whose path starts with prefix (exact prefix match on paths).
+  std::vector<net::PeerId> PeersUnder(const TriePath& prefix) const;
+
+  net::Network* network_;
+  Rng rng_;
+  PGridConfig config_;
+  std::unordered_map<net::PeerId, NodeState> paths_;
+  std::vector<net::PeerId> member_list_;
+  std::unordered_map<net::PeerId, double> probe_budget_;
+};
+
+}  // namespace pdht::overlay
+
+#endif  // PDHT_OVERLAY_PGRID_PGRID_H_

@@ -1,0 +1,123 @@
+#include "overlay/replica/gossip.h"
+
+#include <cassert>
+#include <deque>
+#include <unordered_set>
+
+namespace pdht::overlay {
+
+GossipProtocol::GossipProtocol(net::Network* network) : network_(network) {
+  assert(network != nullptr);
+}
+
+GossipResult GossipProtocol::PushUpdate(ReplicaGroup* group,
+                                        net::PeerId origin,
+                                        uint64_t version) {
+  GossipResult result;
+  if (!network_->IsOnline(origin) || !group->Contains(origin)) return result;
+  group->SetVersionAt(origin, version);
+  std::unordered_set<net::PeerId> informed{origin};
+  struct Hop {
+    net::PeerId peer;
+    net::PeerId from;
+  };
+  std::deque<Hop> frontier{{origin, net::kInvalidPeer}};
+  result.replicas_reached = 1;
+  while (!frontier.empty()) {
+    Hop h = frontier.front();
+    frontier.pop_front();
+    for (net::PeerId nbr : group->NeighborsOf(h.peer)) {
+      if (nbr == h.from) continue;  // rumors are not returned to the sender
+      if (!network_->IsOnline(nbr)) continue;  // will pull on rejoin
+      net::Message m;
+      m.type = net::MessageType::kReplicaPush;
+      m.from = h.peer;
+      m.to = nbr;
+      m.key = group->key();
+      m.tag = version;
+      network_->Send(m);
+      ++result.messages;
+      if (informed.insert(nbr).second) {
+        group->SetVersionAt(nbr, version);
+        ++result.replicas_reached;
+        frontier.push_back({nbr, h.peer});
+      }
+      // Duplicate transmissions to already-informed replicas are counted
+      // but not re-forwarded: that is the dup2 overhead of flooding the
+      // replica subnetwork.
+    }
+  }
+  return result;
+}
+
+GossipResult GossipProtocol::PullOnRejoin(ReplicaGroup* group,
+                                          net::PeerId peer) {
+  GossipResult result;
+  if (!group->Contains(peer)) return result;
+  for (net::PeerId nbr : group->NeighborsOf(peer)) {
+    if (!network_->IsOnline(nbr)) continue;
+    net::Message pull;
+    pull.type = net::MessageType::kReplicaPull;
+    pull.from = peer;
+    pull.to = nbr;
+    pull.key = group->key();
+    network_->Send(pull);
+    ++result.messages;
+    // Response piggybacks the newest version the neighbor knows.
+    net::Message resp;
+    resp.type = net::MessageType::kReplicaPull;
+    resp.from = nbr;
+    resp.to = peer;
+    resp.key = group->key();
+    resp.tag = group->VersionAt(nbr);
+    network_->Send(resp);
+    ++result.messages;
+    group->SetVersionAt(peer, group->VersionAt(nbr));
+    ++result.replicas_reached;
+    break;
+  }
+  return result;
+}
+
+ReplicaQueryResult GossipProtocol::FloodQuery(
+    const ReplicaGroup& group, net::PeerId origin,
+    const std::function<bool(net::PeerId)>& has_key) {
+  ReplicaQueryResult result;
+  if (!network_->IsOnline(origin)) return result;
+  if (has_key(origin)) {
+    result.found = true;
+    result.found_at = origin;
+    return result;
+  }
+  std::unordered_set<net::PeerId> seen{origin};
+  struct Hop {
+    net::PeerId peer;
+    net::PeerId from;
+  };
+  std::deque<Hop> frontier{{origin, net::kInvalidPeer}};
+  while (!frontier.empty()) {
+    Hop h = frontier.front();
+    frontier.pop_front();
+    for (net::PeerId nbr : group.NeighborsOf(h.peer)) {
+      if (nbr == h.from) continue;
+      net::Message m;
+      m.type = net::MessageType::kReplicaFlood;
+      m.from = h.peer;
+      m.to = nbr;
+      m.key = group.key();
+      bool delivered = network_->Send(m);
+      ++result.messages;
+      if (!delivered || !seen.insert(nbr).second) continue;
+      if (has_key(nbr)) {
+        result.found = true;
+        result.found_at = nbr;
+        // Flood continues (no cancellation); the remaining wavefront is
+        // genuine traffic, like PushUpdate's.
+      }
+      frontier.push_back({nbr, h.peer});
+    }
+  }
+  return result;
+}
+
+}  // namespace pdht::overlay

@@ -1,0 +1,69 @@
+// Hybrid push/pull rumor spreading over a replica subnetwork [DaHa03].
+//
+// "Peers that are offline and go online again pull for missed updates.  We
+// assume a message duplication factor of dup2 for flooding the replica
+// subnetwork" (Section 3.3.2).  Two operations:
+//
+//  * PushUpdate: after an update is installed at one replica, the rumor is
+//    flooded over the subnetwork (online replicas forward to all
+//    neighbors; duplicate receipts are the dup2 overhead).  Expected cost
+//    ~ repl * dup2 messages (Eq. 9's second term), which the ablation
+//    bench verifies.
+//  * PullOnRejoin: a replica that comes back online asks one online
+//    neighbor for missed updates (one pull + one response message).
+//
+//  * FloodQuery: the Section-5 algorithm floods the replica subnetwork on
+//    index lookups because TTL purging leaves replicas unsynchronized
+//    (cSIndx2 = cSIndx + repl*dup2, Eq. 16).  Returns whether any online
+//    replica had the key according to the supplied predicate.
+
+#ifndef PDHT_OVERLAY_REPLICA_GOSSIP_H_
+#define PDHT_OVERLAY_REPLICA_GOSSIP_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "net/network.h"
+#include "overlay/replica/replica_group.h"
+
+namespace pdht::overlay {
+
+struct GossipResult {
+  uint64_t messages = 0;
+  uint32_t replicas_reached = 0;  ///< online replicas that saw the rumor.
+};
+
+struct ReplicaQueryResult {
+  bool found = false;
+  net::PeerId found_at = net::kInvalidPeer;
+  uint64_t messages = 0;
+};
+
+class GossipProtocol {
+ public:
+  explicit GossipProtocol(net::Network* network);
+
+  /// Floods `version` from `origin` across the group's subnetwork.
+  /// Every transmission (including duplicates to already-informed
+  /// replicas) is one kReplicaPush message.  Offline replicas are skipped
+  /// by their neighbors (link-level detection, no wire cost) -- they catch
+  /// up via PullOnRejoin.
+  GossipResult PushUpdate(ReplicaGroup* group, net::PeerId origin,
+                          uint64_t version);
+
+  /// One pull request to the first online neighbor plus one response;
+  /// installs the group's latest version at `peer`.
+  GossipResult PullOnRejoin(ReplicaGroup* group, net::PeerId peer);
+
+  /// Floods a query over the subnetwork; `has_key(replica)` decides hits.
+  ReplicaQueryResult FloodQuery(
+      const ReplicaGroup& group, net::PeerId origin,
+      const std::function<bool(net::PeerId)>& has_key);
+
+ private:
+  net::Network* network_;
+};
+
+}  // namespace pdht::overlay
+
+#endif  // PDHT_OVERLAY_REPLICA_GOSSIP_H_

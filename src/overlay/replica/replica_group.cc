@@ -1,0 +1,93 @@
+#include "overlay/replica/replica_group.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pdht::overlay {
+
+ReplicaGroup::ReplicaGroup(uint64_t key, std::vector<net::PeerId> members,
+                           double avg_degree, Rng* rng)
+    : key_(key), members_(std::move(members)) {
+  assert(!members_.empty());
+  for (net::PeerId p : members_) {
+    version_[p] = 0;
+    adj_[p];  // ensure entry
+  }
+  if (members_.size() == 1) return;
+  // Random connected subnetwork: spanning tree + extra edges, mirroring
+  // RandomGraph but over the member list (ids are sparse PeerIds).
+  std::vector<net::PeerId> shuffled = members_;
+  rng->Shuffle(shuffled.data(), shuffled.size());
+  auto add_edge = [&](net::PeerId a, net::PeerId b) {
+    adj_[a].push_back(b);
+    adj_[b].push_back(a);
+  };
+  uint64_t edges = 0;
+  for (size_t i = 1; i < shuffled.size(); ++i) {
+    add_edge(shuffled[i], shuffled[rng->UniformU64(i)]);
+    ++edges;
+  }
+  uint64_t target = static_cast<uint64_t>(
+      static_cast<double>(members_.size()) *
+      std::min(avg_degree, static_cast<double>(members_.size() - 1)) / 2.0);
+  uint64_t attempts = 0;
+  while (edges < target && attempts < target * 20 + 64) {
+    ++attempts;
+    net::PeerId a = members_[rng->UniformU64(members_.size())];
+    net::PeerId b = members_[rng->UniformU64(members_.size())];
+    if (a == b) continue;
+    const auto& na = adj_[a];
+    if (std::find(na.begin(), na.end(), b) != na.end()) continue;
+    add_edge(a, b);
+    ++edges;
+  }
+}
+
+bool ReplicaGroup::Contains(net::PeerId peer) const {
+  return version_.count(peer) > 0;
+}
+
+const std::vector<net::PeerId>& ReplicaGroup::NeighborsOf(
+    net::PeerId peer) const {
+  auto it = adj_.find(peer);
+  return it == adj_.end() ? empty_ : it->second;
+}
+
+uint64_t ReplicaGroup::VersionAt(net::PeerId peer) const {
+  auto it = version_.find(peer);
+  return it == version_.end() ? 0 : it->second;
+}
+
+void ReplicaGroup::SetVersionAt(net::PeerId peer, uint64_t version) {
+  auto it = version_.find(peer);
+  if (it != version_.end() && version > it->second) it->second = version;
+}
+
+uint64_t ReplicaGroup::ProduceUpdate(net::PeerId at) {
+  ++latest_version_;
+  SetVersionAt(at, latest_version_);
+  return latest_version_;
+}
+
+double ReplicaGroup::ConsistentFraction() const {
+  if (members_.empty()) return 1.0;
+  uint64_t ok = 0;
+  for (net::PeerId p : members_) {
+    if (VersionAt(p) == latest_version_) ++ok;
+  }
+  return static_cast<double>(ok) / static_cast<double>(members_.size());
+}
+
+double ReplicaGroup::ConsistentFractionOnline(const net::Network& net) const {
+  uint64_t online = 0;
+  uint64_t ok = 0;
+  for (net::PeerId p : members_) {
+    if (!net.IsOnline(p)) continue;
+    ++online;
+    if (VersionAt(p) == latest_version_) ++ok;
+  }
+  if (online == 0) return 1.0;
+  return static_cast<double>(ok) / static_cast<double>(online);
+}
+
+}  // namespace pdht::overlay

@@ -1,0 +1,64 @@
+// Replica subnetwork membership and per-replica state.
+//
+// "The replicas in the index maintain an unstructured replica subnetwork
+// among each other.  When updating a key, it is inserted at one responsible
+// peer in the index at the cost of searching the index (cSIndx) and then
+// gossiped to the other responsible peers in the subnetwork of replicas"
+// (Section 3.3.2, following [DaHa03]).
+//
+// A ReplicaGroup tracks the replica peers of one key, each replica's
+// version (the newest update it has seen), and the subnetwork topology (a
+// random connected graph among the replicas).  GossipProtocol (gossip.h)
+// spreads updates over it.
+
+#ifndef PDHT_OVERLAY_REPLICA_REPLICA_GROUP_H_
+#define PDHT_OVERLAY_REPLICA_REPLICA_GROUP_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/network.h"
+#include "util/rng.h"
+
+namespace pdht::overlay {
+
+class ReplicaGroup {
+ public:
+  /// Forms a group over `members` with a random subnetwork of average
+  /// degree `avg_degree` (clamped to the group size).
+  ReplicaGroup(uint64_t key, std::vector<net::PeerId> members,
+               double avg_degree, Rng* rng);
+
+  uint64_t key() const { return key_; }
+  const std::vector<net::PeerId>& members() const { return members_; }
+  bool Contains(net::PeerId peer) const;
+
+  const std::vector<net::PeerId>& NeighborsOf(net::PeerId peer) const;
+
+  /// Version bookkeeping: the group-wide latest version and each replica's
+  /// locally known version.
+  uint64_t latest_version() const { return latest_version_; }
+  uint64_t VersionAt(net::PeerId peer) const;
+  void SetVersionAt(net::PeerId peer, uint64_t version);
+  /// Bumps the group-wide version (a new update was produced) and installs
+  /// it at `at` (the insertion point).  Returns the new version.
+  uint64_t ProduceUpdate(net::PeerId at);
+
+  /// Fraction of replicas whose version equals latest_version().
+  double ConsistentFraction() const;
+  /// Fraction among currently-online replicas only.
+  double ConsistentFractionOnline(const net::Network& net) const;
+
+ private:
+  uint64_t key_;
+  std::vector<net::PeerId> members_;
+  std::unordered_map<net::PeerId, std::vector<net::PeerId>> adj_;
+  std::unordered_map<net::PeerId, uint64_t> version_;
+  uint64_t latest_version_ = 0;
+  std::vector<net::PeerId> empty_;
+};
+
+}  // namespace pdht::overlay
+
+#endif  // PDHT_OVERLAY_REPLICA_REPLICA_GROUP_H_

@@ -1,0 +1,106 @@
+#include "overlay/unstructured/random_graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+namespace pdht::overlay {
+
+RandomGraph::RandomGraph(uint32_t n, double avg_degree, Rng* rng)
+    : adj_(n) {
+  assert(n >= 1);
+  assert(avg_degree >= 2.0 || n == 1);
+  if (n == 1) return;
+  // Random spanning tree: attach each node i >= 1 to a uniformly random
+  // predecessor.  This both guarantees connectivity and yields the skewed
+  // degree distribution typical of unstructured overlays.
+  for (uint32_t i = 1; i < n; ++i) {
+    uint32_t j = static_cast<uint32_t>(rng->UniformU64(i));
+    AddEdge(i, j);
+  }
+  // Extra random edges up to the target edge count m = n*avg_degree/2.
+  uint64_t target_edges =
+      static_cast<uint64_t>(static_cast<double>(n) * avg_degree / 2.0);
+  uint64_t attempts = 0;
+  const uint64_t max_attempts = target_edges * 20 + 100;
+  while (num_edges_ < target_edges && attempts < max_attempts) {
+    ++attempts;
+    uint32_t a = static_cast<uint32_t>(rng->UniformU64(n));
+    uint32_t b = static_cast<uint32_t>(rng->UniformU64(n));
+    if (a == b || HasEdge(a, b)) continue;
+    AddEdge(a, b);
+  }
+}
+
+void RandomGraph::AddEdge(net::PeerId a, net::PeerId b) {
+  adj_[a].push_back(b);
+  adj_[b].push_back(a);
+  ++num_edges_;
+}
+
+double RandomGraph::AverageDegree() const {
+  if (adj_.empty()) return 0.0;
+  return 2.0 * static_cast<double>(num_edges_) /
+         static_cast<double>(adj_.size());
+}
+
+bool RandomGraph::HasEdge(net::PeerId a, net::PeerId b) const {
+  const auto& smaller =
+      adj_[a].size() <= adj_[b].size() ? adj_[a] : adj_[b];
+  net::PeerId other = adj_[a].size() <= adj_[b].size() ? b : a;
+  return std::find(smaller.begin(), smaller.end(), other) != smaller.end();
+}
+
+bool RandomGraph::IsConnected() const {
+  std::vector<bool> alive(adj_.size(), true);
+  return IsConnectedAmong(alive);
+}
+
+bool RandomGraph::IsConnectedAmong(const std::vector<bool>& alive) const {
+  uint32_t n = num_nodes();
+  assert(alive.size() == n);
+  uint32_t start = n;
+  uint32_t alive_count = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    if (alive[i]) {
+      ++alive_count;
+      if (start == n) start = i;
+    }
+  }
+  if (alive_count == 0) return true;
+  std::vector<bool> seen(n, false);
+  std::deque<uint32_t> frontier{start};
+  seen[start] = true;
+  uint32_t visited = 1;
+  while (!frontier.empty()) {
+    uint32_t u = frontier.front();
+    frontier.pop_front();
+    for (net::PeerId v : adj_[u]) {
+      if (!alive[v] || seen[v]) continue;
+      seen[v] = true;
+      ++visited;
+      frontier.push_back(v);
+    }
+  }
+  return visited == alive_count;
+}
+
+uint32_t RandomGraph::Distance(net::PeerId a, net::PeerId b) const {
+  if (a == b) return 0;
+  std::vector<uint32_t> dist(adj_.size(), UINT32_MAX);
+  std::deque<uint32_t> frontier{a};
+  dist[a] = 0;
+  while (!frontier.empty()) {
+    uint32_t u = frontier.front();
+    frontier.pop_front();
+    for (net::PeerId v : adj_[u]) {
+      if (dist[v] != UINT32_MAX) continue;
+      dist[v] = dist[u] + 1;
+      if (v == b) return dist[v];
+      frontier.push_back(v);
+    }
+  }
+  return UINT32_MAX;
+}
+
+}  // namespace pdht::overlay

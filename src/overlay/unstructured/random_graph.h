@@ -1,0 +1,54 @@
+// Gnutella-like random overlay topology.
+//
+// "We assume that the unstructured network has a Gnutella-like topology,
+// where each peer has a few open connections to other peers" (Section 3.1).
+// The graph is built as a random spanning tree (guaranteeing connectivity)
+// plus uniformly random extra edges until the target average degree is
+// reached -- the standard construction for Gnutella-style overlays in
+// simulation studies [LvCa02].
+
+#ifndef PDHT_OVERLAY_UNSTRUCTURED_RANDOM_GRAPH_H_
+#define PDHT_OVERLAY_UNSTRUCTURED_RANDOM_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "net/message.h"
+#include "util/rng.h"
+
+namespace pdht::overlay {
+
+class RandomGraph {
+ public:
+  /// Builds a connected graph over `n` nodes with average degree close to
+  /// `avg_degree` (>= 2).  Deterministic given `rng`'s state.
+  RandomGraph(uint32_t n, double avg_degree, Rng* rng);
+
+  uint32_t num_nodes() const { return static_cast<uint32_t>(adj_.size()); }
+  uint64_t num_edges() const { return num_edges_; }
+  double AverageDegree() const;
+
+  const std::vector<net::PeerId>& Neighbors(net::PeerId node) const {
+    return adj_[node];
+  }
+
+  bool HasEdge(net::PeerId a, net::PeerId b) const;
+
+  /// True if the graph restricted to `alive` nodes is connected (BFS from
+  /// the first alive node).  With no filter, checks the whole graph.
+  bool IsConnected() const;
+  bool IsConnectedAmong(const std::vector<bool>& alive) const;
+
+  /// BFS hop distance between two nodes, or UINT32_MAX if unreachable.
+  uint32_t Distance(net::PeerId a, net::PeerId b) const;
+
+ private:
+  void AddEdge(net::PeerId a, net::PeerId b);
+
+  std::vector<std::vector<net::PeerId>> adj_;
+  uint64_t num_edges_ = 0;
+};
+
+}  // namespace pdht::overlay
+
+#endif  // PDHT_OVERLAY_UNSTRUCTURED_RANDOM_GRAPH_H_

@@ -1,0 +1,66 @@
+// Multiple-random-walk search [LvCa02].
+//
+// "the Gnutella flooding-based query algorithm is not optimal even for
+// unstructured networks.  We therefore assume that a search algorithm is
+// used that consumes less network traffic, such as multiple random walks"
+// (Section 3.1).  The originator launches `num_walkers` walkers; each
+// walker forwards the query to one random neighbor per step and "checks"
+// back with the originator every `check_interval` steps, terminating when
+// another walker already succeeded.  With random replication at factor
+// repl, the expected number of walker steps to a hit is ~ numPeers/repl,
+// and revisits/cross-walker overlap contribute the duplication factor dup
+// of Eq. 6.
+//
+// To preserve the paper's assumption that an existing key is always found,
+// a search whose walkers all expire falls back to flooding (counted; rare
+// when walk budgets are sized sensibly).
+
+#ifndef PDHT_OVERLAY_UNSTRUCTURED_RANDOM_WALK_H_
+#define PDHT_OVERLAY_UNSTRUCTURED_RANDOM_WALK_H_
+
+#include <cstdint>
+
+#include "overlay/unstructured/flooding.h"
+#include "overlay/unstructured/random_graph.h"
+#include "util/rng.h"
+
+namespace pdht::overlay {
+
+struct RandomWalkConfig {
+  uint32_t num_walkers = 16;       ///< [LvCa02] recommends 16-64 walkers.
+  uint32_t max_steps_per_walker = 4096;  ///< per-walker step budget.
+  uint32_t check_interval = 4;     ///< steps between originator checks.
+  bool flood_fallback = true;      ///< guarantee success for existing keys.
+};
+
+struct WalkResult {
+  bool found = false;
+  net::PeerId found_at = net::kInvalidPeer;
+  uint64_t messages = 0;       ///< walk + check + response + fallback msgs.
+  uint64_t walk_steps = 0;     ///< pure walker forwards.
+  uint32_t distinct_peers = 0; ///< distinct peers visited by any walker.
+  bool used_flood_fallback = false;
+};
+
+class RandomWalkSearch {
+ public:
+  RandomWalkSearch(const RandomGraph* graph, net::Network* network,
+                   ContentOracle oracle, RandomWalkConfig config, Rng rng);
+
+  WalkResult Search(net::PeerId origin, uint64_t key);
+
+  const RandomWalkConfig& config() const { return config_; }
+
+ private:
+  const RandomGraph* graph_;
+  net::Network* network_;
+  ContentOracle oracle_;
+  RandomWalkConfig config_;
+  Rng rng_;
+  FloodSearch flood_;
+  uint64_t next_request_id_ = 1;
+};
+
+}  // namespace pdht::overlay
+
+#endif  // PDHT_OVERLAY_UNSTRUCTURED_RANDOM_WALK_H_

@@ -1,0 +1,67 @@
+#include "overlay/unstructured/replication.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pdht::overlay {
+
+ReplicaPlacement::ReplicaPlacement(uint32_t num_peers, uint32_t repl, Rng rng)
+    : num_peers_(num_peers), repl_(repl), rng_(rng), held_(num_peers) {
+  assert(num_peers >= 1);
+  assert(repl >= 1);
+}
+
+void ReplicaPlacement::PlaceKey(uint64_t key) {
+  if (replicas_.count(key)) return;
+  uint32_t want = std::min(repl_, num_peers_);
+  std::vector<net::PeerId> chosen;
+  chosen.reserve(want);
+  std::unordered_set<net::PeerId> used;
+  while (chosen.size() < want) {
+    net::PeerId p = static_cast<net::PeerId>(rng_.UniformU64(num_peers_));
+    if (used.insert(p).second) {
+      chosen.push_back(p);
+      held_[p].insert(key);
+    }
+  }
+  replicas_.emplace(key, std::move(chosen));
+}
+
+void ReplicaPlacement::PlaceKeys(uint64_t n) {
+  for (uint64_t k = 0; k < n; ++k) PlaceKey(k);
+}
+
+bool ReplicaPlacement::IsPlaced(uint64_t key) const {
+  return replicas_.count(key) > 0;
+}
+
+bool ReplicaPlacement::PeerHoldsKey(net::PeerId peer, uint64_t key) const {
+  if (peer >= held_.size()) return false;
+  return held_[peer].count(key) > 0;
+}
+
+const std::vector<net::PeerId>& ReplicaPlacement::ReplicasOf(
+    uint64_t key) const {
+  auto it = replicas_.find(key);
+  return it == replicas_.end() ? empty_ : it->second;
+}
+
+void ReplicaPlacement::RemoveKey(uint64_t key) {
+  auto it = replicas_.find(key);
+  if (it == replicas_.end()) return;
+  for (net::PeerId p : it->second) held_[p].erase(key);
+  replicas_.erase(it);
+}
+
+double ReplicaPlacement::OnlineReplicaFraction(
+    uint64_t key, const std::vector<bool>& alive) const {
+  const auto& reps = ReplicasOf(key);
+  if (reps.empty()) return 0.0;
+  uint32_t online = 0;
+  for (net::PeerId p : reps) {
+    if (p < alive.size() && alive[p]) ++online;
+  }
+  return static_cast<double>(online) / static_cast<double>(reps.size());
+}
+
+}  // namespace pdht::overlay

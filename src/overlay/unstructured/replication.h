@@ -1,0 +1,61 @@
+// Random content replication.
+//
+// "we replicate keys with a certain factor at random peers" (Section 3.1).
+// ReplicaPlacement assigns every key to `repl` distinct peers chosen
+// uniformly at random, and answers the content-oracle question "does peer p
+// hold key k?" that the unstructured search protocols need.  Placement is
+// independent of the DHT key space (different hash family).
+
+#ifndef PDHT_OVERLAY_UNSTRUCTURED_REPLICATION_H_
+#define PDHT_OVERLAY_UNSTRUCTURED_REPLICATION_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/message.h"
+#include "util/rng.h"
+
+namespace pdht::overlay {
+
+class ReplicaPlacement {
+ public:
+  /// `num_peers` peers available for placement; each key gets min(repl,
+  /// num_peers) distinct replicas.
+  ReplicaPlacement(uint32_t num_peers, uint32_t repl, Rng rng);
+
+  /// Places `key` (idempotent: re-placing keeps the existing placement).
+  void PlaceKey(uint64_t key);
+
+  /// Places keys 0..n-1 densely (the common bulk setup).
+  void PlaceKeys(uint64_t n);
+
+  bool IsPlaced(uint64_t key) const;
+  bool PeerHoldsKey(net::PeerId peer, uint64_t key) const;
+  const std::vector<net::PeerId>& ReplicasOf(uint64_t key) const;
+
+  /// Removes a key entirely (content deleted from the network).
+  void RemoveKey(uint64_t key);
+
+  uint32_t repl() const { return repl_; }
+  uint32_t num_peers() const { return num_peers_; }
+  size_t num_keys() const { return replicas_.size(); }
+
+  /// Fraction of `key`'s replicas that are online according to `alive`.
+  double OnlineReplicaFraction(uint64_t key,
+                               const std::vector<bool>& alive) const;
+
+ private:
+  uint32_t num_peers_;
+  uint32_t repl_;
+  Rng rng_;
+  std::unordered_map<uint64_t, std::vector<net::PeerId>> replicas_;
+  // peer -> set of keys, for O(1) PeerHoldsKey.
+  std::vector<std::unordered_set<uint64_t>> held_;
+  std::vector<net::PeerId> empty_;
+};
+
+}  // namespace pdht::overlay
+
+#endif  // PDHT_OVERLAY_UNSTRUCTURED_REPLICATION_H_

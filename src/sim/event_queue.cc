@@ -1,0 +1,62 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+
+namespace pdht::sim {
+
+uint64_t EventQueue::ScheduleAt(double when, EventFn fn) {
+  if (when < now_) when = now_;
+  uint64_t id = next_id_++;
+  heap_.push(Entry{when, next_seq_++, id, std::move(fn)});
+  ++live_count_;
+  return id;
+}
+
+uint64_t EventQueue::ScheduleAfter(double delay, EventFn fn) {
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+bool EventQueue::Cancel(uint64_t id) {
+  if (id == 0 || id >= next_id_) return false;
+  if (std::find(cancelled_.begin(), cancelled_.end(), id) !=
+      cancelled_.end()) {
+    return false;
+  }
+  cancelled_.push_back(id);
+  if (live_count_ > 0) --live_count_;
+  return true;
+}
+
+bool EventQueue::PopOne() {
+  while (!heap_.empty()) {
+    Entry e = heap_.top();
+    heap_.pop();
+    auto it = std::find(cancelled_.begin(), cancelled_.end(), e.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;  // tombstoned
+    }
+    now_ = e.when;
+    if (live_count_ > 0) --live_count_;
+    e.fn();
+    return true;
+  }
+  return false;
+}
+
+uint64_t EventQueue::RunUntil(double until) {
+  uint64_t ran = 0;
+  while (!heap_.empty() && heap_.top().when <= until) {
+    if (PopOne()) ++ran;
+  }
+  if (now_ < until) now_ = until;
+  return ran;
+}
+
+uint64_t EventQueue::RunAll(uint64_t max_events) {
+  uint64_t ran = 0;
+  while (ran < max_events && PopOne()) ++ran;
+  return ran;
+}
+
+}  // namespace pdht::sim

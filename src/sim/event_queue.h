@@ -1,0 +1,73 @@
+// Discrete-event priority queue.
+//
+// The PDHT simulation is round-based at the top level (one round = one
+// second, paper footnote 1), but within a round individual protocol actions
+// (probe timeouts, gossip exchanges, churn transitions) are ordered by a
+// fractional timestamp.  EventQueue provides a deterministic total order:
+// ties on time are broken by insertion sequence number, never by pointer
+// values, so runs are reproducible.
+
+#ifndef PDHT_SIM_EVENT_QUEUE_H_
+#define PDHT_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace pdht::sim {
+
+using EventFn = std::function<void()>;
+
+class EventQueue {
+ public:
+  /// Schedules `fn` at absolute time `when` (seconds).  Events scheduled in
+  /// the past run at the current time (no reordering before already-popped
+  /// events).  Returns a monotonically increasing event id.
+  uint64_t ScheduleAt(double when, EventFn fn);
+
+  /// Schedules `fn` `delay` seconds after the current time.
+  uint64_t ScheduleAfter(double delay, EventFn fn);
+
+  /// Cancels a pending event; returns false if it already ran or is unknown.
+  bool Cancel(uint64_t id);
+
+  /// Runs events until the queue is empty or `until` is reached (events at
+  /// exactly `until` are executed).  Returns the number of events run.
+  uint64_t RunUntil(double until);
+
+  /// Runs every pending event (including ones scheduled by event handlers);
+  /// `max_events` guards against non-terminating chains.
+  uint64_t RunAll(uint64_t max_events = UINT64_MAX);
+
+  double now() const { return now_; }
+  bool empty() const { return live_count_ == 0; }
+  size_t size() const { return live_count_; }
+
+ private:
+  struct Entry {
+    double when;
+    uint64_t seq;
+    uint64_t id;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool PopOne();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::vector<uint64_t> cancelled_;  // sorted lazily; small in practice
+  double now_ = 0.0;
+  uint64_t next_seq_ = 0;
+  uint64_t next_id_ = 1;
+  size_t live_count_ = 0;
+};
+
+}  // namespace pdht::sim
+
+#endif  // PDHT_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,72 @@
+#include "sim/round_engine.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace pdht::sim {
+
+RoundEngine::RoundEngine(double round_length_s)
+    : round_length_(round_length_s) {
+  assert(round_length_s > 0.0);
+}
+
+void RoundEngine::AddActor(std::string name, RoundActor actor) {
+  actors_.emplace_back(std::move(name), std::move(actor));
+}
+
+void RoundEngine::AddMetric(std::string name, MetricProbe probe) {
+  series_.emplace(name, TimeSeries(name));
+  metrics_.push_back(Metric{std::move(name), std::move(probe)});
+}
+
+void RoundEngine::AddCounterRateMetric(std::string name,
+                                       std::string counter_prefix) {
+  std::string metric_name = name;
+  last_counter_value_[metric_name] = 0;
+  AddMetric(std::move(name),
+            [this, metric_name, prefix = std::move(counter_prefix)](
+                const RoundContext&) {
+              uint64_t total = counters_.SumWithPrefix(prefix);
+              uint64_t& last = last_counter_value_[metric_name];
+              uint64_t delta = total - last;
+              last = total;
+              return static_cast<double>(delta);
+            });
+}
+
+void RoundEngine::Run(uint64_t rounds) {
+  for (uint64_t i = 0; i < rounds; ++i) {
+    RoundContext ctx;
+    ctx.round = round_;
+    ctx.time = static_cast<double>(round_) * round_length_;
+    ctx.events = &queue_;
+    ctx.counters = &counters_;
+    for (auto& [name, actor] : actors_) actor(ctx);
+    queue_.RunUntil(ctx.time + round_length_);
+    for (auto& m : metrics_) {
+      series_.at(m.name).Append(m.probe(ctx));
+    }
+    ++round_;
+  }
+}
+
+const TimeSeries& RoundEngine::Series(const std::string& name) const {
+  auto it = series_.find(name);
+  if (it == series_.end()) {
+    throw std::out_of_range("no such series: " + name);
+  }
+  return it->second;
+}
+
+bool RoundEngine::HasSeries(const std::string& name) const {
+  return series_.count(name) > 0;
+}
+
+std::vector<std::string> RoundEngine::SeriesNames() const {
+  std::vector<std::string> names;
+  names.reserve(series_.size());
+  for (const auto& [name, s] : series_) names.push_back(name);
+  return names;
+}
+
+}  // namespace pdht::sim

@@ -1,0 +1,116 @@
+#include "stats/ascii_chart.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace pdht {
+
+AsciiChart::AsciiChart(int width, int height)
+    : width_(width), height_(height) {
+  assert(width >= 8);
+  assert(height >= 4);
+}
+
+void AsciiChart::AddSeries(std::string name, std::vector<double> values,
+                           char marker) {
+  assert(series_.empty() || values.size() == series_[0].values.size());
+  series_.push_back(Series{std::move(name), std::move(values), marker});
+}
+
+void AsciiChart::SetXLabels(std::vector<std::string> labels) {
+  x_labels_ = std::move(labels);
+}
+
+void AsciiChart::SetYRange(double lo, double hi) {
+  assert(hi > lo);
+  y_lo_ = lo;
+  y_hi_ = hi;
+  has_y_range_ = true;
+}
+
+std::string AsciiChart::Render() const {
+  if (series_.empty() || series_[0].values.empty()) return "(empty chart)\n";
+  const size_t n = series_[0].values.size();
+
+  auto transform = [&](double v) {
+    return log_y_ ? std::log10(std::max(v, 1e-300)) : v;
+  };
+
+  double lo = has_y_range_ ? transform(y_lo_) : 1e300;
+  double hi = has_y_range_ ? transform(y_hi_) : -1e300;
+  if (!has_y_range_) {
+    for (const auto& s : series_) {
+      for (double v : s.values) {
+        lo = std::min(lo, transform(v));
+        hi = std::max(hi, transform(v));
+      }
+    }
+    if (hi <= lo) hi = lo + 1.0;
+  }
+
+  // Grid of glyphs; later series overwrite earlier ones on collisions.
+  std::vector<std::string> grid(static_cast<size_t>(height_),
+                                std::string(static_cast<size_t>(width_), ' '));
+  auto x_of = [&](size_t i) {
+    if (n == 1) return 0;
+    return static_cast<int>(static_cast<double>(i) *
+                            static_cast<double>(width_ - 1) /
+                            static_cast<double>(n - 1));
+  };
+  auto y_of = [&](double v) {
+    double t = (transform(v) - lo) / (hi - lo);
+    t = std::clamp(t, 0.0, 1.0);
+    return static_cast<int>(std::round((1.0 - t) * (height_ - 1)));
+  };
+  for (const auto& s : series_) {
+    for (size_t i = 0; i < n; ++i) {
+      grid[static_cast<size_t>(y_of(s.values[i]))]
+          [static_cast<size_t>(x_of(i))] = s.marker;
+    }
+  }
+
+  std::ostringstream os;
+  // Y-axis scale: top, middle, bottom ticks.
+  auto untransform = [&](double t) { return log_y_ ? std::pow(10, t) : t; };
+  char label[32];
+  for (int row = 0; row < height_; ++row) {
+    double t = hi - (hi - lo) * static_cast<double>(row) / (height_ - 1);
+    if (row == 0 || row == height_ / 2 || row == height_ - 1) {
+      std::snprintf(label, sizeof(label), "%10.4g", untransform(t));
+      os << label << " |";
+    } else {
+      os << std::string(10, ' ') << " |";
+    }
+    os << grid[static_cast<size_t>(row)] << "\n";
+  }
+  os << std::string(11, ' ') << '+' << std::string(static_cast<size_t>(width_), '-')
+     << "\n";
+  // X labels spread under the axis.
+  if (!x_labels_.empty()) {
+    size_t max_label = 0;
+    for (const auto& l : x_labels_) max_label = std::max(max_label, l.size());
+    std::string row(static_cast<size_t>(width_) + 12 + max_label, ' ');
+    for (size_t i = 0; i < x_labels_.size() && i < n; ++i) {
+      const std::string& lbl = x_labels_[i];
+      size_t pos = static_cast<size_t>(x_of(i)) + 12;
+      // Keep the trailing label inside the row (right-aligned at the end).
+      pos = std::min(pos, row.size() - lbl.size());
+      for (size_t c = 0; c < lbl.size(); ++c) row[pos + c] = lbl[c];
+    }
+    while (!row.empty() && row.back() == ' ') row.pop_back();
+    os << row << "\n";
+  }
+  // Legend.
+  os << "   legend: ";
+  for (size_t i = 0; i < series_.size(); ++i) {
+    os << series_[i].marker << "=" << series_[i].name;
+    if (i + 1 < series_.size()) os << "  ";
+  }
+  os << (log_y_ ? "  (log y)" : "") << "\n";
+  return os.str();
+}
+
+}  // namespace pdht

@@ -1,0 +1,56 @@
+// ASCII line charts.
+//
+// The paper's Figs. 1-4 are plots; the bench binaries print both the raw
+// series tables (TableWriter) and an AsciiChart rendering so the figure
+// shape is directly inspectable in a terminal or a bench log.
+
+#ifndef PDHT_STATS_ASCII_CHART_H_
+#define PDHT_STATS_ASCII_CHART_H_
+
+#include <string>
+#include <vector>
+
+namespace pdht {
+
+class AsciiChart {
+ public:
+  /// `height` rows by `width` columns of plotting area.
+  AsciiChart(int width = 64, int height = 16);
+
+  /// Adds a named series; all series must have the same length (one value
+  /// per x position).  `marker` is the glyph used for its points.
+  void AddSeries(std::string name, std::vector<double> values, char marker);
+
+  /// X-axis labels (one per value position; printed under the chart,
+  /// spread across the width).
+  void SetXLabels(std::vector<std::string> labels);
+
+  /// Optional fixed y-range; by default the range spans all series.
+  void SetYRange(double lo, double hi);
+
+  /// Log-scale the y axis (values must be positive).
+  void SetLogY(bool log_y) { log_y_ = log_y; }
+
+  /// Renders the chart with a y-axis scale, legend and x labels.
+  std::string Render() const;
+
+ private:
+  struct Series {
+    std::string name;
+    std::vector<double> values;
+    char marker;
+  };
+
+  int width_;
+  int height_;
+  bool log_y_ = false;
+  bool has_y_range_ = false;
+  double y_lo_ = 0.0;
+  double y_hi_ = 1.0;
+  std::vector<Series> series_;
+  std::vector<std::string> x_labels_;
+};
+
+}  // namespace pdht
+
+#endif  // PDHT_STATS_ASCII_CHART_H_

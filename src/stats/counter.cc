@@ -1,0 +1,52 @@
+#include "stats/counter.h"
+
+#include <sstream>
+
+namespace pdht {
+
+Counter& CounterRegistry::Get(const std::string& name) {
+  return counters_[name];
+}
+
+uint64_t CounterRegistry::Value(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+uint64_t CounterRegistry::SumWithPrefix(const std::string& prefix) const {
+  uint64_t sum = 0;
+  // std::map is ordered, so all keys with the prefix form a contiguous range.
+  for (auto it = counters_.lower_bound(prefix); it != counters_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    sum += it->second.value();
+  }
+  return sum;
+}
+
+uint64_t CounterRegistry::Total() const {
+  uint64_t sum = 0;
+  for (const auto& [name, c] : counters_) sum += c.value();
+  return sum;
+}
+
+void CounterRegistry::ResetAll() {
+  for (auto& [name, c] : counters_) c.Reset();
+}
+
+std::vector<std::pair<std::string, uint64_t>> CounterRegistry::Snapshot()
+    const {
+  std::vector<std::pair<std::string, uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c.value());
+  return out;
+}
+
+std::string CounterRegistry::Report() const {
+  std::ostringstream os;
+  for (const auto& [name, c] : counters_) {
+    os << name << " = " << c.value() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace pdht

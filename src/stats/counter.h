@@ -1,0 +1,62 @@
+// Named message/event counters.
+//
+// The paper's cost metric is "number of messages sent per second"; the
+// simulator attributes every message to a named counter (per message type
+// and per strategy) so experiments can print exactly the series the paper
+// plots.  CounterRegistry owns a set of monotonically increasing counters
+// addressed by name, with snapshot/delta support for per-round rates.
+
+#ifndef PDHT_STATS_COUNTER_H_
+#define PDHT_STATS_COUNTER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pdht {
+
+/// A single monotonically increasing counter.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_ += n; }
+  uint64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+/// Registry of named counters.  Names are hierarchical by convention, e.g.
+/// "msg.unstructured.walk" or "msg.dht.lookup".
+class CounterRegistry {
+ public:
+  /// Returns the counter registered under `name`, creating it on first use.
+  /// The returned reference stays valid for the registry's lifetime.
+  Counter& Get(const std::string& name);
+
+  /// Value of `name`, or 0 if the counter does not exist.
+  uint64_t Value(const std::string& name) const;
+
+  /// Sum of all counters whose name starts with `prefix`.
+  uint64_t SumWithPrefix(const std::string& prefix) const;
+
+  /// Total across all counters.
+  uint64_t Total() const;
+
+  /// Resets every counter to zero (names are retained).
+  void ResetAll();
+
+  /// Returns (name, value) pairs sorted by name.
+  std::vector<std::pair<std::string, uint64_t>> Snapshot() const;
+
+  /// Renders a human-readable multi-line report.
+  std::string Report() const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+};
+
+}  // namespace pdht
+
+#endif  // PDHT_STATS_COUNTER_H_

@@ -1,0 +1,95 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace pdht {
+
+void Histogram::Add(double value) {
+  ++count_;
+  sum_ += value;
+  double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+  if (count_ == 1) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  values_.push_back(value);
+  sorted_ = false;
+}
+
+double Histogram::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Histogram::stddev() const { return std::sqrt(variance()); }
+
+double Histogram::Quantile(double q) const {
+  if (values_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  size_t idx = static_cast<size_t>(q * static_cast<double>(values_.size()));
+  if (idx >= values_.size()) idx = values_.size() - 1;
+  return values_[idx];
+}
+
+void Histogram::Reset() {
+  count_ = 0;
+  mean_ = m2_ = min_ = max_ = sum_ = 0.0;
+  values_.clear();
+  sorted_ = true;
+}
+
+std::string Histogram::Summary() const {
+  std::ostringstream os;
+  os << "n=" << count_ << " mean=" << mean() << " sd=" << stddev()
+     << " min=" << min() << " p50=" << Quantile(0.5)
+     << " p99=" << Quantile(0.99) << " max=" << max();
+  return os.str();
+}
+
+BucketHistogram::BucketHistogram(double lo, double hi, int num_buckets)
+    : lo_(lo), buckets_(static_cast<size_t>(num_buckets), 0) {
+  assert(num_buckets > 0);
+  assert(hi > lo);
+  width_ = (hi - lo) / num_buckets;
+}
+
+void BucketHistogram::Add(double value) {
+  if (value < lo_) {
+    ++underflow_;
+    return;
+  }
+  size_t i = static_cast<size_t>((value - lo_) / width_);
+  if (i >= buckets_.size()) {
+    ++overflow_;
+    return;
+  }
+  ++buckets_[i];
+}
+
+std::string BucketHistogram::Render(int bar_width) const {
+  uint64_t max_count = 1;
+  for (uint64_t b : buckets_) max_count = std::max(max_count, b);
+  std::ostringstream os;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    double lo = lo_ + static_cast<double>(i) * width_;
+    int bar = static_cast<int>(static_cast<double>(buckets_[i]) /
+                               static_cast<double>(max_count) * bar_width);
+    os << "[" << lo << ", " << (lo + width_) << ") " << buckets_[i] << " ";
+    for (int j = 0; j < bar; ++j) os << '#';
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace pdht

@@ -1,0 +1,80 @@
+// Streaming histogram / summary statistics.
+//
+// Used to validate protocol behaviour against the closed-form model, e.g.
+// the distribution of Chord lookup hop counts against cSIndx =
+// 0.5*log2(numActivePeers) (Eq. 7), or random-walk message counts against
+// cSUnstr (Eq. 6).
+
+#ifndef PDHT_STATS_HISTOGRAM_H_
+#define PDHT_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pdht {
+
+/// Accumulates scalar observations; supports mean/variance (Welford),
+/// min/max, and exact quantiles (values are retained).
+class Histogram {
+ public:
+  void Add(double value);
+
+  uint64_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  /// Unbiased sample variance (0 for fewer than two observations).
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double sum() const { return sum_; }
+
+  /// Exact quantile via nearest-rank on the sorted sample; q in [0, 1].
+  /// O(n log n) on first call after new data (lazy sort).
+  double Quantile(double q) const;
+  double Median() const { return Quantile(0.5); }
+
+  void Reset();
+
+  /// One-line summary: "n=... mean=... sd=... min=... p50=... p99=... max=..."
+  std::string Summary() const;
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = true;
+};
+
+/// Fixed-width bucketed counts for plotting distributions as text.
+class BucketHistogram {
+ public:
+  /// Buckets [lo, lo+w), [lo+w, lo+2w), ...; values outside [lo, hi) go to
+  /// under/overflow buckets.
+  BucketHistogram(double lo, double hi, int num_buckets);
+
+  void Add(double value);
+  uint64_t BucketCount(int i) const { return buckets_[i]; }
+  uint64_t underflow() const { return underflow_; }
+  uint64_t overflow() const { return overflow_; }
+  int num_buckets() const { return static_cast<int>(buckets_.size()); }
+  double BucketLow(int i) const { return lo_ + i * width_; }
+
+  /// ASCII rendering, one bucket per line with a proportional bar.
+  std::string Render(int bar_width = 40) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<uint64_t> buckets_;
+  uint64_t underflow_ = 0;
+  uint64_t overflow_ = 0;
+};
+
+}  // namespace pdht
+
+#endif  // PDHT_STATS_HISTOGRAM_H_

@@ -1,0 +1,96 @@
+#include "stats/table_writer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace pdht {
+
+TableWriter::TableWriter(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {
+  assert(!columns_.empty());
+}
+
+void TableWriter::AddRow(std::vector<std::string> cells) {
+  assert(cells.size() == columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TableWriter::AddNumericRow(const std::vector<double>& cells,
+                                int precision) {
+  std::vector<std::string> row;
+  row.reserve(cells.size());
+  for (double v : cells) row.push_back(FormatDouble(v, precision));
+  AddRow(std::move(row));
+}
+
+std::string TableWriter::FormatDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+  return buf;
+}
+
+std::string TableWriter::ToText() const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << row[c];
+      if (c + 1 < row.size()) {
+        os << std::string(widths[c] - row[c].size() + 2, ' ');
+      }
+    }
+    os << "\n";
+  };
+  emit_row(columns_);
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+namespace {
+std::string CsvEscape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += "\"";
+  return out;
+}
+}  // namespace
+
+std::string TableWriter::ToCsv() const {
+  std::ostringstream os;
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    os << CsvEscape(columns_[c]) << (c + 1 < columns_.size() ? "," : "\n");
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << CsvEscape(row[c]) << (c + 1 < row.size() ? "," : "\n");
+    }
+  }
+  return os.str();
+}
+
+bool TableWriter::WriteCsvFile(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << ToCsv();
+  return static_cast<bool>(f);
+}
+
+}  // namespace pdht

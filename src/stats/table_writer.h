@@ -1,0 +1,50 @@
+// Aligned text tables and CSV output.
+//
+// Every bench binary prints (a) an aligned table to stdout that mirrors the
+// corresponding figure/table in the paper and (b) optionally a CSV file for
+// external plotting.  TableWriter collects typed rows and renders both.
+
+#ifndef PDHT_STATS_TABLE_WRITER_H_
+#define PDHT_STATS_TABLE_WRITER_H_
+
+#include <string>
+#include <vector>
+
+namespace pdht {
+
+class TableWriter {
+ public:
+  /// `columns` are the header names; every row must have the same arity.
+  explicit TableWriter(std::vector<std::string> columns);
+
+  /// Adds a row of preformatted cells.  Dies (assert) on arity mismatch.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  void AddNumericRow(const std::vector<double>& cells, int precision = 4);
+
+  size_t num_rows() const { return rows_.size(); }
+  const std::vector<std::string>& columns() const { return columns_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+  /// Renders a fixed-width aligned table with a header rule.
+  std::string ToText() const;
+
+  /// Renders RFC-4180-ish CSV (cells containing comma/quote/newline are
+  /// quoted, quotes doubled).
+  std::string ToCsv() const;
+
+  /// Writes ToCsv() to `path`; returns false on IO failure.
+  bool WriteCsvFile(const std::string& path) const;
+
+  /// Formats a double like "%.*g" (shared helper so tables look uniform).
+  static std::string FormatDouble(double v, int precision = 4);
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pdht
+
+#endif  // PDHT_STATS_TABLE_WRITER_H_

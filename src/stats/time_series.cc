@@ -1,0 +1,49 @@
+#include "stats/time_series.h"
+
+#include <algorithm>
+
+namespace pdht {
+
+double TimeSeries::MeanOver(size_t first, size_t last) const {
+  first = std::min(first, values_.size());
+  last = std::min(last, values_.size());
+  if (first >= last) return 0.0;
+  double sum = 0.0;
+  for (size_t i = first; i < last; ++i) sum += values_[i];
+  return sum / static_cast<double>(last - first);
+}
+
+double TimeSeries::TailMean(size_t n) const {
+  if (values_.empty() || n == 0) return 0.0;
+  size_t first = n >= values_.size() ? 0 : values_.size() - n;
+  return MeanOver(first, values_.size());
+}
+
+std::vector<double> TimeSeries::MovingAverage(size_t window) const {
+  std::vector<double> out(values_.size());
+  if (window == 0) window = 1;
+  double sum = 0.0;
+  for (size_t i = 0; i < values_.size(); ++i) {
+    sum += values_[i];
+    if (i >= window) sum -= values_[i - window];
+    size_t n = std::min(i + 1, window);
+    out[i] = sum / static_cast<double>(n);
+  }
+  return out;
+}
+
+size_t TimeSeries::FirstIndexAtLeast(double threshold, size_t from) const {
+  for (size_t i = from; i < values_.size(); ++i) {
+    if (values_[i] >= threshold) return i;
+  }
+  return values_.size();
+}
+
+size_t TimeSeries::FirstIndexAtMost(double threshold, size_t from) const {
+  for (size_t i = from; i < values_.size(); ++i) {
+    if (values_[i] <= threshold) return i;
+  }
+  return values_.size();
+}
+
+}  // namespace pdht

@@ -1,0 +1,54 @@
+// Time series of per-round measurements.
+//
+// Experiments record one sample per simulation round (e.g. messages sent,
+// index size, hit rate); TimeSeries supports windowed averaging so that the
+// adaptivity experiments (query-distribution shift, Section 5.2 / 6) can
+// report smoothed before/after levels.
+
+#ifndef PDHT_STATS_TIME_SERIES_H_
+#define PDHT_STATS_TIME_SERIES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pdht {
+
+class TimeSeries {
+ public:
+  explicit TimeSeries(std::string name = "") : name_(std::move(name)) {}
+
+  void Append(double value) { values_.push_back(value); }
+
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  double at(size_t i) const { return values_[i]; }
+  const std::vector<double>& values() const { return values_; }
+  const std::string& name() const { return name_; }
+
+  /// Mean over [first, last) clamped to the series bounds; 0 when empty.
+  double MeanOver(size_t first, size_t last) const;
+
+  /// Mean over the final `n` samples.
+  double TailMean(size_t n) const;
+
+  /// Simple moving average with the given window (window >= 1); output has
+  /// the same length as the input (shorter prefix windows are averaged over
+  /// what exists).
+  std::vector<double> MovingAverage(size_t window) const;
+
+  /// Index of the first sample >= threshold at or after `from`, or size()
+  /// if none.  Used to measure adaptation time after a workload shift.
+  size_t FirstIndexAtLeast(double threshold, size_t from = 0) const;
+
+  /// Index of the first sample <= threshold at or after `from`, or size().
+  size_t FirstIndexAtMost(double threshold, size_t from = 0) const;
+
+ private:
+  std::string name_;
+  std::vector<double> values_;
+};
+
+}  // namespace pdht
+
+#endif  // PDHT_STATS_TIME_SERIES_H_

@@ -1,0 +1,32 @@
+#include "util/bits.h"
+
+#include <bit>
+#include <cmath>
+
+namespace pdht {
+
+int FloorLog2(uint64_t x) {
+  return 63 - std::countl_zero(x);
+}
+
+int CeilLog2(uint64_t x) {
+  if (x <= 1) return 0;
+  return 64 - std::countl_zero(x - 1);
+}
+
+double Log2(double x) {
+  return std::log2(x);
+}
+
+int CommonPrefixLength(uint64_t a, uint64_t b) {
+  uint64_t diff = a ^ b;
+  if (diff == 0) return 64;
+  return std::countl_zero(diff);
+}
+
+uint64_t NextPow2(uint64_t x) {
+  if (x <= 1) return 1;
+  return uint64_t{1} << CeilLog2(x);
+}
+
+}  // namespace pdht

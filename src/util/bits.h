@@ -1,0 +1,28 @@
+// Small bit-manipulation helpers shared by the DHT id space and the
+// analytical model (which works in a binary key space, cf. paper footnote 3).
+
+#ifndef PDHT_UTIL_BITS_H_
+#define PDHT_UTIL_BITS_H_
+
+#include <cstdint>
+
+namespace pdht {
+
+/// floor(log2(x)) for x >= 1.
+int FloorLog2(uint64_t x);
+
+/// ceil(log2(x)) for x >= 1 (CeilLog2(1) == 0).
+int CeilLog2(uint64_t x);
+
+/// log2 as a double; returns -inf for x <= 0.
+double Log2(double x);
+
+/// Number of leading bits shared by a and b (0..64).
+int CommonPrefixLength(uint64_t a, uint64_t b);
+
+/// Returns x rounded up to the next power of two (returns 1 for x == 0).
+uint64_t NextPow2(uint64_t x);
+
+}  // namespace pdht
+
+#endif  // PDHT_UTIL_BITS_H_

@@ -1,0 +1,59 @@
+// Minimal leveled logging for the library, benchmarks and examples.
+//
+// We deliberately avoid a heavyweight logging dependency: simulation inner
+// loops must not pay for disabled log statements, so the macros check the
+// global level before evaluating their arguments.
+
+#ifndef PDHT_UTIL_LOGGING_H_
+#define PDHT_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace pdht {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Sets the global minimum level; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Emits one log line (adds level tag and newline).  Thread-compatible:
+/// the library is single-threaded by design (deterministic simulation),
+/// so no locking is performed.
+void LogMessage(LogLevel level, const std::string& msg);
+
+namespace internal {
+
+/// Stream-collecting helper used by the PDHT_LOG macro.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { LogMessage(level_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace pdht
+
+/// Usage: PDHT_LOG(kInfo) << "round " << r << " cost " << c;
+#define PDHT_LOG(severity)                                               \
+  if (::pdht::LogLevel::severity < ::pdht::GetLogLevel()) {              \
+  } else                                                                 \
+    ::pdht::internal::LogLine(::pdht::LogLevel::severity)
+
+#endif  // PDHT_UTIL_LOGGING_H_

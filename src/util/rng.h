@@ -1,0 +1,90 @@
+// Deterministic pseudo-random number generation for reproducible simulation.
+//
+// All randomness in the PDHT library flows through Rng instances seeded from
+// a single experiment seed, so that every experiment run is bit-for-bit
+// reproducible.  We implement xoshiro256** (Blackman & Vigna) seeded via
+// SplitMix64 rather than relying on std::mt19937_64 because (a) the
+// algorithm is fixed across standard library implementations, and (b) it is
+// substantially faster, which matters for message-level simulation of
+// 20,000-peer networks.
+
+#ifndef PDHT_UTIL_RNG_H_
+#define PDHT_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace pdht {
+
+/// SplitMix64 step: advances `state` and returns the next 64-bit output.
+/// Used for seeding xoshiro and as a cheap standalone mixer.
+uint64_t SplitMix64Next(uint64_t* state);
+
+/// xoshiro256** pseudo-random generator.
+///
+/// Satisfies the C++ UniformRandomBitGenerator concept so it can be used
+/// with <random> distributions where convenient, but most call sites use
+/// the direct helpers (UniformU64, UniformDouble, Bernoulli, ...) which are
+/// deterministic across platforms.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Constructs a generator from a 64-bit seed.  Two generators built from
+  /// the same seed produce identical streams.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<uint64_t>::max();
+  }
+
+  /// Returns the next raw 64-bit output.
+  uint64_t operator()() { return Next(); }
+  uint64_t Next();
+
+  /// Returns a uniform integer in [0, bound).  `bound` must be > 0.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  uint64_t UniformU64(uint64_t bound);
+
+  /// Returns a uniform integer in [lo, hi] inclusive.  Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Returns a uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Returns true with probability `p` (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  /// Returns an exponentially distributed value with the given rate
+  /// (mean 1/rate).  Requires rate > 0.
+  double Exponential(double rate);
+
+  /// Returns a geometrically distributed trial count in {1, 2, ...} with
+  /// success probability `p` in (0, 1].
+  uint64_t Geometric(double p);
+
+  /// Creates a child generator whose stream is independent of this one for
+  /// practical purposes.  Used to hand each subsystem its own stream.
+  Rng Fork();
+
+  /// Fisher-Yates shuffles `v` in place.
+  template <typename T>
+  void Shuffle(T* data, size_t n) {
+    if (n < 2) return;
+    for (size_t i = n - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(UniformU64(i + 1));
+      T tmp = data[i];
+      data[i] = data[j];
+      data[j] = tmp;
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace pdht
+
+#endif  // PDHT_UTIL_RNG_H_

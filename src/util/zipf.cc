@@ -1,0 +1,86 @@
+#include "util/zipf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace pdht {
+
+double GeneralizedHarmonic(uint64_t n, double alpha) {
+  // Sum from the smallest terms up for slightly better floating point
+  // accuracy (the tail terms are tiny for alpha > 1).
+  double h = 0.0;
+  for (uint64_t x = n; x >= 1; --x) {
+    h += std::pow(static_cast<double>(x), -alpha);
+  }
+  return h;
+}
+
+ZipfSampler::ZipfSampler(uint64_t n, double alpha)
+    : n_(n), alpha_(alpha), cum_(n) {
+  assert(n >= 1);
+  assert(alpha >= 0.0);
+  double acc = 0.0;
+  for (uint64_t r = 1; r <= n; ++r) {
+    acc += std::pow(static_cast<double>(r), -alpha);
+    cum_[r - 1] = acc;
+  }
+  harmonic_ = acc;
+  for (double& c : cum_) c /= harmonic_;
+  cum_[n - 1] = 1.0;  // guard against rounding leaving the last bucket < 1
+}
+
+uint64_t ZipfSampler::Sample(Rng& rng) const {
+  double u = rng.UniformDouble();
+  auto it = std::lower_bound(cum_.begin(), cum_.end(), u);
+  return static_cast<uint64_t>(it - cum_.begin()) + 1;
+}
+
+double ZipfSampler::Pmf(uint64_t rank) const {
+  if (rank < 1 || rank > n_) return 0.0;
+  return std::pow(static_cast<double>(rank), -alpha_) / harmonic_;
+}
+
+double ZipfSampler::Cdf(uint64_t rank) const {
+  if (rank < 1) return 0.0;
+  if (rank >= n_) return 1.0;
+  return cum_[rank - 1];
+}
+
+ZipfRejectionSampler::ZipfRejectionSampler(uint64_t n, double alpha)
+    : n_(n), alpha_(alpha) {
+  assert(n >= 1);
+  assert(alpha > 0.0);
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n) + 0.5);
+  s_ = 2.0 - HInverse(H(2.5) - std::pow(2.0, -alpha));
+}
+
+double ZipfRejectionSampler::H(double x) const {
+  // Antiderivative of x^-alpha: x^(1-alpha)/(1-alpha), with the alpha == 1
+  // limit log(x).
+  if (std::abs(alpha_ - 1.0) < 1e-12) return std::log(x);
+  return std::pow(x, 1.0 - alpha_) / (1.0 - alpha_);
+}
+
+double ZipfRejectionSampler::HInverse(double u) const {
+  if (std::abs(alpha_ - 1.0) < 1e-12) return std::exp(u);
+  return std::pow(u * (1.0 - alpha_), 1.0 / (1.0 - alpha_));
+}
+
+uint64_t ZipfRejectionSampler::Sample(Rng& rng) const {
+  if (n_ == 1) return 1;
+  while (true) {
+    double u = h_n_ + rng.UniformDouble() * (h_x1_ - h_n_);
+    double x = HInverse(u);
+    uint64_t k = static_cast<uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    double kd = static_cast<double>(k);
+    if (kd - x <= s_ || u >= H(kd + 0.5) - std::pow(kd, -alpha_)) {
+      return k;
+    }
+  }
+}
+
+}  // namespace pdht

@@ -1,0 +1,83 @@
+// Zipf-distributed sampling.
+//
+// The paper assumes queries for keys are Zipf distributed with parameter
+// alpha = 1.2 as observed for Gnutella queries [Srip01].  The probability of
+// querying the key of popularity rank r (1-based) among `n` keys is
+//
+//     prob(r) = r^-alpha / sum_{x=1..n} x^-alpha                      (Eq. 3)
+//
+// Two samplers are provided:
+//  * ZipfSampler: exact inverse-CDF sampling over a precomputed cumulative
+//    table (O(log n) per sample, O(n) memory).  Used by workload generators
+//    where n = 40,000 keys.
+//  * ZipfRejectionSampler: Jason Crease / rejection-inversion style sampler
+//    with O(1) memory, used in property tests as an independent check.
+
+#ifndef PDHT_UTIL_ZIPF_H_
+#define PDHT_UTIL_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace pdht {
+
+/// Returns the generalized harmonic number H_{n,alpha} = sum_{x=1..n} x^-alpha.
+double GeneralizedHarmonic(uint64_t n, double alpha);
+
+/// Exact Zipf(alpha) sampler over ranks {1, ..., n} using a cumulative
+/// probability table and binary search.
+class ZipfSampler {
+ public:
+  /// Builds the cumulative table.  Requires n >= 1 and alpha >= 0.
+  /// alpha == 0 degenerates to the uniform distribution over ranks.
+  ZipfSampler(uint64_t n, double alpha);
+
+  /// Samples a rank in {1, ..., n}.
+  uint64_t Sample(Rng& rng) const;
+
+  /// Probability mass of rank r (1-based); 0 outside {1..n}.
+  double Pmf(uint64_t rank) const;
+
+  /// Cumulative probability of ranks {1..rank}; equals 1 for rank >= n.
+  double Cdf(uint64_t rank) const;
+
+  uint64_t n() const { return n_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  uint64_t n_;
+  double alpha_;
+  double harmonic_;             // H_{n,alpha}
+  std::vector<double> cum_;     // cum_[r-1] = Cdf(r)
+};
+
+/// O(1)-memory approximate-free Zipf sampler based on rejection inversion
+/// (W. Hörmann & G. Derflinger, "Rejection-inversion to generate variates
+/// from monotone discrete distributions").  Exact distribution, no table.
+/// Requires alpha > 0 and alpha != 1 handled via the generalized integral.
+class ZipfRejectionSampler {
+ public:
+  ZipfRejectionSampler(uint64_t n, double alpha);
+
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  // Antiderivative H(x) of x^-alpha and its inverse.
+  double H(double x) const;
+  double HInverse(double u) const;
+
+  uint64_t n_;
+  double alpha_;
+  double h_x1_;       // H(1.5) - 1
+  double h_n_;        // H(n + 0.5)
+  double s_;          // 2 - HInverse(H(2.5) - 2^-alpha)
+};
+
+}  // namespace pdht
+
+#endif  // PDHT_UTIL_ZIPF_H_

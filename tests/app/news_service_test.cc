@@ -1,0 +1,137 @@
+#include "app/news_service.h"
+
+#include <gtest/gtest.h>
+
+namespace pdht::app {
+namespace {
+
+NewsServiceOptions SmallOptions(uint64_t seed = 11) {
+  NewsServiceOptions o;
+  o.num_articles = 50;
+  o.keys_per_article = 10;
+  o.corpus_seed = seed;
+  o.system.params.num_peers = 200;
+  o.system.params.stor = 20;
+  o.system.params.repl = 10;
+  o.system.params.f_qry = 1.0 / 5.0;
+  o.system.params.f_upd = 1.0 / 3600.0;
+  o.system.strategy = core::Strategy::kPartialTtl;
+  o.system.churn.enabled = false;
+  o.system.seed = seed;
+  return o;
+}
+
+TEST(NewsServiceTest, BuildsKeyUniverseFromCorpus) {
+  NewsService svc(SmallOptions());
+  EXPECT_GT(svc.key_universe_size(), 100u);
+  EXPECT_LE(svc.key_universe_size(), 500u);
+  EXPECT_EQ(svc.corpus().size(), 50u);
+}
+
+TEST(NewsServiceTest, PredicatesResolveToDenseKeys) {
+  NewsService svc(SmallOptions());
+  auto preds = svc.PredicatesOf(0);
+  ASSERT_EQ(preds.size(), 10u);
+  for (const auto& p : preds) {
+    EXPECT_NE(svc.DenseKeyOf(p), NewsService::kUnknownKey) << p;
+  }
+  EXPECT_EQ(svc.DenseKeyOf("no=such predicate"),
+            NewsService::kUnknownKey);
+}
+
+TEST(NewsServiceTest, SearchFindsPublishedArticle) {
+  NewsService svc(SmallOptions());
+  auto preds = svc.PredicatesOf(7);
+  SearchResult r = svc.Search(preds[0]);
+  EXPECT_TRUE(r.found);
+  // Article 7 must be among the matches (shared predicates can match
+  // several articles).
+  EXPECT_NE(std::find(r.article_ids.begin(), r.article_ids.end(), 7ull),
+            r.article_ids.end());
+}
+
+TEST(NewsServiceTest, RepeatSearchServedFromIndex) {
+  NewsService svc(SmallOptions());
+  auto preds = svc.PredicatesOf(3);
+  SearchResult first = svc.Search(preds[1]);
+  ASSERT_TRUE(first.found);
+  SearchResult second = svc.Search(preds[1]);
+  EXPECT_TRUE(second.found);
+  EXPECT_TRUE(second.answered_from_index);
+  EXPECT_LT(second.messages, first.messages);
+}
+
+TEST(NewsServiceTest, ConjunctionSearchUsesCanonicalOrder) {
+  NewsService svc(SmallOptions());
+  const auto& art = svc.corpus().at(0);
+  // Find two indexable pairs that actually form one of the article's keys.
+  metadata::MetadataPair a = art.metadata[0];
+  metadata::MetadataPair b = art.metadata[1];
+  SearchResult ab = svc.SearchConjunction(a, b);
+  SearchResult ba = svc.SearchConjunction(b, a);
+  EXPECT_EQ(ab.predicate, ba.predicate);
+}
+
+TEST(NewsServiceTest, UnknownPredicateCostsButFails) {
+  NewsService svc(SmallOptions());
+  SearchResult r = svc.Search("author=Nobody At All");
+  EXPECT_FALSE(r.found);
+  EXPECT_GT(r.messages, 0u);  // the network still paid for the search
+  EXPECT_TRUE(r.article_ids.empty());
+}
+
+TEST(NewsServiceTest, BackgroundTrafficWarmsIndex) {
+  NewsService svc(SmallOptions());
+  svc.Run(60);
+  EXPECT_GT(svc.system().TailHitRate(15), 0.5);
+  EXPECT_GT(svc.system().IndexedKeyCount(), 0u);
+}
+
+TEST(NewsServiceTest, DeterministicForSeed) {
+  NewsService a(SmallOptions(21));
+  NewsService b(SmallOptions(21));
+  a.Run(20);
+  b.Run(20);
+  EXPECT_EQ(a.key_universe_size(), b.key_universe_size());
+  EXPECT_DOUBLE_EQ(a.system().TailMessageRate(10),
+                   b.system().TailMessageRate(10));
+}
+
+TEST(NewsServiceTest, SearchIsTermOrderInvariant) {
+  NewsService svc(SmallOptions(41));
+  // Find a conjunctive predicate of article 0 and scramble its order.
+  std::string conj;
+  for (const auto& p : svc.PredicatesOf(0)) {
+    if (p.find(" AND ") != std::string::npos) {
+      conj = p;
+      break;
+    }
+  }
+  ASSERT_FALSE(conj.empty());
+  size_t split = conj.find(" AND ");
+  std::string scrambled =
+      conj.substr(split + 5) + " and " + conj.substr(0, split);
+  SearchResult canonical = svc.Search(conj);
+  SearchResult reordered = svc.Search(scrambled);
+  EXPECT_EQ(canonical.found, reordered.found);
+  EXPECT_EQ(canonical.article_ids, reordered.article_ids);
+}
+
+TEST(NewsServiceTest, SharedPredicatesMatchMultipleArticles) {
+  // Category/language predicates are shared across articles by design.
+  NewsService svc(SmallOptions(31));
+  bool found_shared = false;
+  for (uint64_t id = 0; id < 50 && !found_shared; ++id) {
+    for (const auto& p : svc.PredicatesOf(id)) {
+      if (p.rfind("category=", 0) == 0) {
+        SearchResult r = svc.Search(p);
+        if (r.found && r.article_ids.size() > 1) found_shared = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(found_shared);
+}
+
+}  // namespace
+}  // namespace pdht::app

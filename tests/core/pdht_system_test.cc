@@ -1,0 +1,261 @@
+#include "core/pdht_system.h"
+
+#include <gtest/gtest.h>
+
+namespace pdht::core {
+namespace {
+
+// A scaled-down scenario (same structure as Table 1, ~50x smaller) so the
+// whole-system tests run in milliseconds.  cSUnstr = 400/10*1.8 = 72,
+// full-index numActivePeers = 800*10/20 = 400.
+model::ScenarioParams Scaled() {
+  model::ScenarioParams p;
+  p.num_peers = 400;
+  p.keys = 800;
+  p.stor = 20;
+  p.repl = 10;
+  p.alpha = 1.2;
+  p.f_qry = 1.0 / 5.0;
+  p.f_upd = 1.0 / 3600.0;
+  p.env = 1.0 / 14.0;
+  p.dup = 1.8;
+  p.dup2 = 1.8;
+  return p;
+}
+
+SystemConfig BaseConfig(Strategy s) {
+  SystemConfig c;
+  c.params = Scaled();
+  c.strategy = s;
+  c.churn.enabled = false;  // churn-specific tests enable it explicitly
+  c.seed = 1234;
+  return c;
+}
+
+TEST(SystemConfigTest, ValidatesScaledScenario) {
+  EXPECT_EQ(BaseConfig(Strategy::kPartialTtl).Validate(), "");
+}
+
+TEST(SystemConfigTest, RejectsBadTtlScale) {
+  SystemConfig c = BaseConfig(Strategy::kPartialTtl);
+  c.ttl_scale = 0.0;
+  EXPECT_FALSE(c.Validate().empty());
+}
+
+TEST(PdhtSystemTest, DerivesKeyTtlFromModel) {
+  PdhtSystem sys(BaseConfig(Strategy::kPartialTtl));
+  EXPECT_GT(sys.EffectiveKeyTtl(), 1.0);
+  // ttl_scale rescales it.
+  SystemConfig c = BaseConfig(Strategy::kPartialTtl);
+  c.ttl_scale = 2.0;
+  PdhtSystem sys2(c);
+  EXPECT_NEAR(sys2.EffectiveKeyTtl(), 2.0 * sys.EffectiveKeyTtl(), 1e-6);
+}
+
+TEST(PdhtSystemTest, ExplicitKeyTtlWins) {
+  SystemConfig c = BaseConfig(Strategy::kPartialTtl);
+  c.key_ttl = 77.0;
+  PdhtSystem sys(c);
+  EXPECT_DOUBLE_EQ(sys.EffectiveKeyTtl(), 77.0);
+}
+
+TEST(PdhtSystemTest, MembershipSizedByStrategy) {
+  PdhtSystem all(BaseConfig(Strategy::kIndexAll));
+  // Full index: 800 keys * 10 repl / 20 stor = 400 = whole population.
+  EXPECT_EQ(all.DhtMemberCount(), 400u);
+
+  PdhtSystem none(BaseConfig(Strategy::kNoIndex));
+  EXPECT_EQ(none.DhtMemberCount(), 0u);
+
+  PdhtSystem ideal(BaseConfig(Strategy::kPartialIdeal));
+  EXPECT_GT(ideal.DhtMemberCount(), 0u);
+  EXPECT_LE(ideal.DhtMemberCount(), 400u);
+}
+
+TEST(PdhtSystemTest, NoIndexStrategyUsesOnlyUnstructuredTraffic) {
+  PdhtSystem sys(BaseConfig(Strategy::kNoIndex));
+  sys.RunRounds(5);
+  auto& counters = sys.engine().counters();
+  EXPECT_GT(counters.SumWithPrefix("msg.unstructured."), 0u);
+  EXPECT_EQ(counters.SumWithPrefix("msg.dht."), 0u);
+  EXPECT_EQ(counters.SumWithPrefix("msg.maint."), 0u);
+}
+
+TEST(PdhtSystemTest, IndexAllAnswersEverythingFromIndex) {
+  PdhtSystem sys(BaseConfig(Strategy::kIndexAll));
+  sys.RunRounds(5);
+  EXPECT_GT(sys.TailHitRate(5), 0.95);
+  // The full key universe is resident (a handful of keys can lose replica
+  // slots to per-peer capacity displacement; residency must stay ~ full).
+  EXPECT_GT(sys.IndexedKeyCount(), 790u);
+  // Broadcast fallbacks are at most a trickle.
+  auto& counters = sys.engine().counters();
+  EXPECT_LT(counters.SumWithPrefix("msg.unstructured."),
+            counters.SumWithPrefix("msg.dht.") / 5 + 1);
+}
+
+TEST(PdhtSystemTest, IndexAllMaintenanceTrafficFlows) {
+  PdhtSystem sys(BaseConfig(Strategy::kIndexAll));
+  sys.RunRounds(10);
+  EXPECT_GT(sys.engine().counters().SumWithPrefix("msg.maint."), 0u);
+}
+
+TEST(PdhtSystemTest, PartialIdealSplitsTraffic) {
+  // At f = 1/5 every key clears fMin at this scale, so drop the load to
+  // get a genuine partial index.
+  SystemConfig c = BaseConfig(Strategy::kPartialIdeal);
+  c.params.f_qry = 1.0 / 20.0;
+  PdhtSystem sys(c);
+  ASSERT_GT(sys.OracleMaxRank(), 0u);
+  ASSERT_LT(sys.OracleMaxRank(), 800u);
+  sys.RunRounds(10);
+  auto& counters = sys.engine().counters();
+  // Popular keys hit the DHT; unpopular ones broadcast.
+  EXPECT_GT(counters.SumWithPrefix("msg.dht."), 0u);
+  EXPECT_GT(counters.SumWithPrefix("msg.unstructured."), 0u);
+}
+
+TEST(PdhtSystemTest, PartialTtlStartsEmptyAndFills) {
+  PdhtSystem sys(BaseConfig(Strategy::kPartialTtl));
+  EXPECT_EQ(sys.IndexedKeyCount(), 0u);
+  sys.RunRounds(20);
+  EXPECT_GT(sys.IndexedKeyCount(), 0u);
+}
+
+TEST(PdhtSystemTest, PartialTtlHitRateRises) {
+  PdhtSystem sys(BaseConfig(Strategy::kPartialTtl));
+  sys.RunRounds(60);
+  const auto& hits = sys.engine().Series(PdhtSystem::kSeriesHitRate);
+  double early = hits.MeanOver(0, 5);
+  double late = hits.TailMean(10);
+  EXPECT_GT(late, early + 0.2);
+  EXPECT_GT(late, 0.5);  // Zipf head keys become resident quickly
+}
+
+TEST(PdhtSystemTest, TtlQueryMissInsertsThenHits) {
+  PdhtSystem sys(BaseConfig(Strategy::kPartialTtl));
+  uint64_t key = 42;
+  QueryOutcome first = sys.ExecuteQuery(key);
+  EXPECT_TRUE(first.found);
+  EXPECT_FALSE(first.answered_from_index);
+  EXPECT_TRUE(first.used_unstructured);
+  QueryOutcome second = sys.ExecuteQuery(key);
+  EXPECT_TRUE(second.found);
+  EXPECT_TRUE(second.answered_from_index);
+  EXPECT_FALSE(second.used_unstructured);
+  EXPECT_LT(second.index_messages + second.unstructured_messages,
+            first.index_messages + first.unstructured_messages);
+}
+
+TEST(PdhtSystemTest, TtlEvictionPurgesIdleKeys) {
+  SystemConfig c = BaseConfig(Strategy::kPartialTtl);
+  c.key_ttl = 3.0;  // very short TTL
+  PdhtSystem sys(c);
+  sys.ExecuteQuery(7);
+  EXPECT_GT(sys.IndexedKeyCount(), 0u);
+  // Run idle rounds (queries happen, but key 7 is unlikely to recur; use
+  // rounds > ttl so eviction must fire for untouched keys).
+  sys.RunRounds(10);
+  // After 10 rounds with ttl 3, key 7's replicas have expired unless the
+  // workload re-queried it; residency must be bounded by recent traffic.
+  const auto& size = sys.engine().Series(PdhtSystem::kSeriesIndexSize);
+  EXPECT_LT(size.TailMean(1), 800.0);
+}
+
+TEST(PdhtSystemTest, NoIndexQueriesNeverUseIndex) {
+  PdhtSystem sys(BaseConfig(Strategy::kNoIndex));
+  QueryOutcome out = sys.ExecuteQuery(5);
+  EXPECT_TRUE(out.found);
+  EXPECT_FALSE(out.answered_from_index);
+  EXPECT_TRUE(out.used_unstructured);
+  EXPECT_EQ(out.index_messages, 0u);
+}
+
+TEST(PdhtSystemTest, SeriesAreRecordedEveryRound) {
+  PdhtSystem sys(BaseConfig(Strategy::kPartialTtl));
+  sys.RunRounds(7);
+  for (const char* name :
+       {PdhtSystem::kSeriesMsgTotal, PdhtSystem::kSeriesMsgDht,
+        PdhtSystem::kSeriesMsgUnstructured, PdhtSystem::kSeriesMsgReplica,
+        PdhtSystem::kSeriesMsgMaint, PdhtSystem::kSeriesHitRate,
+        PdhtSystem::kSeriesIndexSize,
+        PdhtSystem::kSeriesOnlineFraction}) {
+    ASSERT_TRUE(sys.engine().HasSeries(name)) << name;
+    EXPECT_EQ(sys.engine().Series(name).size(), 7u) << name;
+  }
+}
+
+TEST(PdhtSystemTest, DeterministicAcrossRuns) {
+  SystemConfig c = BaseConfig(Strategy::kPartialTtl);
+  PdhtSystem a(c);
+  PdhtSystem b(c);
+  a.RunRounds(10);
+  b.RunRounds(10);
+  EXPECT_DOUBLE_EQ(a.TailMessageRate(10), b.TailMessageRate(10));
+  EXPECT_EQ(a.IndexedKeyCount(), b.IndexedKeyCount());
+}
+
+TEST(PdhtSystemTest, DifferentSeedsDiffer) {
+  SystemConfig c1 = BaseConfig(Strategy::kPartialTtl);
+  SystemConfig c2 = BaseConfig(Strategy::kPartialTtl);
+  c2.seed = 999;
+  PdhtSystem a(c1);
+  PdhtSystem b(c2);
+  a.RunRounds(5);
+  b.RunRounds(5);
+  EXPECT_NE(a.TailMessageRate(5), b.TailMessageRate(5));
+}
+
+TEST(PdhtSystemTest, ChurnKeepsSystemFunctional) {
+  SystemConfig c = BaseConfig(Strategy::kPartialTtl);
+  c.churn.enabled = true;
+  c.churn.mean_online_s = 120;
+  c.churn.mean_offline_s = 60;
+  PdhtSystem sys(c);
+  sys.RunRounds(40);
+  // Online fraction hovers near the stationary 2/3.
+  double online = sys.engine()
+                      .Series(PdhtSystem::kSeriesOnlineFraction)
+                      .TailMean(10);
+  EXPECT_NEAR(online, 2.0 / 3.0, 0.1);
+  // Queries still succeed and populate the index.
+  EXPECT_GT(sys.TailHitRate(10), 0.2);
+  // Rejoin pulls happened.
+  EXPECT_GT(sys.engine().counters().Value("msg.replica.pull"), 0u);
+}
+
+TEST(PdhtSystemTest, PGridBackendWorks) {
+  SystemConfig c = BaseConfig(Strategy::kPartialTtl);
+  c.backend = DhtBackend::kPGrid;
+  PdhtSystem sys(c);
+  sys.RunRounds(30);
+  EXPECT_GT(sys.TailHitRate(10), 0.3);
+  EXPECT_GT(sys.engine().counters().SumWithPrefix("msg.dht."), 0u);
+}
+
+TEST(PdhtSystemTest, PopularityShiftDropsThenRecoversHitRate) {
+  PdhtSystem sys(BaseConfig(Strategy::kPartialTtl));
+  sys.RunRounds(50);
+  double before = sys.TailHitRate(10);
+  sys.ShiftPopularity();
+  sys.RunRounds(3);
+  const auto& hits = sys.engine().Series(PdhtSystem::kSeriesHitRate);
+  double just_after = hits.MeanOver(50, 53);
+  sys.RunRounds(60);
+  double recovered = sys.TailHitRate(10);
+  EXPECT_LT(just_after, before - 0.1);       // the shift hurt
+  EXPECT_GT(recovered, just_after + 0.1);    // the index adapted
+}
+
+TEST(PdhtSystemTest, NodeAccessorsReportQueryStats) {
+  PdhtSystem sys(BaseConfig(Strategy::kPartialTtl));
+  sys.RunRounds(10);
+  uint64_t total_queries = 0;
+  for (uint32_t i = 0; i < 400; ++i) {
+    total_queries += sys.NodeOf(i).queries_sent();
+  }
+  EXPECT_GT(total_queries, 0u);
+}
+
+}  // namespace
+}  // namespace pdht::core

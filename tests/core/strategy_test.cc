@@ -1,0 +1,51 @@
+#include "core/strategy.h"
+
+#include <gtest/gtest.h>
+
+namespace pdht::core {
+namespace {
+
+TEST(StrategyTest, NamesRoundTrip) {
+  for (Strategy s : {Strategy::kIndexAll, Strategy::kNoIndex,
+                     Strategy::kPartialIdeal, Strategy::kPartialTtl}) {
+    Strategy parsed;
+    ASSERT_TRUE(ParseStrategy(StrategyName(s), &parsed));
+    EXPECT_EQ(parsed, s);
+  }
+}
+
+TEST(StrategyTest, ParseIsCaseInsensitive) {
+  Strategy s;
+  EXPECT_TRUE(ParseStrategy("INDEXALL", &s));
+  EXPECT_EQ(s, Strategy::kIndexAll);
+  EXPECT_TRUE(ParseStrategy("partialttl", &s));
+  EXPECT_EQ(s, Strategy::kPartialTtl);
+}
+
+TEST(StrategyTest, ParseRejectsUnknown) {
+  Strategy s;
+  EXPECT_FALSE(ParseStrategy("fullIndex", &s));
+  EXPECT_FALSE(ParseStrategy("", &s));
+}
+
+TEST(DhtBackendTest, NamesRoundTrip) {
+  for (DhtBackend b : {DhtBackend::kChord, DhtBackend::kPGrid}) {
+    DhtBackend parsed;
+    ASSERT_TRUE(ParseDhtBackend(DhtBackendName(b), &parsed));
+    EXPECT_EQ(parsed, b);
+  }
+}
+
+TEST(DhtBackendTest, ParseAcceptsHyphenatedPGrid) {
+  DhtBackend b;
+  EXPECT_TRUE(ParseDhtBackend("P-Grid", &b));
+  EXPECT_EQ(b, DhtBackend::kPGrid);
+}
+
+TEST(DhtBackendTest, ParseRejectsUnknown) {
+  DhtBackend b;
+  EXPECT_FALSE(ParseDhtBackend("kademlia", &b));
+}
+
+}  // namespace
+}  // namespace pdht::core

@@ -1,0 +1,176 @@
+#include "core/ttl_index.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace pdht::core {
+namespace {
+
+TEST(TtlIndexTest, PutAndContains) {
+  TtlIndex idx;
+  idx.Put(1, /*now=*/0.0, /*ttl=*/10.0);
+  EXPECT_TRUE(idx.Contains(1, 0.0));
+  EXPECT_TRUE(idx.Contains(1, 9.9));
+  EXPECT_FALSE(idx.Contains(1, 10.0));  // expiry boundary is exclusive
+  EXPECT_FALSE(idx.Contains(2, 0.0));
+}
+
+TEST(TtlIndexTest, TouchExtendsLifetime) {
+  // "The expiration time of a key is reset ... whenever the peer that
+  // stores the key receives a query for it."
+  TtlIndex idx;
+  idx.Put(1, 0.0, 10.0);
+  EXPECT_TRUE(idx.Touch(1, 5.0, 10.0));  // new expiry: 15
+  EXPECT_TRUE(idx.Contains(1, 12.0));
+  EXPECT_FALSE(idx.Contains(1, 15.0));
+}
+
+TEST(TtlIndexTest, TouchFailsOnAbsentOrExpired) {
+  TtlIndex idx;
+  EXPECT_FALSE(idx.Touch(1, 0.0, 10.0));
+  idx.Put(1, 0.0, 5.0);
+  EXPECT_FALSE(idx.Touch(1, 6.0, 10.0));  // already expired
+}
+
+TEST(TtlIndexTest, EvictExpiredRemovesOnlyExpired) {
+  TtlIndex idx;
+  idx.Put(1, 0.0, 5.0);
+  idx.Put(2, 0.0, 15.0);
+  std::vector<uint64_t> evicted;
+  uint64_t n = idx.EvictExpired(
+      10.0, [&](uint64_t k) { evicted.push_back(k); });
+  EXPECT_EQ(n, 1u);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], 1u);
+  EXPECT_EQ(idx.size(), 1u);
+  EXPECT_TRUE(idx.Contains(2, 10.0));
+}
+
+TEST(TtlIndexTest, TouchedKeySurvivesEviction) {
+  // The TTL-refresh mechanism is what keeps popular keys resident: a
+  // touched key must not be evicted by its original expiry.
+  TtlIndex idx;
+  idx.Put(1, 0.0, 10.0);
+  idx.Touch(1, 9.0, 10.0);  // expiry now 19
+  EXPECT_EQ(idx.EvictExpired(10.0), 0u);
+  EXPECT_TRUE(idx.Contains(1, 15.0));
+  EXPECT_EQ(idx.EvictExpired(19.0), 1u);
+}
+
+TEST(TtlIndexTest, RePutRefreshes) {
+  TtlIndex idx;
+  idx.Put(1, 0.0, 5.0);
+  idx.Put(1, 3.0, 5.0);  // expiry 8
+  EXPECT_EQ(idx.EvictExpired(5.0), 0u);
+  EXPECT_TRUE(idx.Contains(1, 7.0));
+  EXPECT_EQ(idx.size(), 1u);
+}
+
+TEST(TtlIndexTest, EraseRemovesImmediately) {
+  TtlIndex idx;
+  idx.Put(1, 0.0, 100.0);
+  EXPECT_TRUE(idx.Erase(1));
+  EXPECT_FALSE(idx.Contains(1, 0.0));
+  EXPECT_FALSE(idx.Erase(1));
+  // Stale heap entries must not resurrect or miscount evictions.
+  EXPECT_EQ(idx.EvictExpired(1000.0), 0u);
+}
+
+TEST(TtlIndexTest, CapacityDisplacesNearestExpiry) {
+  TtlIndex idx(/*capacity=*/2);
+  idx.Put(1, 0.0, 5.0);    // expires 5
+  idx.Put(2, 0.0, 50.0);   // expires 50
+  uint64_t displaced = idx.Put(3, 0.0, 20.0);
+  EXPECT_EQ(displaced, 1u);  // key 1 was closest to expiry
+  EXPECT_EQ(idx.size(), 2u);
+  EXPECT_FALSE(idx.Contains(1, 0.0));
+  EXPECT_TRUE(idx.Contains(2, 0.0));
+  EXPECT_TRUE(idx.Contains(3, 0.0));
+}
+
+TEST(TtlIndexTest, CapacityRePutDoesNotDisplace) {
+  TtlIndex idx(2);
+  idx.Put(1, 0.0, 5.0);
+  idx.Put(2, 0.0, 10.0);
+  uint64_t displaced = idx.Put(1, 0.0, 7.0);  // refresh, not insert
+  EXPECT_EQ(displaced, TtlIndex::kNoKey);
+  EXPECT_EQ(idx.size(), 2u);
+}
+
+TEST(TtlIndexTest, UnboundedCapacity) {
+  TtlIndex idx(0);
+  for (uint64_t k = 0; k < 1000; ++k) idx.Put(k, 0.0, 10.0);
+  EXPECT_EQ(idx.size(), 1000u);
+}
+
+TEST(TtlIndexTest, ExpiryOf) {
+  TtlIndex idx;
+  EXPECT_EQ(idx.ExpiryOf(1), TtlIndex::kNever);
+  idx.Put(1, 2.0, 3.0);
+  EXPECT_DOUBLE_EQ(idx.ExpiryOf(1), 5.0);
+}
+
+TEST(TtlIndexTest, KeysListsResidents) {
+  TtlIndex idx;
+  idx.Put(1, 0.0, 10.0);
+  idx.Put(2, 0.0, 10.0);
+  auto keys = idx.Keys();
+  std::set<uint64_t> s(keys.begin(), keys.end());
+  EXPECT_EQ(s, (std::set<uint64_t>{1, 2}));
+}
+
+TEST(TtlIndexTest, ManyTouchesDoNotLeakHeap) {
+  // Touch creates superseded heap entries; a subsequent eviction pass must
+  // skip them all and report the key exactly once.
+  TtlIndex idx;
+  idx.Put(1, 0.0, 10.0);
+  for (int i = 0; i < 1000; ++i) {
+    idx.Touch(1, 0.1 * i, 10.0);
+  }
+  std::vector<uint64_t> evicted;
+  idx.EvictExpired(1e6, [&](uint64_t k) { evicted.push_back(k); });
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], 1u);
+}
+
+TEST(TtlIndexTest, SelectionAlgorithmScenario) {
+  // Mini end-to-end of Section 5.1: a popular key queried every round
+  // survives; an unpopular key inserted once times out after keyTtl.
+  TtlIndex idx;
+  const double key_ttl = 5.0;
+  idx.Put(100, 0.0, key_ttl);  // popular
+  idx.Put(200, 0.0, key_ttl);  // unpopular
+  for (double now = 1.0; now <= 20.0; now += 1.0) {
+    idx.EvictExpired(now);
+    // The popular key is queried (touched) every round.
+    idx.Touch(100, now, key_ttl);
+  }
+  EXPECT_TRUE(idx.Contains(100, 20.0));
+  EXPECT_FALSE(idx.Contains(200, 20.0));
+}
+
+TEST(TtlIndexTest, EvictionOrderIsByExpiry) {
+  TtlIndex idx;
+  idx.Put(3, 0.0, 3.0);
+  idx.Put(1, 0.0, 1.0);
+  idx.Put(2, 0.0, 2.0);
+  std::vector<uint64_t> order;
+  idx.EvictExpired(10.0, [&](uint64_t k) { order.push_back(k); });
+  EXPECT_EQ(order, (std::vector<uint64_t>{1, 2, 3}));
+}
+
+TEST(TtlIndexTest, StressChurnOfKeys) {
+  TtlIndex idx(100);
+  double now = 0.0;
+  for (int round = 0; round < 1000; ++round) {
+    now += 1.0;
+    idx.Put(static_cast<uint64_t>(round % 250), now, 10.0);
+    idx.EvictExpired(now);
+    ASSERT_LE(idx.size(), 100u);
+  }
+}
+
+}  // namespace
+}  // namespace pdht::core

@@ -1,0 +1,134 @@
+// Integration: query-adaptivity (paper Sections 5.2 and 6).  "Our scheme
+// is able to automatically adjust the index to changing query frequencies
+// and distributions."
+
+#include <gtest/gtest.h>
+
+#include "core/pdht_system.h"
+
+namespace pdht {
+namespace {
+
+model::ScenarioParams Scaled() {
+  model::ScenarioParams p;
+  p.num_peers = 400;
+  p.keys = 800;
+  p.stor = 20;
+  p.repl = 10;
+  p.alpha = 1.2;
+  p.f_qry = 1.0 / 5.0;
+  p.f_upd = 1.0 / 3600.0;
+  p.env = 1.0 / 14.0;
+  return p;
+}
+
+core::SystemConfig TtlConfig(uint64_t seed = 4242) {
+  core::SystemConfig c;
+  c.params = Scaled();
+  c.strategy = core::Strategy::kPartialTtl;
+  c.churn.enabled = false;
+  c.seed = seed;
+  return c;
+}
+
+TEST(AdaptivityTest, IndexConvergesToPopularKeys) {
+  core::PdhtSystem sys(TtlConfig());
+  sys.RunRounds(100);
+  // The head of the Zipf distribution must be resident: check that the
+  // top-10 ranked keys answer from the index.
+  int resident = 0;
+  for (uint64_t r = 1; r <= 10; ++r) {
+    uint64_t key = sys.workload().KeyAtRank(r);
+    core::QueryOutcome out = sys.ExecuteQuery(key);
+    if (out.answered_from_index) ++resident;
+  }
+  EXPECT_GE(resident, 8);
+}
+
+TEST(AdaptivityTest, UnpopularKeysAreNotResident) {
+  // With the derived keyTtl (~200 rounds at this scale) even deep-tail
+  // keys linger; pin a short TTL so the residency contrast is sharp.
+  core::SystemConfig cfg = TtlConfig(7);
+  cfg.key_ttl = 30.0;
+  core::PdhtSystem sys(cfg);
+  sys.RunRounds(100);
+  // Deep-tail keys should not sit in the index (they would only waste
+  // maintenance); sample ranks near the very bottom.
+  int resident = 0;
+  for (uint64_t r = 790; r <= 799; ++r) {
+    uint64_t key = sys.workload().KeyAtRank(r);
+    // Probe residency without executing a query (a query would insert!).
+    // Use the recorded index size series as a proxy plus direct outcome:
+    core::QueryOutcome out = sys.ExecuteQuery(key);
+    if (out.answered_from_index) ++resident;
+  }
+  EXPECT_LE(resident, 6);
+}
+
+TEST(AdaptivityTest, FullShiftRecoversWithinTtlWindow) {
+  core::PdhtSystem sys(TtlConfig(11));
+  sys.RunRounds(80);
+  double steady = sys.TailHitRate(20);
+  ASSERT_GT(steady, 0.4);
+
+  sys.ShiftPopularity();
+  sys.RunRounds(2);
+  const auto& hits = sys.engine().Series(core::PdhtSystem::kSeriesHitRate);
+  double post_shift = hits.MeanOver(80, 82);
+  EXPECT_LT(post_shift, steady);
+
+  // Recovery: within ~60 rounds the hot keys of the new distribution are
+  // re-learned by miss-triggered insertion.
+  sys.RunRounds(80);
+  double recovered = sys.TailHitRate(20);
+  EXPECT_GT(recovered, steady * 0.8);
+}
+
+TEST(AdaptivityTest, GradualDriftIsAbsorbed) {
+  core::PdhtSystem sys(TtlConfig(13));
+  sys.RunRounds(80);
+  double steady = sys.TailHitRate(20);
+  // Rotate popularity by a few ranks every 10 rounds: mild drift.
+  for (int burst = 0; burst < 5; ++burst) {
+    sys.RotatePopularity(5);
+    sys.RunRounds(10);
+  }
+  double drifted = sys.TailHitRate(20);
+  // Mild drift must not collapse the hit rate.
+  EXPECT_GT(drifted, steady * 0.6);
+}
+
+TEST(AdaptivityTest, LoadDropShrinksIndex) {
+  // When the query frequency falls, fewer keys stay above fMin, so the
+  // TTL index should shrink (Fig. 3's trend, realized dynamically).
+  core::SystemConfig busy = TtlConfig(17);
+  busy.key_ttl = 30.0;  // fixed TTL so the effect is purely query-driven
+  core::PdhtSystem sys(busy);
+  sys.RunRounds(80);
+  double size_busy = sys.engine()
+                         .Series(core::PdhtSystem::kSeriesIndexSize)
+                         .TailMean(10);
+
+  core::SystemConfig calm = TtlConfig(17);
+  calm.key_ttl = 30.0;
+  calm.params.f_qry = 1.0 / 50.0;  // 10x fewer queries
+  core::PdhtSystem sys2(calm);
+  sys2.RunRounds(80);
+  double size_calm = sys2.engine()
+                         .Series(core::PdhtSystem::kSeriesIndexSize)
+                         .TailMean(10);
+  EXPECT_LT(size_calm, size_busy * 0.6);
+}
+
+TEST(AdaptivityTest, HitRateSeriesMonotoneSmoothedDuringWarmup) {
+  core::PdhtSystem sys(TtlConfig(19));
+  sys.RunRounds(60);
+  const auto& hits = sys.engine().Series(core::PdhtSystem::kSeriesHitRate);
+  auto smooth = hits.MovingAverage(10);
+  // Smoothed warm-up curve should be (weakly) increasing in large steps.
+  EXPECT_LT(smooth[5], smooth[25] + 0.05);
+  EXPECT_LT(smooth[25], smooth[55] + 0.05);
+}
+
+}  // namespace
+}  // namespace pdht

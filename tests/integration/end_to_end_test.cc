@@ -1,0 +1,133 @@
+// End-to-end: the full news-system pipeline -- articles -> metadata keys
+// -> workload -> PDHT -- mirroring the paper's Section 4 scenario at
+// reduced scale, plus cross-strategy sanity on identical substrates.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/pdht_system.h"
+#include "metadata/article.h"
+#include "metadata/key_generator.h"
+
+namespace pdht {
+namespace {
+
+TEST(EndToEndTest, NewsCorpusFeedsKeyUniverse) {
+  // 100 articles x 20 keys = 2,000 keys, the scaled version of the
+  // paper's 2,000 x 20 = 40,000.
+  metadata::ArticleCorpus corpus(100, 20, 31);
+  metadata::KeyGenerator gen(20);
+  std::set<uint64_t> key_universe;
+  for (const auto& a : corpus.articles()) {
+    for (const auto& k : gen.KeysFor(a)) key_universe.insert(k.hash);
+  }
+  EXPECT_GT(key_universe.size(), 800u);
+
+  // The PDHT system operates on dense key ids; the application maps
+  // hashes -> dense ids.  Verify the mapping machinery suffices.
+  std::vector<uint64_t> dense(key_universe.begin(), key_universe.end());
+  EXPECT_FALSE(dense.empty());
+}
+
+TEST(EndToEndTest, FullPipelineServesQueries) {
+  core::SystemConfig c;
+  c.params.num_peers = 300;
+  c.params.keys = 600;
+  c.params.stor = 20;
+  c.params.repl = 10;
+  c.params.f_qry = 1.0 / 5.0;
+  c.strategy = core::Strategy::kPartialTtl;
+  c.churn.enabled = true;
+  c.churn.mean_online_s = 300;
+  c.churn.mean_offline_s = 100;
+  c.seed = 2024;
+  core::PdhtSystem sys(c);
+  sys.RunRounds(100);
+
+  // Under churn, the system keeps answering: hit rate positive, message
+  // rate finite, index non-empty.
+  EXPECT_GT(sys.TailHitRate(20), 0.2);
+  EXPECT_GT(sys.IndexedKeyCount(), 0u);
+  EXPECT_GT(sys.TailMessageRate(20), 0.0);
+}
+
+TEST(EndToEndTest, AllStrategiesAnswerQueriesSuccessfully) {
+  for (auto s : {core::Strategy::kIndexAll, core::Strategy::kNoIndex,
+                 core::Strategy::kPartialIdeal,
+                 core::Strategy::kPartialTtl}) {
+    core::SystemConfig c;
+    c.params.num_peers = 200;
+    c.params.keys = 400;
+    c.params.stor = 20;
+    c.params.repl = 10;
+    c.params.f_qry = 1.0 / 4.0;
+    c.strategy = s;
+    c.churn.enabled = false;
+    c.seed = 555;
+    core::PdhtSystem sys(c);
+    sys.RunRounds(10);
+    int found = 0;
+    for (uint64_t key = 0; key < 20; ++key) {
+      if (sys.ExecuteQuery(key).found) ++found;
+    }
+    EXPECT_GE(found, 19) << core::StrategyName(s);
+  }
+}
+
+TEST(EndToEndTest, MessageAccountingIsComplete) {
+  // Every per-category counter must sum to msg.total: nothing escapes
+  // accounting (design decision #5).
+  core::SystemConfig c;
+  c.params.num_peers = 200;
+  c.params.keys = 400;
+  c.params.stor = 20;
+  c.params.repl = 10;
+  c.params.f_qry = 1.0 / 4.0;
+  c.strategy = core::Strategy::kPartialTtl;
+  c.churn.enabled = true;
+  c.churn.mean_online_s = 100;
+  c.churn.mean_offline_s = 50;
+  c.seed = 808;
+  core::PdhtSystem sys(c);
+  sys.RunRounds(30);
+  auto& counters = sys.engine().counters();
+  uint64_t total = counters.Value("msg.total");
+  uint64_t parts = counters.SumWithPrefix("msg.dht.") +
+                   counters.SumWithPrefix("msg.unstructured.") +
+                   counters.SumWithPrefix("msg.replica.") +
+                   counters.SumWithPrefix("msg.maint.") +
+                   counters.SumWithPrefix("msg.overlay.");
+  EXPECT_EQ(total, parts);
+  EXPECT_GT(total, 0u);
+}
+
+TEST(EndToEndTest, LongRunStability) {
+  // 500 rounds at small scale: no crashes, bounded index, sane series.
+  core::SystemConfig c;
+  c.params.num_peers = 150;
+  c.params.keys = 300;
+  c.params.stor = 10;
+  c.params.repl = 5;
+  c.params.f_qry = 1.0 / 5.0;
+  c.strategy = core::Strategy::kPartialTtl;
+  c.churn.enabled = true;
+  c.churn.mean_online_s = 200;
+  c.churn.mean_offline_s = 100;
+  c.seed = 31337;
+  core::PdhtSystem sys(c);
+  sys.RunRounds(500);
+  EXPECT_LE(sys.IndexedKeyCount(), 300u);
+  const auto& rate = sys.engine().Series(core::PdhtSystem::kSeriesMsgTotal);
+  EXPECT_EQ(rate.size(), 500u);
+  // Steady state: compare two wide windows (wide enough to average over
+  // the mass-expiry/re-insertion cycles the TTL policy produces -- the
+  // paper's overhead reason I).  No runaway growth or collapse.
+  double mid = rate.MeanOver(150, 325);
+  double late = rate.TailMean(175);
+  EXPECT_LT(late, mid * 2.5);
+  EXPECT_GT(late, mid / 2.5);
+}
+
+}  // namespace
+}  // namespace pdht

@@ -1,0 +1,58 @@
+// Paper-scale smoke test: constructs the full 20,000-peer / 40,000-key
+// scenario (Table 1) and runs a handful of rounds.  This is a viability
+// check -- memory, construction time, and per-round throughput at the
+// scale the paper models -- not a statistics test (bench_sim_validation
+// --full covers longer paper-scale runs).
+
+#include <gtest/gtest.h>
+
+#include "core/pdht_system.h"
+
+namespace pdht {
+namespace {
+
+TEST(FullScaleSmokeTest, PaperScalePartialTtlRuns) {
+  core::SystemConfig c;
+  c.params = model::ScenarioParams{};  // the real Table 1
+  c.strategy = core::Strategy::kPartialTtl;
+  c.churn.enabled = true;
+  c.churn.mean_online_s = 3600;
+  c.churn.mean_offline_s = 1800;
+  c.seed = 20040314;
+  core::PdhtSystem sys(c);
+
+  EXPECT_GT(sys.DhtMemberCount(), 1000u);
+  EXPECT_LE(sys.DhtMemberCount(), 20000u);
+  EXPECT_GT(sys.EffectiveKeyTtl(), 100.0);
+
+  sys.RunRounds(5);
+
+  // ~667 queries/round were issued and answered.
+  EXPECT_GT(sys.engine().counters().Value("msg.total"), 10000u);
+  // The index started filling.
+  EXPECT_GT(sys.IndexedKeyCount(), 100u);
+  // Query results were overwhelmingly found (the content always exists).
+  int found = 0;
+  for (uint64_t key = 0; key < 10; ++key) {
+    if (sys.ExecuteQuery(key * 1111).found) ++found;
+  }
+  EXPECT_GE(found, 9);
+}
+
+TEST(FullScaleSmokeTest, PaperScaleNoIndexRuns) {
+  core::SystemConfig c;
+  c.params = model::ScenarioParams{};
+  c.params.f_qry = 1.0 / 600;  // calmer load keeps the walk volume sane
+  c.strategy = core::Strategy::kNoIndex;
+  c.churn.enabled = false;
+  c.seed = 99;
+  core::PdhtSystem sys(c);
+  sys.RunRounds(3);
+  // Broadcast searches cost ~ cSUnstr = 720 each; 33 queries/round.
+  double rate = sys.TailMessageRate(3);
+  EXPECT_GT(rate, 5000.0);
+  EXPECT_LT(rate, 100000.0);
+}
+
+}  // namespace
+}  // namespace pdht

@@ -1,0 +1,108 @@
+// Parameterized health sweep over the full configuration cross-product:
+// strategy x backend x churn.  Every combination must run, account its
+// messages consistently, answer queries, and stay deterministic.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/pdht_system.h"
+
+namespace pdht {
+namespace {
+
+using SweepParam = std::tuple<core::Strategy, core::DhtBackend, bool>;
+
+class StrategySweep : public ::testing::TestWithParam<SweepParam> {
+ protected:
+  core::SystemConfig MakeConfig() const {
+    auto [strategy, backend, churn] = GetParam();
+    core::SystemConfig c;
+    c.params.num_peers = 250;
+    c.params.keys = 500;
+    c.params.stor = 20;
+    c.params.repl = 10;
+    c.params.f_qry = 1.0 / 5.0;
+    c.params.f_upd = 1.0 / 3600.0;
+    c.strategy = strategy;
+    c.backend = backend;
+    c.churn.enabled = churn;
+    c.churn.mean_online_s = 150;
+    c.churn.mean_offline_s = 75;
+    c.seed = 13579;
+    return c;
+  }
+};
+
+TEST_P(StrategySweep, RunsHealthy) {
+  core::SystemConfig c = MakeConfig();
+  core::PdhtSystem sys(c);
+  sys.RunRounds(40);
+
+  // Accounting closes: category sums equal the total.
+  auto& counters = sys.engine().counters();
+  uint64_t total = counters.Value("msg.total");
+  uint64_t parts = counters.SumWithPrefix("msg.dht.") +
+                   counters.SumWithPrefix("msg.unstructured.") +
+                   counters.SumWithPrefix("msg.replica.") +
+                   counters.SumWithPrefix("msg.maint.") +
+                   counters.SumWithPrefix("msg.overlay.");
+  EXPECT_EQ(total, parts);
+  EXPECT_GT(total, 0u);
+
+  // Queries resolve.
+  int found = 0;
+  for (uint64_t key = 0; key < 10; ++key) {
+    if (sys.ExecuteQuery(key).found) ++found;
+  }
+  EXPECT_GE(found, 8);
+
+  // Index residency is consistent with the strategy.
+  switch (c.strategy) {
+    case core::Strategy::kNoIndex:
+      EXPECT_EQ(sys.IndexedKeyCount(), 0u);
+      break;
+    case core::Strategy::kIndexAll:
+      EXPECT_GT(sys.IndexedKeyCount(), 450u);
+      break;
+    default:
+      EXPECT_GT(sys.IndexedKeyCount(), 0u);
+      EXPECT_LE(sys.IndexedKeyCount(), 500u);
+      break;
+  }
+}
+
+TEST_P(StrategySweep, Deterministic) {
+  core::SystemConfig c = MakeConfig();
+  core::PdhtSystem a(c);
+  core::PdhtSystem b(c);
+  a.RunRounds(15);
+  b.RunRounds(15);
+  EXPECT_EQ(a.engine().counters().Value("msg.total"),
+            b.engine().counters().Value("msg.total"));
+  EXPECT_EQ(a.IndexedKeyCount(), b.IndexedKeyCount());
+}
+
+std::string SweepName(const ::testing::TestParamInfo<SweepParam>& info) {
+  std::string name = core::StrategyName(std::get<0>(info.param));
+  name += "_";
+  name += core::DhtBackendName(std::get<1>(info.param));
+  name += std::get<2>(info.param) ? "_churn" : "_static";
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, StrategySweep,
+    ::testing::Combine(
+        ::testing::Values(core::Strategy::kIndexAll,
+                          core::Strategy::kNoIndex,
+                          core::Strategy::kPartialIdeal,
+                          core::Strategy::kPartialTtl),
+        ::testing::Values(core::DhtBackend::kChord,
+                          core::DhtBackend::kPGrid,
+                          core::DhtBackend::kCan),
+        ::testing::Bool()),
+    SweepName);
+
+}  // namespace
+}  // namespace pdht

@@ -1,0 +1,111 @@
+#include "metadata/article.h"
+
+#include <gtest/gtest.h>
+
+namespace pdht::metadata {
+namespace {
+
+TEST(MetadataPairTest, CanonicalForm) {
+  MetadataPair p{"title", "Weather Iraklion"};
+  EXPECT_EQ(p.Canonical(), "title=Weather Iraklion");
+}
+
+TEST(ArticleTest, ValueOfFindsElement) {
+  Article a;
+  a.metadata.push_back({"title", "storm Athens"});
+  a.metadata.push_back({"date", "2004/03/14"});
+  EXPECT_EQ(a.ValueOf("date"), "2004/03/14");
+  EXPECT_EQ(a.ValueOf("missing"), "");
+}
+
+TEST(ArticleCorpusTest, GeneratesRequestedCount) {
+  ArticleCorpus c(100, 20, 1);
+  EXPECT_EQ(c.size(), 100u);
+}
+
+TEST(ArticleCorpusTest, ArticlesHaveCoreMetadata) {
+  ArticleCorpus c(50, 20, 2);
+  for (const auto& a : c.articles()) {
+    EXPECT_FALSE(a.ValueOf("title").empty());
+    EXPECT_FALSE(a.ValueOf("author").empty());
+    EXPECT_FALSE(a.ValueOf("date").empty());
+    EXPECT_FALSE(a.ValueOf("size").empty());
+  }
+}
+
+TEST(ArticleCorpusTest, PairCountMatchesRequest) {
+  ArticleCorpus c(10, 20, 3);
+  for (const auto& a : c.articles()) {
+    EXPECT_EQ(a.metadata.size(), 20u);
+  }
+  ArticleCorpus c4(10, 4, 3);
+  for (const auto& a : c4.articles()) {
+    EXPECT_EQ(a.metadata.size(), 4u);
+  }
+}
+
+TEST(ArticleCorpusTest, DeterministicForSeed) {
+  ArticleCorpus a(20, 8, 42);
+  ArticleCorpus b(20, 8, 42);
+  for (uint64_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(a.at(i).metadata.size(), b.at(i).metadata.size());
+    for (size_t j = 0; j < a.at(i).metadata.size(); ++j) {
+      EXPECT_EQ(a.at(i).metadata[j], b.at(i).metadata[j]);
+    }
+  }
+}
+
+TEST(ArticleCorpusTest, DifferentSeedsDiffer) {
+  ArticleCorpus a(20, 8, 1);
+  ArticleCorpus b(20, 8, 2);
+  int identical = 0;
+  for (uint64_t i = 0; i < 20; ++i) {
+    if (a.at(i).ValueOf("title") == b.at(i).ValueOf("title")) ++identical;
+  }
+  EXPECT_LT(identical, 20);
+}
+
+TEST(ArticleCorpusTest, DatesAreWellFormed) {
+  ArticleCorpus c(30, 6, 4);
+  for (const auto& a : c.articles()) {
+    std::string d = a.ValueOf("date");
+    ASSERT_EQ(d.size(), 10u);
+    EXPECT_EQ(d.substr(0, 5), "2004/");
+    EXPECT_EQ(d[7], '/');
+  }
+}
+
+TEST(ArticleCorpusTest, ReplaceArticleChangesMetadataKeepsId) {
+  ArticleCorpus c(10, 20, 5);
+  Article before = c.at(3);
+  c.ReplaceArticle(3);
+  const Article& after = c.at(3);
+  EXPECT_EQ(after.id, before.id);
+  // Regeneration with a bumped generation counter must change content
+  // (title/author/date triple collision is vanishingly unlikely).
+  bool changed = before.ValueOf("title") != after.ValueOf("title") ||
+                 before.ValueOf("date") != after.ValueOf("date") ||
+                 before.ValueOf("size") != after.ValueOf("size");
+  EXPECT_TRUE(changed);
+}
+
+TEST(ArticleCorpusTest, ReplaceArticleLeavesOthersIntact) {
+  ArticleCorpus c(10, 10, 6);
+  Article other = c.at(7);
+  c.ReplaceArticle(3);
+  EXPECT_EQ(c.at(7).ValueOf("title"), other.ValueOf("title"));
+  EXPECT_EQ(c.at(7).ValueOf("size"), other.ValueOf("size"));
+}
+
+TEST(ArticleCorpusTest, ScenarioScaleCorpus) {
+  // The paper's 2,000-article corpus with 20 keys each builds quickly and
+  // yields 40,000 metadata pairs in total.
+  ArticleCorpus c(2000, 20, 7);
+  EXPECT_EQ(c.size(), 2000u);
+  uint64_t pairs = 0;
+  for (const auto& a : c.articles()) pairs += a.metadata.size();
+  EXPECT_EQ(pairs, 40000u);
+}
+
+}  // namespace
+}  // namespace pdht::metadata

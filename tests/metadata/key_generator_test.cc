@@ -1,0 +1,132 @@
+#include "metadata/key_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "metadata/article.h"
+
+namespace pdht::metadata {
+namespace {
+
+Article SampleArticle() {
+  Article a;
+  a.id = 1;
+  a.metadata.push_back({"title", "Weather Iraklion"});
+  a.metadata.push_back({"author", "Crete Weather Service"});
+  a.metadata.push_back({"date", "2004/03/14"});
+  a.metadata.push_back({"size", "2405"});
+  return a;
+}
+
+TEST(KeyGeneratorTest, ProducesExactlyRequestedKeyCount) {
+  KeyGenerator gen(20);
+  auto keys = gen.KeysFor(SampleArticle());
+  EXPECT_EQ(keys.size(), 20u);
+}
+
+TEST(KeyGeneratorTest, SinglePairPredicatesComeFirst) {
+  KeyGenerator gen(20);
+  auto keys = gen.KeysFor(SampleArticle());
+  EXPECT_EQ(keys[0].predicate, "title=Weather Iraklion");
+  EXPECT_EQ(keys[1].predicate, "author=Crete Weather Service");
+}
+
+TEST(KeyGeneratorTest, ConjunctionsIncludePaperExample) {
+  // key1 = hash(title = "Weather Iraklion" AND date = "2004/03/14").
+  KeyGenerator gen(20);
+  auto keys = gen.KeysFor(SampleArticle());
+  std::string want = "date=2004/03/14 AND title=Weather Iraklion";
+  bool found = false;
+  for (const auto& k : keys) {
+    if (k.predicate == want) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(KeyGeneratorTest, ConjunctivePredicateIsOrderCanonical) {
+  MetadataPair a{"title", "x"};
+  MetadataPair b{"date", "y"};
+  EXPECT_EQ(KeyGenerator::ConjunctivePredicate(a, b),
+            KeyGenerator::ConjunctivePredicate(b, a));
+}
+
+TEST(KeyGeneratorTest, HashesMatchPredicateHash) {
+  KeyGenerator gen(10);
+  auto keys = gen.KeysFor(SampleArticle());
+  for (const auto& k : keys) {
+    EXPECT_EQ(k.hash, KeyGenerator::HashPredicate(k.predicate));
+  }
+}
+
+TEST(KeyGeneratorTest, KeysAreDistinct) {
+  KeyGenerator gen(20);
+  auto keys = gen.KeysFor(SampleArticle());
+  std::set<uint64_t> hashes;
+  for (const auto& k : keys) hashes.insert(k.hash);
+  EXPECT_EQ(hashes.size(), keys.size());
+}
+
+TEST(KeyGeneratorTest, StopWordOnlyValuesSkipped) {
+  Article a;
+  a.id = 2;
+  a.metadata.push_back({"title", "the and of"});  // pure stop words
+  a.metadata.push_back({"author", "Aegean Press"});
+  KeyGenerator gen(3);
+  auto keys = gen.KeysFor(a);
+  for (const auto& k : keys) {
+    EXPECT_EQ(k.predicate.find("title=the and of"), std::string::npos)
+        << k.predicate;
+  }
+}
+
+TEST(KeyGeneratorTest, PadsWhenMetadataTooSmall) {
+  Article a;
+  a.id = 3;
+  a.metadata.push_back({"title", "solo"});
+  KeyGenerator gen(5);
+  auto keys = gen.KeysFor(a);
+  EXPECT_EQ(keys.size(), 5u);
+  std::set<uint64_t> hashes;
+  for (const auto& k : keys) hashes.insert(k.hash);
+  EXPECT_EQ(hashes.size(), 5u);
+}
+
+TEST(KeyGeneratorTest, ScenarioYieldsFortyThousandKeys) {
+  // 2,000 articles x 20 keys = 40,000 keys; collisions must be negligible
+  // (they would silently merge index entries).
+  ArticleCorpus corpus(2000, 20, 11);
+  KeyGenerator gen(20);
+  std::set<uint64_t> all;
+  uint64_t total = 0;
+  for (const auto& art : corpus.articles()) {
+    for (const auto& k : gen.KeysFor(art)) {
+      all.insert(k.hash);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, 40000u);
+  // Different articles can legitimately share predicates (same
+  // category/language values), so distinct hashes < total; but there must
+  // be plenty of distinct keys and zero *hash* collisions among distinct
+  // predicates -- verified indirectly by the predicate->hash map size.
+  EXPECT_GT(all.size(), 10000u);
+}
+
+TEST(KeyGeneratorTest, DistinctPredicatesNeverCollide) {
+  ArticleCorpus corpus(500, 20, 13);
+  KeyGenerator gen(20);
+  std::map<uint64_t, std::string> by_hash;
+  for (const auto& art : corpus.articles()) {
+    for (const auto& k : gen.KeysFor(art)) {
+      auto [it, inserted] = by_hash.emplace(k.hash, k.predicate);
+      if (!inserted) {
+        EXPECT_EQ(it->second, k.predicate)
+            << "hash collision between distinct predicates";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pdht::metadata

@@ -1,0 +1,97 @@
+#include "metadata/predicate.h"
+
+#include <gtest/gtest.h>
+
+#include "metadata/key_generator.h"
+
+namespace pdht::metadata {
+namespace {
+
+TEST(PredicateTest, ParsesSingleTerm) {
+  ParsedPredicate p;
+  ASSERT_TRUE(ParsePredicate("title=Weather Iraklion", &p));
+  ASSERT_EQ(p.terms.size(), 1u);
+  EXPECT_EQ(p.terms[0].element, "title");
+  EXPECT_EQ(p.terms[0].value, "Weather Iraklion");
+}
+
+TEST(PredicateTest, ParsesConjunction) {
+  ParsedPredicate p;
+  ASSERT_TRUE(
+      ParsePredicate("title=Weather Iraklion AND date=2004/03/14", &p));
+  ASSERT_EQ(p.terms.size(), 2u);
+  EXPECT_EQ(p.terms[1].element, "date");
+  EXPECT_EQ(p.terms[1].value, "2004/03/14");
+}
+
+TEST(PredicateTest, ToleratesWhitespaceAndCase) {
+  ParsedPredicate p;
+  ASSERT_TRUE(ParsePredicate("  title = storm Athens   and  size = 99 ", &p));
+  ASSERT_EQ(p.terms.size(), 2u);
+  EXPECT_EQ(p.terms[0].element, "title");
+  EXPECT_EQ(p.terms[0].value, "storm Athens");
+  EXPECT_EQ(p.terms[1].element, "size");
+}
+
+TEST(PredicateTest, ValueMayContainEquals) {
+  ParsedPredicate p;
+  ASSERT_TRUE(ParsePredicate("formula=a=b", &p));
+  EXPECT_EQ(p.terms[0].element, "formula");
+  EXPECT_EQ(p.terms[0].value, "a=b");
+}
+
+TEST(PredicateTest, RejectsMalformedInput) {
+  ParsedPredicate p;
+  EXPECT_FALSE(ParsePredicate("", &p));
+  EXPECT_FALSE(ParsePredicate("   ", &p));
+  EXPECT_FALSE(ParsePredicate("noequals", &p));
+  EXPECT_FALSE(ParsePredicate("=value", &p));
+  EXPECT_FALSE(ParsePredicate("elem=", &p));
+  EXPECT_FALSE(ParsePredicate("a=b AND ", &p));
+  EXPECT_FALSE(ParsePredicate("a=b AND nokey", &p));
+}
+
+TEST(PredicateTest, WordContainingAndIsNotSplit) {
+  // "band=sandstorm" contains the letters 'and' but no standalone AND.
+  ParsedPredicate p;
+  ASSERT_TRUE(ParsePredicate("band=sandstorm", &p));
+  ASSERT_EQ(p.terms.size(), 1u);
+  EXPECT_EQ(p.terms[0].value, "sandstorm");
+}
+
+TEST(PredicateTest, CanonicalSortsByElement) {
+  ParsedPredicate p;
+  ASSERT_TRUE(ParsePredicate("title=x AND date=y", &p));
+  EXPECT_EQ(CanonicalPredicate(p), "date=y AND title=x");
+}
+
+TEST(PredicateTest, NormalizeIsOrderInvariant) {
+  EXPECT_EQ(NormalizePredicate("b=2 AND a=1"),
+            NormalizePredicate("a=1   and   b=2"));
+  EXPECT_EQ(NormalizePredicate("a=1 AND b=2"), "a=1 AND b=2");
+}
+
+TEST(PredicateTest, NormalizeEmptyOnError) {
+  EXPECT_EQ(NormalizePredicate("garbage"), "");
+}
+
+TEST(PredicateTest, NormalizeMatchesKeyGeneratorCanonicalForm) {
+  // The canonical conjunctive form must be byte-identical to what
+  // KeyGenerator produces, or predicate hashes would diverge.
+  MetadataPair a{"title", "Weather Iraklion"};
+  MetadataPair b{"date", "2004/03/14"};
+  std::string via_generator =
+      pdht::metadata::KeyGenerator::ConjunctivePredicate(a, b);
+  std::string via_parser = NormalizePredicate(
+      "title=Weather Iraklion AND date=2004/03/14");
+  EXPECT_EQ(via_generator, via_parser);
+}
+
+TEST(PredicateTest, ThreeTermConjunction) {
+  ParsedPredicate p;
+  ASSERT_TRUE(ParsePredicate("c=3 AND a=1 AND b=2", &p));
+  EXPECT_EQ(CanonicalPredicate(p), "a=1 AND b=2 AND c=3");
+}
+
+}  // namespace
+}  // namespace pdht::metadata

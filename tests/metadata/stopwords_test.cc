@@ -1,0 +1,67 @@
+#include "metadata/stopwords.h"
+
+#include <gtest/gtest.h>
+
+namespace pdht::metadata {
+namespace {
+
+TEST(StopWordsTest, ClassicStopWordsDetected) {
+  EXPECT_TRUE(IsStopWord("the"));
+  EXPECT_TRUE(IsStopWord("and"));
+  EXPECT_TRUE(IsStopWord("of"));
+  EXPECT_TRUE(IsStopWord("a"));
+}
+
+TEST(StopWordsTest, CaseInsensitive) {
+  EXPECT_TRUE(IsStopWord("The"));
+  EXPECT_TRUE(IsStopWord("AND"));
+  EXPECT_TRUE(IsStopWord("Of"));
+}
+
+TEST(StopWordsTest, ContentWordsPass) {
+  EXPECT_FALSE(IsStopWord("weather"));
+  EXPECT_FALSE(IsStopWord("Iraklion"));
+  EXPECT_FALSE(IsStopWord("earthquake"));
+  EXPECT_FALSE(IsStopWord(""));
+}
+
+TEST(StopWordsTest, ListIsSorted) {
+  // Binary search correctness depends on sortedness; spot check count.
+  EXPECT_GT(StopWordCount(), 20u);
+}
+
+TEST(ContentWordsTest, FiltersAndLowercases) {
+  auto words = ContentWords("The Weather of Iraklion");
+  ASSERT_EQ(words.size(), 2u);
+  EXPECT_EQ(words[0], "weather");
+  EXPECT_EQ(words[1], "iraklion");
+}
+
+TEST(ContentWordsTest, SplitsOnPunctuation) {
+  auto words = ContentWords("storm,market;derby");
+  ASSERT_EQ(words.size(), 3u);
+  EXPECT_EQ(words[0], "storm");
+  EXPECT_EQ(words[2], "derby");
+}
+
+TEST(ContentWordsTest, AllStopWordsYieldEmpty) {
+  EXPECT_TRUE(ContentWords("the and of a").empty());
+  EXPECT_TRUE(ContentWords("").empty());
+  EXPECT_TRUE(ContentWords(" , ; ").empty());
+}
+
+TEST(ContentWordsTest, NumbersAreContent) {
+  auto words = ContentWords("2405");
+  ASSERT_EQ(words.size(), 1u);
+  EXPECT_EQ(words[0], "2405");
+}
+
+TEST(ContentWordsTest, MixedAlnumTokens) {
+  auto words = ContentWords("date 2004/03/14");
+  ASSERT_EQ(words.size(), 4u);
+  EXPECT_EQ(words[0], "date");
+  EXPECT_EQ(words[1], "2004");
+}
+
+}  // namespace
+}  // namespace pdht::metadata

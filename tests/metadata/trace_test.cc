@@ -1,0 +1,145 @@
+#include "metadata/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/pdht_system.h"
+
+namespace pdht::metadata {
+namespace {
+
+TEST(QueryTraceTest, AppendAndAccess) {
+  QueryTrace t;
+  t.Append(0, 5);
+  t.Append(0, 7);
+  t.Append(2, 5);
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.entries()[2].round, 2u);
+}
+
+TEST(QueryTraceTest, RoundRangeFindsEntries) {
+  QueryTrace t;
+  t.Append(0, 1);
+  t.Append(1, 2);
+  t.Append(1, 3);
+  t.Append(3, 4);
+  auto [b0, e0] = t.RoundRange(0);
+  EXPECT_EQ(e0 - b0, 1u);
+  auto [b1, e1] = t.RoundRange(1);
+  EXPECT_EQ(e1 - b1, 2u);
+  auto [b2, e2] = t.RoundRange(2);
+  EXPECT_EQ(b2, e2);  // empty round
+  auto [b3, e3] = t.RoundRange(3);
+  EXPECT_EQ(e3 - b3, 1u);
+}
+
+TEST(QueryTraceTest, SynthesizeMatchesWorkloadScale) {
+  QueryWorkload w(500, 1.2, Rng(1));
+  QueryTrace t = QueryTrace::Synthesize(w, 50, 1000, 0.1);
+  TraceStats s = t.Stats();
+  // ~100 queries/round * 50 rounds.
+  EXPECT_NEAR(static_cast<double>(s.total_queries), 5000.0, 500.0);
+  EXPECT_EQ(s.rounds, 50u);
+  // Zipf(1.2) head share ~ pmf(1) ~= 0.21 at 500 keys.
+  EXPECT_GT(s.head_share, 0.1);
+  EXPECT_LT(s.head_share, 0.35);
+}
+
+TEST(QueryTraceTest, CsvRoundTrip) {
+  QueryWorkload w(100, 1.2, Rng(2));
+  QueryTrace t = QueryTrace::Synthesize(w, 10, 200, 0.2);
+  std::string path = "/tmp/pdht_trace_test.csv";
+  ASSERT_TRUE(t.SaveCsv(path));
+  QueryTrace loaded;
+  ASSERT_TRUE(QueryTrace::LoadCsv(path, &loaded));
+  ASSERT_EQ(loaded.size(), t.size());
+  EXPECT_EQ(loaded.entries(), t.entries());
+  std::remove(path.c_str());
+}
+
+TEST(QueryTraceTest, LoadRejectsGarbage) {
+  std::string path = "/tmp/pdht_trace_bad.csv";
+  {
+    std::ofstream f(path);
+    f << "round,key\n1,2\nnot-a-number\n";
+  }
+  QueryTrace t;
+  EXPECT_FALSE(QueryTrace::LoadCsv(path, &t));
+  std::remove(path.c_str());
+}
+
+TEST(QueryTraceTest, LoadRejectsDecreasingRounds) {
+  std::string path = "/tmp/pdht_trace_order.csv";
+  {
+    std::ofstream f(path);
+    f << "round,key\n5,1\n3,2\n";
+  }
+  QueryTrace t;
+  EXPECT_FALSE(QueryTrace::LoadCsv(path, &t));
+  std::remove(path.c_str());
+}
+
+TEST(QueryTraceTest, StatsOnEmptyTrace) {
+  QueryTrace t;
+  TraceStats s = t.Stats();
+  EXPECT_EQ(s.total_queries, 0u);
+  EXPECT_EQ(s.rounds, 0u);
+}
+
+TEST(QueryTraceReplayTest, IdenticalSequenceAcrossStrategies) {
+  // The whole point of traces: two systems with different seeds replay
+  // the exact same queries, so their hit counts are comparable
+  // query-for-query.
+  QueryWorkload w(400, 1.2, Rng(3));
+  QueryTrace trace = QueryTrace::Synthesize(w, 30, 300, 0.1);
+
+  core::SystemConfig c;
+  c.params.num_peers = 300;
+  c.params.keys = 400;
+  c.params.stor = 20;
+  c.params.repl = 10;
+  c.params.f_qry = 1.0 / 10.0;
+  c.strategy = core::Strategy::kPartialTtl;
+  c.churn.enabled = false;
+  c.seed = 777;
+  c.trace = &trace;
+  core::PdhtSystem sys(c);
+  sys.RunRounds(30);
+  // Index warmed by exactly the trace's keys.
+  EXPECT_GT(sys.IndexedKeyCount(), 0u);
+  EXPECT_LE(sys.IndexedKeyCount(), trace.Stats().distinct_keys);
+  EXPECT_GT(sys.TailHitRate(10), 0.2);
+
+  // A second system with a different seed replays the same trace: the
+  // resident key sets may differ (different DHT members / churn draws)
+  // but the set of *ever-inserted* keys is bounded by the same trace.
+  core::SystemConfig c2 = c;
+  c2.seed = 31415;
+  core::PdhtSystem sys2(c2);
+  sys2.RunRounds(30);
+  EXPECT_LE(sys2.IndexedKeyCount(), trace.Stats().distinct_keys);
+}
+
+TEST(QueryTraceReplayTest, ForeignKeysSkipped) {
+  QueryTrace trace;
+  trace.Append(0, 999999);  // key outside the system's universe
+  trace.Append(0, 1);
+  core::SystemConfig c;
+  c.params.num_peers = 100;
+  c.params.keys = 50;
+  c.params.stor = 20;
+  c.params.repl = 5;
+  c.params.f_qry = 1.0 / 10.0;
+  c.strategy = core::Strategy::kPartialTtl;
+  c.churn.enabled = false;
+  c.seed = 5;
+  c.trace = &trace;
+  core::PdhtSystem sys(c);
+  sys.RunRounds(1);  // must not crash on the out-of-range key
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace pdht::metadata

@@ -1,0 +1,126 @@
+#include "metadata/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace pdht::metadata {
+namespace {
+
+TEST(QueryWorkloadTest, RankKeyBijection) {
+  QueryWorkload w(1000, 1.2, Rng(1));
+  for (uint64_t r = 1; r <= 1000; ++r) {
+    uint64_t key = w.KeyAtRank(r);
+    EXPECT_EQ(w.RankOf(key), r);
+  }
+}
+
+TEST(QueryWorkloadTest, SampleKeysInRange) {
+  QueryWorkload w(100, 1.2, Rng(2));
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_LT(w.SampleKey(), 100u);
+  }
+}
+
+TEST(QueryWorkloadTest, TopRankedKeyDominates) {
+  QueryWorkload w(1000, 1.2, Rng(3));
+  uint64_t hot = w.KeyAtRank(1);
+  int hot_count = 0;
+  constexpr int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (w.SampleKey() == hot) ++hot_count;
+  }
+  double freq = static_cast<double>(hot_count) / kSamples;
+  EXPECT_NEAR(freq, w.ProbOf(hot), 0.01);
+  EXPECT_GT(freq, 0.1);  // Zipf(1.2) head
+}
+
+TEST(QueryWorkloadTest, ProbOfMatchesRankPmf) {
+  QueryWorkload w(500, 1.2, Rng(4));
+  // Sum over all keys must be 1.
+  double sum = 0.0;
+  for (uint64_t k = 0; k < 500; ++k) sum += w.ProbOf(k);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(QueryWorkloadTest, ShufflePopularityRerankesKeys) {
+  QueryWorkload w(2000, 1.2, Rng(5));
+  uint64_t old_hot = w.KeyAtRank(1);
+  std::vector<uint64_t> old_top;
+  for (uint64_t r = 1; r <= 100; ++r) old_top.push_back(w.KeyAtRank(r));
+  w.ShufflePopularity();
+  // Bijection still holds.
+  for (uint64_t r = 1; r <= 2000; r += 97) {
+    EXPECT_EQ(w.RankOf(w.KeyAtRank(r)), r);
+  }
+  // The old head almost surely lost its crown.
+  int preserved = 0;
+  for (uint64_t r = 1; r <= 100; ++r) {
+    if (w.KeyAtRank(r) == old_top[r - 1]) ++preserved;
+  }
+  EXPECT_LT(preserved, 5);
+  (void)old_hot;
+}
+
+TEST(QueryWorkloadTest, RotatePopularityShiftsRanks) {
+  QueryWorkload w(100, 1.2, Rng(6));
+  uint64_t k1 = w.KeyAtRank(1);
+  uint64_t k11 = w.KeyAtRank(11);
+  w.RotatePopularity(10);
+  // The key formerly at rank 11 is now at rank 1.
+  EXPECT_EQ(w.KeyAtRank(1), k11);
+  // The old head moved 10 ranks up the tail (wrapping).
+  EXPECT_EQ(w.RankOf(k1), 91u);
+}
+
+TEST(QueryWorkloadTest, RotateByZeroIsNoop) {
+  QueryWorkload w(50, 1.2, Rng(7));
+  uint64_t k1 = w.KeyAtRank(1);
+  w.RotatePopularity(0);
+  EXPECT_EQ(w.KeyAtRank(1), k1);
+  w.RotatePopularity(50);  // full cycle
+  EXPECT_EQ(w.KeyAtRank(1), k1);
+}
+
+TEST(QueryWorkloadTest, SampleQueryCountMatchesMean) {
+  QueryWorkload w(10, 1.2, Rng(8));
+  constexpr uint64_t kPeers = 20000;
+  constexpr double kF = 1.0 / 30.0;
+  double sum = 0.0;
+  constexpr int kRounds = 2000;
+  for (int i = 0; i < kRounds; ++i) {
+    sum += static_cast<double>(w.SampleQueryCount(kPeers, kF));
+  }
+  double mean = sum / kRounds;
+  EXPECT_NEAR(mean, kPeers * kF, kPeers * kF * 0.02);
+}
+
+TEST(QueryWorkloadTest, SampleQueryCountZeroLoad) {
+  QueryWorkload w(10, 1.2, Rng(9));
+  EXPECT_EQ(w.SampleQueryCount(100, 0.0), 0u);
+}
+
+TEST(QueryWorkloadTest, DeterministicForSeed) {
+  QueryWorkload a(100, 1.2, Rng(10));
+  QueryWorkload b(100, 1.2, Rng(10));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.SampleKey(), b.SampleKey());
+  }
+}
+
+TEST(QueryWorkloadTest, AfterShiftDistributionStillZipf) {
+  QueryWorkload w(500, 1.2, Rng(11));
+  w.ShufflePopularity();
+  uint64_t new_hot = w.KeyAtRank(1);
+  int hot_count = 0;
+  constexpr int kSamples = 30000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (w.SampleKey() == new_hot) ++hot_count;
+  }
+  EXPECT_NEAR(static_cast<double>(hot_count) / kSamples, w.ProbOf(new_hot),
+              0.012);
+}
+
+}  // namespace
+}  // namespace pdht::metadata

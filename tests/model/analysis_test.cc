@@ -1,0 +1,99 @@
+#include "model/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/cost_model.h"
+
+namespace pdht::model {
+namespace {
+
+ScenarioParams Paper() { return ScenarioParams{}; }
+
+TEST(AnalysisTest, CurveNames) {
+  EXPECT_STREQ(CostCurveName(CostCurve::kIndexAll), "indexAll");
+  EXPECT_STREQ(CostCurveName(CostCurve::kPartialTtl), "partialTtl");
+}
+
+TEST(AnalysisTest, EvaluateCurveMatchesModels) {
+  ScenarioParams p = Paper();
+  CostModel m(p);
+  double f = 1.0 / 300;
+  EXPECT_NEAR(EvaluateCurve(p, CostCurve::kIndexAll, f),
+              m.TotalIndexAll(f), 1e-9);
+  EXPECT_NEAR(EvaluateCurve(p, CostCurve::kNoIndex, f),
+              m.TotalNoIndex(f), 1e-9);
+  EXPECT_NEAR(EvaluateCurve(p, CostCurve::kPartialIdeal, f),
+              m.TotalPartialIdeal(f), 1e-9);
+  EXPECT_GT(EvaluateCurve(p, CostCurve::kPartialTtl, f), 0.0);
+}
+
+TEST(AnalysisTest, IndexAllNoIndexCrossoverInPaperBand) {
+  // Fig. 1: the indexAll and noIndex curves cross between 1/1800 and
+  // 1/600 (noIndex = 8,000 vs 24,000 around indexAll's ~20.5k plateau).
+  double f = FindCrossoverFrequency(Paper(), CostCurve::kIndexAll,
+                                    CostCurve::kNoIndex, 1.0 / 7200,
+                                    1.0 / 30);
+  ASSERT_GT(f, 0.0);
+  EXPECT_GT(f, 1.0 / 1800);
+  EXPECT_LT(f, 1.0 / 600);
+  // At the crossover, the two costs agree.
+  double a = EvaluateCurve(Paper(), CostCurve::kIndexAll, f);
+  double b = EvaluateCurve(Paper(), CostCurve::kNoIndex, f);
+  EXPECT_NEAR(a, b, a * 1e-6);
+}
+
+TEST(AnalysisTest, NoCrossoverReturnsZero) {
+  // partial ideal is below noIndex across the whole band: no sign change.
+  double f = FindCrossoverFrequency(Paper(), CostCurve::kPartialIdeal,
+                                    CostCurve::kNoIndex, 1.0 / 7200,
+                                    1.0 / 30);
+  EXPECT_EQ(f, 0.0);
+}
+
+TEST(AnalysisTest, TtlVsIndexAllCrossoverNearHighLoad) {
+  // Eq. 17's per-query replica-flood overhead makes the TTL algorithm
+  // costlier than indexAll at very high loads (EXPERIMENTS.md note); the
+  // crossover lies between 1/300 (TTL wins) and 1/120 (indexAll wins).
+  double f = FindCrossoverFrequency(Paper(), CostCurve::kPartialTtl,
+                                    CostCurve::kIndexAll, 1.0 / 7200,
+                                    1.0 / 30);
+  ASSERT_GT(f, 0.0);
+  EXPECT_GT(f, 1.0 / 300);
+  EXPECT_LT(f, 1.0 / 120);
+}
+
+TEST(AnalysisTest, OptimizeReplicationFindsInteriorOrBoundary) {
+  ScenarioParams p = Paper();
+  p.f_qry = 1.0 / 300;
+  Optimum best = OptimizeReplication(p, CostCurve::kPartialIdeal, 5, 200, 5);
+  ASSERT_GE(best.repl, 5u);
+  ASSERT_LE(best.repl, 200u);
+  // The optimum must not be worse than the paper's repl = 50 choice.
+  ScenarioParams at50 = p;
+  at50.repl = 50;
+  double cost50 =
+      EvaluateCurve(at50, CostCurve::kPartialIdeal, at50.f_qry);
+  EXPECT_LE(best.cost, cost50 + 1e-9);
+}
+
+TEST(AnalysisTest, OptimizeRespectsStep) {
+  ScenarioParams p = Paper();
+  Optimum best = OptimizeReplication(p, CostCurve::kNoIndex, 10, 100, 10);
+  EXPECT_EQ(best.repl % 10, 0u);
+  // noIndex cost = fQry*numPeers*numPeers/repl*dup: strictly decreasing in
+  // repl, so the boundary wins.
+  EXPECT_EQ(best.repl, 100u);
+}
+
+TEST(AnalysisTest, OptimizeSkipsInvalidRepl) {
+  ScenarioParams p = Paper();
+  p.num_peers = 50;  // repl cannot exceed num_peers
+  Optimum best = OptimizeReplication(p, CostCurve::kNoIndex, 10, 500, 10);
+  EXPECT_LE(best.repl, 50u);
+  EXPECT_GT(best.repl, 0u);
+}
+
+}  // namespace
+}  // namespace pdht::model

@@ -1,0 +1,320 @@
+#include "model/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/scenario_params.h"
+
+namespace pdht::model {
+namespace {
+
+ScenarioParams Paper() { return ScenarioParams{}; }
+
+TEST(ScenarioParamsTest, DefaultsMatchTable1) {
+  ScenarioParams p;
+  EXPECT_EQ(p.num_peers, 20000u);
+  EXPECT_EQ(p.keys, 40000u);
+  EXPECT_EQ(p.stor, 100u);
+  EXPECT_EQ(p.repl, 50u);
+  EXPECT_DOUBLE_EQ(p.alpha, 1.2);
+  EXPECT_DOUBLE_EQ(p.f_qry, 1.0 / 30.0);
+  EXPECT_DOUBLE_EQ(p.f_upd, 1.0 / 86400.0);
+  EXPECT_NEAR(p.env, 1.0 / 14.0, 1e-12);
+  EXPECT_DOUBLE_EQ(p.dup, 1.8);
+  EXPECT_DOUBLE_EQ(p.dup2, 1.8);
+  EXPECT_TRUE(p.Validate().empty());
+}
+
+TEST(ScenarioParamsTest, PaperFrequencies) {
+  auto fs = ScenarioParams::PaperQueryFrequencies();
+  ASSERT_EQ(fs.size(), 8u);
+  EXPECT_DOUBLE_EQ(fs.front(), 1.0 / 30.0);
+  EXPECT_DOUBLE_EQ(fs.back(), 1.0 / 7200.0);
+  for (size_t i = 1; i < fs.size(); ++i) EXPECT_LT(fs[i], fs[i - 1]);
+}
+
+TEST(ScenarioParamsTest, ValidateRejectsBadValues) {
+  ScenarioParams p;
+  p.num_peers = 0;
+  EXPECT_FALSE(p.Validate().empty());
+  p = ScenarioParams{};
+  p.repl = p.num_peers + 1;
+  EXPECT_FALSE(p.Validate().empty());
+  p = ScenarioParams{};
+  p.dup = 0.5;
+  EXPECT_FALSE(p.Validate().empty());
+  p = ScenarioParams{};
+  p.f_qry = 0.0;
+  EXPECT_FALSE(p.Validate().empty());
+}
+
+TEST(ScenarioParamsTest, ToTableMentionsAllParams) {
+  std::string t = ScenarioParams{}.ToTable();
+  for (const char* name : {"numPeers", "keys", "stor", "repl", "alpha",
+                           "fQry", "fUpd", "env", "dup"}) {
+    EXPECT_NE(t.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(CostModelTest, CSUnstrEquation6) {
+  // cSUnstr = numPeers/repl * dup = 20000/50 * 1.8 = 720 messages.
+  CostModel m(Paper());
+  EXPECT_NEAR(m.CostSearchUnstructured(), 720.0, 1e-9);
+}
+
+TEST(CostModelTest, NumActivePeersScalesWithIndexSize) {
+  CostModel m(Paper());
+  // Full index: 40000 keys * 50 replicas / 100 per peer = 20000 peers --
+  // exactly the whole network, as the scenario intends.
+  EXPECT_EQ(m.NumActivePeers(40000), 20000u);
+  // Half the keys need half the peers.
+  EXPECT_EQ(m.NumActivePeers(20000), 10000u);
+  // Rounding up.
+  EXPECT_EQ(m.NumActivePeers(1), 1u);
+  EXPECT_EQ(m.NumActivePeers(3), 2u);
+  // Clamped to the population.
+  ScenarioParams p = Paper();
+  p.keys = 100000;
+  CostModel big(p);
+  EXPECT_EQ(big.NumActivePeers(100000), 20000u);
+}
+
+TEST(CostModelTest, CSIndxEquation7) {
+  // cSIndx = 0.5*log2(20000) ~= 7.14 messages for the full-size DHT.
+  CostModel m(Paper());
+  EXPECT_NEAR(m.CostSearchIndex(20000), 0.5 * std::log2(20000.0), 1e-12);
+  EXPECT_NEAR(m.CostSearchIndex(20000), 7.14, 0.01);
+}
+
+TEST(CostModelTest, CRtnEquation8FullIndex) {
+  // cRtn = env * log2(nap) * nap / maxRank
+  //      = (1/14) * log2(20000) * 20000 / 40000 ~= 0.51 msg/s per key.
+  CostModel m(Paper());
+  double expected = (1.0 / 14.0) * std::log2(20000.0) * 20000.0 / 40000.0;
+  EXPECT_NEAR(m.CostRoutingMaintenance(40000), expected, 1e-9);
+  EXPECT_NEAR(m.CostRoutingMaintenance(40000), 0.51, 0.01);
+}
+
+TEST(CostModelTest, MaintenanceMatchesMaCa03Observation) {
+  // [MaCa03]: ~1 message per peer per second.  Per-peer maintenance =
+  // cRtn * maxRank / nap = env * log2(nap) ~= 14.29/14 ~= 1.02.
+  CostModel m(Paper());
+  double per_peer =
+      m.CostRoutingMaintenance(40000) * 40000.0 / 20000.0;
+  EXPECT_NEAR(per_peer, 1.0, 0.05);
+}
+
+TEST(CostModelTest, CUpdEquation9) {
+  // cUpd = (cSIndx + repl*dup2) * fUpd = (7.14 + 90)/86400 ~= 0.0011.
+  CostModel m(Paper());
+  double expected = (0.5 * std::log2(20000.0) + 50 * 1.8) / 86400.0;
+  EXPECT_NEAR(m.CostUpdate(20000), expected, 1e-12);
+  EXPECT_NEAR(m.CostUpdate(20000), 0.00112, 1e-4);
+}
+
+TEST(CostModelTest, RoutingDominatesUpdateCost) {
+  // "In this scenario, the maintenance cost (cRtn) clearly outweighs the
+  // update cost (cUpd)" (Section 4).
+  CostModel m(Paper());
+  EXPECT_GT(m.CostRoutingMaintenance(40000), 100 * m.CostUpdate(20000));
+}
+
+TEST(CostModelTest, CIndKeyIsSumEquation10) {
+  CostModel m(Paper());
+  EXPECT_NEAR(m.CostIndexKey(40000),
+              m.CostRoutingMaintenance(40000) + m.CostUpdate(20000),
+              1e-12);
+}
+
+TEST(CostModelTest, FMinEquation2) {
+  CostModel m(Paper());
+  double f_min = m.FMin(40000);
+  double expected = m.CostIndexKey(40000) /
+                    (m.CostSearchUnstructured() - m.CostSearchIndex(20000));
+  EXPECT_NEAR(f_min, expected, 1e-12);
+  // Order of magnitude: ~0.51/713 ~= 7.2e-4 queries/s.
+  EXPECT_NEAR(f_min, 7.2e-4, 1e-4);
+}
+
+TEST(CostModelTest, FMinInfiniteWhenIndexNotCheaper) {
+  // If the unstructured search is as cheap as the index search, no key is
+  // worth indexing.
+  ScenarioParams p = Paper();
+  p.repl = p.num_peers;  // cSUnstr = dup = 1.8 < cSIndx
+  CostModel m(p);
+  EXPECT_TRUE(std::isinf(m.FMin(p.keys)));
+  EXPECT_EQ(m.SolveMaxRank(p.f_qry), 0u);
+}
+
+TEST(CostModelTest, WorthIndexingEquation1) {
+  CostModel m(Paper());
+  double f_min = m.FMin(40000);
+  EXPECT_TRUE(m.WorthIndexing(f_min * 2.0, 40000));
+  EXPECT_FALSE(m.WorthIndexing(f_min / 2.0, 40000));
+}
+
+TEST(CostModelTest, SolveMaxRankIsSelfConsistentFixedPoint) {
+  // The returned maxRank must satisfy probT(maxRank) >= fMin(maxRank) and
+  // probT(maxRank+1) < fMin(maxRank+1): the paper's definition.
+  CostModel m(Paper());
+  for (double f : ScenarioParams::PaperQueryFrequencies()) {
+    uint64_t mr = m.SolveMaxRank(f);
+    ASSERT_GE(mr, 1u);
+    double q = f * 20000.0;
+    EXPECT_GE(m.zipf().ProbQueriedAtLeastOnce(mr, q), m.FMin(mr))
+        << "f=" << f;
+    if (mr < 40000) {
+      EXPECT_LT(m.zipf().ProbQueriedAtLeastOnce(mr + 1, q),
+                m.FMin(mr + 1))
+          << "f=" << f;
+    }
+  }
+}
+
+TEST(CostModelTest, MaxRankShrinksWithQueryFrequency) {
+  // Fig. 3: the index only stores keys worth indexing, so the index size
+  // decreases with lower query frequencies.
+  CostModel m(Paper());
+  uint64_t prev = 40000;
+  for (double f : ScenarioParams::PaperQueryFrequencies()) {
+    uint64_t mr = m.SolveMaxRank(f);
+    EXPECT_LE(mr, prev) << "f=" << f;
+    prev = mr;
+  }
+  // Busiest period indexes a large fraction; calmest a small one.
+  EXPECT_GT(m.SolveMaxRank(1.0 / 30), 10000u);
+  EXPECT_LT(m.SolveMaxRank(1.0 / 7200), 2000u);
+}
+
+TEST(CostModelTest, TotalNoIndexEquation12) {
+  CostModel m(Paper());
+  // fQry*numPeers*cSUnstr at 1/30: 666.7 * 720 = 480,000 msg/s.
+  EXPECT_NEAR(m.TotalNoIndex(1.0 / 30), (20000.0 / 30.0) * 720.0, 1e-6);
+}
+
+TEST(CostModelTest, TotalIndexAllEquation11) {
+  CostModel m(Paper());
+  double c_ind_key = m.CostIndexKey(40000);
+  double c_s_indx = m.CostSearchIndex(20000);
+  double expected = 40000.0 * c_ind_key + (20000.0 / 30.0) * c_s_indx;
+  EXPECT_NEAR(m.TotalIndexAll(1.0 / 30), expected, 1e-6);
+  // Fig. 1 ballpark: ~25k msg/s at the busiest load.
+  EXPECT_NEAR(m.TotalIndexAll(1.0 / 30), 25200, 500);
+}
+
+TEST(CostModelTest, IndexAllIsMaintenanceBoundAtLowLoad) {
+  // At 1/7200 the query term is negligible; indexAll stays ~20.5k msg/s.
+  CostModel m(Paper());
+  double high = m.TotalIndexAll(1.0 / 30);
+  double low = m.TotalIndexAll(1.0 / 7200);
+  EXPECT_GT(low, 20000.0);
+  EXPECT_LT((high - low) / high, 0.25);
+}
+
+TEST(CostModelTest, PartialNeverWorseThanEitherBaseline) {
+  // Fig. 1/2: ideal partial indexing is cheaper than both baselines at
+  // every paper frequency.
+  CostModel m(Paper());
+  for (double f : ScenarioParams::PaperQueryFrequencies()) {
+    double partial = m.TotalPartialIdeal(f);
+    EXPECT_LT(partial, m.TotalIndexAll(f)) << "f=" << f;
+    EXPECT_LT(partial, m.TotalNoIndex(f)) << "f=" << f;
+  }
+}
+
+TEST(CostModelTest, SavingsShapesMatchFig2) {
+  CostModel m(Paper());
+  CostBreakdown busy = m.Evaluate(1.0 / 30);
+  CostBreakdown calm = m.Evaluate(1.0 / 7200);
+  // Savings vs indexAll grow as load falls (index shrinks away).
+  EXPECT_LT(busy.savings_vs_index_all, calm.savings_vs_index_all);
+  EXPECT_GT(calm.savings_vs_index_all, 0.9);
+  // Savings vs noIndex grow as load rises (broadcasts dominate).
+  EXPECT_GT(busy.savings_vs_no_index, calm.savings_vs_no_index);
+  EXPECT_GT(busy.savings_vs_no_index, 0.9);
+  // Both stay positive everywhere (partial always wins).
+  for (double f : ScenarioParams::PaperQueryFrequencies()) {
+    CostBreakdown b = m.Evaluate(f);
+    EXPECT_GT(b.savings_vs_index_all, 0.0) << "f=" << f;
+    EXPECT_GT(b.savings_vs_no_index, 0.0) << "f=" << f;
+  }
+}
+
+TEST(CostModelTest, PIndxdShapeMatchesFig3) {
+  // "even a small index can answer a high percentage of queries":
+  // at the calmest load the index fraction is tiny but pIndxd stays high.
+  CostModel m(Paper());
+  CostBreakdown calm = m.Evaluate(1.0 / 7200);
+  double index_fraction =
+      static_cast<double>(calm.max_rank) / 40000.0;
+  EXPECT_LT(index_fraction, 0.05);
+  EXPECT_GT(calm.p_indxd, 0.6);
+  EXPECT_GT(calm.p_indxd, index_fraction * 10);
+  // At the busiest load pIndxd approaches 1.
+  CostBreakdown busy = m.Evaluate(1.0 / 30);
+  EXPECT_GT(busy.p_indxd, 0.95);
+}
+
+TEST(CostModelTest, EvaluateBreakdownConsistency) {
+  CostModel m(Paper());
+  CostBreakdown b = m.Evaluate(1.0 / 300);
+  EXPECT_NEAR(b.c_ind_key, b.c_rtn + b.c_upd, 1e-12);
+  EXPECT_EQ(b.num_active_peers, m.NumActivePeers(b.max_rank));
+  EXPECT_NEAR(b.index_all, m.TotalIndexAll(1.0 / 300), 1e-9);
+  EXPECT_NEAR(b.no_index, m.TotalNoIndex(1.0 / 300), 1e-9);
+  EXPECT_NEAR(b.partial, m.TotalPartialIdeal(1.0 / 300), 1e-9);
+  EXPECT_NEAR(b.savings_vs_index_all, 1.0 - b.partial / b.index_all,
+              1e-12);
+}
+
+TEST(CostModelTest, EvaluateUsesScenarioFrequencyByDefault) {
+  CostModel m(Paper());
+  CostBreakdown a = m.Evaluate();
+  CostBreakdown b = m.Evaluate(Paper().f_qry);
+  EXPECT_EQ(a.max_rank, b.max_rank);
+  EXPECT_DOUBLE_EQ(a.partial, b.partial);
+}
+
+TEST(CostModelTest, DegenerateSinglePeerIndexSearch) {
+  CostModel m(Paper());
+  EXPECT_DOUBLE_EQ(m.CostSearchIndex(1), 0.5);
+  EXPECT_DOUBLE_EQ(m.CostSearchIndex(0), 0.5);
+}
+
+TEST(CostModelTest, ZeroMaxRankCosts) {
+  CostModel m(Paper());
+  EXPECT_DOUBLE_EQ(m.CostRoutingMaintenance(0), 0.0);
+  EXPECT_DOUBLE_EQ(m.CostIndexKey(0), 0.0);
+  EXPECT_EQ(m.NumActivePeers(0), 0u);
+}
+
+// Parameterized property: over a grid of frequencies, the partial cost is
+// monotone non-decreasing in query frequency (more load can never reduce
+// total traffic under a fixed optimal policy).
+class CostMonotonicity : public ::testing::TestWithParam<int> {};
+
+TEST_P(CostMonotonicity, PartialCostMonotoneInLoad) {
+  CostModel m(Paper());
+  double base = 1.0 / (30 * (1 << GetParam()));
+  double lower = base / 2.0;
+  EXPECT_LE(m.TotalPartialIdeal(lower), m.TotalPartialIdeal(base) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(LoadGrid, CostMonotonicity,
+                         ::testing::Range(0, 8));
+
+// Property: fMin decreases (weakly) with smaller index sizes -- a smaller
+// DHT is cheaper to search and maintain per key.
+TEST(CostModelTest, FMinMonotoneInIndexSize) {
+  CostModel m(Paper());
+  double prev = 0.0;
+  for (uint64_t mr : {1ull, 10ull, 100ull, 1000ull, 10000ull, 40000ull}) {
+    double f = m.FMin(mr);
+    EXPECT_GE(f, prev) << "maxRank " << mr;
+    prev = f;
+  }
+}
+
+}  // namespace
+}  // namespace pdht::model

@@ -1,0 +1,175 @@
+// Golden-value regression tests: every equation of the paper evaluated at
+// hand-computed reference points.  These pin the model against accidental
+// refactoring drift far more tightly than the shape tests.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/cost_model.h"
+#include "model/selection_model.h"
+
+namespace pdht::model {
+namespace {
+
+// Reference scenario A: tiny numbers, everything computable by hand.
+//   numPeers = 1000, keys = 100, stor = 10, repl = 10, dup = dup2 = 2,
+//   env = 0.1, fUpd = 0.01, alpha = 0 (uniform -- closed forms are exact).
+ScenarioParams TinyUniform() {
+  ScenarioParams p;
+  p.num_peers = 1000;
+  p.keys = 100;
+  p.stor = 10;
+  p.repl = 10;
+  p.alpha = 0.0;
+  p.f_qry = 0.05;
+  p.f_upd = 0.01;
+  p.env = 0.1;
+  p.dup = 2.0;
+  p.dup2 = 2.0;
+  return p;
+}
+
+TEST(EquationReferenceTest, Eq6CSUnstr) {
+  // cSUnstr = numPeers/repl * dup = 1000/10 * 2 = 200.
+  CostModel m(TinyUniform());
+  EXPECT_DOUBLE_EQ(m.CostSearchUnstructured(), 200.0);
+}
+
+TEST(EquationReferenceTest, NumActivePeersExact) {
+  // nap(maxRank) = ceil(maxRank*10/10) = maxRank (clamped at 1000).
+  CostModel m(TinyUniform());
+  EXPECT_EQ(m.NumActivePeers(100), 100u);
+  EXPECT_EQ(m.NumActivePeers(37), 37u);
+}
+
+TEST(EquationReferenceTest, Eq7CSIndx) {
+  // cSIndx(100) = 0.5*log2(100) = 3.321928...
+  CostModel m(TinyUniform());
+  EXPECT_NEAR(m.CostSearchIndex(100), 0.5 * std::log2(100.0), 1e-12);
+  EXPECT_NEAR(m.CostSearchIndex(100), 3.3219, 1e-4);
+}
+
+TEST(EquationReferenceTest, Eq8CRtn) {
+  // cRtn(100) = 0.1 * log2(100) * 100 / 100 = 0.66439.
+  CostModel m(TinyUniform());
+  EXPECT_NEAR(m.CostRoutingMaintenance(100),
+              0.1 * std::log2(100.0), 1e-12);
+}
+
+TEST(EquationReferenceTest, Eq9CUpd) {
+  // cUpd(100) = (3.3219 + 10*2) * 0.01 = 0.233219.
+  CostModel m(TinyUniform());
+  EXPECT_NEAR(m.CostUpdate(100), (0.5 * std::log2(100.0) + 20.0) * 0.01,
+              1e-12);
+}
+
+TEST(EquationReferenceTest, Eq10CIndKey) {
+  CostModel m(TinyUniform());
+  EXPECT_NEAR(m.CostIndexKey(100),
+              0.1 * std::log2(100.0) +
+                  (0.5 * std::log2(100.0) + 20.0) * 0.01,
+              1e-12);
+}
+
+TEST(EquationReferenceTest, Eq2FMin) {
+  // fMin(100) = cIndKey / (200 - 3.3219) = 0.89763/196.678 = 0.0045639...
+  CostModel m(TinyUniform());
+  double c_ind_key = m.CostIndexKey(100);
+  EXPECT_NEAR(m.FMin(100), c_ind_key / (200.0 - 0.5 * std::log2(100.0)),
+              1e-12);
+}
+
+TEST(EquationReferenceTest, Eq3UniformPmf) {
+  // alpha = 0: every key has probability 1/100.
+  CostModel m(TinyUniform());
+  for (uint64_t r = 1; r <= 100; r += 13) {
+    EXPECT_NEAR(m.zipf().Prob(r), 0.01, 1e-12);
+  }
+}
+
+TEST(EquationReferenceTest, Eq4ProbTUniform) {
+  // probT = 1 - (1 - 1/100)^(1000*0.05) = 1 - 0.99^50 = 0.394994...
+  CostModel m(TinyUniform());
+  double expected = 1.0 - std::pow(0.99, 50.0);
+  EXPECT_NEAR(m.zipf().ProbQueriedAtLeastOnce(1, 50.0), expected, 1e-12);
+  EXPECT_NEAR(expected, 0.39499, 1e-5);
+}
+
+TEST(EquationReferenceTest, UniformMaxRankIsAllOrNothing) {
+  // With a uniform distribution every key has identical probT = 0.395,
+  // far above fMin(100) = 0.00456: everything is worth indexing.
+  CostModel m(TinyUniform());
+  EXPECT_EQ(m.SolveMaxRank(0.05), 100u);
+  // Crush the query rate by 10,000x: probT ~= 0.005*0.01/... = 5e-5 per
+  // round; fMin stays ~0.0046 (index shrinks with maxRank but its log
+  // terms keep fMin above 1e-3): nothing clears the bar.
+  EXPECT_EQ(m.SolveMaxRank(0.05 / 10000.0), 0u);
+}
+
+TEST(EquationReferenceTest, Eq11IndexAll) {
+  // indexAll = 100*cIndKey(100) + 50*cSIndx(100).
+  CostModel m(TinyUniform());
+  double expected =
+      100.0 * m.CostIndexKey(100) + 50.0 * m.CostSearchIndex(100);
+  EXPECT_NEAR(m.TotalIndexAll(0.05), expected, 1e-9);
+  EXPECT_NEAR(expected, 100.0 * 0.8976 + 50.0 * 3.3219, 0.2);
+}
+
+TEST(EquationReferenceTest, Eq12NoIndex) {
+  // noIndex = 50 * 200 = 10,000 msg/s.
+  CostModel m(TinyUniform());
+  EXPECT_DOUBLE_EQ(m.TotalNoIndex(0.05), 10000.0);
+}
+
+TEST(EquationReferenceTest, Eq13PartialWithFullIndex) {
+  // maxRank = keys -> pIndxd = 1: partial == maxRank*cIndKey + 50*cSIndx,
+  // i.e. identical to indexAll.
+  CostModel m(TinyUniform());
+  EXPECT_NEAR(m.TotalPartialIdeal(0.05), m.TotalIndexAll(0.05), 1e-9);
+}
+
+TEST(EquationReferenceTest, Eq14Eq15UniformClosedForm) {
+  // Uniform keys: pInIndex = 1-(1-probT)^ttl identical for every key, so
+  // keysInIndex = 100*pIn and pIndxd = pIn exactly.
+  ScenarioParams p = TinyUniform();
+  SelectionModel sel(p);
+  double ttl = 7.0;
+  double prob_t = 1.0 - std::pow(0.99, 50.0);
+  double p_in = 1.0 - std::pow(1.0 - prob_t, ttl);
+  EXPECT_NEAR(sel.PIndxd(0.05, ttl), p_in, 1e-9);
+  EXPECT_NEAR(sel.ExpectedKeysInIndex(0.05, ttl), 100.0 * p_in, 1e-7);
+}
+
+TEST(EquationReferenceTest, Eq16Eq17Composition) {
+  ScenarioParams p = TinyUniform();
+  SelectionModel sel(p);
+  SelectionBreakdown b = sel.Evaluate(0.05);
+  CostModel cost(p);
+  // cSIndx2 = cSIndx(nap) + repl*dup2 with nap sized by keysInIndex.
+  double c_s_indx = cost.CostSearchIndex(b.num_active_peers);
+  EXPECT_NEAR(b.c_s_indx2, c_s_indx + 20.0, 1e-12);
+  double queries = 50.0;
+  double expected = b.keys_in_index * b.c_rtn +
+                    b.p_indxd * queries * b.c_s_indx2 +
+                    (1.0 - b.p_indxd) * queries *
+                        (2.0 * b.c_s_indx2 + 200.0);
+  EXPECT_NEAR(b.partial, expected, 1e-9);
+}
+
+// Reference scenario B: the paper's own Table 1 numbers as quoted in its
+// prose (already covered piecewise in cost_model_test; here as one
+// composite snapshot to catch cross-equation drift).
+TEST(EquationReferenceTest, PaperScenarioSnapshot) {
+  CostModel m(ScenarioParams{});
+  CostBreakdown b = m.Evaluate(1.0 / 30);
+  EXPECT_NEAR(b.c_s_unstr, 720.0, 1e-9);
+  EXPECT_NEAR(b.index_all, 25218.6, 1.0);
+  EXPECT_NEAR(b.no_index, 480000.0, 1.0);
+  EXPECT_NEAR(b.partial, 22392.5, 1.0);
+  EXPECT_EQ(b.max_rank, 25604u);
+  EXPECT_NEAR(b.p_indxd, 0.9888, 1e-3);
+}
+
+}  // namespace
+}  // namespace pdht::model

@@ -1,0 +1,108 @@
+#include "model/sweep.h"
+
+#include <gtest/gtest.h>
+
+namespace pdht::model {
+namespace {
+
+ScenarioParams Paper() { return ScenarioParams{}; }
+
+TEST(SweepTest, FrequencyLabelRendersPaperAxis) {
+  EXPECT_EQ(FrequencyLabel(1.0 / 30), "1/30");
+  EXPECT_EQ(FrequencyLabel(1.0 / 7200), "1/7200");
+  EXPECT_EQ(FrequencyLabel(0.5), "1/2");
+}
+
+TEST(SweepTest, Fig1RowsCoverAllFrequencies) {
+  auto rows = SweepFig1(Paper(), ScenarioParams::PaperQueryFrequencies());
+  ASSERT_EQ(rows.size(), 8u);
+  for (const auto& r : rows) {
+    EXPECT_GT(r.index_all, 0.0);
+    EXPECT_GT(r.no_index, 0.0);
+    EXPECT_GT(r.partial, 0.0);
+    EXPECT_LE(r.partial, r.index_all);
+    EXPECT_LE(r.partial, r.no_index);
+  }
+}
+
+TEST(SweepTest, Fig1NoIndexScalesLinearly) {
+  auto rows = SweepFig1(Paper(), {1.0 / 30, 1.0 / 60});
+  EXPECT_NEAR(rows[0].no_index / rows[1].no_index, 2.0, 1e-9);
+}
+
+TEST(SweepTest, Fig2SavingsWithinUnitInterval) {
+  auto rows = SweepFig2(Paper(), ScenarioParams::PaperQueryFrequencies());
+  for (const auto& r : rows) {
+    EXPECT_GT(r.savings_vs_index_all, 0.0);
+    EXPECT_LT(r.savings_vs_index_all, 1.0);
+    EXPECT_GT(r.savings_vs_no_index, 0.0);
+    EXPECT_LT(r.savings_vs_no_index, 1.0);
+  }
+}
+
+TEST(SweepTest, Fig3IndexSizeMonotone) {
+  auto rows = SweepFig3(Paper(), ScenarioParams::PaperQueryFrequencies());
+  for (size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_LE(rows[i].index_size_fraction,
+              rows[i - 1].index_size_fraction + 1e-12);
+    EXPECT_LE(rows[i].p_indxd, rows[i - 1].p_indxd + 1e-12);
+  }
+  // pIndxd dominates index fraction everywhere (Zipf head effect).
+  for (const auto& r : rows) {
+    EXPECT_GE(r.p_indxd, r.index_size_fraction);
+  }
+}
+
+TEST(SweepTest, Fig4SavingsBelowIdealFig2) {
+  auto fig2 = SweepFig2(Paper(), ScenarioParams::PaperQueryFrequencies());
+  auto fig4 = SweepFig4(Paper(), ScenarioParams::PaperQueryFrequencies());
+  ASSERT_EQ(fig2.size(), fig4.size());
+  for (size_t i = 0; i < fig2.size(); ++i) {
+    EXPECT_LE(fig4[i].savings_vs_index_all,
+              fig2[i].savings_vs_index_all + 1e-9);
+    EXPECT_LE(fig4[i].savings_vs_no_index,
+              fig2[i].savings_vs_no_index + 1e-9);
+  }
+}
+
+TEST(SweepTest, TtlSensitivityGridComplete) {
+  auto rows = SweepTtlSensitivity(Paper(), {1.0 / 300, 1.0 / 600},
+                                  {0.5, 1.0, 1.5});
+  EXPECT_EQ(rows.size(), 6u);
+  for (const auto& r : rows) {
+    EXPECT_GT(r.key_ttl, 0.0);
+    EXPECT_GT(r.partial, 0.0);
+  }
+}
+
+TEST(SweepTest, TtlSensitivityIdealScaleIsBest) {
+  // scale=1.0 should be within a whisker of the best across tested scales
+  // (it is the analytically motivated choice).
+  auto rows = SweepTtlSensitivity(Paper(), {1.0 / 600},
+                                  {0.25, 0.5, 1.0, 2.0, 4.0});
+  double at_one = 0.0;
+  double best = 1e300;
+  for (const auto& r : rows) {
+    if (r.ttl_scale == 1.0) at_one = r.partial;
+    best = std::min(best, r.partial);
+  }
+  EXPECT_LT(at_one, best * 1.3);
+}
+
+TEST(SweepTest, TablesHaveMatchingRowCounts) {
+  auto fs = ScenarioParams::PaperQueryFrequencies();
+  EXPECT_EQ(Fig1Table(SweepFig1(Paper(), fs)).num_rows(), fs.size());
+  EXPECT_EQ(Fig2Table(SweepFig2(Paper(), fs)).num_rows(), fs.size());
+  EXPECT_EQ(Fig3Table(SweepFig3(Paper(), fs)).num_rows(), fs.size());
+  EXPECT_EQ(Fig4Table(SweepFig4(Paper(), fs)).num_rows(), fs.size());
+}
+
+TEST(SweepTest, TablesRenderFrequencyLabels) {
+  auto fs = ScenarioParams::PaperQueryFrequencies();
+  std::string txt = Fig1Table(SweepFig1(Paper(), fs)).ToText();
+  EXPECT_NE(txt.find("1/30"), std::string::npos);
+  EXPECT_NE(txt.find("1/7200"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pdht::model

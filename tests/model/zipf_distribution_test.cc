@@ -1,0 +1,98 @@
+#include "model/zipf_distribution.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pdht::model {
+namespace {
+
+TEST(ZipfDistributionTest, PmfSumsToOne) {
+  ZipfDistribution z(10000, 1.2);
+  double sum = 0.0;
+  for (uint64_t r = 1; r <= 10000; ++r) sum += z.Prob(r);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfDistributionTest, ProbMatchesEquation3) {
+  // Eq. 3: prob(rank) = rank^-alpha / sum x^-alpha.
+  ZipfDistribution z(100, 1.2);
+  double h = 0.0;
+  for (uint64_t x = 1; x <= 100; ++x) h += std::pow(x, -1.2);
+  EXPECT_NEAR(z.Prob(1), 1.0 / h, 1e-12);
+  EXPECT_NEAR(z.Prob(10), std::pow(10.0, -1.2) / h, 1e-12);
+}
+
+TEST(ZipfDistributionTest, CdfMonotoneAndComplete) {
+  ZipfDistribution z(500, 1.2);
+  for (uint64_t r = 2; r <= 500; ++r) {
+    EXPECT_GT(z.Cdf(r), z.Cdf(r - 1));
+  }
+  EXPECT_DOUBLE_EQ(z.Cdf(500), 1.0);
+  EXPECT_DOUBLE_EQ(z.Cdf(9999), 1.0);
+  EXPECT_DOUBLE_EQ(z.Cdf(0), 0.0);
+}
+
+TEST(ZipfDistributionTest, ProbQueriedAtLeastOnceEquation4) {
+  // Eq. 4 at moderate scale: direct formula comparison.
+  ZipfDistribution z(100, 1.0);
+  double q = 50.0;  // total queries per round
+  for (uint64_t r : {1ull, 10ull, 100ull}) {
+    double p = z.Prob(r);
+    double expected = 1.0 - std::pow(1.0 - p, q);
+    EXPECT_NEAR(z.ProbQueriedAtLeastOnce(r, q), expected, 1e-12);
+  }
+}
+
+TEST(ZipfDistributionTest, ProbQueriedStableForTinyProbabilities) {
+  // With 40,000 keys and alpha 1.2 the tail pmf is ~1e-7; the naive
+  // 1-(1-p)^q would lose precision.  probT ~= q*p for q*p << 1.
+  ZipfDistribution z(40000, 1.2);
+  double p = z.Prob(40000);
+  double q = 2.778;  // 20,000 peers * 1/7200
+  double pt = z.ProbQueriedAtLeastOnce(40000, q);
+  EXPECT_NEAR(pt, q * p, q * p * 0.01);
+  EXPECT_GT(pt, 0.0);
+}
+
+TEST(ZipfDistributionTest, ProbQueriedMonotoneInRank) {
+  ZipfDistribution z(1000, 1.2);
+  double q = 100.0;
+  for (uint64_t r = 2; r <= 1000; r += 7) {
+    EXPECT_LE(z.ProbQueriedAtLeastOnce(r, q),
+              z.ProbQueriedAtLeastOnce(r - 1, q));
+  }
+}
+
+TEST(ZipfDistributionTest, ProbQueriedMonotoneInLoad) {
+  ZipfDistribution z(1000, 1.2);
+  EXPECT_LT(z.ProbQueriedAtLeastOnce(10, 1.0),
+            z.ProbQueriedAtLeastOnce(10, 10.0));
+}
+
+TEST(ZipfDistributionTest, MaxRankBinarySearchMatchesLinearScan) {
+  ZipfDistribution z(2000, 1.2);
+  double q = 70.0;
+  for (double threshold : {1e-4, 1e-3, 1e-2, 0.1, 0.5}) {
+    uint64_t expected = 0;
+    for (uint64_t r = 1; r <= 2000; ++r) {
+      if (z.ProbQueriedAtLeastOnce(r, q) >= threshold) expected = r;
+      else break;
+    }
+    EXPECT_EQ(z.MaxRankWithProbTAtLeast(threshold, q), expected)
+        << "threshold " << threshold;
+  }
+}
+
+TEST(ZipfDistributionTest, MaxRankZeroWhenThresholdUnreachable) {
+  ZipfDistribution z(100, 1.2);
+  EXPECT_EQ(z.MaxRankWithProbTAtLeast(2.0, 1000.0), 0u);
+}
+
+TEST(ZipfDistributionTest, MaxRankFullWhenThresholdTiny) {
+  ZipfDistribution z(100, 1.2);
+  EXPECT_EQ(z.MaxRankWithProbTAtLeast(1e-30, 10.0), 100u);
+}
+
+}  // namespace
+}  // namespace pdht::model

@@ -1,0 +1,131 @@
+#include "net/network.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pdht::net {
+namespace {
+
+class RecordingHandler : public MessageHandler {
+ public:
+  void HandleMessage(const Message& msg) override {
+    received.push_back(msg);
+  }
+  std::vector<Message> received;
+};
+
+TEST(MessageTypeTest, NamesAreStableAndCategorized) {
+  EXPECT_STREQ(MessageTypeName(MessageType::kFloodQuery),
+               "msg.unstructured.flood");
+  EXPECT_STREQ(MessageTypeName(MessageType::kDhtLookup), "msg.dht.lookup");
+  EXPECT_STREQ(MessageTypeName(MessageType::kRoutingProbe),
+               "msg.maint.probe");
+  EXPECT_STREQ(MessageTypeName(MessageType::kReplicaPush),
+               "msg.replica.push");
+}
+
+TEST(MessageTypeTest, AllTypesHaveMsgPrefix) {
+  for (int t = 0; t < static_cast<int>(MessageType::kCount); ++t) {
+    std::string name = MessageTypeName(static_cast<MessageType>(t));
+    EXPECT_EQ(name.rfind("msg.", 0), 0u) << name;
+  }
+}
+
+TEST(NetworkTest, SendCountsAndDelivers) {
+  CounterRegistry counters;
+  Network net(&counters);
+  RecordingHandler h;
+  net.Register(1, &h);
+  Message m;
+  m.type = MessageType::kDhtLookup;
+  m.from = 0;
+  m.to = 1;
+  m.key = 42;
+  EXPECT_TRUE(net.Send(m));
+  ASSERT_EQ(h.received.size(), 1u);
+  EXPECT_EQ(h.received[0].key, 42u);
+  EXPECT_EQ(counters.Value("msg.dht.lookup"), 1u);
+  EXPECT_EQ(counters.Value("msg.total"), 1u);
+}
+
+TEST(NetworkTest, SendToOfflinePeerCountsButFails) {
+  CounterRegistry counters;
+  Network net(&counters);
+  RecordingHandler h;
+  net.Register(1, &h);
+  net.SetOnline(1, false);
+  Message m;
+  m.to = 1;
+  EXPECT_FALSE(net.Send(m));
+  EXPECT_TRUE(h.received.empty());
+  // The transmission still hit the wire.
+  EXPECT_EQ(counters.Value("msg.total"), 1u);
+}
+
+TEST(NetworkTest, SendToUnregisteredPeerCountsButFails) {
+  CounterRegistry counters;
+  Network net(&counters);
+  Message m;
+  m.to = 99;
+  EXPECT_FALSE(net.Send(m));
+  EXPECT_EQ(counters.Value("msg.total"), 1u);
+}
+
+TEST(NetworkTest, OnlineStateDefaultsTrueForRegistered) {
+  CounterRegistry counters;
+  Network net(&counters);
+  RecordingHandler h;
+  net.Register(5, &h);
+  EXPECT_TRUE(net.IsOnline(5));
+  EXPECT_FALSE(net.IsOnline(6));  // never seen
+}
+
+TEST(NetworkTest, SetOnlineToggles) {
+  CounterRegistry counters;
+  Network net(&counters);
+  net.SetOnline(3, true);
+  EXPECT_TRUE(net.IsOnline(3));
+  net.SetOnline(3, false);
+  EXPECT_FALSE(net.IsOnline(3));
+  net.SetOnline(3, true);
+  EXPECT_TRUE(net.IsOnline(3));
+}
+
+TEST(NetworkTest, CountOnlyAddsWithoutDelivery) {
+  CounterRegistry counters;
+  Network net(&counters);
+  RecordingHandler h;
+  net.Register(0, &h);
+  net.CountOnly(MessageType::kReplicaFlood, 90);
+  EXPECT_TRUE(h.received.empty());
+  EXPECT_EQ(counters.Value("msg.replica.flood"), 90u);
+  EXPECT_EQ(net.TotalMessages(), 90u);
+}
+
+TEST(NetworkTest, MessagesOfTypeQueriesCounter) {
+  CounterRegistry counters;
+  Network net(&counters);
+  net.CountOnly(MessageType::kWalkQuery, 3);
+  net.CountOnly(MessageType::kDhtLookup, 2);
+  EXPECT_EQ(net.MessagesOfType(MessageType::kWalkQuery), 3u);
+  EXPECT_EQ(net.MessagesOfType(MessageType::kDhtLookup), 2u);
+  EXPECT_EQ(net.TotalMessages(), 5u);
+}
+
+TEST(NetworkTest, RegisterReplacesHandler) {
+  CounterRegistry counters;
+  Network net(&counters);
+  RecordingHandler h1;
+  RecordingHandler h2;
+  net.Register(0, &h1);
+  net.Register(0, &h2);
+  Message m;
+  m.to = 0;
+  net.Send(m);
+  EXPECT_TRUE(h1.received.empty());
+  EXPECT_EQ(h2.received.size(), 1u);
+}
+
+}  // namespace
+}  // namespace pdht::net

@@ -1,0 +1,142 @@
+#include "overlay/replica/gossip.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/histogram.h"
+
+namespace pdht::overlay {
+namespace {
+
+struct GossipFixture {
+  GossipFixture(uint32_t n, double degree, uint64_t seed = 1)
+      : net(&counters), rng(seed),
+        group(7, Members(n), degree, &rng), gossip(&net) {
+    for (uint32_t i = 0; i < n; ++i) net.SetOnline(i, true);
+  }
+  static std::vector<net::PeerId> Members(uint32_t n) {
+    std::vector<net::PeerId> m;
+    for (uint32_t i = 0; i < n; ++i) m.push_back(i);
+    return m;
+  }
+  pdht::CounterRegistry counters;
+  net::Network net;
+  Rng rng;
+  ReplicaGroup group;
+  GossipProtocol gossip;
+};
+
+TEST(GossipTest, PushReachesAllOnlineReplicas) {
+  GossipFixture f(50, 4.0);
+  uint64_t v = f.group.ProduceUpdate(0);
+  GossipResult r = f.gossip.PushUpdate(&f.group, 0, v);
+  EXPECT_EQ(r.replicas_reached, 50u);
+  EXPECT_DOUBLE_EQ(f.group.ConsistentFraction(), 1.0);
+}
+
+TEST(GossipTest, PushCostTracksReplTimesDup2) {
+  // Eq. 9 / Eq. 16: flooding the replica subnetwork costs ~ repl * dup2
+  // messages.  Each informed replica forwards to all neighbors except its
+  // rumor source, so a flood over a graph with average degree d costs
+  // ~ repl*(d-1) transmissions; d = dup2 + 1 = 2.8 yields repl * 1.8.
+  constexpr uint32_t kRepl = 50;
+  pdht::Histogram cost;
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    GossipFixture f(kRepl, 2.8, seed);
+    uint64_t v = f.group.ProduceUpdate(0);
+    GossipResult r = f.gossip.PushUpdate(&f.group, 0, v);
+    cost.Add(static_cast<double>(r.messages));
+  }
+  double expected = kRepl * 1.8;
+  EXPECT_NEAR(cost.mean(), expected, expected * 0.3);
+}
+
+TEST(GossipTest, PushSkipsOfflineReplicas) {
+  GossipFixture f(30, 4.0);
+  f.net.SetOnline(5, false);
+  f.net.SetOnline(6, false);
+  uint64_t v = f.group.ProduceUpdate(0);
+  GossipResult r = f.gossip.PushUpdate(&f.group, 0, v);
+  EXPECT_LE(r.replicas_reached, 28u);
+  EXPECT_EQ(f.group.VersionAt(5), 0u);
+  EXPECT_EQ(f.group.VersionAt(6), 0u);
+}
+
+TEST(GossipTest, PushFromOfflineOriginDoesNothing) {
+  GossipFixture f(10, 3.0);
+  f.net.SetOnline(0, false);
+  uint64_t v = f.group.ProduceUpdate(0);
+  GossipResult r = f.gossip.PushUpdate(&f.group, 0, v);
+  EXPECT_EQ(r.messages, 0u);
+  EXPECT_EQ(r.replicas_reached, 0u);
+}
+
+TEST(GossipTest, PushMessagesLandOnReplicaCounter) {
+  GossipFixture f(20, 3.0);
+  uint64_t v = f.group.ProduceUpdate(0);
+  GossipResult r = f.gossip.PushUpdate(&f.group, 0, v);
+  EXPECT_EQ(f.counters.Value("msg.replica.push"), r.messages);
+}
+
+TEST(GossipTest, PullOnRejoinCatchesUp) {
+  GossipFixture f(20, 4.0);
+  // Replica 3 misses an update while offline.
+  f.net.SetOnline(3, false);
+  uint64_t v = f.group.ProduceUpdate(0);
+  f.gossip.PushUpdate(&f.group, 0, v);
+  EXPECT_EQ(f.group.VersionAt(3), 0u);
+  // It rejoins and pulls.
+  f.net.SetOnline(3, true);
+  GossipResult r = f.gossip.PullOnRejoin(&f.group, 3);
+  EXPECT_EQ(r.messages, 2u);  // pull + response
+  EXPECT_EQ(f.group.VersionAt(3), v);
+}
+
+TEST(GossipTest, PullWithAllNeighborsOfflineFails) {
+  GossipFixture f(5, 4.0);
+  for (uint32_t i = 0; i < 5; ++i) f.net.SetOnline(i, false);
+  f.net.SetOnline(2, true);
+  GossipResult r = f.gossip.PullOnRejoin(&f.group, 2);
+  EXPECT_EQ(r.replicas_reached, 0u);
+}
+
+TEST(GossipTest, PullIgnoresNonMembers) {
+  GossipFixture f(5, 3.0);
+  GossipResult r = f.gossip.PullOnRejoin(&f.group, 999);
+  EXPECT_EQ(r.messages, 0u);
+}
+
+TEST(GossipTest, FloodQueryFindsHolder) {
+  GossipFixture f(40, 4.0);
+  net::PeerId holder = 17;
+  ReplicaQueryResult r = f.gossip.FloodQuery(
+      f.group, 0, [&](net::PeerId p) { return p == holder; });
+  EXPECT_TRUE(r.found);
+  EXPECT_EQ(r.found_at, holder);
+  EXPECT_GT(r.messages, 0u);
+}
+
+TEST(GossipTest, FloodQueryLocalHitIsFree) {
+  GossipFixture f(10, 3.0);
+  ReplicaQueryResult r = f.gossip.FloodQuery(
+      f.group, 4, [](net::PeerId p) { return p == 4; });
+  EXPECT_TRUE(r.found);
+  EXPECT_EQ(r.messages, 0u);
+}
+
+TEST(GossipTest, FloodQueryNoHolderFloodsEverything) {
+  GossipFixture f(25, 3.0);
+  ReplicaQueryResult r = f.gossip.FloodQuery(
+      f.group, 0, [](net::PeerId) { return false; });
+  EXPECT_FALSE(r.found);
+  // The whole subnetwork was flooded (>= n-1 transmissions).
+  EXPECT_GE(r.messages, 24u);
+}
+
+TEST(GossipTest, FloodQueryCountsOnReplicaFloodCounter) {
+  GossipFixture f(15, 3.0);
+  f.gossip.FloodQuery(f.group, 0, [](net::PeerId) { return false; });
+  EXPECT_GT(f.counters.Value("msg.replica.flood"), 0u);
+}
+
+}  // namespace
+}  // namespace pdht::overlay

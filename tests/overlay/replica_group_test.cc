@@ -1,0 +1,115 @@
+#include "overlay/replica/replica_group.h"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <set>
+#include <unordered_set>
+
+namespace pdht::overlay {
+namespace {
+
+std::vector<net::PeerId> MakeMembers(uint32_t n, uint32_t offset = 0) {
+  std::vector<net::PeerId> m;
+  for (uint32_t i = 0; i < n; ++i) m.push_back(offset + i);
+  return m;
+}
+
+TEST(ReplicaGroupTest, MembershipQueries) {
+  Rng rng(1);
+  ReplicaGroup g(42, MakeMembers(10, 100), 3.0, &rng);
+  EXPECT_EQ(g.key(), 42u);
+  EXPECT_EQ(g.members().size(), 10u);
+  EXPECT_TRUE(g.Contains(100));
+  EXPECT_TRUE(g.Contains(109));
+  EXPECT_FALSE(g.Contains(99));
+}
+
+TEST(ReplicaGroupTest, SubnetworkIsConnected) {
+  Rng rng(2);
+  ReplicaGroup g(1, MakeMembers(50), 4.0, &rng);
+  // BFS over the subnetwork from member 0 must reach all members.
+  std::unordered_set<net::PeerId> seen{0};
+  std::deque<net::PeerId> frontier{0};
+  while (!frontier.empty()) {
+    net::PeerId cur = frontier.front();
+    frontier.pop_front();
+    for (net::PeerId nbr : g.NeighborsOf(cur)) {
+      if (seen.insert(nbr).second) frontier.push_back(nbr);
+    }
+  }
+  EXPECT_EQ(seen.size(), 50u);
+}
+
+TEST(ReplicaGroupTest, SingleMemberGroup) {
+  Rng rng(3);
+  ReplicaGroup g(1, MakeMembers(1), 3.0, &rng);
+  EXPECT_TRUE(g.NeighborsOf(0).empty());
+  EXPECT_DOUBLE_EQ(g.ConsistentFraction(), 1.0);
+}
+
+TEST(ReplicaGroupTest, VersionsStartAtZero) {
+  Rng rng(4);
+  ReplicaGroup g(1, MakeMembers(5), 3.0, &rng);
+  EXPECT_EQ(g.latest_version(), 0u);
+  for (uint32_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(g.VersionAt(i), 0u);
+  }
+  EXPECT_DOUBLE_EQ(g.ConsistentFraction(), 1.0);
+}
+
+TEST(ReplicaGroupTest, ProduceUpdateBumpsVersion) {
+  Rng rng(5);
+  ReplicaGroup g(1, MakeMembers(5), 3.0, &rng);
+  uint64_t v1 = g.ProduceUpdate(0);
+  EXPECT_EQ(v1, 1u);
+  EXPECT_EQ(g.VersionAt(0), 1u);
+  EXPECT_EQ(g.VersionAt(1), 0u);
+  EXPECT_NEAR(g.ConsistentFraction(), 0.2, 1e-12);
+  uint64_t v2 = g.ProduceUpdate(1);
+  EXPECT_EQ(v2, 2u);
+  EXPECT_EQ(g.latest_version(), 2u);
+}
+
+TEST(ReplicaGroupTest, SetVersionNeverRegresses) {
+  Rng rng(6);
+  ReplicaGroup g(1, MakeMembers(3), 2.0, &rng);
+  g.ProduceUpdate(0);
+  g.ProduceUpdate(0);
+  g.SetVersionAt(1, 2);
+  g.SetVersionAt(1, 1);  // stale write must be ignored
+  EXPECT_EQ(g.VersionAt(1), 2u);
+}
+
+TEST(ReplicaGroupTest, SetVersionIgnoresNonMembers) {
+  Rng rng(7);
+  ReplicaGroup g(1, MakeMembers(3), 2.0, &rng);
+  g.SetVersionAt(999, 5);
+  EXPECT_EQ(g.VersionAt(999), 0u);
+}
+
+TEST(ReplicaGroupTest, ConsistentFractionOnlineIgnoresOffline) {
+  pdht::CounterRegistry counters;
+  net::Network net(&counters);
+  Rng rng(8);
+  ReplicaGroup g(1, MakeMembers(4), 2.0, &rng);
+  for (uint32_t i = 0; i < 4; ++i) net.SetOnline(i, true);
+  g.ProduceUpdate(0);
+  g.SetVersionAt(1, 1);
+  // Members 2,3 are stale; take them offline.
+  net.SetOnline(2, false);
+  net.SetOnline(3, false);
+  EXPECT_DOUBLE_EQ(g.ConsistentFractionOnline(net), 1.0);
+  EXPECT_NEAR(g.ConsistentFraction(), 0.5, 1e-12);
+}
+
+TEST(ReplicaGroupTest, AverageDegreeClampedForSmallGroups) {
+  Rng rng(9);
+  ReplicaGroup g(1, MakeMembers(3), 10.0, &rng);
+  for (uint32_t i = 0; i < 3; ++i) {
+    EXPECT_LE(g.NeighborsOf(i).size(), 2u * 3u);  // bounded by clamping
+  }
+}
+
+}  // namespace
+}  // namespace pdht::overlay

@@ -1,0 +1,109 @@
+#include "overlay/unstructured/replication.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace pdht::overlay {
+namespace {
+
+TEST(ReplicaPlacementTest, PlacesExactlyReplReplicas) {
+  ReplicaPlacement p(1000, 50, Rng(1));
+  p.PlaceKey(7);
+  EXPECT_EQ(p.ReplicasOf(7).size(), 50u);
+}
+
+TEST(ReplicaPlacementTest, ReplicasAreDistinctPeers) {
+  ReplicaPlacement p(100, 50, Rng(2));
+  p.PlaceKey(1);
+  const auto& reps = p.ReplicasOf(1);
+  std::set<net::PeerId> unique(reps.begin(), reps.end());
+  EXPECT_EQ(unique.size(), reps.size());
+}
+
+TEST(ReplicaPlacementTest, ReplClampedToPopulation) {
+  ReplicaPlacement p(10, 50, Rng(3));
+  p.PlaceKey(1);
+  EXPECT_EQ(p.ReplicasOf(1).size(), 10u);
+}
+
+TEST(ReplicaPlacementTest, PeerHoldsKeyConsistent) {
+  ReplicaPlacement p(500, 20, Rng(4));
+  p.PlaceKey(42);
+  for (net::PeerId peer : p.ReplicasOf(42)) {
+    EXPECT_TRUE(p.PeerHoldsKey(peer, 42));
+  }
+  // Count holders exhaustively; must equal repl.
+  int holders = 0;
+  for (uint32_t peer = 0; peer < 500; ++peer) {
+    if (p.PeerHoldsKey(peer, 42)) ++holders;
+  }
+  EXPECT_EQ(holders, 20);
+}
+
+TEST(ReplicaPlacementTest, PlaceKeyIdempotent) {
+  ReplicaPlacement p(100, 10, Rng(5));
+  p.PlaceKey(1);
+  auto first = p.ReplicasOf(1);
+  p.PlaceKey(1);
+  EXPECT_EQ(p.ReplicasOf(1), first);
+}
+
+TEST(ReplicaPlacementTest, PlaceKeysBulk) {
+  ReplicaPlacement p(200, 5, Rng(6));
+  p.PlaceKeys(100);
+  EXPECT_EQ(p.num_keys(), 100u);
+  for (uint64_t k = 0; k < 100; ++k) {
+    EXPECT_TRUE(p.IsPlaced(k));
+  }
+  EXPECT_FALSE(p.IsPlaced(100));
+}
+
+TEST(ReplicaPlacementTest, RemoveKeyClearsEverything) {
+  ReplicaPlacement p(100, 10, Rng(7));
+  p.PlaceKey(5);
+  auto reps = p.ReplicasOf(5);
+  p.RemoveKey(5);
+  EXPECT_FALSE(p.IsPlaced(5));
+  for (net::PeerId peer : reps) {
+    EXPECT_FALSE(p.PeerHoldsKey(peer, 5));
+  }
+  EXPECT_TRUE(p.ReplicasOf(5).empty());
+}
+
+TEST(ReplicaPlacementTest, UnknownKeyQueries) {
+  ReplicaPlacement p(100, 10, Rng(8));
+  EXPECT_FALSE(p.IsPlaced(99));
+  EXPECT_FALSE(p.PeerHoldsKey(0, 99));
+  EXPECT_TRUE(p.ReplicasOf(99).empty());
+  p.RemoveKey(99);  // no-op, must not crash
+}
+
+TEST(ReplicaPlacementTest, PlacementIsRoughlyUniform) {
+  // With 1000 keys * 10 replicas over 100 peers, each peer should hold
+  // ~100 keys.
+  ReplicaPlacement p(100, 10, Rng(9));
+  p.PlaceKeys(1000);
+  for (uint32_t peer = 0; peer < 100; ++peer) {
+    int held = 0;
+    for (uint64_t k = 0; k < 1000; ++k) {
+      if (p.PeerHoldsKey(peer, k)) ++held;
+    }
+    EXPECT_GT(held, 50);
+    EXPECT_LT(held, 170);
+  }
+}
+
+TEST(ReplicaPlacementTest, OnlineReplicaFraction) {
+  ReplicaPlacement p(100, 10, Rng(10));
+  p.PlaceKey(1);
+  std::vector<bool> alive(100, true);
+  EXPECT_DOUBLE_EQ(p.OnlineReplicaFraction(1, alive), 1.0);
+  for (net::PeerId peer : p.ReplicasOf(1)) alive[peer] = false;
+  EXPECT_DOUBLE_EQ(p.OnlineReplicaFraction(1, alive), 0.0);
+  alive[p.ReplicasOf(1)[0]] = true;
+  EXPECT_NEAR(p.OnlineReplicaFraction(1, alive), 0.1, 1e-12);
+}
+
+}  // namespace
+}  // namespace pdht::overlay

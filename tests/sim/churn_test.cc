@@ -1,0 +1,132 @@
+#include "sim/churn.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace pdht::sim {
+namespace {
+
+TEST(ChurnConfigTest, StationaryAvailability) {
+  ChurnConfig c;
+  c.mean_online_s = 3600;
+  c.mean_offline_s = 1800;
+  EXPECT_NEAR(c.StationaryAvailability(), 2.0 / 3.0, 1e-12);
+  c.enabled = false;
+  EXPECT_DOUBLE_EQ(c.StationaryAvailability(), 1.0);
+}
+
+TEST(ChurnModelTest, DisabledChurnKeepsEveryoneOnline) {
+  ChurnConfig c;
+  c.enabled = false;
+  ChurnModel m(100, c, Rng(1));
+  m.AdvanceTo(100000.0);
+  EXPECT_EQ(m.online_count(), 100u);
+  EXPECT_DOUBLE_EQ(m.OnlineFraction(), 1.0);
+}
+
+TEST(ChurnModelTest, InitialStateNearStationary) {
+  ChurnConfig c;
+  c.mean_online_s = 3000;
+  c.mean_offline_s = 1000;
+  ChurnModel m(10000, c, Rng(2));
+  EXPECT_NEAR(m.OnlineFraction(), 0.75, 0.03);
+}
+
+TEST(ChurnModelTest, LongRunFractionMatchesStationary) {
+  ChurnConfig c;
+  c.mean_online_s = 200;
+  c.mean_offline_s = 100;
+  ChurnModel m(2000, c, Rng(3));
+  double sum = 0.0;
+  int samples = 0;
+  for (double t = 100; t <= 5000; t += 50) {
+    m.AdvanceTo(t);
+    sum += m.OnlineFraction();
+    ++samples;
+  }
+  EXPECT_NEAR(sum / samples, 2.0 / 3.0, 0.03);
+}
+
+TEST(ChurnModelTest, AdvanceToIsMonotone) {
+  ChurnModel m(10, ChurnConfig{}, Rng(4));
+  m.AdvanceTo(100.0);
+  EXPECT_DOUBLE_EQ(m.now(), 100.0);
+  m.AdvanceTo(50.0);  // going backwards is a no-op on the clock
+  EXPECT_DOUBLE_EQ(m.now(), 100.0);
+}
+
+TEST(ChurnModelTest, ObserversSeeEveryFlip) {
+  ChurnConfig c;
+  c.mean_online_s = 10;
+  c.mean_offline_s = 10;
+  ChurnModel m(50, c, Rng(5));
+  struct Ctx {
+    int flips = 0;
+    std::vector<bool> last;
+  } ctx;
+  ctx.last.resize(50);
+  for (uint32_t i = 0; i < 50; ++i) ctx.last[i] = m.IsOnline(i);
+  m.AddObserver(
+      [](void* vctx, uint32_t peer, bool online, double) {
+        auto* c2 = static_cast<Ctx*>(vctx);
+        ++c2->flips;
+        // Each callback must report a genuine state change.
+        EXPECT_NE(c2->last[peer], online);
+        c2->last[peer] = online;
+      },
+      &ctx);
+  m.AdvanceTo(200.0);
+  EXPECT_GT(ctx.flips, 100);  // 50 peers, mean session 10s, 200s horizon
+}
+
+TEST(ChurnModelTest, TransitionRateMatchesExpectation) {
+  ChurnConfig c;
+  c.mean_online_s = 50;
+  c.mean_offline_s = 50;
+  ChurnModel m(1000, c, Rng(6));
+  struct Ctx {
+    int flips = 0;
+  } ctx;
+  m.AddObserver(
+      [](void* vctx, uint32_t, bool, double) {
+        ++static_cast<Ctx*>(vctx)->flips;
+      },
+      &ctx);
+  double horizon = 2000.0;
+  m.AdvanceTo(horizon);
+  double expected = m.ExpectedTransitionRate() * 1000 * horizon;
+  EXPECT_NEAR(ctx.flips, expected, expected * 0.1);
+}
+
+TEST(ChurnModelTest, OnlineCountConsistentWithStates) {
+  ChurnModel m(200, ChurnConfig{}, Rng(7));
+  m.AdvanceTo(5000.0);
+  uint32_t manual = 0;
+  for (uint32_t i = 0; i < 200; ++i) {
+    if (m.IsOnline(i)) ++manual;
+  }
+  EXPECT_EQ(manual, m.online_count());
+}
+
+TEST(ChurnModelTest, DeterministicGivenSeed) {
+  ChurnConfig c;
+  ChurnModel a(100, c, Rng(42));
+  ChurnModel b(100, c, Rng(42));
+  a.AdvanceTo(1000.0);
+  b.AdvanceTo(1000.0);
+  for (uint32_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.IsOnline(i), b.IsOnline(i));
+  }
+}
+
+TEST(ChurnModelTest, ExpectedTransitionRateZeroWhenDisabled) {
+  ChurnConfig c;
+  c.enabled = false;
+  ChurnModel m(10, c, Rng(8));
+  EXPECT_DOUBLE_EQ(m.ExpectedTransitionRate(), 0.0);
+}
+
+}  // namespace
+}  // namespace pdht::sim

@@ -1,0 +1,138 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pdht::sim {
+namespace {
+
+TEST(EventQueueTest, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_DOUBLE_EQ(q.now(), 0.0);
+}
+
+TEST(EventQueueTest, RunsEventsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(3.0, [&] { order.push_back(3); });
+  q.ScheduleAt(1.0, [&] { order.push_back(1); });
+  q.ScheduleAt(2.0, [&] { order.push_back(2); });
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueueTest, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(1.0, [&] { order.push_back(1); });
+  q.ScheduleAt(1.0, [&] { order.push_back(2); });
+  q.ScheduleAt(1.0, [&] { order.push_back(3); });
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, ScheduleAfterUsesCurrentTime) {
+  EventQueue q;
+  double fired_at = -1.0;
+  q.ScheduleAt(5.0, [&] {});
+  q.RunUntil(5.0);
+  q.ScheduleAfter(2.0, [&] { fired_at = q.now(); });
+  q.RunAll();
+  EXPECT_DOUBLE_EQ(fired_at, 7.0);
+}
+
+TEST(EventQueueTest, PastEventsRunAtCurrentTime) {
+  EventQueue q;
+  q.ScheduleAt(10.0, [] {});
+  q.RunUntil(10.0);
+  double fired_at = -1.0;
+  q.ScheduleAt(1.0, [&] { fired_at = q.now(); });  // in the past
+  q.RunAll();
+  EXPECT_DOUBLE_EQ(fired_at, 10.0);
+}
+
+TEST(EventQueueTest, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.ScheduleAt(1.0, [&] { fired.push_back(1); });
+  q.ScheduleAt(2.0, [&] { fired.push_back(2); });
+  q.ScheduleAt(3.0, [&] { fired.push_back(3); });
+  uint64_t n = q.RunUntil(2.0);  // inclusive boundary
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+  EXPECT_DOUBLE_EQ(q.now(), 2.0);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueueTest, RunUntilAdvancesClockWithoutEvents) {
+  EventQueue q;
+  q.RunUntil(42.0);
+  EXPECT_DOUBLE_EQ(q.now(), 42.0);
+}
+
+TEST(EventQueueTest, EventsCanScheduleEvents) {
+  EventQueue q;
+  int chain = 0;
+  q.ScheduleAt(1.0, [&] {
+    ++chain;
+    q.ScheduleAfter(1.0, [&] { ++chain; });
+  });
+  q.RunAll();
+  EXPECT_EQ(chain, 2);
+  EXPECT_DOUBLE_EQ(q.now(), 2.0);
+}
+
+TEST(EventQueueTest, RunAllRespectsMaxEvents) {
+  EventQueue q;
+  int count = 0;
+  // Self-perpetuating chain; must be cut off by the budget.
+  std::function<void()> tick = [&] {
+    ++count;
+    q.ScheduleAfter(1.0, tick);
+  };
+  q.ScheduleAt(0.0, tick);
+  uint64_t ran = q.RunAll(100);
+  EXPECT_EQ(ran, 100u);
+  EXPECT_EQ(count, 100);
+}
+
+TEST(EventQueueTest, CancelPreventsExecution) {
+  EventQueue q;
+  bool fired = false;
+  uint64_t id = q.ScheduleAt(1.0, [&] { fired = true; });
+  EXPECT_TRUE(q.Cancel(id));
+  q.RunAll();
+  EXPECT_FALSE(fired);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, CancelUnknownIdFails) {
+  EventQueue q;
+  EXPECT_FALSE(q.Cancel(0));
+  EXPECT_FALSE(q.Cancel(999));
+}
+
+TEST(EventQueueTest, DoubleCancelFails) {
+  EventQueue q;
+  uint64_t id = q.ScheduleAt(1.0, [] {});
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_FALSE(q.Cancel(id));
+}
+
+TEST(EventQueueTest, SizeTracksLiveEvents) {
+  EventQueue q;
+  uint64_t a = q.ScheduleAt(1.0, [] {});
+  q.ScheduleAt(2.0, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.Cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+  q.RunAll();
+  EXPECT_EQ(q.size(), 0u);
+}
+
+}  // namespace
+}  // namespace pdht::sim

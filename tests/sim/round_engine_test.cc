@@ -1,0 +1,118 @@
+#include "sim/round_engine.h"
+
+#include <gtest/gtest.h>
+
+namespace pdht::sim {
+namespace {
+
+TEST(RoundEngineTest, RunsRequestedRounds) {
+  RoundEngine e;
+  int calls = 0;
+  e.AddActor("counter", [&](RoundContext&) { ++calls; });
+  e.Run(5);
+  EXPECT_EQ(calls, 5);
+  EXPECT_EQ(e.current_round(), 5u);
+}
+
+TEST(RoundEngineTest, ContextCarriesRoundAndTime) {
+  RoundEngine e(2.0);  // 2-second rounds
+  std::vector<double> times;
+  std::vector<uint64_t> rounds;
+  e.AddActor("probe", [&](RoundContext& ctx) {
+    times.push_back(ctx.time);
+    rounds.push_back(ctx.round);
+  });
+  e.Run(3);
+  EXPECT_EQ(times, (std::vector<double>{0.0, 2.0, 4.0}));
+  EXPECT_EQ(rounds, (std::vector<uint64_t>{0, 1, 2}));
+}
+
+TEST(RoundEngineTest, ActorsRunInRegistrationOrder) {
+  RoundEngine e;
+  std::vector<int> order;
+  e.AddActor("first", [&](RoundContext&) { order.push_back(1); });
+  e.AddActor("second", [&](RoundContext&) { order.push_back(2); });
+  e.Run(1);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(RoundEngineTest, IntraRoundEventsRunBeforeNextRound) {
+  RoundEngine e;
+  std::vector<std::string> log;
+  e.AddActor("actor", [&](RoundContext& ctx) {
+    log.push_back("actor@" + std::to_string(ctx.round));
+    ctx.events->ScheduleAfter(0.5, [&log, r = ctx.round] {
+      log.push_back("event@" + std::to_string(r));
+    });
+  });
+  e.Run(2);
+  EXPECT_EQ(log, (std::vector<std::string>{"actor@0", "event@0", "actor@1",
+                                           "event@1"}));
+}
+
+TEST(RoundEngineTest, MetricsRecordedEveryRound) {
+  RoundEngine e;
+  int v = 0;
+  e.AddActor("inc", [&](RoundContext&) { v += 10; });
+  e.AddMetric("v", [&](const RoundContext&) {
+    return static_cast<double>(v);
+  });
+  e.Run(3);
+  const TimeSeries& s = e.Series("v");
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.at(0), 10.0);
+  EXPECT_DOUBLE_EQ(s.at(2), 30.0);
+}
+
+TEST(RoundEngineTest, CounterRateMetricReportsDeltas) {
+  RoundEngine e;
+  e.AddActor("traffic", [&](RoundContext& ctx) {
+    ctx.counters->Get("msg.test").Add(7);
+  });
+  e.AddCounterRateMetric("rate", "msg.test");
+  e.Run(4);
+  const TimeSeries& s = e.Series("rate");
+  ASSERT_EQ(s.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(s.at(i), 7.0) << "round " << i;
+  }
+}
+
+TEST(RoundEngineTest, CounterRateMetricSumsPrefix) {
+  RoundEngine e;
+  e.AddActor("traffic", [&](RoundContext& ctx) {
+    ctx.counters->Get("msg.a.x").Add(1);
+    ctx.counters->Get("msg.a.y").Add(2);
+    ctx.counters->Get("msg.b.z").Add(100);
+  });
+  e.AddCounterRateMetric("a_rate", "msg.a.");
+  e.Run(2);
+  EXPECT_DOUBLE_EQ(e.Series("a_rate").at(1), 3.0);
+}
+
+TEST(RoundEngineTest, SeriesThrowsOnUnknownName) {
+  RoundEngine e;
+  EXPECT_THROW(e.Series("nope"), std::out_of_range);
+  EXPECT_FALSE(e.HasSeries("nope"));
+}
+
+TEST(RoundEngineTest, SeriesNamesListsAll) {
+  RoundEngine e;
+  e.AddMetric("m1", [](const RoundContext&) { return 0.0; });
+  e.AddMetric("m2", [](const RoundContext&) { return 0.0; });
+  auto names = e.SeriesNames();
+  EXPECT_EQ(names.size(), 2u);
+}
+
+TEST(RoundEngineTest, RunCanBeCalledRepeatedly) {
+  RoundEngine e;
+  int calls = 0;
+  e.AddActor("c", [&](RoundContext&) { ++calls; });
+  e.Run(2);
+  e.Run(3);
+  EXPECT_EQ(calls, 5);
+  EXPECT_EQ(e.current_round(), 5u);
+}
+
+}  // namespace
+}  // namespace pdht::sim

@@ -1,0 +1,78 @@
+#include "stats/ascii_chart.h"
+
+#include <gtest/gtest.h>
+
+namespace pdht {
+namespace {
+
+TEST(AsciiChartTest, EmptyChart) {
+  AsciiChart c;
+  EXPECT_EQ(c.Render(), "(empty chart)\n");
+}
+
+TEST(AsciiChartTest, SingleSeriesRenders) {
+  AsciiChart c(32, 8);
+  c.AddSeries("line", {1.0, 2.0, 3.0, 4.0}, '*');
+  std::string out = c.Render();
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find("legend: *=line"), std::string::npos);
+}
+
+TEST(AsciiChartTest, MarkersForAllSeriesAppear) {
+  AsciiChart c(32, 8);
+  c.AddSeries("a", {1.0, 5.0}, 'a');
+  c.AddSeries("b", {5.0, 1.0}, 'b');
+  std::string out = c.Render();
+  EXPECT_NE(out.find('a'), std::string::npos);
+  EXPECT_NE(out.find('b'), std::string::npos);
+}
+
+TEST(AsciiChartTest, HigherValuesAppearOnHigherRows) {
+  AsciiChart c(16, 8);
+  c.AddSeries("s", {0.0, 10.0}, '#');
+  std::string out = c.Render();
+  // First '#' found scanning top-down must be the max value's column (the
+  // right end).
+  size_t first_hash_line = out.find('#');
+  ASSERT_NE(first_hash_line, std::string::npos);
+  size_t line_start = out.rfind('\n', first_hash_line);
+  size_t col = first_hash_line - (line_start + 1);
+  EXPECT_GT(col, 12u + 8u);  // right half of the plotting area
+}
+
+TEST(AsciiChartTest, XLabelsPrinted) {
+  AsciiChart c(40, 6);
+  c.AddSeries("s", {1, 2, 3}, '*');
+  c.SetXLabels({"1/30", "1/600", "1/7200"});
+  std::string out = c.Render();
+  EXPECT_NE(out.find("1/30"), std::string::npos);
+  EXPECT_NE(out.find("1/7200"), std::string::npos);
+}
+
+TEST(AsciiChartTest, LogScaleHandlesWideRanges) {
+  AsciiChart c(32, 8);
+  c.SetLogY(true);
+  c.AddSeries("wide", {10.0, 100000.0}, 'o');
+  std::string out = c.Render();
+  EXPECT_NE(out.find("(log y)"), std::string::npos);
+  EXPECT_NE(out.find('o'), std::string::npos);
+}
+
+TEST(AsciiChartTest, FixedYRangeClamps) {
+  AsciiChart c(16, 6);
+  c.SetYRange(0.0, 1.0);
+  c.AddSeries("s", {0.5, 99.0}, 'x');  // 99 clamps to the top row
+  std::string out = c.Render();
+  EXPECT_NE(out.find('x'), std::string::npos);
+}
+
+TEST(AsciiChartTest, YAxisTicksPresent) {
+  AsciiChart c(16, 8);
+  c.AddSeries("s", {0.0, 100.0}, '*');
+  std::string out = c.Render();
+  EXPECT_NE(out.find("100"), std::string::npos);
+  EXPECT_NE(out.find("0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pdht

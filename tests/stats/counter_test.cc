@@ -1,0 +1,112 @@
+#include "stats/counter.h"
+
+#include <gtest/gtest.h>
+
+namespace pdht {
+namespace {
+
+TEST(CounterTest, StartsAtZero) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(CounterTest, AddAccumulates) {
+  Counter c;
+  c.Add();
+  c.Add(5);
+  EXPECT_EQ(c.value(), 6u);
+}
+
+TEST(CounterTest, ResetClears) {
+  Counter c;
+  c.Add(10);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(CounterRegistryTest, GetCreatesOnFirstUse) {
+  CounterRegistry reg;
+  EXPECT_EQ(reg.Value("msg.x"), 0u);
+  reg.Get("msg.x").Add(3);
+  EXPECT_EQ(reg.Value("msg.x"), 3u);
+}
+
+TEST(CounterRegistryTest, GetReturnsStableReference) {
+  CounterRegistry reg;
+  Counter& a = reg.Get("a");
+  reg.Get("b").Add();
+  reg.Get("c").Add();
+  a.Add(7);
+  EXPECT_EQ(reg.Value("a"), 7u);
+}
+
+TEST(CounterRegistryTest, ValueOfUnknownIsZero) {
+  CounterRegistry reg;
+  EXPECT_EQ(reg.Value("never-created"), 0u);
+}
+
+TEST(CounterRegistryTest, SumWithPrefix) {
+  CounterRegistry reg;
+  reg.Get("msg.dht.lookup").Add(10);
+  reg.Get("msg.dht.insert").Add(5);
+  reg.Get("msg.unstructured.walk").Add(100);
+  reg.Get("msg.total").Add(115);
+  EXPECT_EQ(reg.SumWithPrefix("msg.dht."), 15u);
+  EXPECT_EQ(reg.SumWithPrefix("msg.unstructured."), 100u);
+  EXPECT_EQ(reg.SumWithPrefix("msg."), 230u);
+  EXPECT_EQ(reg.SumWithPrefix("zzz"), 0u);
+}
+
+TEST(CounterRegistryTest, SumWithPrefixExactNameMatch) {
+  CounterRegistry reg;
+  reg.Get("msg.total").Add(42);
+  EXPECT_EQ(reg.SumWithPrefix("msg.total"), 42u);
+}
+
+TEST(CounterRegistryTest, PrefixDoesNotMatchSiblings) {
+  CounterRegistry reg;
+  reg.Get("msg.dht").Add(1);
+  reg.Get("msg.dhtx").Add(2);
+  // "msg.dht" as a prefix matches both (string prefix semantics)...
+  EXPECT_EQ(reg.SumWithPrefix("msg.dht"), 3u);
+  // ...but the dotted convention isolates categories.
+  EXPECT_EQ(reg.SumWithPrefix("msg.dht."), 0u);
+}
+
+TEST(CounterRegistryTest, TotalSumsEverything) {
+  CounterRegistry reg;
+  reg.Get("a").Add(1);
+  reg.Get("b").Add(2);
+  reg.Get("c").Add(3);
+  EXPECT_EQ(reg.Total(), 6u);
+}
+
+TEST(CounterRegistryTest, ResetAllKeepsNames) {
+  CounterRegistry reg;
+  reg.Get("a").Add(5);
+  reg.Get("b").Add(6);
+  reg.ResetAll();
+  EXPECT_EQ(reg.Value("a"), 0u);
+  EXPECT_EQ(reg.Value("b"), 0u);
+  EXPECT_EQ(reg.Snapshot().size(), 2u);
+}
+
+TEST(CounterRegistryTest, SnapshotSortedByName) {
+  CounterRegistry reg;
+  reg.Get("zeta").Add(1);
+  reg.Get("alpha").Add(2);
+  auto snap = reg.Snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].first, "alpha");
+  EXPECT_EQ(snap[1].first, "zeta");
+}
+
+TEST(CounterRegistryTest, ReportContainsEntries) {
+  CounterRegistry reg;
+  reg.Get("msg.x").Add(9);
+  std::string report = reg.Report();
+  EXPECT_NE(report.find("msg.x = 9"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pdht

@@ -1,0 +1,130 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pdht {
+namespace {
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.variance(), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Add(42.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(h.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 42.0);
+  EXPECT_DOUBLE_EQ(h.max(), 42.0);
+  EXPECT_DOUBLE_EQ(h.Median(), 42.0);
+}
+
+TEST(HistogramTest, MeanAndVariance) {
+  Histogram h;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) h.Add(v);
+  EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+  // Sample variance of this classic data set: 32/7.
+  EXPECT_NEAR(h.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(h.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(HistogramTest, MinMaxTrackExtremes) {
+  Histogram h;
+  h.Add(3.0);
+  h.Add(-1.0);
+  h.Add(10.0);
+  EXPECT_DOUBLE_EQ(h.min(), -1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 10.0);
+}
+
+TEST(HistogramTest, SumAccumulates) {
+  Histogram h;
+  h.Add(1.5);
+  h.Add(2.5);
+  EXPECT_DOUBLE_EQ(h.sum(), 4.0);
+}
+
+TEST(HistogramTest, QuantilesOnUniformSequence) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.Add(i);
+  EXPECT_NEAR(h.Quantile(0.0), 0.0, 1.0);
+  EXPECT_NEAR(h.Quantile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(h.Quantile(0.99), 99.0, 1.0);
+  EXPECT_NEAR(h.Quantile(1.0), 99.0, 1.0);
+}
+
+TEST(HistogramTest, QuantileAfterInterleavedAdds) {
+  Histogram h;
+  h.Add(5.0);
+  EXPECT_DOUBLE_EQ(h.Median(), 5.0);
+  h.Add(1.0);  // re-sorting must happen lazily
+  h.Add(9.0);
+  EXPECT_DOUBLE_EQ(h.Median(), 5.0);
+}
+
+TEST(HistogramTest, ResetClearsEverything) {
+  Histogram h;
+  h.Add(1.0);
+  h.Add(2.0);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  h.Add(7.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 7.0);
+}
+
+TEST(HistogramTest, SummaryMentionsCount) {
+  Histogram h;
+  h.Add(1.0);
+  EXPECT_NE(h.Summary().find("n=1"), std::string::npos);
+}
+
+TEST(BucketHistogramTest, PlacesValuesInBuckets) {
+  BucketHistogram h(0.0, 10.0, 5);  // width 2
+  h.Add(1.0);
+  h.Add(3.0);
+  h.Add(3.5);
+  h.Add(9.9);
+  EXPECT_EQ(h.BucketCount(0), 1u);
+  EXPECT_EQ(h.BucketCount(1), 2u);
+  EXPECT_EQ(h.BucketCount(4), 1u);
+}
+
+TEST(BucketHistogramTest, UnderAndOverflow) {
+  BucketHistogram h(0.0, 10.0, 5);
+  h.Add(-1.0);
+  h.Add(10.0);   // hi is exclusive
+  h.Add(100.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+}
+
+TEST(BucketHistogramTest, BucketLowBoundaries) {
+  BucketHistogram h(10.0, 20.0, 5);
+  EXPECT_DOUBLE_EQ(h.BucketLow(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.BucketLow(4), 18.0);
+}
+
+TEST(BucketHistogramTest, RenderProducesOneLinePerBucket) {
+  BucketHistogram h(0.0, 4.0, 4);
+  h.Add(0.5);
+  h.Add(1.5);
+  std::string out = h.Render();
+  int lines = 0;
+  for (char c : out) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 4);
+}
+
+}  // namespace
+}  // namespace pdht

@@ -1,0 +1,78 @@
+#include "stats/table_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace pdht {
+namespace {
+
+TEST(TableWriterTest, TextContainsHeaderAndRows) {
+  TableWriter t({"a", "b"});
+  t.AddRow({"1", "2"});
+  t.AddRow({"3", "4"});
+  std::string text = t.ToText();
+  EXPECT_NE(text.find("a"), std::string::npos);
+  EXPECT_NE(text.find("3"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TableWriterTest, ColumnsAligned) {
+  TableWriter t({"col", "x"});
+  t.AddRow({"longvalue", "1"});
+  std::string text = t.ToText();
+  // Header line must be padded to at least the widest cell.
+  size_t header_end = text.find('\n');
+  size_t rule_end = text.find('\n', header_end + 1);
+  std::string rule = text.substr(header_end + 1, rule_end - header_end - 1);
+  EXPECT_GE(rule.size(), std::string("longvalue  x").size());
+}
+
+TEST(TableWriterTest, NumericRowFormatting) {
+  TableWriter t({"v"});
+  t.AddNumericRow({3.14159265}, 3);
+  EXPECT_EQ(t.rows()[0][0], "3.14");
+}
+
+TEST(TableWriterTest, FormatDouble) {
+  EXPECT_EQ(TableWriter::FormatDouble(0.5, 4), "0.5");
+  EXPECT_EQ(TableWriter::FormatDouble(20000.0, 6), "20000");
+}
+
+TEST(TableWriterTest, CsvBasic) {
+  TableWriter t({"a", "b"});
+  t.AddRow({"1", "2"});
+  EXPECT_EQ(t.ToCsv(), "a,b\n1,2\n");
+}
+
+TEST(TableWriterTest, CsvEscapesSpecialCharacters) {
+  TableWriter t({"name"});
+  t.AddRow({"has,comma"});
+  t.AddRow({"has\"quote"});
+  std::string csv = t.ToCsv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(TableWriterTest, WriteCsvFileRoundTrip) {
+  TableWriter t({"k", "v"});
+  t.AddRow({"x", "1"});
+  std::string path = "/tmp/pdht_table_writer_test.csv";
+  ASSERT_TRUE(t.WriteCsvFile(path));
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "k,v");
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,1");
+  std::remove(path.c_str());
+}
+
+TEST(TableWriterTest, WriteCsvFileFailsOnBadPath) {
+  TableWriter t({"a"});
+  EXPECT_FALSE(t.WriteCsvFile("/nonexistent-dir/zzz/file.csv"));
+}
+
+}  // namespace
+}  // namespace pdht

@@ -1,0 +1,95 @@
+#include "stats/time_series.h"
+
+#include <gtest/gtest.h>
+
+namespace pdht {
+namespace {
+
+TEST(TimeSeriesTest, EmptyBehaviour) {
+  TimeSeries s("x");
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_EQ(s.MeanOver(0, 10), 0.0);
+  EXPECT_EQ(s.TailMean(5), 0.0);
+  EXPECT_EQ(s.name(), "x");
+}
+
+TEST(TimeSeriesTest, AppendAndAccess) {
+  TimeSeries s;
+  s.Append(1.0);
+  s.Append(2.0);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.at(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.at(1), 2.0);
+}
+
+TEST(TimeSeriesTest, MeanOverRange) {
+  TimeSeries s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.Append(v);
+  EXPECT_DOUBLE_EQ(s.MeanOver(0, 4), 2.5);
+  EXPECT_DOUBLE_EQ(s.MeanOver(1, 3), 2.5);
+  EXPECT_DOUBLE_EQ(s.MeanOver(2, 2), 0.0);  // empty range
+}
+
+TEST(TimeSeriesTest, MeanOverClampsBounds) {
+  TimeSeries s;
+  s.Append(10.0);
+  s.Append(20.0);
+  EXPECT_DOUBLE_EQ(s.MeanOver(0, 100), 15.0);
+  EXPECT_DOUBLE_EQ(s.MeanOver(50, 100), 0.0);
+}
+
+TEST(TimeSeriesTest, TailMean) {
+  TimeSeries s;
+  for (double v : {100.0, 1.0, 2.0, 3.0}) s.Append(v);
+  EXPECT_DOUBLE_EQ(s.TailMean(3), 2.0);
+  EXPECT_DOUBLE_EQ(s.TailMean(100), 26.5);  // whole series
+  EXPECT_DOUBLE_EQ(s.TailMean(0), 0.0);
+}
+
+TEST(TimeSeriesTest, MovingAverageWindowOne) {
+  TimeSeries s;
+  for (double v : {1.0, 2.0, 3.0}) s.Append(v);
+  auto ma = s.MovingAverage(1);
+  ASSERT_EQ(ma.size(), 3u);
+  EXPECT_DOUBLE_EQ(ma[0], 1.0);
+  EXPECT_DOUBLE_EQ(ma[2], 3.0);
+}
+
+TEST(TimeSeriesTest, MovingAverageSmooths) {
+  TimeSeries s;
+  for (double v : {0.0, 10.0, 0.0, 10.0}) s.Append(v);
+  auto ma = s.MovingAverage(2);
+  ASSERT_EQ(ma.size(), 4u);
+  EXPECT_DOUBLE_EQ(ma[0], 0.0);   // prefix window of 1
+  EXPECT_DOUBLE_EQ(ma[1], 5.0);
+  EXPECT_DOUBLE_EQ(ma[2], 5.0);
+  EXPECT_DOUBLE_EQ(ma[3], 5.0);
+}
+
+TEST(TimeSeriesTest, MovingAverageZeroWindowTreatedAsOne) {
+  TimeSeries s;
+  s.Append(4.0);
+  auto ma = s.MovingAverage(0);
+  ASSERT_EQ(ma.size(), 1u);
+  EXPECT_DOUBLE_EQ(ma[0], 4.0);
+}
+
+TEST(TimeSeriesTest, FirstIndexAtLeast) {
+  TimeSeries s;
+  for (double v : {0.1, 0.5, 0.9, 0.5}) s.Append(v);
+  EXPECT_EQ(s.FirstIndexAtLeast(0.5), 1u);
+  EXPECT_EQ(s.FirstIndexAtLeast(0.9), 2u);
+  EXPECT_EQ(s.FirstIndexAtLeast(0.5, 2), 2u);
+  EXPECT_EQ(s.FirstIndexAtLeast(2.0), 4u);  // not found -> size()
+}
+
+TEST(TimeSeriesTest, FirstIndexAtMost) {
+  TimeSeries s;
+  for (double v : {0.9, 0.5, 0.1}) s.Append(v);
+  EXPECT_EQ(s.FirstIndexAtMost(0.5), 1u);
+  EXPECT_EQ(s.FirstIndexAtMost(0.0), 3u);
+}
+
+}  // namespace
+}  // namespace pdht

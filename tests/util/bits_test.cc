@@ -1,0 +1,87 @@
+#include "util/bits.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pdht {
+namespace {
+
+TEST(FloorLog2Test, PowersOfTwo) {
+  EXPECT_EQ(FloorLog2(1), 0);
+  EXPECT_EQ(FloorLog2(2), 1);
+  EXPECT_EQ(FloorLog2(4), 2);
+  EXPECT_EQ(FloorLog2(1024), 10);
+  EXPECT_EQ(FloorLog2(uint64_t{1} << 63), 63);
+}
+
+TEST(FloorLog2Test, NonPowers) {
+  EXPECT_EQ(FloorLog2(3), 1);
+  EXPECT_EQ(FloorLog2(5), 2);
+  EXPECT_EQ(FloorLog2(1000), 9);
+  EXPECT_EQ(FloorLog2(20000), 14);
+}
+
+TEST(CeilLog2Test, PowersOfTwo) {
+  EXPECT_EQ(CeilLog2(1), 0);
+  EXPECT_EQ(CeilLog2(2), 1);
+  EXPECT_EQ(CeilLog2(1024), 10);
+}
+
+TEST(CeilLog2Test, NonPowers) {
+  EXPECT_EQ(CeilLog2(3), 2);
+  EXPECT_EQ(CeilLog2(5), 3);
+  EXPECT_EQ(CeilLog2(17000), 15);  // the [MaCa03] trace size
+  EXPECT_EQ(CeilLog2(20000), 15);
+}
+
+TEST(CeilFloorLog2Test, ConsistentBracketing) {
+  for (uint64_t x = 1; x < 10000; x += 7) {
+    int f = FloorLog2(x);
+    int c = CeilLog2(x);
+    EXPECT_LE(f, c);
+    EXPECT_LE(c - f, 1);
+    EXPECT_LE(uint64_t{1} << f, x);
+    EXPECT_GE(uint64_t{1} << c, x);
+  }
+}
+
+TEST(Log2Test, MatchesStd) {
+  EXPECT_DOUBLE_EQ(Log2(8.0), 3.0);
+  EXPECT_NEAR(Log2(20000.0), 14.2877, 1e-3);
+  EXPECT_NEAR(Log2(17000.0), 14.0532, 1e-3);  // env = 1/log2(17000) ~ 1/14
+}
+
+TEST(CommonPrefixLengthTest, IdenticalValues) {
+  EXPECT_EQ(CommonPrefixLength(0, 0), 64);
+  EXPECT_EQ(CommonPrefixLength(~uint64_t{0}, ~uint64_t{0}), 64);
+}
+
+TEST(CommonPrefixLengthTest, TopBitDiffers) {
+  EXPECT_EQ(CommonPrefixLength(0, uint64_t{1} << 63), 0);
+}
+
+TEST(CommonPrefixLengthTest, MiddleBit) {
+  uint64_t a = 0xFF00000000000000ULL;
+  uint64_t b = 0xFF80000000000000ULL;
+  EXPECT_EQ(CommonPrefixLength(a, b), 8);
+}
+
+TEST(CommonPrefixLengthTest, Symmetric) {
+  uint64_t a = 0x123456789abcdef0ULL;
+  uint64_t b = 0x123456789abcdeffULL;
+  EXPECT_EQ(CommonPrefixLength(a, b), CommonPrefixLength(b, a));
+}
+
+TEST(NextPow2Test, Values) {
+  EXPECT_EQ(NextPow2(0), 1u);
+  EXPECT_EQ(NextPow2(1), 1u);
+  EXPECT_EQ(NextPow2(2), 2u);
+  EXPECT_EQ(NextPow2(3), 4u);
+  EXPECT_EQ(NextPow2(1000), 1024u);
+  EXPECT_EQ(NextPow2(1024), 1024u);
+  EXPECT_EQ(NextPow2(1025), 2048u);
+}
+
+}  // namespace
+}  // namespace pdht

@@ -1,0 +1,104 @@
+#include "util/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace pdht {
+namespace {
+
+TEST(Fnv1aTest, KnownVectors) {
+  // Standard FNV-1a 64-bit test vectors.
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(Fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(Fnv1aTest, DifferentStringsDiffer) {
+  EXPECT_NE(Fnv1a64("title=Weather Iraklion"),
+            Fnv1a64("title=Weather Lausanne"));
+  EXPECT_NE(Fnv1a64("ab"), Fnv1a64("ba"));
+}
+
+TEST(Fnv1aTest, SeededFamiliesAreIndependent) {
+  // The same input under different seeds must produce different outputs.
+  std::string input = "key";
+  EXPECT_NE(Fnv1a64Seeded(input, 1), Fnv1a64Seeded(input, 2));
+}
+
+TEST(Fnv1a128Test, HalvesDiffer) {
+  Hash128 h = Fnv1a128("some metadata predicate");
+  EXPECT_NE(h.hi, h.lo);
+}
+
+TEST(Fnv1a128Test, EqualityOperator) {
+  EXPECT_EQ(Fnv1a128("x"), Fnv1a128("x"));
+  EXPECT_FALSE(Fnv1a128("x") == Fnv1a128("y"));
+}
+
+TEST(Fnv1aTest, NoCollisionsOnRealisticPredicates) {
+  // 40,000 scenario-style predicates must hash without collision (64-bit
+  // space; a collision here would break key identity in the index).
+  std::set<uint64_t> seen;
+  for (int article = 0; article < 2000; ++article) {
+    for (int k = 0; k < 20; ++k) {
+      std::string pred = "article=" + std::to_string(article) +
+                         " AND slot=" + std::to_string(k);
+      auto [it, inserted] = seen.insert(Fnv1a64(pred));
+      ASSERT_TRUE(inserted) << "collision on " << pred;
+    }
+  }
+  EXPECT_EQ(seen.size(), 40000u);
+}
+
+TEST(Mix64Test, IsBijectiveOnSamples) {
+  // A bijective mixer cannot map two distinct inputs to one output.
+  std::set<uint64_t> outputs;
+  for (uint64_t i = 0; i < 10000; ++i) {
+    ASSERT_TRUE(outputs.insert(Mix64(i)).second);
+  }
+}
+
+TEST(Mix64Test, AvalanchesLowBits) {
+  // Flipping one input bit should change roughly half the output bits.
+  int total_flips = 0;
+  constexpr int kTrials = 256;
+  for (uint64_t i = 0; i < kTrials; ++i) {
+    uint64_t a = Mix64(i);
+    uint64_t b = Mix64(i ^ 1);
+    total_flips += __builtin_popcountll(a ^ b);
+  }
+  double avg = static_cast<double>(total_flips) / kTrials;
+  EXPECT_GT(avg, 24.0);
+  EXPECT_LT(avg, 40.0);
+}
+
+TEST(HashCombineTest, OrderSensitive) {
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+}
+
+TEST(HashCombineTest, Deterministic) {
+  EXPECT_EQ(HashCombine(123, 456), HashCombine(123, 456));
+}
+
+TEST(ToBinaryPrefixTest, ExtractsMsbBits) {
+  EXPECT_EQ(ToBinaryPrefix(0x8000000000000000ULL, 4), "1000");
+  EXPECT_EQ(ToBinaryPrefix(0x0, 4), "0000");
+  EXPECT_EQ(ToBinaryPrefix(0xF000000000000000ULL, 4), "1111");
+  EXPECT_EQ(ToBinaryPrefix(0xA000000000000000ULL, 4), "1010");
+}
+
+TEST(ToBinaryPrefixTest, ZeroBitsEmpty) {
+  EXPECT_EQ(ToBinaryPrefix(0x123, 0), "");
+}
+
+TEST(ToBinaryPrefixTest, FullWidth) {
+  std::string s = ToBinaryPrefix(~uint64_t{0}, 64);
+  EXPECT_EQ(s.size(), 64u);
+  EXPECT_EQ(s.find('0'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pdht

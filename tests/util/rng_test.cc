@@ -1,0 +1,227 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace pdht {
+namespace {
+
+TEST(SplitMix64Test, ProducesKnownSequence) {
+  // Reference values from the SplitMix64 reference implementation with
+  // seed 0.
+  uint64_t state = 0;
+  EXPECT_EQ(SplitMix64Next(&state), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(SplitMix64Next(&state), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(SplitMix64Next(&state), 0x06c45d188009454fULL);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformU64RespectsBound) {
+  Rng rng(7);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.UniformU64(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, UniformU64BoundOneAlwaysZero) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.UniformU64(1), 0u);
+  }
+}
+
+TEST(RngTest, UniformU64CoversAllResidues) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformU64(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, UniformU64IsRoughlyUniform) {
+  Rng rng(13);
+  constexpr int kBuckets = 10;
+  constexpr int kSamples = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[rng.UniformU64(kBuckets)];
+  }
+  double expected = static_cast<double>(kSamples) / kBuckets;
+  for (int c : counts) {
+    EXPECT_NEAR(c, expected, 5 * std::sqrt(expected));
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(17);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    if (v == -3) saw_lo = true;
+    if (v == 3) saw_hi = true;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(19);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    double v = rng.UniformDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-0.5));
+    EXPECT_TRUE(rng.Bernoulli(1.5));
+  }
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(29);
+  int hits = 0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kSamples, 0.3, 0.01);
+}
+
+TEST(RngTest, ExponentialHasCorrectMean) {
+  Rng rng(31);
+  double sum = 0.0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.Exponential(0.5);
+  EXPECT_NEAR(sum / kSamples, 2.0, 0.05);
+}
+
+TEST(RngTest, ExponentialAlwaysNonNegative) {
+  Rng rng(37);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.Exponential(3.0), 0.0);
+  }
+}
+
+TEST(RngTest, GeometricMeanMatches) {
+  Rng rng(41);
+  double sum = 0.0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    sum += static_cast<double>(rng.Geometric(0.25));
+  }
+  EXPECT_NEAR(sum / kSamples, 4.0, 0.1);
+}
+
+TEST(RngTest, GeometricOfOneIsAlwaysOne) {
+  Rng rng(43);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.Geometric(1.0), 1u);
+  }
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(47);
+  Rng child = parent.Fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.Next() == child.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, ForkIsDeterministic) {
+  Rng a(53);
+  Rng b(53);
+  Rng ca = a.Fork();
+  Rng cb = b.Fork();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(ca.Next(), cb.Next());
+  }
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(59);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  std::vector<int> orig = v;
+  rng.Shuffle(v.data(), v.size());
+  std::multiset<int> sorted_orig(orig.begin(), orig.end());
+  std::multiset<int> sorted_new(v.begin(), v.end());
+  EXPECT_EQ(sorted_orig, sorted_new);
+}
+
+TEST(RngTest, ShuffleHandlesSmallInputs) {
+  Rng rng(61);
+  std::vector<int> empty;
+  rng.Shuffle(empty.data(), 0);  // must not crash
+  std::vector<int> one{42};
+  rng.Shuffle(one.data(), 1);
+  EXPECT_EQ(one[0], 42);
+}
+
+TEST(RngTest, ShuffleIsUnbiasedOnPairs) {
+  Rng rng(67);
+  int first_zero = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    int v[2] = {0, 1};
+    rng.Shuffle(v, 2);
+    if (v[0] == 0) ++first_zero;
+  }
+  EXPECT_NEAR(static_cast<double>(first_zero) / kTrials, 0.5, 0.02);
+}
+
+// Property sweep: bounded generation is unbiased across bounds.
+class RngBoundSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RngBoundSweep, MeanIsHalfBound) {
+  uint64_t bound = GetParam();
+  Rng rng(bound * 2654435761u + 1);
+  double sum = 0.0;
+  constexpr int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i) {
+    sum += static_cast<double>(rng.UniformU64(bound));
+  }
+  double mean = sum / kSamples;
+  double expected = (static_cast<double>(bound) - 1.0) / 2.0;
+  double sd = static_cast<double>(bound) / std::sqrt(12.0 * kSamples);
+  EXPECT_NEAR(mean, expected, 6 * sd + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngBoundSweep,
+                         ::testing::Values(2, 3, 5, 16, 100, 1024, 65536));
+
+}  // namespace
+}  // namespace pdht

@@ -1,0 +1,184 @@
+#include "util/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace pdht {
+namespace {
+
+TEST(GeneralizedHarmonicTest, MatchesHandComputedValues) {
+  EXPECT_DOUBLE_EQ(GeneralizedHarmonic(1, 1.0), 1.0);
+  EXPECT_NEAR(GeneralizedHarmonic(3, 1.0), 1.0 + 0.5 + 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(GeneralizedHarmonic(4, 2.0),
+              1.0 + 0.25 + 1.0 / 9.0 + 1.0 / 16.0, 1e-12);
+  // alpha = 0: every term is 1.
+  EXPECT_NEAR(GeneralizedHarmonic(100, 0.0), 100.0, 1e-9);
+}
+
+TEST(ZipfSamplerTest, PmfSumsToOne) {
+  ZipfSampler z(1000, 1.2);
+  double sum = 0.0;
+  for (uint64_t r = 1; r <= 1000; ++r) sum += z.Pmf(r);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfSamplerTest, PmfIsMonotoneDecreasing) {
+  ZipfSampler z(500, 0.8);
+  for (uint64_t r = 2; r <= 500; ++r) {
+    EXPECT_LT(z.Pmf(r), z.Pmf(r - 1));
+  }
+}
+
+TEST(ZipfSamplerTest, PmfZeroOutsideSupport) {
+  ZipfSampler z(10, 1.0);
+  EXPECT_EQ(z.Pmf(0), 0.0);
+  EXPECT_EQ(z.Pmf(11), 0.0);
+}
+
+TEST(ZipfSamplerTest, CdfEndpoints) {
+  ZipfSampler z(100, 1.2);
+  EXPECT_EQ(z.Cdf(0), 0.0);
+  EXPECT_DOUBLE_EQ(z.Cdf(100), 1.0);
+  EXPECT_DOUBLE_EQ(z.Cdf(200), 1.0);
+  EXPECT_NEAR(z.Cdf(1), z.Pmf(1), 1e-12);
+}
+
+TEST(ZipfSamplerTest, CdfIsMonotone) {
+  ZipfSampler z(200, 1.5);
+  for (uint64_t r = 2; r <= 200; ++r) {
+    EXPECT_GE(z.Cdf(r), z.Cdf(r - 1));
+  }
+}
+
+TEST(ZipfSamplerTest, SamplesInRange) {
+  ZipfSampler z(50, 1.2);
+  Rng rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t r = z.Sample(rng);
+    ASSERT_GE(r, 1u);
+    ASSERT_LE(r, 50u);
+  }
+}
+
+TEST(ZipfSamplerTest, EmpiricalFrequenciesMatchPmf) {
+  constexpr uint64_t kN = 100;
+  ZipfSampler z(kN, 1.2);
+  Rng rng(99);
+  constexpr int kSamples = 200000;
+  std::vector<int> counts(kN + 1, 0);
+  for (int i = 0; i < kSamples; ++i) ++counts[z.Sample(rng)];
+  // Check the head ranks where counts are large enough for tight bounds.
+  for (uint64_t r = 1; r <= 5; ++r) {
+    double expected = z.Pmf(r) * kSamples;
+    EXPECT_NEAR(counts[r], expected, 5 * std::sqrt(expected))
+        << "rank " << r;
+  }
+}
+
+TEST(ZipfSamplerTest, AlphaZeroIsUniform) {
+  constexpr uint64_t kN = 20;
+  ZipfSampler z(kN, 0.0);
+  for (uint64_t r = 1; r <= kN; ++r) {
+    EXPECT_NEAR(z.Pmf(r), 1.0 / kN, 1e-12);
+  }
+}
+
+TEST(ZipfSamplerTest, SingleKeyAlwaysRankOne) {
+  ZipfSampler z(1, 1.2);
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(z.Sample(rng), 1u);
+  }
+  EXPECT_DOUBLE_EQ(z.Pmf(1), 1.0);
+}
+
+TEST(ZipfSamplerTest, PaperAlphaHeadMass) {
+  // With alpha = 1.2 over 40,000 keys [Srip01], the head of the
+  // distribution concentrates a large share of queries: rank 1 alone gets
+  // ~20% of the mass (1/H_{40000,1.2} with H ~= 5.0).
+  ZipfSampler z(40000, 1.2);
+  EXPECT_NEAR(z.Pmf(1), 1.0 / GeneralizedHarmonic(40000, 1.2), 1e-12);
+  EXPECT_NEAR(z.Pmf(1), 0.20, 0.015);
+  // The top 1% of keys (400) answers well over half the queries.
+  EXPECT_GT(z.Cdf(400), 0.55);
+}
+
+TEST(ZipfRejectionSamplerTest, SamplesInRange) {
+  ZipfRejectionSampler z(1000, 1.2);
+  Rng rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t r = z.Sample(rng);
+    ASSERT_GE(r, 1u);
+    ASSERT_LE(r, 1000u);
+  }
+}
+
+TEST(ZipfRejectionSamplerTest, AgreesWithTableSampler) {
+  // Both samplers target the same distribution; compare empirical CDFs.
+  constexpr uint64_t kN = 200;
+  constexpr double kAlpha = 1.2;
+  ZipfSampler table(kN, kAlpha);
+  ZipfRejectionSampler rej(kN, kAlpha);
+  Rng r1(7);
+  Rng r2(8);
+  constexpr int kSamples = 100000;
+  std::vector<double> c1(kN + 1, 0.0);
+  std::vector<double> c2(kN + 1, 0.0);
+  for (int i = 0; i < kSamples; ++i) {
+    ++c1[table.Sample(r1)];
+    ++c2[rej.Sample(r2)];
+  }
+  double acc1 = 0.0;
+  double acc2 = 0.0;
+  double max_gap = 0.0;
+  for (uint64_t r = 1; r <= kN; ++r) {
+    acc1 += c1[r] / kSamples;
+    acc2 += c2[r] / kSamples;
+    max_gap = std::max(max_gap, std::abs(acc1 - acc2));
+  }
+  // Kolmogorov-Smirnov style bound: the two empirical CDFs should agree
+  // within sampling noise.
+  EXPECT_LT(max_gap, 0.01);
+}
+
+TEST(ZipfRejectionSamplerTest, HandlesAlphaNearOne) {
+  ZipfRejectionSampler z(100, 1.0);
+  Rng rng(9);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t r = z.Sample(rng);
+    ASSERT_GE(r, 1u);
+    ASSERT_LE(r, 100u);
+    sum += static_cast<double>(r);
+  }
+  // Mean of Zipf(1) over 100: H(100,0)/H(100,1) = 100 / 5.187 ~= 19.28.
+  EXPECT_NEAR(sum / 20000.0, 100.0 / GeneralizedHarmonic(100, 1.0), 1.0);
+}
+
+// Property sweep over alpha: the sampler's empirical rank-1 frequency
+// matches the analytical pmf.
+class ZipfAlphaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfAlphaSweep, HeadFrequencyMatchesPmf) {
+  double alpha = GetParam();
+  constexpr uint64_t kN = 500;
+  ZipfSampler z(kN, alpha);
+  Rng rng(static_cast<uint64_t>(alpha * 1000) + 1);
+  constexpr int kSamples = 100000;
+  int rank1 = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    if (z.Sample(rng) == 1) ++rank1;
+  }
+  double expected = z.Pmf(1);
+  double sd = std::sqrt(expected * (1 - expected) / kSamples);
+  EXPECT_NEAR(static_cast<double>(rank1) / kSamples, expected,
+              6 * sd + 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, ZipfAlphaSweep,
+                         ::testing::Values(0.5, 0.8, 1.0, 1.2, 1.5, 2.0));
+
+}  // namespace
+}  // namespace pdht
