@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 
 #include "model/selection_model.h"
-#include "util/hash.h"
 #include "util/logging.h"
 
 namespace pdht::core {
@@ -13,6 +13,11 @@ namespace pdht::core {
 std::string SystemConfig::Validate() const {
   std::string err = params.Validate();
   if (!err.empty()) return err;
+  if (strategy != Strategy::kNoIndex &&
+      !overlay::IsRegisteredBackend(backend)) {
+    return "no overlay factory registered for backend '" +
+           std::string(DhtBackendName(backend)) + "'";
+  }
   if (ttl_scale <= 0.0) return "ttl_scale must be positive";
   if (key_ttl < 0.0) return "key_ttl must be non-negative";
   if (overlay_degree < 2.0) return "overlay_degree must be >= 2";
@@ -138,62 +143,25 @@ void PdhtSystem::SelectDhtMembers() {
   dht_members_.assign(all.begin(), all.begin() + dht_member_target_);
   for (net::PeerId m : dht_members_) nodes_[m].set_dht_member(true);
 
-  switch (config_.backend) {
-    case DhtBackend::kChord:
-      chord_ = std::make_unique<overlay::ChordOverlay>(network_.get(),
-                                                       rng_.Fork());
-      chord_->SetMembers(dht_members_);
-      chord_maint_ = std::make_unique<overlay::ChordMaintenance>(
-          chord_.get(), network_.get(), p.env, rng_.Fork());
-      break;
-    case DhtBackend::kPGrid: {
-      overlay::PGridConfig pc;
-      pc.refs_per_level = 4;
-      pc.max_leaf_peers = static_cast<uint32_t>(
-          std::max<uint64_t>(1, std::min<uint64_t>(p.repl, p.num_peers)));
-      pgrid_ = std::make_unique<overlay::PGridOverlay>(network_.get(),
-                                                       rng_.Fork(), pc);
-      pgrid_->SetMembers(dht_members_);
-      break;
-    }
-    case DhtBackend::kCan:
-      can_ = std::make_unique<overlay::CanOverlay>(network_.get(),
-                                                   rng_.Fork());
-      can_->SetMembers(dht_members_);
-      break;
-  }
+  overlay::OverlayParams op;
+  op.repl = p.repl;
+  op.num_peers = p.num_peers;
+  overlay_ = overlay::MakeOverlay(config_.backend, network_.get(), op,
+                                  rng_.Fork());
+  // Validate() already vetted the backend; exactly one overlay is live
+  // from here on.
+  assert(overlay_ != nullptr);
+  overlay_->SetMembers(dht_members_);
 }
 
 std::vector<net::PeerId> PdhtSystem::IndexReplicasOf(uint64_t key) const {
-  // "Index and content are replicated with the same factor" (Section 4)
-  // and content replication is random.  The responsible member (the
-  // lookup terminus) is replica 0 -- the insertion point -- and the
-  // remaining repl-1 replicas are hash-derived members, which spreads the
-  // storage load uniformly (successor-consecutive replicas would make
-  // whole arcs overflow their stor capacity together).
-  if (pgrid_) return pgrid_->ResponsiblePeers(key);
-  if (chord_ || can_) {
-    const std::vector<net::PeerId>& members =
-        chord_ ? chord_->members_sorted_by_id() : can_->members();
-    net::PeerId responsible = chord_ ? chord_->ResponsibleMember(key)
-                                     : can_->ResponsibleMember(key);
-    if (responsible == net::kInvalidPeer || members.empty()) return {};
-    uint32_t want = static_cast<uint32_t>(
-        std::min<uint64_t>(config_.params.repl, members.size()));
-    std::vector<net::PeerId> out;
-    out.reserve(want);
-    out.push_back(responsible);
-    uint64_t salt = 0;
-    while (out.size() < want && salt < 16 * want) {
-      net::PeerId cand =
-          members[Mix64(HashCombine(key, ++salt)) % members.size()];
-      if (std::find(out.begin(), out.end(), cand) == out.end()) {
-        out.push_back(cand);
-      }
-    }
-    return out;
-  }
-  return {};
+  // "Index and content are replicated with the same factor" (Section 4);
+  // replica-group composition is the backend's business (hash-spread by
+  // default, structural leaf groups for P-Grid).
+  if (!overlay_) return {};
+  return overlay_->ResponsiblePeers(
+      key, static_cast<uint32_t>(std::min<uint64_t>(
+               config_.params.repl, std::numeric_limits<uint32_t>::max())));
 }
 
 void PdhtSystem::IncResidency(uint64_t key) { ++residency_[key]; }
@@ -235,10 +203,8 @@ void PdhtSystem::RegisterActors() {
     churn_->AdvanceTo(ctx.time);
   });
   engine_.AddActor("maintenance", [this](sim::RoundContext&) {
-    if (config_.strategy == Strategy::kNoIndex) return;
-    if (chord_maint_) chord_maint_->RunRound();
-    if (pgrid_) pgrid_->RunMaintenanceRound(config_.params.env);
-    if (can_) can_->RunMaintenanceRound(config_.params.env);
+    if (config_.strategy == Strategy::kNoIndex || !overlay_) return;
+    overlay_->RunMaintenanceRound(config_.params.env);
     // Feed the TTL autotuner the round's maintenance traffic: probes per
     // round per currently indexed key approximate cRtn (Eq. 8).
     uint64_t probes = engine_.counters().Value("msg.maint.probe");
@@ -297,10 +263,8 @@ net::PeerId PdhtSystem::DhtEntryPoint(net::PeerId origin) {
       network_->IsOnline(origin)) {
     return origin;
   }
-  net::PeerId entry = net::kInvalidPeer;
-  if (chord_) entry = chord_->RandomOnlineMember(rng_);
-  if (pgrid_) entry = pgrid_->RandomOnlineMember(rng_);
-  if (can_) entry = can_->RandomOnlineMember(rng_);
+  net::PeerId entry =
+      overlay_ ? overlay_->RandomOnlineMember(rng_) : net::kInvalidPeer;
   if (entry != net::kInvalidPeer && origin != net::kInvalidPeer) {
     // Forwarding the query from the non-member origin into the DHT is one
     // message ("it is sufficient to know at least one online peer that is
@@ -316,10 +280,8 @@ net::PeerId PdhtSystem::DhtEntryPoint(net::PeerId origin) {
 
 overlay::LookupResult PdhtSystem::DhtLookup(net::PeerId origin,
                                             uint64_t key) {
-  if (chord_) return chord_->Lookup(origin, key);
-  if (pgrid_) return pgrid_->Lookup(origin, key);
-  assert(can_ != nullptr);
-  return can_->Lookup(origin, key);
+  assert(overlay_ != nullptr);
+  return overlay_->Lookup(origin, key);
 }
 
 uint64_t PdhtSystem::StatisticalReplicaFloodCost() {
@@ -533,8 +495,7 @@ void PdhtSystem::OnChurnFlip(net::PeerId peer, bool online) {
   if (!nodes_[peer].is_dht_member()) return;
   // Rejoin: refresh routing state (piggybacked, free) and pull missed
   // replica updates (one pull + one response).
-  if (chord_maint_) chord_maint_->OnPeerRejoin(peer);
-  if (pgrid_) pgrid_->RefreshNode(peer);
+  if (overlay_) overlay_->OnPeerRejoin(peer);
   network_->CountOnly(net::MessageType::kReplicaPull, 2);
 }
 

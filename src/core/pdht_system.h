@@ -2,7 +2,8 @@
 //
 // Wires every substrate together: churned peers on a Gnutella-like random
 // graph with randomly replicated content (articles), a structured overlay
-// (Chord or P-Grid) over the active-peer subset, probe-based routing
+// (any registered StructuredOverlay backend -- Chord, P-Grid, CAN,
+// Kademlia, ...) over the active-peer subset, probe-based routing
 // maintenance, a replica layer for index entries, a Zipf query workload,
 // and one of the four indexing strategies (strategy.h).  Message costs are
 // accounted on the shared Network so per-category rates can be compared
@@ -35,10 +36,7 @@
 #include "model/cost_model.h"
 #include "model/scenario_params.h"
 #include "net/network.h"
-#include "overlay/can/can.h"
-#include "overlay/dht/chord.h"
-#include "overlay/dht/maintenance.h"
-#include "overlay/pgrid/pgrid.h"
+#include "overlay/structured_overlay.h"
 #include "overlay/unstructured/flooding.h"
 #include "overlay/unstructured/random_graph.h"
 #include "overlay/unstructured/random_walk.h"
@@ -138,6 +136,12 @@ class PdhtSystem {
   /// DHT membership actually provisioned.
   uint32_t DhtMemberCount() const;
 
+  /// The structured overlay backing the index; nullptr when the strategy
+  /// runs without a DHT (kNoIndex).
+  const overlay::StructuredOverlay* dht_overlay() const {
+    return overlay_.get();
+  }
+
   /// Mean total messages per round over the last `tail` rounds.
   double TailMessageRate(size_t tail) const;
 
@@ -198,10 +202,9 @@ class PdhtSystem {
   std::unique_ptr<overlay::RandomGraph> graph_;
   std::unique_ptr<overlay::ReplicaPlacement> content_;
   std::unique_ptr<overlay::RandomWalkSearch> walk_;
-  std::unique_ptr<overlay::ChordOverlay> chord_;
-  std::unique_ptr<overlay::ChordMaintenance> chord_maint_;
-  std::unique_ptr<overlay::PGridOverlay> pgrid_;
-  std::unique_ptr<overlay::CanOverlay> can_;
+  /// The one structured overlay backing the index (null iff the strategy
+  /// runs without a DHT); every backend dispatch goes through it.
+  std::unique_ptr<overlay::StructuredOverlay> overlay_;
   std::unique_ptr<metadata::QueryWorkload> workload_;
   std::vector<PdhtNode> nodes_;
   std::vector<net::PeerId> dht_members_;

@@ -53,6 +53,8 @@ const char* DhtBackendName(DhtBackend b) {
       return "pgrid";
     case DhtBackend::kCan:
       return "can";
+    case DhtBackend::kKademlia:
+      return "kademlia";
   }
   return "?";
 }
@@ -65,6 +67,8 @@ bool ParseDhtBackend(const std::string& name, DhtBackend* out) {
     *out = DhtBackend::kPGrid;
   } else if (n == "can") {
     *out = DhtBackend::kCan;
+  } else if (n == "kademlia" || n == "kad") {
+    *out = DhtBackend::kKademlia;
   } else {
     return false;
   }

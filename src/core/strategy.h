@@ -38,14 +38,21 @@ const char* StrategyName(Strategy s);
 /// (case-insensitive); returns false on unknown input.
 bool ParseStrategy(const std::string& name, Strategy* out);
 
-/// Which structured overlay implementation backs the index.
+/// Which structured overlay implementation backs the index.  Concrete
+/// construction goes through the overlay factory registry
+/// (overlay/structured_overlay.h); adding a value here plus a registered
+/// factory is all a new backend needs.
 enum class DhtBackend : uint8_t {
   kChord,
   kPGrid,
   kCan,
+  kKademlia,
 };
 
 const char* DhtBackendName(DhtBackend b);
+
+/// Parses "chord" / "pgrid" / "can" / "kademlia" (case-insensitive);
+/// returns false on unknown input.
 bool ParseDhtBackend(const std::string& name, DhtBackend* out);
 
 }  // namespace pdht::core

@@ -79,9 +79,7 @@ double CanZone::Volume() const {
 }
 
 CanOverlay::CanOverlay(net::Network* network, Rng rng)
-    : network_(network), rng_(rng) {
-  assert(network != nullptr);
-}
+    : StructuredOverlay(network), rng_(rng) {}
 
 void CanOverlay::SetMembers(const std::vector<net::PeerId>& members) {
   zones_.clear();
@@ -259,18 +257,6 @@ LookupResult CanOverlay::Lookup(net::PeerId origin, uint64_t key) {
     ++result.messages;
   }
   return result;
-}
-
-net::PeerId CanOverlay::RandomOnlineMember(Rng& rng) const {
-  if (member_list_.empty()) return net::kInvalidPeer;
-  for (int attempt = 0; attempt < 64; ++attempt) {
-    net::PeerId p = member_list_[rng.UniformU64(member_list_.size())];
-    if (network_->IsOnline(p)) return p;
-  }
-  for (net::PeerId p : member_list_) {
-    if (network_->IsOnline(p)) return p;
-  }
-  return net::kInvalidPeer;
 }
 
 uint64_t CanOverlay::RunMaintenanceRound(double env) {

@@ -25,7 +25,7 @@
 #include <vector>
 
 #include "net/network.h"
-#include "overlay/dht/chord.h"  // reuses LookupResult
+#include "overlay/structured_overlay.h"
 #include "util/rng.h"
 
 namespace pdht::overlay {
@@ -50,17 +50,19 @@ struct CanZone {
   double Volume() const;
 };
 
-class CanOverlay {
+class CanOverlay : public StructuredOverlay {
  public:
   CanOverlay(net::Network* network, Rng rng);
 
   /// Builds the zone partition over the given members (free, like the
   /// other overlays' SetMembers).
-  void SetMembers(const std::vector<net::PeerId>& members);
+  void SetMembers(const std::vector<net::PeerId>& members) override;
 
-  bool IsMember(net::PeerId peer) const;
-  size_t num_members() const { return zones_.size(); }
-  const std::vector<net::PeerId>& members() const { return member_list_; }
+  bool IsMember(net::PeerId peer) const override;
+  size_t num_members() const override { return zones_.size(); }
+  const std::vector<net::PeerId>& members() const override {
+    return member_list_;
+  }
 
   const CanZone& ZoneOf(net::PeerId peer) const;
   const std::vector<net::PeerId>& NeighborsOf(net::PeerId peer) const;
@@ -69,30 +71,28 @@ class CanOverlay {
   static CanPoint KeyToPoint(uint64_t key);
 
   /// Owner of the key's point.
-  net::PeerId ResponsibleMember(uint64_t key) const;
+  net::PeerId ResponsibleMember(uint64_t key) const override;
 
   /// Greedy torus routing from `origin`; counts kDhtLookup per hop
   /// attempt (failed sends to offline neighbors included).
-  LookupResult Lookup(net::PeerId origin, uint64_t key);
-
-  net::PeerId RandomOnlineMember(Rng& rng) const;
+  LookupResult Lookup(net::PeerId origin, uint64_t key) override;
 
   /// Probe-based neighbor maintenance (env semantics as elsewhere).
   /// CAN zones are static here, so "repair" means remembering the
   /// neighbor is down; probes detect and are counted.  Returns probes.
-  uint64_t RunMaintenanceRound(double env);
+  /// Rejoin needs no refresh either (OnPeerRejoin keeps the base no-op).
+  uint64_t RunMaintenanceRound(double env) override;
 
   size_t TableSize(net::PeerId peer) const;
 
   /// Zone-partition invariants: volumes sum to 1, zones don't overlap (on
   /// a sample), every sampled point has an owner.  Empty string when ok.
-  std::string CheckInvariants() const;
+  std::string CheckInvariants() const override;
 
  private:
   /// Torus distance between a point and a zone (0 if inside).
   static double DistanceToZone(const CanPoint& p, const CanZone& z);
 
-  net::Network* network_;
   Rng rng_;
   std::unordered_map<net::PeerId, CanZone> zones_;
   std::unordered_map<net::PeerId, std::vector<net::PeerId>> neighbors_;

@@ -4,15 +4,30 @@
 #include <cassert>
 #include <sstream>
 
+#include "overlay/dht/maintenance.h"
 #include "util/bits.h"
 
 namespace pdht::overlay {
 
 ChordOverlay::ChordOverlay(net::Network* network, Rng rng,
                            uint32_t successor_list_size)
-    : network_(network), rng_(rng),
-      successor_list_size_(successor_list_size) {
-  assert(network != nullptr);
+    : StructuredOverlay(network), rng_(rng),
+      successor_list_size_(successor_list_size) {}
+
+ChordOverlay::~ChordOverlay() = default;
+
+uint64_t ChordOverlay::RunMaintenanceRound(double env) {
+  if (maint_ == nullptr) {
+    maint_ = std::make_unique<ChordMaintenance>(this, network_, env,
+                                                rng_.Fork());
+  } else {
+    // Keep the instance: fractional probe budgets carry across rounds
+    // even when the caller sweeps env.
+    maint_->set_env(env);
+  }
+  uint64_t before = maint_->stats().probes_sent;
+  maint_->RunRound();
+  return maint_->stats().probes_sent - before;
 }
 
 void ChordOverlay::SetMembers(const std::vector<net::PeerId>& members) {
@@ -252,18 +267,6 @@ LookupResult ChordOverlay::Lookup(net::PeerId origin, uint64_t key) {
     ++result.messages;
   }
   return result;
-}
-
-net::PeerId ChordOverlay::RandomOnlineMember(Rng& rng) const {
-  if (ring_.empty()) return net::kInvalidPeer;
-  for (int attempt = 0; attempt < 64; ++attempt) {
-    const Member& m = ring_[rng.UniformU64(ring_.size())];
-    if (network_->IsOnline(m.peer)) return m.peer;
-  }
-  for (const auto& m : ring_) {
-    if (network_->IsOnline(m.peer)) return m.peer;
-  }
-  return net::kInvalidPeer;
 }
 
 FingerTable* ChordOverlay::TableOf(net::PeerId peer) {

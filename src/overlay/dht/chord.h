@@ -14,40 +14,33 @@
 #define PDHT_OVERLAY_DHT_CHORD_H_
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "net/network.h"
 #include "overlay/dht/finger_table.h"
 #include "overlay/dht/id.h"
+#include "overlay/structured_overlay.h"  // LookupResult lives here
 #include "util/rng.h"
 
 namespace pdht::overlay {
 
-struct LookupResult {
-  bool success = false;
-  net::PeerId responsible = net::kInvalidPeer;  ///< member owning the key.
-  net::PeerId terminus = net::kInvalidPeer;     ///< where routing ended
-                                                ///< (owner, or its first
-                                                ///< online successor).
-  bool responsible_online = false;
-  uint32_t hops = 0;          ///< routing hops actually taken.
-  uint32_t failed_probes = 0; ///< sends to stale (offline) entries.
-  uint64_t messages = 0;      ///< total messages (hops + failures + reply).
-};
+class ChordMaintenance;
 
-class ChordOverlay {
+class ChordOverlay : public StructuredOverlay {
  public:
   /// `network` must outlive the overlay.  `successor_list_size` entries of
   /// redundancy for routing around failures.
   ChordOverlay(net::Network* network, Rng rng,
                uint32_t successor_list_size = 8);
+  ~ChordOverlay() override;
 
   /// (Re)builds the ring over the given member peers.  Ids derive from
   /// peer numbers; finger tables are constructed fresh (bootstrap traffic
   /// is not the object of the paper's model, so construction is free; join
   /// messages for *incremental* joins are counted in AddMember).
-  void SetMembers(const std::vector<net::PeerId>& members);
+  void SetMembers(const std::vector<net::PeerId>& members) override;
 
   /// Incrementally adds a member: builds its table and repairs affected
   /// fingers, counting kJoin traffic (O(log^2 n) messages, as in Chord).
@@ -56,12 +49,15 @@ class ChordOverlay {
   /// Removes a member permanently (not churn -- actual departure).
   void RemoveMember(net::PeerId peer);
 
-  bool IsMember(net::PeerId peer) const;
-  size_t num_members() const { return ring_.size(); }
+  bool IsMember(net::PeerId peer) const override;
+  size_t num_members() const override { return ring_.size(); }
   const std::vector<net::PeerId>& members_sorted_by_id() const;
+  const std::vector<net::PeerId>& members() const override {
+    return members_sorted_by_id();
+  }
 
   /// The member responsible for `key`: successor(KeyToNodeId(key)).
-  net::PeerId ResponsibleMember(uint64_t key) const;
+  net::PeerId ResponsibleMember(uint64_t key) const override;
 
   /// The `count` members succeeding the responsible one (replica holders).
   std::vector<net::PeerId> ResponsibleReplicas(uint64_t key,
@@ -71,12 +67,15 @@ class ChordOverlay {
   /// counting one kDhtLookup per hop attempt.  If the owner is offline the
   /// lookup terminates at its first online successor with
   /// responsible_online = false.
-  LookupResult Lookup(net::PeerId origin, uint64_t key);
+  LookupResult Lookup(net::PeerId origin, uint64_t key) override;
 
-  /// Picks a uniformly random *online* member, or kInvalidPeer if none.
-  /// Used by non-member peers that "know at least one online peer that is
-  /// participating in the DHT" (Section 3.2) as their entry point.
-  net::PeerId RandomOnlineMember(Rng& rng) const;
+  /// One probe round of the owned ChordMaintenance (created on first use
+  /// with the given env; see overlay/dht/maintenance.h).  Returns probes
+  /// sent.
+  uint64_t RunMaintenanceRound(double env) override;
+
+  /// Rejoin refresh, free/piggybacked (paper Section 3.3.1).
+  void OnPeerRejoin(net::PeerId peer) override { RefreshNode(peer); }
 
   /// Rebuilds one node's routing state from current membership; called by
   /// maintenance on finger repair and on rejoin after churn.
@@ -95,7 +94,7 @@ class ChordOverlay {
   /// Verifies ring invariants (sorted ids, finger targets correct under
   /// current membership); returns an empty string or a violation message.
   /// Test-support API.
-  std::string CheckInvariants() const;
+  std::string CheckInvariants() const override;
 
  private:
   struct Member {
@@ -111,11 +110,11 @@ class ChordOverlay {
   Member* FindMember(net::PeerId peer);
   const Member* FindMember(net::PeerId peer) const;
 
-  net::Network* network_;
   Rng rng_;
   uint32_t successor_list_size_;
   std::vector<Member> ring_;  // sorted by id
   std::unordered_map<net::PeerId, size_t> peer_to_index_;
+  std::unique_ptr<ChordMaintenance> maint_;  // lazy, see RunMaintenanceRound
   mutable std::vector<net::PeerId> members_cache_;
   mutable bool members_cache_valid_ = false;
 };

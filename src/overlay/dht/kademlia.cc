@@ -1,0 +1,313 @@
+#include "overlay/dht/kademlia.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+#include "util/bits.h"
+
+namespace pdht::overlay {
+
+namespace {
+
+/// Index of the highest bit where a and b differ (63 = MSB); requires
+/// a != b.
+int BucketIndex(NodeId a, NodeId b) { return FloorLog2(a ^ b); }
+
+}  // namespace
+
+KademliaOverlay::KademliaOverlay(net::Network* network, Rng rng,
+                                 uint32_t bucket_size)
+    : StructuredOverlay(network), rng_(rng), bucket_size_(bucket_size) {
+  assert(bucket_size >= 1);
+}
+
+void KademliaOverlay::SetMembers(const std::vector<net::PeerId>& members) {
+  nodes_.clear();
+  member_list_.clear();
+  sorted_ids_.clear();
+  probe_budget_.clear();
+  if (members.empty()) return;
+  member_list_ = members;
+  std::sort(member_list_.begin(), member_list_.end(),
+            [](net::PeerId a, net::PeerId b) {
+              return PeerToNodeId(a) < PeerToNodeId(b);
+            });
+  sorted_ids_.reserve(member_list_.size());
+  for (net::PeerId p : member_list_) {
+    sorted_ids_.push_back(PeerToNodeId(p));
+    nodes_[p] = NodeState{PeerToNodeId(p), {}};
+  }
+  for (net::PeerId p : member_list_) BuildBuckets(p);
+}
+
+std::vector<net::PeerId> KademliaOverlay::BucketCandidates(
+    NodeId id, int bucket) const {
+  // Members in [id ^ 2^bucket .. id ^ (2^(bucket+1) - 1)]: ids sharing
+  // the 63-bucket leading bits of `id` and differing at bit `bucket`.
+  // That range is contiguous in sorted id order, so two binary searches
+  // suffice.
+  NodeId lo = (id ^ (NodeId{1} << bucket)) &
+              ~((NodeId{1} << bucket) - 1);  // flip bit, clear tail
+  NodeId hi = lo | ((NodeId{1} << bucket) - 1);
+  auto first = std::lower_bound(sorted_ids_.begin(), sorted_ids_.end(), lo);
+  auto last = std::upper_bound(sorted_ids_.begin(), sorted_ids_.end(), hi);
+  std::vector<net::PeerId> out;
+  out.reserve(static_cast<size_t>(last - first));
+  for (auto it = first; it != last; ++it) {
+    out.push_back(
+        member_list_[static_cast<size_t>(it - sorted_ids_.begin())]);
+  }
+  return out;
+}
+
+void KademliaOverlay::BuildBuckets(net::PeerId peer) {
+  NodeState& st = nodes_.at(peer);
+  st.buckets.assign(64, {});
+  for (int b = 0; b < 64; ++b) {
+    std::vector<net::PeerId> cands = BucketCandidates(st.id, b);
+    if (cands.size() > bucket_size_) {
+      rng_.Shuffle(cands.data(), cands.size());
+      cands.resize(bucket_size_);
+    }
+    st.buckets[b] = std::move(cands);
+  }
+}
+
+bool KademliaOverlay::IsMember(net::PeerId peer) const {
+  return nodes_.count(peer) > 0;
+}
+
+net::PeerId KademliaOverlay::ClosestMemberTo(NodeId target) const {
+  if (sorted_ids_.empty()) return net::kInvalidPeer;
+  // Binary-trie descent over the sorted id array: at each bit follow
+  // target's branch when it is populated, else the other one.  The XOR
+  // metric makes this exact (higher differing bits dominate), which a
+  // plain nearest-in-sorted-order probe would not be.
+  size_t lo = 0;
+  size_t hi = sorted_ids_.size();
+  NodeId prefix = 0;
+  for (int b = 63; b >= 0 && hi - lo > 1; --b) {
+    NodeId branch = prefix | (NodeId{1} << b);
+    size_t mid = static_cast<size_t>(
+        std::lower_bound(sorted_ids_.begin() + static_cast<long>(lo),
+                         sorted_ids_.begin() + static_cast<long>(hi),
+                         branch) -
+        sorted_ids_.begin());
+    const bool want_one = (target >> b) & 1;
+    if (want_one ? mid < hi : mid > lo) {
+      // Target's branch is populated: follow it.
+      if (want_one) {
+        lo = mid;
+        prefix = branch;
+      } else {
+        hi = mid;
+      }
+    } else {
+      // Forced onto the other branch.
+      if (want_one) {
+        hi = mid;
+      } else {
+        lo = mid;
+        prefix = branch;
+      }
+    }
+  }
+  return member_list_[lo];
+}
+
+net::PeerId KademliaOverlay::ResponsibleMember(uint64_t key) const {
+  return ClosestMemberTo(KeyToNodeId(key));
+}
+
+LookupResult KademliaOverlay::Lookup(net::PeerId origin, uint64_t key) {
+  LookupResult result;
+  if (member_list_.empty()) return result;
+  auto cur_it = nodes_.find(origin);
+  assert(cur_it != nodes_.end() && "lookup origin must be a member");
+  const NodeState* cur = &cur_it->second;
+  net::PeerId cur_peer = origin;
+  const NodeId target = KeyToNodeId(key);
+  const net::PeerId owner = ClosestMemberTo(target);
+  result.responsible = owner;
+
+  const uint32_t hop_limit =
+      4 * static_cast<uint32_t>(CeilLog2(member_list_.size() + 1)) + 16;
+  while (cur_peer != owner && result.hops < hop_limit) {
+    const NodeId cur_dist = cur->id ^ target;
+    // Contacts strictly closer to the target than we are, nearest first;
+    // each failed attempt is a real (lost) message to a stale entry.
+    // Distances are materialized once so the sort does no map lookups.
+    std::vector<std::pair<NodeId, net::PeerId>> closer;
+    for (const auto& bucket : cur->buckets) {
+      for (net::PeerId c : bucket) {
+        NodeId d = nodes_.at(c).id ^ target;
+        if (d < cur_dist) closer.emplace_back(d, c);
+      }
+    }
+    std::sort(closer.begin(), closer.end());
+    net::PeerId next = net::kInvalidPeer;
+    for (const auto& [dist, cand] : closer) {
+      (void)dist;
+      net::Message m;
+      m.type = net::MessageType::kDhtLookup;
+      m.from = cur_peer;
+      m.to = cand;
+      m.key = key;
+      m.tag = result.hops;
+      network_->Send(m);
+      ++result.messages;
+      if (network_->IsOnline(cand)) {
+        next = cand;
+        break;
+      }
+      ++result.failed_probes;
+    }
+    if (next == net::kInvalidPeer) {
+      // Greedy exhausted (table empty or all closer contacts offline):
+      // scan the membership in XOR order, nearest first, until an online
+      // member turns up -- the owner's closest online stand-in.
+      std::vector<std::pair<NodeId, net::PeerId>> by_dist;
+      by_dist.reserve(member_list_.size());
+      for (size_t i = 0; i < member_list_.size(); ++i) {
+        by_dist.emplace_back(sorted_ids_[i] ^ target, member_list_[i]);
+      }
+      std::sort(by_dist.begin(), by_dist.end());
+      for (const auto& [dist, cand] : by_dist) {
+        (void)dist;
+        if (cand == cur_peer) {
+          // We are the closest online member ourselves: routing is done.
+          break;
+        }
+        net::Message m;
+        m.type = net::MessageType::kDhtLookup;
+        m.from = cur_peer;
+        m.to = cand;
+        m.key = key;
+        m.tag = result.hops;
+        network_->Send(m);
+        ++result.messages;
+        if (network_->IsOnline(cand)) {
+          next = cand;
+          break;
+        }
+        ++result.failed_probes;
+      }
+      if (next == net::kInvalidPeer) break;  // cur is the stand-in (or dead)
+    }
+    cur_peer = next;
+    cur = &nodes_.at(next);
+    ++result.hops;
+  }
+
+  result.responsible_online = network_->IsOnline(owner);
+  result.terminus = cur_peer;
+  result.success = cur_peer == owner ? result.responsible_online
+                                     : network_->IsOnline(cur_peer);
+  // Result delivery back to the originator.
+  if (result.success && cur_peer != origin) {
+    net::Message resp;
+    resp.type = net::MessageType::kDhtResponse;
+    resp.from = cur_peer;
+    resp.to = origin;
+    resp.key = key;
+    network_->Send(resp);
+    ++result.messages;
+  }
+  return result;
+}
+
+uint64_t KademliaOverlay::RunMaintenanceRound(double env) {
+  uint64_t probes = 0;
+  for (net::PeerId peer : member_list_) {
+    if (!network_->IsOnline(peer)) continue;
+    NodeState& st = nodes_.at(peer);
+    size_t table_size = TableSize(peer);
+    if (table_size == 0) continue;
+    double& budget = probe_budget_[peer];
+    budget += env * static_cast<double>(table_size);
+    while (budget >= 1.0) {
+      budget -= 1.0;
+      // Pick a uniformly random contact across the (ragged) buckets.
+      size_t idx = static_cast<size_t>(rng_.UniformU64(table_size));
+      size_t b = 0;
+      while (idx >= st.buckets[b].size()) {
+        idx -= st.buckets[b].size();
+        ++b;
+      }
+      net::PeerId contact = st.buckets[b][idx];
+      net::Message probe;
+      probe.type = net::MessageType::kRoutingProbe;
+      probe.from = peer;
+      probe.to = contact;
+      network_->Send(probe);
+      ++probes;
+      if (!network_->IsOnline(contact)) {
+        // Repair is free (piggybacked): swap in an online member of the
+        // same bucket not already referenced, if one exists.
+        std::vector<net::PeerId> cands =
+            BucketCandidates(st.id, static_cast<int>(b));
+        for (net::PeerId cand : cands) {
+          if (!network_->IsOnline(cand)) continue;
+          if (std::find(st.buckets[b].begin(), st.buckets[b].end(), cand) !=
+              st.buckets[b].end()) {
+            continue;
+          }
+          st.buckets[b][idx] = cand;
+          break;
+        }
+      }
+    }
+  }
+  return probes;
+}
+
+void KademliaOverlay::RefreshNode(net::PeerId peer) {
+  if (nodes_.count(peer) > 0) BuildBuckets(peer);
+}
+
+size_t KademliaOverlay::TableSize(net::PeerId peer) const {
+  auto it = nodes_.find(peer);
+  if (it == nodes_.end()) return 0;
+  size_t n = 0;
+  for (const auto& bucket : it->second.buckets) n += bucket.size();
+  return n;
+}
+
+std::string KademliaOverlay::CheckInvariants() const {
+  std::ostringstream err;
+  for (size_t i = 1; i < sorted_ids_.size(); ++i) {
+    if (!(sorted_ids_[i - 1] < sorted_ids_[i])) {
+      err << "member ids not strictly sorted at index " << i;
+      return err.str();
+    }
+  }
+  for (const auto& [peer, st] : nodes_) {
+    if (st.buckets.size() != 64) {
+      err << "peer " << peer << " has " << st.buckets.size() << " buckets";
+      return err.str();
+    }
+    for (int b = 0; b < 64; ++b) {
+      if (st.buckets[b].size() > bucket_size_) {
+        err << "peer " << peer << " bucket " << b << " over capacity";
+        return err.str();
+      }
+      for (net::PeerId c : st.buckets[b]) {
+        auto it = nodes_.find(c);
+        if (it == nodes_.end()) {
+          err << "peer " << peer << " references non-member " << c;
+          return err.str();
+        }
+        if (BucketIndex(st.id, it->second.id) != b) {
+          err << "peer " << peer << " filed contact " << c
+              << " in bucket " << b << ", expected "
+              << BucketIndex(st.id, it->second.id);
+          return err.str();
+        }
+      }
+    }
+  }
+  return "";
+}
+
+}  // namespace pdht::overlay

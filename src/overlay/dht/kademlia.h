@@ -1,0 +1,97 @@
+// Kademlia-style XOR-metric structured overlay [MaMa02] ("Kademlia: a
+// peer-to-peer information system based on the XOR metric").
+//
+// The fourth backend behind StructuredOverlay, added to prove the factory
+// seam: PdhtSystem has no Kademlia-specific code -- the backend exists
+// only here and in the registry (structured_overlay.cc).
+//
+// Members keep k-buckets: bucket b of node n holds up to k contacts whose
+// ids differ from n's id first at bit b (i.e. XOR distance in
+// [2^b, 2^(b+1))).  A key is owned by the member whose id minimizes
+// id XOR KeyToNodeId(key).  Routing greedily forwards to the known
+// contact closest to the target, halving the XOR distance per hop in
+// expectation -- O(log n) hops, the same cSIndx regime as Chord/P-Grid
+// but over a symmetric (unidirectional-metric) id space rather than a
+// ring.  Churn handling mirrors the other overlays: sends to offline
+// contacts are counted and lost; when greedy progress stalls, routing
+// falls back to scanning the membership in XOR order, so lookups on keys
+// with an offline owner terminate at the owner's closest *online*
+// stand-in.
+
+#ifndef PDHT_OVERLAY_DHT_KADEMLIA_H_
+#define PDHT_OVERLAY_DHT_KADEMLIA_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "overlay/dht/id.h"
+#include "overlay/structured_overlay.h"
+#include "util/rng.h"
+
+namespace pdht::overlay {
+
+class KademliaOverlay : public StructuredOverlay {
+ public:
+  /// `network` must outlive the overlay.  `bucket_size` is Kademlia's k:
+  /// redundant contacts per bucket for routing around failures.
+  KademliaOverlay(net::Network* network, Rng rng, uint32_t bucket_size = 8);
+
+  void SetMembers(const std::vector<net::PeerId>& members) override;
+  bool IsMember(net::PeerId peer) const override;
+  size_t num_members() const override { return nodes_.size(); }
+  /// Members sorted by node id (stable order, like Chord's ring order).
+  const std::vector<net::PeerId>& members() const override {
+    return member_list_;
+  }
+
+  /// The member whose id minimizes id XOR KeyToNodeId(key).
+  net::PeerId ResponsibleMember(uint64_t key) const override;
+
+  LookupResult Lookup(net::PeerId origin, uint64_t key) override;
+
+  /// Probe-based bucket maintenance (env semantics as elsewhere): probes
+  /// random contacts, replaces detected-offline ones with an online
+  /// member of the same bucket (repair is free / piggybacked).
+  uint64_t RunMaintenanceRound(double env) override;
+
+  /// Rejoin refresh: rebuilds the peer's buckets from current membership.
+  void OnPeerRejoin(net::PeerId peer) override { RefreshNode(peer); }
+
+  void RefreshNode(net::PeerId peer);
+
+  /// Total contacts of `peer` across buckets (for maintenance sizing).
+  size_t TableSize(net::PeerId peer) const;
+
+  /// Bucket and id-space invariants: ids sorted/unique, every contact a
+  /// member filed in the bucket its XOR distance demands, buckets within
+  /// capacity.  Empty string when consistent.  Test-support API.
+  std::string CheckInvariants() const override;
+
+ private:
+  struct NodeState {
+    NodeId id = 0;
+    /// buckets[b]: up to bucket_size_ contacts first differing at bit b
+    /// (b = 63 is the far half of the id space, b = 0 the immediate
+    /// sibling).  Empty buckets are kept empty, not erased.
+    std::vector<std::vector<net::PeerId>> buckets;
+  };
+
+  void BuildBuckets(net::PeerId peer);
+  /// Members whose id differs from `id` first at bit `bucket`.
+  std::vector<net::PeerId> BucketCandidates(NodeId id, int bucket) const;
+  /// The member id-closest (XOR) to `target`; kInvalidPeer when empty.
+  net::PeerId ClosestMemberTo(NodeId target) const;
+
+  Rng rng_;
+  uint32_t bucket_size_;
+  std::unordered_map<net::PeerId, NodeState> nodes_;
+  std::vector<net::PeerId> member_list_;  // sorted by node id
+  std::vector<NodeId> sorted_ids_;        // parallel to member_list_
+  std::unordered_map<net::PeerId, double> probe_budget_;
+};
+
+}  // namespace pdht::overlay
+
+#endif  // PDHT_OVERLAY_DHT_KADEMLIA_H_

@@ -47,6 +47,9 @@ class ChordMaintenance {
 
   const MaintenanceStats& stats() const { return stats_; }
   double env() const { return env_; }
+  /// Adjusts the probe rate without resetting accumulated fractional
+  /// budgets or stats (env may vary per round through StructuredOverlay).
+  void set_env(double env) { env_ = env; }
 
   /// Expected probe messages per online member per round: env * table size.
   double ExpectedProbesPerPeer(net::PeerId peer) const;

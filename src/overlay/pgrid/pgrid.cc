@@ -11,8 +11,7 @@
 namespace pdht::overlay {
 
 PGridOverlay::PGridOverlay(net::Network* network, Rng rng, PGridConfig config)
-    : network_(network), rng_(rng), config_(config) {
-  assert(network != nullptr);
+    : StructuredOverlay(network), rng_(rng), config_(config) {
   assert(config_.refs_per_level >= 1);
   assert(config_.max_leaf_peers >= 1);
 }
@@ -151,6 +150,13 @@ std::vector<net::PeerId> PGridOverlay::ResponsiblePeers(uint64_t key) const {
   return out;
 }
 
+std::vector<net::PeerId> PGridOverlay::ResponsiblePeers(
+    uint64_t key, uint32_t count) const {
+  std::vector<net::PeerId> out = ResponsiblePeers(key);
+  if (out.size() > count) out.resize(count);
+  return out;
+}
+
 net::PeerId PGridOverlay::ResponsibleMember(uint64_t key) const {
   auto peers = ResponsiblePeers(key);
   return peers.empty() ? net::kInvalidPeer : peers.front();
@@ -161,6 +167,7 @@ LookupResult PGridOverlay::Lookup(net::PeerId origin, uint64_t key) {
   if (paths_.empty()) return result;
   auto origin_it = paths_.find(origin);
   assert(origin_it != paths_.end() && "lookup origin must be a member");
+  (void)origin_it;
   const uint64_t key_id = KeyToNodeId(key);
   result.responsible = ResponsibleMember(key);
 
@@ -215,18 +222,6 @@ LookupResult PGridOverlay::Lookup(net::PeerId origin, uint64_t key) {
     ++result.messages;
   }
   return result;
-}
-
-net::PeerId PGridOverlay::RandomOnlineMember(Rng& rng) const {
-  if (member_list_.empty()) return net::kInvalidPeer;
-  for (int attempt = 0; attempt < 64; ++attempt) {
-    net::PeerId p = member_list_[rng.UniformU64(member_list_.size())];
-    if (network_->IsOnline(p)) return p;
-  }
-  for (net::PeerId p : member_list_) {
-    if (network_->IsOnline(p)) return p;
-  }
-  return net::kInvalidPeer;
 }
 
 size_t PGridOverlay::TableSize(net::PeerId peer) const {

@@ -29,8 +29,8 @@
 #include <vector>
 
 #include "net/network.h"
-#include "overlay/dht/chord.h"  // reuses LookupResult
 #include "overlay/pgrid/path.h"
+#include "overlay/structured_overlay.h"
 #include "util/rng.h"
 
 namespace pdht::overlay {
@@ -40,13 +40,13 @@ struct PGridConfig {
   uint32_t max_leaf_peers = 1;   ///< peers sharing one leaf path (replicas).
 };
 
-class PGridOverlay {
+class PGridOverlay : public StructuredOverlay {
  public:
   PGridOverlay(net::Network* network, Rng rng, PGridConfig config = {});
 
   /// Balanced path assignment + routing table construction (free, like
   /// ChordOverlay::SetMembers).
-  void SetMembers(const std::vector<net::PeerId>& members);
+  void SetMembers(const std::vector<net::PeerId>& members) override;
 
   /// Exchange-based construction: starts all members at the empty path and
   /// runs random pairwise exchanges until paths stabilize (or the round
@@ -55,9 +55,11 @@ class PGridOverlay {
   uint64_t BuildByExchanges(const std::vector<net::PeerId>& members,
                             uint64_t max_exchanges);
 
-  bool IsMember(net::PeerId peer) const;
-  size_t num_members() const { return paths_.size(); }
-  const std::vector<net::PeerId>& members() const { return member_list_; }
+  bool IsMember(net::PeerId peer) const override;
+  size_t num_members() const override { return paths_.size(); }
+  const std::vector<net::PeerId>& members() const override {
+    return member_list_;
+  }
 
   const TriePath& PathOf(net::PeerId peer) const;
 
@@ -65,14 +67,18 @@ class PGridOverlay {
   /// group; size max_leaf_peers under balanced assignment).
   std::vector<net::PeerId> ResponsiblePeers(uint64_t key) const;
 
+  /// StructuredOverlay replica group: the leaf group *is* the structural
+  /// replica set (already sized by max_leaf_peers), so `count` only caps
+  /// it.
+  std::vector<net::PeerId> ResponsiblePeers(uint64_t key,
+                                            uint32_t count) const override;
+
   /// First responsible peer (deterministic representative).
-  net::PeerId ResponsibleMember(uint64_t key) const;
+  net::PeerId ResponsibleMember(uint64_t key) const override;
 
   /// Prefix-routing lookup from `origin`; counts kDhtLookup per hop
   /// attempt, like ChordOverlay::Lookup.
-  LookupResult Lookup(net::PeerId origin, uint64_t key);
-
-  net::PeerId RandomOnlineMember(Rng& rng) const;
+  LookupResult Lookup(net::PeerId origin, uint64_t key) override;
 
   /// Total routing references of `peer` (for maintenance sizing).
   size_t TableSize(net::PeerId peer) const;
@@ -80,14 +86,17 @@ class PGridOverlay {
   /// Probe-based maintenance round (same env semantics as
   /// ChordMaintenance): probes random references, re-picks dead ones.
   /// Returns probes sent.
-  uint64_t RunMaintenanceRound(double env);
+  uint64_t RunMaintenanceRound(double env) override;
+
+  /// Rejoin refresh, free/piggybacked.
+  void OnPeerRejoin(net::PeerId peer) override { RefreshNode(peer); }
 
   /// Rebuilds a peer's references from current paths (rejoin refresh).
   void RefreshNode(net::PeerId peer);
 
   /// Empty string when the trie is well-formed (paths prefix-free and
   /// covering: every key id has >= 1 responsible peer). Test-support API.
-  std::string CheckInvariants() const;
+  std::string CheckInvariants() const override;
 
   double StaleReferenceFraction() const;
 
@@ -105,7 +114,6 @@ class PGridOverlay {
   /// Peers whose path starts with prefix (exact prefix match on paths).
   std::vector<net::PeerId> PeersUnder(const TriePath& prefix) const;
 
-  net::Network* network_;
   Rng rng_;
   PGridConfig config_;
   std::unordered_map<net::PeerId, NodeState> paths_;

@@ -1,0 +1,148 @@
+// Polymorphic seam between the PDHT core and the structured overlays.
+//
+// The paper's analysis is "generic enough such that it can be adapted to
+// suit most other DHT proposals"; this interface is that claim expressed
+// in code.  PdhtSystem talks to exactly one StructuredOverlay and never
+// names a concrete backend; Chord, P-Grid, CAN and Kademlia implement the
+// interface, and a factory registry (MakeOverlay) maps the DhtBackend
+// enum -- or its string name -- to a constructed instance.  Adding a new
+// overlay is a ~1-file change: implement the interface and register a
+// factory; PdhtSystem, the benches, the examples and the parity tests
+// enumerate RegisteredBackends() and pick the newcomer up automatically.
+//
+// Contract notes:
+//  * SetMembers is called once per system build with the DHT member
+//    subset; construction traffic is free (bootstrap cost is not the
+//    object of the paper's model).
+//  * Lookup counts every hop attempt on the shared Network (design
+//    decision #5: protocols never self-report costs).
+//  * RunMaintenanceRound spends env probe messages per routing entry per
+//    online member per round (Eq. 8 semantics, fractional budgets carry).
+//  * ResponsiblePeers returns the key's replica group, responsible member
+//    first.  The default spreads the remaining repl-1 replicas over
+//    hash-derived members (successor-consecutive replicas would overflow
+//    whole arcs together); overlays with a structural replica group --
+//    P-Grid's leaf peers -- override it.
+
+#ifndef PDHT_OVERLAY_STRUCTURED_OVERLAY_H_
+#define PDHT_OVERLAY_STRUCTURED_OVERLAY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/strategy.h"
+#include "net/network.h"
+#include "util/rng.h"
+
+namespace pdht::overlay {
+
+struct LookupResult {
+  bool success = false;
+  net::PeerId responsible = net::kInvalidPeer;  ///< member owning the key.
+  net::PeerId terminus = net::kInvalidPeer;     ///< where routing ended
+                                                ///< (owner, or its closest
+                                                ///< online stand-in).
+  bool responsible_online = false;
+  uint32_t hops = 0;          ///< routing hops actually taken.
+  uint32_t failed_probes = 0; ///< sends to stale (offline) entries.
+  uint64_t messages = 0;      ///< total messages (hops + failures + reply).
+};
+
+class StructuredOverlay {
+ public:
+  /// `network` must outlive the overlay (shared by every backend).
+  explicit StructuredOverlay(net::Network* network);
+  virtual ~StructuredOverlay() = default;
+
+  /// (Re)builds the overlay over the given member peers (free, see
+  /// contract above).
+  virtual void SetMembers(const std::vector<net::PeerId>& members) = 0;
+
+  virtual bool IsMember(net::PeerId peer) const = 0;
+  virtual size_t num_members() const = 0;
+
+  /// All members.  Order is backend-defined but stable between
+  /// SetMembers calls (Chord: sorted by ring id).
+  virtual const std::vector<net::PeerId>& members() const = 0;
+
+  /// The member responsible for `key`, kInvalidPeer when empty.
+  virtual net::PeerId ResponsibleMember(uint64_t key) const = 0;
+
+  /// The key's replica group (<= count peers, responsible member first).
+  virtual std::vector<net::PeerId> ResponsiblePeers(uint64_t key,
+                                                    uint32_t count) const;
+
+  /// Routes from `origin` (must be a member) toward `key`'s owner,
+  /// counting one kDhtLookup per hop attempt.  If the owner is offline
+  /// the lookup terminates at its closest online stand-in with
+  /// responsible_online = false.
+  virtual LookupResult Lookup(net::PeerId origin, uint64_t key) = 0;
+
+  /// Picks a uniformly random *online* member, or kInvalidPeer if none.
+  /// Non-member peers "know at least one online peer that is
+  /// participating in the DHT" (Section 3.2) and use it as entry point.
+  /// Default: 64 uniform draws from members(), then a linear fallback.
+  virtual net::PeerId RandomOnlineMember(Rng& rng) const;
+
+  /// One probe-based maintenance round (Eq. 8): env probes per routing
+  /// entry per online member, stale entries repaired for free
+  /// (piggybacked).  Returns probes sent.
+  virtual uint64_t RunMaintenanceRound(double env) = 0;
+
+  /// A member came back online after churn downtime: refresh its routing
+  /// state (free, piggybacked).  Backends with static routing state (CAN
+  /// zones) keep the no-op default.
+  virtual void OnPeerRejoin(net::PeerId peer) { (void)peer; }
+
+  /// Structural self-check; empty string when consistent.  Test support.
+  virtual std::string CheckInvariants() const { return ""; }
+
+ protected:
+  net::Network* network_;  ///< not owned
+};
+
+/// Construction-time knobs shared by all backends.  Backends read what
+/// they need and ignore the rest.  (The maintenance probe rate env is
+/// deliberately *not* here: it flows per-call through
+/// RunMaintenanceRound so it can be swept at runtime.)
+struct OverlayParams {
+  /// Replication factor: sizes structural replica groups (P-Grid leaf
+  /// population).
+  uint64_t repl = 1;
+  /// Total peer population (members are a subset); used only to clamp
+  /// group sizes.
+  uint64_t num_peers = 0;
+};
+
+using OverlayFactory = std::unique_ptr<StructuredOverlay> (*)(
+    net::Network* network, const OverlayParams& params, Rng rng);
+
+/// Registers a factory for `backend`; returns false (and keeps the
+/// existing entry) when the backend is already registered.  The four
+/// built-ins are pre-registered; call this to plug in external backends.
+bool RegisterOverlay(core::DhtBackend backend, OverlayFactory factory);
+
+bool IsRegisteredBackend(core::DhtBackend backend);
+
+/// All registered backends in enum order -- the benches, examples and
+/// parity tests enumerate this instead of hard-coding lists.
+std::vector<core::DhtBackend> RegisteredBackends();
+
+/// Constructs the backend, or nullptr when none is registered.
+std::unique_ptr<StructuredOverlay> MakeOverlay(core::DhtBackend backend,
+                                               net::Network* network,
+                                               const OverlayParams& params,
+                                               Rng rng);
+
+/// String-keyed variant ("chord", "pgrid", "can", "kademlia"; see
+/// core::ParseDhtBackend); nullptr on unknown name.
+std::unique_ptr<StructuredOverlay> MakeOverlay(const std::string& name,
+                                               net::Network* network,
+                                               const OverlayParams& params,
+                                               Rng rng);
+
+}  // namespace pdht::overlay
+
+#endif  // PDHT_OVERLAY_STRUCTURED_OVERLAY_H_

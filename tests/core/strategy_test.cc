@@ -29,7 +29,8 @@ TEST(StrategyTest, ParseRejectsUnknown) {
 }
 
 TEST(DhtBackendTest, NamesRoundTrip) {
-  for (DhtBackend b : {DhtBackend::kChord, DhtBackend::kPGrid}) {
+  for (DhtBackend b : {DhtBackend::kChord, DhtBackend::kPGrid,
+                       DhtBackend::kCan, DhtBackend::kKademlia}) {
     DhtBackend parsed;
     ASSERT_TRUE(ParseDhtBackend(DhtBackendName(b), &parsed));
     EXPECT_EQ(parsed, b);
@@ -42,9 +43,16 @@ TEST(DhtBackendTest, ParseAcceptsHyphenatedPGrid) {
   EXPECT_EQ(b, DhtBackend::kPGrid);
 }
 
+TEST(DhtBackendTest, ParseAcceptsKadShorthand) {
+  DhtBackend b;
+  EXPECT_TRUE(ParseDhtBackend("kad", &b));
+  EXPECT_EQ(b, DhtBackend::kKademlia);
+}
+
 TEST(DhtBackendTest, ParseRejectsUnknown) {
   DhtBackend b;
-  EXPECT_FALSE(ParseDhtBackend("kademlia", &b));
+  EXPECT_FALSE(ParseDhtBackend("pastry", &b));
+  EXPECT_FALSE(ParseDhtBackend("", &b));
 }
 
 }  // namespace

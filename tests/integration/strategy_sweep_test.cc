@@ -100,7 +100,8 @@ INSTANTIATE_TEST_SUITE_P(
                           core::Strategy::kPartialTtl),
         ::testing::Values(core::DhtBackend::kChord,
                           core::DhtBackend::kPGrid,
-                          core::DhtBackend::kCan),
+                          core::DhtBackend::kCan,
+                          core::DhtBackend::kKademlia),
         ::testing::Bool()),
     SweepName);
 
