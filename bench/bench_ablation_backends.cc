@@ -2,52 +2,97 @@
 // identical TTL-selection workload.  The paper claims its analysis "can
 // be adapted to suit most other DHT proposals"; this bench enumerates the
 // overlay factory registry (Chord, P-Grid, CAN, Kademlia, plus anything
-// registered later) and compares cost and hit rate.
+// registered later) and compares cost and hit rate, multi-seed on the
+// experiment runner (exp/).
+//
+// Second table: Kademlia k-bucket size sweep.  Kademlia's routing tables
+// are larger than Chord's finger tables, so its probe maintenance
+// dominates at env=1/14; sweeping k quantifies how much of that traffic
+// is bucket redundancy.
 
 #include <algorithm>
 #include <vector>
 
 #include "bench_common.h"
 #include "core/pdht_system.h"
+#include "exp/experiment.h"
+#include "exp/parallel_runner.h"
+#include "net/network.h"
+#include "overlay/dht/kademlia.h"
 #include "overlay/structured_overlay.h"
 
 int main(int argc, char** argv) {
   using namespace pdht;
-  std::string csv = bench::CsvPathFromArgs(argc, argv);
+  bench::BenchFlags flags = bench::ParseBenchFlags(argc, argv);
   bench::PrintHeader("bench_ablation_backends -- all registered backends",
                      "Section 5.2 (P-Grid prototype) / footnote 2");
 
-  TableWriter t({"backend", "msg/round (tail)", "hit rate", "index keys",
-                 "dht msg/round", "maint msg/round"});
-  std::vector<double> rates;
-  for (core::DhtBackend backend : overlay::RegisteredBackends()) {
-    core::SystemConfig c;
-    c.params.num_peers = 400;
-    c.params.keys = 800;
-    c.params.stor = 20;
-    c.params.repl = 10;
-    c.params.f_qry = 1.0 / 5.0;
-    c.params.f_upd = 1.0 / 3600.0;
-    c.strategy = core::Strategy::kPartialTtl;
-    c.backend = backend;
-    c.churn.enabled = false;
-    c.seed = 42;
-    core::PdhtSystem sys(c);
-    sys.RunRounds(120);
-    rates.push_back(sys.TailMessageRate(30));
-    t.AddRow({core::DhtBackendName(backend),
-              TableWriter::FormatDouble(sys.TailMessageRate(30), 6),
-              TableWriter::FormatDouble(sys.TailHitRate(30), 3),
-              std::to_string(sys.IndexedKeyCount()),
-              TableWriter::FormatDouble(
-                  sys.engine().Series(core::PdhtSystem::kSeriesMsgDht)
-                      .TailMean(30), 6),
-              TableWriter::FormatDouble(
-                  sys.engine().Series(core::PdhtSystem::kSeriesMsgMaint)
-                      .TailMean(30), 6)});
+  exp::ExperimentSpec spec;
+  spec.name = "ablation_backends";
+  spec.base = bench::ScaledBaseConfig();
+  spec.base.seed = 42;
+  spec.rounds = flags.RoundsOrDefault(120);
+  spec.tail = std::max<size_t>(1, spec.rounds / 4);
+  spec.seeds_per_cell = flags.seeds;
+  exp::Axis backends{"backend", {}};
+  for (core::DhtBackend b : overlay::RegisteredBackends()) {
+    backends.levels.push_back({core::DhtBackendName(b),
+                               [b](core::SystemConfig& c) { c.backend = b; }});
   }
-  bench::EmitTable(t, csv);
+  spec.axes = {backends};
 
+  exp::ParallelRunner runner({flags.threads});
+  auto rows = exp::Aggregate(spec, runner.Run(spec));
+  bench::EmitTable(
+      exp::ToTable(spec, rows,
+                   {{"msg/round (tail)", core::PdhtSystem::kSeriesMsgTotal},
+                    {"hit rate", core::PdhtSystem::kSeriesHitRate},
+                    {"index keys", exp::kMetricIndexKeys},
+                    {"dht msg/round", core::PdhtSystem::kSeriesMsgDht},
+                    {"maint msg/round", core::PdhtSystem::kSeriesMsgMaint}}),
+      flags.csv);
+
+  // --- Kademlia k-bucket size sweep (maintenance-traffic ablation) ----
+  exp::ExperimentSpec buckets;
+  buckets.name = "kademlia_bucket_sweep";
+  buckets.base = bench::ScaledBaseConfig();
+  buckets.base.backend = core::DhtBackend::kKademlia;
+  buckets.base.seed = 4242;  // decouple the cell seeds from table 1
+  buckets.rounds = spec.rounds;
+  buckets.tail = spec.tail;
+  buckets.seeds_per_cell = flags.seeds;
+  exp::Axis ksize{"bucket size", {}};
+  for (uint32_t k : {4u, 8u, 16u, 32u}) {
+    ksize.levels.push_back(
+        {std::to_string(k),
+         [k](core::SystemConfig& c) { c.kademlia_bucket_size = k; }});
+  }
+  buckets.axes = {ksize};
+  buckets.collect = [](const core::PdhtSystem& sys, const exp::Cell&,
+                       std::map<std::string, double>& metrics) {
+    const auto* kad =
+        dynamic_cast<const overlay::KademliaOverlay*>(sys.dht_overlay());
+    if (kad == nullptr || kad->num_members() == 0) return;
+    size_t contacts = 0;
+    for (net::PeerId p : kad->members()) contacts += kad->TableSize(p);
+    metrics["contacts.per.member"] =
+        static_cast<double>(contacts) / static_cast<double>(kad->num_members());
+  };
+  auto bucket_rows = exp::Aggregate(buckets, runner.Run(buckets));
+  std::printf("kademlia k-bucket size sweep (env = 1/14 probes per routing "
+              "entry):\n");
+  bench::EmitTable(
+      exp::ToTable(buckets, bucket_rows,
+                   {{"contacts/member", "contacts.per.member"},
+                    {"maint msg/round", core::PdhtSystem::kSeriesMsgMaint},
+                    {"msg/round (tail)", core::PdhtSystem::kSeriesMsgTotal},
+                    {"hit rate", core::PdhtSystem::kSeriesHitRate}}),
+      "");
+
+  std::vector<double> rates;
+  for (const exp::AggregateRow& r : rows) {
+    rates.push_back(r.Stat(core::PdhtSystem::kSeriesMsgTotal).mean);
+  }
   double lo = *std::min_element(rates.begin(), rates.end());
   double hi = *std::max_element(rates.begin(), rates.end());
   // CAN's O(sqrt n) hops make it pricier than the log-n overlays; the
@@ -57,5 +102,14 @@ int main(int argc, char** argv) {
   std::printf("shape check: all %zu backends within 4x of each other "
               "(generic analysis claim): %s (spread %.2fx)\n",
               rates.size(), comparable ? "PASS" : "FAIL", hi / lo);
-  return comparable ? 0 : 1;
+
+  double maint_small =
+      bucket_rows.front().Stat(core::PdhtSystem::kSeriesMsgMaint).mean;
+  double maint_large =
+      bucket_rows.back().Stat(core::PdhtSystem::kSeriesMsgMaint).mean;
+  bool maint_grows = maint_large > maint_small;
+  std::printf("shape check: kademlia maintenance traffic grows with bucket "
+              "size (k=4 %.1f -> k=32 %.1f): %s\n",
+              maint_small, maint_large, maint_grows ? "PASS" : "FAIL");
+  return bench::ShapeCheckExit(flags, comparable && maint_grows);
 }

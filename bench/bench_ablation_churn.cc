@@ -1,63 +1,76 @@
 // Ablation: churn-rate sweep.  cRtn exists because "P2P clients are
 // extremely transient"; this bench varies session lengths (our synthetic
 // substitute for the [MaCa03] Gnutella trace, see DESIGN.md) and reports
-// maintenance traffic, stale-entry pressure and hit rate.
+// maintenance traffic, stale-entry pressure and hit rate, multi-seed on
+// the experiment runner (exp/).
+
+#include <algorithm>
 
 #include "bench_common.h"
 #include "core/pdht_system.h"
+#include "exp/experiment.h"
+#include "exp/parallel_runner.h"
 
 int main(int argc, char** argv) {
   using namespace pdht;
-  std::string csv = bench::CsvPathFromArgs(argc, argv);
+  bench::BenchFlags flags = bench::ParseBenchFlags(argc, argv);
   bench::PrintHeader("bench_ablation_churn -- churn-rate sweep",
                      "Section 3.3.1 ([MaCa03] substitution)");
 
-  TableWriter t({"mean online [s]", "mean offline [s]", "availability",
-                 "msg/round", "maint msg/round", "hit rate"});
   struct Level {
+    const char* name;
     double on;
     double off;
+    bool enabled;
   };
-  const Level levels[] = {{1e9, 1.0},      // static (churn disabled below)
-                          {600, 300},      // mild
-                          {200, 100},      // moderate
-                          {60, 30}};       // harsh
-  std::vector<double> hit_rates;
-  int idx = 0;
+  const Level levels[] = {{"static", 1e9, 1.0, false},
+                          {"mild 600/300", 600, 300, true},
+                          {"moderate 200/100", 200, 100, true},
+                          {"harsh 60/30", 60, 30, true}};
+
+  exp::ExperimentSpec spec;
+  spec.name = "ablation_churn";
+  spec.base = bench::ScaledBaseConfig();
+  spec.base.seed = 4711;
+  spec.rounds = flags.RoundsOrDefault(120);
+  spec.tail = std::max<size_t>(1, spec.rounds / 4);
+  spec.seeds_per_cell = flags.seeds;
+  exp::Axis churn{"churn level", {}};
   for (const Level& lv : levels) {
-    core::SystemConfig c;
-    c.params.num_peers = 400;
-    c.params.keys = 800;
-    c.params.stor = 20;
-    c.params.repl = 10;
-    c.params.f_qry = 1.0 / 5.0;
-    c.params.f_upd = 1.0 / 3600.0;
-    c.strategy = core::Strategy::kPartialTtl;
-    c.churn.enabled = idx != 0;
-    c.churn.mean_online_s = lv.on;
-    c.churn.mean_offline_s = lv.off;
-    c.seed = 4711;
-    core::PdhtSystem sys(c);
-    sys.RunRounds(120);
-    double hit = sys.TailHitRate(30);
-    hit_rates.push_back(hit);
-    t.AddRow({idx == 0 ? "static" : TableWriter::FormatDouble(lv.on, 4),
-              idx == 0 ? "-" : TableWriter::FormatDouble(lv.off, 4),
-              TableWriter::FormatDouble(
-                  idx == 0 ? 1.0 : c.churn.StationaryAvailability(), 3),
-              TableWriter::FormatDouble(sys.TailMessageRate(30), 6),
-              TableWriter::FormatDouble(
-                  sys.engine().Series(core::PdhtSystem::kSeriesMsgMaint)
-                      .TailMean(30), 6),
-              TableWriter::FormatDouble(hit, 3)});
-    ++idx;
+    churn.levels.push_back({lv.name, [lv](core::SystemConfig& c) {
+                              c.churn.enabled = lv.enabled;
+                              c.churn.mean_online_s = lv.on;
+                              c.churn.mean_offline_s = lv.off;
+                            }});
   }
-  bench::EmitTable(t, csv);
+  spec.axes = {churn};
+
+  exp::ParallelRunner runner({flags.threads});
+  auto rows = exp::Aggregate(spec, runner.Run(spec));
+
+  TableWriter t({"churn level", "availability", "msg/round",
+                 "maint msg/round", "hit rate"});
+  std::vector<double> hit_rates;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    core::SystemConfig c = spec.base;
+    churn.levels[i].apply(c);
+    hit_rates.push_back(rows[i].Stat(core::PdhtSystem::kSeriesHitRate).mean);
+    t.AddRow({rows[i].labels[0],
+              TableWriter::FormatDouble(
+                  c.churn.enabled ? c.churn.StationaryAvailability() : 1.0, 3),
+              exp::FormatStats(
+                  rows[i].Stat(core::PdhtSystem::kSeriesMsgTotal), 6),
+              exp::FormatStats(
+                  rows[i].Stat(core::PdhtSystem::kSeriesMsgMaint), 6),
+              exp::FormatStats(
+                  rows[i].Stat(core::PdhtSystem::kSeriesHitRate), 3)});
+  }
+  bench::EmitTable(t, flags.csv);
 
   bool degrades_gracefully =
       hit_rates.back() > 0.1 && hit_rates.front() >= hit_rates.back() - 0.05;
   std::printf("shape check: hit rate degrades gracefully (not collapses) "
               "with churn: %s\n",
               degrades_gracefully ? "PASS" : "FAIL");
-  return degrades_gracefully ? 0 : 1;
+  return bench::ShapeCheckExit(flags, degrades_gracefully);
 }

@@ -17,7 +17,7 @@
 
 int main(int argc, char** argv) {
   using namespace pdht;
-  std::string csv = bench::CsvPathFromArgs(argc, argv);
+  std::string csv = bench::ParseBenchFlags(argc, argv).csv;
   bench::PrintHeader("bench_ablation_costs -- cost primitives vs model",
                      "Eqs. 6, 7, 8, 9/16 (Section 3)");
 

@@ -1,60 +1,72 @@
 // Ablation: replication factor sweep.  Eq. 6 makes cSUnstr inversely
 // proportional to repl while Eq. 9/16 make replica maintenance linear in
 // repl -- the sweep exposes that tension in both the model and the
-// simulator.
+// simulator (multi-seed, on the experiment runner).
+
+#include <algorithm>
 
 #include "bench_common.h"
 #include "core/pdht_system.h"
+#include "exp/experiment.h"
+#include "exp/parallel_runner.h"
 #include "model/cost_model.h"
 #include "model/selection_model.h"
 
 int main(int argc, char** argv) {
   using namespace pdht;
-  std::string csv = bench::CsvPathFromArgs(argc, argv);
+  bench::BenchFlags flags = bench::ParseBenchFlags(argc, argv);
   bench::PrintHeader("bench_ablation_repl -- replication factor sweep",
                      "Eqs. 6 and 9/16 interplay (Section 3)");
+
+  const uint64_t repls[] = {5, 10, 20, 40};
+
+  exp::ExperimentSpec spec;
+  spec.name = "ablation_repl";
+  spec.base = bench::ScaledBaseConfig();
+  spec.base.seed = 77;
+  spec.rounds = flags.RoundsOrDefault(100);
+  spec.tail = std::max<size_t>(1, spec.rounds / 4);
+  spec.seeds_per_cell = flags.seeds;
+  exp::Axis repl_axis{"repl", {}};
+  for (uint64_t repl : repls) {
+    repl_axis.levels.push_back(
+        {std::to_string(repl),
+         [repl](core::SystemConfig& c) { c.params.repl = repl; }});
+  }
+  spec.axes = {repl_axis};
+
+  exp::ParallelRunner runner({flags.threads});
+  auto rows = exp::Aggregate(spec, runner.Run(spec));
 
   TableWriter t({"repl", "model cSUnstr", "model partialTtl [msg/s]",
                  "sim msg/round", "sim hit rate"});
   std::vector<double> model_cost;
   std::vector<double> sim_cost;
-  for (uint64_t repl : {5ull, 10ull, 20ull, 40ull}) {
-    model::ScenarioParams p;
-    p.num_peers = 400;
-    p.keys = 800;
-    p.stor = 20;
-    p.repl = repl;
-    p.f_qry = 1.0 / 5.0;
-    p.f_upd = 1.0 / 3600.0;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    model::ScenarioParams p = spec.base.params;
+    p.repl = repls[i];
     model::CostModel cm(p);
     model::SelectionModel sel(p);
     double model_total = sel.TotalPartialSelection(p.f_qry);
     model_cost.push_back(model_total);
-
-    core::SystemConfig c;
-    c.params = p;
-    c.strategy = core::Strategy::kPartialTtl;
-    c.churn.enabled = false;
-    c.seed = 77;
-    core::PdhtSystem sys(c);
-    sys.RunRounds(100);
-    sim_cost.push_back(sys.TailMessageRate(25));
-
-    t.AddRow({std::to_string(repl),
+    sim_cost.push_back(rows[i].Stat(core::PdhtSystem::kSeriesMsgTotal).mean);
+    t.AddRow({rows[i].labels[0],
               TableWriter::FormatDouble(cm.CostSearchUnstructured(), 5),
               TableWriter::FormatDouble(model_total, 6),
-              TableWriter::FormatDouble(sys.TailMessageRate(25), 6),
-              TableWriter::FormatDouble(sys.TailHitRate(25), 3)});
+              exp::FormatStats(
+                  rows[i].Stat(core::PdhtSystem::kSeriesMsgTotal), 6),
+              exp::FormatStats(
+                  rows[i].Stat(core::PdhtSystem::kSeriesHitRate), 3)});
   }
-  bench::EmitTable(t, csv);
+  bench::EmitTable(t, flags.csv);
 
   // Shape: model and simulation must agree on the *direction* of the
   // repl-5 -> repl-40 change.
-  bool same_direction =
-      (model_cost.back() - model_cost.front()) *
-          (sim_cost.back() - sim_cost.front()) >= 0.0;
+  bool same_direction = (model_cost.back() - model_cost.front()) *
+                            (sim_cost.back() - sim_cost.front()) >=
+                        0.0;
   std::printf("shape check: model and simulation agree on cost direction "
               "across repl sweep: %s\n",
               same_direction ? "PASS" : "FAIL");
-  return same_direction ? 0 : 1;
+  return bench::ShapeCheckExit(flags, same_direction);
 }

@@ -1,91 +1,87 @@
 // Benchmark for the self-tuning keyTtl mechanism (Section 5.1.1 future
 // work, implemented in core/ttl_autotuner.h).  Compares three TTL regimes
-// on identical substrates:
+// on identical substrates (multi-seed, on the experiment runner):
 //   1. model-derived static keyTtl = 1/fMin (the paper's choice),
 //   2. deliberately mis-estimated static TTLs (0.5x and 2x),
 //   3. the online autotuner.
 // The paper predicts (Section 5.1.1) that mis-estimation costs little and
 // an online estimator should land near the model value.
 
+#include <algorithm>
+
 #include "bench_common.h"
 #include "core/pdht_system.h"
+#include "exp/experiment.h"
+#include "exp/parallel_runner.h"
 #include "model/selection_model.h"
-
-namespace {
-
-struct RunResult {
-  double msg_rate;
-  double hit_rate;
-  double ttl;
-  uint64_t index_keys;
-};
-
-RunResult Run(double ttl_scale, bool autotune) {
-  pdht::core::SystemConfig c;
-  c.params.num_peers = 400;
-  c.params.keys = 800;
-  c.params.stor = 20;
-  c.params.repl = 10;
-  c.params.f_qry = 1.0 / 10.0;
-  c.params.f_upd = 1.0 / 3600.0;
-  c.strategy = pdht::core::Strategy::kPartialTtl;
-  c.churn.enabled = false;
-  c.seed = 1337;
-  c.ttl_scale = ttl_scale;
-  c.autotune_ttl = autotune;
-  pdht::core::PdhtSystem sys(c);
-  sys.RunRounds(200);
-  return {sys.TailMessageRate(50), sys.TailHitRate(50),
-          sys.EffectiveKeyTtl(), sys.IndexedKeyCount()};
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   using namespace pdht;
-  std::string csv = bench::CsvPathFromArgs(argc, argv);
+  bench::BenchFlags flags = bench::ParseBenchFlags(argc, argv);
   bench::PrintHeader("bench_autotuner -- self-tuning keyTtl",
                      "Section 5.1.1 (future-work mechanism)");
 
-  model::ScenarioParams p;
-  p.num_peers = 400;
-  p.keys = 800;
-  p.stor = 20;
-  p.repl = 10;
-  p.f_qry = 1.0 / 10.0;
-  p.f_upd = 1.0 / 3600.0;
+  core::SystemConfig base = bench::ScaledBaseConfig();
+  base.params.f_qry = 1.0 / 10.0;
+  base.seed = 1337;
+  const model::ScenarioParams& p = base.params;
   model::SelectionModel sel(p);
   double ideal = sel.IdealKeyTtl(p.f_qry);
   std::printf("model-ideal keyTtl = %.1f rounds\n\n", ideal);
 
-  TableWriter t({"regime", "keyTtl [rounds]", "msg/round", "hit rate",
-                 "index keys"});
-  RunResult r1 = Run(1.0, false);
-  RunResult r_half = Run(0.5, false);
-  RunResult r_double = Run(2.0, false);
-  RunResult r_auto = Run(1.0, true);
-  auto add = [&](const char* name, const RunResult& r) {
-    t.AddRow({name, TableWriter::FormatDouble(r.ttl, 5),
-              TableWriter::FormatDouble(r.msg_rate, 6),
-              TableWriter::FormatDouble(r.hit_rate, 3),
-              std::to_string(r.index_keys)});
+  struct Regime {
+    const char* name;
+    double ttl_scale;
+    bool autotune;
   };
-  add("static 1/fMin (paper)", r1);
-  add("static 0.5x (underestimate)", r_half);
-  add("static 2.0x (overestimate)", r_double);
-  add("autotuned (online)", r_auto);
-  bench::EmitTable(t, csv);
+  const Regime regimes[] = {{"static 1/fMin (paper)", 1.0, false},
+                            {"static 0.5x (underestimate)", 0.5, false},
+                            {"static 2.0x (overestimate)", 2.0, false},
+                            {"autotuned (online)", 1.0, true}};
+
+  exp::ExperimentSpec spec;
+  spec.name = "autotuner";
+  spec.base = base;
+  spec.rounds = flags.RoundsOrDefault(200);
+  spec.tail = std::max<size_t>(1, spec.rounds / 4);
+  spec.seeds_per_cell = flags.seeds;
+  exp::Axis regime_axis{"regime", {}};
+  for (const Regime& r : regimes) {
+    regime_axis.levels.push_back({r.name, [r](core::SystemConfig& c) {
+                                    c.ttl_scale = r.ttl_scale;
+                                    c.autotune_ttl = r.autotune;
+                                  }});
+  }
+  spec.axes = {regime_axis};
+
+  exp::ParallelRunner runner({flags.threads});
+  auto rows = exp::Aggregate(spec, runner.Run(spec));
+
+  bench::EmitTable(
+      exp::ToTable(spec, rows,
+                   {{"keyTtl [rounds]", exp::kMetricKeyTtl},
+                    {"msg/round", core::PdhtSystem::kSeriesMsgTotal},
+                    {"hit rate", core::PdhtSystem::kSeriesHitRate},
+                    {"index keys", exp::kMetricIndexKeys}}),
+      flags.csv);
+
+  const double msg_paper =
+      rows[0].Stat(core::PdhtSystem::kSeriesMsgTotal).mean;
+  const double msg_half =
+      rows[1].Stat(core::PdhtSystem::kSeriesMsgTotal).mean;
+  const double msg_double =
+      rows[2].Stat(core::PdhtSystem::kSeriesMsgTotal).mean;
+  const double auto_ttl = rows[3].Stat(exp::kMetricKeyTtl).mean;
 
   // The online estimator sees realized cSIndx2 costs (entry hop, failed
   // probes, response, replica flood) where the model counts bare routing
   // hops, so it lands within an order of magnitude, not a factor of two.
-  bool tuner_in_band = r_auto.ttl > ideal / 8.0 && r_auto.ttl < ideal * 8.0;
-  bool graceful = r_half.msg_rate < r1.msg_rate * 1.5 &&
-                  r_double.msg_rate < r1.msg_rate * 1.5;
-  std::printf("shape check: autotuned TTL within 4x of model ideal: %s\n",
+  bool tuner_in_band = auto_ttl > ideal / 8.0 && auto_ttl < ideal * 8.0;
+  bool graceful = msg_half < msg_paper * 1.5 && msg_double < msg_paper * 1.5;
+  std::printf("shape check: autotuned TTL within 8x of model ideal: %s\n",
               tuner_in_band ? "PASS" : "FAIL");
   std::printf("shape check: +-2x static mis-estimation costs < 50%% extra: "
               "%s\n",
               graceful ? "PASS" : "FAIL");
-  return (tuner_in_band && graceful) ? 0 : 1;
+  return bench::ShapeCheckExit(flags, tuner_in_band && graceful);
 }

@@ -12,7 +12,7 @@
 
 int main(int argc, char** argv) {
   using namespace pdht;
-  std::string csv = bench::CsvPathFromArgs(argc, argv);
+  std::string csv = bench::ParseBenchFlags(argc, argv).csv;
   bench::PrintHeader(
       "bench_fig1 -- strategy cost vs query frequency",
       "Fig. 1 (Section 4): indexAll / noIndex / ideal partial");

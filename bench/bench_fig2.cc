@@ -10,7 +10,7 @@
 
 int main(int argc, char** argv) {
   using namespace pdht;
-  std::string csv = bench::CsvPathFromArgs(argc, argv);
+  std::string csv = bench::ParseBenchFlags(argc, argv).csv;
   bench::PrintHeader("bench_fig2 -- savings of ideal partial indexing",
                      "Fig. 2 (Section 4)");
   model::ScenarioParams params;

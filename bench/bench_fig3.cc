@@ -12,7 +12,7 @@
 
 int main(int argc, char** argv) {
   using namespace pdht;
-  std::string csv = bench::CsvPathFromArgs(argc, argv);
+  std::string csv = bench::ParseBenchFlags(argc, argv).csv;
   bench::PrintHeader("bench_fig3 -- index size and pIndxd",
                      "Fig. 3 (Section 4)");
   model::ScenarioParams params;

@@ -12,7 +12,7 @@
 
 int main(int argc, char** argv) {
   using namespace pdht;
-  std::string csv = bench::CsvPathFromArgs(argc, argv);
+  std::string csv = bench::ParseBenchFlags(argc, argv).csv;
   bench::PrintHeader("bench_fig4 -- savings of the TTL selection algorithm",
                      "Fig. 4 (Section 5)");
   model::ScenarioParams params;

@@ -1,6 +1,8 @@
 // Simulation validation (paper Section 5.2): runs the four strategies on
 // the full discrete substrate at a scaled scenario and compares measured
 // per-round message cost with the analytical model's prediction.
+// Multi-seed on the experiment runner (exp/): the measured column reports
+// mean [min, max] across seeds.
 //
 // Scale note: the paper's 20,000-peer scenario is simulated here at 1/50
 // scale (400 peers / 800 keys / repl 10) so the bench finishes in seconds;
@@ -8,57 +10,35 @@
 // who wins, by what factor -- is the object of comparison, not absolute
 // message counts.
 
-#include <cstring>
+#include <algorithm>
 
 #include "bench_common.h"
 #include "core/pdht_system.h"
+#include "exp/experiment.h"
+#include "exp/parallel_runner.h"
 #include "model/cost_model.h"
 #include "model/selection_model.h"
 
 namespace {
 
 pdht::model::ScenarioParams ScaledParams(bool full) {
-  pdht::model::ScenarioParams p;
-  if (full) return p;  // paper defaults
-  p.num_peers = 400;
-  p.keys = 800;
-  p.stor = 20;
-  p.repl = 10;
+  if (full) return pdht::model::ScenarioParams{};  // paper defaults
+  pdht::model::ScenarioParams p = pdht::bench::ScaledBaseConfig().params;
   // 1/10 per peer puts the scaled scenario in the regime where the
   // partial index is a strict subset of the keys (maxRank < keys).
   p.f_qry = 1.0 / 10.0;
-  p.f_upd = 1.0 / 3600.0;
   return p;
-}
-
-double RunStrategy(const pdht::model::ScenarioParams& params,
-                   pdht::core::Strategy s, uint64_t rounds,
-                   double* hit_rate, uint64_t* index_size) {
-  pdht::core::SystemConfig c;
-  c.params = params;
-  c.strategy = s;
-  c.churn.enabled = false;
-  c.seed = 20040314;  // the paper example's date
-  pdht::core::PdhtSystem sys(c);
-  sys.RunRounds(rounds);
-  if (hit_rate) *hit_rate = sys.TailHitRate(rounds / 4);
-  if (index_size) *index_size = sys.IndexedKeyCount();
-  return sys.TailMessageRate(rounds / 4);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace pdht;
-  bool full = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--full") == 0) full = true;
-  }
-  std::string csv = bench::CsvPathFromArgs(argc, argv);
+  bench::BenchFlags flags = bench::ParseBenchFlags(argc, argv);
   bench::PrintHeader(
       "bench_sim_validation -- simulator vs analytical model",
       "Section 5.2 (simulation of the selection algorithm)");
-  model::ScenarioParams params = ScaledParams(full);
+  model::ScenarioParams params = ScaledParams(flags.full);
   std::printf("scenario: numPeers=%llu keys=%llu repl=%llu stor=%llu "
               "fQry=%.4f\n\n",
               (unsigned long long)params.num_peers,
@@ -66,36 +46,49 @@ int main(int argc, char** argv) {
               (unsigned long long)params.repl,
               (unsigned long long)params.stor, params.f_qry);
 
-  const uint64_t rounds = full ? 400 : 120;
   model::CostModel cost(params);
   model::SelectionModel sel(params);
+  const core::Strategy strategies[] = {
+      core::Strategy::kNoIndex, core::Strategy::kIndexAll,
+      core::Strategy::kPartialIdeal, core::Strategy::kPartialTtl};
+  const double model_cost[] = {
+      cost.TotalNoIndex(params.f_qry), cost.TotalIndexAll(params.f_qry),
+      cost.TotalPartialIdeal(params.f_qry),
+      sel.TotalPartialSelection(params.f_qry)};
+
+  exp::ExperimentSpec spec;
+  spec.name = "sim_validation";
+  spec.base.params = params;
+  spec.base.churn.enabled = false;
+  spec.base.seed = 20040314;  // the paper example's date
+  spec.rounds = flags.RoundsOrDefault(flags.full ? 400 : 120);
+  spec.tail = std::max<size_t>(1, spec.rounds / 4);
+  spec.seeds_per_cell = flags.seeds;
+  exp::Axis strategy_axis{"strategy", {}};
+  for (core::Strategy s : strategies) {
+    strategy_axis.levels.push_back(
+        {core::StrategyName(s),
+         [s](core::SystemConfig& c) { c.strategy = s; }});
+  }
+  spec.axes = {strategy_axis};
+
+  exp::ParallelRunner runner({flags.threads});
+  auto rows = exp::Aggregate(spec, runner.Run(spec));
 
   TableWriter t({"strategy", "measured [msg/round]", "model [msg/s]",
                  "hit rate", "index keys"});
-  struct Row {
-    core::Strategy s;
-    double model;
-  };
-  const Row rows[] = {
-      {core::Strategy::kNoIndex, cost.TotalNoIndex(params.f_qry)},
-      {core::Strategy::kIndexAll, cost.TotalIndexAll(params.f_qry)},
-      {core::Strategy::kPartialIdeal,
-       cost.TotalPartialIdeal(params.f_qry)},
-      {core::Strategy::kPartialTtl,
-       sel.TotalPartialSelection(params.f_qry)},
-  };
   double measured[4] = {0, 0, 0, 0};
-  int i = 0;
-  for (const Row& r : rows) {
-    double hit = 0.0;
-    uint64_t idx = 0;
-    double m = RunStrategy(params, r.s, rounds, &hit, &idx);
-    measured[i++] = m;
-    t.AddRow({core::StrategyName(r.s), TableWriter::FormatDouble(m, 6),
-              TableWriter::FormatDouble(r.model, 6),
-              TableWriter::FormatDouble(hit, 3), std::to_string(idx)});
+  for (size_t i = 0; i < rows.size(); ++i) {
+    measured[i] = rows[i].Stat(core::PdhtSystem::kSeriesMsgTotal).mean;
+    t.AddRow({rows[i].labels[0],
+              exp::FormatStats(
+                  rows[i].Stat(core::PdhtSystem::kSeriesMsgTotal), 6),
+              TableWriter::FormatDouble(model_cost[i], 6),
+              exp::FormatStats(
+                  rows[i].Stat(core::PdhtSystem::kSeriesHitRate), 3),
+              exp::FormatStats(rows[i].Stat(exp::kMetricIndexKeys), 4)});
   }
-  bench::EmitTable(t, csv);
+  bench::EmitTable(t, flags.csv);
 
   // Shape checks: orderings, not absolute values.
   bool ordering =
@@ -105,5 +98,5 @@ int main(int argc, char** argv) {
   std::printf("shape check: partial strategies and indexAll all beat "
               "noIndex at busy load: %s\n",
               ordering ? "PASS" : "FAIL");
-  return ordering ? 0 : 1;
+  return bench::ShapeCheckExit(flags, ordering);
 }

@@ -9,7 +9,7 @@
 
 int main(int argc, char** argv) {
   using namespace pdht;
-  std::string csv = bench::CsvPathFromArgs(argc, argv);
+  std::string csv = bench::ParseBenchFlags(argc, argv).csv;
   bench::PrintHeader("bench_table1 -- scenario parameters",
                      "Table 1 (Section 4)");
   model::ScenarioParams params;

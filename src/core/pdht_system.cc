@@ -22,6 +22,7 @@ std::string SystemConfig::Validate() const {
   if (key_ttl < 0.0) return "key_ttl must be non-negative";
   if (overlay_degree < 2.0) return "overlay_degree must be >= 2";
   if (walk.num_walkers == 0) return "walk.num_walkers must be >= 1";
+  if (kademlia_bucket_size == 0) return "kademlia_bucket_size must be >= 1";
   return "";
 }
 
@@ -146,6 +147,7 @@ void PdhtSystem::SelectDhtMembers() {
   overlay::OverlayParams op;
   op.repl = p.repl;
   op.num_peers = p.num_peers;
+  op.kademlia_bucket_size = config_.kademlia_bucket_size;
   overlay_ = overlay::MakeOverlay(config_.backend, network_.get(), op,
                                   rng_.Fork());
   // Validate() already vetted the backend; exactly one overlay is live
@@ -529,6 +531,17 @@ double PdhtSystem::TailMessageRate(size_t tail) const {
 
 double PdhtSystem::TailHitRate(size_t tail) const {
   return engine_.Series(kSeriesHitRate).TailMean(tail);
+}
+
+RunSnapshot PdhtSystem::Snapshot(size_t tail) const {
+  RunSnapshot snap;
+  for (const std::string& name : engine_.SeriesNames()) {
+    snap.series_tail[name] = engine_.Series(name).TailMean(tail);
+  }
+  snap.index_keys = IndexedKeyCount();
+  snap.effective_key_ttl = EffectiveKeyTtl();
+  snap.dht_members = DhtMemberCount();
+  return snap;
 }
 
 }  // namespace pdht::core

@@ -23,6 +23,7 @@
 #define PDHT_CORE_PDHT_SYSTEM_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -79,8 +80,28 @@ struct SystemConfig {
   /// for the chosen strategy.
   uint32_t dht_member_target = 0;
 
+  /// Kademlia's k: redundant contacts per k-bucket.  Larger buckets give
+  /// more routing redundancy under churn but linearly more maintenance
+  /// probes (Eq. 8 charges env per routing entry) -- the bucket-size
+  /// sweep in bench_ablation_backends quantifies that trade-off.  Other
+  /// backends ignore it.
+  uint32_t kademlia_bucket_size = 8;
+
   /// Returns an empty string when the configuration is self-consistent.
   std::string Validate() const;
+};
+
+/// End-of-run measurement snapshot: every recorded series reduced to its
+/// tail mean, plus the scalar state experiments report.  This is the
+/// unit of data the experiment runner (exp/) aggregates across seeds;
+/// keeping it a plain value lets cells ship results across threads.
+struct RunSnapshot {
+  /// Series name -> TailMean(tail) for every series the engine recorded
+  /// (msg.rate.*, hit.rate, index.size, online.fraction, ...).
+  std::map<std::string, double> series_tail;
+  uint64_t index_keys = 0;       ///< IndexedKeyCount() at snapshot time.
+  double effective_key_ttl = 0;  ///< EffectiveKeyTtl() at snapshot time.
+  uint32_t dht_members = 0;      ///< DhtMemberCount().
 };
 
 /// Outcome of a single query, for tests and fine-grained experiments.
@@ -141,6 +162,9 @@ class PdhtSystem {
   const overlay::StructuredOverlay* dht_overlay() const {
     return overlay_.get();
   }
+
+  /// Measures the run so far into a plain value (see RunSnapshot).
+  RunSnapshot Snapshot(size_t tail) const;
 
   /// Mean total messages per round over the last `tail` rounds.
   double TailMessageRate(size_t tail) const;

@@ -1,0 +1,157 @@
+// Declarative experiment grids.
+//
+// Every result in the paper is a parameter sweep -- strategy x query
+// frequency x backend x churn -- and every cell of such a sweep is one
+// fully independent PdhtSystem run (own Rng, Network, RoundEngine).  An
+// ExperimentSpec declares the sweep once: a base SystemConfig, a list of
+// Axes whose levels patch that config, a seeds-per-cell count, a round
+// budget and a tail window.  The spec expands into Cells; exp/parallel_runner.h
+// executes them (sequentially or on a thread pool) and Aggregate() folds
+// the per-cell metrics into mean/min/max-across-seeds rows for the
+// existing TableWriter.
+//
+// Determinism contract: a cell's seed is a pure function of the spec's
+// base seed and the cell's flat index (DeriveCellSeed), never of the
+// execution schedule, so any thread count -- and any future execution
+// order -- produces bit-identical results.  tests/exp/parallel_runner_test.cc
+// enforces this.
+
+#ifndef PDHT_EXP_EXPERIMENT_H_
+#define PDHT_EXP_EXPERIMENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/pdht_system.h"
+#include "stats/table_writer.h"
+
+namespace pdht::exp {
+
+/// One level of a sweep axis: a display label plus a configuration patch
+/// applied on top of the spec's base config.
+struct AxisLevel {
+  std::string label;
+  std::function<void(core::SystemConfig&)> apply;
+};
+
+/// One sweep dimension (strategy, backend, repl, churn level, ...).  The
+/// grid is the cross product of all axes; the last axis varies fastest.
+struct Axis {
+  std::string name;
+  std::vector<AxisLevel> levels;
+};
+
+/// One fully resolved grid cell: a single PdhtSystem run.
+struct Cell {
+  size_t index = 0;       ///< flat index over grid x seeds.
+  size_t grid_index = 0;  ///< grid-point index (seed dimension excluded).
+  uint32_t seed_index = 0;
+  std::vector<std::string> labels;  ///< one per axis, in axis order.
+  core::SystemConfig config;        ///< base + patches + derived seed.
+};
+
+/// Metrics measured on one finished cell.  Standard keys are every
+/// RoundEngine series tail-mean (e.g. PdhtSystem::kSeriesMsgTotal) plus
+/// kMetricIndexKeys / kMetricKeyTtl / kMetricDhtMembers; spec.collect
+/// may add bench-specific ones.
+struct CellResult {
+  size_t index = 0;
+  size_t grid_index = 0;
+  uint32_t seed_index = 0;
+  std::vector<std::string> labels;
+  std::map<std::string, double> metrics;
+  std::string error;  ///< non-empty when the cell failed; metrics empty.
+};
+
+inline constexpr const char* kMetricIndexKeys = "index.keys";
+inline constexpr const char* kMetricKeyTtl = "key.ttl";
+inline constexpr const char* kMetricDhtMembers = "dht.members";
+
+struct ExperimentSpec {
+  std::string name;
+  /// Backbone configuration; base.seed is the experiment's base seed
+  /// from which every cell seed is derived.
+  core::SystemConfig base;
+  std::vector<Axis> axes;
+  uint32_t seeds_per_cell = 1;
+  /// Round budget per cell (used by the default executor).
+  uint64_t rounds = 120;
+  /// Tail window (rounds) over which series are averaged into metrics.
+  size_t tail = 30;
+
+  /// Optional custom executor (mid-run workload shifts, phased runs);
+  /// the default runs sys.RunRounds(rounds).
+  std::function<void(core::PdhtSystem&, const Cell&)> run;
+  /// Optional extra metrics, recorded after the standard snapshot.
+  std::function<void(const core::PdhtSystem&, const Cell&,
+                     std::map<std::string, double>&)>
+      collect;
+
+  /// Number of distinct grid points: the product of the axis sizes --
+  /// 1 when axes is empty, 0 when any axis has no levels (the cross
+  /// product with an empty set is empty; nothing runs).
+  size_t GridSize() const;
+  /// GridSize() * seeds_per_cell.
+  size_t NumCells() const;
+  /// Expands a flat index in [0, NumCells()) into the fully resolved
+  /// cell, including the derived per-cell seed.
+  Cell MakeCell(size_t index) const;
+};
+
+/// Deterministic per-cell seed: hash(base_seed, cell_index).  A pure
+/// function of the flat index so results are bit-identical at any
+/// thread count.
+uint64_t DeriveCellSeed(uint64_t base_seed, size_t cell_index);
+
+/// Runs one cell synchronously.  The ParallelRunner's unit of work;
+/// exposed for tests and custom drivers.  Never throws: validation and
+/// execution failures are reported through CellResult::error.
+CellResult RunCell(const ExperimentSpec& spec, size_t index);
+
+/// Across-seeds aggregate of one metric at one grid point.
+struct AggregateStats {
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  uint32_t n = 0;
+};
+
+/// One grid point with every metric reduced across its seeds.
+struct AggregateRow {
+  size_t grid_index = 0;
+  std::vector<std::string> labels;
+  std::map<std::string, AggregateStats> metrics;
+  std::vector<std::string> errors;  ///< failures among this point's seeds.
+
+  /// The named metric, or an empty stats value (n == 0, NaN moments)
+  /// when the metric is absent -- e.g. every seed of this grid point
+  /// failed.  NaN poisons downstream shape checks into FAIL instead of
+  /// throwing out of a bench main.
+  AggregateStats Stat(const std::string& key) const;
+};
+
+/// Groups cell results by grid point and reduces each metric to
+/// mean/min/max across seeds.  Rows come back in grid order and the
+/// reduction folds seeds in seed order, independent of the execution
+/// schedule.
+std::vector<AggregateRow> Aggregate(const ExperimentSpec& spec,
+                                    const std::vector<CellResult>& cells);
+
+/// "1.23" when n <= 1, "1.23 [1.1, 1.4]" (mean [min, max]) otherwise.
+std::string FormatStats(const AggregateStats& s, int precision = 4);
+
+/// Renders aggregate rows into a TableWriter: one column per axis
+/// (labels), then one column per (header, metric key) pair.  Missing
+/// metrics render as "-", or "ERROR" when the grid point had failures.
+TableWriter ToTable(
+    const ExperimentSpec& spec, const std::vector<AggregateRow>& rows,
+    const std::vector<std::pair<std::string, std::string>>& metric_columns,
+    int precision = 6);
+
+}  // namespace pdht::exp
+
+#endif  // PDHT_EXP_EXPERIMENT_H_

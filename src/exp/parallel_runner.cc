@@ -1,0 +1,43 @@
+#include "exp/parallel_runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+namespace pdht::exp {
+
+ParallelRunner::ParallelRunner(RunnerOptions options) : options_(options) {}
+
+unsigned ParallelRunner::EffectiveThreads(unsigned requested,
+                                          size_t num_cells) {
+  unsigned n = requested != 0 ? requested : std::thread::hardware_concurrency();
+  if (n == 0) n = 1;
+  if (num_cells < n) n = static_cast<unsigned>(std::max<size_t>(1, num_cells));
+  return n;
+}
+
+std::vector<CellResult> ParallelRunner::Run(const ExperimentSpec& spec) const {
+  const size_t n = spec.NumCells();
+  std::vector<CellResult> results(n);
+  const unsigned threads = EffectiveThreads(options_.threads, n);
+  if (threads <= 1) {
+    for (size_t i = 0; i < n; ++i) results[i] = RunCell(spec, i);
+    return results;
+  }
+
+  std::atomic<size_t> next{0};
+  auto worker = [&spec, &results, &next, n]() {
+    for (;;) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      results[i] = RunCell(spec, i);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  return results;
+}
+
+}  // namespace pdht::exp

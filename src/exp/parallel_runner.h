@@ -1,0 +1,48 @@
+// Thread-pool executor for ExperimentSpec grids.
+//
+// Each grid cell is an independent simulation (own Rng, Network,
+// RoundEngine; no shared mutable state -- the overlay factory registry is
+// read-only after static init), so cells run embarrassingly parallel.
+// Workers pull flat cell indices from an atomic counter and write results
+// into a pre-sized vector slot, so the output order -- and, because cell
+// seeds derive from the index alone, the output *values* -- are identical
+// at any thread count.
+
+#ifndef PDHT_EXP_PARALLEL_RUNNER_H_
+#define PDHT_EXP_PARALLEL_RUNNER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "exp/experiment.h"
+
+namespace pdht::exp {
+
+struct RunnerOptions {
+  /// Worker threads; 0 = std::thread::hardware_concurrency() (or 1 when
+  /// that is unknown).  Never more threads than cells.
+  unsigned threads = 0;
+};
+
+class ParallelRunner {
+ public:
+  explicit ParallelRunner(RunnerOptions options = {});
+
+  /// Executes every cell of `spec` and returns results ordered by flat
+  /// cell index.  Per-cell failures land in CellResult::error; the
+  /// sweep itself never throws.
+  std::vector<CellResult> Run(const ExperimentSpec& spec) const;
+
+  /// The thread count actually used for `num_cells` units of work given
+  /// the requested count (0 = auto).
+  static unsigned EffectiveThreads(unsigned requested, size_t num_cells);
+
+  unsigned threads() const { return options_.threads; }
+
+ private:
+  RunnerOptions options_;
+};
+
+}  // namespace pdht::exp
+
+#endif  // PDHT_EXP_PARALLEL_RUNNER_H_

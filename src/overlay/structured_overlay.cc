@@ -81,9 +81,10 @@ std::unique_ptr<StructuredOverlay> MakeCan(net::Network* network,
 }
 
 std::unique_ptr<StructuredOverlay> MakeKademlia(net::Network* network,
-                                                const OverlayParams& /*params*/,
+                                                const OverlayParams& params,
                                                 Rng rng) {
-  return std::make_unique<KademliaOverlay>(network, rng);
+  return std::make_unique<KademliaOverlay>(
+      network, rng, std::max<uint32_t>(1, params.kademlia_bucket_size));
 }
 
 /// Enum-keyed factory table.  A function-local static (not per-TU static

@@ -114,6 +114,8 @@ struct OverlayParams {
   /// Total peer population (members are a subset); used only to clamp
   /// group sizes.
   uint64_t num_peers = 0;
+  /// Kademlia's k (contacts per bucket); ignored by other backends.
+  uint32_t kademlia_bucket_size = 8;
 };
 
 using OverlayFactory = std::unique_ptr<StructuredOverlay> (*)(

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -86,11 +88,27 @@ std::string TableWriter::ToCsv() const {
   return os.str();
 }
 
-bool TableWriter::WriteCsvFile(const std::string& path) const {
+bool TableWriter::WriteCsvFile(const std::string& path,
+                               std::string* error) const {
+  if (error) error->clear();
+  auto fail = [&](const char* stage) {
+    if (error) {
+      // errno from the failed stream operation; "I/O error" when the
+      // stream failed without the C library recording a cause.
+      int err = errno;
+      *error = path + ": " +
+               (err != 0 ? std::strerror(err) : "I/O error") + " (" +
+               stage + ")";
+    }
+    return false;
+  };
+  errno = 0;
   std::ofstream f(path);
-  if (!f) return false;
+  if (!f) return fail("open");
   f << ToCsv();
-  return static_cast<bool>(f);
+  f.flush();
+  if (!f) return fail("write");
+  return true;
 }
 
 }  // namespace pdht

@@ -34,8 +34,12 @@ class TableWriter {
   /// quoted, quotes doubled).
   std::string ToCsv() const;
 
-  /// Writes ToCsv() to `path`; returns false on IO failure.
-  bool WriteCsvFile(const std::string& path) const;
+  /// Writes ToCsv() to `path`; returns false on IO failure.  When
+  /// `error` is non-null it receives a diagnosis with the path and the
+  /// OS errno text ("bench.csv: No such file or directory"), or the
+  /// empty string on success.
+  bool WriteCsvFile(const std::string& path,
+                    std::string* error = nullptr) const;
 
   /// Formats a double like "%.*g" (shared helper so tables look uniform).
   static std::string FormatDouble(double v, int precision = 4);

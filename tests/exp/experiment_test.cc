@@ -1,0 +1,249 @@
+// Grid expansion, seed derivation and aggregation semantics of the
+// experiment subsystem (exp/experiment.h).
+
+#include "exp/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+namespace pdht::exp {
+namespace {
+
+core::SystemConfig SmallConfig() {
+  core::SystemConfig c;
+  c.params.num_peers = 120;
+  c.params.keys = 240;
+  c.params.stor = 10;
+  c.params.repl = 5;
+  c.params.f_qry = 1.0 / 5.0;
+  c.params.f_upd = 1.0 / 3600.0;
+  c.strategy = core::Strategy::kPartialTtl;
+  c.churn.enabled = false;
+  c.seed = 99;
+  return c;
+}
+
+ExperimentSpec TwoAxisSpec() {
+  ExperimentSpec spec;
+  spec.base = SmallConfig();
+  spec.axes = {
+      Axis{"letter",
+           {{"a", [](core::SystemConfig& c) { c.ttl_scale = 1.0; }},
+            {"b", [](core::SystemConfig& c) { c.ttl_scale = 2.0; }}}},
+      Axis{"number",
+           {{"1", [](core::SystemConfig& c) { c.params.repl = 4; }},
+            {"2", [](core::SystemConfig& c) { c.params.repl = 5; }},
+            {"3", [](core::SystemConfig& c) { c.params.repl = 6; }}}}};
+  spec.seeds_per_cell = 2;
+  return spec;
+}
+
+TEST(ExperimentSpecTest, GridAndCellCounts) {
+  ExperimentSpec spec = TwoAxisSpec();
+  EXPECT_EQ(spec.GridSize(), 6u);
+  EXPECT_EQ(spec.NumCells(), 12u);
+
+  ExperimentSpec empty;
+  empty.base = SmallConfig();
+  EXPECT_EQ(empty.GridSize(), 1u);
+  EXPECT_EQ(empty.NumCells(), 1u);
+}
+
+TEST(ExperimentSpecTest, MakeCellDecodesLastAxisFastest) {
+  ExperimentSpec spec = TwoAxisSpec();
+  // Flat order: grid point changes every seeds_per_cell cells; within a
+  // grid sweep the *last* axis varies fastest.
+  Cell c0 = spec.MakeCell(0);
+  EXPECT_EQ(c0.grid_index, 0u);
+  EXPECT_EQ(c0.seed_index, 0u);
+  EXPECT_EQ(c0.labels, (std::vector<std::string>{"a", "1"}));
+
+  Cell c1 = spec.MakeCell(1);
+  EXPECT_EQ(c1.grid_index, 0u);
+  EXPECT_EQ(c1.seed_index, 1u);
+
+  Cell c2 = spec.MakeCell(2);
+  EXPECT_EQ(c2.labels, (std::vector<std::string>{"a", "2"}));
+
+  Cell c_last = spec.MakeCell(11);
+  EXPECT_EQ(c_last.grid_index, 5u);
+  EXPECT_EQ(c_last.seed_index, 1u);
+  EXPECT_EQ(c_last.labels, (std::vector<std::string>{"b", "3"}));
+}
+
+TEST(ExperimentSpecTest, PatchesApplyWithoutMutatingBase) {
+  ExperimentSpec spec = TwoAxisSpec();
+  Cell cell = spec.MakeCell(10);  // ("b", "3"), seed 0
+  EXPECT_DOUBLE_EQ(cell.config.ttl_scale, 2.0);
+  EXPECT_EQ(cell.config.params.repl, 6u);
+  EXPECT_DOUBLE_EQ(spec.base.ttl_scale, 1.0);
+  EXPECT_EQ(spec.base.params.repl, 5u);
+}
+
+TEST(ExperimentSpecTest, CellSeedsAreDerivedStableAndDistinct) {
+  ExperimentSpec spec = TwoAxisSpec();
+  std::set<uint64_t> seeds;
+  for (size_t i = 0; i < spec.NumCells(); ++i) {
+    Cell cell = spec.MakeCell(i);
+    EXPECT_EQ(cell.config.seed, DeriveCellSeed(spec.base.seed, i));
+    seeds.insert(cell.config.seed);
+  }
+  EXPECT_EQ(seeds.size(), spec.NumCells());  // no collisions
+  // Pure function: same inputs, same seed, every time.
+  EXPECT_EQ(DeriveCellSeed(99, 7), DeriveCellSeed(99, 7));
+  EXPECT_NE(DeriveCellSeed(99, 7), DeriveCellSeed(100, 7));
+}
+
+TEST(ExperimentSpecTest, EmptyAxisMeansEmptyGrid) {
+  ExperimentSpec spec;
+  spec.base = SmallConfig();
+  spec.axes = {Axis{"empty", {}}, Axis{"full", {{"x", nullptr}}}};
+  EXPECT_EQ(spec.GridSize(), 0u);
+  EXPECT_EQ(spec.NumCells(), 0u);
+}
+
+TEST(ExperimentRunCellTest, ThrowingApplyPatchIsCapturedNotPropagated) {
+  ExperimentSpec spec;
+  spec.base = SmallConfig();
+  spec.axes = {Axis{"bad",
+                    {{"throws", [](core::SystemConfig&) {
+                        throw std::runtime_error("patch boom");
+                      }}}}};
+  CellResult r = RunCell(spec, 0);
+  EXPECT_EQ(r.error, "patch boom");
+  EXPECT_TRUE(r.metrics.empty());
+}
+
+TEST(ExperimentRunCellTest, InvalidConfigReportsErrorInsteadOfThrowing) {
+  ExperimentSpec spec;
+  spec.base = SmallConfig();
+  spec.axes = {Axis{"bad",
+                    {{"degree0", [](core::SystemConfig& c) {
+                        c.overlay_degree = 0.0;
+                      }}}}};
+  CellResult r = RunCell(spec, 0);
+  EXPECT_FALSE(r.error.empty());
+  EXPECT_TRUE(r.metrics.empty());
+}
+
+TEST(ExperimentRunCellTest, CollectsStandardMetrics) {
+  ExperimentSpec spec;
+  spec.base = SmallConfig();
+  spec.rounds = 20;
+  spec.tail = 5;
+  CellResult r = RunCell(spec, 0);
+  ASSERT_TRUE(r.error.empty()) << r.error;
+  EXPECT_TRUE(r.metrics.count(core::PdhtSystem::kSeriesMsgTotal));
+  EXPECT_TRUE(r.metrics.count(core::PdhtSystem::kSeriesHitRate));
+  EXPECT_TRUE(r.metrics.count(kMetricIndexKeys));
+  EXPECT_TRUE(r.metrics.count(kMetricKeyTtl));
+  EXPECT_GT(r.metrics.at(core::PdhtSystem::kSeriesMsgTotal), 0.0);
+}
+
+TEST(AggregateTest, MeanMinMaxAcrossSeeds) {
+  ExperimentSpec spec;
+  spec.base = SmallConfig();
+  spec.axes = {Axis{"x", {{"only", nullptr}}}};
+  spec.seeds_per_cell = 3;
+  std::vector<CellResult> cells(3);
+  for (uint32_t s = 0; s < 3; ++s) {
+    cells[s].index = s;
+    cells[s].grid_index = 0;
+    cells[s].seed_index = s;
+    cells[s].labels = {"only"};
+    cells[s].metrics["m"] = 1.0 + s;  // 1, 2, 3
+  }
+  auto rows = Aggregate(spec, cells);
+  ASSERT_EQ(rows.size(), 1u);
+  const AggregateStats& st = rows[0].metrics.at("m");
+  EXPECT_DOUBLE_EQ(st.mean, 2.0);
+  EXPECT_DOUBLE_EQ(st.min, 1.0);
+  EXPECT_DOUBLE_EQ(st.max, 3.0);
+  EXPECT_EQ(st.n, 3u);
+}
+
+TEST(AggregateTest, FailedSeedsLandInErrorsNotStats) {
+  ExperimentSpec spec;
+  spec.base = SmallConfig();
+  spec.axes = {Axis{"x", {{"only", nullptr}}}};
+  spec.seeds_per_cell = 2;
+  std::vector<CellResult> cells(2);
+  cells[0].grid_index = 0;
+  cells[0].labels = {"only"};
+  cells[0].metrics["m"] = 4.0;
+  cells[1].index = 1;
+  cells[1].grid_index = 0;
+  cells[1].seed_index = 1;
+  cells[1].labels = {"only"};
+  cells[1].error = "boom";
+  auto rows = Aggregate(spec, cells);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].metrics.at("m").n, 1u);
+  ASSERT_EQ(rows[0].errors.size(), 1u);
+  EXPECT_EQ(rows[0].errors[0], "boom");
+}
+
+TEST(AggregateTest, FullyFailedGridPointKeepsLabelsAndTableArity) {
+  ExperimentSpec spec;
+  spec.base = SmallConfig();
+  spec.seeds_per_cell = 2;
+  spec.axes = {Axis{"bad",
+                    {{"throws", [](core::SystemConfig&) {
+                        throw std::runtime_error("boom");
+                      }}}}};
+  std::vector<CellResult> cells;
+  for (size_t i = 0; i < spec.NumCells(); ++i) {
+    cells.push_back(RunCell(spec, i));
+  }
+  auto rows = Aggregate(spec, cells);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].errors.size(), 2u);
+  // Labels are reconstructed from the grid decode even though no cell
+  // ever materialized, so ToTable keeps its column arity and renders
+  // the ERROR sentinel instead of tripping AddRow's arity assert.
+  EXPECT_EQ(rows[0].labels, (std::vector<std::string>{"throws"}));
+  TableWriter t = ToTable(spec, rows, {{"m", "m"}});
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.rows()[0][0], "throws");
+  EXPECT_EQ(t.rows()[0][1], "ERROR");
+}
+
+TEST(AggregateTest, StatOnMissingMetricIsEmptyNaN) {
+  AggregateRow row;
+  row.metrics["m"] = {2.0, 2.0, 2.0, 1};
+  EXPECT_DOUBLE_EQ(row.Stat("m").mean, 2.0);
+  AggregateStats missing = row.Stat("not-there");
+  EXPECT_EQ(missing.n, 0u);
+  EXPECT_TRUE(std::isnan(missing.mean));
+  // NaN comparisons are false, so downstream shape checks FAIL instead
+  // of aborting the bench.
+  EXPECT_FALSE(missing.mean < 4.0 || missing.mean >= 4.0);
+}
+
+TEST(FormatStatsTest, SingleVsMultiSeed) {
+  AggregateStats one{1.5, 1.5, 1.5, 1};
+  EXPECT_EQ(FormatStats(one, 4), "1.5");
+  AggregateStats many{2.0, 1.0, 3.0, 4};
+  EXPECT_EQ(FormatStats(many, 4), "2 [1, 3]");
+}
+
+TEST(ToTableTest, AxisColumnsThenMetricColumns) {
+  ExperimentSpec spec = TwoAxisSpec();
+  std::vector<AggregateRow> rows(1);
+  rows[0].labels = {"a", "1"};
+  rows[0].metrics["m"] = {5.0, 5.0, 5.0, 1};
+  TableWriter t = ToTable(spec, rows, {{"metric m", "m"}, {"missing", "z"}});
+  ASSERT_EQ(t.columns().size(), 4u);
+  EXPECT_EQ(t.columns()[0], "letter");
+  EXPECT_EQ(t.columns()[1], "number");
+  EXPECT_EQ(t.columns()[2], "metric m");
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.rows()[0][2], "5");
+  EXPECT_EQ(t.rows()[0][3], "-");  // unknown metric, no errors
+}
+
+}  // namespace
+}  // namespace pdht::exp

@@ -1,0 +1,120 @@
+// Determinism regression suite for the parallel experiment runner: the
+// same ExperimentSpec must produce byte-identical aggregated tables at
+// any thread count (ISSUE 2 acceptance criterion).  Cell seeds derive
+// from the flat cell index alone, so the execution schedule cannot leak
+// into results.
+
+#include "exp/parallel_runner.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "exp/experiment.h"
+
+namespace pdht::exp {
+namespace {
+
+ExperimentSpec SmallSweep() {
+  ExperimentSpec spec;
+  spec.name = "determinism_probe";
+  spec.base.params.num_peers = 120;
+  spec.base.params.keys = 240;
+  spec.base.params.stor = 10;
+  spec.base.params.repl = 5;
+  spec.base.params.f_qry = 1.0 / 5.0;
+  spec.base.params.f_upd = 1.0 / 3600.0;
+  spec.base.strategy = core::Strategy::kPartialTtl;
+  spec.base.churn.enabled = true;
+  spec.base.churn.mean_online_s = 200;
+  spec.base.churn.mean_offline_s = 100;
+  spec.base.seed = 20040314;
+  spec.rounds = 30;
+  spec.tail = 8;
+  spec.seeds_per_cell = 2;
+  spec.axes = {
+      Axis{"backend",
+           {{"chord",
+             [](core::SystemConfig& c) {
+               c.backend = core::DhtBackend::kChord;
+             }},
+            {"kademlia",
+             [](core::SystemConfig& c) {
+               c.backend = core::DhtBackend::kKademlia;
+             }}}}};
+  return spec;
+}
+
+TEST(ParallelRunnerTest, EffectiveThreadsClampsToCells) {
+  EXPECT_EQ(ParallelRunner::EffectiveThreads(8, 3), 3u);
+  EXPECT_EQ(ParallelRunner::EffectiveThreads(2, 100), 2u);
+  EXPECT_GE(ParallelRunner::EffectiveThreads(0, 100), 1u);
+  EXPECT_EQ(ParallelRunner::EffectiveThreads(4, 0), 1u);
+}
+
+TEST(ParallelRunnerTest, ResultsOrderedByFlatIndex) {
+  ExperimentSpec spec = SmallSweep();
+  auto results = ParallelRunner({4}).Run(spec);
+  ASSERT_EQ(results.size(), spec.NumCells());
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].index, i);
+    EXPECT_TRUE(results[i].error.empty()) << results[i].error;
+  }
+}
+
+// The headline regression: 1 thread vs N threads, bit-identical cell
+// metrics and byte-identical aggregated CSV tables.
+TEST(ParallelRunnerTest, DeterministicAcrossThreadCounts) {
+  ExperimentSpec spec = SmallSweep();
+  auto serial = ParallelRunner({1}).Run(spec);
+  auto parallel = ParallelRunner({4}).Run(spec);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].labels, parallel[i].labels);
+    EXPECT_EQ(serial[i].error, parallel[i].error);
+    // Exact double equality on purpose: same seed, same code path, no
+    // tolerance for schedule-dependent drift.
+    EXPECT_EQ(serial[i].metrics, parallel[i].metrics) << "cell " << i;
+  }
+
+  auto table = [&](const std::vector<CellResult>& cells) {
+    return ToTable(spec, Aggregate(spec, cells),
+                   {{"msg", core::PdhtSystem::kSeriesMsgTotal},
+                    {"hit", core::PdhtSystem::kSeriesHitRate},
+                    {"keys", kMetricIndexKeys}})
+        .ToCsv();
+  };
+  EXPECT_EQ(table(serial), table(parallel));
+}
+
+TEST(ParallelRunnerTest, SeedsProduceDistinctRuns) {
+  ExperimentSpec spec = SmallSweep();
+  auto results = ParallelRunner({2}).Run(spec);
+  // Seed 0 and seed 1 of the same grid point are different simulations.
+  EXPECT_NE(results[0].metrics.at(core::PdhtSystem::kSeriesMsgTotal),
+            results[1].metrics.at(core::PdhtSystem::kSeriesMsgTotal));
+}
+
+TEST(ParallelRunnerTest, CellFailureIsIsolated) {
+  ExperimentSpec spec = SmallSweep();
+  spec.run = [](core::PdhtSystem& sys, const Cell& cell) {
+    if (cell.index == 1) throw std::runtime_error("injected failure");
+    sys.RunRounds(10);
+  };
+  auto results = ParallelRunner({4}).Run(spec);
+  EXPECT_EQ(results[1].error, "injected failure");
+  EXPECT_TRUE(results[1].metrics.empty());
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (i == 1) continue;
+    EXPECT_TRUE(results[i].error.empty()) << results[i].error;
+    EXPECT_FALSE(results[i].metrics.empty());
+  }
+  // The failed seed is quarantined in errors; the grid point still
+  // aggregates its surviving seed.
+  auto rows = Aggregate(spec, results);
+  EXPECT_EQ(rows[0].errors.size(), 1u);
+  EXPECT_EQ(rows[0].metrics.at(core::PdhtSystem::kSeriesMsgTotal).n, 1u);
+}
+
+}  // namespace
+}  // namespace pdht::exp

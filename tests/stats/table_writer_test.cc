@@ -74,5 +74,27 @@ TEST(TableWriterTest, WriteCsvFileFailsOnBadPath) {
   EXPECT_FALSE(t.WriteCsvFile("/nonexistent-dir/zzz/file.csv"));
 }
 
+TEST(TableWriterTest, WriteCsvFileFailureReportsPathAndErrnoContext) {
+  TableWriter t({"a"});
+  const std::string path = "/nonexistent-dir/zzz/file.csv";
+  std::string error;
+  ASSERT_FALSE(t.WriteCsvFile(path, &error));
+  // The diagnosis names the failing path and carries an OS-level cause
+  // beyond the bare path (strerror text, e.g. "No such file or
+  // directory").
+  EXPECT_NE(error.find(path), std::string::npos) << error;
+  EXPECT_GT(error.size(), path.size() + 2) << error;
+}
+
+TEST(TableWriterTest, WriteCsvFileSuccessClearsError) {
+  TableWriter t({"a"});
+  t.AddRow({"1"});
+  std::string error = "stale";
+  std::string path = "/tmp/pdht_table_writer_err_test.csv";
+  ASSERT_TRUE(t.WriteCsvFile(path, &error));
+  EXPECT_TRUE(error.empty());
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace pdht
