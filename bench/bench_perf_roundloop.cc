@@ -1,0 +1,248 @@
+// Single-thread round-loop throughput: rounds/sec of the inner simulation
+// loop, the quantity every sweep, bench and the paper-scale --full run
+// multiply.  PR 2 parallelized *across* cells; this bench pins the cost of
+// one cell so hot-path regressions (message accounting, replica-group
+// allocation, metric probes) are caught as a number, not a feeling.
+//
+// Scenarios are the paper's Table 1 at 1/14 and 1/50 scale (peers and keys
+// divided, per-peer storage and replication reduced proportionally), run
+// under churn so the probe/repair path is part of the measured loop.  Each
+// scenario is measured for the two strategies whose round loops differ
+// most: partialTtl (index-first queries, TTL eviction) and indexAll
+// (proactive updates, no eviction).
+//
+// Besides the stdout table, the bench emits a machine-readable JSON
+// baseline (--json=<path>; defaults to BENCH_roundloop.json for
+// full-budget runs and BENCH_roundloop_smoke.json for reduced-budget
+// ones, so smoke runs can't clobber the committed baseline) so the
+// rounds/sec trajectory accumulates across PRs; CI runs this binary in
+// Release (-O2) smoke mode and uploads the JSON as an artifact.
+//
+// Flags: the shared set (bench_common.h; --rounds=<n> below the default
+// budget = smoke mode, --full adds the paper-scale scenario) plus
+// --json=<path>.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/pdht_system.h"
+#include "stats/table_writer.h"
+
+namespace {
+
+using pdht::TableWriter;
+using pdht::bench::BenchFlags;
+using pdht::core::Strategy;
+using pdht::core::SystemConfig;
+
+constexpr uint64_t kSeed = 12345;
+
+struct Scenario {
+  std::string name;
+  SystemConfig config;     ///< strategy is patched per measurement.
+  uint64_t default_rounds; ///< timed rounds at the full budget.
+};
+
+// Table 1 at 1/14 scale: 20000/14 peers, 40000/14 keys; stor and repl
+// halved from the paper values so capacity pressure per peer matches the
+// scaled key population.  Churn on: stale routing entries and rejoin pulls
+// belong to the hot path being measured.
+SystemConfig Scale14Config() {
+  SystemConfig c;
+  c.params.num_peers = 1428;
+  c.params.keys = 2857;
+  c.params.stor = 50;
+  c.params.repl = 25;
+  c.params.f_qry = 1.0 / 10.0;
+  c.params.f_upd = 1.0 / 3600.0;
+  c.churn.enabled = true;
+  c.seed = kSeed;
+  return c;
+}
+
+SystemConfig Scale50Config() {
+  SystemConfig c = pdht::bench::ScaledBaseConfig();
+  c.churn.enabled = true;
+  c.seed = kSeed;
+  return c;
+}
+
+SystemConfig FullScaleConfig() {
+  SystemConfig c;  // paper defaults: 20000 peers / 40000 keys
+  c.params.f_qry = 1.0 / 30.0;
+  c.churn.enabled = true;
+  c.seed = kSeed;
+  return c;
+}
+
+struct Measurement {
+  std::string scenario;
+  std::string strategy;
+  uint64_t peers = 0;
+  uint64_t warmup = 0;
+  uint64_t rounds = 0;
+  double seconds = 0.0;
+  double rounds_per_sec = 0.0;
+  double msgs_per_round = 0.0;
+  /// Scenarios have different default budgets, so smoke (reduced budget,
+  /// shape checks informational) is tracked per measurement, not in the
+  /// shared flags.
+  bool smoke = false;
+};
+
+Measurement MeasureOne(const Scenario& sc, Strategy strategy,
+                       uint64_t rounds) {
+  SystemConfig config = sc.config;
+  config.strategy = strategy;
+  pdht::core::PdhtSystem system(config);
+
+  Measurement m;
+  m.scenario = sc.name;
+  m.strategy = pdht::core::StrategyName(strategy);
+  m.peers = config.params.num_peers;
+  // Warm up past the transient (partialTtl index fill, churn mixing) so
+  // the timed window measures the steady-state loop.
+  m.warmup = std::max<uint64_t>(10, rounds / 5);
+  m.rounds = rounds;
+  system.RunRounds(m.warmup);
+
+  uint64_t msgs_before = system.network().TotalMessages();
+  auto t0 = std::chrono::steady_clock::now();
+  system.RunRounds(rounds);
+  auto t1 = std::chrono::steady_clock::now();
+  uint64_t msgs_after = system.network().TotalMessages();
+
+  m.seconds = std::chrono::duration<double>(t1 - t0).count();
+  m.rounds_per_sec =
+      m.seconds > 0.0 ? static_cast<double>(rounds) / m.seconds : 0.0;
+  m.msgs_per_round = static_cast<double>(msgs_after - msgs_before) /
+                     static_cast<double>(rounds);
+  return m;
+}
+
+bool WriteJson(const std::string& path,
+               const std::vector<Measurement>& results) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+#ifdef NDEBUG
+  const char* build = "optimized";
+#else
+  const char* build = "debug";
+#endif
+  std::fprintf(f, "{\n  \"bench\": \"roundloop\",\n");
+  std::fprintf(f, "  \"build\": \"%s\",\n", build);
+  std::fprintf(f, "  \"seed\": %llu,\n",
+               static_cast<unsigned long long>(kSeed));
+  std::fprintf(f, "  \"scenarios\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const Measurement& m = results[i];
+    std::fprintf(f,
+                 "    {\"scenario\": \"%s\", \"strategy\": \"%s\", "
+                 "\"peers\": %llu, \"warmup_rounds\": %llu, "
+                 "\"timed_rounds\": %llu, \"smoke\": %s, "
+                 "\"seconds\": %.6f, "
+                 "\"rounds_per_sec\": %.2f, \"msgs_per_round\": %.2f}%s\n",
+                 m.scenario.c_str(), m.strategy.c_str(),
+                 static_cast<unsigned long long>(m.peers),
+                 static_cast<unsigned long long>(m.warmup),
+                 static_cast<unsigned long long>(m.rounds),
+                 m.smoke ? "true" : "false", m.seconds,
+                 m.rounds_per_sec, m.msgs_per_round,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Split off the bench-local --json flag before the shared parser (which
+  // warns on unknown flags).
+  std::string json_path;
+  std::vector<char*> shared_args;
+  shared_args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else {
+      shared_args.push_back(argv[i]);
+    }
+  }
+  BenchFlags flags = pdht::bench::ParseBenchFlags(
+      static_cast<int>(shared_args.size()), shared_args.data());
+
+  pdht::bench::PrintHeader(
+      "round-loop throughput: single-thread rounds/sec (scaled Table 1 "
+      "scenarios, churn on)",
+      "hot-path baseline; perf trajectory artifact BENCH_roundloop.json");
+
+  std::vector<Scenario> scenarios = {
+      {"scale_1_14", Scale14Config(), 400},
+      {"scale_1_50", Scale50Config(), 1000},
+  };
+  if (flags.full) {
+    scenarios.push_back({"full_scale", FullScaleConfig(), 50});
+  }
+
+  std::vector<Measurement> results;
+  for (const Scenario& sc : scenarios) {
+    for (Strategy strategy :
+         {Strategy::kPartialTtl, Strategy::kIndexAll}) {
+      uint64_t rounds =
+          flags.rounds == 0 ? sc.default_rounds : flags.rounds;
+      results.push_back(MeasureOne(sc, strategy, rounds));
+      results.back().smoke = rounds < sc.default_rounds;
+      std::printf("measured %s/%s: %.1f rounds/s\n",
+                  results.back().scenario.c_str(),
+                  results.back().strategy.c_str(),
+                  results.back().rounds_per_sec);
+    }
+  }
+
+  TableWriter table({"scenario", "strategy", "peers", "timed rounds",
+                     "seconds", "rounds/sec", "msgs/round"});
+  for (const Measurement& m : results) {
+    table.AddRow({m.scenario, m.strategy, std::to_string(m.peers),
+                  std::to_string(m.rounds),
+                  TableWriter::FormatDouble(m.seconds, 4),
+                  TableWriter::FormatDouble(m.rounds_per_sec, 5),
+                  TableWriter::FormatDouble(m.msgs_per_round, 5)});
+  }
+  pdht::bench::EmitTable(table, flags.csv);
+
+  // Default output path: full-budget runs refresh the committed baseline
+  // name; reduced-budget runs get their own file so a casual smoke run
+  // from the repo root cannot clobber the recorded full-budget numbers.
+  if (json_path.empty()) {
+    bool any_smoke = false;
+    for (const Measurement& m : results) any_smoke |= m.smoke;
+    json_path =
+        any_smoke ? "BENCH_roundloop_smoke.json" : "BENCH_roundloop.json";
+  }
+  if (WriteJson(json_path, results)) {
+    std::printf("json baseline written to %s\n", json_path.c_str());
+  } else {
+    std::printf("FAILED to write json baseline to %s\n", json_path.c_str());
+    return 1;
+  }
+
+  // Shape check: every measured configuration actually simulated traffic.
+  // Failures are fatal only for measurements that ran at their scenario's
+  // full budget (per-measurement smoke semantics).
+  bool full_budget_pass = true;
+  for (const Measurement& m : results) {
+    if (!(m.msgs_per_round > 0.0) || !(m.rounds_per_sec > 0.0)) {
+      std::printf("SHAPE FAIL%s: %s/%s produced no traffic or no progress\n",
+                  m.smoke ? " (smoke, informational)" : "",
+                  m.scenario.c_str(), m.strategy.c_str());
+      if (!m.smoke) full_budget_pass = false;
+    }
+  }
+  return full_budget_pass ? 0 : 1;
+}

@@ -156,14 +156,20 @@ void PdhtSystem::SelectDhtMembers() {
   overlay_->SetMembers(dht_members_);
 }
 
-std::vector<net::PeerId> PdhtSystem::IndexReplicasOf(uint64_t key) const {
+const std::vector<net::PeerId>& PdhtSystem::IndexReplicasOf(
+    uint64_t key) const {
   // "Index and content are replicated with the same factor" (Section 4);
   // replica-group composition is the backend's business (hash-spread by
   // default, structural leaf groups for P-Grid).
-  if (!overlay_) return {};
-  return overlay_->ResponsiblePeers(
-      key, static_cast<uint32_t>(std::min<uint64_t>(
-               config_.params.repl, std::numeric_limits<uint32_t>::max())));
+  replica_scratch_.clear();
+  if (overlay_) {
+    overlay_->ResponsiblePeersInto(
+        key,
+        static_cast<uint32_t>(std::min<uint64_t>(
+            config_.params.repl, std::numeric_limits<uint32_t>::max())),
+        &replica_scratch_);
+  }
+  return replica_scratch_;
 }
 
 void PdhtSystem::IncResidency(uint64_t key) { ++residency_[key]; }
@@ -204,12 +210,16 @@ void PdhtSystem::RegisterActors() {
   engine_.AddActor("churn", [this](sim::RoundContext& ctx) {
     churn_->AdvanceTo(ctx.time);
   });
+  // Network's constructor interned every message-type counter; resolve
+  // the probe counter to its id once instead of a string lookup per round.
+  probe_counter_id_ =
+      network_->CounterIdOf(net::MessageType::kRoutingProbe);
   engine_.AddActor("maintenance", [this](sim::RoundContext&) {
     if (config_.strategy == Strategy::kNoIndex || !overlay_) return;
     overlay_->RunMaintenanceRound(config_.params.env);
     // Feed the TTL autotuner the round's maintenance traffic: probes per
     // round per currently indexed key approximate cRtn (Eq. 8).
-    uint64_t probes = engine_.counters().Value("msg.maint.probe");
+    uint64_t probes = engine_.counters().Value(probe_counter_id_);
     uint64_t delta = probes - last_probe_count_;
     last_probe_count_ = probes;
     autotuner_.ObserveMaintenanceRound(
@@ -249,7 +259,15 @@ void PdhtSystem::RunRounds(uint64_t n) { engine_.Run(n); }
 
 net::PeerId PdhtSystem::RandomOnlinePeer() {
   const auto& p = config_.params;
-  for (int attempt = 0; attempt < 128; ++attempt) {
+  uint32_t online = network_->online_count();
+  if (online == 0) return net::kInvalidPeer;
+  // At least the historical 128 draws (identical rng behaviour whenever
+  // availability is sane); under heavy churn scale the budget with the
+  // expected draws-per-hit (num_peers / online) so the biased lowest-id
+  // linear fallback stays a last resort instead of the common path.
+  uint64_t tries = std::max<uint64_t>(
+      128, std::min<uint64_t>(2048, 8 * p.num_peers / online));
+  for (uint64_t attempt = 0; attempt < tries; ++attempt) {
     net::PeerId cand =
         static_cast<net::PeerId>(rng_.UniformU64(p.num_peers));
     if (network_->IsOnline(cand)) return cand;

@@ -199,7 +199,11 @@ class PdhtSystem {
                                   bool ttl_semantics);
   QueryOutcome RunUnstructuredQuery(net::PeerId origin, uint64_t key);
   overlay::LookupResult DhtLookup(net::PeerId origin, uint64_t key);
-  std::vector<net::PeerId> IndexReplicasOf(uint64_t key) const;
+  /// The key's index replica group, written into a reused scratch buffer
+  /// (valid until the next IndexReplicasOf call; callers iterate it
+  /// immediately).  Keeps the per-insert/per-flood replica walk
+  /// allocation-free.
+  const std::vector<net::PeerId>& IndexReplicasOf(uint64_t key) const;
   void InsertIntoIndex(uint64_t key, double now, double ttl);
   uint64_t StatisticalReplicaFloodCost();
   net::PeerId RandomOnlinePeer();
@@ -233,6 +237,10 @@ class PdhtSystem {
   std::vector<PdhtNode> nodes_;
   std::vector<net::PeerId> dht_members_;
   std::unordered_map<uint64_t, uint32_t> residency_;  // key -> #shards
+  mutable std::vector<net::PeerId> replica_scratch_;  // IndexReplicasOf buf
+
+  /// Interned id of "msg.maint.probe" for the per-round autotuner delta.
+  CounterId probe_counter_id_ = 0;
 
   // Per-round query accounting for the hit-rate metric.
   uint64_t round_queries_ = 0;

@@ -52,23 +52,6 @@ bool TtlIndex::Erase(uint64_t key) {
   return map_.erase(key) > 0;  // heap entries become stale, skipped later
 }
 
-uint64_t TtlIndex::EvictExpired(
-    double now, const std::function<void(uint64_t)>& on_evict) {
-  uint64_t evicted = 0;
-  while (!heap_.empty() && heap_.top().expires <= now) {
-    HeapEntry top = heap_.top();
-    heap_.pop();
-    auto it = map_.find(top.key);
-    if (it == map_.end() || it->second.generation != top.generation) {
-      continue;  // superseded by a Touch/Put or already erased
-    }
-    map_.erase(it);
-    ++evicted;
-    if (on_evict) on_evict(top.key);
-  }
-  return evicted;
-}
-
 double TtlIndex::ExpiryOf(uint64_t key) const {
   auto it = map_.find(key);
   return it == map_.end() ? kNever : it->second.expires;
@@ -77,7 +60,7 @@ double TtlIndex::ExpiryOf(uint64_t key) const {
 std::vector<uint64_t> TtlIndex::Keys() const {
   std::vector<uint64_t> out;
   out.reserve(map_.size());
-  for (const auto& [k, e] : map_) out.push_back(k);
+  ForEachKey([&out](uint64_t k) { out.push_back(k); });
   return out;
 }
 

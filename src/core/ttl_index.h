@@ -13,12 +13,16 @@
 //
 // Complexity: Put/Touch/Contains O(log n); EvictExpired amortized
 // O(k log n) for k evictions via a lazy min-heap over expiry times.
+//
+// EvictExpired and ForEachKey take their callbacks as template parameters
+// (not std::function): the eviction actor runs them for every DHT member
+// every round, and a std::function would be re-constructed -- potentially
+// heap-allocating -- per call on that hot path.
 
 #ifndef PDHT_CORE_TTL_INDEX_H_
 #define PDHT_CORE_TTL_INDEX_H_
 
 #include <cstdint>
-#include <functional>
 #include <queue>
 #include <unordered_map>
 #include <vector>
@@ -46,9 +50,38 @@ class TtlIndex {
   /// Removes `key` immediately; returns whether it was resident.
   bool Erase(uint64_t key);
 
-  /// Evicts everything expired at `now`; calls `on_evict` per key.
-  uint64_t EvictExpired(double now,
-                        const std::function<void(uint64_t)>& on_evict = {});
+  /// Evicts everything expired at `now`; calls `on_evict(key)` per
+  /// eviction.  `on_evict` is any callable taking uint64_t.
+  template <typename OnEvict>
+  uint64_t EvictExpired(double now, OnEvict&& on_evict) {
+    uint64_t evicted = 0;
+    while (!heap_.empty() && heap_.top().expires <= now) {
+      HeapEntry top = heap_.top();
+      heap_.pop();
+      auto it = map_.find(top.key);
+      if (it == map_.end() || it->second.generation != top.generation) {
+        continue;  // superseded by a Touch/Put or already erased
+      }
+      map_.erase(it);
+      ++evicted;
+      on_evict(top.key);
+    }
+    return evicted;
+  }
+
+  uint64_t EvictExpired(double now) {
+    return EvictExpired(now, [](uint64_t) {});
+  }
+
+  /// Visits every resident key (possibly including expired-but-not-yet-
+  /// collected ones), in unspecified order.
+  template <typename Visitor>
+  void ForEachKey(Visitor&& visit) const {
+    for (const auto& [key, entry] : map_) {
+      (void)entry;
+      visit(key);
+    }
+  }
 
   /// Currently resident (possibly including expired-but-not-yet-collected)
   /// key count; call EvictExpired first for an exact live count.

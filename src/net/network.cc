@@ -6,52 +6,41 @@ namespace pdht::net {
 
 Network::Network(CounterRegistry* counters) : counters_(counters) {
   assert(counters != nullptr);
+  // Intern every message-type counter up front so Send never touches a
+  // string.  Interning is idempotent, so sharing the registry between
+  // networks (or with string-keyed users) is fine.
+  for (size_t i = 0; i < kNumTypes; ++i) {
+    type_ids_[i] =
+        counters_->Intern(MessageTypeName(static_cast<MessageType>(i)));
+  }
+  total_id_ = counters_->Intern("msg.total");
+}
+
+void Network::EnsureSlot(PeerId peer) {
+  if (peer >= handlers_.size()) {
+    handlers_.resize(peer + 1, nullptr);
+    online_.resize(peer + 1, false);
+    seen_.resize(peer + 1, false);
+  }
 }
 
 void Network::Register(PeerId peer, MessageHandler* handler) {
-  if (peer >= handlers_.size()) {
-    handlers_.resize(peer + 1, nullptr);
-    online_.resize(peer + 1, true);
+  EnsureSlot(peer);
+  if (!seen_[peer]) {
+    // First contact: a registered peer defaults online.  Peers only
+    // *gap-covered* by a larger id stay unseen and unreachable.
+    seen_[peer] = true;
+    online_[peer] = true;
+    ++online_count_;
   }
   handlers_[peer] = handler;
 }
 
 void Network::SetOnline(PeerId peer, bool online) {
-  if (peer >= online_.size()) {
-    handlers_.resize(peer + 1, nullptr);
-    online_.resize(peer + 1, true);
-  }
+  EnsureSlot(peer);
+  seen_[peer] = true;
+  if (online_[peer] != online) online_count_ += online ? 1 : -1;
   online_[peer] = online;
-}
-
-bool Network::IsOnline(PeerId peer) const {
-  return peer < online_.size() && online_[peer];
-}
-
-bool Network::Send(const Message& msg) {
-  counters_->Get(MessageTypeName(msg.type)).Add();
-  counters_->Get("msg.total").Add();
-  if (msg.to >= handlers_.size()) return false;
-  if (!online_[msg.to]) return false;
-  // An online peer receives the message whether or not a handler object is
-  // attached; most protocol logic in this library runs at system level and
-  // only needs the delivered/lost outcome.
-  MessageHandler* h = handlers_[msg.to];
-  if (h != nullptr) h->HandleMessage(msg);
-  return true;
-}
-
-void Network::CountOnly(MessageType type, uint64_t n) {
-  counters_->Get(MessageTypeName(type)).Add(n);
-  counters_->Get("msg.total").Add(n);
-}
-
-uint64_t Network::TotalMessages() const {
-  return counters_->Value("msg.total");
-}
-
-uint64_t Network::MessagesOfType(MessageType type) const {
-  return counters_->Value(MessageTypeName(type));
 }
 
 }  // namespace pdht::net

@@ -6,6 +6,11 @@
 // implementation from under-reporting its cost and gives the benches a
 // single source of truth.
 //
+// Accounting is allocation-free: the constructor interns one CounterId
+// per MessageType plus "msg.total", so the per-message cost of Send is
+// two array increments (no string construction, no map walk).  Send is
+// defined inline here because it sits on the innermost simulation loop.
+//
 // Delivery model: synchronous (the message is handed to the destination's
 // handler immediately).  The paper's cost model counts messages, not
 // latency, so a delay model is unnecessary; hop-by-hop control flow is
@@ -16,8 +21,8 @@
 #ifndef PDHT_NET_NETWORK_H_
 #define PDHT_NET_NETWORK_H_
 
+#include <array>
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "net/message.h"
@@ -38,34 +43,81 @@ class Network {
   explicit Network(CounterRegistry* counters);
 
   /// Registers/replaces the handler for `peer`.  Peers without handlers
-  /// swallow deliveries (counted, not processed).
+  /// swallow deliveries (counted, not processed).  First registration
+  /// brings the peer online; later SetOnline calls are never clobbered.
   void Register(PeerId peer, MessageHandler* handler);
 
   /// Marks a peer online/offline.  Offline peers receive nothing.
   void SetOnline(PeerId peer, bool online);
-  bool IsOnline(PeerId peer) const;
+  bool IsOnline(PeerId peer) const {
+    return peer < online_.size() && online_[peer];
+  }
+
+  /// Peers currently online.  Maintained where the bit flips (SetOnline/
+  /// Register), so callers sizing rejection-sampling loops or bailing out
+  /// of an all-offline network need no bookkeeping of their own.
+  uint32_t online_count() const { return online_count_; }
 
   /// Sends `msg`; counts it under MessageTypeName(msg.type) and "msg.total".
   /// Returns true iff the destination was online (delivered); a registered
   /// handler, if any, is invoked on delivery.  Peers never seen by
   /// Register/SetOnline are unreachable.
-  bool Send(const Message& msg);
+  bool Send(const Message& msg) {
+    counters_->Add(type_ids_[TypeIndex(msg.type)]);
+    counters_->Add(total_id_);
+    if (msg.to >= handlers_.size()) return false;
+    if (!online_[msg.to]) return false;
+    // An online peer receives the message whether or not a handler object
+    // is attached; most protocol logic in this library runs at system
+    // level and only needs the delivered/lost outcome.
+    MessageHandler* h = handlers_[msg.to];
+    if (h != nullptr) h->HandleMessage(msg);
+    return true;
+  }
 
   /// Counts a message without delivering it.  Used for aggregate traffic
   /// the simulation accounts for statistically rather than hop-by-hop
   /// (e.g. duplication overhead factors).
-  void CountOnly(MessageType type, uint64_t n = 1);
+  void CountOnly(MessageType type, uint64_t n = 1) {
+    counters_->Add(type_ids_[TypeIndex(type)], n);
+    counters_->Add(total_id_, n);
+  }
 
-  uint64_t TotalMessages() const;
-  uint64_t MessagesOfType(MessageType type) const;
+  uint64_t TotalMessages() const { return counters_->Value(total_id_); }
+  uint64_t MessagesOfType(MessageType type) const {
+    return counters_->Value(type_ids_[TypeIndex(type)]);
+  }
+  /// The interned id a message type is counted under (for callers that
+  /// track per-round deltas without string lookups).
+  CounterId CounterIdOf(MessageType type) const {
+    return type_ids_[TypeIndex(type)];
+  }
   CounterRegistry* counters() { return counters_; }
 
   size_t num_registered() const { return handlers_.size(); }
 
  private:
+  /// kCount (and anything out of range) maps to the "msg.invalid" slot,
+  /// mirroring MessageTypeName's fallback.
+  static size_t TypeIndex(MessageType type) {
+    size_t i = static_cast<size_t>(type);
+    return i < kNumTypes - 1 ? i : kNumTypes - 1;
+  }
+
+  static constexpr size_t kNumTypes =
+      static_cast<size_t>(MessageType::kCount) + 1;
+
+  /// Grows the per-peer arrays to cover `peer`; new slots are offline and
+  /// unseen (the Send contract: never-seen peers are unreachable).
+  void EnsureSlot(PeerId peer);
+
   CounterRegistry* counters_;
+  std::array<CounterId, kNumTypes> type_ids_;
+  CounterId total_id_;
   std::vector<MessageHandler*> handlers_;
   std::vector<bool> online_;
+  std::vector<bool> seen_;  ///< touched by Register/SetOnline
+  uint32_t online_count_ = 0;
 };
 
 }  // namespace pdht::net

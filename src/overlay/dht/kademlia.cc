@@ -138,7 +138,8 @@ LookupResult KademliaOverlay::Lookup(net::PeerId origin, uint64_t key) {
     // Contacts strictly closer to the target than we are, nearest first;
     // each failed attempt is a real (lost) message to a stale entry.
     // Distances are materialized once so the sort does no map lookups.
-    std::vector<std::pair<NodeId, net::PeerId>> closer;
+    std::vector<std::pair<NodeId, net::PeerId>>& closer = closer_scratch_;
+    closer.clear();
     for (const auto& bucket : cur->buckets) {
       for (net::PeerId c : bucket) {
         NodeId d = nodes_.at(c).id ^ target;
@@ -167,7 +168,8 @@ LookupResult KademliaOverlay::Lookup(net::PeerId origin, uint64_t key) {
       // Greedy exhausted (table empty or all closer contacts offline):
       // scan the membership in XOR order, nearest first, until an online
       // member turns up -- the owner's closest online stand-in.
-      std::vector<std::pair<NodeId, net::PeerId>> by_dist;
+      std::vector<std::pair<NodeId, net::PeerId>>& by_dist = by_dist_scratch_;
+      by_dist.clear();
       by_dist.reserve(member_list_.size());
       for (size_t i = 0; i < member_list_.size(); ++i) {
         by_dist.emplace_back(sorted_ids_[i] ^ target, member_list_[i]);

@@ -90,6 +90,12 @@ class KademliaOverlay : public StructuredOverlay {
   std::vector<net::PeerId> member_list_;  // sorted by node id
   std::vector<NodeId> sorted_ids_;        // parallel to member_list_
   std::unordered_map<net::PeerId, double> probe_budget_;
+  /// Lookup scratch (candidates sorted by XOR distance), reused across
+  /// hops so routing never allocates in the steady state.
+  std::vector<std::pair<NodeId, net::PeerId>> closer_scratch_;
+  /// Scratch for the greedy-exhausted fallback (full membership in XOR
+  /// order) -- hit on every lookup whose owner is offline.
+  std::vector<std::pair<NodeId, net::PeerId>> by_dist_scratch_;
 };
 
 }  // namespace pdht::overlay

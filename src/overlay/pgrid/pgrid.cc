@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <functional>
+#include <limits>
 #include <sstream>
 
 #include "overlay/dht/id.h"
@@ -141,25 +142,32 @@ const TriePath& PGridOverlay::PathOf(net::PeerId peer) const {
 }
 
 std::vector<net::PeerId> PGridOverlay::ResponsiblePeers(uint64_t key) const {
-  uint64_t key_id = KeyToNodeId(key);
   std::vector<net::PeerId> out;
-  for (const auto& [peer, st] : paths_) {
-    if (st.path.IsPrefixOfKey(key_id)) out.push_back(peer);
-  }
-  std::sort(out.begin(), out.end());
+  ResponsiblePeersInto(key, std::numeric_limits<uint32_t>::max(), &out);
   return out;
 }
 
-std::vector<net::PeerId> PGridOverlay::ResponsiblePeers(
-    uint64_t key, uint32_t count) const {
-  std::vector<net::PeerId> out = ResponsiblePeers(key);
-  if (out.size() > count) out.resize(count);
-  return out;
+void PGridOverlay::ResponsiblePeersInto(
+    uint64_t key, uint32_t count, std::vector<net::PeerId>* out) const {
+  uint64_t key_id = KeyToNodeId(key);
+  out->clear();
+  for (const auto& [peer, st] : paths_) {
+    if (st.path.IsPrefixOfKey(key_id)) out->push_back(peer);
+  }
+  std::sort(out->begin(), out->end());
+  if (out->size() > count) out->resize(count);
 }
 
 net::PeerId PGridOverlay::ResponsibleMember(uint64_t key) const {
-  auto peers = ResponsiblePeers(key);
-  return peers.empty() ? net::kInvalidPeer : peers.front();
+  // Smallest peer id of the responsible leaf group (the same
+  // representative ResponsiblePeers(key).front() used to yield), found
+  // without materializing the group.
+  uint64_t key_id = KeyToNodeId(key);
+  net::PeerId best = net::kInvalidPeer;
+  for (const auto& [peer, st] : paths_) {
+    if (peer < best && st.path.IsPrefixOfKey(key_id)) best = peer;
+  }
+  return best;
 }
 
 LookupResult PGridOverlay::Lookup(net::PeerId origin, uint64_t key) {

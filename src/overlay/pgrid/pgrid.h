@@ -70,8 +70,9 @@ class PGridOverlay : public StructuredOverlay {
   /// StructuredOverlay replica group: the leaf group *is* the structural
   /// replica set (already sized by max_leaf_peers), so `count` only caps
   /// it.
-  std::vector<net::PeerId> ResponsiblePeers(uint64_t key,
-                                            uint32_t count) const override;
+  void ResponsiblePeersInto(uint64_t key, uint32_t count,
+                            std::vector<net::PeerId>* out) const override;
+  using StructuredOverlay::ResponsiblePeers;  // unhide the (key, count) form
 
   /// First responsible peer (deterministic representative).
   net::PeerId ResponsibleMember(uint64_t key) const override;

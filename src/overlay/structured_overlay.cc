@@ -30,29 +30,28 @@ net::PeerId StructuredOverlay::RandomOnlineMember(Rng& rng) const {
   return net::kInvalidPeer;
 }
 
-std::vector<net::PeerId> StructuredOverlay::ResponsiblePeers(
-    uint64_t key, uint32_t count) const {
+void StructuredOverlay::ResponsiblePeersInto(
+    uint64_t key, uint32_t count, std::vector<net::PeerId>* out) const {
   // "Index and content are replicated with the same factor" (Section 4)
   // and content replication is random.  The responsible member (the
   // lookup terminus) is replica 0 -- the insertion point -- and the
   // remaining count-1 replicas are hash-derived members, which spreads
   // the storage load uniformly.
+  out->clear();
   const std::vector<net::PeerId>& mem = members();
   net::PeerId responsible = ResponsibleMember(key);
-  if (responsible == net::kInvalidPeer || mem.empty()) return {};
+  if (responsible == net::kInvalidPeer || mem.empty()) return;
   uint32_t want = static_cast<uint32_t>(
       std::min<uint64_t>(count, mem.size()));
-  std::vector<net::PeerId> out;
-  out.reserve(want);
-  out.push_back(responsible);
+  out->reserve(want);
+  out->push_back(responsible);
   uint64_t salt = 0;
-  while (out.size() < want && salt < 16ull * want) {
+  while (out->size() < want && salt < 16ull * want) {
     net::PeerId cand = mem[Mix64(HashCombine(key, ++salt)) % mem.size()];
-    if (std::find(out.begin(), out.end(), cand) == out.end()) {
-      out.push_back(cand);
+    if (std::find(out->begin(), out->end(), cand) == out->end()) {
+      out->push_back(cand);
     }
   }
-  return out;
 }
 
 namespace {

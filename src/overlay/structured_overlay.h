@@ -70,9 +70,21 @@ class StructuredOverlay {
   /// The member responsible for `key`, kInvalidPeer when empty.
   virtual net::PeerId ResponsibleMember(uint64_t key) const = 0;
 
-  /// The key's replica group (<= count peers, responsible member first).
-  virtual std::vector<net::PeerId> ResponsiblePeers(uint64_t key,
-                                                    uint32_t count) const;
+  /// Writes the key's replica group (<= count peers, responsible member
+  /// first) into `*out`, replacing its contents.  This is the virtual
+  /// customization point; taking the caller's buffer keeps the per-query
+  /// replica walk allocation-free (PdhtSystem reuses one scratch vector
+  /// for every insert/flood/update).
+  virtual void ResponsiblePeersInto(uint64_t key, uint32_t count,
+                                    std::vector<net::PeerId>* out) const;
+
+  /// Convenience value-returning form of ResponsiblePeersInto.
+  std::vector<net::PeerId> ResponsiblePeers(uint64_t key,
+                                            uint32_t count) const {
+    std::vector<net::PeerId> out;
+    ResponsiblePeersInto(key, count, &out);
+    return out;
+  }
 
   /// Routes from `origin` (must be a member) toward `key`'s owner,
   /// counting one kDhtLookup per hop attempt.  If the owner is offline

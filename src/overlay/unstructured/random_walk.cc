@@ -1,6 +1,5 @@
 #include "overlay/unstructured/random_walk.h"
 
-#include <unordered_set>
 #include <vector>
 
 namespace pdht::overlay {
@@ -30,12 +29,20 @@ WalkResult RandomWalkSearch::Search(net::PeerId origin, uint64_t key) {
 
   // Walkers advance in lockstep (step-synchronous), which lets a success be
   // noticed by the others at their next originator check, as in [LvCa02].
-  struct Walker {
-    net::PeerId at;
-    bool active;
+  walkers_.assign(config_.num_walkers, {origin, true});
+  std::vector<Walker>& walkers = walkers_;
+  if (visit_mark_.size() < graph_->num_nodes()) {
+    visit_mark_.resize(graph_->num_nodes(), 0);
+  }
+  ++visit_epoch_;
+  uint32_t distinct = 0;
+  auto mark_visited = [this, &distinct](net::PeerId p) {
+    if (p < visit_mark_.size() && visit_mark_[p] != visit_epoch_) {
+      visit_mark_[p] = visit_epoch_;
+      ++distinct;
+    }
   };
-  std::vector<Walker> walkers(config_.num_walkers, {origin, true});
-  std::unordered_set<net::PeerId> visited{origin};
+  mark_visited(origin);
   bool success = false;
 
   for (uint32_t step = 0; step < config_.max_steps_per_walker && !success;
@@ -66,7 +73,7 @@ WalkResult RandomWalkSearch::Search(net::PeerId origin, uint64_t key) {
         continue;
       }
       w.at = next;
-      visited.insert(next);
+      mark_visited(next);
       if (oracle_(next, key)) {
         success = true;
         result.found = true;
@@ -98,7 +105,7 @@ WalkResult RandomWalkSearch::Search(net::PeerId origin, uint64_t key) {
     if (!any_active) break;
   }
 
-  result.distinct_peers = static_cast<uint32_t>(visited.size());
+  result.distinct_peers = distinct;
   if (!result.found && config_.flood_fallback) {
     result.used_flood_fallback = true;
     FloodResult fr = flood_.Search(origin, key,

@@ -52,6 +52,11 @@ class RandomWalkSearch {
   const RandomWalkConfig& config() const { return config_; }
 
  private:
+  struct Walker {
+    net::PeerId at;
+    bool active;
+  };
+
   const RandomGraph* graph_;
   net::Network* network_;
   ContentOracle oracle_;
@@ -59,6 +64,13 @@ class RandomWalkSearch {
   Rng rng_;
   FloodSearch flood_;
   uint64_t next_request_id_ = 1;
+  // Search scratch state, reused so the per-query hot path does not
+  // allocate: walker slots plus an epoch-stamped visited mark per peer
+  // (visit_mark_[p] == visit_epoch_ <=> p visited by the current search),
+  // replacing a per-call unordered_set.
+  std::vector<Walker> walkers_;
+  std::vector<uint64_t> visit_mark_;
+  uint64_t visit_epoch_ = 0;
 };
 
 }  // namespace pdht::overlay

@@ -16,12 +16,12 @@ void ReplicaPlacement::PlaceKey(uint64_t key) {
   uint32_t want = std::min(repl_, num_peers_);
   std::vector<net::PeerId> chosen;
   chosen.reserve(want);
-  std::unordered_set<net::PeerId> used;
   while (chosen.size() < want) {
     net::PeerId p = static_cast<net::PeerId>(rng_.UniformU64(num_peers_));
-    if (used.insert(p).second) {
+    if (std::find(chosen.begin(), chosen.end(), p) == chosen.end()) {
       chosen.push_back(p);
-      held_[p].insert(key);
+      std::vector<uint64_t>& held = held_[p];
+      held.insert(std::lower_bound(held.begin(), held.end(), key), key);
     }
   }
   replicas_.emplace(key, std::move(chosen));
@@ -37,7 +37,8 @@ bool ReplicaPlacement::IsPlaced(uint64_t key) const {
 
 bool ReplicaPlacement::PeerHoldsKey(net::PeerId peer, uint64_t key) const {
   if (peer >= held_.size()) return false;
-  return held_[peer].count(key) > 0;
+  const std::vector<uint64_t>& held = held_[peer];
+  return std::binary_search(held.begin(), held.end(), key);
 }
 
 const std::vector<net::PeerId>& ReplicaPlacement::ReplicasOf(
@@ -49,7 +50,11 @@ const std::vector<net::PeerId>& ReplicaPlacement::ReplicasOf(
 void ReplicaPlacement::RemoveKey(uint64_t key) {
   auto it = replicas_.find(key);
   if (it == replicas_.end()) return;
-  for (net::PeerId p : it->second) held_[p].erase(key);
+  for (net::PeerId p : it->second) {
+    std::vector<uint64_t>& held = held_[p];
+    auto kit = std::lower_bound(held.begin(), held.end(), key);
+    if (kit != held.end() && *kit == key) held.erase(kit);
+  }
   replicas_.erase(it);
 }
 

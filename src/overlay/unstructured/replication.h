@@ -11,7 +11,6 @@
 
 #include <cstdint>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "net/message.h"
@@ -51,8 +50,12 @@ class ReplicaPlacement {
   uint32_t repl_;
   Rng rng_;
   std::unordered_map<uint64_t, std::vector<net::PeerId>> replicas_;
-  // peer -> set of keys, for O(1) PeerHoldsKey.
-  std::vector<std::unordered_set<uint64_t>> held_;
+  // peer -> sorted keys.  PeerHoldsKey is the walk search's content
+  // oracle, probed once per walker step, and a binary search over the
+  // ~keys*repl/numPeers contiguous keys a peer holds beats a hash-set
+  // probe there; placement mutations are rare (bulk setup + occasional
+  // RemoveKey).
+  std::vector<std::vector<uint64_t>> held_;
   std::vector<net::PeerId> empty_;
 };
 

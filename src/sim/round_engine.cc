@@ -15,19 +15,19 @@ void RoundEngine::AddActor(std::string name, RoundActor actor) {
 }
 
 void RoundEngine::AddMetric(std::string name, MetricProbe probe) {
-  series_.emplace(name, TimeSeries(name));
-  metrics_.push_back(Metric{std::move(name), std::move(probe)});
+  auto [it, inserted] = series_.emplace(name, TimeSeries(name));
+  (void)inserted;
+  metrics_.push_back(Metric{std::move(name), std::move(probe), &it->second});
 }
 
 void RoundEngine::AddCounterRateMetric(std::string name,
                                        std::string counter_prefix) {
-  std::string metric_name = name;
-  last_counter_value_[metric_name] = 0;
+  // Resolve the prefix to an interned group once; the last-value slot
+  // lives in the closure, so each round is GroupSum + a subtraction.
+  GroupId group = counters_.InternPrefix(counter_prefix);
   AddMetric(std::move(name),
-            [this, metric_name, prefix = std::move(counter_prefix)](
-                const RoundContext&) {
-              uint64_t total = counters_.SumWithPrefix(prefix);
-              uint64_t& last = last_counter_value_[metric_name];
+            [this, group, last = uint64_t{0}](const RoundContext&) mutable {
+              uint64_t total = counters_.GroupSum(group);
               uint64_t delta = total - last;
               last = total;
               return static_cast<double>(delta);
@@ -44,7 +44,7 @@ void RoundEngine::Run(uint64_t rounds) {
     for (auto& [name, actor] : actors_) actor(ctx);
     queue_.RunUntil(ctx.time + round_length_);
     for (auto& m : metrics_) {
-      series_.at(m.name).Append(m.probe(ctx));
+      m.series->Append(m.probe(ctx));
     }
     ++round_;
   }

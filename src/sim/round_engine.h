@@ -48,6 +48,10 @@ class RoundEngine {
 
   /// Convenience: records the per-round delta of a counter-registry prefix
   /// (e.g. "msg.") as a metric, which yields messages-per-round directly.
+  /// The prefix is resolved to an interned counter group at registration
+  /// time and the metric's last-value slot lives in the probe itself, so
+  /// the per-round cost is an O(group size) integer sum -- no string work,
+  /// no map lookups.
   void AddCounterRateMetric(std::string name, std::string counter_prefix);
 
   /// Runs `rounds` rounds.  Each round: actors fire, then intra-round
@@ -72,10 +76,10 @@ class RoundEngine {
   struct Metric {
     std::string name;
     MetricProbe probe;
+    TimeSeries* series;  ///< cached &series_[name]; map nodes are stable
   };
   std::vector<Metric> metrics_;
   std::map<std::string, TimeSeries> series_;
-  std::map<std::string, uint64_t> last_counter_value_;
 };
 
 }  // namespace pdht::sim

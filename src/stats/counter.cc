@@ -4,47 +4,82 @@
 
 namespace pdht {
 
+CounterId CounterRegistry::Intern(const std::string& name) {
+  // try_emplace: no node/string allocation when the name is already
+  // interned (the common case for the compat Get path).
+  auto [it, inserted] =
+      ids_.try_emplace(name, static_cast<CounterId>(values_.size()));
+  if (!inserted) return it->second;
+  CounterId id = it->second;
+  values_.push_back(0);
+  names_.push_back(&it->first);
+  handles_.push_back(Counter(this, id));
+  // Late-interned counters join every matching group so GroupSum stays
+  // equivalent to SumWithPrefix regardless of intern/group order.
+  for (PrefixGroup& g : groups_) {
+    if (name.compare(0, g.prefix.size(), g.prefix) == 0) {
+      g.members.push_back(id);
+    }
+  }
+  return id;
+}
+
+GroupId CounterRegistry::InternPrefix(const std::string& prefix) {
+  for (GroupId g = 0; g < groups_.size(); ++g) {
+    if (groups_[g].prefix == prefix) return g;
+  }
+  GroupId g = static_cast<GroupId>(groups_.size());
+  groups_.push_back(PrefixGroup{prefix, {}});
+  // Existing counters with the prefix form a contiguous range of the
+  // ordered intern table.
+  for (auto it = ids_.lower_bound(prefix); it != ids_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    groups_.back().members.push_back(it->second);
+  }
+  return g;
+}
+
 Counter& CounterRegistry::Get(const std::string& name) {
-  return counters_[name];
+  return handles_[Intern(name)];
 }
 
 uint64_t CounterRegistry::Value(const std::string& name) const {
-  auto it = counters_.find(name);
-  return it == counters_.end() ? 0 : it->second.value();
+  auto it = ids_.find(name);
+  return it == ids_.end() ? 0 : values_[it->second];
 }
 
 uint64_t CounterRegistry::SumWithPrefix(const std::string& prefix) const {
   uint64_t sum = 0;
   // std::map is ordered, so all keys with the prefix form a contiguous range.
-  for (auto it = counters_.lower_bound(prefix); it != counters_.end(); ++it) {
+  for (auto it = ids_.lower_bound(prefix); it != ids_.end(); ++it) {
     if (it->first.compare(0, prefix.size(), prefix) != 0) break;
-    sum += it->second.value();
+    sum += values_[it->second];
   }
   return sum;
 }
 
 uint64_t CounterRegistry::Total() const {
   uint64_t sum = 0;
-  for (const auto& [name, c] : counters_) sum += c.value();
+  for (uint64_t v : values_) sum += v;
   return sum;
 }
 
 void CounterRegistry::ResetAll() {
-  for (auto& [name, c] : counters_) c.Reset();
+  for (uint64_t& v : values_) v = 0;
 }
 
 std::vector<std::pair<std::string, uint64_t>> CounterRegistry::Snapshot()
     const {
   std::vector<std::pair<std::string, uint64_t>> out;
-  out.reserve(counters_.size());
-  for (const auto& [name, c] : counters_) out.emplace_back(name, c.value());
+  out.reserve(ids_.size());
+  for (const auto& [name, id] : ids_) out.emplace_back(name, values_[id]);
   return out;
 }
 
 std::string CounterRegistry::Report() const {
   std::ostringstream os;
-  for (const auto& [name, c] : counters_) {
-    os << name << " = " << c.value() << "\n";
+  for (const auto& [name, id] : ids_) {
+    os << name << " = " << values_[id] << "\n";
   }
   return os.str();
 }

@@ -1,0 +1,160 @@
+// Coverage for the interned-handle fast path of CounterRegistry
+// (Intern/Add(id)/Value(id) + prefix groups), and its equivalence with
+// the string-keyed compatibility API.  The string API itself is covered
+// by counter_test.cc, unchanged from before the handle refactor.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stats/counter.h"
+
+namespace pdht {
+namespace {
+
+TEST(CounterInternTest, IdsAreDenseAndStable) {
+  CounterRegistry reg;
+  CounterId a = reg.Intern("msg.a");
+  CounterId b = reg.Intern("msg.b");
+  CounterId c = reg.Intern("msg.c");
+  // Dense: 0,1,2 in intern order.
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(c, 2u);
+  EXPECT_EQ(reg.NumCounters(), 3u);
+  // Stable: re-interning any name yields the same id, forever.
+  EXPECT_EQ(reg.Intern("msg.a"), a);
+  EXPECT_EQ(reg.Intern("msg.c"), c);
+  reg.Intern("msg.d");
+  EXPECT_EQ(reg.Intern("msg.b"), b);
+  EXPECT_EQ(reg.NumCounters(), 4u);
+}
+
+TEST(CounterInternTest, NameOfRoundTrips) {
+  CounterRegistry reg;
+  CounterId id = reg.Intern("msg.dht.lookup");
+  EXPECT_EQ(reg.NameOf(id), "msg.dht.lookup");
+}
+
+TEST(CounterInternTest, AddByIdAgreesWithStringApi) {
+  CounterRegistry reg;
+  CounterId id = reg.Intern("msg.x");
+  reg.Add(id);
+  reg.Add(id, 5);
+  // Id reads == string reads.
+  EXPECT_EQ(reg.Value(id), 6u);
+  EXPECT_EQ(reg.Value("msg.x"), 6u);
+  // Mixing the APIs hits the same slot in both directions.
+  reg.Get("msg.x").Add(4);
+  EXPECT_EQ(reg.Value(id), 10u);
+  EXPECT_EQ(reg.Get("msg.x").value(), 10u);
+}
+
+TEST(CounterInternTest, GetInternsTheSameId) {
+  CounterRegistry reg;
+  reg.Get("msg.y").Add(3);
+  CounterId id = reg.Intern("msg.y");
+  EXPECT_EQ(reg.Value(id), 3u);
+}
+
+TEST(CounterInternTest, HandleReferencesSurviveGrowth) {
+  CounterRegistry reg;
+  Counter& a = reg.Get("a");
+  // Force the flat value array through several growth reallocations.
+  for (int i = 0; i < 100; ++i) reg.Intern("grow." + std::to_string(i));
+  a.Add(7);
+  EXPECT_EQ(reg.Value("a"), 7u);
+  EXPECT_EQ(a.value(), 7u);
+}
+
+TEST(CounterInternTest, ResetAllZeroesIdSlots) {
+  CounterRegistry reg;
+  CounterId id = reg.Intern("msg.z");
+  reg.Add(id, 9);
+  reg.ResetAll();
+  EXPECT_EQ(reg.Value(id), 0u);
+  EXPECT_EQ(reg.NumCounters(), 1u);  // names/ids retained
+}
+
+TEST(PrefixGroupTest, GroupSumMatchesSumWithPrefix) {
+  CounterRegistry reg;
+  reg.Get("msg.dht.lookup").Add(10);
+  reg.Get("msg.dht.insert").Add(5);
+  reg.Get("msg.unstructured.walk").Add(100);
+  reg.Get("msg.total").Add(115);
+  GroupId dht = reg.InternPrefix("msg.dht.");
+  GroupId all = reg.InternPrefix("msg.");
+  GroupId none = reg.InternPrefix("zzz");
+  EXPECT_EQ(reg.GroupSum(dht), reg.SumWithPrefix("msg.dht."));
+  EXPECT_EQ(reg.GroupSum(dht), 15u);
+  EXPECT_EQ(reg.GroupSum(all), reg.SumWithPrefix("msg."));
+  EXPECT_EQ(reg.GroupSum(none), 0u);
+}
+
+TEST(PrefixGroupTest, MembershipIncludesLateInternedCounters) {
+  CounterRegistry reg;
+  reg.Get("msg.dht.lookup").Add(1);
+  GroupId dht = reg.InternPrefix("msg.dht.");
+  EXPECT_EQ(reg.GroupMembers(dht).size(), 1u);
+  // Counters interned after the group joins it, via either API.
+  CounterId ins = reg.Intern("msg.dht.insert");
+  reg.Add(ins, 2);
+  reg.Get("msg.dht.response").Add(4);
+  reg.Get("msg.maint.probe").Add(100);  // non-member stays out
+  EXPECT_EQ(reg.GroupMembers(dht).size(), 3u);
+  EXPECT_EQ(reg.GroupSum(dht), 7u);
+  EXPECT_EQ(reg.GroupSum(dht), reg.SumWithPrefix("msg.dht."));
+}
+
+TEST(PrefixGroupTest, InternPrefixIsIdempotent) {
+  CounterRegistry reg;
+  GroupId a = reg.InternPrefix("msg.");
+  GroupId b = reg.InternPrefix("msg.");
+  EXPECT_EQ(a, b);
+  reg.Get("msg.x").Add(1);
+  EXPECT_EQ(reg.GroupSum(a), 1u);
+}
+
+TEST(PrefixGroupTest, ExactNameAndSiblingSemanticsMatchLegacy) {
+  CounterRegistry reg;
+  reg.Get("msg.dht").Add(1);
+  reg.Get("msg.dhtx").Add(2);
+  reg.Get("msg.total").Add(42);
+  // Same string-prefix semantics as SumWithPrefix: "msg.dht" matches both
+  // siblings, the dotted convention isolates, an exact name matches itself.
+  EXPECT_EQ(reg.GroupSum(reg.InternPrefix("msg.dht")), 3u);
+  EXPECT_EQ(reg.GroupSum(reg.InternPrefix("msg.dht.")), 0u);
+  EXPECT_EQ(reg.GroupSum(reg.InternPrefix("msg.total")), 42u);
+}
+
+TEST(PrefixGroupTest, RandomizedEquivalenceWithLegacySums) {
+  // Interleave counter interns and group interns in a fixed pseudo-random
+  // order and check every group always equals the legacy walk.
+  CounterRegistry reg;
+  const std::vector<std::string> names = {
+      "msg.dht.lookup", "msg.dht.insert",  "msg.dht.response",
+      "msg.maint.probe", "msg.maint.stab", "msg.replica.push",
+      "msg.unstructured.walk", "msg.total", "hit.count"};
+  const std::vector<std::string> prefixes = {"msg.", "msg.dht.",
+                                             "msg.maint.", "msg.replica.",
+                                             "msg.total", "hit."};
+  std::vector<GroupId> groups;
+  uint64_t state = 0x9e3779b97f4a7c15ull;
+  for (size_t step = 0; step < 64; ++step) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    if (step % 3 == 0 && groups.size() < prefixes.size()) {
+      groups.push_back(reg.InternPrefix(prefixes[groups.size()]));
+    } else {
+      const std::string& name = names[state % names.size()];
+      reg.Add(reg.Intern(name), state % 17);
+    }
+    for (size_t g = 0; g < groups.size(); ++g) {
+      EXPECT_EQ(reg.GroupSum(groups[g]), reg.SumWithPrefix(prefixes[g]))
+          << "prefix " << prefixes[g] << " at step " << step;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pdht
