@@ -15,6 +15,9 @@
 //   --rounds=<n>     simulated rounds per cell; 0/absent = the bench's
 //                    default budget
 //   --full           paper-scale scenario where supported
+//   --json=<path>    machine-readable baseline output, for the benches
+//                    that emit one (bench_perf_roundloop, bench_latency);
+//                    ignored by the rest
 //
 // Smoke mode: when --rounds undercuts the bench's default budget the run
 // is marked as a smoke run -- shape checks are still evaluated and
@@ -55,6 +58,7 @@ inline core::SystemConfig ScaledBaseConfig() {
 
 struct BenchFlags {
   std::string csv;
+  std::string json;      ///< baseline output path; empty = bench default.
   unsigned threads = 0;  ///< 0 = auto (hardware_concurrency).
   uint32_t seeds = 4;
   uint64_t rounds = 0;  ///< 0 = bench default.
@@ -84,6 +88,8 @@ inline BenchFlags ParseBenchFlags(int argc, char** argv) {
     };
     if (const char* v = value_of("--csv=")) {
       f.csv = v;
+    } else if (const char* v = value_of("--json=")) {
+      f.json = v;
     } else if (const char* v = value_of("--threads=")) {
       f.threads = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
     } else if (const char* v = value_of("--seeds=")) {

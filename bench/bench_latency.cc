@@ -1,0 +1,257 @@
+// Lookup latency under the pluggable delivery models (PR 4's new
+// measurement axis): the same 1/14-scale Table 1 scenario run under
+//
+//   immediate     -- the seed's synchronous delivery (message counts only),
+//   latency       -- synthetic-coordinate delays, RTT-blind routing tables,
+//   latency+pns   -- same delays, Kademlia proximity-aware bucket selection
+//                    (StructuredOverlay::SetPeerRtt).
+//
+// Three claims are checked as shapes:
+//   1. Message counts are delivery-model invariant: every per-cell
+//      msg.rate.* / hit.rate metric under `latency` equals the `immediate`
+//      cell bit-for-bit (the models only decide *when* handlers run).
+//   2. Proximity-aware bucket selection reduces mean lookup RTT vs the
+//      RTT-blind baseline at the same scenario (the PNS win).
+//   3. Routing stretch (lookup RTT / direct origin->terminus RTT) drops
+//      accordingly.
+//
+// Seeds are paired across the three runs (same ExperimentSpec shape, same
+// base seed, no extra axes), so the comparisons are per-cell, not just
+// in-expectation.  Emits BENCH_latency.json (--json=<path>; smoke-budget
+// runs default to BENCH_latency_smoke.json so they cannot clobber the
+// committed full-budget baseline).
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/pdht_system.h"
+#include "exp/experiment.h"
+#include "exp/parallel_runner.h"
+#include "net/delivery_model.h"
+#include "stats/table_writer.h"
+
+namespace {
+
+using pdht::TableWriter;
+using pdht::core::PdhtSystem;
+using pdht::core::SystemConfig;
+
+constexpr uint64_t kSeed = 20260730;
+constexpr uint64_t kDefaultRounds = 240;
+
+/// Table 1 at 1/14 scale (the bench_perf_roundloop scenario): 1428 peers,
+/// 2857 keys, churn on, Kademlia-backed partialTtl index.
+SystemConfig Scale14Config() {
+  SystemConfig c;
+  c.params.num_peers = 1428;
+  c.params.keys = 2857;
+  c.params.stor = 50;
+  c.params.repl = 25;
+  c.params.f_qry = 1.0 / 10.0;
+  c.params.f_upd = 1.0 / 3600.0;
+  c.strategy = pdht::core::Strategy::kPartialTtl;
+  c.backend = pdht::core::DhtBackend::kKademlia;
+  c.churn.enabled = true;
+  c.seed = kSeed;
+  return c;
+}
+
+struct Variant {
+  std::string label;
+  pdht::net::DeliveryModelKind delivery;
+  bool proximity;
+};
+
+struct VariantResult {
+  std::string label;
+  std::vector<pdht::exp::CellResult> cells;
+  pdht::exp::AggregateRow row;  ///< single-grid-point aggregate
+};
+
+double Mean(const pdht::exp::AggregateRow& row, const char* key) {
+  return row.Stat(key).mean;
+}
+
+/// JSON has no NaN literal; absent metrics (the immediate variant has no
+/// latency axis) serialize as null.
+void PrintJsonNumber(std::FILE* f, double v, int precision) {
+  if (std::isnan(v)) {
+    std::fprintf(f, "null");
+  } else {
+    std::fprintf(f, "%.*f", precision, v);
+  }
+}
+
+bool WriteJson(const std::string& path,
+               const std::vector<VariantResult>& results, uint64_t rounds,
+               bool smoke) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\n  \"bench\": \"latency\",\n");
+  std::fprintf(f, "  \"scenario\": \"scale_1_14\",\n");
+  std::fprintf(f, "  \"backend\": \"kademlia\",\n");
+  std::fprintf(f, "  \"seed\": %llu,\n",
+               static_cast<unsigned long long>(kSeed));
+  std::fprintf(f, "  \"rounds\": %llu,\n",
+               static_cast<unsigned long long>(rounds));
+  std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(f, "  \"variants\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const pdht::exp::AggregateRow& row = results[i].row;
+    std::fprintf(f, "    {\"delivery\": \"%s\", \"msgs_per_round\": %.2f, "
+                 "\"hit_rate\": %.4f, ",
+                 results[i].label.c_str(),
+                 Mean(row, PdhtSystem::kSeriesMsgTotal),
+                 Mean(row, PdhtSystem::kSeriesHitRate));
+    const std::vector<std::pair<const char*, const char*>> rtt_fields = {
+        {"lookup_rtt_mean_ms", PdhtSystem::kMetricLookupRttMean},
+        {"lookup_rtt_p50_ms", PdhtSystem::kMetricLookupRttP50},
+        {"lookup_rtt_p95_ms", PdhtSystem::kMetricLookupRttP95},
+        {"lookup_rtt_p99_ms", PdhtSystem::kMetricLookupRttP99}};
+    for (const auto& [name, key] : rtt_fields) {
+      std::fprintf(f, "\"%s\": ", name);
+      PrintJsonNumber(f, Mean(row, key), 3);
+      std::fprintf(f, ", ");
+    }
+    std::fprintf(f, "\"stretch\": ");
+    PrintJsonNumber(f, Mean(row, PdhtSystem::kMetricLookupStretch), 4);
+    std::fprintf(f, "}%s\n", i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pdht::bench::BenchFlags flags = pdht::bench::ParseBenchFlags(argc, argv);
+  const uint64_t rounds = flags.RoundsOrDefault(kDefaultRounds);
+
+  pdht::bench::PrintHeader(
+      "bench_latency -- lookup RTT under pluggable delivery models "
+      "(1/14-scale Table 1, kademlia, churn on)",
+      "new measurement axis over the paper's message-count metric; "
+      "baseline artifact BENCH_latency.json");
+
+  const std::vector<Variant> variants = {
+      {"immediate", pdht::net::DeliveryModelKind::kImmediate, false},
+      {"latency", pdht::net::DeliveryModelKind::kLatency, false},
+      {"latency+pns", pdht::net::DeliveryModelKind::kLatency, true},
+  };
+
+  // One spec per variant, no axes: the three runs share base seed and
+  // cell indexing, so seed i of one variant pairs exactly with seed i of
+  // every other (the per-cell invariance check depends on this).
+  pdht::exp::ParallelRunner runner({flags.threads});
+  std::vector<VariantResult> results;
+  for (const Variant& v : variants) {
+    pdht::exp::ExperimentSpec spec;
+    spec.name = "latency_" + v.label;
+    spec.base = Scale14Config();
+    spec.base.delivery_model = v.delivery;
+    spec.base.proximity_routing = v.proximity;
+    spec.rounds = rounds;
+    spec.tail = std::max<size_t>(1, rounds / 4);
+    spec.seeds_per_cell = flags.seeds;
+    VariantResult r;
+    r.label = v.label;
+    r.cells = runner.Run(spec);
+    auto rows = pdht::exp::Aggregate(spec, r.cells);
+    r.row = rows.front();
+    results.push_back(std::move(r));
+    std::printf("measured %-12s: %.1f msg/round, lookup rtt mean %.2f ms\n",
+                v.label.c_str(),
+                Mean(results.back().row, PdhtSystem::kSeriesMsgTotal),
+                Mean(results.back().row, PdhtSystem::kMetricLookupRttMean));
+  }
+
+  TableWriter table({"delivery", "msg/round (tail)", "hit rate",
+                     "rtt mean [ms]", "p50", "p95", "p99", "stretch"});
+  for (const VariantResult& r : results) {
+    auto cell = [&](const char* key, int prec) {
+      return pdht::exp::FormatStats(r.row.Stat(key), prec);
+    };
+    const bool has_rtt =
+        r.row.Stat(PdhtSystem::kMetricLookupRttMean).n > 0;
+    table.AddRow({r.label,
+                  cell(PdhtSystem::kSeriesMsgTotal, 6),
+                  cell(PdhtSystem::kSeriesHitRate, 4),
+                  has_rtt ? cell(PdhtSystem::kMetricLookupRttMean, 4) : "-",
+                  has_rtt ? cell(PdhtSystem::kMetricLookupRttP50, 4) : "-",
+                  has_rtt ? cell(PdhtSystem::kMetricLookupRttP95, 4) : "-",
+                  has_rtt ? cell(PdhtSystem::kMetricLookupRttP99, 4) : "-",
+                  has_rtt ? cell(PdhtSystem::kMetricLookupStretch, 4)
+                          : "-"});
+  }
+  pdht::bench::EmitTable(table, flags.csv);
+
+  // --- Shape checks ----------------------------------------------------
+  bool pass = true;
+
+  // 1. Message counts are delivery-model invariant, per cell and bit for
+  //    bit: only metrics that exist under both models are compared (the
+  //    latency run adds lookup.rtt.* / net.rate.deferred on top).
+  const auto& imm_cells = results[0].cells;
+  const auto& lat_cells = results[1].cells;
+  bool invariant = imm_cells.size() == lat_cells.size();
+  if (invariant) {
+    for (size_t i = 0; i < imm_cells.size(); ++i) {
+      for (const auto& [key, value] : imm_cells[i].metrics) {
+        auto it = lat_cells[i].metrics.find(key);
+        if (it == lat_cells[i].metrics.end() || it->second != value) {
+          invariant = false;
+          std::printf("  count divergence: cell %zu metric %s\n", i,
+                      key.c_str());
+          break;
+        }
+      }
+    }
+  }
+  std::printf("shape check: latency delivery keeps every immediate-mode "
+              "metric bit-identical: %s\n", invariant ? "PASS" : "FAIL");
+  pass &= invariant;
+
+  // 2. The PNS win (the acceptance criterion): proximity-aware bucket
+  //    selection reduces mean lookup RTT vs the RTT-blind baseline.
+  const double blind_rtt =
+      Mean(results[1].row, PdhtSystem::kMetricLookupRttMean);
+  const double pns_rtt =
+      Mean(results[2].row, PdhtSystem::kMetricLookupRttMean);
+  const bool pns_wins = pns_rtt > 0.0 && pns_rtt < blind_rtt;
+  std::printf("shape check: kademlia PNS reduces mean lookup RTT "
+              "(blind %.2f ms -> pns %.2f ms, %.1f%% win): %s\n",
+              blind_rtt, pns_rtt,
+              blind_rtt > 0.0 ? 100.0 * (1.0 - pns_rtt / blind_rtt) : 0.0,
+              pns_wins ? "PASS" : "FAIL");
+  pass &= pns_wins;
+
+  // 3. Routing stretch moves the same way.
+  const double blind_stretch =
+      Mean(results[1].row, PdhtSystem::kMetricLookupStretch);
+  const double pns_stretch =
+      Mean(results[2].row, PdhtSystem::kMetricLookupStretch);
+  const bool stretch_wins = pns_stretch > 0.0 && pns_stretch < blind_stretch;
+  std::printf("shape check: routing stretch drops under PNS "
+              "(%.3f -> %.3f): %s\n",
+              blind_stretch, pns_stretch, stretch_wins ? "PASS" : "FAIL");
+  pass &= stretch_wins;
+
+  std::string json_path = flags.json;
+  if (json_path.empty()) {
+    json_path =
+        flags.smoke ? "BENCH_latency_smoke.json" : "BENCH_latency.json";
+  }
+  if (WriteJson(json_path, results, rounds, flags.smoke)) {
+    std::printf("json baseline written to %s\n", json_path.c_str());
+  } else {
+    std::printf("FAILED to write json baseline to %s\n", json_path.c_str());
+    return 1;
+  }
+
+  return pdht::bench::ShapeCheckExit(flags, pass);
+}

@@ -19,8 +19,8 @@
 // Release (-O2) smoke mode and uploads the JSON as an artifact.
 //
 // Flags: the shared set (bench_common.h; --rounds=<n> below the default
-// budget = smoke mode, --full adds the paper-scale scenario) plus
-// --json=<path>.
+// budget = smoke mode, --full adds the paper-scale scenario, --json=<path>
+// overrides the baseline output path).
 
 #include <chrono>
 #include <cstdio>
@@ -161,21 +161,7 @@ bool WriteJson(const std::string& path,
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Split off the bench-local --json flag before the shared parser (which
-  // warns on unknown flags).
-  std::string json_path;
-  std::vector<char*> shared_args;
-  shared_args.push_back(argv[0]);
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg.rfind("--json=", 0) == 0) {
-      json_path = arg.substr(7);
-    } else {
-      shared_args.push_back(argv[i]);
-    }
-  }
-  BenchFlags flags = pdht::bench::ParseBenchFlags(
-      static_cast<int>(shared_args.size()), shared_args.data());
+  BenchFlags flags = pdht::bench::ParseBenchFlags(argc, argv);
 
   pdht::bench::PrintHeader(
       "round-loop throughput: single-thread rounds/sec (scaled Table 1 "
@@ -219,6 +205,7 @@ int main(int argc, char** argv) {
   // Default output path: full-budget runs refresh the committed baseline
   // name; reduced-budget runs get their own file so a casual smoke run
   // from the repo root cannot clobber the recorded full-budget numbers.
+  std::string json_path = flags.json;
   if (json_path.empty()) {
     bool any_smoke = false;
     for (const Measurement& m : results) any_smoke |= m.smoke;

@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "model/selection_model.h"
+#include "util/hash.h"
 #include "util/logging.h"
 
 namespace pdht::core {
@@ -23,6 +24,10 @@ std::string SystemConfig::Validate() const {
   if (overlay_degree < 2.0) return "overlay_degree must be >= 2";
   if (walk.num_walkers == 0) return "walk.num_walkers must be >= 1";
   if (kademlia_bucket_size == 0) return "kademlia_bucket_size must be >= 1";
+  if (delivery_model == net::DeliveryModelKind::kLatency) {
+    std::string lat_err = latency.Validate();
+    if (!lat_err.empty()) return lat_err;
+  }
   return "";
 }
 
@@ -30,6 +35,11 @@ PdhtSystem::PdhtSystem(const SystemConfig& config)
     : config_(config), rng_(config.seed), engine_(1.0),
       autotuner_(config.autotuner) {
   assert(config_.Validate().empty());
+  // One sample per query: unbounded at paper scale, so cap retention
+  // (moments exact, surfaced quantiles become estimates over a 256k
+  // systematic subsample -- far past the precision any p99 needs).
+  lookup_rtt_ms_.SetSampleCap(1 << 18);
+  lookup_direct_ms_.SetSampleCap(1 << 18);
   DeriveSettings();
   BuildSubstrates();
   SelectDhtMembers();
@@ -96,6 +106,21 @@ void PdhtSystem::DeriveSettings() {
 void PdhtSystem::BuildSubstrates() {
   const auto& p = config_.params;
   network_ = std::make_unique<net::Network>(&engine_.counters());
+  if (config_.delivery_model == net::DeliveryModelKind::kLatency) {
+    // Hash-derived topology seed: latency_seed pins the coordinate space
+    // across sweep cells; 0 ties it to the run seed.  No Rng fork -- the
+    // model is a pure hash function, so the main stream (and with it
+    // every immediate-mode golden series) is untouched.
+    const uint64_t topo_seed =
+        config_.latency_seed != 0
+            ? config_.latency_seed
+            : Mix64(HashCombine(config_.seed, 0x64656c6179ULL));  // "delay"
+    delivery_ = std::make_unique<net::LatencyDelivery>(config_.latency,
+                                                       topo_seed);
+  } else {
+    delivery_ = std::make_unique<net::ImmediateDelivery>();
+  }
+  network_->SetDeliveryModel(delivery_.get(), &engine_.events());
   nodes_.resize(p.num_peers);
   for (uint32_t i = 0; i < p.num_peers; ++i) {
     nodes_[i] = PdhtNode(i, p.stor);
@@ -153,6 +178,15 @@ void PdhtSystem::SelectDhtMembers() {
   // Validate() already vetted the backend; exactly one overlay is live
   // from here on.
   assert(overlay_ != nullptr);
+  if (config_.proximity_routing && network_->deferred_delivery()) {
+    // Hand the overlay the delivery model's RTT oracle *before* the
+    // routing tables are built so proximity-aware backends (Kademlia)
+    // can prefer cheap links among equivalent candidates.
+    const net::DeliveryModel* model = delivery_.get();
+    overlay_->SetPeerRtt([model](net::PeerId a, net::PeerId b) {
+      return model->RttMs(a, b);
+    });
+  }
   overlay_->SetMembers(dht_members_);
 }
 
@@ -240,6 +274,12 @@ void PdhtSystem::RegisterActors() {
   engine_.AddCounterRateMetric(kSeriesMsgUnstructured, "msg.unstructured.");
   engine_.AddCounterRateMetric(kSeriesMsgReplica, "msg.replica.");
   engine_.AddCounterRateMetric(kSeriesMsgMaint, "msg.maint.");
+  if (network_->deferred_delivery()) {
+    // In-flight observability for latency runs only: immediate-mode runs
+    // keep the seed-era series set (snapshots stay byte-identical).
+    engine_.AddCounterRateMetric(kSeriesDeferredRate,
+                                 "net.delivery.deferred");
+  }
   engine_.AddMetric(kSeriesHitRate, [this](const sim::RoundContext&) {
     return round_queries_ == 0
                ? 0.0
@@ -353,6 +393,10 @@ QueryOutcome PdhtSystem::RunIndexFirstQuery(net::PeerId origin, uint64_t key,
   out.origin = origin;
   const double now = engine_.now();
   uint64_t before = network_->TotalMessages();
+  // Lookup-RTT bracket: the index phase's messages are sequential hops,
+  // so its serialized latency is the delta of the network's running
+  // link-delay sum (0 under immediate delivery).
+  const double lat_before = network_->total_latency_s();
 
   net::PeerId entry = DhtEntryPoint(origin);
   if (entry == net::kInvalidPeer) {
@@ -364,6 +408,14 @@ QueryOutcome PdhtSystem::RunIndexFirstQuery(net::PeerId origin, uint64_t key,
   }
 
   overlay::LookupResult route = DhtLookup(entry, key);
+  if (network_->deferred_delivery() &&
+      route.terminus != net::kInvalidPeer) {
+    // Paired samples: measured serialized RTT of this lookup vs the
+    // direct origin->terminus round trip -- their mean ratio is the
+    // routing stretch bench_latency reports.
+    lookup_rtt_ms_.Add((network_->total_latency_s() - lat_before) * 1e3);
+    lookup_direct_ms_.Add(delivery_->RttMs(origin, route.terminus));
+  }
   net::PeerId holder = net::kInvalidPeer;
   if (route.success && route.terminus != net::kInvalidPeer &&
       nodes_[route.terminus].index().Contains(key, now)) {
@@ -559,6 +611,23 @@ RunSnapshot PdhtSystem::Snapshot(size_t tail) const {
   snap.index_keys = IndexedKeyCount();
   snap.effective_key_ttl = EffectiveKeyTtl();
   snap.dht_members = DhtMemberCount();
+  if (network_->deferred_delivery()) {
+    snap.latency[kMetricLookupRttMean] = lookup_rtt_ms_.mean();
+    snap.latency[kMetricLookupRttP50] = lookup_rtt_ms_.Quantile(0.5);
+    snap.latency[kMetricLookupRttP95] = lookup_rtt_ms_.Quantile(0.95);
+    snap.latency[kMetricLookupRttP99] = lookup_rtt_ms_.Quantile(0.99);
+    snap.latency[kMetricLookupRttCount] =
+        static_cast<double>(lookup_rtt_ms_.count());
+    const uint64_t deferred = network_->DeferredCount();
+    snap.latency[kMetricLinkDelayMean] =
+        deferred == 0 ? 0.0
+                      : network_->total_latency_s() * 1e3 /
+                            static_cast<double>(deferred);
+    snap.latency[kMetricLookupStretch] =
+        lookup_direct_ms_.mean() > 0.0
+            ? lookup_rtt_ms_.mean() / lookup_direct_ms_.mean()
+            : 0.0;
+  }
   return snap;
 }
 

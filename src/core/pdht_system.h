@@ -36,7 +36,9 @@
 #include "metadata/workload.h"
 #include "model/cost_model.h"
 #include "model/scenario_params.h"
+#include "net/delivery_model.h"
 #include "net/network.h"
+#include "stats/histogram.h"
 #include "overlay/structured_overlay.h"
 #include "overlay/unstructured/flooding.h"
 #include "overlay/unstructured/random_graph.h"
@@ -87,6 +89,28 @@ struct SystemConfig {
   /// backends ignore it.
   uint32_t kademlia_bucket_size = 8;
 
+  /// Message-delivery model (net/delivery_model.h).  kImmediate is the
+  /// seed's synchronous semantics (and costs the hot loop nothing);
+  /// kLatency assigns every peer a deterministic synthetic coordinate,
+  /// defers deliveries through the event queue and opens the latency
+  /// measurement axis (lookup RTT quantiles in Snapshot().latency).
+  /// The delivery seam itself never changes message counts; to hold the
+  /// count series bit-identical to an immediate run, also set
+  /// proximity_routing = false (PNS deliberately builds different
+  /// routing tables, which changes who talks to whom).
+  net::DeliveryModelKind delivery_model = net::DeliveryModelKind::kImmediate;
+  /// Seed of the synthetic coordinate space; 0 derives one from `seed`,
+  /// so default runs stay reproducible while sweeps can pin the topology
+  /// across cells (same coordinates, different workload randomness).
+  uint64_t latency_seed = 0;
+  /// Link-delay knobs of the kLatency model (ignored by kImmediate).
+  net::LatencyConfig latency;
+  /// Let overlays consult the delivery model's RTT oracle for
+  /// proximity-aware neighbor selection (StructuredOverlay::SetPeerRtt;
+  /// Kademlia implements it).  Only meaningful with kLatency; turn off
+  /// for an RTT-blind baseline under the same delay model.
+  bool proximity_routing = true;
+
   /// Returns an empty string when the configuration is self-consistent.
   std::string Validate() const;
 };
@@ -102,6 +126,13 @@ struct RunSnapshot {
   uint64_t index_keys = 0;       ///< IndexedKeyCount() at snapshot time.
   double effective_key_ttl = 0;  ///< EffectiveKeyTtl() at snapshot time.
   uint32_t dht_members = 0;      ///< DhtMemberCount().
+  /// Latency metrics, present only under a non-immediate delivery model
+  /// (empty maps keep immediate-mode snapshots byte-identical to the
+  /// pre-latency era).  Keys are the PdhtSystem::kMetricLookup* names:
+  /// lookup RTT mean/p50/p95/p99 (ms), sample count, mean link delay and
+  /// the routing stretch (mean lookup RTT / mean direct origin->terminus
+  /// RTT).
+  std::map<std::string, double> latency;
 };
 
 /// Outcome of a single query, for tests and fine-grained experiments.
@@ -139,6 +170,15 @@ class PdhtSystem {
   sim::RoundEngine& engine() { return engine_; }
   const sim::RoundEngine& engine() const { return engine_; }
   net::Network& network() { return *network_; }
+
+  /// The installed delivery model (never null; ImmediateDelivery when
+  /// config().delivery_model == kImmediate).
+  const net::DeliveryModel& delivery_model() const { return *delivery_; }
+
+  /// Per-lookup end-to-end RTT samples (ms): entry forward + routing
+  /// hops + response, bracketed over Network::total_latency_s().  Only
+  /// populated under a non-immediate delivery model.
+  const Histogram& lookup_rtt_ms() const { return lookup_rtt_ms_; }
 
   /// Distinct keys currently resident in >= 1 index shard.
   uint64_t IndexedKeyCount() const;
@@ -186,6 +226,20 @@ class PdhtSystem {
   static constexpr const char* kSeriesHitRate = "hit.rate";
   static constexpr const char* kSeriesIndexSize = "index.size";
   static constexpr const char* kSeriesOnlineFraction = "online.fraction";
+  /// Deferred deliveries per round; recorded only under a non-immediate
+  /// delivery model (immediate runs keep the seed-era series set).
+  static constexpr const char* kSeriesDeferredRate = "net.rate.deferred";
+
+  /// RunSnapshot::latency keys (and exp:: metric names once RunCell
+  /// merges them): per-lookup RTT distribution in milliseconds, sample
+  /// count, mean per-message link delay, and routing stretch.
+  static constexpr const char* kMetricLookupRttMean = "lookup.rtt.mean";
+  static constexpr const char* kMetricLookupRttP50 = "lookup.rtt.p50";
+  static constexpr const char* kMetricLookupRttP95 = "lookup.rtt.p95";
+  static constexpr const char* kMetricLookupRttP99 = "lookup.rtt.p99";
+  static constexpr const char* kMetricLookupRttCount = "lookup.rtt.n";
+  static constexpr const char* kMetricLinkDelayMean = "link.delay.mean";
+  static constexpr const char* kMetricLookupStretch = "lookup.stretch";
 
  private:
   void DeriveSettings();
@@ -226,6 +280,11 @@ class PdhtSystem {
   Rng rng_;
   sim::RoundEngine engine_;
   std::unique_ptr<net::Network> network_;
+  /// The delivery model backing network_ (never null).  Latency models
+  /// are pure hash functions of (latency_seed, peer ids): installing one
+  /// consumes no Rng stream, so immediate-mode runs are bit-identical to
+  /// the pre-delivery-model era.
+  std::unique_ptr<net::DeliveryModel> delivery_;
   std::unique_ptr<sim::ChurnModel> churn_;
   std::unique_ptr<overlay::RandomGraph> graph_;
   std::unique_ptr<overlay::ReplicaPlacement> content_;
@@ -249,6 +308,12 @@ class PdhtSystem {
 
   KeyTtlAutotuner autotuner_;
   uint64_t last_probe_count_ = 0;  // for per-round maintenance deltas
+
+  /// Lookup-latency accounting (deferred delivery only): the measured
+  /// serialized RTT of each index lookup, and the direct origin->terminus
+  /// RTT of the same lookup -- their mean ratio is the routing stretch.
+  Histogram lookup_rtt_ms_;
+  Histogram lookup_direct_ms_;
 };
 
 }  // namespace pdht::core

@@ -95,6 +95,12 @@ CellResult RunCell(const ExperimentSpec& spec, size_t index) {
     result.metrics[kMetricKeyTtl] = snap.effective_key_ttl;
     result.metrics[kMetricDhtMembers] =
         static_cast<double>(snap.dht_members);
+    // Latency metrics (lookup RTT quantiles, routing stretch) exist only
+    // under a non-immediate delivery model; merging the map keeps
+    // immediate-mode cells byte-identical to the pre-latency era.
+    for (const auto& [key, value] : snap.latency) {
+      result.metrics[key] = value;
+    }
     if (spec.collect) spec.collect(sys, cell, result.metrics);
   } catch (const std::exception& e) {
     result.metrics.clear();

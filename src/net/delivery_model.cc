@@ -1,0 +1,92 @@
+#include "net/delivery_model.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+#include "util/hash.h"
+
+namespace pdht::net {
+
+namespace {
+
+/// Domain-separation salts so coordinates and jitter draw from
+/// independent hash families of the same seed.
+constexpr uint64_t kCoordSalt = 0x636f6f7264ULL;   // "coord"
+constexpr uint64_t kJitterSalt = 0x6a69747472ULL;  // "jittr"
+
+std::string ToLower(const std::string& s) {
+  std::string out = s;
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+}  // namespace
+
+const char* DeliveryModelName(DeliveryModelKind k) {
+  switch (k) {
+    case DeliveryModelKind::kImmediate:
+      return "immediate";
+    case DeliveryModelKind::kLatency:
+      return "latency";
+  }
+  return "unknown";
+}
+
+bool ParseDeliveryModel(const std::string& name, DeliveryModelKind* out) {
+  const std::string lower = ToLower(name);
+  if (lower == "immediate") {
+    *out = DeliveryModelKind::kImmediate;
+    return true;
+  }
+  if (lower == "latency") {
+    *out = DeliveryModelKind::kLatency;
+    return true;
+  }
+  return false;
+}
+
+std::string LatencyConfig::Validate() const {
+  if (!(base_ms >= 0.0)) return "latency.base_ms must be >= 0";
+  if (!(ms_per_unit >= 0.0)) return "latency.ms_per_unit must be >= 0";
+  if (!(jitter_ms >= 0.0)) return "latency.jitter_ms must be >= 0";
+  if (base_ms + ms_per_unit + jitter_ms <= 0.0) {
+    return "latency model with all-zero delays: use delivery_model = "
+           "immediate instead";
+  }
+  return "";
+}
+
+LatencyDelivery::LatencyDelivery(const LatencyConfig& config, uint64_t seed)
+    : config_(config), seed_(seed) {}
+
+void LatencyDelivery::Coordinate(PeerId peer, double* x, double* y) const {
+  const uint64_t h =
+      Mix64(HashCombine(HashCombine(seed_, kCoordSalt), peer));
+  // Top/bottom 32 bits -> two uniforms in [0, 1).
+  *x = static_cast<double>(h >> 32) * 0x1p-32;
+  *y = static_cast<double>(h & 0xffffffffULL) * 0x1p-32;
+}
+
+double LatencyDelivery::JitterMs(PeerId a, PeerId b) const {
+  // Unordered link key: both directions of a link share the jitter term,
+  // keeping RttMs symmetric.
+  const uint64_t lo = std::min(a, b);
+  const uint64_t hi = std::max(a, b);
+  const uint64_t h = Mix64(HashCombine(HashCombine(seed_, kJitterSalt),
+                                       HashCombine(lo, hi)));
+  return config_.jitter_ms * (static_cast<double>(h >> 11) * 0x1p-53);
+}
+
+double LatencyDelivery::LinkDelaySeconds(PeerId from, PeerId to) const {
+  double fx, fy, tx, ty;
+  Coordinate(from, &fx, &fy);
+  Coordinate(to, &tx, &ty);
+  const double dist = std::hypot(fx - tx, fy - ty);
+  const double ms =
+      config_.base_ms + config_.ms_per_unit * dist + JitterMs(from, to);
+  return ms * 1e-3;
+}
+
+}  // namespace pdht::net

@@ -1,0 +1,134 @@
+// Pluggable message-delivery models.
+//
+// The paper's cost model counts messages, so the seed network delivered
+// every message synchronously inside Network::Send.  A production-scale
+// deployment is judged on lookup *latency* as much as on message counts,
+// which needs a delay model.  DeliveryModel is that seam: Network asks the
+// installed model for a per-link one-way delay and, when the model is not
+// immediate, defers the destination handler's invocation through the
+// simulation EventQueue so in-flight messages land at their scheduled time
+// inside the round (sim/round_engine.h drains the queue at every round
+// boundary).
+//
+// Two models ship:
+//  * ImmediateDelivery -- delay identically 0; Network keeps the seed's
+//    inline synchronous Send path (bit-for-bit, see the golden-series
+//    tests), so the abstraction costs the hot loop nothing.
+//  * LatencyDelivery -- every peer gets a deterministic synthetic network
+//    coordinate in the unit square, hashed from (seed, peer id); a link's
+//    one-way delay is base + distance * ms_per_unit + per-link jitter.
+//    The model is a pure function of (seed, peer ids): no RNG stream is
+//    consumed and no state is mutated, so results are bit-identical at
+//    any experiment thread count and installing the model never perturbs
+//    the simulation's random draws.
+//
+// Message *counts* are delivery-model invariant by construction: the model
+// only decides *when* a handler runs, never whether a message is charged.
+// (Proximity-aware neighbor selection -- an *overlay* policy the latency
+// model merely feeds via StructuredOverlay::SetPeerRtt -- does change
+// routing tables and therefore counts; disable it via
+// core::SystemConfig::proximity_routing for a counts-identical run.)
+
+#ifndef PDHT_NET_DELIVERY_MODEL_H_
+#define PDHT_NET_DELIVERY_MODEL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "net/message.h"
+
+namespace pdht::net {
+
+/// Selects the delivery model a system builds (core::SystemConfig knob;
+/// sweepable as an experiment axis like any other config field).
+enum class DeliveryModelKind : uint8_t {
+  kImmediate,
+  kLatency,
+};
+
+const char* DeliveryModelName(DeliveryModelKind k);
+
+/// Parses "immediate" / "latency" (case-insensitive); returns false on
+/// unknown input.
+bool ParseDeliveryModel(const std::string& name, DeliveryModelKind* out);
+
+/// Decides when a sent message reaches its destination.  Implementations
+/// must be pure (no internal state mutation in LinkDelaySeconds): the
+/// delay of a link may be queried from multiple experiment threads and
+/// must depend only on construction parameters and the endpoint ids.
+class DeliveryModel {
+ public:
+  virtual ~DeliveryModel() = default;
+
+  /// One-way delay, in seconds, of a message from `from` to `to`.
+  virtual double LinkDelaySeconds(PeerId from, PeerId to) const = 0;
+
+  /// Round-trip time in milliseconds (request + response legs).  The
+  /// proximity-selection hook overlays use (StructuredOverlay::SetPeerRtt)
+  /// and the routing-stretch metrics are expressed in these units.
+  double RttMs(PeerId a, PeerId b) const {
+    return 1e3 * (LinkDelaySeconds(a, b) + LinkDelaySeconds(b, a));
+  }
+
+  /// True when LinkDelaySeconds is identically zero.  Network keeps its
+  /// inline synchronous Send path for immediate models, so they are free.
+  virtual bool immediate() const = 0;
+
+  virtual const char* name() const = 0;
+};
+
+/// The seed semantics: every delivery is synchronous.  Installing this
+/// model is equivalent to installing none.
+class ImmediateDelivery final : public DeliveryModel {
+ public:
+  double LinkDelaySeconds(PeerId, PeerId) const override { return 0.0; }
+  bool immediate() const override { return true; }
+  const char* name() const override { return "immediate"; }
+};
+
+/// Knobs of the synthetic-coordinate latency model.  Defaults give a
+/// WAN-ish spread: 5 ms floor, up to ~118 ms across the unit square
+/// diagonal, 2 ms of deterministic per-link jitter.
+struct LatencyConfig {
+  /// Fixed per-link cost in milliseconds (processing + first/last mile).
+  double base_ms = 5.0;
+  /// Milliseconds per unit of Euclidean distance between the endpoints'
+  /// synthetic coordinates (coordinates live in the unit square, so the
+  /// largest distance-derived term is sqrt(2) * ms_per_unit).
+  double ms_per_unit = 80.0;
+  /// Amplitude of the deterministic per-link jitter: each (unordered)
+  /// link adds a hash-derived constant in [0, jitter_ms).
+  double jitter_ms = 2.0;
+
+  /// Empty when self-consistent.
+  std::string Validate() const;
+};
+
+/// Deterministic synthetic-coordinate latency.  Coordinates and jitter
+/// are hashed from (seed, peer id) / (seed, link), never drawn from an
+/// Rng stream: two instances with equal (config, seed) agree everywhere,
+/// and construction order relative to other subsystems is irrelevant.
+class LatencyDelivery final : public DeliveryModel {
+ public:
+  LatencyDelivery(const LatencyConfig& config, uint64_t seed);
+
+  double LinkDelaySeconds(PeerId from, PeerId to) const override;
+  bool immediate() const override { return false; }
+  const char* name() const override { return "latency"; }
+
+  /// The peer's synthetic coordinate in the unit square.
+  void Coordinate(PeerId peer, double* x, double* y) const;
+
+  const LatencyConfig& config() const { return config_; }
+  uint64_t seed() const { return seed_; }
+
+ private:
+  double JitterMs(PeerId a, PeerId b) const;
+
+  LatencyConfig config_;
+  uint64_t seed_;
+};
+
+}  // namespace pdht::net
+
+#endif  // PDHT_NET_DELIVERY_MODEL_H_

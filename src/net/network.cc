@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "sim/event_queue.h"
+
 namespace pdht::net {
 
 Network::Network(CounterRegistry* counters) : counters_(counters) {
@@ -14,6 +16,16 @@ Network::Network(CounterRegistry* counters) : counters_(counters) {
         counters_->Intern(MessageTypeName(static_cast<MessageType>(i)));
   }
   total_id_ = counters_->Intern("msg.total");
+  // Delivery-outcome counters live under "net.", not "msg.": they tally
+  // outcomes of already-counted messages, so folding them into the
+  // "msg." prefix groups would double-charge the cost series.
+  lost_id_ = counters_->Intern("net.lost");
+  deferred_id_ = counters_->Intern("net.delivery.deferred");
+  dropped_id_ = counters_->Intern("net.delivery.dropped");
+  // One latency sample lands here per deferred message -- an unbounded
+  // stream at paper scale -- so bound the per-type retention; moments
+  // stay exact and quantiles degrade to systematic-subsample estimates.
+  for (Histogram& h : type_latency_ms_) h.SetSampleCap(1 << 16);
 }
 
 void Network::EnsureSlot(PeerId peer) {
@@ -41,6 +53,32 @@ void Network::SetOnline(PeerId peer, bool online) {
   seen_[peer] = true;
   if (online_[peer] != online) online_count_ += online ? 1 : -1;
   online_[peer] = online;
+}
+
+void Network::SetDeliveryModel(const DeliveryModel* model,
+                               sim::EventQueue* events) {
+  delivery_ = model;
+  events_ = events;
+  deferred_ = model != nullptr && !model->immediate();
+  assert(!deferred_ || events != nullptr);
+}
+
+bool Network::SendDeferred(const Message& msg) {
+  const double delay = delivery_->LinkDelaySeconds(msg.from, msg.to);
+  latency_sum_s_ += delay;
+  type_latency_ms_[TypeIndex(msg.type)].Add(delay * 1e3);
+  counters_->Add(deferred_id_);
+  events_->ScheduleAfter(delay, [this, msg] {
+    // Arrival: the destination may have churned offline mid-flight; the
+    // message was charged at send time, so the drop is free but tallied.
+    if (msg.to < handlers_.size() && online_[msg.to]) {
+      MessageHandler* h = handlers_[msg.to];
+      if (h != nullptr) h->HandleMessage(msg);
+    } else {
+      counters_->Add(dropped_id_);
+    }
+  });
+  return true;
 }
 
 }  // namespace pdht::net

@@ -1,4 +1,4 @@
-// Simulated network with message accounting.
+// Simulated network with message accounting and pluggable delivery.
 //
 // Design decision #5 (DESIGN.md): protocols do not count their own
 // messages; every send goes through Network::Send, which attributes the
@@ -11,12 +11,25 @@
 // two array increments (no string construction, no map walk).  Send is
 // defined inline here because it sits on the innermost simulation loop.
 //
-// Delivery model: synchronous (the message is handed to the destination's
-// handler immediately).  The paper's cost model counts messages, not
-// latency, so a delay model is unnecessary; hop-by-hop control flow is
-// expressed directly in the protocol code.  Sends to offline peers are
-// counted (the bytes hit the wire) but flagged undelivered, which is what
-// makes stale routing entries costly and probing worthwhile.
+// Delivery model: pluggable (net/delivery_model.h).  The default is
+// immediate -- the message is handed to the destination's handler
+// synchronously, which is all the paper's message-count metric needs --
+// and Send keeps that path inline and branch-cheap.  Installing a
+// non-immediate model (SetDeliveryModel) routes delivery through
+// SendDeferred: the model's per-link one-way delay is charged to the
+// message, recorded into a per-message-type latency histogram and into
+// the running total_latency_s() (which PdhtSystem brackets to measure
+// per-lookup RTT), and the handler invocation is deferred through the
+// simulation EventQueue so the message lands at its scheduled time.
+// Message *counts* are identical under every model: the model decides
+// when a handler runs, never whether a message is charged.
+//
+// Sends to offline peers are counted (the bytes hit the wire) but flagged
+// undelivered -- additionally tallied under "net.lost" -- which is what
+// makes stale routing entries costly and probing worthwhile.  Send's
+// boolean reports the destination's liveness at *send* time; under
+// deferred delivery a peer that churns offline mid-flight silently drops
+// the message at arrival ("net.delivery.dropped").
 
 #ifndef PDHT_NET_NETWORK_H_
 #define PDHT_NET_NETWORK_H_
@@ -25,8 +38,14 @@
 #include <cstdint>
 #include <vector>
 
+#include "net/delivery_model.h"
 #include "net/message.h"
 #include "stats/counter.h"
+#include "stats/histogram.h"
+
+namespace pdht::sim {
+class EventQueue;
+}  // namespace pdht::sim
 
 namespace pdht::net {
 
@@ -58,15 +77,30 @@ class Network {
   /// of an all-offline network need no bookkeeping of their own.
   uint32_t online_count() const { return online_count_; }
 
+  /// Installs a delivery model (both must outlive the network; pass
+  /// nullptr model to restore the built-in immediate path).  `events` is
+  /// required for non-immediate models -- deferred deliveries are
+  /// scheduled on it -- and may be nullptr otherwise.  Immediate models
+  /// keep Send's inline synchronous path, so installing one is free.
+  void SetDeliveryModel(const DeliveryModel* model, sim::EventQueue* events);
+
+  const DeliveryModel* delivery_model() const { return delivery_; }
+  /// True when deliveries are deferred through the event queue.
+  bool deferred_delivery() const { return deferred_; }
+
   /// Sends `msg`; counts it under MessageTypeName(msg.type) and "msg.total".
-  /// Returns true iff the destination was online (delivered); a registered
-  /// handler, if any, is invoked on delivery.  Peers never seen by
-  /// Register/SetOnline are unreachable.
+  /// Returns true iff the destination was online at send time; a
+  /// registered handler, if any, is invoked on delivery (synchronously,
+  /// or at the model's scheduled arrival time when delivery is deferred).
+  /// Peers never seen by Register/SetOnline are unreachable.
   bool Send(const Message& msg) {
     counters_->Add(type_ids_[TypeIndex(msg.type)]);
     counters_->Add(total_id_);
-    if (msg.to >= handlers_.size()) return false;
-    if (!online_[msg.to]) return false;
+    if (msg.to >= handlers_.size() || !online_[msg.to]) {
+      counters_->Add(lost_id_);
+      return false;
+    }
+    if (deferred_) return SendDeferred(msg);
     // An online peer receives the message whether or not a handler object
     // is attached; most protocol logic in this library runs at system
     // level and only needs the delivered/lost outcome.
@@ -77,7 +111,8 @@ class Network {
 
   /// Counts a message without delivering it.  Used for aggregate traffic
   /// the simulation accounts for statistically rather than hop-by-hop
-  /// (e.g. duplication overhead factors).
+  /// (e.g. duplication overhead factors).  Statistical traffic has no
+  /// link, so no latency is charged under any delivery model.
   void CountOnly(MessageType type, uint64_t n = 1) {
     counters_->Add(type_ids_[TypeIndex(type)], n);
     counters_->Add(total_id_, n);
@@ -93,6 +128,23 @@ class Network {
     return type_ids_[TypeIndex(type)];
   }
   CounterRegistry* counters() { return counters_; }
+
+  // --- Latency accounting (populated only under deferred delivery) -----
+
+  /// Running sum of every charged link delay, in seconds.  Callers
+  /// bracket a protocol exchange (before/after delta) to measure its
+  /// serialized path latency, e.g. PdhtSystem's per-lookup RTT samples.
+  double total_latency_s() const { return latency_sum_s_; }
+
+  /// Per-message-type one-way link-delay samples, in milliseconds.
+  const Histogram& TypeLatencyMs(MessageType type) const {
+    return type_latency_ms_[TypeIndex(type)];
+  }
+
+  /// Messages handed to the event queue / dropped because the
+  /// destination churned offline mid-flight.
+  uint64_t DeferredCount() const { return counters_->Value(deferred_id_); }
+  uint64_t DroppedCount() const { return counters_->Value(dropped_id_); }
 
   size_t num_registered() const { return handlers_.size(); }
 
@@ -111,13 +163,29 @@ class Network {
   /// unseen (the Send contract: never-seen peers are unreachable).
   void EnsureSlot(PeerId peer);
 
+  /// The non-immediate delivery path: charges the model's link delay,
+  /// records the latency sample and schedules the handler invocation on
+  /// the event queue.  Out of line -- it only runs when a latency model
+  /// is installed, and keeping it out of Send keeps the inline fast path
+  /// small.
+  bool SendDeferred(const Message& msg);
+
   CounterRegistry* counters_;
   std::array<CounterId, kNumTypes> type_ids_;
   CounterId total_id_;
+  CounterId lost_id_;      ///< "net.lost": sends to offline/unseen peers
+  CounterId deferred_id_;  ///< "net.delivery.deferred"
+  CounterId dropped_id_;   ///< "net.delivery.dropped"
   std::vector<MessageHandler*> handlers_;
   std::vector<bool> online_;
   std::vector<bool> seen_;  ///< touched by Register/SetOnline
   uint32_t online_count_ = 0;
+
+  const DeliveryModel* delivery_ = nullptr;  ///< not owned; null = immediate
+  sim::EventQueue* events_ = nullptr;        ///< not owned
+  bool deferred_ = false;  ///< delivery_ != null && !delivery_->immediate()
+  double latency_sum_s_ = 0.0;
+  std::array<Histogram, kNumTypes> type_latency_ms_;
 };
 
 }  // namespace pdht::net

@@ -67,7 +67,22 @@ void KademliaOverlay::BuildBuckets(net::PeerId peer) {
   for (int b = 0; b < 64; ++b) {
     std::vector<net::PeerId> cands = BucketCandidates(st.id, b);
     if (cands.size() > bucket_size_) {
-      rng_.Shuffle(cands.data(), cands.size());
+      if (has_peer_rtt()) {
+        // Proximity-aware selection: every candidate of this bucket makes
+        // identical routing progress, so keep the k cheapest links.  RTTs
+        // are materialized once per candidate (the oracle is a hash-and-
+        // hypot evaluation, too costly for O(n log n) comparator calls);
+        // the (rtt, id) key makes the choice deterministic even under
+        // exact RTT ties.  No RNG draw happens on this path, so the
+        // RTT-blind stream is untouched.
+        std::vector<std::pair<double, net::PeerId>> by_rtt;
+        by_rtt.reserve(cands.size());
+        for (net::PeerId c : cands) by_rtt.emplace_back(PeerRtt(peer, c), c);
+        std::sort(by_rtt.begin(), by_rtt.end());
+        for (size_t i = 0; i < bucket_size_; ++i) cands[i] = by_rtt[i].second;
+      } else {
+        rng_.Shuffle(cands.data(), cands.size());
+      }
       cands.resize(bucket_size_);
     }
     st.buckets[b] = std::move(cands);
@@ -246,18 +261,31 @@ uint64_t KademliaOverlay::RunMaintenanceRound(double env) {
       ++probes;
       if (!network_->IsOnline(contact)) {
         // Repair is free (piggybacked): swap in an online member of the
-        // same bucket not already referenced, if one exists.
+        // same bucket not already referenced, if one exists.  With the
+        // PeerRtt hook installed the *cheapest* such replacement wins
+        // (proximity-aware repair); blind repair keeps first-found.
         std::vector<net::PeerId> cands =
             BucketCandidates(st.id, static_cast<int>(b));
+        net::PeerId best = net::kInvalidPeer;
+        double best_rtt = 0.0;
         for (net::PeerId cand : cands) {
           if (!network_->IsOnline(cand)) continue;
           if (std::find(st.buckets[b].begin(), st.buckets[b].end(), cand) !=
               st.buckets[b].end()) {
             continue;
           }
-          st.buckets[b][idx] = cand;
-          break;
+          if (!has_peer_rtt()) {
+            best = cand;
+            break;
+          }
+          const double rtt = PeerRtt(peer, cand);
+          if (best == net::kInvalidPeer || rtt < best_rtt ||
+              (rtt == best_rtt && cand < best)) {
+            best = cand;
+            best_rtt = rtt;
+          }
         }
+        if (best != net::kInvalidPeer) st.buckets[b][idx] = best;
       }
     }
   }
@@ -274,6 +302,18 @@ size_t KademliaOverlay::TableSize(net::PeerId peer) const {
   size_t n = 0;
   for (const auto& bucket : it->second.buckets) n += bucket.size();
   return n;
+}
+
+std::vector<net::PeerId> KademliaOverlay::ContactsOf(
+    net::PeerId peer) const {
+  std::vector<net::PeerId> out;
+  auto it = nodes_.find(peer);
+  if (it == nodes_.end()) return out;
+  out.reserve(TableSize(peer));
+  for (const auto& bucket : it->second.buckets) {
+    out.insert(out.end(), bucket.begin(), bucket.end());
+  }
+  return out;
 }
 
 std::string KademliaOverlay::CheckInvariants() const {

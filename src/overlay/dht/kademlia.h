@@ -17,6 +17,16 @@
 // falls back to scanning the membership in XOR order, so lookups on keys
 // with an offline owner terminate at the owner's closest *online*
 // stand-in.
+//
+// Proximity-aware neighbor selection (PNS): all candidates of one
+// k-bucket are interchangeable for routing progress (any of them steps
+// the XOR distance below 2^b), so when the base-class PeerRtt hook is
+// installed the k kept out of an over-full bucket are the lowest-RTT
+// ones -- and bucket repair swaps in the lowest-RTT online replacement
+// -- instead of a uniformly random choice.  Hop *counts* are unchanged
+// in expectation; per-hop link latency drops, which bench_latency
+// quantifies as the routing-stretch win.  Without the hook, selection is
+// byte-identical to the RTT-blind behaviour.
 
 #ifndef PDHT_OVERLAY_DHT_KADEMLIA_H_
 #define PDHT_OVERLAY_DHT_KADEMLIA_H_
@@ -63,6 +73,10 @@ class KademliaOverlay : public StructuredOverlay {
 
   /// Total contacts of `peer` across buckets (for maintenance sizing).
   size_t TableSize(net::PeerId peer) const;
+
+  /// Flat copy of `peer`'s routing table (bucket order).  Test support
+  /// for the proximity-selection behaviour; empty for non-members.
+  std::vector<net::PeerId> ContactsOf(net::PeerId peer) const;
 
   /// Bucket and id-space invariants: ids sorted/unique, every contact a
   /// member filed in the bucket its XOR distance demands, buckets within

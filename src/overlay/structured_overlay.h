@@ -23,13 +23,18 @@
 //    hash-derived members (successor-consecutive replicas would overflow
 //    whole arcs together); overlays with a structural replica group --
 //    P-Grid's leaf peers -- override it.
+//  * SetPeerRtt (optional, before SetMembers) installs a link-RTT oracle
+//    for proximity-aware neighbor selection; without it, selection is
+//    RTT-blind and unchanged.
 
 #ifndef PDHT_OVERLAY_STRUCTURED_OVERLAY_H_
 #define PDHT_OVERLAY_STRUCTURED_OVERLAY_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/strategy.h"
@@ -108,11 +113,31 @@ class StructuredOverlay {
   /// zones) keep the no-op default.
   virtual void OnPeerRejoin(net::PeerId peer) { (void)peer; }
 
+  /// Optional link-RTT oracle (milliseconds, symmetric), e.g. a latency
+  /// DeliveryModel's RttMs.  Overlays with freedom in neighbor choice use
+  /// it for proximity-aware neighbor selection -- Kademlia prefers
+  /// low-RTT contacts among the equal-distance candidates of a k-bucket.
+  /// Install *before* SetMembers (routing tables are built there);
+  /// backends without selection freedom simply never consult it.  When
+  /// unset, neighbor selection is RTT-blind and byte-identical to the
+  /// pre-hook behaviour.
+  using PeerRttFn = std::function<double(net::PeerId, net::PeerId)>;
+  void SetPeerRtt(PeerRttFn rtt) { peer_rtt_ = std::move(rtt); }
+  bool has_peer_rtt() const { return static_cast<bool>(peer_rtt_); }
+
   /// Structural self-check; empty string when consistent.  Test support.
   virtual std::string CheckInvariants() const { return ""; }
 
  protected:
+  /// The installed oracle's RTT for a link; only meaningful when
+  /// has_peer_rtt().  Not hot-path: overlays call it at table build /
+  /// repair time, never per message.
+  double PeerRtt(net::PeerId a, net::PeerId b) const {
+    return peer_rtt_(a, b);
+  }
+
   net::Network* network_;  ///< not owned
+  PeerRttFn peer_rtt_;     ///< null = RTT-blind neighbor selection
 };
 
 /// Construction-time knobs shared by all backends.  Backends read what

@@ -42,7 +42,10 @@ void RoundEngine::Run(uint64_t rounds) {
     ctx.events = &queue_;
     ctx.counters = &counters_;
     for (auto& [name, actor] : actors_) actor(ctx);
-    queue_.RunUntil(ctx.time + round_length_);
+    // Boundary drain: every intra-round event -- deferred deliveries
+    // included -- runs before the metric probes observe the round.
+    last_round_events_ = queue_.RunUntil(ctx.time + round_length_);
+    total_events_run_ += last_round_events_;
     for (auto& m : metrics_) {
       m.series->Append(m.probe(ctx));
     }

@@ -4,7 +4,12 @@
 // second).  RoundEngine advances simulated time one round at a time,
 // invoking registered per-round actors in a fixed order and recording
 // per-round metric deltas into time series.  Fine-grained events within a
-// round live in the embedded EventQueue.
+// round live in the embedded EventQueue -- including deferred message
+// deliveries scheduled by a non-immediate net::DeliveryModel: the engine
+// drains the queue up to every round boundary, so in-flight messages land
+// at their scheduled time inside the round (metric probes run after the
+// drain and therefore observe a quiesced round).  A delivery scheduled
+// past the boundary stays queued and lands in the round it belongs to.
 
 #ifndef PDHT_SIM_ROUND_ENGINE_H_
 #define PDHT_SIM_ROUND_ENGINE_H_
@@ -59,6 +64,11 @@ class RoundEngine {
   void Run(uint64_t rounds);
 
   uint64_t current_round() const { return round_; }
+  /// Events drained by the most recent round's boundary drain (deferred
+  /// deliveries, probe timeouts, ...) and the running total across the
+  /// run.  Cheap observability for delivery-model experiments.
+  uint64_t last_round_events() const { return last_round_events_; }
+  uint64_t total_events_run() const { return total_events_run_; }
   double now() const { return queue_.now(); }
   EventQueue& events() { return queue_; }
   CounterRegistry& counters() { return counters_; }
@@ -70,6 +80,8 @@ class RoundEngine {
  private:
   double round_length_;
   uint64_t round_ = 0;
+  uint64_t last_round_events_ = 0;
+  uint64_t total_events_run_ = 0;
   EventQueue queue_;
   CounterRegistry counters_;
   std::vector<std::pair<std::string, RoundActor>> actors_;

@@ -19,7 +19,25 @@ void Histogram::Add(double value) {
     min_ = std::min(min_, value);
     max_ = std::max(max_, value);
   }
-  values_.push_back(value);
+  if (sample_cap_ == 0) {
+    values_.push_back(value);
+  } else {
+    // Systematic retention: keep every stride-th observation; once the
+    // buffer outgrows the cap, decimate 2x and double the stride.  The
+    // kept values are a deterministic uniform subsample, so quantile
+    // estimates stay unbiased while memory is bounded by the cap.
+    if (stride_pos_ == 0) {
+      values_.push_back(value);
+      if (values_.size() > sample_cap_) {
+        for (size_t i = 1; 2 * i < values_.size(); ++i) {
+          values_[i] = values_[2 * i];
+        }
+        values_.resize((values_.size() + 1) / 2);
+        stride_ *= 2;
+      }
+    }
+    if (++stride_pos_ >= stride_) stride_pos_ = 0;
+  }
   sorted_ = false;
 }
 
@@ -45,6 +63,8 @@ double Histogram::Quantile(double q) const {
 void Histogram::Reset() {
   count_ = 0;
   mean_ = m2_ = min_ = max_ = sum_ = 0.0;
+  stride_ = 1;
+  stride_pos_ = 0;
   values_.clear();
   sorted_ = true;
 }

@@ -30,9 +30,19 @@ class Histogram {
   double sum() const { return sum_; }
 
   /// Exact quantile via nearest-rank on the sorted sample; q in [0, 1].
-  /// O(n log n) on first call after new data (lazy sort).
+  /// O(n log n) on first call after new data (lazy sort).  Under a
+  /// sample cap (below) the quantile is a systematic-subsample estimate.
   double Quantile(double q) const;
   double Median() const { return Quantile(0.5); }
+
+  /// Bounds retained-sample memory for unbounded streams (e.g. one
+  /// sample per simulated message): once more than `cap` values are
+  /// retained the sample is decimated 2x and subsequent observations are
+  /// kept at the doubled stride.  Deterministic; moment statistics
+  /// (count/mean/variance/min/max/sum) stay exact, quantiles degrade
+  /// gracefully to estimates over an at-most-`cap` systematic subsample.
+  /// 0 (the default) retains everything.  Set before adding data.
+  void SetSampleCap(size_t cap) { sample_cap_ = cap; }
 
   void Reset();
 
@@ -46,6 +56,9 @@ class Histogram {
   double min_ = 0.0;
   double max_ = 0.0;
   double sum_ = 0.0;
+  size_t sample_cap_ = 0;   ///< 0 = retain every value
+  uint64_t stride_ = 1;     ///< keep every stride-th observation
+  uint64_t stride_pos_ = 0; ///< observations since the last kept one
   mutable std::vector<double> values_;
   mutable bool sorted_ = true;
 };

@@ -18,11 +18,14 @@
 //   engine().Series(name) for each series with %.17g.
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "core/pdht_system.h"
+#include "exp/experiment.h"
+#include "exp/parallel_runner.h"
 
 namespace pdht::core {
 namespace {
@@ -50,9 +53,11 @@ struct GoldenSeries {
   std::vector<double> values;
 };
 
-void ExpectGolden(Strategy strategy,
-                  const std::vector<GoldenSeries>& golden) {
-  PdhtSystem system(GoldenConfig(strategy));
+void ExpectGolden(Strategy strategy, const std::vector<GoldenSeries>& golden,
+                  const std::function<void(SystemConfig&)>& patch = {}) {
+  SystemConfig config = GoldenConfig(strategy);
+  if (patch) patch(config);
+  PdhtSystem system(config);
   system.RunRounds(kGoldenRounds);
   for (const GoldenSeries& g : golden) {
     ASSERT_TRUE(system.engine().HasSeries(g.name)) << g.name;
@@ -68,8 +73,10 @@ void ExpectGolden(Strategy strategy,
   }
 }
 
-TEST(GoldenSeriesTest, PartialTtlRunIsBitIdenticalToPreOverhaulRecording) {
-  const std::vector<GoldenSeries> golden = {
+/// The partialTtl golden recording, shared by the plain run and the
+/// delivery-model variants below.
+const std::vector<GoldenSeries>& PartialTtlGolden() {
+  static const std::vector<GoldenSeries> golden = {
       {PdhtSystem::kSeriesMsgTotal,
        {7352, 4677, 1185, 2891, 2316,
         2119, 2600, 2546, 1619, 1816,
@@ -129,7 +136,87 @@ TEST(GoldenSeriesTest, PartialTtlRunIsBitIdenticalToPreOverhaulRecording) {
         0.81000000000000005, 0.80500000000000005, 0.80000000000000004,
         0.80000000000000004}},
   };
-  ExpectGolden(Strategy::kPartialTtl, golden);
+  return golden;
+}
+
+TEST(GoldenSeriesTest, PartialTtlRunIsBitIdenticalToPreOverhaulRecording) {
+  ExpectGolden(Strategy::kPartialTtl, PartialTtlGolden());
+}
+
+// --- Delivery-model variants (the PR 4 refactor's core claim) ----------
+//
+// Network now routes every send through a pluggable DeliveryModel.  The
+// default ImmediateDelivery must be a true no-op -- the same golden
+// series, bit for bit -- and LatencyDelivery must change *when* handlers
+// run (and what latency is measured) without perturbing a single counted
+// message or RNG draw.
+
+TEST(GoldenSeriesTest, ExplicitImmediateDeliveryMatchesGolden) {
+  ExpectGolden(Strategy::kPartialTtl, PartialTtlGolden(),
+               [](SystemConfig& c) {
+                 c.delivery_model = net::DeliveryModelKind::kImmediate;
+               });
+}
+
+TEST(GoldenSeriesTest, LatencyDeliveryKeepsMessageCountsBitIdentical) {
+  // Deferred delivery with proximity routing off: the coordinate space is
+  // a pure hash (no Rng stream consumed) and deliveries have no behaviour
+  // feedback, so every message-count and hit-rate series must equal the
+  // immediate-mode golden recording exactly, while the latency axis
+  // opens up (non-empty lookup RTT histogram).
+  SystemConfig config = GoldenConfig(Strategy::kPartialTtl);
+  config.delivery_model = net::DeliveryModelKind::kLatency;
+  config.proximity_routing = false;
+  PdhtSystem system(config);
+  system.RunRounds(kGoldenRounds);
+  for (const GoldenSeries& g : PartialTtlGolden()) {
+    ASSERT_TRUE(system.engine().HasSeries(g.name)) << g.name;
+    const auto& ts = system.engine().Series(g.name);
+    ASSERT_EQ(ts.size(), g.values.size()) << g.name;
+    for (size_t i = 0; i < g.values.size(); ++i) {
+      EXPECT_EQ(ts.at(i), g.values[i]) << g.name << " diverged at round "
+                                       << i << " under LatencyDelivery";
+    }
+  }
+  EXPECT_GT(system.lookup_rtt_ms().count(), 0u);
+  EXPECT_GT(system.lookup_rtt_ms().mean(), 0.0);
+  EXPECT_TRUE(system.engine().HasSeries(PdhtSystem::kSeriesDeferredRate));
+  // The deferred deliveries really went through the boundary drain.
+  EXPECT_GE(system.engine().total_events_run(),
+            system.network().DeferredCount());
+}
+
+TEST(GoldenSeriesTest, LatencyDeliveryIsDeterministicAcrossThreadCounts) {
+  // Same seed => identical latency histograms (surfaced as the
+  // lookup.rtt.* / lookup.stretch metrics) no matter how many experiment
+  // threads executed the cells.
+  exp::ExperimentSpec spec;
+  spec.name = "latency_determinism";
+  spec.base = GoldenConfig(Strategy::kPartialTtl);
+  spec.base.delivery_model = net::DeliveryModelKind::kLatency;
+  spec.base.backend = DhtBackend::kKademlia;
+  spec.rounds = 12;
+  spec.tail = 4;
+  spec.seeds_per_cell = 2;
+  exp::Axis prox{"proximity",
+                 {{"blind",
+                   [](SystemConfig& c) { c.proximity_routing = false; }},
+                  {"pns",
+                   [](SystemConfig& c) { c.proximity_routing = true; }}}};
+  spec.axes = {prox};
+
+  exp::ParallelRunner one({1});
+  exp::ParallelRunner four({4});
+  auto r1 = one.Run(spec);
+  auto r4 = four.Run(spec);
+  ASSERT_EQ(r1.size(), r4.size());
+  for (size_t i = 0; i < r1.size(); ++i) {
+    EXPECT_EQ(r1[i].error, "");
+    EXPECT_EQ(r1[i].metrics, r4[i].metrics) << "cell " << i;
+    // The latency metrics are actually present and populated.
+    ASSERT_TRUE(r1[i].metrics.count(PdhtSystem::kMetricLookupRttMean));
+    EXPECT_GT(r1[i].metrics.at(PdhtSystem::kMetricLookupRttCount), 0.0);
+  }
 }
 
 TEST(GoldenSeriesTest, IndexAllRunIsBitIdenticalToPreOverhaulRecording) {

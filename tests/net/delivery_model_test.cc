@@ -1,0 +1,242 @@
+// DeliveryModel contract tests: determinism and purity of the synthetic
+// coordinate space, symmetric RTTs, the Network fast-path/deferred-path
+// split, scheduled arrival times, mid-flight drops, and the latency
+// accounting (per-type histograms + running sum) the lookup-RTT metrics
+// are built on.
+
+#include "net/delivery_model.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "sim/event_queue.h"
+#include "stats/counter.h"
+
+namespace pdht::net {
+namespace {
+
+Message Msg(PeerId from, PeerId to, MessageType type = MessageType::kDhtLookup) {
+  Message m;
+  m.type = type;
+  m.from = from;
+  m.to = to;
+  return m;
+}
+
+/// Records every delivery with the queue time it arrived at.
+class RecordingHandler : public MessageHandler {
+ public:
+  explicit RecordingHandler(sim::EventQueue* q) : queue_(q) {}
+  void HandleMessage(const Message& msg) override {
+    messages.push_back(msg);
+    arrival_times.push_back(queue_->now());
+  }
+  std::vector<Message> messages;
+  std::vector<double> arrival_times;
+
+ private:
+  sim::EventQueue* queue_;
+};
+
+TEST(DeliveryModelKindTest, NamesRoundTrip) {
+  DeliveryModelKind k;
+  EXPECT_TRUE(ParseDeliveryModel("immediate", &k));
+  EXPECT_EQ(k, DeliveryModelKind::kImmediate);
+  EXPECT_TRUE(ParseDeliveryModel("LATENCY", &k));
+  EXPECT_EQ(k, DeliveryModelKind::kLatency);
+  EXPECT_FALSE(ParseDeliveryModel("carrier-pigeon", &k));
+  EXPECT_STREQ(DeliveryModelName(DeliveryModelKind::kImmediate), "immediate");
+  EXPECT_STREQ(DeliveryModelName(DeliveryModelKind::kLatency), "latency");
+}
+
+TEST(ImmediateDeliveryTest, ZeroDelayAndImmediate) {
+  ImmediateDelivery imm;
+  EXPECT_TRUE(imm.immediate());
+  EXPECT_DOUBLE_EQ(imm.LinkDelaySeconds(1, 2), 0.0);
+  EXPECT_DOUBLE_EQ(imm.RttMs(1, 2), 0.0);
+}
+
+TEST(LatencyDeliveryTest, SameSeedSameDelays) {
+  LatencyConfig cfg;
+  LatencyDelivery a(cfg, 42), b(cfg, 42);
+  for (PeerId i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(a.LinkDelaySeconds(i, i + 7),
+                     b.LinkDelaySeconds(i, i + 7));
+  }
+}
+
+TEST(LatencyDeliveryTest, DifferentSeedDifferentTopology) {
+  LatencyConfig cfg;
+  LatencyDelivery a(cfg, 42), b(cfg, 43);
+  int differing = 0;
+  for (PeerId i = 0; i < 50; ++i) {
+    if (a.LinkDelaySeconds(i, i + 7) != b.LinkDelaySeconds(i, i + 7)) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 45);  // hash collisions aside, everything moves
+}
+
+TEST(LatencyDeliveryTest, RttIsSymmetric) {
+  LatencyDelivery model(LatencyConfig{}, 7);
+  for (PeerId i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(model.RttMs(i, 3 * i + 1), model.RttMs(3 * i + 1, i));
+  }
+}
+
+TEST(LatencyDeliveryTest, DelayWithinConfiguredBounds) {
+  LatencyConfig cfg;
+  cfg.base_ms = 5.0;
+  cfg.ms_per_unit = 80.0;
+  cfg.jitter_ms = 2.0;
+  LatencyDelivery model(cfg, 99);
+  const double max_ms = cfg.base_ms + cfg.ms_per_unit * std::sqrt(2.0) +
+                        cfg.jitter_ms;
+  for (PeerId i = 0; i < 200; ++i) {
+    const double ms = model.LinkDelaySeconds(i, 200 + i) * 1e3;
+    EXPECT_GE(ms, cfg.base_ms);
+    EXPECT_LT(ms, max_ms);
+  }
+}
+
+TEST(LatencyDeliveryTest, CoordinatesLieInUnitSquare) {
+  LatencyDelivery model(LatencyConfig{}, 1);
+  for (PeerId i = 0; i < 100; ++i) {
+    double x = -1.0, y = -1.0;
+    model.Coordinate(i, &x, &y);
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+    EXPECT_GE(y, 0.0);
+    EXPECT_LT(y, 1.0);
+  }
+}
+
+TEST(LatencyConfigTest, ValidateRejectsNegativesAndAllZero) {
+  LatencyConfig cfg;
+  EXPECT_TRUE(cfg.Validate().empty());
+  cfg.base_ms = -1.0;
+  EXPECT_FALSE(cfg.Validate().empty());
+  cfg = LatencyConfig{};
+  cfg.base_ms = cfg.ms_per_unit = cfg.jitter_ms = 0.0;
+  EXPECT_FALSE(cfg.Validate().empty());
+}
+
+TEST(NetworkDeliveryTest, ImmediateModelObjectKeepsSynchronousDelivery) {
+  CounterRegistry counters;
+  sim::EventQueue events;
+  Network net(&counters);
+  ImmediateDelivery imm;
+  net.SetDeliveryModel(&imm, &events);
+  EXPECT_FALSE(net.deferred_delivery());
+
+  RecordingHandler h(&events);
+  net.Register(1, &h);
+  EXPECT_TRUE(net.Send(Msg(0, 1)));
+  // Delivered during Send, not parked on the queue.
+  ASSERT_EQ(h.messages.size(), 1u);
+  EXPECT_TRUE(events.empty());
+  EXPECT_EQ(net.DeferredCount(), 0u);
+}
+
+TEST(NetworkDeliveryTest, LatencyModelDefersToScheduledTime) {
+  CounterRegistry counters;
+  sim::EventQueue events;
+  Network net(&counters);
+  LatencyDelivery model(LatencyConfig{}, 11);
+  net.SetDeliveryModel(&model, &events);
+  EXPECT_TRUE(net.deferred_delivery());
+
+  RecordingHandler h(&events);
+  net.Register(1, &h);
+  EXPECT_TRUE(net.Send(Msg(0, 1)));
+  // Charged and parked, not yet delivered.
+  EXPECT_EQ(net.TotalMessages(), 1u);
+  EXPECT_EQ(net.DeferredCount(), 1u);
+  EXPECT_TRUE(h.messages.empty());
+  ASSERT_EQ(events.size(), 1u);
+
+  events.RunAll();
+  ASSERT_EQ(h.messages.size(), 1u);
+  EXPECT_EQ(h.messages[0].from, 0u);
+  EXPECT_DOUBLE_EQ(h.arrival_times[0], model.LinkDelaySeconds(0, 1));
+}
+
+TEST(NetworkDeliveryTest, ArrivalToChurnedOfflinePeerIsDropped) {
+  CounterRegistry counters;
+  sim::EventQueue events;
+  Network net(&counters);
+  LatencyDelivery model(LatencyConfig{}, 11);
+  net.SetDeliveryModel(&model, &events);
+
+  RecordingHandler h(&events);
+  net.Register(1, &h);
+  EXPECT_TRUE(net.Send(Msg(0, 1)));  // online at send time
+  net.SetOnline(1, false);           // churns offline mid-flight
+  events.RunAll();
+  EXPECT_TRUE(h.messages.empty());
+  EXPECT_EQ(net.DroppedCount(), 1u);
+  // The message was still charged at send time.
+  EXPECT_EQ(net.TotalMessages(), 1u);
+}
+
+TEST(NetworkDeliveryTest, OfflineSendStillFailsFastAndCountsLost) {
+  CounterRegistry counters;
+  sim::EventQueue events;
+  Network net(&counters);
+  LatencyDelivery model(LatencyConfig{}, 11);
+  net.SetDeliveryModel(&model, &events);
+
+  net.SetOnline(1, false);
+  EXPECT_FALSE(net.Send(Msg(0, 1)));
+  EXPECT_TRUE(events.empty());  // nothing scheduled for a dead link
+  EXPECT_EQ(counters.Value("net.lost"), 1u);
+  EXPECT_EQ(net.TotalMessages(), 1u);  // counted: the bytes hit the wire
+}
+
+TEST(NetworkDeliveryTest, RecordsPerTypeLatencyAndRunningSum) {
+  CounterRegistry counters;
+  sim::EventQueue events;
+  Network net(&counters);
+  LatencyDelivery model(LatencyConfig{}, 17);
+  net.SetDeliveryModel(&model, &events);
+
+  net.SetOnline(0, true);
+  net.SetOnline(1, true);
+  net.SetOnline(2, true);
+  EXPECT_TRUE(net.Send(Msg(0, 1, MessageType::kDhtLookup)));
+  EXPECT_TRUE(net.Send(Msg(1, 2, MessageType::kDhtLookup)));
+  EXPECT_TRUE(net.Send(Msg(2, 0, MessageType::kDhtResponse)));
+
+  const Histogram& lookups = net.TypeLatencyMs(MessageType::kDhtLookup);
+  EXPECT_EQ(lookups.count(), 2u);
+  EXPECT_EQ(net.TypeLatencyMs(MessageType::kDhtResponse).count(), 1u);
+  const double expected_s = model.LinkDelaySeconds(0, 1) +
+                            model.LinkDelaySeconds(1, 2) +
+                            model.LinkDelaySeconds(2, 0);
+  EXPECT_NEAR(net.total_latency_s(), expected_s, 1e-12);
+  EXPECT_NEAR(lookups.sum() * 1e-3,
+              model.LinkDelaySeconds(0, 1) + model.LinkDelaySeconds(1, 2),
+              1e-12);
+}
+
+TEST(NetworkDeliveryTest, ResettingToNullRestoresInlinePath) {
+  CounterRegistry counters;
+  sim::EventQueue events;
+  Network net(&counters);
+  LatencyDelivery model(LatencyConfig{}, 3);
+  net.SetDeliveryModel(&model, &events);
+  net.SetDeliveryModel(nullptr, nullptr);
+  EXPECT_FALSE(net.deferred_delivery());
+
+  RecordingHandler h(&events);
+  net.Register(1, &h);
+  EXPECT_TRUE(net.Send(Msg(0, 1)));
+  EXPECT_EQ(h.messages.size(), 1u);
+  EXPECT_TRUE(events.empty());
+}
+
+}  // namespace
+}  // namespace pdht::net

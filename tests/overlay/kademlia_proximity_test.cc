@@ -1,0 +1,132 @@
+// Proximity-aware neighbor selection (PeerRtt hook) on Kademlia: with an
+// RTT oracle installed before SetMembers, over-full k-buckets keep the
+// lowest-RTT candidates instead of a random subset, invariants still
+// hold, and the mean link cost of the routing tables drops relative to
+// the RTT-blind build of the same membership.
+
+#include "overlay/dht/kademlia.h"
+
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/delivery_model.h"
+#include "net/network.h"
+#include "stats/counter.h"
+#include "util/bits.h"
+
+namespace pdht::overlay {
+namespace {
+
+std::vector<net::PeerId> MakeMembers(net::Network* net, uint32_t n) {
+  std::vector<net::PeerId> members(n);
+  std::iota(members.begin(), members.end(), 0u);
+  for (net::PeerId p : members) net->SetOnline(p, true);
+  return members;
+}
+
+double MeanContactRtt(const KademliaOverlay& kad,
+                      const std::vector<net::PeerId>& members,
+                      const net::DeliveryModel& model) {
+  double sum = 0.0;
+  uint64_t n = 0;
+  for (net::PeerId p : members) {
+    for (net::PeerId c : kad.ContactsOf(p)) {
+      sum += model.RttMs(p, c);
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+TEST(KademliaProximityTest, HookLowersMeanContactRtt) {
+  CounterRegistry counters;
+  net::Network network(&counters);
+  auto members = MakeMembers(&network, 300);
+  net::LatencyDelivery model(net::LatencyConfig{}, /*seed=*/4242);
+
+  KademliaOverlay blind(&network, Rng(7), /*bucket_size=*/4);
+  blind.SetMembers(members);
+
+  KademliaOverlay prox(&network, Rng(7), /*bucket_size=*/4);
+  prox.SetPeerRtt([&model](net::PeerId a, net::PeerId b) {
+    return model.RttMs(a, b);
+  });
+  prox.SetMembers(members);
+
+  EXPECT_EQ(prox.CheckInvariants(), "");
+  // Tables are the same size; only the choice within buckets differs.
+  size_t blind_contacts = 0, prox_contacts = 0;
+  for (net::PeerId p : members) {
+    blind_contacts += blind.TableSize(p);
+    prox_contacts += prox.TableSize(p);
+  }
+  EXPECT_EQ(blind_contacts, prox_contacts);
+
+  const double blind_rtt = MeanContactRtt(blind, members, model);
+  const double prox_rtt = MeanContactRtt(prox, members, model);
+  EXPECT_GT(blind_rtt, 0.0);
+  // The whole point of PNS: the kept contacts are cheaper on average.
+  EXPECT_LT(prox_rtt, blind_rtt * 0.9);
+}
+
+TEST(KademliaProximityTest, OverfullBucketsKeepCheapestCandidates) {
+  CounterRegistry counters;
+  net::Network network(&counters);
+  auto members = MakeMembers(&network, 200);
+  net::LatencyDelivery model(net::LatencyConfig{}, /*seed=*/99);
+
+  const uint32_t k = 3;
+  KademliaOverlay prox(&network, Rng(1), k);
+  prox.SetPeerRtt([&model](net::PeerId a, net::PeerId b) {
+    return model.RttMs(a, b);
+  });
+  prox.SetMembers(members);
+
+  // For every member: each kept contact must not be beatable by an
+  // *unkept* member that belongs to the same bucket (same XOR bucket
+  // index) at strictly lower RTT -- i.e. kept = k cheapest per bucket.
+  // Reconstruct bucket assignment externally via the public id mapping:
+  // contacts and candidates share a bucket iff FloorLog2(xor) matches.
+  for (net::PeerId p : members) {
+    auto contacts = prox.ContactsOf(p);
+    for (net::PeerId kept : contacts) {
+      const double kept_rtt = model.RttMs(p, kept);
+      const NodeId px = PeerToNodeId(p);
+      const int bucket = FloorLog2(px ^ PeerToNodeId(kept));
+      // Count same-bucket members strictly cheaper than the kept one;
+      // there can be at most k-1 of them (they must all be kept too).
+      uint32_t cheaper = 0;
+      for (net::PeerId other : members) {
+        if (other == p) continue;
+        const NodeId ox = PeerToNodeId(other);
+        if (ox == px) continue;
+        if (FloorLog2(px ^ ox) != bucket) continue;
+        if (model.RttMs(p, other) < kept_rtt) ++cheaper;
+      }
+      EXPECT_LT(cheaper, k) << "peer " << p << " kept contact " << kept
+                            << " while >k-1 cheaper candidates exist";
+    }
+  }
+}
+
+TEST(KademliaProximityTest, WithoutHookSelectionIsUnchanged) {
+  // Two RTT-blind builds from the same Rng seed agree exactly -- the
+  // proximity code path must not perturb the blind stream.
+  CounterRegistry counters;
+  net::Network network(&counters);
+  auto members = MakeMembers(&network, 150);
+
+  KademliaOverlay a(&network, Rng(5), 4);
+  a.SetMembers(members);
+  KademliaOverlay b(&network, Rng(5), 4);
+  b.SetMembers(members);
+  for (net::PeerId p : members) {
+    EXPECT_EQ(a.ContactsOf(p), b.ContactsOf(p));
+  }
+}
+
+}  // namespace
+}  // namespace pdht::overlay

@@ -123,6 +123,72 @@ TEST(EventQueueTest, DoubleCancelFails) {
   EXPECT_FALSE(q.Cancel(id));
 }
 
+// Deferred message delivery (net/delivery_model.h) made out-of-order
+// ScheduleAt *into the current round* a hot-path operation: every
+// in-flight message is one ScheduleAfter, and sub-round delays mean the
+// queue constantly interleaves freshly scheduled near-past/near-future
+// events with older ones.  These tests pin the exact semantics deferred
+// delivery relies on.
+
+TEST(EventQueueTest, PastClampedEventsRunAfterEqualTimeEarlierInsertions) {
+  // A past event is clamped to now(); at that clamped time it must still
+  // lose the tie against anything scheduled there *earlier* (insertion
+  // sequence breaks ties, and clamping does not reorder).
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(5.0, [&] { order.push_back(1); });
+  q.ScheduleAt(5.0, [&] { order.push_back(2); });
+  q.ScheduleAt(4.0, [&] {});  // advance now() to 4.0 first
+  q.RunUntil(4.0);
+  q.ScheduleAt(1.0, [&] { order.push_back(3); });  // clamped to 4.0
+  q.RunAll();
+  // The clamped event fires at 4.0, i.e. *before* the 5.0 pair despite
+  // being inserted last -- past events do not jump ahead of equal-time
+  // earlier insertions, but they do keep their clamped position in time.
+  EXPECT_EQ(order, (std::vector<int>{3, 1, 2}));
+}
+
+TEST(EventQueueTest, MidRoundSchedulingInterleavesByTimeNotInsertion) {
+  // The deferred-delivery pattern: a handler firing at t schedules new
+  // arrivals at t + delay, which must interleave with already-queued
+  // events in pure time order.
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(0.10, [&] {
+    order.push_back(1);
+    q.ScheduleAfter(0.15, [&] { order.push_back(3); });  // t = 0.25
+  });
+  q.ScheduleAt(0.20, [&] { order.push_back(2); });
+  q.ScheduleAt(0.30, [&] { order.push_back(4); });
+  q.RunUntil(1.0);  // one round's boundary drain
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_DOUBLE_EQ(q.now(), 1.0);
+}
+
+TEST(EventQueueTest, EqualTimeMidRoundInsertionsKeepInsertionOrder) {
+  // Two messages sent back-to-back with identical link delay must be
+  // delivered in send order (seq tie-break), never by heap internals.
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(0.5, [&] { order.push_back(1); });
+  q.ScheduleAt(0.5, [&] { order.push_back(2); });
+  q.ScheduleAt(0.5, [&] { order.push_back(3); });
+  q.ScheduleAt(0.5, [&] { order.push_back(4); });
+  q.RunUntil(1.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, ClampedPastEventNeverRewindsClock) {
+  EventQueue q;
+  q.ScheduleAt(3.0, [] {});
+  q.RunUntil(3.0);
+  double fired_at = -1.0;
+  q.ScheduleAt(0.5, [&] { fired_at = q.now(); });
+  q.RunAll();
+  EXPECT_DOUBLE_EQ(fired_at, 3.0);
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);  // monotone: never back to 0.5
+}
+
 TEST(EventQueueTest, SizeTracksLiveEvents) {
   EventQueue q;
   uint64_t a = q.ScheduleAt(1.0, [] {});

@@ -114,5 +114,23 @@ TEST(RoundEngineTest, RunCanBeCalledRepeatedly) {
   EXPECT_EQ(e.current_round(), 5u);
 }
 
+TEST(RoundEngineTest, TracksDrainedEventCountsPerRoundAndTotal) {
+  // The boundary drain's accounting, which delivery-model experiments
+  // read to see in-flight traffic: last_round_events() is the most
+  // recent round's drained count, total_events_run() the running sum.
+  RoundEngine e;
+  e.AddActor("sender", [](RoundContext& ctx) {
+    // Two sub-round "deliveries" in round 0, one in every later round.
+    ctx.events->ScheduleAfter(0.25, [] {});
+    if (ctx.round == 0) ctx.events->ScheduleAfter(0.5, [] {});
+  });
+  e.Run(1);
+  EXPECT_EQ(e.last_round_events(), 2u);
+  EXPECT_EQ(e.total_events_run(), 2u);
+  e.Run(2);
+  EXPECT_EQ(e.last_round_events(), 1u);
+  EXPECT_EQ(e.total_events_run(), 4u);
+}
+
 }  // namespace
 }  // namespace pdht::sim

@@ -126,5 +126,47 @@ TEST(BucketHistogramTest, RenderProducesOneLinePerBucket) {
   EXPECT_EQ(lines, 4);
 }
 
+TEST(HistogramTest, SampleCapKeepsMomentsExact) {
+  Histogram capped, full;
+  capped.SetSampleCap(64);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = static_cast<double>((i * 7919) % 1000);
+    capped.Add(v);
+    full.Add(v);
+  }
+  // Moments are Welford-accumulated, independent of retention.
+  EXPECT_EQ(capped.count(), full.count());
+  EXPECT_DOUBLE_EQ(capped.sum(), full.sum());
+  EXPECT_DOUBLE_EQ(capped.mean(), full.mean());
+  EXPECT_DOUBLE_EQ(capped.min(), full.min());
+  EXPECT_DOUBLE_EQ(capped.max(), full.max());
+}
+
+TEST(HistogramTest, SampleCapBoundsRetentionAndEstimatesQuantiles) {
+  Histogram h;
+  h.SetSampleCap(128);
+  for (int i = 0; i < 100000; ++i) {
+    h.Add(static_cast<double>(i % 1000));  // uniform over [0, 1000)
+  }
+  // Quantiles come from an at-most-cap systematic subsample: still in
+  // the right neighbourhood for a uniform stream.
+  EXPECT_NEAR(h.Quantile(0.5), 500.0, 120.0);
+  EXPECT_NEAR(h.Quantile(0.95), 950.0, 120.0);
+  EXPECT_EQ(h.count(), 100000u);
+}
+
+TEST(HistogramTest, SampleCapIsDeterministic) {
+  Histogram a, b;
+  a.SetSampleCap(32);
+  b.SetSampleCap(32);
+  for (int i = 0; i < 5000; ++i) {
+    a.Add(static_cast<double>((i * 31) % 97));
+    b.Add(static_cast<double>((i * 31) % 97));
+  }
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(a.Quantile(q), b.Quantile(q));
+  }
+}
+
 }  // namespace
 }  // namespace pdht
