@@ -1,25 +1,40 @@
-// Lookup latency under the pluggable delivery models (PR 4's new
-// measurement axis): the same 1/14-scale Table 1 scenario run under
+// Lookup latency under the pluggable delivery models and routing
+// policies (PR 4 opened the latency axis; the routing-driver PR makes
+// lookups latency- and timeout-aware).  Two tables:
 //
+// Table 1 -- the kademlia 1/14 headline, one row per policy rung:
 //   immediate     -- the seed's synchronous delivery (message counts only),
-//   latency       -- synthetic-coordinate delays, RTT-blind routing tables,
-//   latency+pns   -- same delays, Kademlia proximity-aware bucket selection
-//                    (StructuredOverlay::SetPeerRtt).
+//   blind         -- latency delivery, RTT-blind tables and routing,
+//   table-pns     -- + proximity-aware bucket selection (PR 4's table-
+//                    build PNS, StructuredOverlay::SetPeerRtt),
+//   +route-pns    -- + route-time PNS (RoutingDriver candidate scoring +
+//                    proximity entry selection),
+//   +timeout      -- + timeout-aware failed-probe costing (failed probe
+//                    rounds charge LatencyConfig::timeout_ms).
 //
-// Three claims are checked as shapes:
+// Table 2 -- the routing-policy grid per registered backend (blind /
+// table-pns / table-pns+route-pns / +timeout costing at the same 1/14
+// scenario), the cross-backend view the shared RoutingDriver makes a
+// ~zero-code sweep.
+//
+// Shape checks:
 //   1. Message counts are delivery-model invariant: every per-cell
-//      msg.rate.* / hit.rate metric under `latency` equals the `immediate`
+//      msg.rate.* / hit.rate metric under `blind` equals the `immediate`
 //      cell bit-for-bit (the models only decide *when* handlers run).
-//   2. Proximity-aware bucket selection reduces mean lookup RTT vs the
-//      RTT-blind baseline at the same scenario (the PNS win).
-//   3. Routing stretch (lookup RTT / direct origin->terminus RTT) drops
-//      accordingly.
+//   2. Table-build PNS reduces mean lookup RTT vs blind (the PR 4 win).
+//   3. Route-time PNS reduces it further vs table-only PNS (this PR's
+//      acceptance criterion).
+//   4. Timeout costing surfaces timeouts (lookup.timeout.n > 0) and
+//      prices them (mean lookup RTT >= the uncosted variant); counts
+//      stay bit-identical to the +route-pns cell.
+//   5. Routing stretch falls monotonically blind -> table -> +route.
 //
-// Seeds are paired across the three runs (same ExperimentSpec shape, same
-// base seed, no extra axes), so the comparisons are per-cell, not just
-// in-expectation.  Emits BENCH_latency.json (--json=<path>; smoke-budget
-// runs default to BENCH_latency_smoke.json so they cannot clobber the
-// committed full-budget baseline).
+// Seeds are paired across the variant runs (same ExperimentSpec shape,
+// same base seed, no extra axes), so the comparisons are per-cell, not
+// just in-expectation.  Emits BENCH_latency.json (--json=<path>;
+// smoke-budget runs default to BENCH_latency_smoke.json so they cannot
+// clobber the committed full-budget baseline).  --full doubles the round
+// budget (nightly runs it that way and uploads the artifacts).
 
 #include <cmath>
 #include <cstdio>
@@ -32,6 +47,7 @@
 #include "exp/experiment.h"
 #include "exp/parallel_runner.h"
 #include "net/delivery_model.h"
+#include "overlay/structured_overlay.h"
 #include "stats/table_writer.h"
 
 namespace {
@@ -60,11 +76,28 @@ SystemConfig Scale14Config() {
   return c;
 }
 
-struct Variant {
-  std::string label;
-  pdht::net::DeliveryModelKind delivery;
-  bool proximity;
+/// The four routing-policy rungs of the latency axis, applied on top of
+/// kLatency delivery.
+struct Policy {
+  const char* label;
+  bool table_pns;
+  bool route_pns;
+  bool timeout;
 };
+
+constexpr Policy kPolicies[] = {
+    {"blind", false, false, false},
+    {"table-pns", true, false, false},
+    {"table+route-pns", true, true, false},
+    {"+timeout", true, true, true},
+};
+
+void ApplyPolicy(SystemConfig* c, const Policy& p) {
+  c->delivery_model = pdht::net::DeliveryModelKind::kLatency;
+  c->proximity_routing = p.table_pns;
+  c->route_proximity = p.route_pns;
+  c->timeout_costing = p.timeout;
+}
 
 struct VariantResult {
   std::string label;
@@ -74,6 +107,22 @@ struct VariantResult {
 
 double Mean(const pdht::exp::AggregateRow& row, const char* key) {
   return row.Stat(key).mean;
+}
+
+VariantResult RunVariant(pdht::exp::ParallelRunner& runner,
+                         const std::string& label, const SystemConfig& base,
+                         uint64_t rounds, uint32_t seeds) {
+  pdht::exp::ExperimentSpec spec;
+  spec.name = "latency_" + label;
+  spec.base = base;
+  spec.rounds = rounds;
+  spec.tail = std::max<size_t>(1, rounds / 4);
+  spec.seeds_per_cell = seeds;
+  VariantResult r;
+  r.label = label;
+  r.cells = runner.Run(spec);
+  r.row = pdht::exp::Aggregate(spec, r.cells).front();
+  return r;
 }
 
 /// JSON has no NaN literal; absent metrics (the immediate variant has no
@@ -86,109 +135,147 @@ void PrintJsonNumber(std::FILE* f, double v, int precision) {
   }
 }
 
+void PrintJsonRow(std::FILE* f, const pdht::exp::AggregateRow& row) {
+  std::fprintf(f, "\"msgs_per_round\": %.2f, \"hit_rate\": %.4f, ",
+               Mean(row, PdhtSystem::kSeriesMsgTotal),
+               Mean(row, PdhtSystem::kSeriesHitRate));
+  const std::vector<std::pair<const char*, const char*>> fields = {
+      {"lookup_rtt_mean_ms", PdhtSystem::kMetricLookupRttMean},
+      {"lookup_rtt_p50_ms", PdhtSystem::kMetricLookupRttP50},
+      {"lookup_rtt_p95_ms", PdhtSystem::kMetricLookupRttP95},
+      {"lookup_rtt_p99_ms", PdhtSystem::kMetricLookupRttP99},
+      {"lookup_hops_mean", PdhtSystem::kMetricLookupHopsMean},
+      {"timeouts", PdhtSystem::kMetricLookupTimeouts}};
+  for (const auto& [name, key] : fields) {
+    std::fprintf(f, "\"%s\": ", name);
+    PrintJsonNumber(f, Mean(row, key), 3);
+    std::fprintf(f, ", ");
+  }
+  std::fprintf(f, "\"stretch\": ");
+  PrintJsonNumber(f, Mean(row, PdhtSystem::kMetricLookupStretch), 4);
+}
+
 bool WriteJson(const std::string& path,
-               const std::vector<VariantResult>& results, uint64_t rounds,
-               bool smoke) {
+               const std::vector<VariantResult>& headline,
+               const std::vector<VariantResult>& policy_rows,
+               uint64_t rounds, bool smoke) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
   std::fprintf(f, "{\n  \"bench\": \"latency\",\n");
   std::fprintf(f, "  \"scenario\": \"scale_1_14\",\n");
-  std::fprintf(f, "  \"backend\": \"kademlia\",\n");
   std::fprintf(f, "  \"seed\": %llu,\n",
                static_cast<unsigned long long>(kSeed));
   std::fprintf(f, "  \"rounds\": %llu,\n",
                static_cast<unsigned long long>(rounds));
   std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
   std::fprintf(f, "  \"variants\": [\n");
-  for (size_t i = 0; i < results.size(); ++i) {
-    const pdht::exp::AggregateRow& row = results[i].row;
-    std::fprintf(f, "    {\"delivery\": \"%s\", \"msgs_per_round\": %.2f, "
-                 "\"hit_rate\": %.4f, ",
-                 results[i].label.c_str(),
-                 Mean(row, PdhtSystem::kSeriesMsgTotal),
-                 Mean(row, PdhtSystem::kSeriesHitRate));
-    const std::vector<std::pair<const char*, const char*>> rtt_fields = {
-        {"lookup_rtt_mean_ms", PdhtSystem::kMetricLookupRttMean},
-        {"lookup_rtt_p50_ms", PdhtSystem::kMetricLookupRttP50},
-        {"lookup_rtt_p95_ms", PdhtSystem::kMetricLookupRttP95},
-        {"lookup_rtt_p99_ms", PdhtSystem::kMetricLookupRttP99}};
-    for (const auto& [name, key] : rtt_fields) {
-      std::fprintf(f, "\"%s\": ", name);
-      PrintJsonNumber(f, Mean(row, key), 3);
-      std::fprintf(f, ", ");
-    }
-    std::fprintf(f, "\"stretch\": ");
-    PrintJsonNumber(f, Mean(row, PdhtSystem::kMetricLookupStretch), 4);
-    std::fprintf(f, "}%s\n", i + 1 < results.size() ? "," : "");
+  for (size_t i = 0; i < headline.size(); ++i) {
+    std::fprintf(f, "    {\"delivery\": \"%s\", ",
+                 headline[i].label.c_str());
+    PrintJsonRow(f, headline[i].row);
+    std::fprintf(f, "}%s\n", i + 1 < headline.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"policy_table\": [\n");
+  for (size_t i = 0; i < policy_rows.size(); ++i) {
+    std::fprintf(f, "    {\"cell\": \"%s\", ",
+                 policy_rows[i].label.c_str());
+    PrintJsonRow(f, policy_rows[i].row);
+    std::fprintf(f, "}%s\n", i + 1 < policy_rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
   return true;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  pdht::bench::BenchFlags flags = pdht::bench::ParseBenchFlags(argc, argv);
-  const uint64_t rounds = flags.RoundsOrDefault(kDefaultRounds);
-
-  pdht::bench::PrintHeader(
-      "bench_latency -- lookup RTT under pluggable delivery models "
-      "(1/14-scale Table 1, kademlia, churn on)",
-      "new measurement axis over the paper's message-count metric; "
-      "baseline artifact BENCH_latency.json");
-
-  const std::vector<Variant> variants = {
-      {"immediate", pdht::net::DeliveryModelKind::kImmediate, false},
-      {"latency", pdht::net::DeliveryModelKind::kLatency, false},
-      {"latency+pns", pdht::net::DeliveryModelKind::kLatency, true},
-  };
-
-  // One spec per variant, no axes: the three runs share base seed and
-  // cell indexing, so seed i of one variant pairs exactly with seed i of
-  // every other (the per-cell invariance check depends on this).
-  pdht::exp::ParallelRunner runner({flags.threads});
-  std::vector<VariantResult> results;
-  for (const Variant& v : variants) {
-    pdht::exp::ExperimentSpec spec;
-    spec.name = "latency_" + v.label;
-    spec.base = Scale14Config();
-    spec.base.delivery_model = v.delivery;
-    spec.base.proximity_routing = v.proximity;
-    spec.rounds = rounds;
-    spec.tail = std::max<size_t>(1, rounds / 4);
-    spec.seeds_per_cell = flags.seeds;
-    VariantResult r;
-    r.label = v.label;
-    r.cells = runner.Run(spec);
-    auto rows = pdht::exp::Aggregate(spec, r.cells);
-    r.row = rows.front();
-    results.push_back(std::move(r));
-    std::printf("measured %-12s: %.1f msg/round, lookup rtt mean %.2f ms\n",
-                v.label.c_str(),
-                Mean(results.back().row, PdhtSystem::kSeriesMsgTotal),
-                Mean(results.back().row, PdhtSystem::kMetricLookupRttMean));
-  }
-
-  TableWriter table({"delivery", "msg/round (tail)", "hit rate",
-                     "rtt mean [ms]", "p50", "p95", "p99", "stretch"});
+void EmitResultTable(const char* title,
+                     const std::vector<VariantResult>& results,
+                     const std::string& csv) {
+  std::printf("\n%s\n", title);
+  TableWriter table({"cell", "msg/round (tail)", "hit rate",
+                     "rtt mean [ms]", "p50", "p95", "hops", "timeouts",
+                     "stretch"});
   for (const VariantResult& r : results) {
     auto cell = [&](const char* key, int prec) {
       return pdht::exp::FormatStats(r.row.Stat(key), prec);
     };
     const bool has_rtt =
         r.row.Stat(PdhtSystem::kMetricLookupRttMean).n > 0;
-    table.AddRow({r.label,
-                  cell(PdhtSystem::kSeriesMsgTotal, 6),
-                  cell(PdhtSystem::kSeriesHitRate, 4),
-                  has_rtt ? cell(PdhtSystem::kMetricLookupRttMean, 4) : "-",
-                  has_rtt ? cell(PdhtSystem::kMetricLookupRttP50, 4) : "-",
-                  has_rtt ? cell(PdhtSystem::kMetricLookupRttP95, 4) : "-",
-                  has_rtt ? cell(PdhtSystem::kMetricLookupRttP99, 4) : "-",
-                  has_rtt ? cell(PdhtSystem::kMetricLookupStretch, 4)
-                          : "-"});
+    table.AddRow(
+        {r.label, cell(PdhtSystem::kSeriesMsgTotal, 6),
+         cell(PdhtSystem::kSeriesHitRate, 4),
+         has_rtt ? cell(PdhtSystem::kMetricLookupRttMean, 4) : "-",
+         has_rtt ? cell(PdhtSystem::kMetricLookupRttP50, 4) : "-",
+         has_rtt ? cell(PdhtSystem::kMetricLookupRttP95, 4) : "-",
+         has_rtt ? cell(PdhtSystem::kMetricLookupHopsMean, 4) : "-",
+         has_rtt ? cell(PdhtSystem::kMetricLookupTimeouts, 0) : "-",
+         has_rtt ? cell(PdhtSystem::kMetricLookupStretch, 4) : "-"});
   }
-  pdht::bench::EmitTable(table, flags.csv);
+  pdht::bench::EmitTable(table, csv);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pdht::bench::BenchFlags flags = pdht::bench::ParseBenchFlags(argc, argv);
+  const uint64_t rounds =
+      flags.RoundsOrDefault(flags.full ? 2 * kDefaultRounds : kDefaultRounds);
+
+  pdht::bench::PrintHeader(
+      "bench_latency -- lookup RTT under pluggable delivery models and "
+      "routing policies (1/14-scale Table 1, churn on)",
+      "latency axis over the paper's message-count metric; baseline "
+      "artifact BENCH_latency.json");
+
+  pdht::exp::ParallelRunner runner({flags.threads});
+
+  // --- Table 1: the kademlia headline ladder ---------------------------
+  std::vector<VariantResult> headline;
+  {
+    SystemConfig imm = Scale14Config();
+    imm.delivery_model = pdht::net::DeliveryModelKind::kImmediate;
+    imm.proximity_routing = false;
+    headline.push_back(
+        RunVariant(runner, "immediate", imm, rounds, flags.seeds));
+  }
+  for (const Policy& p : kPolicies) {
+    SystemConfig c = Scale14Config();
+    ApplyPolicy(&c, p);
+    headline.push_back(RunVariant(runner, p.label, c, rounds, flags.seeds));
+    std::printf("measured %-16s: %.1f msg/round, lookup rtt mean %.2f ms\n",
+                p.label, Mean(headline.back().row, PdhtSystem::kSeriesMsgTotal),
+                Mean(headline.back().row, PdhtSystem::kMetricLookupRttMean));
+  }
+  EmitResultTable("table 1: delivery/policy ladder (kademlia, 1/14)",
+                  headline, flags.csv);
+
+  // --- Table 2: routing policies per registered backend ----------------
+  // 16 cells of latency-delivery simulation: skipped on smoke budgets so
+  // the CTest smoke target stays cheap (the headline ladder above
+  // already proves count invariance and the policy wins; the full grid
+  // runs at the default budget and nightly's --full).
+  std::vector<VariantResult> policy_rows;
+  if (!flags.smoke) {
+    for (pdht::core::DhtBackend backend :
+         pdht::overlay::RegisteredBackends()) {
+      for (const Policy& p : kPolicies) {
+        SystemConfig c = Scale14Config();
+        c.backend = backend;
+        ApplyPolicy(&c, p);
+        policy_rows.push_back(RunVariant(
+            runner,
+            std::string(pdht::core::DhtBackendName(backend)) + "/" +
+                p.label,
+            c, rounds, flags.seeds));
+      }
+    }
+    EmitResultTable("table 2: routing-policy grid per backend (1/14)",
+                    policy_rows,
+                    flags.csv.empty() ? std::string()
+                                      : flags.csv + ".policy.csv");
+  } else {
+    std::printf("(smoke budget: skipping the per-backend routing-policy "
+                "grid)\n");
+  }
 
   // --- Shape checks ----------------------------------------------------
   bool pass = true;
@@ -196,14 +283,14 @@ int main(int argc, char** argv) {
   // 1. Message counts are delivery-model invariant, per cell and bit for
   //    bit: only metrics that exist under both models are compared (the
   //    latency run adds lookup.rtt.* / net.rate.deferred on top).
-  const auto& imm_cells = results[0].cells;
-  const auto& lat_cells = results[1].cells;
-  bool invariant = imm_cells.size() == lat_cells.size();
+  const auto& imm_cells = headline[0].cells;
+  const auto& blind_cells = headline[1].cells;
+  bool invariant = imm_cells.size() == blind_cells.size();
   if (invariant) {
     for (size_t i = 0; i < imm_cells.size(); ++i) {
       for (const auto& [key, value] : imm_cells[i].metrics) {
-        auto it = lat_cells[i].metrics.find(key);
-        if (it == lat_cells[i].metrics.end() || it->second != value) {
+        auto it = blind_cells[i].metrics.find(key);
+        if (it == blind_cells[i].metrics.end() || it->second != value) {
           invariant = false;
           std::printf("  count divergence: cell %zu metric %s\n", i,
                       key.c_str());
@@ -216,37 +303,90 @@ int main(int argc, char** argv) {
               "metric bit-identical: %s\n", invariant ? "PASS" : "FAIL");
   pass &= invariant;
 
-  // 2. The PNS win (the acceptance criterion): proximity-aware bucket
-  //    selection reduces mean lookup RTT vs the RTT-blind baseline.
   const double blind_rtt =
-      Mean(results[1].row, PdhtSystem::kMetricLookupRttMean);
-  const double pns_rtt =
-      Mean(results[2].row, PdhtSystem::kMetricLookupRttMean);
-  const bool pns_wins = pns_rtt > 0.0 && pns_rtt < blind_rtt;
-  std::printf("shape check: kademlia PNS reduces mean lookup RTT "
-              "(blind %.2f ms -> pns %.2f ms, %.1f%% win): %s\n",
-              blind_rtt, pns_rtt,
-              blind_rtt > 0.0 ? 100.0 * (1.0 - pns_rtt / blind_rtt) : 0.0,
-              pns_wins ? "PASS" : "FAIL");
-  pass &= pns_wins;
+      Mean(headline[1].row, PdhtSystem::kMetricLookupRttMean);
+  const double table_rtt =
+      Mean(headline[2].row, PdhtSystem::kMetricLookupRttMean);
+  const double route_rtt =
+      Mean(headline[3].row, PdhtSystem::kMetricLookupRttMean);
+  const double timeout_rtt =
+      Mean(headline[4].row, PdhtSystem::kMetricLookupRttMean);
 
-  // 3. Routing stretch moves the same way.
+  // 2. The PR 4 win still holds: table-build PNS beats blind.
+  const bool table_wins = table_rtt > 0.0 && table_rtt < blind_rtt;
+  std::printf("shape check: kademlia table-PNS reduces mean lookup RTT "
+              "(blind %.2f ms -> table %.2f ms, %.1f%% win): %s\n",
+              blind_rtt, table_rtt,
+              blind_rtt > 0.0 ? 100.0 * (1.0 - table_rtt / blind_rtt) : 0.0,
+              table_wins ? "PASS" : "FAIL");
+  pass &= table_wins;
+
+  // 3. This PR's acceptance criterion: route-time PNS beats table-only.
+  const bool route_wins = route_rtt > 0.0 && route_rtt < table_rtt;
+  std::printf("shape check: route-time PNS improves on table-only PNS "
+              "(table %.2f ms -> +route %.2f ms, %.1f%% win): %s\n",
+              table_rtt, route_rtt,
+              table_rtt > 0.0 ? 100.0 * (1.0 - route_rtt / table_rtt) : 0.0,
+              route_wins ? "PASS" : "FAIL");
+  pass &= route_wins;
+
+  // 4. Timeout costing surfaces and prices failed-probe waits without
+  //    touching a single counted message.
+  const double timeouts =
+      Mean(headline[4].row, PdhtSystem::kMetricLookupTimeouts);
+  bool timeout_ok = timeouts > 0.0 && timeout_rtt >= route_rtt;
+  if (timeout_ok) {
+    const auto& route_cells = headline[3].cells;
+    const auto& timeout_cells = headline[4].cells;
+    for (size_t i = 0; i < route_cells.size() && timeout_ok; ++i) {
+      for (const char* key :
+           {PdhtSystem::kSeriesMsgTotal, PdhtSystem::kSeriesHitRate}) {
+        if (route_cells[i].metrics.at(key) !=
+            timeout_cells[i].metrics.at(key)) {
+          timeout_ok = false;
+          std::printf("  timeout costing changed counts: cell %zu %s\n", i,
+                      key);
+          break;
+        }
+      }
+    }
+  }
+  std::printf("shape check: timeout costing prices failed probes "
+              "(%.0f timeouts, rtt %.2f -> %.2f ms) and keeps counts "
+              "bit-identical: %s\n",
+              timeouts, route_rtt, timeout_rtt, timeout_ok ? "PASS" : "FAIL");
+  pass &= timeout_ok;
+
+  // 5. Routing stretch falls down the ladder.
   const double blind_stretch =
-      Mean(results[1].row, PdhtSystem::kMetricLookupStretch);
-  const double pns_stretch =
-      Mean(results[2].row, PdhtSystem::kMetricLookupStretch);
-  const bool stretch_wins = pns_stretch > 0.0 && pns_stretch < blind_stretch;
-  std::printf("shape check: routing stretch drops under PNS "
+      Mean(headline[1].row, PdhtSystem::kMetricLookupStretch);
+  const double route_stretch =
+      Mean(headline[3].row, PdhtSystem::kMetricLookupStretch);
+  const bool stretch_wins =
+      route_stretch > 0.0 && route_stretch < blind_stretch;
+  std::printf("shape check: routing stretch drops blind -> +route "
               "(%.3f -> %.3f): %s\n",
-              blind_stretch, pns_stretch, stretch_wins ? "PASS" : "FAIL");
+              blind_stretch, route_stretch, stretch_wins ? "PASS" : "FAIL");
   pass &= stretch_wins;
+
+  // Informational: per-backend route-PNS wins (structural for CAN, whose
+  // exact-tie candidate groups leave little reordering freedom).
+  for (size_t i = 0; i + 3 < policy_rows.size(); i += 4) {
+    const double b = Mean(policy_rows[i].row, PdhtSystem::kMetricLookupRttMean);
+    const double r =
+        Mean(policy_rows[i + 2].row, PdhtSystem::kMetricLookupRttMean);
+    std::printf("info: %-24s blind %.2f ms -> table+route %.2f ms "
+                "(%+.1f%%)\n",
+                policy_rows[i].label.c_str(), b, r,
+                b > 0.0 ? 100.0 * (r / b - 1.0) : 0.0);
+  }
 
   std::string json_path = flags.json;
   if (json_path.empty()) {
     json_path =
         flags.smoke ? "BENCH_latency_smoke.json" : "BENCH_latency.json";
   }
-  if (WriteJson(json_path, results, rounds, flags.smoke)) {
+  if (WriteJson(json_path, headline, policy_rows, rounds, flags.smoke)) {
     std::printf("json baseline written to %s\n", json_path.c_str());
   } else {
     std::printf("FAILED to write json baseline to %s\n", json_path.c_str());

@@ -24,6 +24,7 @@ std::string SystemConfig::Validate() const {
   if (overlay_degree < 2.0) return "overlay_degree must be >= 2";
   if (walk.num_walkers == 0) return "walk.num_walkers must be >= 1";
   if (kademlia_bucket_size == 0) return "kademlia_bucket_size must be >= 1";
+  if (kademlia_alpha == 0) return "kademlia_alpha must be >= 1";
   if (delivery_model == net::DeliveryModelKind::kLatency) {
     std::string lat_err = latency.Validate();
     if (!lat_err.empty()) return lat_err;
@@ -40,6 +41,7 @@ PdhtSystem::PdhtSystem(const SystemConfig& config)
   // systematic subsample -- far past the precision any p99 needs).
   lookup_rtt_ms_.SetSampleCap(1 << 18);
   lookup_direct_ms_.SetSampleCap(1 << 18);
+  lookup_hops_.SetSampleCap(1 << 18);
   DeriveSettings();
   BuildSubstrates();
   SelectDhtMembers();
@@ -173,20 +175,35 @@ void PdhtSystem::SelectDhtMembers() {
   op.repl = p.repl;
   op.num_peers = p.num_peers;
   op.kademlia_bucket_size = config_.kademlia_bucket_size;
+  op.kademlia_alpha = config_.kademlia_alpha;
   overlay_ = overlay::MakeOverlay(config_.backend, network_.get(), op,
                                   rng_.Fork());
   // Validate() already vetted the backend; exactly one overlay is live
   // from here on.
   assert(overlay_ != nullptr);
-  if (config_.proximity_routing && network_->deferred_delivery()) {
+  const bool deferred = network_->deferred_delivery();
+  const net::DeliveryModel* model = delivery_.get();
+  if (config_.proximity_routing && deferred) {
     // Hand the overlay the delivery model's RTT oracle *before* the
     // routing tables are built so proximity-aware backends (Kademlia)
     // can prefer cheap links among equivalent candidates.
-    const net::DeliveryModel* model = delivery_.get();
     overlay_->SetPeerRtt([model](net::PeerId a, net::PeerId b) {
       return model->RttMs(a, b);
     });
   }
+  // Lookup-time policies of the shared routing driver.  Blind defaults
+  // (both off) keep every walk bit-identical to the monolithic era.
+  overlay::RoutingPolicy rp;
+  rp.proximity =
+      config_.proximity_routing && config_.route_proximity && deferred;
+  route_pns_ = rp.proximity;
+  rp.timeout_costing = config_.timeout_costing && deferred;
+  if (rp.proximity) {
+    rp.rtt = [model](net::PeerId a, net::PeerId b) {
+      return model->RttMs(a, b);
+    };
+  }
+  overlay_->SetRoutingPolicy(std::move(rp));
   overlay_->SetMembers(dht_members_);
 }
 
@@ -279,6 +296,12 @@ void PdhtSystem::RegisterActors() {
     // keep the seed-era series set (snapshots stay byte-identical).
     engine_.AddCounterRateMetric(kSeriesDeferredRate,
                                  "net.delivery.deferred");
+    if (config_.timeout_costing) {
+      // Per-round probe-timeout counts; registered only when timeout
+      // costing is on so existing latency runs keep their series set.
+      engine_.AddCounterRateMetric(kSeriesTimeoutRate,
+                                   network_->timeout_counter_id());
+    }
   }
   engine_.AddMetric(kSeriesHitRate, [this](const sim::RoundContext&) {
     return round_queries_ == 0
@@ -325,6 +348,27 @@ net::PeerId PdhtSystem::DhtEntryPoint(net::PeerId origin) {
   }
   net::PeerId entry =
       overlay_ ? overlay_->RandomOnlineMember(rng_) : net::kInvalidPeer;
+  if (route_pns_ && entry != net::kInvalidPeer &&
+      origin != net::kInvalidPeer) {
+    // Proximity entry selection (route-time PNS, hop 0): any online
+    // member is an equal-progress entry into the DHT -- the key is
+    // equidistant from a random member either way -- so take the
+    // cheapest origin->entry link among a small sample.  This leg is a
+    // full random link under blind routing (~a third of the mean lookup
+    // RTT at the 1/14 scenario), making it the single largest
+    // latency-aware routing win.
+    double best = delivery_->RttMs(origin, entry);
+    for (int i = 1; i < 8; ++i) {
+      net::PeerId cand = overlay_->RandomOnlineMember(rng_);
+      if (cand == net::kInvalidPeer) break;
+      if (cand == entry) continue;
+      const double rtt = delivery_->RttMs(origin, cand);
+      if (rtt < best) {
+        best = rtt;
+        entry = cand;
+      }
+    }
+  }
   if (entry != net::kInvalidPeer && origin != net::kInvalidPeer) {
     // Forwarding the query from the non-member origin into the DHT is one
     // message ("it is sufficient to know at least one online peer that is
@@ -412,9 +456,12 @@ QueryOutcome PdhtSystem::RunIndexFirstQuery(net::PeerId origin, uint64_t key,
       route.terminus != net::kInvalidPeer) {
     // Paired samples: measured serialized RTT of this lookup vs the
     // direct origin->terminus round trip -- their mean ratio is the
-    // routing stretch bench_latency reports.
+    // routing stretch bench_latency reports.  Timeout costing folds
+    // failed-probe waits into the same latency sum, so the RTT bracket
+    // prices them automatically.
     lookup_rtt_ms_.Add((network_->total_latency_s() - lat_before) * 1e3);
     lookup_direct_ms_.Add(delivery_->RttMs(origin, route.terminus));
+    lookup_hops_.Add(static_cast<double>(route.hops));
   }
   net::PeerId holder = net::kInvalidPeer;
   if (route.success && route.terminus != net::kInvalidPeer &&
@@ -627,6 +674,10 @@ RunSnapshot PdhtSystem::Snapshot(size_t tail) const {
         lookup_direct_ms_.mean() > 0.0
             ? lookup_rtt_ms_.mean() / lookup_direct_ms_.mean()
             : 0.0;
+    snap.latency[kMetricLookupHopsMean] = lookup_hops_.mean();
+    snap.latency[kMetricLookupHopsP95] = lookup_hops_.Quantile(0.95);
+    snap.latency[kMetricLookupTimeouts] =
+        static_cast<double>(network_->TimeoutCount());
   }
   return snap;
 }

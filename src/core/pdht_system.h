@@ -89,6 +89,14 @@ struct SystemConfig {
   /// backends ignore it.
   uint32_t kademlia_bucket_size = 8;
 
+  /// Kademlia's alpha: bounded lookup parallelism -- the routing driver
+  /// probes up to alpha closer contacts per hop round, advancing to the
+  /// best online one (deterministic tie-breaks by candidate order).
+  /// 1 (the default) is the sequential walk, bit-identical to the
+  /// pre-driver era; larger values trade extra lookup messages for
+  /// fewer serialized timeout stalls.  Other backends ignore it.
+  uint32_t kademlia_alpha = 1;
+
   /// Message-delivery model (net/delivery_model.h).  kImmediate is the
   /// seed's synchronous semantics (and costs the hot loop nothing);
   /// kLatency assigns every peer a deterministic synthetic coordinate,
@@ -110,6 +118,19 @@ struct SystemConfig {
   /// Kademlia implements it).  Only meaningful with kLatency; turn off
   /// for an RTT-blind baseline under the same delay model.
   bool proximity_routing = true;
+  /// Route-time PNS on top of table-build PNS: the routing driver
+  /// prefers the lowest-RTT candidate among equal-progress next hops at
+  /// every hop of every backend (overlay::RoutingPolicy::proximity).
+  /// Effective only when proximity_routing is also on (it is the same
+  /// PNS idea, applied at lookup time) and the delivery model is
+  /// non-immediate; off = probe in the backend's blind order.
+  bool route_proximity = true;
+  /// Timeout-aware failed-probe costing: each failed probe round charges
+  /// the delivery model's ProbeTimeoutSeconds (latency.timeout_ms) into
+  /// the latency accounting instead of being free.  Message counts are
+  /// unchanged -- this prices the *waiting*, not the wire.  Only
+  /// meaningful with kLatency.
+  bool timeout_costing = false;
 
   /// Returns an empty string when the configuration is self-consistent.
   std::string Validate() const;
@@ -180,6 +201,9 @@ class PdhtSystem {
   /// populated under a non-immediate delivery model.
   const Histogram& lookup_rtt_ms() const { return lookup_rtt_ms_; }
 
+  /// Routing hops per bracketed lookup (same population rules).
+  const Histogram& lookup_hops() const { return lookup_hops_; }
+
   /// Distinct keys currently resident in >= 1 index shard.
   uint64_t IndexedKeyCount() const;
 
@@ -229,6 +253,10 @@ class PdhtSystem {
   /// Deferred deliveries per round; recorded only under a non-immediate
   /// delivery model (immediate runs keep the seed-era series set).
   static constexpr const char* kSeriesDeferredRate = "net.rate.deferred";
+  /// Probe timeouts charged per round; recorded only when
+  /// timeout_costing is active (so existing latency runs keep their
+  /// series set).
+  static constexpr const char* kSeriesTimeoutRate = "net.rate.timeout";
 
   /// RunSnapshot::latency keys (and exp:: metric names once RunCell
   /// merges them): per-lookup RTT distribution in milliseconds, sample
@@ -240,6 +268,11 @@ class PdhtSystem {
   static constexpr const char* kMetricLookupRttCount = "lookup.rtt.n";
   static constexpr const char* kMetricLinkDelayMean = "link.delay.mean";
   static constexpr const char* kMetricLookupStretch = "lookup.stretch";
+  /// Per-lookup routing-hop breakdown (driver-level instrumentation) and
+  /// total probe timeouts charged, same latency-only presence rules.
+  static constexpr const char* kMetricLookupHopsMean = "lookup.hops.mean";
+  static constexpr const char* kMetricLookupHopsP95 = "lookup.hops.p95";
+  static constexpr const char* kMetricLookupTimeouts = "lookup.timeout.n";
 
  private:
   void DeriveSettings();
@@ -301,6 +334,12 @@ class PdhtSystem {
   /// Interned id of "msg.maint.probe" for the per-round autotuner delta.
   CounterId probe_counter_id_ = 0;
 
+  /// Route-time PNS active (proximity_routing && route_proximity under a
+  /// non-immediate delivery model): the routing driver reorders
+  /// equal-progress candidates by RTT and DhtEntryPoint picks the
+  /// cheapest origin->entry link among a sample.
+  bool route_pns_ = false;
+
   // Per-round query accounting for the hit-rate metric.
   uint64_t round_queries_ = 0;
   uint64_t round_hits_ = 0;
@@ -314,6 +353,9 @@ class PdhtSystem {
   /// RTT of the same lookup -- their mean ratio is the routing stretch.
   Histogram lookup_rtt_ms_;
   Histogram lookup_direct_ms_;
+  /// Routing hops per bracketed lookup (driver walk length), same
+  /// deferred-delivery-only population rules.
+  Histogram lookup_hops_;
 };
 
 }  // namespace pdht::core

@@ -10,10 +10,13 @@ namespace pdht::net {
 
 namespace {
 
-/// Domain-separation salts so coordinates and jitter draw from
-/// independent hash families of the same seed.
-constexpr uint64_t kCoordSalt = 0x636f6f7264ULL;   // "coord"
-constexpr uint64_t kJitterSalt = 0x6a69747472ULL;  // "jittr"
+/// Domain-separation salts so coordinates, jitter, cluster membership
+/// and cluster centers draw from independent hash families of the same
+/// seed.
+constexpr uint64_t kCoordSalt = 0x636f6f7264ULL;    // "coord"
+constexpr uint64_t kJitterSalt = 0x6a69747472ULL;   // "jittr"
+constexpr uint64_t kClusterSalt = 0x636c757374ULL;  // "clust"
+constexpr uint64_t kCenterSalt = 0x636e747273ULL;   // "cntrs"
 
 std::string ToLower(const std::string& s) {
   std::string out = s;
@@ -47,13 +50,43 @@ bool ParseDeliveryModel(const std::string& name, DeliveryModelKind* out) {
   return false;
 }
 
+const char* LatencyTopologyName(LatencyTopology t) {
+  switch (t) {
+    case LatencyTopology::kUniform:
+      return "uniform";
+    case LatencyTopology::kTransitStub:
+      return "transit_stub";
+  }
+  return "unknown";
+}
+
+bool ParseLatencyTopology(const std::string& name, LatencyTopology* out) {
+  const std::string lower = ToLower(name);
+  if (lower == "uniform") {
+    *out = LatencyTopology::kUniform;
+    return true;
+  }
+  if (lower == "transit_stub") {
+    *out = LatencyTopology::kTransitStub;
+    return true;
+  }
+  return false;
+}
+
 std::string LatencyConfig::Validate() const {
   if (!(base_ms >= 0.0)) return "latency.base_ms must be >= 0";
   if (!(ms_per_unit >= 0.0)) return "latency.ms_per_unit must be >= 0";
   if (!(jitter_ms >= 0.0)) return "latency.jitter_ms must be >= 0";
+  if (!(timeout_ms >= 0.0)) return "latency.timeout_ms must be >= 0";
   if (base_ms + ms_per_unit + jitter_ms <= 0.0) {
     return "latency model with all-zero delays: use delivery_model = "
            "immediate instead";
+  }
+  if (topology == LatencyTopology::kTransitStub) {
+    if (num_clusters < 1) return "latency.num_clusters must be >= 1";
+    if (!(cluster_spread >= 0.0)) {
+      return "latency.cluster_spread must be >= 0";
+    }
   }
   return "";
 }
@@ -61,12 +94,33 @@ std::string LatencyConfig::Validate() const {
 LatencyDelivery::LatencyDelivery(const LatencyConfig& config, uint64_t seed)
     : config_(config), seed_(seed) {}
 
+uint32_t LatencyDelivery::ClusterOf(PeerId peer) const {
+  if (config_.topology != LatencyTopology::kTransitStub) return 0;
+  return static_cast<uint32_t>(
+      Mix64(HashCombine(HashCombine(seed_, kClusterSalt), peer)) %
+      config_.num_clusters);
+}
+
 void LatencyDelivery::Coordinate(PeerId peer, double* x, double* y) const {
   const uint64_t h =
       Mix64(HashCombine(HashCombine(seed_, kCoordSalt), peer));
   // Top/bottom 32 bits -> two uniforms in [0, 1).
-  *x = static_cast<double>(h >> 32) * 0x1p-32;
-  *y = static_cast<double>(h & 0xffffffffULL) * 0x1p-32;
+  const double u = static_cast<double>(h >> 32) * 0x1p-32;
+  const double v = static_cast<double>(h & 0xffffffffULL) * 0x1p-32;
+  if (config_.topology == LatencyTopology::kTransitStub) {
+    // Stub domain center (hashed per cluster) plus a small per-peer
+    // offset: intra-cluster distances are O(cluster_spread), while
+    // inter-cluster links pay the center-to-center transit distance.
+    const uint64_t hc = Mix64(HashCombine(HashCombine(seed_, kCenterSalt),
+                                          ClusterOf(peer)));
+    *x = static_cast<double>(hc >> 32) * 0x1p-32 +
+         config_.cluster_spread * (2.0 * u - 1.0);
+    *y = static_cast<double>(hc & 0xffffffffULL) * 0x1p-32 +
+         config_.cluster_spread * (2.0 * v - 1.0);
+    return;
+  }
+  *x = u;
+  *y = v;
 }
 
 double LatencyDelivery::JitterMs(PeerId a, PeerId b) const {

@@ -70,6 +70,18 @@ class DeliveryModel {
     return 1e3 * (LinkDelaySeconds(a, b) + LinkDelaySeconds(b, a));
   }
 
+  /// How long a sender waits before declaring a probe to `to` dead --
+  /// the latency cost of a failed probe under timeout-aware routing
+  /// (overlay::RoutingPolicy::timeout_costing, charged through
+  /// Network::ChargeProbeTimeout).  0 (the default) makes failed probes
+  /// latency-free, the pre-timeout behaviour.  Same purity rules as
+  /// LinkDelaySeconds.
+  virtual double ProbeTimeoutSeconds(PeerId from, PeerId to) const {
+    (void)from;
+    (void)to;
+    return 0.0;
+  }
+
   /// True when LinkDelaySeconds is identically zero.  Network keeps its
   /// inline synchronous Send path for immediate models, so they are free.
   virtual bool immediate() const = 0;
@@ -86,6 +98,24 @@ class ImmediateDelivery final : public DeliveryModel {
   const char* name() const override { return "immediate"; }
 };
 
+/// Shape of the synthetic coordinate space.
+enum class LatencyTopology : uint8_t {
+  /// Coordinates i.i.d. uniform over the unit square (PR 4's model).
+  kUniform,
+  /// Transit-stub-like clustering: peers hash into one of num_clusters
+  /// stub domains; a domain's members sit within cluster_spread of its
+  /// hashed center, so intra-cluster links are cheap (~base + spread
+  /// scale) while inter-cluster links pay the center-to-center transit
+  /// distance.  The realistic-topology axis of the ROADMAP.
+  kTransitStub,
+};
+
+const char* LatencyTopologyName(LatencyTopology t);
+
+/// Parses "uniform" / "transit_stub" (case-insensitive); returns false
+/// on unknown input.
+bool ParseLatencyTopology(const std::string& name, LatencyTopology* out);
+
 /// Knobs of the synthetic-coordinate latency model.  Defaults give a
 /// WAN-ish spread: 5 ms floor, up to ~118 ms across the unit square
 /// diagonal, 2 ms of deterministic per-link jitter.
@@ -99,6 +129,18 @@ struct LatencyConfig {
   /// Amplitude of the deterministic per-link jitter: each (unordered)
   /// link adds a hash-derived constant in [0, jitter_ms).
   double jitter_ms = 2.0;
+  /// Failed-probe detection timeout in milliseconds, charged per failed
+  /// probe round when timeout-aware routing is on
+  /// (core::SystemConfig::timeout_costing).  Ignored otherwise.
+  double timeout_ms = 250.0;
+
+  /// Coordinate-space shape and its clustering knobs (used by
+  /// kTransitStub only).  Everything stays a pure hash of
+  /// (latency_seed, peer), so topologies are deterministic and
+  /// thread-count invariant like the uniform model.
+  LatencyTopology topology = LatencyTopology::kUniform;
+  uint32_t num_clusters = 8;
+  double cluster_spread = 0.03;
 
   /// Empty when self-consistent.
   std::string Validate() const;
@@ -113,11 +155,22 @@ class LatencyDelivery final : public DeliveryModel {
   LatencyDelivery(const LatencyConfig& config, uint64_t seed);
 
   double LinkDelaySeconds(PeerId from, PeerId to) const override;
+  double ProbeTimeoutSeconds(PeerId from, PeerId to) const override {
+    (void)from;
+    (void)to;
+    return config_.timeout_ms * 1e-3;
+  }
   bool immediate() const override { return false; }
   const char* name() const override { return "latency"; }
 
-  /// The peer's synthetic coordinate in the unit square.
+  /// The peer's synthetic coordinate: uniform in the unit square, or its
+  /// cluster center plus a [-spread, spread] offset under kTransitStub
+  /// (clustered coordinates may poke slightly past the unit square; the
+  /// distance math doesn't care).
   void Coordinate(PeerId peer, double* x, double* y) const;
+
+  /// The peer's stub domain under kTransitStub; 0 under kUniform.
+  uint32_t ClusterOf(PeerId peer) const;
 
   const LatencyConfig& config() const { return config_; }
   uint64_t seed() const { return seed_; }

@@ -22,6 +22,7 @@ Network::Network(CounterRegistry* counters) : counters_(counters) {
   lost_id_ = counters_->Intern("net.lost");
   deferred_id_ = counters_->Intern("net.delivery.deferred");
   dropped_id_ = counters_->Intern("net.delivery.dropped");
+  timeout_id_ = counters_->Intern("net.timeout");
   // One latency sample lands here per deferred message -- an unbounded
   // stream at paper scale -- so bound the per-type retention; moments
   // stay exact and quantiles degrade to systematic-subsample estimates.
@@ -61,6 +62,14 @@ void Network::SetDeliveryModel(const DeliveryModel* model,
   events_ = events;
   deferred_ = model != nullptr && !model->immediate();
   assert(!deferred_ || events != nullptr);
+}
+
+void Network::ChargeProbeTimeout(PeerId from, PeerId to) {
+  if (!deferred_) return;  // immediate delivery has no latency axis
+  const double s = delivery_->ProbeTimeoutSeconds(from, to);
+  if (s <= 0.0) return;
+  latency_sum_s_ += s;
+  counters_->Add(timeout_id_);
 }
 
 bool Network::SendDeferred(const Message& msg) {

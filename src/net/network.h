@@ -136,6 +136,20 @@ class Network {
   /// serialized path latency, e.g. PdhtSystem's per-lookup RTT samples.
   double total_latency_s() const { return latency_sum_s_; }
 
+  /// Charges the delivery model's probe-detection timeout for a failed
+  /// probe round from `from` toward `to` -- timeout-aware failed-probe
+  /// costing (overlay::RoutingPolicy::timeout_costing): the sender
+  /// waited ProbeTimeoutSeconds before giving up on the link, so that
+  /// wait joins total_latency_s() (and thereby the per-lookup RTT
+  /// brackets) and is tallied under "net.timeout".  A no-op under
+  /// immediate delivery or a zero-timeout model.
+  void ChargeProbeTimeout(PeerId from, PeerId to);
+
+  /// Probe timeouts charged so far (the "net.timeout" counter).
+  uint64_t TimeoutCount() const { return counters_->Value(timeout_id_); }
+  /// The interned id timeouts are counted under (for per-round series).
+  CounterId timeout_counter_id() const { return timeout_id_; }
+
   /// Per-message-type one-way link-delay samples, in milliseconds.
   const Histogram& TypeLatencyMs(MessageType type) const {
     return type_latency_ms_[TypeIndex(type)];
@@ -176,6 +190,7 @@ class Network {
   CounterId lost_id_;      ///< "net.lost": sends to offline/unseen peers
   CounterId deferred_id_;  ///< "net.delivery.deferred"
   CounterId dropped_id_;   ///< "net.delivery.dropped"
+  CounterId timeout_id_;   ///< "net.timeout": charged probe timeouts
   std::vector<MessageHandler*> handlers_;
   std::vector<bool> online_;
   std::vector<bool> seen_;  ///< touched by Register/SetOnline

@@ -172,91 +172,56 @@ double CanOverlay::DistanceToZone(const CanPoint& p, const CanZone& z) {
   return sum;
 }
 
-LookupResult CanOverlay::Lookup(net::PeerId origin, uint64_t key) {
-  LookupResult result;
-  if (zones_.empty()) return result;
+bool CanOverlay::StartLookup(net::PeerId origin, uint64_t key,
+                             net::PeerId* responsible) {
+  if (zones_.empty()) return false;
   assert(IsMember(origin) && "lookup origin must be a member");
-  const CanPoint target = KeyToPoint(key);
-  result.responsible = ResponsibleMember(key);
+  lookup_point_ = KeyToPoint(key);
+  *responsible = ResponsibleMember(key);
+  ++visit_gen_;
+  MarkVisited(origin);
+  return true;
+}
 
-  net::PeerId cur = origin;
-  // Hop limit: greedy routing advances every hop (~n^(1/d) per dim); the
-  // slack accommodates churn detours.
-  const uint32_t hop_limit =
-      8 * static_cast<uint32_t>(
-              std::ceil(std::pow(static_cast<double>(zones_.size()),
-                                 1.0 / kCanDims))) +
-      16;
-  // Visited set prevents detour loops when greedy progress is blocked by
-  // offline zones and routing falls back to non-improving neighbors
-  // (CAN's "route around failures" behaviour).
-  std::unordered_map<net::PeerId, bool> visited;
-  visited[cur] = true;
-  while (result.hops < hop_limit) {
-    const CanZone& zone = zones_.at(cur);
-    if (zone.Contains(target)) break;
-    double cur_dist = DistanceToZone(target, zone);
-    // Neighbors in order of increasing distance-to-target.
-    std::vector<net::PeerId> cands = NeighborsOf(cur);
-    std::sort(cands.begin(), cands.end(),
-              [&](net::PeerId a, net::PeerId b) {
-                return DistanceToZone(target, zones_.at(a)) <
-                       DistanceToZone(target, zones_.at(b));
-              });
-    net::PeerId next = net::kInvalidPeer;
-    bool tried_detour = false;
-    for (net::PeerId cand : cands) {
-      bool progresses =
-          DistanceToZone(target, zones_.at(cand)) < cur_dist;
-      if (!progresses) {
-        // Greedy exhausted: take at most one unvisited detour hop.
-        if (tried_detour || visited.count(cand)) continue;
-        tried_detour = true;
-      }
-      net::Message m;
-      m.type = net::MessageType::kDhtLookup;
-      m.from = cur;
-      m.to = cand;
-      m.key = key;
-      m.tag = result.hops;
-      network_->Send(m);
-      ++result.messages;
-      if (network_->IsOnline(cand)) {
-        next = cand;
-        break;
-      }
-      ++result.failed_probes;
-    }
-    if (next == net::kInvalidPeer) {
-      // Dead end: every progressing or detour neighbor is offline.
-      result.terminus = cur;
-      result.success = false;
-      result.responsible_online =
-          result.responsible != net::kInvalidPeer &&
-          network_->IsOnline(result.responsible);
-      return result;
-    }
-    cur = next;
-    visited[cur] = true;
-    ++result.hops;
-  }
+bool CanOverlay::AtDestination(net::PeerId peer, uint64_t /*key*/) const {
+  auto it = zones_.find(peer);
+  return it != zones_.end() && it->second.Contains(lookup_point_);
+}
 
-  result.terminus = cur;
-  result.responsible_online =
-      result.responsible != net::kInvalidPeer &&
-      network_->IsOnline(result.responsible);
-  result.success =
-      zones_.at(cur).Contains(target) && network_->IsOnline(cur);
-  if (result.success && cur != origin) {
-    net::Message resp;
-    resp.type = net::MessageType::kDhtResponse;
-    resp.from = cur;
-    resp.to = origin;
-    resp.key = key;
-    network_->Send(resp);
-    ++result.messages;
+uint32_t CanOverlay::LookupHopLimit() const {
+  // Greedy routing advances every hop (~n^(1/d) per dim); the slack
+  // accommodates churn detours.
+  return 8 * static_cast<uint32_t>(
+                 std::ceil(std::pow(static_cast<double>(zones_.size()),
+                                    1.0 / kCanDims))) +
+         16;
+}
+
+void CanOverlay::NextHops(const RouteState& state, uint64_t /*key*/,
+                          std::vector<RouteCandidate>* out) {
+  const double cur_dist =
+      DistanceToZone(lookup_point_, zones_.at(state.cur));
+  // Neighbors in order of increasing distance-to-target: every
+  // progressing neighbor, then at most one unvisited non-progressing
+  // detour (the visited set prevents detour loops when greedy progress
+  // is blocked by offline zones).
+  sort_scratch_ = NeighborsOf(state.cur);
+  std::sort(sort_scratch_.begin(), sort_scratch_.end(),
+            [&](net::PeerId a, net::PeerId b) {
+              return DistanceToZone(lookup_point_, zones_.at(a)) <
+                     DistanceToZone(lookup_point_, zones_.at(b));
+            });
+  bool emitted_detour = false;
+  for (net::PeerId cand : sort_scratch_) {
+    const double d = DistanceToZone(lookup_point_, zones_.at(cand));
+    if (!(d < cur_dist)) {
+      if (emitted_detour || Visited(cand)) continue;
+      emitted_detour = true;
+    }
+    // Progress metric: the remaining torus distance itself -- exact ties
+    // (symmetric zone geometry) are the only interchangeable candidates.
+    out->push_back(RouteCandidate{cand, d, false});
   }
-  return result;
 }
 
 uint64_t CanOverlay::RunMaintenanceRound(double env) {

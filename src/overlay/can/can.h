@@ -73,9 +73,19 @@ class CanOverlay : public StructuredOverlay {
   /// Owner of the key's point.
   net::PeerId ResponsibleMember(uint64_t key) const override;
 
-  /// Greedy torus routing from `origin`; counts kDhtLookup per hop
-  /// attempt (failed sends to offline neighbors included).
-  LookupResult Lookup(net::PeerId origin, uint64_t key) override;
+  // Routing-engine contract: primary candidates are the neighbors in
+  // order of increasing distance to the target point -- every progressing
+  // neighbor, plus at most one unvisited non-progressing detour per hop
+  // (CAN's "route around failures").  There is no recovery scan: a hop
+  // whose candidates are all offline is a genuine dead end (greedy CAN
+  // does not backtrack), and a hop-limit exit fails.
+  bool StartLookup(net::PeerId origin, uint64_t key,
+                   net::PeerId* responsible) override;
+  bool AtDestination(net::PeerId peer, uint64_t key) const override;
+  uint32_t LookupHopLimit() const override;
+  void NextHops(const RouteState& state, uint64_t key,
+                std::vector<RouteCandidate>* out) override;
+  void OnAdvance(net::PeerId peer) override { MarkVisited(peer); }
 
   /// Probe-based neighbor maintenance (env semantics as elsewhere).
   /// CAN zones are static here, so "repair" means remembering the
@@ -93,12 +103,28 @@ class CanOverlay : public StructuredOverlay {
   /// Torus distance between a point and a zone (0 if inside).
   static double DistanceToZone(const CanPoint& p, const CanZone& z);
 
+  /// Epoch-stamped per-lookup visited set (detour-loop prevention)
+  /// without per-lookup allocation.
+  void MarkVisited(net::PeerId peer) {
+    if (peer >= visit_epoch_.size()) visit_epoch_.resize(peer + 1, 0);
+    visit_epoch_[peer] = visit_gen_;
+  }
+  bool Visited(net::PeerId peer) const {
+    return peer < visit_epoch_.size() && visit_epoch_[peer] == visit_gen_;
+  }
+
   Rng rng_;
   std::unordered_map<net::PeerId, CanZone> zones_;
   std::unordered_map<net::PeerId, std::vector<net::PeerId>> neighbors_;
   std::vector<net::PeerId> member_list_;
   std::unordered_map<net::PeerId, double> probe_budget_;
   std::vector<net::PeerId> empty_;
+
+  // Per-lookup routing state (set in StartLookup).
+  CanPoint lookup_point_{};
+  std::vector<net::PeerId> sort_scratch_;  ///< NextHops neighbor ordering
+  std::vector<uint32_t> visit_epoch_;
+  uint32_t visit_gen_ = 0;
 };
 
 }  // namespace pdht::overlay

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <sstream>
 
 #include "overlay/dht/maintenance.h"
@@ -44,6 +45,25 @@ void ChordOverlay::SetMembers(const std::vector<net::PeerId>& members) {
     peer_to_index_[ring_[i].peer] = i;
   }
   for (auto& m : ring_) BuildTable(m);
+  mean_rtt_ms_ = 0.0;
+  if (has_peer_rtt() && ring_.size() >= 2) {
+    // Sample the link-RTT scale once (deterministic pair sweep) for the
+    // weighted route-PNS cost model.
+    const size_t n = ring_.size();
+    const size_t samples = std::min<size_t>(64, n);
+    double sum = 0.0;
+    for (size_t i = 0; i < samples; ++i) {
+      const size_t a = (i * n) / samples;
+      const size_t b = (a + n / 2) % n;
+      if (a == b) continue;
+      sum += PeerRtt(ring_[a].peer, ring_[b].peer);
+    }
+    mean_rtt_ms_ = sum / static_cast<double>(samples);
+  }
+}
+
+double ChordOverlay::ProgressWeightMs() const {
+  return mean_rtt_ms_ <= 0.0 ? 0.0 : 0.5 * mean_rtt_ms_ / 2.0;
 }
 
 size_t ChordOverlay::SuccessorIndex(NodeId id) const {
@@ -178,95 +198,92 @@ const ChordOverlay::Member* ChordOverlay::FindMember(
   return &ring_[it->second];
 }
 
-LookupResult ChordOverlay::Lookup(net::PeerId origin, uint64_t key) {
-  LookupResult result;
-  if (ring_.empty()) return result;
-  Member* cur = FindMember(origin);
-  assert(cur != nullptr && "lookup origin must be a member");
-  const NodeId target = KeyToNodeId(key);
-  const size_t owner_idx = SuccessorIndex(target);
-  const net::PeerId owner = ring_[owner_idx].peer;
-  result.responsible = owner;
+bool ChordOverlay::StartLookup(net::PeerId origin, uint64_t key,
+                               net::PeerId* responsible) {
+  if (ring_.empty()) return false;
+  assert(FindMember(origin) != nullptr && "lookup origin must be a member");
+  (void)origin;
+  lookup_target_ = KeyToNodeId(key);
+  lookup_owner_ = ring_[SuccessorIndex(lookup_target_)].peer;
+  *responsible = lookup_owner_;
+  return true;
+}
 
-  const uint32_t hop_limit =
-      4 * static_cast<uint32_t>(CeilLog2(ring_.size() + 1)) + 16;
-  while (cur->peer != owner && result.hops < hop_limit) {
-    uint64_t skip = 0;
-    const FingerEntry* next = nullptr;
-    // Try progressively less aggressive entries until one is reachable;
-    // each failed attempt is a real (lost) message to a stale entry.
-    while (true) {
-      next = cur->table.ClosestPreceding(cur->id, target, skip);
-      if (next == nullptr) break;
-      net::Message m;
-      m.type = net::MessageType::kDhtLookup;
-      m.from = cur->peer;
-      m.to = next->peer;
-      m.key = key;
-      m.tag = result.hops;
-      network_->Send(m);
-      ++result.messages;
-      if (network_->IsOnline(next->peer)) break;
-      ++result.failed_probes;
-      int idx = cur->table.IndexOf(next);
-      if (idx >= 0 && idx < 64) skip |= (uint64_t{1} << idx);
-      next = nullptr;
-    }
-    if (next == nullptr) {
-      // No finger makes progress (all stale or table empty): step to the
-      // first online successor on the ring -- linear but guaranteed.
-      size_t my_idx = peer_to_index_.at(cur->peer);
-      Member* step = nullptr;
-      for (size_t k = 1; k < ring_.size(); ++k) {
-        Member& cand = ring_[(my_idx + k) % ring_.size()];
-        net::Message m;
-        m.type = net::MessageType::kDhtLookup;
-        m.from = cur->peer;
-        m.to = cand.peer;
-        m.key = key;
-        m.tag = result.hops;
-        network_->Send(m);
-        ++result.messages;
-        if (network_->IsOnline(cand.peer)) {
-          step = &cand;
-          break;
-        }
-        ++result.failed_probes;
-        // If cand is the (offline) owner we keep scanning: the key's
-        // queries are served by the owner's first online successor.
-      }
-      if (step == nullptr) {
-        return result;  // network effectively dead
-      }
-      cur = step;
-      ++result.hops;
-      if (InIntervalOpenClosed(target, ring_[my_idx].id, cur->id)) {
-        // We stepped past the target: cur is the live successor.
-        break;
-      }
-      continue;
-    }
-    cur = FindMember(next->peer);
-    assert(cur != nullptr);
-    ++result.hops;
-  }
+bool ChordOverlay::AtDestination(net::PeerId peer, uint64_t /*key*/) const {
+  return peer == lookup_owner_;
+}
 
-  result.responsible_online = network_->IsOnline(owner);
-  result.terminus = cur->peer;
-  result.success =
-      cur->peer == owner ? result.responsible_online
-                         : network_->IsOnline(cur->peer);
-  // Result delivery back to the originator.
-  if (result.success && cur->peer != origin) {
-    net::Message resp;
-    resp.type = net::MessageType::kDhtResponse;
-    resp.from = cur->peer;
-    resp.to = origin;
-    resp.key = key;
-    network_->Send(resp);
-    ++result.messages;
+uint32_t ChordOverlay::LookupHopLimit() const {
+  return 4 * static_cast<uint32_t>(CeilLog2(ring_.size() + 1)) + 16;
+}
+
+void ChordOverlay::NextHops(const RouteState& state, uint64_t /*key*/,
+                            std::vector<RouteCandidate>* out) {
+  const Member* cur = FindMember(state.cur);
+  assert(cur != nullptr);
+  // Table entries strictly between cur and the target, closest-preceding
+  // first with ties by table index: the exact probe sequence the
+  // skip-masked ClosestPreceding walk produced (duplicated peers stay
+  // duplicated -- each entry is its own probe, as before).
+  hop_scratch_.clear();
+  uint32_t index = 0;
+  auto consider = [&](const FingerEntry& e) {
+    uint32_t my_index = index++;
+    if (e.peer == net::kInvalidPeer) return;
+    if (!InIntervalOpen(e.peer_id, cur->id, lookup_target_)) return;
+    hop_scratch_.push_back(
+        HopEntry{RingDistance(e.peer_id, lookup_target_), my_index, e.peer});
+  };
+  for (const auto& f : cur->table.fingers()) consider(f);
+  for (const auto& s : cur->table.successors()) consider(s);
+  std::sort(hop_scratch_.begin(), hop_scratch_.end());
+  // Progress: remaining clockwise distance in bits (exact log2, > 0
+  // inside the open interval).  Only the weighted route-PNS scorer reads
+  // it, so blind walks skip the libm call -- this loop is the innermost
+  // lookup hot path.
+  const bool want_progress = routing_policy().proximity;
+  for (const HopEntry& e : hop_scratch_) {
+    const double progress =
+        want_progress ? std::log2(static_cast<double>(e.dist)) : 0.0;
+    out->push_back(RouteCandidate{e.peer, progress, false});
   }
-  return result;
+}
+
+bool ChordOverlay::PrimaryHop(const RouteState& state, uint64_t /*key*/,
+                              uint32_t k, RouteCandidate* out) {
+  if (k == 0) {
+    primary_cur_ = FindMember(state.cur);
+    assert(primary_cur_ != nullptr);
+    primary_skip_ = 0;
+  }
+  // Try progressively less aggressive entries (skip-masked): the k-th
+  // candidate is the closest preceding entry among those not yet probed
+  // and found dead this hop.
+  const FingerEntry* next = primary_cur_->table.ClosestPreceding(
+      primary_cur_->id, lookup_target_, primary_skip_);
+  if (next == nullptr) return false;
+  const int idx = primary_cur_->table.IndexOf(next);
+  if (idx >= 0 && idx < 64) primary_skip_ |= (uint64_t{1} << idx);
+  out->peer = next->peer;
+  out->progress = 0.0;  // unread on the blind path
+  out->terminal = false;
+  return true;
+}
+
+bool ChordOverlay::FallbackHop(const RouteState& state, uint64_t /*key*/,
+                               uint32_t k, RouteCandidate* out) {
+  // Every table entry toward the key is stale (or the table is empty):
+  // walk ring successors in order -- linear but guaranteed.  An offline
+  // owner is scanned past: its keys are served by its first online
+  // successor, and a step at or past the target is terminal.
+  if (k == 0) fallback_base_ = peer_to_index_.at(state.cur);
+  if (k + 1 >= ring_.size()) return false;
+  const Member& cand = ring_[(fallback_base_ + 1 + k) % ring_.size()];
+  out->peer = cand.peer;
+  out->progress = static_cast<double>(k);  // ring order is not reorderable
+  out->terminal =
+      InIntervalOpenClosed(lookup_target_, ring_[fallback_base_].id, cand.id);
+  return true;
 }
 
 FingerTable* ChordOverlay::TableOf(net::PeerId peer) {

@@ -63,11 +63,31 @@ class ChordOverlay : public StructuredOverlay {
   std::vector<net::PeerId> ResponsibleReplicas(uint64_t key,
                                                uint32_t count) const;
 
-  /// Routes from `origin` (must be a member) toward `key`'s owner,
-  /// counting one kDhtLookup per hop attempt.  If the owner is offline the
-  /// lookup terminates at its first online successor with
-  /// responsible_online = false.
-  LookupResult Lookup(net::PeerId origin, uint64_t key) override;
+  // Routing-engine contract (the walk itself lives in RoutingDriver):
+  // primary candidates are the table entries strictly preceding the key,
+  // closest first; the recovery scan walks ring successors in order, so a
+  // lookup whose owner is offline terminates at the owner's first online
+  // successor (terminal step at or past the target).
+  bool StartLookup(net::PeerId origin, uint64_t key,
+                   net::PeerId* responsible) override;
+  bool AtDestination(net::PeerId peer, uint64_t key) const override;
+  uint32_t LookupHopLimit() const override;
+  void NextHops(const RouteState& state, uint64_t key,
+                std::vector<RouteCandidate>* out) override;
+  /// Blind fast path: the skip-masked closest-preceding walk produces
+  /// one candidate per failed probe -- no list, no sort (the candidate
+  /// sequence is identical to NextHops' emission order).
+  bool PrimaryHop(const RouteState& state, uint64_t key, uint32_t k,
+                  RouteCandidate* out) override;
+  bool has_incremental_primary() const override { return true; }
+  bool FallbackHop(const RouteState& state, uint64_t key, uint32_t k,
+                   RouteCandidate* out) override;
+  bool LenientHopLimit() const override { return true; }
+  /// Weighted route-PNS opt-in: progress is the remaining clockwise
+  /// distance in bits and the finger walk strips ~2 bits per hop
+  /// (E[hops] = 0.5*log2 n), so a bit is worth (mean one-way delay)/2
+  /// milliseconds.  0 without an RTT oracle.
+  double ProgressWeightMs() const override;
 
   /// One probe round of the owned ChordMaintenance (created on first use
   /// with the given env; see overlay/dht/maintenance.h).  Returns probes
@@ -117,6 +137,27 @@ class ChordOverlay : public StructuredOverlay {
   std::unique_ptr<ChordMaintenance> maint_;  // lazy, see RunMaintenanceRound
   mutable std::vector<net::PeerId> members_cache_;
   mutable bool members_cache_valid_ = false;
+
+  // Per-lookup routing state (set in StartLookup; the driver's walk is
+  // strictly sequential per overlay instance).
+  NodeId lookup_target_ = 0;
+  net::PeerId lookup_owner_ = net::kInvalidPeer;
+  size_t fallback_base_ = 0;  ///< ring index of the stalled hop's peer
+  const Member* primary_cur_ = nullptr;  ///< PrimaryHop's hop-scoped state
+  uint64_t primary_skip_ = 0;            ///< tried-and-dead entry mask
+  /// Mean link RTT sampled over member pairs at SetMembers time (only
+  /// with the PeerRtt oracle installed); feeds ProgressWeightMs.
+  double mean_rtt_ms_ = 0.0;
+  /// NextHops sort scratch: (distance-to-target, table index, peer).
+  struct HopEntry {
+    NodeId dist;
+    uint32_t index;
+    net::PeerId peer;
+    bool operator<(const HopEntry& o) const {
+      return dist != o.dist ? dist < o.dist : index < o.index;
+    }
+  };
+  std::vector<HopEntry> hop_scratch_;
 };
 
 }  // namespace pdht::overlay

@@ -17,9 +17,11 @@ int BucketIndex(NodeId a, NodeId b) { return FloorLog2(a ^ b); }
 }  // namespace
 
 KademliaOverlay::KademliaOverlay(net::Network* network, Rng rng,
-                                 uint32_t bucket_size)
-    : StructuredOverlay(network), rng_(rng), bucket_size_(bucket_size) {
+                                 uint32_t bucket_size, uint32_t alpha)
+    : StructuredOverlay(network), rng_(rng), bucket_size_(bucket_size),
+      alpha_(alpha) {
   assert(bucket_size >= 1);
+  assert(alpha >= 1);
 }
 
 void KademliaOverlay::SetMembers(const std::vector<net::PeerId>& members) {
@@ -135,103 +137,76 @@ net::PeerId KademliaOverlay::ResponsibleMember(uint64_t key) const {
   return ClosestMemberTo(KeyToNodeId(key));
 }
 
-LookupResult KademliaOverlay::Lookup(net::PeerId origin, uint64_t key) {
-  LookupResult result;
-  if (member_list_.empty()) return result;
-  auto cur_it = nodes_.find(origin);
-  assert(cur_it != nodes_.end() && "lookup origin must be a member");
-  const NodeState* cur = &cur_it->second;
-  net::PeerId cur_peer = origin;
-  const NodeId target = KeyToNodeId(key);
-  const net::PeerId owner = ClosestMemberTo(target);
-  result.responsible = owner;
+bool KademliaOverlay::StartLookup(net::PeerId origin, uint64_t key,
+                                  net::PeerId* responsible) {
+  if (member_list_.empty()) return false;
+  assert(nodes_.count(origin) > 0 && "lookup origin must be a member");
+  (void)origin;
+  lookup_target_ = KeyToNodeId(key);
+  lookup_owner_ = ClosestMemberTo(lookup_target_);
+  *responsible = lookup_owner_;
+  return true;
+}
 
-  const uint32_t hop_limit =
-      4 * static_cast<uint32_t>(CeilLog2(member_list_.size() + 1)) + 16;
-  while (cur_peer != owner && result.hops < hop_limit) {
-    const NodeId cur_dist = cur->id ^ target;
-    // Contacts strictly closer to the target than we are, nearest first;
-    // each failed attempt is a real (lost) message to a stale entry.
-    // Distances are materialized once so the sort does no map lookups.
-    std::vector<std::pair<NodeId, net::PeerId>>& closer = closer_scratch_;
-    closer.clear();
-    for (const auto& bucket : cur->buckets) {
-      for (net::PeerId c : bucket) {
-        NodeId d = nodes_.at(c).id ^ target;
-        if (d < cur_dist) closer.emplace_back(d, c);
-      }
-    }
-    std::sort(closer.begin(), closer.end());
-    net::PeerId next = net::kInvalidPeer;
-    for (const auto& [dist, cand] : closer) {
-      (void)dist;
-      net::Message m;
-      m.type = net::MessageType::kDhtLookup;
-      m.from = cur_peer;
-      m.to = cand;
-      m.key = key;
-      m.tag = result.hops;
-      network_->Send(m);
-      ++result.messages;
-      if (network_->IsOnline(cand)) {
-        next = cand;
-        break;
-      }
-      ++result.failed_probes;
-    }
-    if (next == net::kInvalidPeer) {
-      // Greedy exhausted (table empty or all closer contacts offline):
-      // scan the membership in XOR order, nearest first, until an online
-      // member turns up -- the owner's closest online stand-in.
-      std::vector<std::pair<NodeId, net::PeerId>>& by_dist = by_dist_scratch_;
-      by_dist.clear();
-      by_dist.reserve(member_list_.size());
-      for (size_t i = 0; i < member_list_.size(); ++i) {
-        by_dist.emplace_back(sorted_ids_[i] ^ target, member_list_[i]);
-      }
-      std::sort(by_dist.begin(), by_dist.end());
-      for (const auto& [dist, cand] : by_dist) {
-        (void)dist;
-        if (cand == cur_peer) {
-          // We are the closest online member ourselves: routing is done.
-          break;
-        }
-        net::Message m;
-        m.type = net::MessageType::kDhtLookup;
-        m.from = cur_peer;
-        m.to = cand;
-        m.key = key;
-        m.tag = result.hops;
-        network_->Send(m);
-        ++result.messages;
-        if (network_->IsOnline(cand)) {
-          next = cand;
-          break;
-        }
-        ++result.failed_probes;
-      }
-      if (next == net::kInvalidPeer) break;  // cur is the stand-in (or dead)
-    }
-    cur_peer = next;
-    cur = &nodes_.at(next);
-    ++result.hops;
-  }
+bool KademliaOverlay::AtDestination(net::PeerId peer,
+                                    uint64_t /*key*/) const {
+  return peer == lookup_owner_;
+}
 
-  result.responsible_online = network_->IsOnline(owner);
-  result.terminus = cur_peer;
-  result.success = cur_peer == owner ? result.responsible_online
-                                     : network_->IsOnline(cur_peer);
-  // Result delivery back to the originator.
-  if (result.success && cur_peer != origin) {
-    net::Message resp;
-    resp.type = net::MessageType::kDhtResponse;
-    resp.from = cur_peer;
-    resp.to = origin;
-    resp.key = key;
-    network_->Send(resp);
-    ++result.messages;
+uint32_t KademliaOverlay::LookupHopLimit() const {
+  return 4 * static_cast<uint32_t>(CeilLog2(member_list_.size() + 1)) + 16;
+}
+
+void KademliaOverlay::NextHops(const RouteState& state, uint64_t /*key*/,
+                               std::vector<RouteCandidate>* out) {
+  const NodeState& cur = nodes_.at(state.cur);
+  const NodeId cur_dist = cur.id ^ lookup_target_;
+  // Contacts strictly closer to the target than we are, nearest first.
+  // Distances are materialized once so the sort does no map lookups.
+  std::vector<std::pair<NodeId, net::PeerId>>& closer = closer_scratch_;
+  closer.clear();
+  for (const auto& bucket : cur.buckets) {
+    for (net::PeerId c : bucket) {
+      NodeId d = nodes_.at(c).id ^ lookup_target_;
+      if (d < cur_dist) closer.emplace_back(d, c);
+    }
   }
-  return result;
+  std::sort(closer.begin(), closer.end());
+  for (size_t i = 0; i < closer.size(); ++i) {
+    // Progress: the emission rank (distinct by construction), so the
+    // driver's equal-progress route-PNS reorder is deliberately inert
+    // for Kademlia -- with table-build PNS already keeping buckets
+    // RTT-cheap, any candidate-level RTT-vs-distance trade measurably
+    // inflates hops more than it saves per hop; Kademlia's route-PNS
+    // win is the proximity entry selection in PdhtSystem::DhtEntryPoint
+    // instead.
+    out->push_back(
+        RouteCandidate{closer[i].second, static_cast<double>(i), false});
+  }
+}
+
+bool KademliaOverlay::FallbackHop(const RouteState& state, uint64_t /*key*/,
+                                  uint32_t k, RouteCandidate* out) {
+  // Greedy exhausted (table empty or all closer contacts offline): scan
+  // the membership in XOR order, nearest first, until an online member
+  // turns up -- the owner's closest online stand-in.  Reaching the
+  // walk's own peer means it *is* the closest online member (the driver
+  // ends routing there without a message).
+  if (k == 0) {
+    by_dist_scratch_.clear();
+    by_dist_scratch_.reserve(member_list_.size());
+    for (size_t i = 0; i < member_list_.size(); ++i) {
+      by_dist_scratch_.emplace_back(sorted_ids_[i] ^ lookup_target_,
+                                    member_list_[i]);
+    }
+    std::sort(by_dist_scratch_.begin(), by_dist_scratch_.end());
+  }
+  if (k >= by_dist_scratch_.size()) return false;
+  out->peer = by_dist_scratch_[k].second;
+  out->progress = static_cast<double>(k);  // XOR order is not reorderable
+  out->terminal = false;
+  (void)state;
+  return true;
 }
 
 uint64_t KademliaOverlay::RunMaintenanceRound(double env) {

@@ -45,8 +45,12 @@ namespace pdht::overlay {
 class KademliaOverlay : public StructuredOverlay {
  public:
   /// `network` must outlive the overlay.  `bucket_size` is Kademlia's k:
-  /// redundant contacts per bucket for routing around failures.
-  KademliaOverlay(net::Network* network, Rng rng, uint32_t bucket_size = 8);
+  /// redundant contacts per bucket for routing around failures.  `alpha`
+  /// is the bounded lookup parallelism: the routing driver probes up to
+  /// alpha closer contacts per hop round (alpha-concurrent iterative
+  /// lookup); 1 keeps the sequential walk bit-for-bit.
+  KademliaOverlay(net::Network* network, Rng rng, uint32_t bucket_size = 8,
+                  uint32_t alpha = 1);
 
   void SetMembers(const std::vector<net::PeerId>& members) override;
   bool IsMember(net::PeerId peer) const override;
@@ -59,7 +63,20 @@ class KademliaOverlay : public StructuredOverlay {
   /// The member whose id minimizes id XOR KeyToNodeId(key).
   net::PeerId ResponsibleMember(uint64_t key) const override;
 
-  LookupResult Lookup(net::PeerId origin, uint64_t key) override;
+  // Routing-engine contract: primary candidates are the known contacts
+  // strictly closer (XOR) to the target, nearest first; the recovery
+  // scan walks the whole membership in XOR order and terminates at the
+  // walk's own peer when it is the closest online member (stand-in).
+  bool StartLookup(net::PeerId origin, uint64_t key,
+                   net::PeerId* responsible) override;
+  bool AtDestination(net::PeerId peer, uint64_t key) const override;
+  uint32_t LookupHopLimit() const override;
+  void NextHops(const RouteState& state, uint64_t key,
+                std::vector<RouteCandidate>* out) override;
+  bool FallbackHop(const RouteState& state, uint64_t key, uint32_t k,
+                   RouteCandidate* out) override;
+  bool LenientHopLimit() const override { return true; }
+  uint32_t LookupParallelism() const override { return alpha_; }
 
   /// Probe-based bucket maintenance (env semantics as elsewhere): probes
   /// random contacts, replaces detected-offline ones with an online
@@ -100,6 +117,7 @@ class KademliaOverlay : public StructuredOverlay {
 
   Rng rng_;
   uint32_t bucket_size_;
+  uint32_t alpha_;
   std::unordered_map<net::PeerId, NodeState> nodes_;
   std::vector<net::PeerId> member_list_;  // sorted by node id
   std::vector<NodeId> sorted_ids_;        // parallel to member_list_
@@ -108,8 +126,13 @@ class KademliaOverlay : public StructuredOverlay {
   /// hops so routing never allocates in the steady state.
   std::vector<std::pair<NodeId, net::PeerId>> closer_scratch_;
   /// Scratch for the greedy-exhausted fallback (full membership in XOR
-  /// order) -- hit on every lookup whose owner is offline.
+  /// order) -- hit on every lookup whose owner is offline.  Built on the
+  /// k == 0 FallbackHop call of a stalled hop, then indexed.
   std::vector<std::pair<NodeId, net::PeerId>> by_dist_scratch_;
+
+  // Per-lookup routing state (set in StartLookup).
+  NodeId lookup_target_ = 0;
+  net::PeerId lookup_owner_ = net::kInvalidPeer;
 };
 
 }  // namespace pdht::overlay

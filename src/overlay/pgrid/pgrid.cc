@@ -170,66 +170,33 @@ net::PeerId PGridOverlay::ResponsibleMember(uint64_t key) const {
   return best;
 }
 
-LookupResult PGridOverlay::Lookup(net::PeerId origin, uint64_t key) {
-  LookupResult result;
-  if (paths_.empty()) return result;
-  auto origin_it = paths_.find(origin);
-  assert(origin_it != paths_.end() && "lookup origin must be a member");
-  (void)origin_it;
-  const uint64_t key_id = KeyToNodeId(key);
-  result.responsible = ResponsibleMember(key);
+bool PGridOverlay::StartLookup(net::PeerId origin, uint64_t key,
+                               net::PeerId* responsible) {
+  if (paths_.empty()) return false;
+  assert(paths_.count(origin) > 0 && "lookup origin must be a member");
+  (void)origin;
+  lookup_key_id_ = KeyToNodeId(key);
+  *responsible = ResponsibleMember(key);
+  return true;
+}
 
-  net::PeerId cur = origin;
-  const uint32_t hop_limit = 64 + 16;
-  while (result.hops < hop_limit) {
-    NodeState& st = paths_.at(cur);
-    if (st.path.IsPrefixOfKey(key_id)) break;  // cur is responsible
-    int l = st.path.CommonPrefixWithKey(key_id);  // first differing level
-    // Try references at level l; all point to the key's side of the trie.
-    bool advanced = false;
-    assert(l < static_cast<int>(st.levels.size()));
-    for (net::PeerId ref : st.levels[static_cast<size_t>(l)].refs) {
-      net::Message m;
-      m.type = net::MessageType::kDhtLookup;
-      m.from = cur;
-      m.to = ref;
-      m.key = key;
-      m.tag = result.hops;
-      network_->Send(m);
-      ++result.messages;
-      if (network_->IsOnline(ref)) {
-        cur = ref;
-        ++result.hops;
-        advanced = true;
-        break;
-      }
-      ++result.failed_probes;
-    }
-    if (!advanced) {
-      // All references at the required level are dead: the lookup fails
-      // (P-Grid would retry via alternative paths; redundant refs make
-      // this rare at our churn levels, and the failure is reported).
-      result.success = false;
-      result.terminus = cur;
-      return result;
-    }
-  }
+bool PGridOverlay::AtDestination(net::PeerId peer, uint64_t /*key*/) const {
+  return paths_.at(peer).path.IsPrefixOfKey(lookup_key_id_);
+}
 
-  result.terminus = cur;
-  const NodeState& st = paths_.at(cur);
-  result.responsible_online = network_->IsOnline(cur);
-  result.success =
-      st.path.IsPrefixOfKey(key_id) && network_->IsOnline(cur);
-  if (result.success && cur != origin) {
-    net::Message resp;
-    resp.type = net::MessageType::kDhtResponse;
-    resp.from = cur;
-    resp.to = origin;
-    resp.key = key;
-    network_->Send(resp);
-    ++result.messages;
+uint32_t PGridOverlay::LookupHopLimit() const { return 64 + 16; }
+
+void PGridOverlay::NextHops(const RouteState& state, uint64_t /*key*/,
+                            std::vector<RouteCandidate>* out) {
+  const NodeState& st = paths_.at(state.cur);
+  // References at the first differing level; all point to the key's side
+  // of the trie and land >= 1 level deeper, so they form one progress
+  // class (interchangeable for route-time PNS).
+  int l = st.path.CommonPrefixWithKey(lookup_key_id_);
+  assert(l < static_cast<int>(st.levels.size()));
+  for (net::PeerId ref : st.levels[static_cast<size_t>(l)].refs) {
+    out->push_back(RouteCandidate{ref, static_cast<double>(l), false});
   }
-  return result;
 }
 
 size_t PGridOverlay::TableSize(net::PeerId peer) const {

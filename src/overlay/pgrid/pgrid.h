@@ -77,9 +77,19 @@ class PGridOverlay : public StructuredOverlay {
   /// First responsible peer (deterministic representative).
   net::PeerId ResponsibleMember(uint64_t key) const override;
 
-  /// Prefix-routing lookup from `origin`; counts kDhtLookup per hop
-  /// attempt, like ChordOverlay::Lookup.
-  LookupResult Lookup(net::PeerId origin, uint64_t key) override;
+  // Routing-engine contract: the candidates at a hop are the references
+  // at the first level whose bit differs from the key -- all of them land
+  // one trie level deeper, so they share one progress class (route-time
+  // PNS picks the cheapest link among them).  No recovery scan: when
+  // every reference at the required level is dead the lookup fails
+  // (P-Grid would retry via alternative paths; redundant refs make this
+  // rare at our churn levels, and the failure is reported).
+  bool StartLookup(net::PeerId origin, uint64_t key,
+                   net::PeerId* responsible) override;
+  bool AtDestination(net::PeerId peer, uint64_t key) const override;
+  uint32_t LookupHopLimit() const override;
+  void NextHops(const RouteState& state, uint64_t key,
+                std::vector<RouteCandidate>* out) override;
 
   /// Total routing references of `peer` (for maintenance sizing).
   size_t TableSize(net::PeerId peer) const;
@@ -120,6 +130,9 @@ class PGridOverlay : public StructuredOverlay {
   std::unordered_map<net::PeerId, NodeState> paths_;
   std::vector<net::PeerId> member_list_;
   std::unordered_map<net::PeerId, double> probe_budget_;
+
+  // Per-lookup routing state (set in StartLookup).
+  uint64_t lookup_key_id_ = 0;
 };
 
 }  // namespace pdht::overlay

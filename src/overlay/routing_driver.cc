@@ -1,0 +1,243 @@
+#include "overlay/routing_driver.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "overlay/structured_overlay.h"
+
+namespace pdht::overlay {
+
+RoutingDriver::RoutingDriver(net::Network* network) : network_(network) {
+  assert(network != nullptr);
+}
+
+void RoutingDriver::ReorderEqualProgressByRtt(net::PeerId cur) {
+  size_t i = 0;
+  while (i < candidates_.size()) {
+    size_t j = i + 1;
+    while (j < candidates_.size() &&
+           candidates_[j].progress == candidates_[i].progress) {
+      ++j;
+    }
+    if (j - i > 1) {
+      // RTTs are materialized once per candidate (the oracle is a
+      // hash-and-hypot evaluation, too costly for comparator calls); the
+      // (rtt, emission index) key makes the order deterministic even
+      // under exact RTT ties.
+      rank_scratch_.clear();
+      for (size_t k = i; k < j; ++k) {
+        rank_scratch_.emplace_back(policy_.rtt(cur, candidates_[k].peer),
+                                   static_cast<uint32_t>(k));
+      }
+      std::sort(rank_scratch_.begin(), rank_scratch_.end());
+      reorder_scratch_.clear();
+      for (const auto& [rtt, k] : rank_scratch_) {
+        (void)rtt;
+        reorder_scratch_.push_back(candidates_[k]);
+      }
+      std::copy(reorder_scratch_.begin(), reorder_scratch_.end(),
+                candidates_.begin() + static_cast<long>(i));
+    }
+    i = j;
+  }
+}
+
+void RoutingDriver::SortByLatencyCost(net::PeerId cur, double weight_ms) {
+  rank_scratch_.clear();
+  for (size_t i = 0; i < candidates_.size(); ++i) {
+    // One-way link cost (the probe's serialized delay is one leg) plus
+    // the expected serialized cost of the remaining path from there.
+    const double score = 0.5 * policy_.rtt(cur, candidates_[i].peer) +
+                         weight_ms * candidates_[i].progress;
+    rank_scratch_.emplace_back(score, static_cast<uint32_t>(i));
+  }
+  std::sort(rank_scratch_.begin(), rank_scratch_.end());
+  reorder_scratch_.clear();
+  for (const auto& [score, i] : rank_scratch_) {
+    (void)score;
+    reorder_scratch_.push_back(candidates_[i]);
+  }
+  candidates_.swap(reorder_scratch_);
+}
+
+LookupResult RoutingDriver::Route(StructuredOverlay& overlay,
+                                  net::PeerId origin, uint64_t key) {
+  LookupResult result;
+  net::PeerId responsible = net::kInvalidPeer;
+  if (!overlay.StartLookup(origin, key, &responsible)) {
+    return result;  // empty overlay
+  }
+  result.responsible = responsible;
+
+  const uint32_t hop_limit = overlay.LookupHopLimit();
+  const uint32_t alpha = std::max<uint32_t>(1, overlay.LookupParallelism());
+  // Blind sequential walks take the incremental primary path when the
+  // backend offers one: candidates are produced (and paid for) only as
+  // probes fail, exactly like the pre-driver monolithic walks.
+  const bool incremental = overlay.has_incremental_primary() &&
+                           !policy_.proximity && alpha == 1;
+
+  // One probe: a real kDhtLookup on the wire, tagged with the hop index.
+  auto probe = [&](net::PeerId from, net::PeerId to) {
+    net::Message m;
+    m.type = net::MessageType::kDhtLookup;
+    m.from = from;
+    m.to = to;
+    m.key = key;
+    m.tag = result.hops;
+    ++result.messages;
+    return network_->Send(m);  // true iff `to` was online at send time
+  };
+
+  enum class End { kDestination, kTerminalStep, kStandIn, kExhausted,
+                   kHopLimit };
+  End end = End::kHopLimit;
+  RouteState state;
+  state.origin = origin;
+  state.cur = origin;
+
+  while (true) {
+    if (overlay.AtDestination(state.cur, key)) {
+      end = End::kDestination;
+      break;
+    }
+    if (result.hops >= hop_limit) {
+      end = End::kHopLimit;
+      break;
+    }
+    state.hops = result.hops;
+
+    net::PeerId next = net::kInvalidPeer;
+    bool terminal = false;
+    if (incremental) {
+      // Incremental primary phase: one candidate produced per failed
+      // probe, nothing materialized.
+      RouteCandidate cand;
+      for (uint32_t k = 0; overlay.PrimaryHop(state, key, k, &cand); ++k) {
+        if (probe(state.cur, cand.peer)) {
+          next = cand.peer;
+          terminal = cand.terminal;
+          break;
+        }
+        ++result.failed_probes;
+        if (policy_.timeout_costing) {
+          network_->ChargeProbeTimeout(state.cur, cand.peer);
+        }
+      }
+    } else {
+      candidates_.clear();
+      overlay.NextHops(state, key, &candidates_);
+      if (policy_.proximity && candidates_.size() > 1) {
+        const double weight_ms = overlay.ProgressWeightMs();
+        if (weight_ms > 0.0) {
+          SortByLatencyCost(state.cur, weight_ms);
+        } else {
+          ReorderEqualProgressByRtt(state.cur);
+        }
+      }
+      // Primary phase: probe in emission order, `alpha` at a time.  The
+      // advance target is the first online candidate in order -- with
+      // alpha > 1 the trailing probes of its batch are the wasted
+      // parallel probes of an alpha-concurrent walk (charged, not
+      // advanced to).
+      for (size_t base = 0;
+           base < candidates_.size() && next == net::kInvalidPeer;
+           base += alpha) {
+        const size_t batch_end =
+            std::min(candidates_.size(), base + static_cast<size_t>(alpha));
+        bool any_online = false;
+        for (size_t i = base; i < batch_end; ++i) {
+          const RouteCandidate& cand = candidates_[i];
+          if (probe(state.cur, cand.peer)) {
+            any_online = true;
+            if (next == net::kInvalidPeer) {
+              next = cand.peer;
+              terminal = cand.terminal;
+            }
+          } else {
+            ++result.failed_probes;
+          }
+        }
+        if (!any_online && policy_.timeout_costing) {
+          // The batch's probes time out concurrently: one detection
+          // delay before the walk tries the next batch.
+          network_->ChargeProbeTimeout(state.cur, candidates_[base].peer);
+        }
+      }
+    }
+
+    if (next == net::kInvalidPeer) {
+      // Fallback phase: backend-ordered recovery scan, generated lazily
+      // one candidate at a time (the scans are O(n) when materialized).
+      RouteCandidate cand;
+      for (uint32_t k = 0; overlay.FallbackHop(state, key, k, &cand); ++k) {
+        if (cand.peer == state.cur) {
+          // The walk's own peer is the best remaining candidate: routing
+          // ends here without a message (the closest-online stand-in).
+          end = End::kStandIn;
+          break;
+        }
+        if (probe(state.cur, cand.peer)) {
+          next = cand.peer;
+          terminal = cand.terminal;
+          break;
+        }
+        ++result.failed_probes;
+        if (policy_.timeout_costing) {
+          network_->ChargeProbeTimeout(state.cur, cand.peer);
+        }
+      }
+      if (end == End::kStandIn) break;
+      if (next == net::kInvalidPeer) {
+        end = End::kExhausted;
+        break;
+      }
+    }
+
+    state.cur = next;
+    ++result.hops;
+    overlay.OnAdvance(state.cur);
+    if (terminal) {
+      end = End::kTerminalStep;
+      break;
+    }
+  }
+
+  result.terminus = state.cur;
+  result.responsible_online = responsible != net::kInvalidPeer &&
+                              network_->IsOnline(responsible);
+  switch (end) {
+    case End::kDestination:
+    case End::kTerminalStep:
+    case End::kStandIn:
+      // The walk ended at the owner or its accepted stand-in; it serves
+      // the lookup iff it is online (terminal steps and stand-ins were
+      // just verified online, so this is a formality for them).
+      result.success = network_->IsOnline(state.cur);
+      break;
+    case End::kExhausted:
+      // Every candidate at some hop was offline: the routing layer could
+      // not complete the walk.
+      result.success = false;
+      break;
+    case End::kHopLimit:
+      // Budget exhausted mid-walk.  Lenient backends (Chord, Kademlia)
+      // accept wherever the walk stands as a stand-in; strict ones (CAN,
+      // P-Grid) only succeed at the destination.
+      result.success =
+          overlay.LenientHopLimit() && network_->IsOnline(state.cur);
+      break;
+  }
+  if (result.success && state.cur != origin) {
+    net::Message resp;
+    resp.type = net::MessageType::kDhtResponse;
+    resp.from = state.cur;
+    resp.to = origin;
+    resp.key = key;
+    network_->Send(resp);
+    ++result.messages;
+  }
+  return result;
+}
+
+}  // namespace pdht::overlay

@@ -13,8 +13,12 @@
 namespace pdht::overlay {
 
 StructuredOverlay::StructuredOverlay(net::Network* network)
-    : network_(network) {
+    : network_(network), driver_(network) {
   assert(network != nullptr);
+}
+
+LookupResult StructuredOverlay::Lookup(net::PeerId origin, uint64_t key) {
+  return driver_.Route(*this, origin, key);
 }
 
 net::PeerId StructuredOverlay::RandomOnlineMember(Rng& rng) const {
@@ -83,7 +87,8 @@ std::unique_ptr<StructuredOverlay> MakeKademlia(net::Network* network,
                                                 const OverlayParams& params,
                                                 Rng rng) {
   return std::make_unique<KademliaOverlay>(
-      network, rng, std::max<uint32_t>(1, params.kademlia_bucket_size));
+      network, rng, std::max<uint32_t>(1, params.kademlia_bucket_size),
+      std::max<uint32_t>(1, params.kademlia_alpha));
 }
 
 /// Enum-keyed factory table.  A function-local static (not per-TU static

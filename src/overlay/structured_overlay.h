@@ -14,7 +14,14 @@
 //  * SetMembers is called once per system build with the DHT member
 //    subset; construction traffic is free (bootstrap cost is not the
 //    object of the paper's model).
-//  * Lookup counts every hop attempt on the shared Network (design
+//  * Lookup is NOT backend code: backends implement the candidate-
+//    generator contract below (StartLookup/AtDestination/NextHops/...)
+//    and the shared overlay::RoutingDriver owns the hop-by-hop walk --
+//    probe accounting, failed-probe timeout costing and route-time
+//    proximity selection live there once, for every backend
+//    (routing_driver.h).  Lookup() survives as a thin wrapper so call
+//    sites are unchanged.
+//  * Every hop attempt is one kDhtLookup on the shared Network (design
 //    decision #5: protocols never self-report costs).
 //  * RunMaintenanceRound spends env probe messages per routing entry per
 //    online member per round (Eq. 8 semantics, fractional budgets carry).
@@ -24,8 +31,9 @@
 //    whole arcs together); overlays with a structural replica group --
 //    P-Grid's leaf peers -- override it.
 //  * SetPeerRtt (optional, before SetMembers) installs a link-RTT oracle
-//    for proximity-aware neighbor selection; without it, selection is
-//    RTT-blind and unchanged.
+//    for proximity-aware neighbor selection at *table build* time;
+//    route-time proximity selection is a RoutingPolicy knob
+//    (SetRoutingPolicy) and needs no backend support.
 
 #ifndef PDHT_OVERLAY_STRUCTURED_OVERLAY_H_
 #define PDHT_OVERLAY_STRUCTURED_OVERLAY_H_
@@ -39,20 +47,48 @@
 
 #include "core/strategy.h"
 #include "net/network.h"
+#include "overlay/routing_driver.h"
 #include "util/rng.h"
 
 namespace pdht::overlay {
 
+/// Outcome of one routed lookup.  The accounting contract is uniform
+/// across backends (assembled by RoutingDriver, not by backend code):
+///
+///  * hops          -- successful routing advances: edges of the walk
+///                     actually traversed.  Probes that found their
+///                     target offline are NOT hops.
+///  * failed_probes -- kDhtLookup sends answered by discovering the
+///                     target offline (stale-entry cost; these messages
+///                     hit the wire and are counted on the Network).
+///  * messages      -- every message of this lookup: all probes
+///                     (successful and failed) plus the final
+///                     kDhtResponse to the originator when the lookup
+///                     succeeds away from home.  With sequential routing
+///                     (LookupParallelism() == 1, the default)
+///                     messages == hops + failed_probes
+///                                 + (success && terminus != origin).
+///                     An alpha-concurrent walk adds wasted parallel
+///                     probes on top, so only >= holds there.
+///  * responsible   -- the member owning the key (kInvalidPeer only when
+///                     the overlay is empty).
+///  * responsible_online -- IsOnline(responsible) at lookup end, on every
+///                     path (including dead-end failures).
+///  * terminus      -- where routing ended: the owner, its closest online
+///                     stand-in, or the peer where the walk died.
+///  * success       -- the walk ended at an online peer that can serve
+///                     the lookup: the destination, a terminal recovery
+///                     step, or (for backends whose walk tolerates
+///                     stand-ins) the closest online member.  Candidate
+///                     exhaustion is always a failure.
 struct LookupResult {
   bool success = false;
   net::PeerId responsible = net::kInvalidPeer;  ///< member owning the key.
-  net::PeerId terminus = net::kInvalidPeer;     ///< where routing ended
-                                                ///< (owner, or its closest
-                                                ///< online stand-in).
+  net::PeerId terminus = net::kInvalidPeer;     ///< where routing ended.
   bool responsible_online = false;
-  uint32_t hops = 0;          ///< routing hops actually taken.
+  uint32_t hops = 0;          ///< successful routing advances.
   uint32_t failed_probes = 0; ///< sends to stale (offline) entries.
-  uint64_t messages = 0;      ///< total messages (hops + failures + reply).
+  uint64_t messages = 0;      ///< probes + failures + reply.
 };
 
 class StructuredOverlay {
@@ -91,11 +127,107 @@ class StructuredOverlay {
     return out;
   }
 
-  /// Routes from `origin` (must be a member) toward `key`'s owner,
-  /// counting one kDhtLookup per hop attempt.  If the owner is offline
-  /// the lookup terminates at its closest online stand-in with
-  /// responsible_online = false.
-  virtual LookupResult Lookup(net::PeerId origin, uint64_t key) = 0;
+  /// Routes from `origin` (must be a member) toward `key`'s owner via the
+  /// shared RoutingDriver; see the LookupResult contract above.  If the
+  /// owner is offline the lookup terminates at its closest online
+  /// stand-in with responsible_online = false.
+  LookupResult Lookup(net::PeerId origin, uint64_t key);
+
+  // --- Routing-engine contract (implemented by backends) ---------------
+  //
+  // The driver walks: StartLookup once, then per hop AtDestination ->
+  // NextHops (primary candidates, probe order) -> FallbackHop (lazy
+  // recovery scan) -> OnAdvance.  Generators may keep per-lookup state
+  // set up in StartLookup; the driver is strictly sequential per overlay
+  // instance.
+
+  /// Prepares per-lookup routing state and resolves the key's owner into
+  /// `*responsible`.  Returns false when the overlay is empty (the lookup
+  /// fails with an all-default result).  `origin` must be a member.
+  virtual bool StartLookup(net::PeerId origin, uint64_t key,
+                           net::PeerId* responsible) = 0;
+
+  /// True when the walk standing at `peer` has reached the key's
+  /// destination (owner / containing zone / responsible leaf group).
+  virtual bool AtDestination(net::PeerId peer, uint64_t key) const = 0;
+
+  /// Hop budget for one lookup (walks advance every hop; the budget only
+  /// bounds churn detours).
+  virtual uint32_t LookupHopLimit() const = 0;
+
+  /// Appends, in probe order, the candidates the walk at `state.cur`
+  /// should try this hop.  `out` arrives cleared; emit nothing when the
+  /// backend has no primary candidates (the driver then consults
+  /// FallbackHop).
+  virtual void NextHops(const RouteState& state, uint64_t key,
+                        std::vector<RouteCandidate>* out) = 0;
+
+  /// Optional incremental form of NextHops for the blind fast path:
+  /// produces the k-th primary candidate (k = 0, 1, ... strictly
+  /// increasing within one hop; k restarts at 0 on the next hop),
+  /// returning false when exhausted.  Backends whose probe order is
+  /// naturally computed one candidate at a time (Chord's skip-masked
+  /// closest-preceding walk) override this and has_incremental_primary
+  /// so blind lookups never materialize and sort a candidate list; the
+  /// driver falls back to NextHops whenever a policy needs the full
+  /// list (route-time PNS) or probes run in parallel.  Must produce the
+  /// same candidates in the same order as NextHops.
+  virtual bool PrimaryHop(const RouteState& state, uint64_t key, uint32_t k,
+                          RouteCandidate* out) {
+    (void)state;
+    (void)key;
+    (void)k;
+    (void)out;
+    return false;
+  }
+  virtual bool has_incremental_primary() const { return false; }
+
+  /// Produces the k-th candidate (k = 0, 1, ... strictly increasing
+  /// within one stalled hop) of the backend's recovery scan; returns
+  /// false when the scan is exhausted.  Emitting `state.cur` itself ends
+  /// routing there without a message (closest-online stand-in).  Default:
+  /// no recovery scan -- a stalled hop fails the lookup.
+  virtual bool FallbackHop(const RouteState& state, uint64_t key,
+                           uint32_t k, RouteCandidate* out) {
+    (void)state;
+    (void)key;
+    (void)k;
+    (void)out;
+    return false;
+  }
+
+  /// Notification that the walk advanced to `peer` (visited-set upkeep;
+  /// CAN marks detour targets).
+  virtual void OnAdvance(net::PeerId peer) { (void)peer; }
+
+  /// Whether a hop-limit exit may still succeed from wherever the walk
+  /// stands (Chord/Kademlia treat it as a stand-in; CAN/P-Grid fail).
+  virtual bool LenientHopLimit() const { return false; }
+
+  /// Expected serialized one-way latency, in milliseconds, per unit of
+  /// RouteCandidate::progress.  Returning > 0 opts the backend into the
+  /// driver's *weighted* route-time PNS: candidates are probed in order
+  /// of (one-way RTT + weight * progress), which deviates from the
+  /// blind best-progress order only when the link saving exceeds the
+  /// expected cost of the extra path (Chord, Kademlia).  0 (default)
+  /// keeps the equal-progress-group reorder, right for backends whose
+  /// candidates form genuinely interchangeable classes (P-Grid levels).
+  /// Consulted only when RoutingPolicy::proximity is on.
+  virtual double ProgressWeightMs() const { return 0.0; }
+
+  /// Bounded-parallelism request: probe up to this many primary
+  /// candidates per round (Kademlia's alpha-concurrent iterative lookup).
+  /// 1 (the default) is the sequential walk every backend reproduces
+  /// bit-for-bit.
+  virtual uint32_t LookupParallelism() const { return 1; }
+
+  /// Installs the driver's cross-backend routing policies (route-time
+  /// PNS, timeout costing).  Call any time; takes effect on the next
+  /// Lookup.
+  void SetRoutingPolicy(RoutingPolicy policy) {
+    driver_.set_policy(std::move(policy));
+  }
+  const RoutingPolicy& routing_policy() const { return driver_.policy(); }
 
   /// Picks a uniformly random *online* member, or kInvalidPeer if none.
   /// Non-member peers "know at least one online peer that is
@@ -119,8 +251,7 @@ class StructuredOverlay {
   /// low-RTT contacts among the equal-distance candidates of a k-bucket.
   /// Install *before* SetMembers (routing tables are built there);
   /// backends without selection freedom simply never consult it.  When
-  /// unset, neighbor selection is RTT-blind and byte-identical to the
-  /// pre-hook behaviour.
+  /// unset, neighbor selection is RTT-blind and unchanged.
   using PeerRttFn = std::function<double(net::PeerId, net::PeerId)>;
   void SetPeerRtt(PeerRttFn rtt) { peer_rtt_ = std::move(rtt); }
   bool has_peer_rtt() const { return static_cast<bool>(peer_rtt_); }
@@ -138,6 +269,9 @@ class StructuredOverlay {
 
   net::Network* network_;  ///< not owned
   PeerRttFn peer_rtt_;     ///< null = RTT-blind neighbor selection
+
+ private:
+  RoutingDriver driver_;
 };
 
 /// Construction-time knobs shared by all backends.  Backends read what
@@ -153,6 +287,10 @@ struct OverlayParams {
   uint64_t num_peers = 0;
   /// Kademlia's k (contacts per bucket); ignored by other backends.
   uint32_t kademlia_bucket_size = 8;
+  /// Kademlia's alpha: primary candidates probed per hop round by the
+  /// routing driver.  1 = the sequential pre-refactor walk (bit-for-bit);
+  /// ignored by other backends.
+  uint32_t kademlia_alpha = 1;
 };
 
 using OverlayFactory = std::unique_ptr<StructuredOverlay> (*)(

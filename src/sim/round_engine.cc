@@ -34,6 +34,16 @@ void RoundEngine::AddCounterRateMetric(std::string name,
             });
 }
 
+void RoundEngine::AddCounterRateMetric(std::string name, CounterId counter) {
+  AddMetric(std::move(name),
+            [this, counter, last = uint64_t{0}](const RoundContext&) mutable {
+              uint64_t total = counters_.Value(counter);
+              uint64_t delta = total - last;
+              last = total;
+              return static_cast<double>(delta);
+            });
+}
+
 void RoundEngine::Run(uint64_t rounds) {
   for (uint64_t i = 0; i < rounds; ++i) {
     RoundContext ctx;

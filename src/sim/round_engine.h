@@ -59,6 +59,11 @@ class RoundEngine {
   /// no map lookups.
   void AddCounterRateMetric(std::string name, std::string counter_prefix);
 
+  /// Single-counter variant: the per-round delta of one interned counter
+  /// (e.g. a Network outcome tally like "net.timeout"), one array read
+  /// per round instead of a group sum.
+  void AddCounterRateMetric(std::string name, CounterId counter);
+
   /// Runs `rounds` rounds.  Each round: actors fire, then intra-round
   /// events up to the round boundary, then metric probes.
   void Run(uint64_t rounds);

@@ -247,6 +247,68 @@ TEST(PdhtSystemTest, PopularityShiftDropsThenRecoversHitRate) {
   EXPECT_GT(recovered, just_after + 0.1);    // the index adapted
 }
 
+TEST(PdhtSystemTest, TimeoutCostingPricesFailedProbesWithoutTouchingCounts) {
+  SystemConfig base = BaseConfig(Strategy::kPartialTtl);
+  base.delivery_model = net::DeliveryModelKind::kLatency;
+  base.proximity_routing = false;  // blind tables: count-stable baseline
+  base.route_proximity = false;
+  base.churn.enabled = true;  // failed probes need stale entries
+  base.churn.mean_online_s = 600.0;
+  base.churn.mean_offline_s = 120.0;
+
+  SystemConfig timed = base;
+  timed.timeout_costing = true;
+
+  PdhtSystem plain(base);
+  PdhtSystem priced(timed);
+  plain.RunRounds(30);
+  priced.RunRounds(30);
+
+  // Timeout costing changed no routing decision: every message series is
+  // bit-identical; only the latency axis moved.
+  for (const char* series :
+       {PdhtSystem::kSeriesMsgTotal, PdhtSystem::kSeriesMsgDht,
+        PdhtSystem::kSeriesHitRate}) {
+    const auto& a = plain.engine().Series(series);
+    const auto& b = priced.engine().Series(series);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a.at(i), b.at(i)) << series << " round " << i;
+    }
+  }
+  EXPECT_GT(priced.network().TimeoutCount(), 0u);
+  EXPECT_EQ(plain.network().TimeoutCount(), 0u);
+  EXPECT_GT(priced.lookup_rtt_ms().mean(), plain.lookup_rtt_ms().mean());
+
+  // The new per-round series and snapshot metrics are wired through.
+  EXPECT_TRUE(priced.engine().HasSeries(PdhtSystem::kSeriesTimeoutRate));
+  EXPECT_FALSE(plain.engine().HasSeries(PdhtSystem::kSeriesTimeoutRate));
+  RunSnapshot snap = priced.Snapshot(10);
+  EXPECT_GT(snap.latency.at(PdhtSystem::kMetricLookupTimeouts), 0.0);
+  EXPECT_GT(snap.latency.at(PdhtSystem::kMetricLookupHopsMean), 0.0);
+  EXPECT_GE(snap.latency.at(PdhtSystem::kMetricLookupHopsP95),
+            snap.latency.at(PdhtSystem::kMetricLookupHopsMean));
+}
+
+TEST(PdhtSystemTest, RoutePnsLowersLookupRttOverTableOnlyPns) {
+  SystemConfig table_only = BaseConfig(Strategy::kPartialTtl);
+  table_only.delivery_model = net::DeliveryModelKind::kLatency;
+  table_only.backend = DhtBackend::kKademlia;
+  table_only.proximity_routing = true;
+  table_only.route_proximity = false;
+
+  SystemConfig with_route = table_only;
+  with_route.route_proximity = true;
+
+  PdhtSystem a(table_only);
+  PdhtSystem b(with_route);
+  a.RunRounds(40);
+  b.RunRounds(40);
+  ASSERT_GT(a.lookup_rtt_ms().count(), 100u);
+  ASSERT_GT(b.lookup_rtt_ms().count(), 100u);
+  EXPECT_LT(b.lookup_rtt_ms().mean(), a.lookup_rtt_ms().mean());
+}
+
 TEST(PdhtSystemTest, NodeAccessorsReportQueryStats) {
   PdhtSystem sys(BaseConfig(Strategy::kPartialTtl));
   sys.RunRounds(10);

@@ -122,6 +122,96 @@ TEST(LatencyConfigTest, ValidateRejectsNegativesAndAllZero) {
   cfg = LatencyConfig{};
   cfg.base_ms = cfg.ms_per_unit = cfg.jitter_ms = 0.0;
   EXPECT_FALSE(cfg.Validate().empty());
+  cfg = LatencyConfig{};
+  cfg.timeout_ms = -1.0;
+  EXPECT_FALSE(cfg.Validate().empty());
+  cfg = LatencyConfig{};
+  cfg.topology = LatencyTopology::kTransitStub;
+  cfg.num_clusters = 0;
+  EXPECT_FALSE(cfg.Validate().empty());
+}
+
+TEST(LatencyTopologyTest, NamesRoundTrip) {
+  LatencyTopology t;
+  EXPECT_TRUE(ParseLatencyTopology("uniform", &t));
+  EXPECT_EQ(t, LatencyTopology::kUniform);
+  EXPECT_TRUE(ParseLatencyTopology("TRANSIT_STUB", &t));
+  EXPECT_EQ(t, LatencyTopology::kTransitStub);
+  EXPECT_FALSE(ParseLatencyTopology("donut", &t));
+  EXPECT_STREQ(LatencyTopologyName(LatencyTopology::kUniform), "uniform");
+  EXPECT_STREQ(LatencyTopologyName(LatencyTopology::kTransitStub),
+               "transit_stub");
+}
+
+TEST(TransitStubTopologyTest, IntraClusterDelaysSeparateFromInterCluster) {
+  LatencyConfig cfg;
+  cfg.topology = LatencyTopology::kTransitStub;
+  cfg.num_clusters = 6;
+  cfg.cluster_spread = 0.02;
+  cfg.jitter_ms = 0.0;  // isolate the geometric separation
+  LatencyDelivery model(cfg, 2026);
+
+  double intra_sum = 0.0, inter_sum = 0.0;
+  uint64_t intra_n = 0, inter_n = 0;
+  for (PeerId a = 0; a < 120; ++a) {
+    for (PeerId b = a + 1; b < 120; ++b) {
+      const double rtt = model.RttMs(a, b);
+      if (model.ClusterOf(a) == model.ClusterOf(b)) {
+        intra_sum += rtt;
+        ++intra_n;
+      } else {
+        inter_sum += rtt;
+        ++inter_n;
+      }
+    }
+  }
+  ASSERT_GT(intra_n, 0u);
+  ASSERT_GT(inter_n, 0u);
+  const double intra_mean = intra_sum / static_cast<double>(intra_n);
+  const double inter_mean = inter_sum / static_cast<double>(inter_n);
+  // Stub members sit within 2*spread of each other (<= ~11 ms of
+  // distance-derived RTT here) while distinct cluster centers are O(1)
+  // apart: a clear separation, not a statistical accident.
+  EXPECT_LT(intra_mean, 0.5 * inter_mean)
+      << "intra " << intra_mean << " vs inter " << inter_mean;
+  // Hard geometric cap on intra-cluster links: base + 2*sqrt(2)*spread.
+  const double intra_cap_ms =
+      2.0 * (cfg.base_ms +
+             cfg.ms_per_unit * 2.0 * std::sqrt(2.0) * cfg.cluster_spread);
+  for (PeerId a = 0; a < 60; ++a) {
+    for (PeerId b = a + 1; b < 60; ++b) {
+      if (model.ClusterOf(a) == model.ClusterOf(b)) {
+        EXPECT_LE(model.RttMs(a, b), intra_cap_ms + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(TransitStubTopologyTest, DeterministicFromSeedAndClusterBounded) {
+  LatencyConfig cfg;
+  cfg.topology = LatencyTopology::kTransitStub;
+  cfg.num_clusters = 5;
+  LatencyDelivery a(cfg, 7), b(cfg, 7), c(cfg, 8);
+  int moved = 0;
+  for (PeerId p = 0; p < 80; ++p) {
+    EXPECT_EQ(a.ClusterOf(p), b.ClusterOf(p));
+    EXPECT_LT(a.ClusterOf(p), cfg.num_clusters);
+    EXPECT_DOUBLE_EQ(a.LinkDelaySeconds(p, p + 3),
+                     b.LinkDelaySeconds(p, p + 3));
+    if (a.LinkDelaySeconds(p, p + 3) != c.LinkDelaySeconds(p, p + 3)) {
+      ++moved;
+    }
+  }
+  EXPECT_GT(moved, 70);  // a different seed relocates the topology
+}
+
+TEST(ProbeTimeoutTest, ModelsExposeConfiguredTimeout) {
+  ImmediateDelivery imm;
+  EXPECT_DOUBLE_EQ(imm.ProbeTimeoutSeconds(0, 1), 0.0);
+  LatencyConfig cfg;
+  cfg.timeout_ms = 400.0;
+  LatencyDelivery lat(cfg, 5);
+  EXPECT_DOUBLE_EQ(lat.ProbeTimeoutSeconds(0, 1), 0.4);
 }
 
 TEST(NetworkDeliveryTest, ImmediateModelObjectKeepsSynchronousDelivery) {
@@ -220,6 +310,34 @@ TEST(NetworkDeliveryTest, RecordsPerTypeLatencyAndRunningSum) {
   EXPECT_NEAR(lookups.sum() * 1e-3,
               model.LinkDelaySeconds(0, 1) + model.LinkDelaySeconds(1, 2),
               1e-12);
+}
+
+TEST(NetworkDeliveryTest, ChargeProbeTimeoutAddsLatencyAndCounts) {
+  CounterRegistry counters;
+  sim::EventQueue events;
+  Network net(&counters);
+  LatencyConfig cfg;
+  cfg.timeout_ms = 300.0;
+  LatencyDelivery model(cfg, 21);
+  net.SetDeliveryModel(&model, &events);
+
+  EXPECT_EQ(net.TimeoutCount(), 0u);
+  net.ChargeProbeTimeout(0, 1);
+  net.ChargeProbeTimeout(2, 3);
+  EXPECT_EQ(net.TimeoutCount(), 2u);
+  EXPECT_EQ(counters.Value("net.timeout"), 2u);
+  // The waits joined the latency sum (what lookup-RTT brackets read);
+  // no message was charged -- timeouts price waiting, not the wire.
+  EXPECT_NEAR(net.total_latency_s(), 0.6, 1e-12);
+  EXPECT_EQ(net.TotalMessages(), 0u);
+}
+
+TEST(NetworkDeliveryTest, ChargeProbeTimeoutIsNoOpUnderImmediateDelivery) {
+  CounterRegistry counters;
+  Network net(&counters);
+  net.ChargeProbeTimeout(0, 1);  // no model installed: inline path
+  EXPECT_EQ(net.TimeoutCount(), 0u);
+  EXPECT_DOUBLE_EQ(net.total_latency_s(), 0.0);
 }
 
 TEST(NetworkDeliveryTest, ResettingToNullRestoresInlinePath) {

@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "core/pdht_system.h"
@@ -161,6 +162,153 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<core::DhtBackend>& info) {
       return std::string(core::DhtBackendName(info.param));
     });
+
+// --- Routing-driver parity (recorded, bit-for-bit) ---------------------
+//
+// Every backend now routes through the shared overlay::RoutingDriver; in
+// blind mode (no route-time PNS, no timeout costing, parallelism 1) the
+// driver must reproduce the monolithic per-backend walks *bit for bit*:
+// same probe order, same messages, same hops, same termini.  The expected
+// values below were recorded from the pre-driver tree (commit 5edaecb,
+// monolithic Lookup in each backend) by running RoutingChecksum verbatim
+// and printing the FNV checksum plus the hop/message sums.  If a future
+// PR changes routing *intentionally*, re-record with that procedure and
+// say so in the PR.
+
+struct ChecksumResult {
+  uint64_t checksum = 1469598103934665603ull;  // FNV-1a offset basis
+  uint64_t hops = 0;
+  uint64_t messages = 0;
+};
+
+void Mix(ChecksumResult* c, uint64_t v) {
+  c->checksum = (c->checksum ^ v) * 1099511628211ull;
+}
+
+void Absorb(ChecksumResult* c, const overlay::LookupResult& r) {
+  Mix(c, r.hops);
+  Mix(c, r.failed_probes);
+  Mix(c, r.messages);
+  Mix(c, r.terminus);
+  Mix(c, r.success ? 1 : 0);
+  c->hops += r.hops;
+  c->messages += r.messages;
+}
+
+/// Deterministic lookup workload over one backend: a full sweep of
+/// origins with everything online, then 300 keys under 1-in-stride
+/// churn downtime (failed probes, recovery scans, stand-in termination).
+ChecksumResult RoutingChecksum(core::DhtBackend backend, uint32_t n,
+                               uint32_t repl, uint32_t offline_stride,
+                               uint32_t bucket) {
+  CounterRegistry counters;
+  net::Network net(&counters);
+  std::vector<net::PeerId> members;
+  for (uint32_t i = 0; i < n; ++i) {
+    members.push_back(i);
+    net.SetOnline(i, true);
+  }
+  overlay::OverlayParams op;
+  op.repl = repl;
+  op.num_peers = n;
+  op.kademlia_bucket_size = bucket;
+  auto ov = overlay::MakeOverlay(backend, &net, op, Rng(7));
+  ov->SetMembers(members);
+
+  ChecksumResult out;
+  for (net::PeerId origin : members) {
+    Absorb(&out, ov->Lookup(origin, 1000 + origin));
+  }
+  std::vector<net::PeerId> online;
+  for (uint32_t i = 0; i < n; ++i) {
+    if (i % offline_stride == 0) {
+      net.SetOnline(i, false);
+    } else {
+      online.push_back(i);
+    }
+  }
+  for (uint64_t key = 0; key < 300; ++key) {
+    Absorb(&out, ov->Lookup(online[key % online.size()], key));
+  }
+  Mix(&out, counters.Value("msg.total"));
+  return out;
+}
+
+struct RecordedChecksum {
+  core::DhtBackend backend;
+  const char* shape;
+  uint64_t checksum;
+  uint64_t hops;
+  uint64_t messages;
+};
+
+TEST(RoutingDriverParity, BlindModeMatchesMonolithicWalksBitForBit) {
+  // (n, repl, offline stride, kademlia bucket) per shape:
+  //   small: 64 members, 1-in-4 downtime;  large: 192 members, 1-in-3.
+  const RecordedChecksum golden[] = {
+      {core::DhtBackend::kChord, "small", 10644063006997827261ull, 1255,
+       2315},
+      {core::DhtBackend::kChord, "large", 13210241220629356181ull, 2121,
+       4200},
+      {core::DhtBackend::kPGrid, "small", 5245243631066448474ull, 756,
+       1385},
+      {core::DhtBackend::kPGrid, "large", 11919697634455402642ull, 1600,
+       2503},
+      {core::DhtBackend::kCan, "small", 3097467312093902130ull, 1610,
+       2390},
+      {core::DhtBackend::kCan, "large", 75888321909885457ull, 2722, 4284},
+      {core::DhtBackend::kKademlia, "small", 505464983205260041ull, 541,
+       1179},
+      {core::DhtBackend::kKademlia, "large", 1551128718211893914ull, 1156,
+       2447},
+  };
+  for (const RecordedChecksum& g : golden) {
+    if (!overlay::IsRegisteredBackend(g.backend)) continue;
+    const bool small = std::string(g.shape) == "small";
+    ChecksumResult c = small ? RoutingChecksum(g.backend, 64, 5, 4, 8)
+                             : RoutingChecksum(g.backend, 192, 2, 3, 4);
+    EXPECT_EQ(c.checksum, g.checksum)
+        << core::DhtBackendName(g.backend) << "/" << g.shape;
+    EXPECT_EQ(c.hops, g.hops)
+        << core::DhtBackendName(g.backend) << "/" << g.shape;
+    EXPECT_EQ(c.messages, g.messages)
+        << core::DhtBackendName(g.backend) << "/" << g.shape;
+  }
+}
+
+TEST(RoutingDriverParity, EveryBackendHonoursTheLookupResultContract) {
+  // The unified accounting contract (structured_overlay.h): with
+  // sequential routing, messages == hops + failed_probes + reply, and
+  // responsible_online reflects the responsible member on every path.
+  for (core::DhtBackend backend : overlay::RegisteredBackends()) {
+    CounterRegistry counters;
+    net::Network net(&counters);
+    std::vector<net::PeerId> members;
+    for (uint32_t i = 0; i < 96; ++i) {
+      members.push_back(i);
+      net.SetOnline(i, true);
+    }
+    overlay::OverlayParams op;
+    op.repl = 4;
+    op.num_peers = 96;
+    auto ov = overlay::MakeOverlay(backend, &net, op, Rng(13));
+    ov->SetMembers(members);
+    for (uint32_t i = 0; i < 96; i += 5) net.SetOnline(i, false);
+    for (uint64_t key = 0; key < 120; ++key) {
+      net::PeerId origin = 1 + (key % 3);
+      ASSERT_TRUE(net.IsOnline(origin));
+      overlay::LookupResult r = ov->Lookup(origin, key);
+      const uint64_t reply =
+          (r.success && r.terminus != origin) ? 1 : 0;
+      EXPECT_EQ(r.messages, r.hops + r.failed_probes + reply)
+          << core::DhtBackendName(backend) << " key " << key;
+      ASSERT_NE(r.responsible, net::kInvalidPeer);
+      EXPECT_EQ(r.responsible_online, net.IsOnline(r.responsible))
+          << core::DhtBackendName(backend) << " key " << key;
+      if (r.success) EXPECT_TRUE(net.IsOnline(r.terminus));
+    }
+  }
+}
 
 }  // namespace
 }  // namespace pdht
