@@ -14,6 +14,10 @@
 //                    report mean [min, max] across seeds)
 //   --rounds=<n>     simulated rounds per cell; 0/absent = the bench's
 //                    default budget
+//   --sim-threads=<list>  comma-separated in-simulation thread counts
+//                    (e.g. "1,4") for the benches that exercise the
+//                    sharded round engine (bench_perf_roundloop); 1 runs
+//                    the legacy serial engine.  Default "1".
 //   --full           paper-scale scenario where supported
 //   --json=<path>    machine-readable baseline output, for the benches
 //                    that emit one (bench_perf_roundloop, bench_latency);
@@ -33,6 +37,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "core/pdht_system.h"
 #include "stats/table_writer.h"
@@ -62,6 +67,10 @@ struct BenchFlags {
   unsigned threads = 0;  ///< 0 = auto (hardware_concurrency).
   uint32_t seeds = 4;
   uint64_t rounds = 0;  ///< 0 = bench default.
+  /// In-simulation thread counts to measure (--sim-threads=1,4); each
+  /// value is a separate measurement axis point, not a worker-pool size
+  /// for the experiment runner (that is --threads).
+  std::vector<uint32_t> sim_threads = {1};
   bool full = false;
   bool smoke = false;  ///< set by RoundsOrDefault on a reduced budget.
 
@@ -97,6 +106,16 @@ inline BenchFlags ParseBenchFlags(int argc, char** argv) {
       f.seeds = seeds == 0 ? 1u : static_cast<uint32_t>(seeds);
     } else if (const char* v = value_of("--rounds=")) {
       f.rounds = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value_of("--sim-threads=")) {
+      f.sim_threads.clear();
+      for (const char* p = v; *p != '\0';) {
+        char* end = nullptr;
+        unsigned long n = std::strtoul(p, &end, 10);
+        if (end == p) break;  // malformed tail; keep what parsed
+        f.sim_threads.push_back(n == 0 ? 1u : static_cast<uint32_t>(n));
+        p = (*end == ',') ? end + 1 : end;
+      }
+      if (f.sim_threads.empty()) f.sim_threads = {1};
     } else if (arg == "--full") {
       f.full = true;
     } else {

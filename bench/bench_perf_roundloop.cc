@@ -1,27 +1,44 @@
-// Single-thread round-loop throughput: rounds/sec of the inner simulation
-// loop, the quantity every sweep, bench and the paper-scale --full run
-// multiply.  PR 2 parallelized *across* cells; this bench pins the cost of
-// one cell so hot-path regressions (message accounting, replica-group
-// allocation, metric probes) are caught as a number, not a feeling.
+// Round-loop throughput: rounds/sec of the inner simulation loop, the
+// quantity every sweep, bench and the paper-scale --full run multiply.
+// PR 2 parallelized *across* cells; this bench pins the cost of one cell
+// so hot-path regressions (message accounting, replica-group allocation,
+// metric probes) are caught as a number, not a feeling.  The
+// --sim-threads axis (comma list, e.g. --sim-threads=1,4) measures the
+// sharded round engine: 1 runs the legacy serial loop, >1 runs the
+// phase-parallel engine whose results are bit-identical at any thread
+// count (tests/integration/sharded_determinism_test.cc).
 //
 // Scenarios are the paper's Table 1 at 1/14 and 1/50 scale (peers and keys
 // divided, per-peer storage and replication reduced proportionally), run
-// under churn so the probe/repair path is part of the measured loop.  Each
-// scenario is measured for the two strategies whose round loops differ
+// under churn so the probe/repair path is part of the measured loop, plus
+// the 100k- and 1M-peer scale-up scenarios the sharded engine exists for.
+// Each scenario is measured for the strategies whose round loops differ
 // most: partialTtl (index-first queries, TTL eviction) and indexAll
-// (proactive updates, no eviction).
+// (proactive updates, no eviction); the 1M scenario runs partialTtl only
+// to keep construction cost and CI memory bounded.
 //
 // Besides the stdout table, the bench emits a machine-readable JSON
 // baseline (--json=<path>; defaults to BENCH_roundloop.json for
 // full-budget runs and BENCH_roundloop_smoke.json for reduced-budget
 // ones, so smoke runs can't clobber the committed baseline) so the
 // rounds/sec trajectory accumulates across PRs; CI runs this binary in
-// Release (-O2) smoke mode and uploads the JSON as an artifact.
+// Release (-O2) smoke mode at --sim-threads=1 and --sim-threads=4 and
+// uploads both JSONs so the scaling ratio is tracked per commit.
 //
-// Flags: the shared set (bench_common.h; --rounds=<n> below the default
-// budget = smoke mode, --full adds the paper-scale scenario, --json=<path>
+// Reading the --sim-threads axis: speedup only appears when the host
+// actually has the cores (the committed baseline was recorded on a
+// single-CPU container, where 4 threads measuring ~parity with 1 is the
+// expected result -- it shows the pool adds no synchronization pathology
+// when oversubscribed, not that sharding is free).  Compare thread
+// counts from the same host; CI's two smoke JSONs give that per commit.
+//
+// Flags: the shared set (bench_common.h; --rounds=<n> below a scenario's
+// default budget = smoke mode for it -- an explicit --rounds is capped at
+// each scenario's default so a small-scenario budget cannot explode the
+// 1M-peer run -- --full adds the paper-scale scenario, --json=<path>
 // overrides the baseline output path).
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -44,6 +61,10 @@ struct Scenario {
   std::string name;
   SystemConfig config;     ///< strategy is patched per measurement.
   uint64_t default_rounds; ///< timed rounds at the full budget.
+  std::vector<Strategy> strategies = {Strategy::kPartialTtl,
+                                      Strategy::kIndexAll};
+  uint64_t min_warmup = 10;  ///< lowered for the scale-up scenarios,
+                             ///< where construction dominates anyway.
 };
 
 // Table 1 at 1/14 scale: 20000/14 peers, 40000/14 keys; stor and repl
@@ -78,10 +99,60 @@ SystemConfig FullScaleConfig() {
   return c;
 }
 
+// At 100k+ peers the paper's unstructured-search settings are unusable
+// for a throughput bench: a miss floods the whole graph (O(peers)
+// messages), so one cold-index round costs minutes.  The scale-up
+// scenarios bound the walk budget and disable the flood fallback --
+// they measure the round loop's mechanics at scale, not the paper's
+// search-cost economics (that is bench_fig*/bench_table1 territory).
+void BoundUnstructuredSearch(SystemConfig& c) {
+  c.walk.num_walkers = 16;
+  c.walk.max_steps_per_walker = 128;
+  c.walk.flood_fallback = false;
+}
+
+// 5x the paper's peer population with the paper's 2-keys-per-peer ratio;
+// per-peer storage/replication at the 1/14-scale values.  This is the
+// first rung of the ROADMAP's millions-of-peers ladder and the scale at
+// which the sharded engine's SoA/arena layout starts to matter.
+SystemConfig Scale100kConfig() {
+  SystemConfig c;
+  c.params.num_peers = 100000;
+  c.params.keys = 200000;
+  c.params.stor = 50;
+  c.params.repl = 25;
+  c.params.f_qry = 1.0 / 100.0;
+  c.params.f_upd = 1.0 / 3600.0;
+  c.churn.enabled = true;
+  c.seed = kSeed;
+  BoundUnstructuredSearch(c);
+  return c;
+}
+
+// The 1M-peer target scenario: ~1.5 GB resident (index arenas, content
+// tables, ~915k DHT members' routing state), ~8 s construction, well
+// under a CI runner's memory.  Query rate is per-peer, so 1/1000 still
+// drives 1000 queries through the engine every round; storage and
+// replication are kept moderate to bound the arena footprint.
+SystemConfig Scale1MConfig() {
+  SystemConfig c;
+  c.params.num_peers = 1000000;
+  c.params.keys = 2000000;
+  c.params.stor = 20;
+  c.params.repl = 10;
+  c.params.f_qry = 1.0 / 1000.0;
+  c.params.f_upd = 1.0 / 3600.0;
+  c.churn.enabled = true;
+  c.seed = kSeed;
+  BoundUnstructuredSearch(c);
+  return c;
+}
+
 struct Measurement {
   std::string scenario;
   std::string strategy;
   uint64_t peers = 0;
+  uint32_t sim_threads = 1;
   uint64_t warmup = 0;
   uint64_t rounds = 0;
   double seconds = 0.0;
@@ -94,18 +165,20 @@ struct Measurement {
 };
 
 Measurement MeasureOne(const Scenario& sc, Strategy strategy,
-                       uint64_t rounds) {
+                       uint32_t sim_threads, uint64_t rounds) {
   SystemConfig config = sc.config;
   config.strategy = strategy;
+  config.sim_threads = sim_threads;  // 1 = legacy serial engine
   pdht::core::PdhtSystem system(config);
 
   Measurement m;
   m.scenario = sc.name;
   m.strategy = pdht::core::StrategyName(strategy);
   m.peers = config.params.num_peers;
+  m.sim_threads = sim_threads;
   // Warm up past the transient (partialTtl index fill, churn mixing) so
   // the timed window measures the steady-state loop.
-  m.warmup = std::max<uint64_t>(10, rounds / 5);
+  m.warmup = std::max<uint64_t>(sc.min_warmup, rounds / 5);
   m.rounds = rounds;
   system.RunRounds(m.warmup);
 
@@ -141,12 +214,13 @@ bool WriteJson(const std::string& path,
     const Measurement& m = results[i];
     std::fprintf(f,
                  "    {\"scenario\": \"%s\", \"strategy\": \"%s\", "
-                 "\"peers\": %llu, \"warmup_rounds\": %llu, "
+                 "\"peers\": %llu, \"sim_threads\": %u, "
+                 "\"warmup_rounds\": %llu, "
                  "\"timed_rounds\": %llu, \"smoke\": %s, "
                  "\"seconds\": %.6f, "
                  "\"rounds_per_sec\": %.2f, \"msgs_per_round\": %.2f}%s\n",
                  m.scenario.c_str(), m.strategy.c_str(),
-                 static_cast<unsigned long long>(m.peers),
+                 static_cast<unsigned long long>(m.peers), m.sim_threads,
                  static_cast<unsigned long long>(m.warmup),
                  static_cast<unsigned long long>(m.rounds),
                  m.smoke ? "true" : "false", m.seconds,
@@ -164,13 +238,18 @@ int main(int argc, char** argv) {
   BenchFlags flags = pdht::bench::ParseBenchFlags(argc, argv);
 
   pdht::bench::PrintHeader(
-      "round-loop throughput: single-thread rounds/sec (scaled Table 1 "
-      "scenarios, churn on)",
+      "round-loop throughput: rounds/sec over a --sim-threads axis "
+      "(scaled Table 1 + 100k/1M scale-up scenarios, churn on)",
       "hot-path baseline; perf trajectory artifact BENCH_roundloop.json");
 
   std::vector<Scenario> scenarios = {
       {"scale_1_14", Scale14Config(), 400},
       {"scale_1_50", Scale50Config(), 1000},
+      // Scale-up rungs: fewer timed rounds (a 1M round costs ~0.4 s
+      // even with bounded walks), tiny warmup, partialTtl only at 1M.
+      {"scale_100k", Scale100kConfig(), 60,
+       {Strategy::kPartialTtl, Strategy::kIndexAll}, 10},
+      {"scale_1m", Scale1MConfig(), 10, {Strategy::kPartialTtl}, 2},
   };
   if (flags.full) {
     scenarios.push_back({"full_scale", FullScaleConfig(), 50});
@@ -178,24 +257,31 @@ int main(int argc, char** argv) {
 
   std::vector<Measurement> results;
   for (const Scenario& sc : scenarios) {
-    for (Strategy strategy :
-         {Strategy::kPartialTtl, Strategy::kIndexAll}) {
-      uint64_t rounds =
-          flags.rounds == 0 ? sc.default_rounds : flags.rounds;
-      results.push_back(MeasureOne(sc, strategy, rounds));
-      results.back().smoke = rounds < sc.default_rounds;
-      std::printf("measured %s/%s: %.1f rounds/s\n",
-                  results.back().scenario.c_str(),
-                  results.back().strategy.c_str(),
-                  results.back().rounds_per_sec);
+    for (Strategy strategy : sc.strategies) {
+      // Cap an explicit --rounds at the scenario default so one smoke
+      // budget fits every scale (100 timed rounds at 1M peers would run
+      // for hours); below-default budgets mark the measurement smoke.
+      uint64_t rounds = flags.rounds == 0
+                            ? sc.default_rounds
+                            : std::min(flags.rounds, sc.default_rounds);
+      for (uint32_t sim_threads : flags.sim_threads) {
+        results.push_back(MeasureOne(sc, strategy, sim_threads, rounds));
+        results.back().smoke = rounds < sc.default_rounds;
+        std::printf("measured %s/%s @%u thread%s: %.1f rounds/s\n",
+                    results.back().scenario.c_str(),
+                    results.back().strategy.c_str(), sim_threads,
+                    sim_threads == 1 ? "" : "s",
+                    results.back().rounds_per_sec);
+      }
     }
   }
 
-  TableWriter table({"scenario", "strategy", "peers", "timed rounds",
-                     "seconds", "rounds/sec", "msgs/round"});
+  TableWriter table({"scenario", "strategy", "peers", "sim threads",
+                     "timed rounds", "seconds", "rounds/sec",
+                     "msgs/round"});
   for (const Measurement& m : results) {
     table.AddRow({m.scenario, m.strategy, std::to_string(m.peers),
-                  std::to_string(m.rounds),
+                  std::to_string(m.sim_threads), std::to_string(m.rounds),
                   TableWriter::FormatDouble(m.seconds, 4),
                   TableWriter::FormatDouble(m.rounds_per_sec, 5),
                   TableWriter::FormatDouble(m.msgs_per_round, 5)});

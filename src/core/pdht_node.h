@@ -19,8 +19,11 @@ namespace pdht::core {
 class PdhtNode {
  public:
   PdhtNode() : PdhtNode(net::kInvalidPeer, 0) {}
-  PdhtNode(net::PeerId id, uint64_t index_capacity)
-      : id_(id), index_(index_capacity) {}
+  /// `arena`, when given, backs the node's index storage and must outlive
+  /// the node (PdhtSystem declares its arena before its node table).
+  PdhtNode(net::PeerId id, uint64_t index_capacity,
+           SlabArena* arena = nullptr)
+      : id_(id), index_(index_capacity, arena) {}
 
   net::PeerId id() const { return id_; }
 

@@ -29,6 +29,8 @@ std::string SystemConfig::Validate() const {
     std::string lat_err = latency.Validate();
     if (!lat_err.empty()) return lat_err;
   }
+  if (sim_threads > 256) return "sim_threads must be <= 256";
+  if (sim_shards > (1u << 20)) return "sim_shards must be <= 2^20";
   return "";
 }
 
@@ -36,17 +38,19 @@ PdhtSystem::PdhtSystem(const SystemConfig& config)
     : config_(config), rng_(config.seed), engine_(1.0),
       autotuner_(config.autotuner) {
   assert(config_.Validate().empty());
-  // One sample per query: unbounded at paper scale, so cap retention
-  // (moments exact, surfaced quantiles become estimates over a 256k
-  // systematic subsample -- far past the precision any p99 needs).
-  lookup_rtt_ms_.SetSampleCap(1 << 18);
-  lookup_direct_ms_.SetSampleCap(1 << 18);
-  lookup_hops_.SetSampleCap(1 << 18);
+  // One sample per query: unbounded at paper scale, so retain nothing --
+  // P² sketches track exactly the probabilities Snapshot() surfaces in
+  // O(1) memory (moments stay exact), which is what keeps per-lookup
+  // latency accounting flat at the 100k-1M peer scenarios.
+  lookup_rtt_ms_.TrackStreamingQuantiles({0.5, 0.95, 0.99});
+  lookup_direct_ms_.TrackStreamingQuantiles({});  // mean-only (stretch)
+  lookup_hops_.TrackStreamingQuantiles({0.95});
   DeriveSettings();
   BuildSubstrates();
   SelectDhtMembers();
   PreloadIndex();
   RegisterActors();
+  SetupShardedEngine();
 }
 
 PdhtSystem::~PdhtSystem() = default;
@@ -125,7 +129,7 @@ void PdhtSystem::BuildSubstrates() {
   network_->SetDeliveryModel(delivery_.get(), &engine_.events());
   nodes_.resize(p.num_peers);
   for (uint32_t i = 0; i < p.num_peers; ++i) {
-    nodes_[i] = PdhtNode(i, p.stor);
+    nodes_[i] = PdhtNode(i, p.stor, &index_arena_);
     network_->SetOnline(i, true);
   }
 
@@ -207,20 +211,20 @@ void PdhtSystem::SelectDhtMembers() {
   overlay_->SetMembers(dht_members_);
 }
 
-const std::vector<net::PeerId>& PdhtSystem::IndexReplicasOf(
-    uint64_t key) const {
+const std::vector<net::PeerId>& PdhtSystem::IndexReplicasInto(
+    uint64_t key, std::vector<net::PeerId>* out) const {
   // "Index and content are replicated with the same factor" (Section 4);
   // replica-group composition is the backend's business (hash-spread by
   // default, structural leaf groups for P-Grid).
-  replica_scratch_.clear();
+  out->clear();
   if (overlay_) {
     overlay_->ResponsiblePeersInto(
         key,
         static_cast<uint32_t>(std::min<uint64_t>(
             config_.params.repl, std::numeric_limits<uint32_t>::max())),
-        &replica_scratch_);
+        out);
   }
-  return replica_scratch_;
+  return *out;
 }
 
 void PdhtSystem::IncResidency(uint64_t key) { ++residency_[key]; }
@@ -321,33 +325,23 @@ void PdhtSystem::RegisterActors() {
 void PdhtSystem::RunRounds(uint64_t n) { engine_.Run(n); }
 
 net::PeerId PdhtSystem::RandomOnlinePeer() {
-  const auto& p = config_.params;
-  uint32_t online = network_->online_count();
+  // One draw from the network's dense online index: exactly uniform over
+  // online peers (the old rejection loop was only asymptotically so) and
+  // O(1) regardless of availability.  Consumes one Rng value per call
+  // where the rejection loop consumed a variable number.
+  const uint32_t online = network_->online_count();
   if (online == 0) return net::kInvalidPeer;
-  // At least the historical 128 draws (identical rng behaviour whenever
-  // availability is sane); under heavy churn scale the budget with the
-  // expected draws-per-hit (num_peers / online) so the biased lowest-id
-  // linear fallback stays a last resort instead of the common path.
-  uint64_t tries = std::max<uint64_t>(
-      128, std::min<uint64_t>(2048, 8 * p.num_peers / online));
-  for (uint64_t attempt = 0; attempt < tries; ++attempt) {
-    net::PeerId cand =
-        static_cast<net::PeerId>(rng_.UniformU64(p.num_peers));
-    if (network_->IsOnline(cand)) return cand;
-  }
-  for (uint32_t i = 0; i < p.num_peers; ++i) {
-    if (network_->IsOnline(i)) return i;
-  }
-  return net::kInvalidPeer;
+  return network_->OnlinePeerAt(
+      static_cast<uint32_t>(rng_.UniformU64(online)));
 }
 
-net::PeerId PdhtSystem::DhtEntryPoint(net::PeerId origin) {
+net::PeerId PdhtSystem::DhtEntryPoint(Rng& rng, net::PeerId origin) {
   if (origin != net::kInvalidPeer && nodes_[origin].is_dht_member() &&
       network_->IsOnline(origin)) {
     return origin;
   }
   net::PeerId entry =
-      overlay_ ? overlay_->RandomOnlineMember(rng_) : net::kInvalidPeer;
+      overlay_ ? overlay_->RandomOnlineMember(rng) : net::kInvalidPeer;
   if (route_pns_ && entry != net::kInvalidPeer &&
       origin != net::kInvalidPeer) {
     // Proximity entry selection (route-time PNS, hop 0): any online
@@ -359,7 +353,7 @@ net::PeerId PdhtSystem::DhtEntryPoint(net::PeerId origin) {
     // latency-aware routing win.
     double best = delivery_->RttMs(origin, entry);
     for (int i = 1; i < 8; ++i) {
-      net::PeerId cand = overlay_->RandomOnlineMember(rng_);
+      net::PeerId cand = overlay_->RandomOnlineMember(rng);
       if (cand == net::kInvalidPeer) break;
       if (cand == entry) continue;
       const double rtt = delivery_->RttMs(origin, cand);
@@ -388,7 +382,7 @@ overlay::LookupResult PdhtSystem::DhtLookup(net::PeerId origin,
   return overlay_->Lookup(origin, key);
 }
 
-uint64_t PdhtSystem::StatisticalReplicaFloodCost() {
+uint64_t PdhtSystem::StatisticalReplicaFloodCost(Rng& rng) {
   // Flooding the replica subnetwork costs ~ repl * dup2 messages (Eq. 16);
   // the fractional part is realized probabilistically so the expectation
   // is exact.
@@ -396,18 +390,18 @@ uint64_t PdhtSystem::StatisticalReplicaFloodCost() {
                 config_.params.dup2;
   uint64_t whole = static_cast<uint64_t>(cost);
   double frac = cost - static_cast<double>(whole);
-  return whole + (rng_.Bernoulli(frac) ? 1 : 0);
+  return whole + (rng.Bernoulli(frac) ? 1 : 0);
 }
 
 void PdhtSystem::InsertIntoIndex(uint64_t key, double now, double ttl) {
   // Route the insert to the responsible region (cSIndx) ...
-  net::PeerId entry = DhtEntryPoint(net::kInvalidPeer);
+  net::PeerId entry = DhtEntryPoint(rng_, net::kInvalidPeer);
   if (entry == net::kInvalidPeer) return;
   overlay::LookupResult route = DhtLookup(entry, key);
   (void)route;
   // ... then flood the replica subnetwork with the new value (repl * dup2).
   network_->CountOnly(net::MessageType::kReplicaPush,
-                      StatisticalReplicaFloodCost());
+                      StatisticalReplicaFloodCost(rng_));
   for (net::PeerId rep : IndexReplicasOf(key)) {
     if (!network_->IsOnline(rep)) continue;  // offline replicas pull later
     uint64_t displaced = nodes_[rep].index().Put(key, now, ttl);
@@ -442,7 +436,7 @@ QueryOutcome PdhtSystem::RunIndexFirstQuery(net::PeerId origin, uint64_t key,
   // link-delay sum (0 under immediate delivery).
   const double lat_before = network_->total_latency_s();
 
-  net::PeerId entry = DhtEntryPoint(origin);
+  net::PeerId entry = DhtEntryPoint(rng_, origin);
   if (entry == net::kInvalidPeer) {
     // DHT unreachable (everything offline): degrade to broadcast.
     QueryOutcome fallback = RunUnstructuredQuery(origin, key);
@@ -473,7 +467,7 @@ QueryOutcome PdhtSystem::RunIndexFirstQuery(net::PeerId origin, uint64_t key,
     // purging leaves replicas unsynchronized, so siblings may still hold
     // the key).
     network_->CountOnly(net::MessageType::kReplicaFlood,
-                        StatisticalReplicaFloodCost());
+                        StatisticalReplicaFloodCost(rng_));
     for (net::PeerId rep : IndexReplicasOf(key)) {
       if (!network_->IsOnline(rep)) continue;
       if (nodes_[rep].index().Contains(key, now)) {
@@ -538,6 +532,10 @@ QueryOutcome PdhtSystem::ExecuteQuery(uint64_t key) {
 }
 
 void PdhtSystem::RunQueryActor(sim::RoundContext& ctx) {
+  if (sharded_) {
+    RunShardedQueryActor(ctx);
+    return;
+  }
   const auto& p = config_.params;
   round_queries_ = 0;
   round_hits_ = 0;
@@ -559,6 +557,270 @@ void PdhtSystem::RunQueryActor(sim::RoundContext& ctx) {
     QueryOutcome out = ExecuteQuery(key);
     ++round_queries_;
     if (out.answered_from_index) ++round_hits_;
+  }
+}
+
+// --- Sharded round engine -------------------------------------------------
+//
+// The parallel query phase runs in three steps (docs/architecture.md):
+//  1. PLAN (serial): draw the round's query count, keys and origins from
+//     the main workload/Rng streams -- one deterministic sequence no
+//     matter how many threads or shards run the phase.
+//  2. EXECUTE (parallel): the worker pool claims tasks; each task routes
+//     against the round-start snapshot of the index/overlay state, draws
+//     from its own Rng(Mix64(HashCombine(round_seed, task))), counts
+//     messages into its worker's lane, and buffers every state mutation.
+//  3. PUBLISH (serial): lane counter deltas merge (order-free), then each
+//     task's order-sensitive effects replay in global task order --
+//     deferred deliveries, autotuner observations, Touch/insert Puts,
+//     RTT samples, per-origin RecordQuery -- so the result is a pure
+//     function of the task list, independent of worker assignment.
+
+void PdhtSystem::SetupShardedEngine() {
+  sharded_ = config_.sim_threads > 1 || config_.sim_shards > 0;
+  if (!sharded_) return;
+  const uint32_t threads = std::max<uint32_t>(1, config_.sim_threads);
+  num_shards_ = config_.sim_shards > 0 ? config_.sim_shards : 4 * threads;
+  pool_ = std::make_unique<sim::ShardPool>(threads);
+  lanes_.resize(threads);
+  replica_slots_.resize(threads);
+  if (overlay_) overlay_->SetLookupSlots(threads);
+  auto oracle = [this](net::PeerId peer, uint64_t key) {
+    return content_->PeerHoldsKey(peer, key);
+  };
+  walk_slots_.reserve(threads);
+  for (uint32_t w = 0; w < threads; ++w) {
+    // One searcher per worker so walk scratch never crosses threads.  The
+    // searcher's own stream is never used -- sharded tasks always pass
+    // their derived task Rng -- and seeding it from a hash (not a
+    // rng_.Fork()) keeps the main stream independent of the thread count.
+    walk_slots_.push_back(std::make_unique<overlay::RandomWalkSearch>(
+        graph_.get(), network_.get(), oracle, config_.walk,
+        Rng(Mix64(HashCombine(config_.seed, 0x77616c6bULL + w)))));
+  }
+  // Eviction partition: shard of a peer is a pure function of its id, so
+  // the partition (and with it every shard-buffered result) is identical
+  // for every thread count.
+  shard_members_.assign(num_shards_, {});
+  for (net::PeerId m : dht_members_) {
+    shard_members_[Mix64(m) % num_shards_].push_back(m);
+  }
+  evict_buffers_.assign(num_shards_, {});
+}
+
+void PdhtSystem::AppendQueryTask(uint64_t key) {
+  QueryTask t;
+  t.key = key;
+  t.origin = RandomOnlinePeer();  // main stream, serial planning order
+  switch (config_.strategy) {
+    case Strategy::kNoIndex:
+      break;
+    case Strategy::kIndexAll:
+      t.index_first = true;
+      break;
+    case Strategy::kPartialIdeal:
+      t.index_first = workload_->RankOf(key) <= oracle_max_rank_;
+      break;
+    case Strategy::kPartialTtl:
+      t.index_first = true;
+      t.ttl_semantics = true;
+      break;
+  }
+  query_tasks_.push_back(t);
+}
+
+void PdhtSystem::PlanQueryTasks(sim::RoundContext& ctx) {
+  const auto& p = config_.params;
+  query_tasks_.clear();
+  if (config_.trace != nullptr) {
+    auto [begin, end] = config_.trace->RoundRange(ctx.round);
+    for (size_t i = begin; i < end; ++i) {
+      uint64_t key = config_.trace->entries()[i].key;
+      if (key >= p.keys) continue;  // foreign trace entries are skipped
+      AppendQueryTask(key);
+    }
+    return;
+  }
+  uint64_t count = workload_->SampleQueryCount(p.num_peers, p.f_qry);
+  for (uint64_t q = 0; q < count; ++q) {
+    AppendQueryTask(workload_->SampleKey());
+  }
+}
+
+void PdhtSystem::RunShardedQueryActor(sim::RoundContext& ctx) {
+  PlanQueryTasks(ctx);
+  round_queries_ = 0;
+  round_hits_ = 0;
+  if (query_tasks_.empty()) return;
+  // Warm lazily-built shared read state serially (e.g. Chord's mutable
+  // members cache) so the parallel phase only ever reads it.
+  if (overlay_) overlay_->members();
+  round_seed_ = Mix64(HashCombine(config_.seed, ctx.round));
+  const size_t num_counters = engine_.counters().NumCounters();
+  for (net::ShardLane& lane : lanes_) lane.Prepare(num_counters);
+  query_results_.resize(query_tasks_.size());
+  pool_->Run(static_cast<uint32_t>(query_tasks_.size()),
+             [this](uint32_t w, uint32_t q) { RunQueryTask(w, q); });
+  PublishQueryResults();
+}
+
+void PdhtSystem::RunQueryTask(uint32_t worker, uint32_t task_index) {
+  const QueryTask& t = query_tasks_[task_index];
+  QueryTaskResult& r = query_results_[task_index];
+  r = QueryTaskResult{};
+  r.lane = worker;
+  if (t.origin == net::kInvalidPeer) return;  // nothing online at planning
+  overlay::SetCurrentLookupSlot(worker);
+  net::ShardLane& lane = lanes_[worker];
+  // Reset the bracket accumulator so latency deltas are computed from a
+  // task-invariant base: (frozen_global + x) - frozen_global rounds the
+  // same way no matter which worker ran the previous tasks.  The charged
+  // latency itself is not lost -- CommitDeferred replays it from the
+  // deferred log at publish.
+  lane.latency_s = 0.0;
+  network_->BeginLane(&lane);
+  r.def_begin = static_cast<uint32_t>(lane.deferred.size());
+  // The task's whole random behaviour hangs off this one derived stream:
+  // any worker running this task draws the same values.
+  Rng rng(Mix64(HashCombine(round_seed_, task_index)));
+  if (t.index_first) {
+    ShardIndexFirstQuery(rng, worker, t.origin, t.key, t.ttl_semantics, &r);
+  } else {
+    ShardUnstructuredQuery(rng, worker, t.origin, t.key, &r);
+  }
+  r.def_end = static_cast<uint32_t>(lane.deferred.size());
+  network_->EndLane();
+}
+
+void PdhtSystem::ShardUnstructuredQuery(Rng& rng, uint32_t worker,
+                                        net::PeerId origin, uint64_t key,
+                                        QueryTaskResult* r) {
+  overlay::WalkResult wr = walk_slots_[worker]->Search(origin, key, rng);
+  r->found = wr.found;
+  if (wr.found) r->unstructured_obs = static_cast<double>(wr.messages);
+}
+
+void PdhtSystem::ShardIndexFirstQuery(Rng& rng, uint32_t worker,
+                                      net::PeerId origin, uint64_t key,
+                                      bool ttl_semantics,
+                                      QueryTaskResult* r) {
+  const double now = engine_.now();
+  // Lane-relative brackets: the shared counters are frozen during the
+  // phase, so the observed before/after deltas are this task's own
+  // traffic/latency -- same semantics as the serial brackets.
+  const uint64_t before = network_->ObservedTotalMessages();
+  const double lat_before = network_->ObservedLatencyS();
+
+  net::PeerId entry = DhtEntryPoint(rng, origin);
+  if (entry == net::kInvalidPeer) {
+    // DHT unreachable (everything offline): degrade to broadcast.
+    ShardUnstructuredQuery(rng, worker, origin, key, r);
+    return;
+  }
+
+  overlay::LookupResult route = DhtLookup(entry, key);
+  if (network_->deferred_delivery() &&
+      route.terminus != net::kInvalidPeer) {
+    r->has_rtt = true;
+    r->rtt_ms = (network_->ObservedLatencyS() - lat_before) * 1e3;
+    r->direct_ms = delivery_->RttMs(origin, route.terminus);
+    r->hops = static_cast<double>(route.hops);
+  }
+  net::PeerId holder = net::kInvalidPeer;
+  if (route.success && route.terminus != net::kInvalidPeer &&
+      nodes_[route.terminus].index().Contains(key, now)) {
+    holder = route.terminus;
+  }
+  if (holder == net::kInvalidPeer) {
+    network_->CountOnly(net::MessageType::kReplicaFlood,
+                        StatisticalReplicaFloodCost(rng));
+    for (net::PeerId rep :
+         IndexReplicasInto(key, &replica_slots_[worker])) {
+      if (!network_->IsOnline(rep)) continue;
+      if (nodes_[rep].index().Contains(key, now)) {
+        holder = rep;
+        break;
+      }
+    }
+  }
+
+  if (holder != net::kInvalidPeer) {
+    if (ttl_semantics) {
+      // Touch applies at publish (in task order, against live state).
+      r->has_touch = true;
+      r->touch_holder = holder;
+    }
+    r->found = true;
+    r->answered_from_index = true;
+    r->index_obs =
+        static_cast<double>(network_->ObservedTotalMessages() - before);
+    return;
+  }
+
+  r->index_obs =
+      static_cast<double>(network_->ObservedTotalMessages() - before);
+  ShardUnstructuredQuery(rng, worker, origin, key, r);
+  if (ttl_semantics && r->found) {
+    // Miss-then-found re-insertion: route + statistical flood now (wire
+    // cost belongs to this task), replica Puts at publish.
+    net::PeerId insert_entry = DhtEntryPoint(rng, net::kInvalidPeer);
+    if (insert_entry != net::kInvalidPeer) {
+      DhtLookup(insert_entry, key);
+      network_->CountOnly(net::MessageType::kReplicaPush,
+                          StatisticalReplicaFloodCost(rng));
+      r->has_insert = true;
+    }
+  }
+}
+
+void PdhtSystem::PublishQueryResults() {
+  const double now = engine_.now();
+  // Counter deltas first: integer adds commute, so lane-major merge order
+  // is immaterial (and cheap -- one flat vector add per lane).
+  for (const net::ShardLane& lane : lanes_) {
+    engine_.counters().MergeDelta(lane.counter_delta);
+  }
+  for (size_t q = 0; q < query_tasks_.size(); ++q) {
+    const QueryTask& t = query_tasks_[q];
+    const QueryTaskResult& r = query_results_[q];
+    // (1) Order-sensitive network effects (fp latency sums, capped
+    //     histograms, event scheduling) replay in task order.
+    for (uint32_t i = r.def_begin; i < r.def_end; ++i) {
+      network_->CommitDeferred(lanes_[r.lane].deferred[i]);
+    }
+    // (2) Autotuner observations, index before unstructured (the serial
+    //     per-query order).
+    if (r.index_obs >= 0.0) autotuner_.ObserveIndexSearch(r.index_obs);
+    if (r.unstructured_obs >= 0.0) {
+      autotuner_.ObserveUnstructuredSearch(r.unstructured_obs);
+    }
+    // (3) Index mutations, with the TTL in force at this publish point
+    //     (the autotuner may have just moved it).
+    if (r.has_touch) {
+      nodes_[r.touch_holder].index().Touch(t.key, now, EffectiveKeyTtl());
+    }
+    if (r.has_insert) {
+      const double ttl = EffectiveKeyTtl();
+      for (net::PeerId rep : IndexReplicasOf(t.key)) {
+        if (!network_->IsOnline(rep)) continue;
+        uint64_t displaced = nodes_[rep].index().Put(t.key, now, ttl);
+        if (displaced != TtlIndex::kNoKey) DecResidency(displaced);
+        IncResidency(t.key);
+      }
+    }
+    // (4) Latency samples (capped histograms subsample deterministically
+    //     in arrival order).
+    if (r.has_rtt) {
+      lookup_rtt_ms_.Add(r.rtt_ms);
+      lookup_direct_ms_.Add(r.direct_ms);
+      lookup_hops_.Add(r.hops);
+    }
+    // (5) Per-origin stats and the round's hit-rate tally.
+    if (t.origin != net::kInvalidPeer) {
+      nodes_[t.origin].RecordQuery(r.answered_from_index);
+    }
+    ++round_queries_;
+    if (r.answered_from_index) ++round_hits_;
   }
 }
 
@@ -585,11 +847,11 @@ void PdhtSystem::RunUpdateActor(sim::RoundContext&) {
                        : workload_->KeyAtRank(rank);
     // Insert at one responsible peer (cSIndx) + gossip to replicas
     // (repl * dup2): exactly Eq. 9's per-update cost.
-    net::PeerId entry = DhtEntryPoint(net::kInvalidPeer);
+    net::PeerId entry = DhtEntryPoint(rng_, net::kInvalidPeer);
     if (entry == net::kInvalidPeer) continue;
     DhtLookup(entry, key);
     network_->CountOnly(net::MessageType::kReplicaPush,
-                        StatisticalReplicaFloodCost());
+                        StatisticalReplicaFloodCost(rng_));
     for (net::PeerId rep : IndexReplicasOf(key)) {
       if (!network_->IsOnline(rep)) continue;
       uint64_t displaced =
@@ -602,9 +864,28 @@ void PdhtSystem::RunUpdateActor(sim::RoundContext&) {
 
 void PdhtSystem::RunEvictionActor(sim::RoundContext& ctx) {
   if (config_.strategy != Strategy::kPartialTtl) return;
-  for (net::PeerId m : dht_members_) {
-    nodes_[m].index().EvictExpired(
-        ctx.time, [this](uint64_t key) { DecResidency(key); });
+  if (!sharded_) {
+    for (net::PeerId m : dht_members_) {
+      nodes_[m].index().EvictExpired(
+          ctx.time, [this](uint64_t key) { DecResidency(key); });
+    }
+    return;
+  }
+  // Shard-parallel sweep: each shard owns a disjoint member set (pure
+  // function of peer id), evicted keys land in per-shard buffers, and
+  // residency decrements -- commutative integer ops over an unordered
+  // map nothing iterates -- replay serially in shard order.
+  const double now = ctx.time;
+  pool_->Run(num_shards_, [this, now](uint32_t /*worker*/, uint32_t shard) {
+    std::vector<uint64_t>& evicted = evict_buffers_[shard];
+    evicted.clear();
+    for (net::PeerId m : shard_members_[shard]) {
+      nodes_[m].index().EvictExpired(
+          now, [&evicted](uint64_t key) { evicted.push_back(key); });
+    }
+  });
+  for (const std::vector<uint64_t>& evicted : evict_buffers_) {
+    for (uint64_t key : evicted) DecResidency(key);
   }
 }
 

@@ -46,6 +46,7 @@
 #include "overlay/unstructured/replication.h"
 #include "sim/churn.h"
 #include "sim/round_engine.h"
+#include "sim/shard_pool.h"
 
 namespace pdht::core {
 
@@ -131,6 +132,23 @@ struct SystemConfig {
   /// unchanged -- this prices the *waiting*, not the wire.  Only
   /// meaningful with kLatency.
   bool timeout_costing = false;
+
+  /// Worker threads for the parallel phases of the round loop (queries,
+  /// eviction).  sim_threads <= 1 with sim_shards == 0 runs the legacy
+  /// serial engine, bit-identical to the seed era.  Any other setting
+  /// enables the *sharded* engine, whose results are bit-identical across
+  /// every (sim_threads, sim_shards) combination -- parallelism changes
+  /// wall-clock only -- but form a different (equally valid) random
+  /// stream than the serial engine's: query effects publish at a phase
+  /// barrier instead of interleaving, and each query draws from its own
+  /// derived Rng.  See docs/architecture.md, "Sharded round engine".
+  uint32_t sim_threads = 1;
+  /// Peer shards for the shard-partitioned phases (eviction).  Shard
+  /// assignment is a pure function of peer id and shard count, so
+  /// results never depend on which thread runs a shard; they do not
+  /// depend on the shard count either (shard merges commute).  0 = auto
+  /// (4 * sim_threads when the sharded engine is enabled).
+  uint32_t sim_shards = 0;
 
   /// Returns an empty string when the configuration is self-consistent.
   std::string Validate() const;
@@ -281,7 +299,9 @@ class PdhtSystem {
   void PreloadIndex();
   void RegisterActors();
 
-  // Query path pieces.
+  // Query path pieces.  The pieces shared between the serial and sharded
+  // engines take an explicit Rng so a parallel query task can route its
+  // randomness through its own derived stream (serial callers pass rng_).
   QueryOutcome RunIndexFirstQuery(net::PeerId origin, uint64_t key,
                                   bool ttl_semantics);
   QueryOutcome RunUnstructuredQuery(net::PeerId origin, uint64_t key);
@@ -290,11 +310,17 @@ class PdhtSystem {
   /// (valid until the next IndexReplicasOf call; callers iterate it
   /// immediately).  Keeps the per-insert/per-flood replica walk
   /// allocation-free.
-  const std::vector<net::PeerId>& IndexReplicasOf(uint64_t key) const;
+  const std::vector<net::PeerId>& IndexReplicasOf(uint64_t key) const {
+    return IndexReplicasInto(key, &replica_scratch_);
+  }
+  /// Same, into a caller-chosen buffer (parallel tasks use per-worker
+  /// scratch so they never share replica_scratch_).
+  const std::vector<net::PeerId>& IndexReplicasInto(
+      uint64_t key, std::vector<net::PeerId>* out) const;
   void InsertIntoIndex(uint64_t key, double now, double ttl);
-  uint64_t StatisticalReplicaFloodCost();
+  uint64_t StatisticalReplicaFloodCost(Rng& rng);
   net::PeerId RandomOnlinePeer();
-  net::PeerId DhtEntryPoint(net::PeerId origin);
+  net::PeerId DhtEntryPoint(Rng& rng, net::PeerId origin);
   void OnChurnFlip(net::PeerId peer, bool online);
   static void ChurnTrampoline(void* ctx, uint32_t peer, bool online,
                               double when);
@@ -303,6 +329,51 @@ class PdhtSystem {
   void RunEvictionActor(sim::RoundContext& ctx);
   void IncResidency(uint64_t key);
   void DecResidency(uint64_t key);
+
+  // --- Sharded round engine (see docs/architecture.md) ------------------
+
+  /// One planned query of the round: everything the serial planning pass
+  /// decided (from the main Rng/workload streams) before the parallel
+  /// phase starts, so the task body is a pure function of (task, round
+  /// snapshot, derived task Rng).
+  struct QueryTask {
+    uint64_t key = 0;
+    net::PeerId origin = net::kInvalidPeer;
+    bool index_first = false;    ///< strategy dispatch, decided at planning
+    bool ttl_semantics = false;  ///< kPartialTtl touch/insert semantics
+  };
+
+  /// Buffered effects of one parallel query task, applied serially in
+  /// global task order by PublishQueryResults -- the order-sensitive
+  /// complement of the order-free counter-delta merge.
+  struct QueryTaskResult {
+    uint32_t lane = 0;       ///< worker lane the task recorded into
+    uint32_t def_begin = 0;  ///< slice of lanes_[lane].deferred
+    uint32_t def_end = 0;
+    bool found = false;
+    bool answered_from_index = false;
+    bool has_touch = false;   ///< hit under TTL semantics: Touch at publish
+    bool has_insert = false;  ///< miss-then-found: replica Puts at publish
+    bool has_rtt = false;     ///< bracketed RTT samples below are valid
+    net::PeerId touch_holder = net::kInvalidPeer;
+    double index_obs = -1.0;  ///< ObserveIndexSearch arg; < 0 = none
+    double unstructured_obs = -1.0;
+    double rtt_ms = 0.0;
+    double direct_ms = 0.0;
+    double hops = 0.0;
+  };
+
+  void SetupShardedEngine();
+  void RunShardedQueryActor(sim::RoundContext& ctx);
+  void PlanQueryTasks(sim::RoundContext& ctx);
+  void AppendQueryTask(uint64_t key);
+  void RunQueryTask(uint32_t worker, uint32_t task_index);
+  void PublishQueryResults();
+  void ShardIndexFirstQuery(Rng& rng, uint32_t worker, net::PeerId origin,
+                            uint64_t key, bool ttl_semantics,
+                            QueryTaskResult* r);
+  void ShardUnstructuredQuery(Rng& rng, uint32_t worker, net::PeerId origin,
+                              uint64_t key, QueryTaskResult* r);
 
   SystemConfig config_;
   // Derived settings.
@@ -326,6 +397,9 @@ class PdhtSystem {
   /// runs without a DHT); every backend dispatch goes through it.
   std::unique_ptr<overlay::StructuredOverlay> overlay_;
   std::unique_ptr<metadata::QueryWorkload> workload_;
+  /// Backing store for every node's TtlIndex; declared before nodes_ so
+  /// it outlives them.
+  SlabArena index_arena_;
   std::vector<PdhtNode> nodes_;
   std::vector<net::PeerId> dht_members_;
   std::unordered_map<uint64_t, uint32_t> residency_;  // key -> #shards
@@ -356,6 +430,22 @@ class PdhtSystem {
   /// Routing hops per bracketed lookup (driver walk length), same
   /// deferred-delivery-only population rules.
   Histogram lookup_hops_;
+
+  // Sharded-engine state (empty/unused when the legacy serial engine is
+  // active).  Lanes, walk searchers and replica scratch are per *worker*
+  // (disjoint while a phase runs); shard member lists and eviction
+  // buffers are per *shard* (each shard claimed by exactly one task).
+  bool sharded_ = false;
+  uint32_t num_shards_ = 0;
+  uint64_t round_seed_ = 0;  ///< Mix64(HashCombine(seed, round))
+  std::unique_ptr<sim::ShardPool> pool_;
+  std::vector<net::ShardLane> lanes_;
+  std::vector<std::unique_ptr<overlay::RandomWalkSearch>> walk_slots_;
+  mutable std::vector<std::vector<net::PeerId>> replica_slots_;
+  std::vector<std::vector<net::PeerId>> shard_members_;
+  std::vector<std::vector<uint64_t>> evict_buffers_;
+  std::vector<QueryTask> query_tasks_;
+  std::vector<QueryTaskResult> query_results_;
 };
 
 }  // namespace pdht::core

@@ -1,0 +1,57 @@
+#include "core/slab_arena.h"
+
+#include <cassert>
+#include <cstdlib>
+
+namespace pdht::core {
+
+SlabArena::SlabArena(size_t chunk_bytes) : chunk_bytes_(chunk_bytes) {
+  assert(chunk_bytes >= kMinBlock);
+}
+
+SlabArena::~SlabArena() {
+  for (void* c : chunks_) std::free(c);
+}
+
+size_t SlabArena::ClassOf(size_t bytes) {
+  size_t cls = 0;
+  size_t size = kMinBlock;
+  while (size < bytes) {
+    size <<= 1;
+    ++cls;
+  }
+  return cls;
+}
+
+void* SlabArena::Allocate(size_t bytes) {
+  if (bytes == 0) bytes = 1;
+  const size_t cls = ClassOf(bytes);
+  const size_t size = kMinBlock << cls;
+  if (void* p = free_lists_[cls]; p != nullptr) {
+    free_lists_[cls] = *static_cast<void**>(p);
+    return p;
+  }
+  if (size > bump_left_) {
+    const size_t chunk = size > chunk_bytes_ ? size : chunk_bytes_;
+    char* mem = static_cast<char*>(std::malloc(chunk));
+    assert(mem != nullptr);
+    chunks_.push_back(mem);
+    bytes_reserved_ += chunk;
+    bump_ = mem;
+    bump_left_ = chunk;
+  }
+  char* p = bump_;
+  bump_ += size;
+  bump_left_ -= size;
+  return p;
+}
+
+void SlabArena::Free(void* p, size_t bytes) {
+  if (p == nullptr) return;
+  if (bytes == 0) bytes = 1;
+  const size_t cls = ClassOf(bytes);
+  *static_cast<void**>(p) = free_lists_[cls];
+  free_lists_[cls] = p;
+}
+
+}  // namespace pdht::core

@@ -1,77 +1,296 @@
 #include "core/ttl_index.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "util/hash.h"
 
 namespace pdht::core {
 
-TtlIndex::TtlIndex(uint64_t capacity) : capacity_(capacity) {}
+namespace {
+
+size_t Pow2AtLeast(size_t n) {
+  size_t p = 16;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+TtlIndex::TtlIndex(uint64_t capacity, SlabArena* arena)
+    : arena_(arena), capacity_(capacity) {}
+
+TtlIndex::~TtlIndex() { ReleaseStorage(); }
+
+TtlIndex::TtlIndex(TtlIndex&& o) noexcept
+    : arena_(o.arena_),
+      capacity_(o.capacity_),
+      next_generation_(o.next_generation_),
+      slots_(o.slots_),
+      slot_cap_(o.slot_cap_),
+      live_(o.live_),
+      heap_(o.heap_),
+      heap_size_(o.heap_size_),
+      heap_cap_(o.heap_cap_) {
+  o.slots_ = nullptr;
+  o.slot_cap_ = 0;
+  o.live_ = 0;
+  o.heap_ = nullptr;
+  o.heap_size_ = 0;
+  o.heap_cap_ = 0;
+}
+
+TtlIndex& TtlIndex::operator=(TtlIndex&& o) noexcept {
+  if (this == &o) return *this;
+  ReleaseStorage();
+  arena_ = o.arena_;
+  capacity_ = o.capacity_;
+  next_generation_ = o.next_generation_;
+  slots_ = std::exchange(o.slots_, nullptr);
+  slot_cap_ = std::exchange(o.slot_cap_, size_t{0});
+  live_ = std::exchange(o.live_, size_t{0});
+  heap_ = std::exchange(o.heap_, nullptr);
+  heap_size_ = std::exchange(o.heap_size_, size_t{0});
+  heap_cap_ = std::exchange(o.heap_cap_, size_t{0});
+  return *this;
+}
+
+void* TtlIndex::AllocBlock(size_t bytes) {
+  return arena_ != nullptr ? arena_->Allocate(bytes) : std::malloc(bytes);
+}
+
+void TtlIndex::FreeBlock(void* p, size_t bytes) {
+  if (p == nullptr) return;
+  if (arena_ != nullptr) {
+    arena_->Free(p, bytes);
+  } else {
+    std::free(p);
+  }
+}
+
+void TtlIndex::ReleaseStorage() {
+  FreeBlock(slots_, slot_cap_ * sizeof(Slot));
+  FreeBlock(heap_, heap_cap_ * sizeof(HeapEntry));
+  slots_ = nullptr;
+  slot_cap_ = 0;
+  live_ = 0;
+  heap_ = nullptr;
+  heap_size_ = 0;
+  heap_cap_ = 0;
+}
+
+size_t TtlIndex::ProbeStart(uint64_t key) const {
+  return static_cast<size_t>(Mix64(key)) & (slot_cap_ - 1);
+}
+
+size_t TtlIndex::FindSlot(uint64_t key) const {
+  if (slot_cap_ == 0) return 0;
+  const size_t mask = slot_cap_ - 1;
+  size_t i = ProbeStart(key);
+  while (slots_[i].key != kNoKey) {
+    if (slots_[i].key == key) return i;
+    i = (i + 1) & mask;
+  }
+  return slot_cap_;
+}
+
+void TtlIndex::InsertSlot(uint64_t key, double expires,
+                          uint64_t generation) {
+  const size_t mask = slot_cap_ - 1;
+  size_t i = ProbeStart(key);
+  while (slots_[i].key != kNoKey) i = (i + 1) & mask;
+  slots_[i] = Slot{key, expires, generation};
+  ++live_;
+}
+
+void TtlIndex::EraseSlotAt(size_t i) {
+  // Backward-shift deletion: pull cluster entries whose probe path spans
+  // the hole, so lookups never need tombstones.
+  const size_t mask = slot_cap_ - 1;
+  size_t j = i;
+  for (;;) {
+    j = (j + 1) & mask;
+    if (slots_[j].key == kNoKey) break;
+    const size_t ideal = ProbeStart(slots_[j].key);
+    if (((j - ideal) & mask) >= ((j - i) & mask)) {
+      slots_[i] = slots_[j];
+      i = j;
+    }
+  }
+  slots_[i].key = kNoKey;
+  --live_;
+}
+
+void TtlIndex::GrowTable() {
+  if (slot_cap_ == 0) {
+    // Lazy first allocation; a capacity-bounded index sizes its table
+    // once (displacement keeps live_ <= capacity_, so it never regrows).
+    slot_cap_ =
+        capacity_ > 0 ? Pow2AtLeast(capacity_ + capacity_ / 3 + 1) : 16;
+    slots_ = static_cast<Slot*>(AllocBlock(slot_cap_ * sizeof(Slot)));
+    for (size_t i = 0; i < slot_cap_; ++i) slots_[i].key = kNoKey;
+    return;
+  }
+  Slot* old = slots_;
+  const size_t old_cap = slot_cap_;
+  slot_cap_ = old_cap * 2;
+  slots_ = static_cast<Slot*>(AllocBlock(slot_cap_ * sizeof(Slot)));
+  for (size_t i = 0; i < slot_cap_; ++i) slots_[i].key = kNoKey;
+  live_ = 0;
+  for (size_t i = 0; i < old_cap; ++i) {
+    if (old[i].key != kNoKey) {
+      InsertSlot(old[i].key, old[i].expires, old[i].generation);
+    }
+  }
+  FreeBlock(old, old_cap * sizeof(Slot));
+}
+
+namespace {
+inline bool HeapAfter(double ae, uint64_t ak, double be, uint64_t bk) {
+  // "a pops later than b": the std max-heap comparator that yields a
+  // min-heap by (expires, key).
+  if (ae != be) return ae > be;
+  return ak > bk;
+}
+}  // namespace
+
+void TtlIndex::HeapPush(double expires, uint64_t key, uint64_t generation) {
+  if (heap_size_ == heap_cap_) {
+    if (heap_size_ > 4 * live_ + 64) {
+      // Stale entries (superseded by Touch/Put) dominate: rebuild from
+      // the table instead of growing.  Pop order is (expires, key)-
+      // sorted either way, so eviction behaviour is unchanged.
+      HeapRebuild();
+    } else {
+      const size_t new_cap = heap_cap_ == 0 ? 16 : heap_cap_ * 2;
+      HeapEntry* grown =
+          static_cast<HeapEntry*>(AllocBlock(new_cap * sizeof(HeapEntry)));
+      if (heap_size_ > 0) {
+        std::memcpy(grown, heap_, heap_size_ * sizeof(HeapEntry));
+      }
+      FreeBlock(heap_, heap_cap_ * sizeof(HeapEntry));
+      heap_ = grown;
+      heap_cap_ = new_cap;
+    }
+  }
+  // Sift-up.
+  size_t i = heap_size_++;
+  while (i > 0) {
+    const size_t parent = (i - 1) / 2;
+    if (!HeapAfter(heap_[parent].expires, heap_[parent].key, expires, key)) {
+      break;
+    }
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = HeapEntry{expires, key, generation};
+}
+
+void TtlIndex::HeapRebuild() {
+  heap_size_ = 0;
+  for (size_t i = 0; i < slot_cap_; ++i) {
+    if (slots_[i].key != kNoKey) {
+      heap_[heap_size_++] =
+          HeapEntry{slots_[i].expires, slots_[i].key, slots_[i].generation};
+    }
+  }
+  std::make_heap(heap_, heap_ + heap_size_,
+                 [](const HeapEntry& a, const HeapEntry& b) {
+                   return HeapAfter(a.expires, a.key, b.expires, b.key);
+                 });
+}
+
+bool TtlIndex::PopExpiredOne(double now, uint64_t* key) {
+  const auto later = [](const HeapEntry& a, const HeapEntry& b) {
+    return HeapAfter(a.expires, a.key, b.expires, b.key);
+  };
+  while (heap_size_ > 0 && heap_[0].expires <= now) {
+    HeapEntry top = heap_[0];
+    std::pop_heap(heap_, heap_ + heap_size_, later);
+    --heap_size_;
+    const size_t s = FindSlot(top.key);
+    if (s >= slot_cap_ || slots_[s].generation != top.generation) {
+      continue;  // superseded by a Touch/Put or already erased
+    }
+    EraseSlotAt(s);
+    *key = top.key;
+    return true;
+  }
+  return false;
+}
 
 uint64_t TtlIndex::Put(uint64_t key, double now, double ttl) {
   assert(ttl > 0.0);
+  assert(key != kNoKey);
   uint64_t displaced = kNoKey;
-  auto it = map_.find(key);
-  if (it == map_.end() && capacity_ > 0 && map_.size() >= capacity_) {
-    // Displace the entry nearest to expiry.
-    Compact();
-    while (!heap_.empty()) {
-      HeapEntry top = heap_.top();
-      auto vit = map_.find(top.key);
-      if (vit == map_.end() || vit->second.generation != top.generation) {
-        heap_.pop();  // stale heap entry
-        continue;
+  const size_t s = FindSlot(key);
+  const double expires = now + ttl;
+  const uint64_t gen = next_generation_++;
+  if (s < slot_cap_) {
+    slots_[s].expires = expires;
+    slots_[s].generation = gen;
+  } else {
+    if (capacity_ > 0 && live_ >= capacity_) {
+      // Displace the live entry nearest to expiry.
+      const auto later = [](const HeapEntry& a, const HeapEntry& b) {
+        return HeapAfter(a.expires, a.key, b.expires, b.key);
+      };
+      while (heap_size_ > 0) {
+        HeapEntry top = heap_[0];
+        std::pop_heap(heap_, heap_ + heap_size_, later);
+        --heap_size_;
+        const size_t vs = FindSlot(top.key);
+        if (vs >= slot_cap_ || slots_[vs].generation != top.generation) {
+          continue;  // stale heap entry
+        }
+        EraseSlotAt(vs);
+        displaced = top.key;
+        break;
       }
-      heap_.pop();
-      map_.erase(vit);
-      displaced = top.key;
-      break;
     }
+    if (slot_cap_ == 0 || (live_ + 1) * 4 > slot_cap_ * 3) GrowTable();
+    InsertSlot(key, expires, gen);
   }
-  double expires = now + ttl;
-  uint64_t gen = next_generation_++;
-  map_[key] = MapEntry{expires, gen};
-  heap_.push(HeapEntry{expires, key, gen});
+  HeapPush(expires, key, gen);
   return displaced;
 }
 
 bool TtlIndex::Contains(uint64_t key, double now) const {
-  auto it = map_.find(key);
-  return it != map_.end() && it->second.expires > now;
+  const size_t s = FindSlot(key);
+  return s < slot_cap_ && slots_[s].expires > now;
 }
 
 bool TtlIndex::Touch(uint64_t key, double now, double ttl) {
-  auto it = map_.find(key);
-  if (it == map_.end() || it->second.expires <= now) return false;
-  double expires = now + ttl;
-  uint64_t gen = next_generation_++;
-  it->second = MapEntry{expires, gen};
-  heap_.push(HeapEntry{expires, key, gen});
+  const size_t s = FindSlot(key);
+  if (s >= slot_cap_ || slots_[s].expires <= now) return false;
+  const double expires = now + ttl;
+  const uint64_t gen = next_generation_++;
+  slots_[s].expires = expires;
+  slots_[s].generation = gen;
+  HeapPush(expires, key, gen);
   return true;
 }
 
 bool TtlIndex::Erase(uint64_t key) {
-  return map_.erase(key) > 0;  // heap entries become stale, skipped later
+  const size_t s = FindSlot(key);
+  if (s >= slot_cap_) return false;
+  EraseSlotAt(s);  // heap entries become stale, skipped later
+  return true;
 }
 
 double TtlIndex::ExpiryOf(uint64_t key) const {
-  auto it = map_.find(key);
-  return it == map_.end() ? kNever : it->second.expires;
+  const size_t s = FindSlot(key);
+  return s >= slot_cap_ ? kNever : slots_[s].expires;
 }
 
 std::vector<uint64_t> TtlIndex::Keys() const {
   std::vector<uint64_t> out;
-  out.reserve(map_.size());
+  out.reserve(live_);
   ForEachKey([&out](uint64_t k) { out.push_back(k); });
   return out;
-}
-
-void TtlIndex::Compact() {
-  // Drop stale heap heads so capacity displacement sees a live entry.
-  while (!heap_.empty()) {
-    const HeapEntry& top = heap_.top();
-    auto it = map_.find(top.key);
-    if (it != map_.end() && it->second.generation == top.generation) break;
-    heap_.pop();
-  }
 }
 
 }  // namespace pdht::core

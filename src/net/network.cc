@@ -6,6 +6,12 @@
 
 namespace pdht::net {
 
+thread_local ShardLane* Network::tls_lane_ = nullptr;
+
+namespace {
+constexpr uint32_t kNotOnline = UINT32_MAX;
+}  // namespace
+
 Network::Network(CounterRegistry* counters) : counters_(counters) {
   assert(counters != nullptr);
   // Intern every message-type counter up front so Send never touches a
@@ -34,6 +40,7 @@ void Network::EnsureSlot(PeerId peer) {
     handlers_.resize(peer + 1, nullptr);
     online_.resize(peer + 1, false);
     seen_.resize(peer + 1, false);
+    online_pos_.resize(peer + 1, kNotOnline);
   }
 }
 
@@ -44,7 +51,8 @@ void Network::Register(PeerId peer, MessageHandler* handler) {
     // *gap-covered* by a larger id stay unseen and unreachable.
     seen_[peer] = true;
     online_[peer] = true;
-    ++online_count_;
+    online_pos_[peer] = static_cast<uint32_t>(online_list_.size());
+    online_list_.push_back(peer);
   }
   handlers_[peer] = handler;
 }
@@ -52,8 +60,21 @@ void Network::Register(PeerId peer, MessageHandler* handler) {
 void Network::SetOnline(PeerId peer, bool online) {
   EnsureSlot(peer);
   seen_[peer] = true;
-  if (online_[peer] != online) online_count_ += online ? 1 : -1;
+  if (online_[peer] == online) return;
   online_[peer] = online;
+  if (online) {
+    online_pos_[peer] = static_cast<uint32_t>(online_list_.size());
+    online_list_.push_back(peer);
+  } else {
+    // Swap-remove from the dense list; the displaced tail peer inherits
+    // the vacated slot.
+    uint32_t pos = online_pos_[peer];
+    PeerId tail = online_list_.back();
+    online_list_[pos] = tail;
+    online_pos_[tail] = pos;
+    online_list_.pop_back();
+    online_pos_[peer] = kNotOnline;
+  }
 }
 
 void Network::SetDeliveryModel(const DeliveryModel* model,
@@ -68,16 +89,18 @@ void Network::ChargeProbeTimeout(PeerId from, PeerId to) {
   if (!deferred_) return;  // immediate delivery has no latency axis
   const double s = delivery_->ProbeTimeoutSeconds(from, to);
   if (s <= 0.0) return;
+  if (ShardLane* lane = tls_lane_; lane != nullptr) {
+    lane->counter_delta[timeout_id_] += 1;
+    lane->latency_s += s;
+    lane->deferred.push_back(ShardLane::Deferred{Message{}, s, true});
+    return;
+  }
   latency_sum_s_ += s;
   counters_->Add(timeout_id_);
 }
 
-bool Network::SendDeferred(const Message& msg) {
-  const double delay = delivery_->LinkDelaySeconds(msg.from, msg.to);
-  latency_sum_s_ += delay;
-  type_latency_ms_[TypeIndex(msg.type)].Add(delay * 1e3);
-  counters_->Add(deferred_id_);
-  events_->ScheduleAfter(delay, [this, msg] {
+void Network::ScheduleArrival(const Message& msg, double delay_s) {
+  events_->ScheduleAfter(delay_s, [this, msg] {
     // Arrival: the destination may have churned offline mid-flight; the
     // message was charged at send time, so the drop is free but tallied.
     if (msg.to < handlers_.size() && online_[msg.to]) {
@@ -87,7 +110,46 @@ bool Network::SendDeferred(const Message& msg) {
       counters_->Add(dropped_id_);
     }
   });
+}
+
+bool Network::SendDeferred(const Message& msg) {
+  const double delay = delivery_->LinkDelaySeconds(msg.from, msg.to);
+  latency_sum_s_ += delay;
+  type_latency_ms_[TypeIndex(msg.type)].Add(delay * 1e3);
+  counters_->Add(deferred_id_);
+  ScheduleArrival(msg, delay);
   return true;
+}
+
+bool Network::LaneSend(ShardLane& lane, const Message& msg) {
+  lane.counter_delta[type_ids_[TypeIndex(msg.type)]] += 1;
+  lane.counter_delta[total_id_] += 1;
+  if (msg.to >= handlers_.size() || !online_[msg.to]) {
+    lane.counter_delta[lost_id_] += 1;
+    return false;
+  }
+  if (deferred_) {
+    // Charge the model's delay into the lane only; the shared latency
+    // sum, histogram sample and event scheduling happen at the merge
+    // barrier (CommitDeferred), serially and in task order.
+    const double delay = delivery_->LinkDelaySeconds(msg.from, msg.to);
+    lane.counter_delta[deferred_id_] += 1;
+    lane.latency_s += delay;
+    lane.deferred.push_back(ShardLane::Deferred{msg, delay, false});
+    return true;
+  }
+  // Immediate delivery in lane mode is accounting-only: lane phases
+  // require handler-free peers (all PDHT protocol logic runs at system
+  // level), so the delivered/lost outcome is the whole effect.
+  assert(handlers_[msg.to] == nullptr);
+  return true;
+}
+
+void Network::CommitDeferred(const ShardLane::Deferred& d) {
+  latency_sum_s_ += d.seconds;
+  if (d.timeout) return;
+  type_latency_ms_[TypeIndex(d.msg.type)].Add(d.seconds * 1e3);
+  ScheduleArrival(d.msg, d.seconds);
 }
 
 }  // namespace pdht::net

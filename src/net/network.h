@@ -56,6 +56,40 @@ class MessageHandler {
   virtual void HandleMessage(const Message& msg) = 0;
 };
 
+/// Per-shard accounting lane for the sharded round engine.
+///
+/// While a lane is bound to the calling thread (Network::BeginLane), Send/
+/// CountOnly/ChargeProbeTimeout stop touching the shared CounterRegistry,
+/// latency sum, histograms and event queue; instead they accumulate into
+/// the lane: counter increments into `counter_delta` (a flat per-CounterId
+/// buffer, merged later with CounterRegistry::MergeDelta -- integer adds
+/// commute), and order-sensitive effects (deferred deliveries, timeout
+/// waits, both of which feed floating-point sums, capped histograms and
+/// event scheduling) into the `deferred` log, which the engine replays
+/// serially in task order via Network::CommitDeferred so results are
+/// bit-identical to a serial run.  Lane mode requires handler-free
+/// delivery (the PDHT system runs all protocol logic at system level);
+/// binding a lane while handlers are registered is unsupported.
+struct ShardLane {
+  struct Deferred {
+    Message msg;     ///< valid when `timeout` is false
+    double seconds;  ///< link delay (send) or probe-timeout wait
+    bool timeout;
+  };
+  std::vector<uint64_t> counter_delta;  ///< CounterId -> pending increment
+  std::vector<Deferred> deferred;       ///< order-sensitive effect log
+  double latency_s = 0.0;  ///< per-task bracket accumulator (the engine
+                           ///< zeroes it at task start so RTT deltas are
+                           ///< scheduling-invariant); the authoritative
+                           ///< latency replays from `deferred` at commit
+
+  void Prepare(size_t num_counters) {
+    counter_delta.assign(num_counters, 0);
+    deferred.clear();
+    latency_s = 0.0;
+  }
+};
+
 class Network {
  public:
   /// `counters` must outlive the network.
@@ -75,7 +109,18 @@ class Network {
   /// Peers currently online.  Maintained where the bit flips (SetOnline/
   /// Register), so callers sizing rejection-sampling loops or bailing out
   /// of an all-offline network need no bookkeeping of their own.
-  uint32_t online_count() const { return online_count_; }
+  uint32_t online_count() const {
+    return static_cast<uint32_t>(online_list_.size());
+  }
+
+  /// The i-th currently-online peer, i in [0, online_count()).  Backed by
+  /// a dense index maintained where the online bit flips (swap-remove on
+  /// departure), so uniform draws over online peers are O(1) instead of
+  /// rejection sampling over the id space -- which degrades badly at low
+  /// online fractions and is hostile to sharded phases.  The ordering is
+  /// an implementation detail, but it is a deterministic function of the
+  /// online/offline flip history, so draws against it are reproducible.
+  PeerId OnlinePeerAt(uint32_t i) const { return online_list_[i]; }
 
   /// Installs a delivery model (both must outlive the network; pass
   /// nullptr model to restore the built-in immediate path).  `events` is
@@ -94,6 +139,8 @@ class Network {
   /// or at the model's scheduled arrival time when delivery is deferred).
   /// Peers never seen by Register/SetOnline are unreachable.
   bool Send(const Message& msg) {
+    ShardLane* lane = tls_lane_;
+    if (lane != nullptr) return LaneSend(*lane, msg);
     counters_->Add(type_ids_[TypeIndex(msg.type)]);
     counters_->Add(total_id_);
     if (msg.to >= handlers_.size() || !online_[msg.to]) {
@@ -114,11 +161,56 @@ class Network {
   /// (e.g. duplication overhead factors).  Statistical traffic has no
   /// link, so no latency is charged under any delivery model.
   void CountOnly(MessageType type, uint64_t n = 1) {
+    if (ShardLane* lane = tls_lane_; lane != nullptr) {
+      lane->counter_delta[type_ids_[TypeIndex(type)]] += n;
+      lane->counter_delta[total_id_] += n;
+      return;
+    }
     counters_->Add(type_ids_[TypeIndex(type)], n);
     counters_->Add(total_id_, n);
   }
 
+  // --- Shard lanes (sharded round engine) -------------------------------
+
+  /// Binds `lane` to the calling thread: until EndLane, this thread's
+  /// Send/CountOnly/ChargeProbeTimeout accumulate into the lane instead of
+  /// shared state (see ShardLane).  The lane must have been Prepare()d
+  /// with counters()->NumCounters().  Per-thread, not per-network: a
+  /// thread drives one system's phase at a time.
+  void BeginLane(ShardLane* lane) { tls_lane_ = lane; }
+  void EndLane() { tls_lane_ = nullptr; }
+
+  /// Serially replays one logged order-sensitive effect from a lane, in
+  /// task order, at the merge barrier: charges the latency sum, records
+  /// the latency histogram sample and schedules the deferred arrival
+  /// (or, for a timeout entry, just the latency charge).  Counter
+  /// increments are NOT re-applied here -- they were captured in the
+  /// lane's counter_delta and merged separately.
+  void CommitDeferred(const ShardLane::Deferred& d);
+
   uint64_t TotalMessages() const { return counters_->Value(total_id_); }
+
+  /// Total messages as observed by the *calling thread*: the shared
+  /// counter plus the bound lane's pending delta, if any.  Query tasks in
+  /// the sharded engine bracket this exactly like the serial path
+  /// brackets TotalMessages() -- the shared counter is frozen during a
+  /// parallel phase, so the before/after delta is the task's own traffic.
+  uint64_t ObservedTotalMessages() const {
+    uint64_t v = counters_->Value(total_id_);
+    if (const ShardLane* lane = tls_lane_; lane != nullptr) {
+      v += lane->counter_delta[total_id_];
+    }
+    return v;
+  }
+
+  /// Charged latency as observed by the calling thread (shared sum plus
+  /// the bound lane's accumulator); the lane-mode analogue of bracketing
+  /// total_latency_s().
+  double ObservedLatencyS() const {
+    const ShardLane* lane = tls_lane_;
+    return lane != nullptr ? latency_sum_s_ + lane->latency_s
+                           : latency_sum_s_;
+  }
   uint64_t MessagesOfType(MessageType type) const {
     return counters_->Value(type_ids_[TypeIndex(type)]);
   }
@@ -184,6 +276,14 @@ class Network {
   /// small.
   bool SendDeferred(const Message& msg);
 
+  /// Lane-mode Send: counter increments into the lane's delta buffer;
+  /// deferred sends logged for serial replay.  Out of line to keep the
+  /// serial fast path small.
+  bool LaneSend(ShardLane& lane, const Message& msg);
+
+  /// Schedules the arrival of a (possibly lane-logged) deferred message.
+  void ScheduleArrival(const Message& msg, double delay_s);
+
   CounterRegistry* counters_;
   std::array<CounterId, kNumTypes> type_ids_;
   CounterId total_id_;
@@ -191,10 +291,15 @@ class Network {
   CounterId deferred_id_;  ///< "net.delivery.deferred"
   CounterId dropped_id_;   ///< "net.delivery.dropped"
   CounterId timeout_id_;   ///< "net.timeout": charged probe timeouts
+  // Struct-of-arrays peer state: parallel flat arrays indexed by PeerId,
+  // plus a dense list of online peers for O(1) uniform draws.
   std::vector<MessageHandler*> handlers_;
   std::vector<bool> online_;
-  std::vector<bool> seen_;  ///< touched by Register/SetOnline
-  uint32_t online_count_ = 0;
+  std::vector<bool> seen_;            ///< touched by Register/SetOnline
+  std::vector<PeerId> online_list_;   ///< dense: the online peers
+  std::vector<uint32_t> online_pos_;  ///< peer -> index in online_list_
+
+  static thread_local ShardLane* tls_lane_;
 
   const DeliveryModel* delivery_ = nullptr;  ///< not owned; null = immediate
   sim::EventQueue* events_ = nullptr;        ///< not owned

@@ -176,16 +176,17 @@ bool CanOverlay::StartLookup(net::PeerId origin, uint64_t key,
                              net::PeerId* responsible) {
   if (zones_.empty()) return false;
   assert(IsMember(origin) && "lookup origin must be a member");
-  lookup_point_ = KeyToPoint(key);
+  LookupSlot& slot = CurrentSlot();
+  slot.point = KeyToPoint(key);
   *responsible = ResponsibleMember(key);
-  ++visit_gen_;
+  ++slot.visit_gen;
   MarkVisited(origin);
   return true;
 }
 
 bool CanOverlay::AtDestination(net::PeerId peer, uint64_t /*key*/) const {
   auto it = zones_.find(peer);
-  return it != zones_.end() && it->second.Contains(lookup_point_);
+  return it != zones_.end() && it->second.Contains(CurrentSlot().point);
 }
 
 uint32_t CanOverlay::LookupHopLimit() const {
@@ -199,21 +200,23 @@ uint32_t CanOverlay::LookupHopLimit() const {
 
 void CanOverlay::NextHops(const RouteState& state, uint64_t /*key*/,
                           std::vector<RouteCandidate>* out) {
-  const double cur_dist =
-      DistanceToZone(lookup_point_, zones_.at(state.cur));
+  LookupSlot& slot = CurrentSlot();
+  const CanPoint& point = slot.point;
+  const double cur_dist = DistanceToZone(point, zones_.at(state.cur));
   // Neighbors in order of increasing distance-to-target: every
   // progressing neighbor, then at most one unvisited non-progressing
   // detour (the visited set prevents detour loops when greedy progress
   // is blocked by offline zones).
-  sort_scratch_ = NeighborsOf(state.cur);
-  std::sort(sort_scratch_.begin(), sort_scratch_.end(),
+  std::vector<net::PeerId>& order = slot.sort_scratch;
+  order = NeighborsOf(state.cur);
+  std::sort(order.begin(), order.end(),
             [&](net::PeerId a, net::PeerId b) {
-              return DistanceToZone(lookup_point_, zones_.at(a)) <
-                     DistanceToZone(lookup_point_, zones_.at(b));
+              return DistanceToZone(point, zones_.at(a)) <
+                     DistanceToZone(point, zones_.at(b));
             });
   bool emitted_detour = false;
-  for (net::PeerId cand : sort_scratch_) {
-    const double d = DistanceToZone(lookup_point_, zones_.at(cand));
+  for (net::PeerId cand : order) {
+    const double d = DistanceToZone(point, zones_.at(cand));
     if (!(d < cur_dist)) {
       if (emitted_detour || Visited(cand)) continue;
       emitted_detour = true;

@@ -103,14 +103,33 @@ class CanOverlay : public StructuredOverlay {
   /// Torus distance between a point and a zone (0 if inside).
   static double DistanceToZone(const CanPoint& p, const CanZone& z);
 
-  /// Epoch-stamped per-lookup visited set (detour-loop prevention)
-  /// without per-lookup allocation.
+  /// Per-lookup routing state, one entry per lookup slot (set in
+  /// StartLookup; concurrent walks each run under their own
+  /// CurrentLookupSlot and only read the shared zones/neighbor lists).
+  struct LookupSlot {
+    CanPoint point{};
+    std::vector<net::PeerId> sort_scratch;  ///< NextHops neighbor order
+    /// Epoch-stamped per-lookup visited set (detour-loop prevention)
+    /// without per-lookup allocation.
+    std::vector<uint32_t> visit_epoch;
+    uint32_t visit_gen = 0;
+  };
+
+  LookupSlot& CurrentSlot() { return lookup_slots_[CurrentLookupSlot()]; }
+  const LookupSlot& CurrentSlot() const {
+    return lookup_slots_[CurrentLookupSlot()];
+  }
   void MarkVisited(net::PeerId peer) {
-    if (peer >= visit_epoch_.size()) visit_epoch_.resize(peer + 1, 0);
-    visit_epoch_[peer] = visit_gen_;
+    LookupSlot& slot = CurrentSlot();
+    if (peer >= slot.visit_epoch.size()) {
+      slot.visit_epoch.resize(peer + 1, 0);
+    }
+    slot.visit_epoch[peer] = slot.visit_gen;
   }
   bool Visited(net::PeerId peer) const {
-    return peer < visit_epoch_.size() && visit_epoch_[peer] == visit_gen_;
+    const LookupSlot& slot = CurrentSlot();
+    return peer < slot.visit_epoch.size() &&
+           slot.visit_epoch[peer] == slot.visit_gen;
   }
 
   Rng rng_;
@@ -120,11 +139,8 @@ class CanOverlay : public StructuredOverlay {
   std::unordered_map<net::PeerId, double> probe_budget_;
   std::vector<net::PeerId> empty_;
 
-  // Per-lookup routing state (set in StartLookup).
-  CanPoint lookup_point_{};
-  std::vector<net::PeerId> sort_scratch_;  ///< NextHops neighbor ordering
-  std::vector<uint32_t> visit_epoch_;
-  uint32_t visit_gen_ = 0;
+  std::vector<LookupSlot> lookup_slots_{1};
+  void ResizeLookupSlots(uint32_t n) override { lookup_slots_.resize(n); }
 };
 
 }  // namespace pdht::overlay

@@ -203,14 +203,15 @@ bool ChordOverlay::StartLookup(net::PeerId origin, uint64_t key,
   if (ring_.empty()) return false;
   assert(FindMember(origin) != nullptr && "lookup origin must be a member");
   (void)origin;
-  lookup_target_ = KeyToNodeId(key);
-  lookup_owner_ = ring_[SuccessorIndex(lookup_target_)].peer;
-  *responsible = lookup_owner_;
+  LookupSlot& slot = lookup_slots_[CurrentLookupSlot()];
+  slot.target = KeyToNodeId(key);
+  slot.owner = ring_[SuccessorIndex(slot.target)].peer;
+  *responsible = slot.owner;
   return true;
 }
 
 bool ChordOverlay::AtDestination(net::PeerId peer, uint64_t /*key*/) const {
-  return peer == lookup_owner_;
+  return peer == lookup_slots_[CurrentLookupSlot()].owner;
 }
 
 uint32_t ChordOverlay::LookupHopLimit() const {
@@ -219,30 +220,32 @@ uint32_t ChordOverlay::LookupHopLimit() const {
 
 void ChordOverlay::NextHops(const RouteState& state, uint64_t /*key*/,
                             std::vector<RouteCandidate>* out) {
+  LookupSlot& slot = lookup_slots_[CurrentLookupSlot()];
   const Member* cur = FindMember(state.cur);
   assert(cur != nullptr);
   // Table entries strictly between cur and the target, closest-preceding
   // first with ties by table index: the exact probe sequence the
   // skip-masked ClosestPreceding walk produced (duplicated peers stay
   // duplicated -- each entry is its own probe, as before).
-  hop_scratch_.clear();
+  std::vector<HopEntry>& hop_scratch = slot.hop_scratch;
+  hop_scratch.clear();
   uint32_t index = 0;
   auto consider = [&](const FingerEntry& e) {
     uint32_t my_index = index++;
     if (e.peer == net::kInvalidPeer) return;
-    if (!InIntervalOpen(e.peer_id, cur->id, lookup_target_)) return;
-    hop_scratch_.push_back(
-        HopEntry{RingDistance(e.peer_id, lookup_target_), my_index, e.peer});
+    if (!InIntervalOpen(e.peer_id, cur->id, slot.target)) return;
+    hop_scratch.push_back(
+        HopEntry{RingDistance(e.peer_id, slot.target), my_index, e.peer});
   };
   for (const auto& f : cur->table.fingers()) consider(f);
   for (const auto& s : cur->table.successors()) consider(s);
-  std::sort(hop_scratch_.begin(), hop_scratch_.end());
+  std::sort(hop_scratch.begin(), hop_scratch.end());
   // Progress: remaining clockwise distance in bits (exact log2, > 0
   // inside the open interval).  Only the weighted route-PNS scorer reads
   // it, so blind walks skip the libm call -- this loop is the innermost
   // lookup hot path.
   const bool want_progress = routing_policy().proximity;
-  for (const HopEntry& e : hop_scratch_) {
+  for (const HopEntry& e : hop_scratch) {
     const double progress =
         want_progress ? std::log2(static_cast<double>(e.dist)) : 0.0;
     out->push_back(RouteCandidate{e.peer, progress, false});
@@ -251,19 +254,20 @@ void ChordOverlay::NextHops(const RouteState& state, uint64_t /*key*/,
 
 bool ChordOverlay::PrimaryHop(const RouteState& state, uint64_t /*key*/,
                               uint32_t k, RouteCandidate* out) {
+  LookupSlot& slot = lookup_slots_[CurrentLookupSlot()];
   if (k == 0) {
-    primary_cur_ = FindMember(state.cur);
-    assert(primary_cur_ != nullptr);
-    primary_skip_ = 0;
+    slot.primary_cur = FindMember(state.cur);
+    assert(slot.primary_cur != nullptr);
+    slot.primary_skip = 0;
   }
   // Try progressively less aggressive entries (skip-masked): the k-th
   // candidate is the closest preceding entry among those not yet probed
   // and found dead this hop.
-  const FingerEntry* next = primary_cur_->table.ClosestPreceding(
-      primary_cur_->id, lookup_target_, primary_skip_);
+  const FingerEntry* next = slot.primary_cur->table.ClosestPreceding(
+      slot.primary_cur->id, slot.target, slot.primary_skip);
   if (next == nullptr) return false;
-  const int idx = primary_cur_->table.IndexOf(next);
-  if (idx >= 0 && idx < 64) primary_skip_ |= (uint64_t{1} << idx);
+  const int idx = slot.primary_cur->table.IndexOf(next);
+  if (idx >= 0 && idx < 64) slot.primary_skip |= (uint64_t{1} << idx);
   out->peer = next->peer;
   out->progress = 0.0;  // unread on the blind path
   out->terminal = false;
@@ -276,13 +280,14 @@ bool ChordOverlay::FallbackHop(const RouteState& state, uint64_t /*key*/,
   // walk ring successors in order -- linear but guaranteed.  An offline
   // owner is scanned past: its keys are served by its first online
   // successor, and a step at or past the target is terminal.
-  if (k == 0) fallback_base_ = peer_to_index_.at(state.cur);
+  LookupSlot& slot = lookup_slots_[CurrentLookupSlot()];
+  if (k == 0) slot.fallback_base = peer_to_index_.at(state.cur);
   if (k + 1 >= ring_.size()) return false;
-  const Member& cand = ring_[(fallback_base_ + 1 + k) % ring_.size()];
+  const Member& cand = ring_[(slot.fallback_base + 1 + k) % ring_.size()];
   out->peer = cand.peer;
   out->progress = static_cast<double>(k);  // ring order is not reorderable
-  out->terminal =
-      InIntervalOpenClosed(lookup_target_, ring_[fallback_base_].id, cand.id);
+  out->terminal = InIntervalOpenClosed(slot.target,
+                                       ring_[slot.fallback_base].id, cand.id);
   return true;
 }
 

@@ -138,13 +138,6 @@ class ChordOverlay : public StructuredOverlay {
   mutable std::vector<net::PeerId> members_cache_;
   mutable bool members_cache_valid_ = false;
 
-  // Per-lookup routing state (set in StartLookup; the driver's walk is
-  // strictly sequential per overlay instance).
-  NodeId lookup_target_ = 0;
-  net::PeerId lookup_owner_ = net::kInvalidPeer;
-  size_t fallback_base_ = 0;  ///< ring index of the stalled hop's peer
-  const Member* primary_cur_ = nullptr;  ///< PrimaryHop's hop-scoped state
-  uint64_t primary_skip_ = 0;            ///< tried-and-dead entry mask
   /// Mean link RTT sampled over member pairs at SetMembers time (only
   /// with the PeerRtt oracle installed); feeds ProgressWeightMs.
   double mean_rtt_ms_ = 0.0;
@@ -157,7 +150,19 @@ class ChordOverlay : public StructuredOverlay {
       return dist != o.dist ? dist < o.dist : index < o.index;
     }
   };
-  std::vector<HopEntry> hop_scratch_;
+  /// Per-lookup routing state, one entry per lookup slot (set in
+  /// StartLookup; concurrent walks each run under their own
+  /// CurrentLookupSlot and only read the shared ring/tables).
+  struct LookupSlot {
+    NodeId target = 0;
+    net::PeerId owner = net::kInvalidPeer;
+    size_t fallback_base = 0;  ///< ring index of the stalled hop's peer
+    const Member* primary_cur = nullptr;  ///< PrimaryHop hop-scoped state
+    uint64_t primary_skip = 0;            ///< tried-and-dead entry mask
+    std::vector<HopEntry> hop_scratch;
+  };
+  std::vector<LookupSlot> lookup_slots_{1};
+  void ResizeLookupSlots(uint32_t n) override { lookup_slots_.resize(n); }
 };
 
 }  // namespace pdht::overlay

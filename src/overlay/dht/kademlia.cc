@@ -142,15 +142,16 @@ bool KademliaOverlay::StartLookup(net::PeerId origin, uint64_t key,
   if (member_list_.empty()) return false;
   assert(nodes_.count(origin) > 0 && "lookup origin must be a member");
   (void)origin;
-  lookup_target_ = KeyToNodeId(key);
-  lookup_owner_ = ClosestMemberTo(lookup_target_);
-  *responsible = lookup_owner_;
+  LookupSlot& slot = lookup_slots_[CurrentLookupSlot()];
+  slot.target = KeyToNodeId(key);
+  slot.owner = ClosestMemberTo(slot.target);
+  *responsible = slot.owner;
   return true;
 }
 
 bool KademliaOverlay::AtDestination(net::PeerId peer,
                                     uint64_t /*key*/) const {
-  return peer == lookup_owner_;
+  return peer == lookup_slots_[CurrentLookupSlot()].owner;
 }
 
 uint32_t KademliaOverlay::LookupHopLimit() const {
@@ -159,15 +160,16 @@ uint32_t KademliaOverlay::LookupHopLimit() const {
 
 void KademliaOverlay::NextHops(const RouteState& state, uint64_t /*key*/,
                                std::vector<RouteCandidate>* out) {
+  LookupSlot& slot = lookup_slots_[CurrentLookupSlot()];
   const NodeState& cur = nodes_.at(state.cur);
-  const NodeId cur_dist = cur.id ^ lookup_target_;
+  const NodeId cur_dist = cur.id ^ slot.target;
   // Contacts strictly closer to the target than we are, nearest first.
   // Distances are materialized once so the sort does no map lookups.
-  std::vector<std::pair<NodeId, net::PeerId>>& closer = closer_scratch_;
+  std::vector<std::pair<NodeId, net::PeerId>>& closer = slot.closer_scratch;
   closer.clear();
   for (const auto& bucket : cur.buckets) {
     for (net::PeerId c : bucket) {
-      NodeId d = nodes_.at(c).id ^ lookup_target_;
+      NodeId d = nodes_.at(c).id ^ slot.target;
       if (d < cur_dist) closer.emplace_back(d, c);
     }
   }
@@ -192,17 +194,19 @@ bool KademliaOverlay::FallbackHop(const RouteState& state, uint64_t /*key*/,
   // turns up -- the owner's closest online stand-in.  Reaching the
   // walk's own peer means it *is* the closest online member (the driver
   // ends routing there without a message).
+  LookupSlot& slot = lookup_slots_[CurrentLookupSlot()];
+  std::vector<std::pair<NodeId, net::PeerId>>& by_dist =
+      slot.by_dist_scratch;
   if (k == 0) {
-    by_dist_scratch_.clear();
-    by_dist_scratch_.reserve(member_list_.size());
+    by_dist.clear();
+    by_dist.reserve(member_list_.size());
     for (size_t i = 0; i < member_list_.size(); ++i) {
-      by_dist_scratch_.emplace_back(sorted_ids_[i] ^ lookup_target_,
-                                    member_list_[i]);
+      by_dist.emplace_back(sorted_ids_[i] ^ slot.target, member_list_[i]);
     }
-    std::sort(by_dist_scratch_.begin(), by_dist_scratch_.end());
+    std::sort(by_dist.begin(), by_dist.end());
   }
-  if (k >= by_dist_scratch_.size()) return false;
-  out->peer = by_dist_scratch_[k].second;
+  if (k >= by_dist.size()) return false;
+  out->peer = by_dist[k].second;
   out->progress = static_cast<double>(k);  // XOR order is not reorderable
   out->terminal = false;
   (void)state;

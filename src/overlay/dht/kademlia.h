@@ -122,17 +122,23 @@ class KademliaOverlay : public StructuredOverlay {
   std::vector<net::PeerId> member_list_;  // sorted by node id
   std::vector<NodeId> sorted_ids_;        // parallel to member_list_
   std::unordered_map<net::PeerId, double> probe_budget_;
-  /// Lookup scratch (candidates sorted by XOR distance), reused across
-  /// hops so routing never allocates in the steady state.
-  std::vector<std::pair<NodeId, net::PeerId>> closer_scratch_;
-  /// Scratch for the greedy-exhausted fallback (full membership in XOR
-  /// order) -- hit on every lookup whose owner is offline.  Built on the
-  /// k == 0 FallbackHop call of a stalled hop, then indexed.
-  std::vector<std::pair<NodeId, net::PeerId>> by_dist_scratch_;
 
-  // Per-lookup routing state (set in StartLookup).
-  NodeId lookup_target_ = 0;
-  net::PeerId lookup_owner_ = net::kInvalidPeer;
+  /// Per-lookup routing state, one entry per lookup slot (set in
+  /// StartLookup; concurrent walks each run under their own
+  /// CurrentLookupSlot and only read the shared buckets/member list).
+  struct LookupSlot {
+    NodeId target = 0;
+    net::PeerId owner = net::kInvalidPeer;
+    /// Lookup scratch (candidates sorted by XOR distance), reused across
+    /// hops so routing never allocates in the steady state.
+    std::vector<std::pair<NodeId, net::PeerId>> closer_scratch;
+    /// Scratch for the greedy-exhausted fallback (full membership in XOR
+    /// order) -- hit on every lookup whose owner is offline.  Built on
+    /// the k == 0 FallbackHop call of a stalled hop, then indexed.
+    std::vector<std::pair<NodeId, net::PeerId>> by_dist_scratch;
+  };
+  std::vector<LookupSlot> lookup_slots_{1};
+  void ResizeLookupSlots(uint32_t n) override { lookup_slots_.resize(n); }
 };
 
 }  // namespace pdht::overlay

@@ -175,13 +175,14 @@ bool PGridOverlay::StartLookup(net::PeerId origin, uint64_t key,
   if (paths_.empty()) return false;
   assert(paths_.count(origin) > 0 && "lookup origin must be a member");
   (void)origin;
-  lookup_key_id_ = KeyToNodeId(key);
+  lookup_slots_[CurrentLookupSlot()].key_id = KeyToNodeId(key);
   *responsible = ResponsibleMember(key);
   return true;
 }
 
 bool PGridOverlay::AtDestination(net::PeerId peer, uint64_t /*key*/) const {
-  return paths_.at(peer).path.IsPrefixOfKey(lookup_key_id_);
+  return paths_.at(peer).path.IsPrefixOfKey(
+      lookup_slots_[CurrentLookupSlot()].key_id);
 }
 
 uint32_t PGridOverlay::LookupHopLimit() const { return 64 + 16; }
@@ -192,7 +193,8 @@ void PGridOverlay::NextHops(const RouteState& state, uint64_t /*key*/,
   // References at the first differing level; all point to the key's side
   // of the trie and land >= 1 level deeper, so they form one progress
   // class (interchangeable for route-time PNS).
-  int l = st.path.CommonPrefixWithKey(lookup_key_id_);
+  int l = st.path.CommonPrefixWithKey(
+      lookup_slots_[CurrentLookupSlot()].key_id);
   assert(l < static_cast<int>(st.levels.size()));
   for (net::PeerId ref : st.levels[static_cast<size_t>(l)].refs) {
     out->push_back(RouteCandidate{ref, static_cast<double>(l), false});

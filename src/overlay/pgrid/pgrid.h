@@ -131,8 +131,14 @@ class PGridOverlay : public StructuredOverlay {
   std::vector<net::PeerId> member_list_;
   std::unordered_map<net::PeerId, double> probe_budget_;
 
-  // Per-lookup routing state (set in StartLookup).
-  uint64_t lookup_key_id_ = 0;
+  /// Per-lookup routing state, one entry per lookup slot (set in
+  /// StartLookup; concurrent walks each run under their own
+  /// CurrentLookupSlot and only read the shared trie/reference tables).
+  struct LookupSlot {
+    uint64_t key_id = 0;
+  };
+  std::vector<LookupSlot> lookup_slots_{1};
+  void ResizeLookupSlots(uint32_t n) override { lookup_slots_.resize(n); }
 };
 
 }  // namespace pdht::overlay

@@ -7,16 +7,29 @@
 
 namespace pdht::overlay {
 
-RoutingDriver::RoutingDriver(net::Network* network) : network_(network) {
+namespace {
+thread_local uint32_t t_lookup_slot = 0;
+}  // namespace
+
+uint32_t CurrentLookupSlot() { return t_lookup_slot; }
+void SetCurrentLookupSlot(uint32_t slot) { t_lookup_slot = slot; }
+
+RoutingDriver::RoutingDriver(net::Network* network)
+    : network_(network), slots_(1) {
   assert(network != nullptr);
 }
 
-void RoutingDriver::ReorderEqualProgressByRtt(net::PeerId cur) {
+void RoutingDriver::SetSlots(uint32_t n) {
+  slots_.resize(n == 0 ? 1 : n);
+}
+
+void RoutingDriver::ReorderEqualProgressByRtt(Scratch& s, net::PeerId cur) {
+  std::vector<RouteCandidate>& candidates = s.candidates;
   size_t i = 0;
-  while (i < candidates_.size()) {
+  while (i < candidates.size()) {
     size_t j = i + 1;
-    while (j < candidates_.size() &&
-           candidates_[j].progress == candidates_[i].progress) {
+    while (j < candidates.size() &&
+           candidates[j].progress == candidates[i].progress) {
       ++j;
     }
     if (j - i > 1) {
@@ -24,44 +37,49 @@ void RoutingDriver::ReorderEqualProgressByRtt(net::PeerId cur) {
       // hash-and-hypot evaluation, too costly for comparator calls); the
       // (rtt, emission index) key makes the order deterministic even
       // under exact RTT ties.
-      rank_scratch_.clear();
+      s.rank.clear();
       for (size_t k = i; k < j; ++k) {
-        rank_scratch_.emplace_back(policy_.rtt(cur, candidates_[k].peer),
-                                   static_cast<uint32_t>(k));
+        s.rank.emplace_back(policy_.rtt(cur, candidates[k].peer),
+                            static_cast<uint32_t>(k));
       }
-      std::sort(rank_scratch_.begin(), rank_scratch_.end());
-      reorder_scratch_.clear();
-      for (const auto& [rtt, k] : rank_scratch_) {
+      std::sort(s.rank.begin(), s.rank.end());
+      s.reorder.clear();
+      for (const auto& [rtt, k] : s.rank) {
         (void)rtt;
-        reorder_scratch_.push_back(candidates_[k]);
+        s.reorder.push_back(candidates[k]);
       }
-      std::copy(reorder_scratch_.begin(), reorder_scratch_.end(),
-                candidates_.begin() + static_cast<long>(i));
+      std::copy(s.reorder.begin(), s.reorder.end(),
+                candidates.begin() + static_cast<long>(i));
     }
     i = j;
   }
 }
 
-void RoutingDriver::SortByLatencyCost(net::PeerId cur, double weight_ms) {
-  rank_scratch_.clear();
-  for (size_t i = 0; i < candidates_.size(); ++i) {
+void RoutingDriver::SortByLatencyCost(Scratch& s, net::PeerId cur,
+                                      double weight_ms) {
+  std::vector<RouteCandidate>& candidates = s.candidates;
+  s.rank.clear();
+  for (size_t i = 0; i < candidates.size(); ++i) {
     // One-way link cost (the probe's serialized delay is one leg) plus
     // the expected serialized cost of the remaining path from there.
-    const double score = 0.5 * policy_.rtt(cur, candidates_[i].peer) +
-                         weight_ms * candidates_[i].progress;
-    rank_scratch_.emplace_back(score, static_cast<uint32_t>(i));
+    const double score = 0.5 * policy_.rtt(cur, candidates[i].peer) +
+                         weight_ms * candidates[i].progress;
+    s.rank.emplace_back(score, static_cast<uint32_t>(i));
   }
-  std::sort(rank_scratch_.begin(), rank_scratch_.end());
-  reorder_scratch_.clear();
-  for (const auto& [score, i] : rank_scratch_) {
+  std::sort(s.rank.begin(), s.rank.end());
+  s.reorder.clear();
+  for (const auto& [score, i] : s.rank) {
     (void)score;
-    reorder_scratch_.push_back(candidates_[i]);
+    s.reorder.push_back(candidates[i]);
   }
-  candidates_.swap(reorder_scratch_);
+  candidates.swap(s.reorder);
 }
 
 LookupResult RoutingDriver::Route(StructuredOverlay& overlay,
                                   net::PeerId origin, uint64_t key) {
+  assert(CurrentLookupSlot() < slots_.size());
+  Scratch& scratch = slots_[CurrentLookupSlot()];
+  std::vector<RouteCandidate>& candidates = scratch.candidates;
   LookupResult result;
   net::PeerId responsible = net::kInvalidPeer;
   if (!overlay.StartLookup(origin, key, &responsible)) {
@@ -125,14 +143,14 @@ LookupResult RoutingDriver::Route(StructuredOverlay& overlay,
         }
       }
     } else {
-      candidates_.clear();
-      overlay.NextHops(state, key, &candidates_);
-      if (policy_.proximity && candidates_.size() > 1) {
+      candidates.clear();
+      overlay.NextHops(state, key, &candidates);
+      if (policy_.proximity && candidates.size() > 1) {
         const double weight_ms = overlay.ProgressWeightMs();
         if (weight_ms > 0.0) {
-          SortByLatencyCost(state.cur, weight_ms);
+          SortByLatencyCost(scratch, state.cur, weight_ms);
         } else {
-          ReorderEqualProgressByRtt(state.cur);
+          ReorderEqualProgressByRtt(scratch, state.cur);
         }
       }
       // Primary phase: probe in emission order, `alpha` at a time.  The
@@ -141,13 +159,13 @@ LookupResult RoutingDriver::Route(StructuredOverlay& overlay,
       // parallel probes of an alpha-concurrent walk (charged, not
       // advanced to).
       for (size_t base = 0;
-           base < candidates_.size() && next == net::kInvalidPeer;
+           base < candidates.size() && next == net::kInvalidPeer;
            base += alpha) {
         const size_t batch_end =
-            std::min(candidates_.size(), base + static_cast<size_t>(alpha));
+            std::min(candidates.size(), base + static_cast<size_t>(alpha));
         bool any_online = false;
         for (size_t i = base; i < batch_end; ++i) {
-          const RouteCandidate& cand = candidates_[i];
+          const RouteCandidate& cand = candidates[i];
           if (probe(state.cur, cand.peer)) {
             any_online = true;
             if (next == net::kInvalidPeer) {
@@ -161,7 +179,7 @@ LookupResult RoutingDriver::Route(StructuredOverlay& overlay,
         if (!any_online && policy_.timeout_costing) {
           // The batch's probes time out concurrently: one detection
           // delay before the walk tries the next batch.
-          network_->ChargeProbeTimeout(state.cur, candidates_[base].peer);
+          network_->ChargeProbeTimeout(state.cur, candidates[base].peer);
         }
       }
     }

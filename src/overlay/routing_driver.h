@@ -65,6 +65,17 @@ namespace pdht::overlay {
 class StructuredOverlay;
 struct LookupResult;
 
+/// Lookup slots: concurrent lookups (the sharded round engine's parallel
+/// query phase) each run under a distinct slot index, selected per worker
+/// thread via this thread-local.  All per-lookup state -- the driver's
+/// candidate scratch and every backend's StartLookup-scoped fields --
+/// lives in per-slot arrays indexed by CurrentLookupSlot(), so workers
+/// never touch each other's walks while sharing one overlay instance
+/// (whose tables they only read).  Slot 0 is the default; single-threaded
+/// code never needs to call these.
+uint32_t CurrentLookupSlot();
+void SetCurrentLookupSlot(uint32_t slot);
+
 /// One next-hop proposal from a backend's candidate generator.
 struct RouteCandidate {
   net::PeerId peer = net::kInvalidPeer;
@@ -116,6 +127,13 @@ class RoutingDriver {
   void set_policy(RoutingPolicy policy) { policy_ = std::move(policy); }
   const RoutingPolicy& policy() const { return policy_; }
 
+  /// Sizes the per-slot scratch (see CurrentLookupSlot above); keeps at
+  /// least one slot.
+  void SetSlots(uint32_t n);
+  uint32_t num_slots() const {
+    return static_cast<uint32_t>(slots_.size());
+  }
+
   /// Routes from `origin` (must be a member of `overlay`) toward `key`'s
   /// owner.  Implements StructuredOverlay::Lookup; see the LookupResult
   /// contract in structured_overlay.h.
@@ -123,22 +141,26 @@ class RoutingDriver {
                      uint64_t key);
 
  private:
+  // Scratch reused across hops/lookups: routing never allocates in the
+  // steady state.  One Scratch per lookup slot (concurrent walks).
+  struct Scratch {
+    std::vector<RouteCandidate> candidates;
+    std::vector<std::pair<double, uint32_t>> rank;
+    std::vector<RouteCandidate> reorder;
+  };
+
   /// Within each maximal run of equal-progress candidates, reorder by
   /// (rtt, emission order) -- deterministic under RTT ties.
-  void ReorderEqualProgressByRtt(net::PeerId cur);
+  void ReorderEqualProgressByRtt(Scratch& s, net::PeerId cur);
 
   /// Weighted route-PNS (ProgressWeightMs() > 0 backends): stable-sort
   /// all primary candidates by one-way RTT + weight * progress, so the
   /// walk trades progress for cheap links only when it pays.
-  void SortByLatencyCost(net::PeerId cur, double weight_ms);
+  void SortByLatencyCost(Scratch& s, net::PeerId cur, double weight_ms);
 
   net::Network* network_;  ///< not owned
   RoutingPolicy policy_;
-  // Scratch reused across hops/lookups: routing never allocates in the
-  // steady state.
-  std::vector<RouteCandidate> candidates_;
-  std::vector<std::pair<double, uint32_t>> rank_scratch_;
-  std::vector<RouteCandidate> reorder_scratch_;
+  std::vector<Scratch> slots_;
 };
 
 }  // namespace pdht::overlay

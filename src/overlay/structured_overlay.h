@@ -229,6 +229,17 @@ class StructuredOverlay {
   }
   const RoutingPolicy& routing_policy() const { return driver_.policy(); }
 
+  /// Provisions `n` lookup slots so up to `n` concurrent Lookup calls --
+  /// each on its own thread with a distinct CurrentLookupSlot() -- can
+  /// share this overlay instance.  Concurrent lookups must only *read*
+  /// routing tables: SetMembers/maintenance/rejoin repairs stay serial
+  /// phases.  Default is 1 slot; calling mid-lookup is undefined.
+  void SetLookupSlots(uint32_t n) {
+    driver_.SetSlots(n);
+    ResizeLookupSlots(n == 0 ? 1 : n);
+  }
+  uint32_t lookup_slots() const { return driver_.num_slots(); }
+
   /// Picks a uniformly random *online* member, or kInvalidPeer if none.
   /// Non-member peers "know at least one online peer that is
   /// participating in the DHT" (Section 3.2) and use it as entry point.
@@ -266,6 +277,11 @@ class StructuredOverlay {
   double PeerRtt(net::PeerId a, net::PeerId b) const {
     return peer_rtt_(a, b);
   }
+
+  /// Backend hook for SetLookupSlots: size the backend's per-lookup state
+  /// array to `n` (>= 1) entries.  Default for backends with no
+  /// StartLookup-scoped state.
+  virtual void ResizeLookupSlots(uint32_t n) { (void)n; }
 
   net::Network* network_;  ///< not owned
   PeerRttFn peer_rtt_;     ///< null = RTT-blind neighbor selection

@@ -15,7 +15,8 @@ RandomWalkSearch::RandomWalkSearch(const RandomGraph* graph,
       rng_(rng),
       flood_(graph, network, oracle_) {}
 
-WalkResult RandomWalkSearch::Search(net::PeerId origin, uint64_t key) {
+WalkResult RandomWalkSearch::Search(net::PeerId origin, uint64_t key,
+                                    Rng& rng) {
   WalkResult result;
   uint64_t request_id = next_request_id_++;
   if (!network_->IsOnline(origin)) return result;
@@ -55,7 +56,7 @@ WalkResult RandomWalkSearch::Search(net::PeerId origin, uint64_t key) {
         w.active = false;
         continue;
       }
-      net::PeerId next = nbrs[rng_.UniformU64(nbrs.size())];
+      net::PeerId next = nbrs[rng.UniformU64(nbrs.size())];
       net::Message m;
       m.type = net::MessageType::kWalkQuery;
       m.from = w.at;

@@ -47,7 +47,16 @@ class RandomWalkSearch {
   RandomWalkSearch(const RandomGraph* graph, net::Network* network,
                    ContentOracle oracle, RandomWalkConfig config, Rng rng);
 
-  WalkResult Search(net::PeerId origin, uint64_t key);
+  WalkResult Search(net::PeerId origin, uint64_t key) {
+    return Search(origin, key, rng_);
+  }
+
+  /// Same walk, but drawing every random step from the caller's `rng`
+  /// instead of the searcher's own stream.  The sharded round engine runs
+  /// one searcher per worker slot and hands each query task its own
+  /// derived Rng, so search outcomes depend only on the task -- not on
+  /// which worker ran it.
+  WalkResult Search(net::PeerId origin, uint64_t key, Rng& rng);
 
   const RandomWalkConfig& config() const { return config_; }
 

@@ -7,7 +7,9 @@ namespace pdht::sim {
 uint64_t EventQueue::ScheduleAt(double when, EventFn fn) {
   if (when < now_) when = now_;
   uint64_t id = next_id_++;
-  heap_.push(Entry{when, next_seq_++, id, std::move(fn)});
+  if (heap_.empty() || when > max_pending_when_) max_pending_when_ = when;
+  heap_.push_back(Entry{when, next_seq_++, id, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
   ++live_count_;
   return id;
 }
@@ -27,15 +29,19 @@ bool EventQueue::Cancel(uint64_t id) {
   return true;
 }
 
+bool EventQueue::IsCancelled(uint64_t id) {
+  auto it = std::find(cancelled_.begin(), cancelled_.end(), id);
+  if (it == cancelled_.end()) return false;
+  cancelled_.erase(it);  // tombstone consumed
+  return true;
+}
+
 bool EventQueue::PopOne() {
   while (!heap_.empty()) {
-    Entry e = heap_.top();
-    heap_.pop();
-    auto it = std::find(cancelled_.begin(), cancelled_.end(), e.id);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;  // tombstoned
-    }
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Entry e = std::move(heap_.back());
+    heap_.pop_back();
+    if (IsCancelled(e.id)) continue;
     now_ = e.when;
     if (live_count_ > 0) --live_count_;
     e.fn();
@@ -46,8 +52,41 @@ bool EventQueue::PopOne() {
 
 uint64_t EventQueue::RunUntil(double until) {
   uint64_t ran = 0;
-  while (!heap_.empty() && heap_.top().when <= until) {
+  while (!heap_.empty() && heap_.front().when <= until) {
     if (PopOne()) ++ran;
+  }
+  if (now_ < until) now_ = until;
+  return ran;
+}
+
+uint64_t EventQueue::DrainBoundary(double until) {
+  uint64_t ran = 0;
+  while (!heap_.empty() && heap_.front().when <= until) {
+    if (max_pending_when_ <= until) {
+      // Every pending event is due this round: take the whole container,
+      // order it once, and run it.  Handlers may schedule new events while
+      // the batch runs; those land in the (now empty) heap and are picked
+      // up by the next loop iteration, exactly as with per-event pops.
+      batch_.clear();
+      batch_.swap(heap_);
+      std::sort(batch_.begin(), batch_.end(),
+                [](const Entry& a, const Entry& b) {
+                  if (a.when != b.when) return a.when < b.when;
+                  return a.seq < b.seq;
+                });
+      for (Entry& e : batch_) {
+        if (IsCancelled(e.id)) continue;
+        now_ = e.when;
+        if (live_count_ > 0) --live_count_;
+        e.fn();
+        ++ran;
+      }
+      batch_.clear();
+    } else {
+      // Mixed horizon: some events are due later; fall back to heap pops
+      // for the due prefix.
+      if (PopOne()) ++ran;
+    }
   }
   if (now_ < until) now_ = until;
   return ran;

@@ -12,7 +12,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 namespace pdht::sim {
@@ -36,6 +35,15 @@ class EventQueue {
   /// exactly `until` are executed).  Returns the number of events run.
   uint64_t RunUntil(double until);
 
+  /// Round-boundary drain: same observable behaviour as RunUntil, but when
+  /// every pending event falls inside the boundary (the common case for a
+  /// round engine draining deferred deliveries, which are all scheduled
+  /// with sub-round delays) the whole batch is extracted in one pass and
+  /// sorted once, instead of paying a heap pop per event.  Events scheduled
+  /// by handlers during the drain are still honoured if they land at or
+  /// before `until`.
+  uint64_t DrainBoundary(double until);
+
   /// Runs every pending event (including ones scheduled by event handlers);
   /// `max_events` guards against non-terminating chains.
   uint64_t RunAll(uint64_t max_events = UINT64_MAX);
@@ -51,6 +59,7 @@ class EventQueue {
     uint64_t id;
     EventFn fn;
   };
+  // Heap comparator: the *top* of the heap is the earliest (when, seq).
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
       if (a.when != b.when) return a.when > b.when;
@@ -59,10 +68,13 @@ class EventQueue {
   };
 
   bool PopOne();
+  bool IsCancelled(uint64_t id);
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::vector<Entry> heap_;          // binary heap via std::push/pop_heap
+  std::vector<Entry> batch_;         // scratch for DrainBoundary
   std::vector<uint64_t> cancelled_;  // sorted lazily; small in practice
   double now_ = 0.0;
+  double max_pending_when_ = 0.0;  ///< max `when` in heap_ (valid iff nonempty)
   uint64_t next_seq_ = 0;
   uint64_t next_id_ = 1;
   size_t live_count_ = 0;

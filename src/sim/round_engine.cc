@@ -54,7 +54,7 @@ void RoundEngine::Run(uint64_t rounds) {
     for (auto& [name, actor] : actors_) actor(ctx);
     // Boundary drain: every intra-round event -- deferred deliveries
     // included -- runs before the metric probes observe the round.
-    last_round_events_ = queue_.RunUntil(ctx.time + round_length_);
+    last_round_events_ = queue_.DrainBoundary(ctx.time + round_length_);
     total_events_run_ += last_round_events_;
     for (auto& m : metrics_) {
       m.series->Append(m.probe(ctx));

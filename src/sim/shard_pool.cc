@@ -1,0 +1,77 @@
+#include "sim/shard_pool.h"
+
+namespace pdht::sim {
+
+ShardPool::ShardPool(uint32_t num_threads)
+    : num_threads_(num_threads == 0 ? 1 : num_threads) {
+  threads_.reserve(num_threads_ - 1);
+  for (uint32_t w = 1; w < num_threads_; ++w) {
+    threads_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ShardPool::~ShardPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ShardPool::ClaimLoop(uint32_t worker) {
+  const TaskFn& fn = *job_;
+  const uint32_t num_tasks = job_tasks_;
+  for (uint32_t t = next_task_.fetch_add(1, std::memory_order_relaxed);
+       t < num_tasks;
+       t = next_task_.fetch_add(1, std::memory_order_relaxed)) {
+    fn(worker, t);
+  }
+}
+
+void ShardPool::WorkerLoop(uint32_t worker) {
+  uint64_t seen_gen = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      ++idle_workers_;
+      cv_done_.notify_one();
+      cv_start_.wait(lock,
+                     [&] { return stop_ || job_gen_ != seen_gen; });
+      if (stop_) return;
+      seen_gen = job_gen_;
+      --idle_workers_;
+    }
+    ClaimLoop(worker);
+  }
+}
+
+void ShardPool::Run(uint32_t num_tasks, const TaskFn& fn) {
+  if (num_tasks == 0) return;
+  if (num_threads_ == 1 || num_tasks == 1) {
+    // Inline fast path: no atomics, no wakeups.  The single-task case
+    // also lands here so phases with one shard pay nothing for the pool.
+    for (uint32_t t = 0; t < num_tasks; ++t) fn(0, t);
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    // All workers must be parked before the job state is re-armed (a
+    // straggler from the previous phase must not see the new job's
+    // counter).  Run() is a barrier, so this only waits for workers that
+    // are mid-park.
+    cv_done_.wait(lock, [&] { return idle_workers_ == num_threads_ - 1; });
+    job_ = &fn;
+    job_tasks_ = num_tasks;
+    next_task_.store(0, std::memory_order_relaxed);
+    ++job_gen_;
+  }
+  cv_start_.notify_all();
+  ClaimLoop(0);
+  // The claim counter is exhausted; wait for in-flight tasks to finish
+  // (workers park again when they fail to claim).
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [&] { return idle_workers_ == num_threads_ - 1; });
+}
+
+}  // namespace pdht::sim

@@ -1,0 +1,76 @@
+// Persistent worker pool for the sharded round engine.
+//
+// The round loop's parallel phases (queries, eviction) fan a fixed task
+// list out over a small set of long-lived threads, twice or more per
+// simulated round -- at 100k+ rounds/hour, thread start-up cost per phase
+// would dwarf the work.  ShardPool keeps num_threads - 1 workers parked on
+// a condition variable between phases; Run() wakes them, the *caller*
+// participates as worker 0 (so `--sim-threads=N` means N CPUs busy, and
+// N == 1 degenerates to a plain inline loop with no synchronization at
+// all), and tasks are claimed from a shared atomic counter so uneven task
+// costs self-balance.
+//
+// Determinism contract: the pool assigns *workers* to *tasks*
+// nondeterministically -- any task may run on any worker in any order.
+// Callers must therefore make task bodies depend only on the task index
+// (per-task Rng streams, per-task result buffers) and use the worker
+// index solely to select disjoint scratch (lookup slots, counter lanes).
+// Run() is a full barrier: it returns only after every task completed.
+
+#ifndef PDHT_SIM_SHARD_POOL_H_
+#define PDHT_SIM_SHARD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pdht::sim {
+
+class ShardPool {
+ public:
+  /// One phase's task body: invoked as fn(worker, task) with
+  /// worker in [0, num_threads) and task in [0, num_tasks), each task
+  /// exactly once.
+  using TaskFn = std::function<void(uint32_t worker, uint32_t task)>;
+
+  /// `num_threads` counts the caller: the pool spawns num_threads - 1
+  /// background workers (none for num_threads <= 1).
+  explicit ShardPool(uint32_t num_threads);
+  ~ShardPool();
+
+  ShardPool(const ShardPool&) = delete;
+  ShardPool& operator=(const ShardPool&) = delete;
+
+  uint32_t num_threads() const { return num_threads_; }
+
+  /// Runs fn over [0, num_tasks), caller participating as worker 0;
+  /// returns after all tasks finish (barrier).  Not reentrant.
+  void Run(uint32_t num_tasks, const TaskFn& fn);
+
+ private:
+  void WorkerLoop(uint32_t worker);
+  void ClaimLoop(uint32_t worker);
+
+  const uint32_t num_threads_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  uint64_t job_gen_ = 0;       ///< bumped per Run(); workers wake on change
+  uint32_t idle_workers_ = 0;  ///< background workers parked at the barrier
+  bool stop_ = false;
+
+  // Current job; valid while job_gen_ names it.
+  const TaskFn* job_ = nullptr;
+  uint32_t job_tasks_ = 0;
+  std::atomic<uint32_t> next_task_{0};
+};
+
+}  // namespace pdht::sim
+
+#endif  // PDHT_SIM_SHARD_POOL_H_

@@ -109,6 +109,16 @@ class CounterRegistry {
     return groups_[group].members;
   }
 
+  /// Adds `delta[id]` to each counter id in one pass.  `delta` is a flat
+  /// per-id accumulation buffer (a shard lane) sized at most NumCounters();
+  /// integer adds commute, so lanes can be merged in any order.  Used by
+  /// the sharded round engine to fold per-shard message accounting back
+  /// into the registry at a phase barrier.
+  void MergeDelta(const std::vector<uint64_t>& delta) {
+    size_t n = delta.size() < values_.size() ? delta.size() : values_.size();
+    for (size_t i = 0; i < n; ++i) values_[i] += delta[i];
+  }
+
   // --- String-keyed compatibility layer --------------------------------
 
   /// Returns the counter registered under `name`, creating it on first

@@ -7,6 +7,98 @@
 
 namespace pdht {
 
+P2Quantile::P2Quantile(double q) : q_(q) {
+  assert(q > 0.0 && q < 1.0);
+  Reset();
+}
+
+void P2Quantile::Reset() {
+  count_ = 0;
+  for (int i = 0; i < 5; ++i) {
+    heights_[i] = 0.0;
+    positions_[i] = static_cast<double>(i + 1);
+  }
+  desired_[0] = 1.0;
+  desired_[1] = 1.0 + 2.0 * q_;
+  desired_[2] = 1.0 + 4.0 * q_;
+  desired_[3] = 3.0 + 2.0 * q_;
+  desired_[4] = 5.0;
+  rates_[0] = 0.0;
+  rates_[1] = q_ / 2.0;
+  rates_[2] = q_;
+  rates_[3] = (1.0 + q_) / 2.0;
+  rates_[4] = 1.0;
+}
+
+void P2Quantile::Add(double value) {
+  if (count_ < 5) {
+    heights_[count_++] = value;
+    if (count_ == 5) std::sort(heights_, heights_ + 5);
+    return;
+  }
+  // Locate the cell k such that h[k] <= value < h[k+1], extending the
+  // extreme markers when the observation falls outside them.
+  int k;
+  if (value < heights_[0]) {
+    heights_[0] = value;
+    k = 0;
+  } else if (value >= heights_[4]) {
+    heights_[4] = value;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && value >= heights_[k + 1]) ++k;
+  }
+  for (int i = k + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) desired_[i] += rates_[i];
+  ++count_;
+  // Adjust the three interior markers toward their desired positions.
+  for (int i = 1; i <= 3; ++i) {
+    double d = desired_[i] - positions_[i];
+    double below = positions_[i] - positions_[i - 1];
+    double above = positions_[i + 1] - positions_[i];
+    if ((d >= 1.0 && above > 1.0) || (d <= -1.0 && below > 1.0)) {
+      double s = d >= 0.0 ? 1.0 : -1.0;
+      // Piecewise-parabolic prediction of the new height.
+      double hp =
+          heights_[i] +
+          s / (positions_[i + 1] - positions_[i - 1]) *
+              ((below + s) * (heights_[i + 1] - heights_[i]) / above +
+               (above - s) * (heights_[i] - heights_[i - 1]) / below);
+      if (hp <= heights_[i - 1] || hp >= heights_[i + 1]) {
+        // Parabola would violate marker ordering: use linear interpolation
+        // toward the neighbour in the adjustment direction.
+        int j = i + static_cast<int>(s);
+        hp = heights_[i] + s * (heights_[j] - heights_[i]) /
+                               (positions_[j] - positions_[i]);
+      }
+      heights_[i] = hp;
+      positions_[i] += s;
+    }
+  }
+}
+
+double P2Quantile::Value() const {
+  if (count_ == 0) return 0.0;
+  if (count_ < 5) {
+    // Exact nearest-rank over the (unsorted) initial buffer.
+    double tmp[5];
+    std::copy(heights_, heights_ + count_, tmp);
+    std::sort(tmp, tmp + count_);
+    size_t idx = static_cast<size_t>(q_ * static_cast<double>(count_));
+    if (idx >= count_) idx = count_ - 1;
+    return tmp[idx];
+  }
+  return heights_[2];
+}
+
+void Histogram::TrackStreamingQuantiles(std::initializer_list<double> qs) {
+  assert(count_ == 0 && "set streaming mode before adding data");
+  streaming_ = true;
+  sketches_.clear();
+  for (double q : qs) sketches_.emplace_back(q);
+}
+
 void Histogram::Add(double value) {
   ++count_;
   sum_ += value;
@@ -19,7 +111,9 @@ void Histogram::Add(double value) {
     min_ = std::min(min_, value);
     max_ = std::max(max_, value);
   }
-  if (sample_cap_ == 0) {
+  if (streaming_) {
+    for (P2Quantile& s : sketches_) s.Add(value);
+  } else if (sample_cap_ == 0) {
     values_.push_back(value);
   } else {
     // Systematic retention: keep every stride-th observation; once the
@@ -49,6 +143,14 @@ double Histogram::variance() const {
 double Histogram::stddev() const { return std::sqrt(variance()); }
 
 double Histogram::Quantile(double q) const {
+  if (streaming_) {
+    if (sketches_.empty()) return 0.0;
+    const P2Quantile* best = &sketches_[0];
+    for (const P2Quantile& s : sketches_) {
+      if (std::abs(s.q() - q) < std::abs(best->q() - q)) best = &s;
+    }
+    return best->Value();
+  }
   if (values_.empty()) return 0.0;
   if (!sorted_) {
     std::sort(values_.begin(), values_.end());
@@ -65,6 +167,7 @@ void Histogram::Reset() {
   mean_ = m2_ = min_ = max_ = sum_ = 0.0;
   stride_ = 1;
   stride_pos_ = 0;
+  for (P2Quantile& s : sketches_) s.Reset();
   values_.clear();
   sorted_ = true;
 }

@@ -9,10 +9,42 @@
 #define PDHT_STATS_HISTOGRAM_H_
 
 #include <cstdint>
+#include <initializer_list>
 #include <string>
 #include <vector>
 
 namespace pdht {
+
+/// P² (piecewise-parabolic) streaming quantile estimator
+/// (Jain & Chlamtac, CACM 1985): tracks one quantile with five markers in
+/// O(1) memory and O(1) work per observation, no samples retained.  The
+/// first five observations are stored exactly; afterwards marker heights
+/// are adjusted parabolically (falling back to linear interpolation when
+/// the parabola would break marker monotonicity).  Deterministic for a
+/// given observation order.
+class P2Quantile {
+ public:
+  /// `q` in (0, 1), e.g. 0.5 for the median.
+  explicit P2Quantile(double q);
+
+  void Add(double value);
+
+  /// Current estimate; exact (nearest-rank over the stored values) until
+  /// five observations have been seen, 0 when empty.
+  double Value() const;
+
+  double q() const { return q_; }
+  uint64_t count() const { return count_; }
+  void Reset();
+
+ private:
+  double q_;
+  uint64_t count_ = 0;
+  double heights_[5];    ///< marker heights h_i (h_2 estimates q)
+  double positions_[5];  ///< actual marker positions n_i (1-based ranks)
+  double desired_[5];    ///< desired positions n'_i
+  double rates_[5];      ///< dn'_i per observation
+};
 
 /// Accumulates scalar observations; supports mean/variance (Welford),
 /// min/max, and exact quantiles (values are retained).
@@ -44,6 +76,18 @@ class Histogram {
   /// 0 (the default) retains everything.  Set before adding data.
   void SetSampleCap(size_t cap) { sample_cap_ = cap; }
 
+  /// Switches quantile tracking to streaming P² estimators for the given
+  /// probabilities and stops retaining samples entirely: memory becomes
+  /// O(1) per tracked probability regardless of stream length, which is
+  /// what per-lookup latency histograms need at 100k-1M peers.  Moment
+  /// statistics (count/mean/variance/min/max/sum) stay exact.  Quantile(q)
+  /// returns the estimate of the tracked probability nearest to `q`.
+  /// Call before adding data; an empty list just disables retention.
+  void TrackStreamingQuantiles(std::initializer_list<double> qs);
+
+  /// True once TrackStreamingQuantiles has been called.
+  bool streaming() const { return streaming_; }
+
   void Reset();
 
   /// One-line summary: "n=... mean=... sd=... min=... p50=... p99=... max=..."
@@ -59,6 +103,8 @@ class Histogram {
   size_t sample_cap_ = 0;   ///< 0 = retain every value
   uint64_t stride_ = 1;     ///< keep every stride-th observation
   uint64_t stride_pos_ = 0; ///< observations since the last kept one
+  bool streaming_ = false;  ///< quantiles via P² sketches, no retention
+  std::vector<P2Quantile> sketches_;
   mutable std::vector<double> values_;
   mutable bool sorted_ = true;
 };

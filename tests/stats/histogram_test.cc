@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
+
+#include "util/rng.h"
 
 namespace pdht {
 namespace {
@@ -166,6 +170,115 @@ TEST(HistogramTest, SampleCapIsDeterministic) {
   for (double q : {0.1, 0.5, 0.9, 0.99}) {
     EXPECT_DOUBLE_EQ(a.Quantile(q), b.Quantile(q));
   }
+}
+
+// --- P² streaming quantile sketch --------------------------------------
+//
+// Accuracy is checked against the exact nearest-rank percentile of the
+// same stream; the P² paper reports relative errors well under a percent
+// for smooth distributions at these stream lengths, so the tolerances
+// below (a few percent of the true value) are generous but would still
+// catch an off-by-one-marker or interpolation bug immediately.
+
+double ExactQuantile(std::vector<double> values, double q) {
+  std::sort(values.begin(), values.end());
+  size_t rank = static_cast<size_t>(q * (values.size() - 1) + 0.5);
+  return values[std::min(rank, values.size() - 1)];
+}
+
+TEST(P2QuantileTest, ExactUntilFiveObservations) {
+  P2Quantile p(0.5);
+  EXPECT_EQ(p.Value(), 0.0);  // empty
+  p.Add(9.0);
+  EXPECT_DOUBLE_EQ(p.Value(), 9.0);
+  p.Add(1.0);
+  p.Add(5.0);
+  EXPECT_DOUBLE_EQ(p.Value(), 5.0);  // exact median of {1, 5, 9}
+}
+
+TEST(P2QuantileTest, UniformStreamMatchesExactPercentiles) {
+  Rng rng(12345);
+  std::vector<double> values;
+  values.reserve(50000);
+  for (int i = 0; i < 50000; ++i) values.push_back(rng.UniformDouble() * 100.0);
+  for (double q : {0.5, 0.9, 0.95, 0.99}) {
+    P2Quantile p(q);
+    for (double v : values) p.Add(v);
+    EXPECT_NEAR(p.Value(), ExactQuantile(values, q), 1.5)
+        << "uniform q=" << q;
+  }
+}
+
+TEST(P2QuantileTest, ExponentialStreamMatchesExactPercentiles) {
+  // Heavy right tail: the hard case for five-marker interpolation.
+  Rng rng(67890);
+  std::vector<double> values;
+  values.reserve(50000);
+  for (int i = 0; i < 50000; ++i) values.push_back(rng.Exponential(0.1));
+  for (double q : {0.5, 0.95, 0.99}) {
+    P2Quantile p(q);
+    for (double v : values) p.Add(v);
+    const double exact = ExactQuantile(values, q);
+    EXPECT_NEAR(p.Value(), exact, 0.05 * exact) << "exponential q=" << q;
+  }
+}
+
+TEST(P2QuantileTest, SortedAndShuffledStreamsAgree) {
+  // Arrival order changes the estimate slightly (the sketch is
+  // order-sensitive by construction) but both must land on the truth.
+  std::vector<double> values;
+  for (int i = 0; i < 10000; ++i) values.push_back(static_cast<double>(i));
+  P2Quantile sorted_in(0.95);
+  for (double v : values) sorted_in.Add(v);
+  Rng rng(42);
+  rng.Shuffle(values.data(), values.size());
+  P2Quantile shuffled_in(0.95);
+  for (double v : values) shuffled_in.Add(v);
+  EXPECT_NEAR(sorted_in.Value(), 9500.0, 100.0);
+  EXPECT_NEAR(shuffled_in.Value(), 9500.0, 100.0);
+}
+
+TEST(HistogramTest, StreamingQuantilesRetainNothingAndStayAccurate) {
+  Histogram streaming, exact;
+  streaming.TrackStreamingQuantiles({0.5, 0.95, 0.99});
+  EXPECT_TRUE(streaming.streaming());
+  Rng rng(2024);
+  for (int i = 0; i < 200000; ++i) {
+    const double v = rng.Exponential(0.02);
+    streaming.Add(v);
+    exact.Add(v);
+  }
+  // Moments are Welford-accumulated, unaffected by the sketch switch.
+  EXPECT_EQ(streaming.count(), exact.count());
+  EXPECT_DOUBLE_EQ(streaming.mean(), exact.mean());
+  EXPECT_DOUBLE_EQ(streaming.sum(), exact.sum());
+  EXPECT_DOUBLE_EQ(streaming.min(), exact.min());
+  EXPECT_DOUBLE_EQ(streaming.max(), exact.max());
+  // Quantile(q) answers from the nearest tracked sketch.
+  for (double q : {0.5, 0.95, 0.99}) {
+    const double truth = exact.Quantile(q);
+    EXPECT_NEAR(streaming.Quantile(q), truth, 0.05 * truth) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, StreamingQuantileAnswersFromNearestTrackedSketch) {
+  Histogram h;
+  h.TrackStreamingQuantiles({0.5, 0.99});
+  for (int i = 1; i <= 1000; ++i) h.Add(static_cast<double>(i));
+  // q=0.6 has no sketch; the median sketch is nearest.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.6), h.Quantile(0.5));
+  // q=0.9 rounds to the p99 sketch.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.9), h.Quantile(0.99));
+}
+
+TEST(HistogramTest, StreamingResetRestartsTheSketches) {
+  Histogram h;
+  h.TrackStreamingQuantiles({0.5});
+  for (int i = 0; i < 100; ++i) h.Add(1000.0);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  for (int i = 0; i < 100; ++i) h.Add(5.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 5.0);
 }
 
 }  // namespace
