@@ -17,7 +17,14 @@
 //   --sim-threads=<list>  comma-separated in-simulation thread counts
 //                    (e.g. "1,4") for the benches that exercise the
 //                    sharded round engine (bench_perf_roundloop); 1 runs
-//                    the legacy serial engine.  Default "1".
+//                    the legacy serial engine.  The token "auto" adds an
+//                    axis point that lets the system pick the engine and
+//                    thread count itself (SystemConfig::sim_threads_auto).
+//                    Default "1".
+//   --phase-times    record the opt-in round.phase.*.ms series
+//                    (SystemConfig::phase_timing) and print a per-phase
+//                    wall-clock breakdown table; bench_perf_roundloop
+//                    only, ignored by the rest
 //   --full           paper-scale scenario where supported
 //   --json=<path>    machine-readable baseline output, for the benches
 //                    that emit one (bench_perf_roundloop, bench_latency);
@@ -69,9 +76,12 @@ struct BenchFlags {
   uint64_t rounds = 0;  ///< 0 = bench default.
   /// In-simulation thread counts to measure (--sim-threads=1,4); each
   /// value is a separate measurement axis point, not a worker-pool size
-  /// for the experiment runner (that is --threads).
+  /// for the experiment runner (that is --threads).  The sentinel
+  /// kSimThreadsAuto (flag token "auto") asks for sim_threads_auto mode.
+  static constexpr uint32_t kSimThreadsAuto = 0xffffffffu;
   std::vector<uint32_t> sim_threads = {1};
   bool full = false;
+  bool phase_times = false;  ///< per-phase wall-clock breakdown on.
   bool smoke = false;  ///< set by RoundsOrDefault on a reduced budget.
 
   /// The per-cell round budget: the explicit --rounds value, or `def`.
@@ -109,6 +119,12 @@ inline BenchFlags ParseBenchFlags(int argc, char** argv) {
     } else if (const char* v = value_of("--sim-threads=")) {
       f.sim_threads.clear();
       for (const char* p = v; *p != '\0';) {
+        if (std::strncmp(p, "auto", 4) == 0) {
+          f.sim_threads.push_back(BenchFlags::kSimThreadsAuto);
+          p += 4;
+          if (*p == ',') ++p;
+          continue;
+        }
         char* end = nullptr;
         unsigned long n = std::strtoul(p, &end, 10);
         if (end == p) break;  // malformed tail; keep what parsed
@@ -118,6 +134,8 @@ inline BenchFlags ParseBenchFlags(int argc, char** argv) {
       if (f.sim_threads.empty()) f.sim_threads = {1};
     } else if (arg == "--full") {
       f.full = true;
+    } else if (arg == "--phase-times") {
+      f.phase_times = true;
     } else {
       std::fprintf(stderr, "warning: ignoring unknown flag '%s'\n",
                    arg.c_str());

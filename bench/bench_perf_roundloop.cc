@@ -36,7 +36,12 @@
 // default budget = smoke mode for it -- an explicit --rounds is capped at
 // each scenario's default so a small-scenario budget cannot explode the
 // 1M-peer run -- --full adds the paper-scale scenario, --json=<path>
-// overrides the baseline output path).
+// overrides the baseline output path).  --sim-threads accepts the token
+// "auto" as an axis point (the system picks serial vs sharded from the
+// work size and sizes the pool from the host).  --phase-times enables
+// the opt-in round.phase.*.ms series and prints a per-phase wall-clock
+// breakdown -- the tool for spotting which serial phase is the Amdahl
+// floor at a given scale.
 
 #include <algorithm>
 #include <chrono>
@@ -148,16 +153,28 @@ SystemConfig Scale1MConfig() {
   return c;
 }
 
+/// The round loop's instrumented phases, in actor order (must match the
+/// EnablePhaseTiming list in core/pdht_system.cc).
+constexpr const char* kPhaseNames[] = {"churn",   "maint",  "plan",
+                                       "query",   "publish", "update",
+                                       "evict"};
+constexpr size_t kNumPhases = sizeof(kPhaseNames) / sizeof(kPhaseNames[0]);
+
 struct Measurement {
   std::string scenario;
   std::string strategy;
   uint64_t peers = 0;
-  uint32_t sim_threads = 1;
+  /// Axis label: a thread count ("1", "4") or "auto" (engine selection
+  /// left to SystemConfig::sim_threads_auto).
+  std::string sim_threads = "1";
   uint64_t warmup = 0;
   uint64_t rounds = 0;
   double seconds = 0.0;
   double rounds_per_sec = 0.0;
   double msgs_per_round = 0.0;
+  /// Mean ms/round per phase over the timed window (--phase-times only).
+  bool has_phases = false;
+  double phase_ms[kNumPhases] = {};
   /// Scenarios have different default budgets, so smoke (reduced budget,
   /// shape checks informational) is tracked per measurement, not in the
   /// shared flags.
@@ -165,17 +182,25 @@ struct Measurement {
 };
 
 Measurement MeasureOne(const Scenario& sc, Strategy strategy,
-                       uint32_t sim_threads, uint64_t rounds) {
+                       uint32_t sim_threads, uint64_t rounds,
+                       bool phase_times) {
   SystemConfig config = sc.config;
   config.strategy = strategy;
-  config.sim_threads = sim_threads;  // 1 = legacy serial engine
+  if (sim_threads == BenchFlags::kSimThreadsAuto) {
+    config.sim_threads_auto = true;  // engine + thread count by work size
+  } else {
+    config.sim_threads = sim_threads;  // 1 = legacy serial engine
+  }
+  config.phase_timing = phase_times;
   pdht::core::PdhtSystem system(config);
 
   Measurement m;
   m.scenario = sc.name;
   m.strategy = pdht::core::StrategyName(strategy);
   m.peers = config.params.num_peers;
-  m.sim_threads = sim_threads;
+  m.sim_threads = sim_threads == BenchFlags::kSimThreadsAuto
+                      ? "auto"
+                      : std::to_string(sim_threads);
   // Warm up past the transient (partialTtl index fill, churn mixing) so
   // the timed window measures the steady-state loop.
   m.warmup = std::max<uint64_t>(sc.min_warmup, rounds / 5);
@@ -193,6 +218,16 @@ Measurement MeasureOne(const Scenario& sc, Strategy strategy,
       m.seconds > 0.0 ? static_cast<double>(rounds) / m.seconds : 0.0;
   m.msgs_per_round = static_cast<double>(msgs_after - msgs_before) /
                      static_cast<double>(rounds);
+  if (phase_times) {
+    m.has_phases = true;
+    for (size_t p = 0; p < kNumPhases; ++p) {
+      const std::string name =
+          pdht::sim::RoundEngine::PhaseSeriesName(kPhaseNames[p]);
+      // Tail over the timed window only: warmup rounds are in the series
+      // too, but the steady-state mean is what the breakdown should show.
+      m.phase_ms[p] = system.engine().Series(name).TailMean(rounds);
+    }
+  }
   return m;
 }
 
@@ -214,13 +249,14 @@ bool WriteJson(const std::string& path,
     const Measurement& m = results[i];
     std::fprintf(f,
                  "    {\"scenario\": \"%s\", \"strategy\": \"%s\", "
-                 "\"peers\": %llu, \"sim_threads\": %u, "
+                 "\"peers\": %llu, \"sim_threads\": \"%s\", "
                  "\"warmup_rounds\": %llu, "
                  "\"timed_rounds\": %llu, \"smoke\": %s, "
                  "\"seconds\": %.6f, "
                  "\"rounds_per_sec\": %.2f, \"msgs_per_round\": %.2f}%s\n",
                  m.scenario.c_str(), m.strategy.c_str(),
-                 static_cast<unsigned long long>(m.peers), m.sim_threads,
+                 static_cast<unsigned long long>(m.peers),
+                 m.sim_threads.c_str(),
                  static_cast<unsigned long long>(m.warmup),
                  static_cast<unsigned long long>(m.rounds),
                  m.smoke ? "true" : "false", m.seconds,
@@ -265,12 +301,13 @@ int main(int argc, char** argv) {
                             ? sc.default_rounds
                             : std::min(flags.rounds, sc.default_rounds);
       for (uint32_t sim_threads : flags.sim_threads) {
-        results.push_back(MeasureOne(sc, strategy, sim_threads, rounds));
+        results.push_back(MeasureOne(sc, strategy, sim_threads, rounds,
+                                     flags.phase_times));
         results.back().smoke = rounds < sc.default_rounds;
-        std::printf("measured %s/%s @%u thread%s: %.1f rounds/s\n",
+        std::printf("measured %s/%s @%s threads: %.1f rounds/s\n",
                     results.back().scenario.c_str(),
-                    results.back().strategy.c_str(), sim_threads,
-                    sim_threads == 1 ? "" : "s",
+                    results.back().strategy.c_str(),
+                    results.back().sim_threads.c_str(),
                     results.back().rounds_per_sec);
       }
     }
@@ -281,12 +318,36 @@ int main(int argc, char** argv) {
                      "msgs/round"});
   for (const Measurement& m : results) {
     table.AddRow({m.scenario, m.strategy, std::to_string(m.peers),
-                  std::to_string(m.sim_threads), std::to_string(m.rounds),
+                  m.sim_threads, std::to_string(m.rounds),
                   TableWriter::FormatDouble(m.seconds, 4),
                   TableWriter::FormatDouble(m.rounds_per_sec, 5),
                   TableWriter::FormatDouble(m.msgs_per_round, 5)});
   }
   pdht::bench::EmitTable(table, flags.csv);
+
+  if (flags.phase_times) {
+    // Per-phase wall-clock breakdown (mean ms/round over the timed
+    // window).  plan/publish are the sharded engine's serial bookends;
+    // their share of the row is the Amdahl floor of the parallel query
+    // phase.  Serial-engine rows charge whole actors (no plan/publish
+    // split), so those two columns read 0 there.
+    std::vector<std::string> cols = {"scenario", "strategy", "sim threads"};
+    for (size_t p = 0; p < kNumPhases; ++p) {
+      cols.push_back(std::string(kPhaseNames[p]) + " ms");
+    }
+    TableWriter phases(cols);
+    for (const Measurement& m : results) {
+      if (!m.has_phases) continue;
+      std::vector<std::string> row = {m.scenario, m.strategy,
+                                      m.sim_threads};
+      for (size_t p = 0; p < kNumPhases; ++p) {
+        row.push_back(TableWriter::FormatDouble(m.phase_ms[p], 4));
+      }
+      phases.AddRow(row);
+    }
+    std::printf("per-phase wall clock (mean ms/round, timed window):\n");
+    std::printf("%s\n", phases.ToText().c_str());
+  }
 
   // Default output path: full-budget runs refresh the committed baseline
   // name; reduced-budget runs get their own file so a casual smoke run

@@ -2,14 +2,54 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cmath>
 #include <limits>
+#include <thread>
 
 #include "model/selection_model.h"
 #include "util/hash.h"
 #include "util/logging.h"
 
 namespace pdht::core {
+
+namespace {
+
+/// Phase wall-clock scope for the opt-in round.phase.* series: measures
+/// into RoundEngine::AddPhaseMs when phase timing is enabled, costs two
+/// branches when it is not (the common case).
+class ScopedPhaseMs {
+ public:
+  ScopedPhaseMs(sim::RoundEngine* engine, size_t phase)
+      : engine_(engine->phase_timing() ? engine : nullptr), phase_(phase) {
+    if (engine_) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedPhaseMs() {
+    if (engine_) {
+      engine_->AddPhaseMs(phase_,
+                          std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - start_)
+                              .count());
+    }
+  }
+  ScopedPhaseMs(const ScopedPhaseMs&) = delete;
+  ScopedPhaseMs& operator=(const ScopedPhaseMs&) = delete;
+
+ private:
+  sim::RoundEngine* engine_;
+  size_t phase_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// sim_threads_auto work floor: below this expected per-round work (every
+/// peer is swept by churn/eviction, plus one task per expected query) the
+/// sharded engine's pool wake/barrier overhead outweighs the parallelism,
+/// so auto picks the serial engine.  Compared against a pure function of
+/// the configuration -- never the machine -- so the engine choice (and
+/// with it the random stream) is reproducible across hosts.
+constexpr double kAutoShardedWorkFloor = 16384.0;
+
+}  // namespace
 
 std::string SystemConfig::Validate() const {
   std::string err = params.Validate();
@@ -262,23 +302,20 @@ void PdhtSystem::PreloadIndex() {
 }
 
 void PdhtSystem::RegisterActors() {
+  if (config_.phase_timing) {
+    // List order must match the SimPhase enum (pdht_system.h).
+    engine_.EnablePhaseTiming(
+        {"churn", "maint", "plan", "query", "publish", "update", "evict"});
+  }
   engine_.AddActor("churn", [this](sim::RoundContext& ctx) {
-    churn_->AdvanceTo(ctx.time);
+    RunChurnActor(ctx);
   });
   // Network's constructor interned every message-type counter; resolve
   // the probe counter to its id once instead of a string lookup per round.
   probe_counter_id_ =
       network_->CounterIdOf(net::MessageType::kRoutingProbe);
-  engine_.AddActor("maintenance", [this](sim::RoundContext&) {
-    if (config_.strategy == Strategy::kNoIndex || !overlay_) return;
-    overlay_->RunMaintenanceRound(config_.params.env);
-    // Feed the TTL autotuner the round's maintenance traffic: probes per
-    // round per currently indexed key approximate cRtn (Eq. 8).
-    uint64_t probes = engine_.counters().Value(probe_counter_id_);
-    uint64_t delta = probes - last_probe_count_;
-    last_probe_count_ = probes;
-    autotuner_.ObserveMaintenanceRound(
-        static_cast<double>(delta), static_cast<double>(residency_.size()));
+  engine_.AddActor("maintenance", [this](sim::RoundContext& ctx) {
+    RunMaintenanceActor(ctx);
   });
   engine_.AddActor("queries", [this](sim::RoundContext& ctx) {
     RunQueryActor(ctx);
@@ -536,6 +573,7 @@ void PdhtSystem::RunQueryActor(sim::RoundContext& ctx) {
     RunShardedQueryActor(ctx);
     return;
   }
+  ScopedPhaseMs timer(&engine_, kPhaseQuery);
   const auto& p = config_.params;
   round_queries_ = 0;
   round_hits_ = 0;
@@ -577,9 +615,29 @@ void PdhtSystem::RunQueryActor(sim::RoundContext& ctx) {
 //     function of the task list, independent of worker assignment.
 
 void PdhtSystem::SetupShardedEngine() {
-  sharded_ = config_.sim_threads > 1 || config_.sim_shards > 0;
-  if (!sharded_) return;
-  const uint32_t threads = std::max<uint32_t>(1, config_.sim_threads);
+  uint32_t threads = std::max<uint32_t>(1, config_.sim_threads);
+  if (config_.sim_threads_auto) {
+    // Auto engine selection.  The serial/sharded decision compares the
+    // configuration's expected per-round work against a fixed floor --
+    // never the machine -- because the two engines are distinct random
+    // streams.  The *thread count* is hardware-derived (capped so a
+    // many-core host doesn't spin up workers the phase sizes can't
+    // feed): sharded results are bit-identical at any thread count, so
+    // this affects wall-clock only.
+    const auto& p = config_.params;
+    const double work =
+        static_cast<double>(p.num_peers) * (1.0 + p.f_qry);
+    if (work < kAutoShardedWorkFloor) {
+      sharded_ = false;
+      return;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = std::clamp<uint32_t>(hw == 0 ? 1 : hw, 1, 8);
+    sharded_ = true;
+  } else {
+    sharded_ = config_.sim_threads > 1 || config_.sim_shards > 0;
+    if (!sharded_) return;
+  }
   num_shards_ = config_.sim_shards > 0 ? config_.sim_shards : 4 * threads;
   pool_ = std::make_unique<sim::ShardPool>(threads);
   lanes_.resize(threads);
@@ -648,7 +706,10 @@ void PdhtSystem::PlanQueryTasks(sim::RoundContext& ctx) {
 }
 
 void PdhtSystem::RunShardedQueryActor(sim::RoundContext& ctx) {
-  PlanQueryTasks(ctx);
+  {
+    ScopedPhaseMs timer(&engine_, kPhasePlan);
+    PlanQueryTasks(ctx);
+  }
   round_queries_ = 0;
   round_hits_ = 0;
   if (query_tasks_.empty()) return;
@@ -659,8 +720,12 @@ void PdhtSystem::RunShardedQueryActor(sim::RoundContext& ctx) {
   const size_t num_counters = engine_.counters().NumCounters();
   for (net::ShardLane& lane : lanes_) lane.Prepare(num_counters);
   query_results_.resize(query_tasks_.size());
-  pool_->Run(static_cast<uint32_t>(query_tasks_.size()),
-             [this](uint32_t w, uint32_t q) { RunQueryTask(w, q); });
+  {
+    ScopedPhaseMs timer(&engine_, kPhaseQuery);
+    pool_->Run(static_cast<uint32_t>(query_tasks_.size()),
+               [this](uint32_t w, uint32_t q) { RunQueryTask(w, q); });
+  }
+  ScopedPhaseMs timer(&engine_, kPhasePublish);
   PublishQueryResults();
 }
 
@@ -824,7 +889,67 @@ void PdhtSystem::PublishQueryResults() {
   }
 }
 
-void PdhtSystem::RunUpdateActor(sim::RoundContext&) {
+void PdhtSystem::RunMaintenanceActor(sim::RoundContext& ctx) {
+  if (config_.strategy == Strategy::kNoIndex || !overlay_) return;
+  ScopedPhaseMs timer(&engine_, kPhaseMaint);
+  if (sharded_ && overlay_->has_sharded_maintenance()) {
+    RunShardedMaintenance(ctx);
+  } else {
+    overlay_->RunMaintenanceRound(config_.params.env);
+  }
+  // Feed the TTL autotuner the round's maintenance traffic: probes per
+  // round per currently indexed key approximate cRtn (Eq. 8).
+  uint64_t probes = engine_.counters().Value(probe_counter_id_);
+  uint64_t delta = probes - last_probe_count_;
+  last_probe_count_ = probes;
+  autotuner_.ObserveMaintenanceRound(
+      static_cast<double>(delta), static_cast<double>(residency_.size()));
+}
+
+void PdhtSystem::RunShardedMaintenance(sim::RoundContext& ctx) {
+  // PLAN (serial): the overlay consumes its fractional budget map in
+  // canonical member order and freezes the round's task list -- one
+  // deterministic (member, probe-count) sequence no matter how many
+  // threads run the phase.
+  const uint32_t num_tasks =
+      overlay_->PlanMaintenanceRound(config_.params.env);
+  if (num_tasks == 0) return;
+  round_seed_ = Mix64(HashCombine(config_.seed, ctx.round));
+  const uint64_t maint_seed =
+      Mix64(HashCombine(round_seed_, 0x6d61696e74ULL));  // "maint"
+  const size_t num_counters = engine_.counters().NumCounters();
+  for (net::ShardLane& lane : lanes_) lane.Prepare(num_counters);
+  maint_slices_.resize(num_tasks);
+  // EXECUTE (parallel): each task probes/repairs exactly one member's
+  // own routing table against the frozen membership snapshot, counts
+  // into its worker's lane, and draws from its own derived stream.
+  pool_->Run(num_tasks, [this, maint_seed](uint32_t w, uint32_t task) {
+    net::ShardLane& lane = lanes_[w];
+    lane.latency_s = 0.0;
+    network_->BeginLane(&lane);
+    PhaseSlice& s = maint_slices_[task];
+    s.lane = w;
+    s.def_begin = static_cast<uint32_t>(lane.deferred.size());
+    Rng rng(Mix64(HashCombine(maint_seed, task)));
+    overlay_->ExecuteMaintenanceTask(task, rng);
+    s.def_end = static_cast<uint32_t>(lane.deferred.size());
+    network_->EndLane();
+  });
+  // PUBLISH (serial): lane counter deltas merge (order-free integer
+  // adds), deferred network effects replay in global task order, then
+  // the overlay folds its per-task repair stats.
+  for (const net::ShardLane& lane : lanes_) {
+    engine_.counters().MergeDelta(lane.counter_delta);
+  }
+  for (const PhaseSlice& s : maint_slices_) {
+    for (uint32_t i = s.def_begin; i < s.def_end; ++i) {
+      network_->CommitDeferred(lanes_[s.lane].deferred[i]);
+    }
+  }
+  overlay_->FinishMaintenanceRound();
+}
+
+void PdhtSystem::RunUpdateActor(sim::RoundContext& ctx) {
   // Proactive updates exist only while the index is proactively maintained
   // (Section 5.1 removes cUpd: the TTL algorithm refreshes values on
   // miss-triggered re-insertion).
@@ -837,7 +962,12 @@ void PdhtSystem::RunUpdateActor(sim::RoundContext&) {
                               ? p.keys
                               : oracle_max_rank_;
   if (indexed_keys == 0) return;
+  ScopedPhaseMs timer(&engine_, kPhaseUpdate);
   update_carry_ += static_cast<double>(indexed_keys) * p.f_upd;
+  if (sharded_) {
+    RunShardedUpdateActor(ctx, indexed_keys);
+    return;
+  }
   constexpr double kForever = 1e15;
   while (update_carry_ >= 1.0) {
     update_carry_ -= 1.0;
@@ -862,8 +992,77 @@ void PdhtSystem::RunUpdateActor(sim::RoundContext&) {
   }
 }
 
+void PdhtSystem::RunShardedUpdateActor(sim::RoundContext& ctx,
+                                       uint64_t indexed_keys) {
+  // PLAN (serial): rank draws come off the main stream in carry order --
+  // the same one-draw-per-update sequence the serial loop consumes.
+  update_tasks_.clear();
+  while (update_carry_ >= 1.0) {
+    update_carry_ -= 1.0;
+    uint64_t rank = 1 + rng_.UniformU64(indexed_keys);
+    update_tasks_.push_back(config_.strategy == Strategy::kIndexAll
+                                ? rank - 1
+                                : workload_->KeyAtRank(rank));
+  }
+  if (update_tasks_.empty()) return;
+  if (overlay_) overlay_->members();  // warm shared read caches serially
+  round_seed_ = Mix64(HashCombine(config_.seed, ctx.round));
+  const uint64_t upd_seed =
+      Mix64(HashCombine(round_seed_, 0x75706474ULL));  // "updt"
+  const size_t num_counters = engine_.counters().NumCounters();
+  for (net::ShardLane& lane : lanes_) lane.Prepare(num_counters);
+  update_results_.resize(update_tasks_.size());
+  // EXECUTE (parallel): entry-point selection, insert routing and the
+  // statistical replica-flood costing per task (wire cost belongs to the
+  // task); index mutations wait for publish.
+  pool_->Run(
+      static_cast<uint32_t>(update_tasks_.size()),
+      [this, upd_seed](uint32_t w, uint32_t task) {
+        UpdateTaskResult& r = update_results_[task];
+        r = UpdateTaskResult{};
+        r.slice.lane = w;
+        overlay::SetCurrentLookupSlot(w);
+        net::ShardLane& lane = lanes_[w];
+        lane.latency_s = 0.0;
+        network_->BeginLane(&lane);
+        r.slice.def_begin = static_cast<uint32_t>(lane.deferred.size());
+        Rng rng(Mix64(HashCombine(upd_seed, task)));
+        net::PeerId entry = DhtEntryPoint(rng, net::kInvalidPeer);
+        if (entry != net::kInvalidPeer) {
+          DhtLookup(entry, update_tasks_[task]);
+          network_->CountOnly(net::MessageType::kReplicaPush,
+                              StatisticalReplicaFloodCost(rng));
+          r.inserted = true;
+        }
+        r.slice.def_end = static_cast<uint32_t>(lane.deferred.size());
+        network_->EndLane();
+      });
+  // PUBLISH (serial): merge lane counter deltas, then replay each task's
+  // deferred effects and apply its replica Puts in global task order.
+  for (const net::ShardLane& lane : lanes_) {
+    engine_.counters().MergeDelta(lane.counter_delta);
+  }
+  constexpr double kForever = 1e15;
+  const double now = engine_.now();
+  for (size_t task = 0; task < update_tasks_.size(); ++task) {
+    const UpdateTaskResult& r = update_results_[task];
+    for (uint32_t i = r.slice.def_begin; i < r.slice.def_end; ++i) {
+      network_->CommitDeferred(lanes_[r.slice.lane].deferred[i]);
+    }
+    if (!r.inserted) continue;
+    const uint64_t key = update_tasks_[task];
+    for (net::PeerId rep : IndexReplicasOf(key)) {
+      if (!network_->IsOnline(rep)) continue;
+      uint64_t displaced = nodes_[rep].index().Put(key, now, kForever);
+      if (displaced != TtlIndex::kNoKey) DecResidency(displaced);
+      IncResidency(key);
+    }
+  }
+}
+
 void PdhtSystem::RunEvictionActor(sim::RoundContext& ctx) {
   if (config_.strategy != Strategy::kPartialTtl) return;
+  ScopedPhaseMs timer(&engine_, kPhaseEvict);
   if (!sharded_) {
     for (net::PeerId m : dht_members_) {
       nodes_[m].index().EvictExpired(
@@ -889,13 +1088,60 @@ void PdhtSystem::RunEvictionActor(sim::RoundContext& ctx) {
   }
 }
 
+void PdhtSystem::RunChurnActor(sim::RoundContext& ctx) {
+  ScopedPhaseMs timer(&engine_, kPhaseChurn);
+  if (!sharded_ || !overlay_ || !overlay_->has_sharded_rejoin()) {
+    churn_->AdvanceTo(ctx.time);
+    return;
+  }
+  // Flip events apply serially in event order (the dense online index
+  // and the replica-pull accounting are order-sensitive); the expensive
+  // part -- rebuilding a rejoined member's routing table -- is deferred
+  // by OnChurnFlip, deduped, and rebuilt in parallel below, one task per
+  // distinct member writing only its own table.  Rebuilds are pure
+  // functions of (membership, rng) -- they never read online state -- so
+  // running them after the round's remaining flips changes nothing.
+  rejoin_queue_.clear();
+  defer_rejoins_ = true;
+  churn_->AdvanceTo(ctx.time);
+  defer_rejoins_ = false;
+  if (rejoin_queue_.empty()) return;
+  // Dedup is mandatory, not an optimization: a member that flipped
+  // online twice in one round must rebuild exactly once (two tasks would
+  // race on its table).  Sort first so the task list is a pure function
+  // of the flip *set*.
+  std::sort(rejoin_queue_.begin(), rejoin_queue_.end());
+  rejoin_queue_.erase(
+      std::unique(rejoin_queue_.begin(), rejoin_queue_.end()),
+      rejoin_queue_.end());
+  const uint64_t churn_seed =
+      Mix64(HashCombine(Mix64(HashCombine(config_.seed, ctx.round)),
+                        0x6368726eULL));  // "chrn"
+  // No lanes: table rebuilds send no messages and touch no counters.
+  pool_->Run(static_cast<uint32_t>(rejoin_queue_.size()),
+             [this, churn_seed](uint32_t /*worker*/, uint32_t task) {
+               const net::PeerId peer = rejoin_queue_[task];
+               // Streams key off the peer id, not the task index, so a
+               // member's rebuild draws are independent of how many
+               // other members rejoined the same round.
+               Rng rng(Mix64(HashCombine(churn_seed, peer)));
+               overlay_->RejoinNode(peer, rng);
+             });
+}
+
 void PdhtSystem::OnChurnFlip(net::PeerId peer, bool online) {
   network_->SetOnline(peer, online);
   if (!online) return;
   if (!nodes_[peer].is_dht_member()) return;
   // Rejoin: refresh routing state (piggybacked, free) and pull missed
   // replica updates (one pull + one response).
-  if (overlay_) overlay_->OnPeerRejoin(peer);
+  if (overlay_) {
+    if (defer_rejoins_) {
+      rejoin_queue_.push_back(peer);
+    } else {
+      overlay_->OnPeerRejoin(peer);
+    }
+  }
   network_->CountOnly(net::MessageType::kReplicaPull, 2);
 }
 

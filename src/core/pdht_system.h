@@ -150,6 +150,24 @@ struct SystemConfig {
   /// (4 * sim_threads when the sharded engine is enabled).
   uint32_t sim_shards = 0;
 
+  /// Automatic engine selection: ignore sim_threads and choose serial vs
+  /// sharded from the configuration's expected per-round work, sizing
+  /// the worker pool from the host when the sharded engine wins.  The
+  /// serial/sharded decision is a pure function of the config -- the two
+  /// engines are distinct random streams, so a machine-dependent choice
+  /// would break reproducibility -- while the thread count itself may be
+  /// hardware-derived because sharded results are bit-identical at any
+  /// thread count.  Small scenarios therefore never pay the pool's
+  /// barrier overhead; big ones scale without per-scenario tuning.
+  bool sim_threads_auto = false;
+
+  /// Record per-phase wall-clock series round.phase.{churn,maint,plan,
+  /// query,publish,update,evict}.ms (sim/round_engine.h).  Off by
+  /// default: the values are timing noise, so enabling this forfeits
+  /// run-to-run bit-identity of the recorded series (the determinism
+  /// and golden suites run with it off).
+  bool phase_timing = false;
+
   /// Returns an empty string when the configuration is self-consistent.
   std::string Validate() const;
 };
@@ -324,6 +342,8 @@ class PdhtSystem {
   void OnChurnFlip(net::PeerId peer, bool online);
   static void ChurnTrampoline(void* ctx, uint32_t peer, bool online,
                               double when);
+  void RunChurnActor(sim::RoundContext& ctx);
+  void RunMaintenanceActor(sim::RoundContext& ctx);
   void RunQueryActor(sim::RoundContext& ctx);
   void RunUpdateActor(sim::RoundContext& ctx);
   void RunEvictionActor(sim::RoundContext& ctx);
@@ -363,6 +383,24 @@ class PdhtSystem {
     double hops = 0.0;
   };
 
+  /// Lane-local effect slice of one parallel task: which worker lane it
+  /// recorded into and its half-open slice of that lane's deferred log,
+  /// replayed serially in global task order at publish.
+  struct PhaseSlice {
+    uint32_t lane = 0;
+    uint32_t def_begin = 0;
+    uint32_t def_end = 0;
+  };
+
+  /// Buffered effects of one parallel proactive-update task.  The rank
+  /// draw happens at planning (main stream); the task runs entry-point
+  /// selection + lookup + statistical flood costing; publish replays the
+  /// deferred slice and applies the replica Puts in task order.
+  struct UpdateTaskResult {
+    PhaseSlice slice;
+    bool inserted = false;  ///< entry point found: replica Puts at publish
+  };
+
   void SetupShardedEngine();
   void RunShardedQueryActor(sim::RoundContext& ctx);
   void PlanQueryTasks(sim::RoundContext& ctx);
@@ -374,6 +412,8 @@ class PdhtSystem {
                             QueryTaskResult* r);
   void ShardUnstructuredQuery(Rng& rng, uint32_t worker, net::PeerId origin,
                               uint64_t key, QueryTaskResult* r);
+  void RunShardedMaintenance(sim::RoundContext& ctx);
+  void RunShardedUpdateActor(sim::RoundContext& ctx, uint64_t indexed_keys);
 
   SystemConfig config_;
   // Derived settings.
@@ -446,6 +486,29 @@ class PdhtSystem {
   std::vector<std::vector<uint64_t>> evict_buffers_;
   std::vector<QueryTask> query_tasks_;
   std::vector<QueryTaskResult> query_results_;
+  /// Sharded-maintenance / sharded-update round state (resized per
+  /// round, reused across rounds).
+  std::vector<PhaseSlice> maint_slices_;
+  std::vector<uint64_t> update_tasks_;  // planned update keys, in draw order
+  std::vector<UpdateTaskResult> update_results_;
+  /// Churn-phase rejoin deferral: while the sharded churn actor drains
+  /// flip events, OnChurnFlip queues member rejoins here instead of
+  /// rebuilding inline; the actor dedupes and rebuilds them in parallel.
+  bool defer_rejoins_ = false;
+  std::vector<net::PeerId> rejoin_queue_;
+
+  /// Phase indices for EnablePhaseTiming/AddPhaseMs; must match the name
+  /// list RegisterActors passes to EnablePhaseTiming.
+  enum SimPhase : size_t {
+    kPhaseChurn = 0,
+    kPhaseMaint,
+    kPhasePlan,
+    kPhaseQuery,
+    kPhasePublish,
+    kPhaseUpdate,
+    kPhaseEvict,
+    kNumPhases,
+  };
 };
 
 }  // namespace pdht::core

@@ -7,6 +7,7 @@
 
 #include "overlay/dht/maintenance.h"
 #include "util/bits.h"
+#include "util/hash.h"
 
 namespace pdht::overlay {
 
@@ -29,6 +30,41 @@ uint64_t ChordOverlay::RunMaintenanceRound(double env) {
   uint64_t before = maint_->stats().probes_sent;
   maint_->RunRound();
   return maint_->stats().probes_sent - before;
+}
+
+uint32_t ChordOverlay::PlanMaintenanceRound(double env) {
+  // Same lazy construction as the serial path, so a run consumes the
+  // identical rng_ fork whichever engine drives maintenance.
+  if (maint_ == nullptr) {
+    maint_ = std::make_unique<ChordMaintenance>(this, network_, env,
+                                                rng_.Fork());
+  } else {
+    maint_->set_env(env);
+  }
+  return maint_->PlanRound();
+}
+
+void ChordOverlay::ExecuteMaintenanceTask(uint32_t task, Rng& rng) {
+  maint_->ExecuteTask(task, rng);
+}
+
+uint64_t ChordOverlay::FinishMaintenanceRound() {
+  return maint_->FinishRound();
+}
+
+uint64_t ChordOverlay::RoutingFingerprint() const {
+  uint64_t h = 0x63686f7264ULL;  // "chord"
+  for (const Member& m : ring_) {
+    h = Mix64(HashCombine(h, HashCombine(m.id, m.peer)));
+    for (const FingerEntry& f : m.table.fingers()) {
+      h = Mix64(HashCombine(h, HashCombine(f.peer, f.peer_id)));
+    }
+    h = Mix64(HashCombine(h, m.table.successors().size()));
+    for (const FingerEntry& s : m.table.successors()) {
+      h = Mix64(HashCombine(h, HashCombine(s.peer, s.peer_id)));
+    }
+  }
+  return h;
 }
 
 void ChordOverlay::SetMembers(const std::vector<net::PeerId>& members) {

@@ -94,8 +94,29 @@ class ChordOverlay : public StructuredOverlay {
   /// sent.
   uint64_t RunMaintenanceRound(double env) override;
 
+  /// Sharded maintenance (plan/execute/publish, see StructuredOverlay):
+  /// forwarded to the owned ChordMaintenance, which keeps the fractional
+  /// budgets shared between the serial and sharded paths.
+  bool has_sharded_maintenance() const override { return true; }
+  uint32_t PlanMaintenanceRound(double env) override;
+  void ExecuteMaintenanceTask(uint32_t task, Rng& rng) override;
+  uint64_t FinishMaintenanceRound() override;
+
   /// Rejoin refresh, free/piggybacked (paper Section 3.3.1).
   void OnPeerRejoin(net::PeerId peer) override { RefreshNode(peer); }
+
+  /// Table rebuilds draw no randomness, so the sharded rejoin is plain
+  /// RefreshNode -- safe for distinct peers in parallel (BuildTable
+  /// writes only the named member's table).
+  bool has_sharded_rejoin() const override { return true; }
+  void RejoinNode(net::PeerId peer, Rng& rng) override {
+    (void)rng;
+    RefreshNode(peer);
+  }
+
+  /// Order-sensitive hash over the ring: ids, fingers and successor
+  /// lists of every member (determinism-test hook).
+  uint64_t RoutingFingerprint() const override;
 
   /// Rebuilds one node's routing state from current membership; called by
   /// maintenance on finger repair and on rejoin after churn.

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "util/bits.h"
+#include "util/hash.h"
 
 namespace pdht::overlay {
 
@@ -40,7 +41,7 @@ void KademliaOverlay::SetMembers(const std::vector<net::PeerId>& members) {
     sorted_ids_.push_back(PeerToNodeId(p));
     nodes_[p] = NodeState{PeerToNodeId(p), {}};
   }
-  for (net::PeerId p : member_list_) BuildBuckets(p);
+  for (net::PeerId p : member_list_) BuildBuckets(p, rng_);
 }
 
 std::vector<net::PeerId> KademliaOverlay::BucketCandidates(
@@ -63,7 +64,7 @@ std::vector<net::PeerId> KademliaOverlay::BucketCandidates(
   return out;
 }
 
-void KademliaOverlay::BuildBuckets(net::PeerId peer) {
+void KademliaOverlay::BuildBuckets(net::PeerId peer, Rng& rng) {
   NodeState& st = nodes_.at(peer);
   st.buckets.assign(64, {});
   for (int b = 0; b < 64; ++b) {
@@ -83,7 +84,7 @@ void KademliaOverlay::BuildBuckets(net::PeerId peer) {
         std::sort(by_rtt.begin(), by_rtt.end());
         for (size_t i = 0; i < bucket_size_; ++i) cands[i] = by_rtt[i].second;
       } else {
-        rng_.Shuffle(cands.data(), cands.size());
+        rng.Shuffle(cands.data(), cands.size());
       }
       cands.resize(bucket_size_);
     }
@@ -213,66 +214,127 @@ bool KademliaOverlay::FallbackHop(const RouteState& state, uint64_t /*key*/,
   return true;
 }
 
+uint64_t KademliaOverlay::ProbeMember(net::PeerId peer, uint32_t probes,
+                                      Rng& rng) {
+  NodeState& st = nodes_.at(peer);
+  // Bucket sizes never change during a round (repair swaps contacts in
+  // place), so the per-probe pick domain is fixed at entry.
+  const size_t table_size = TableSize(peer);
+  if (table_size == 0) return 0;
+  uint64_t sent = 0;
+  for (uint32_t i = 0; i < probes; ++i) {
+    // Pick a uniformly random contact across the (ragged) buckets.
+    size_t idx = static_cast<size_t>(rng.UniformU64(table_size));
+    size_t b = 0;
+    while (idx >= st.buckets[b].size()) {
+      idx -= st.buckets[b].size();
+      ++b;
+    }
+    net::PeerId contact = st.buckets[b][idx];
+    net::Message probe;
+    probe.type = net::MessageType::kRoutingProbe;
+    probe.from = peer;
+    probe.to = contact;
+    network_->Send(probe);
+    ++sent;
+    if (!network_->IsOnline(contact)) {
+      // Repair is free (piggybacked): swap in an online member of the
+      // same bucket not already referenced, if one exists.  With the
+      // PeerRtt hook installed the *cheapest* such replacement wins
+      // (proximity-aware repair); blind repair keeps first-found.
+      std::vector<net::PeerId> cands =
+          BucketCandidates(st.id, static_cast<int>(b));
+      net::PeerId best = net::kInvalidPeer;
+      double best_rtt = 0.0;
+      for (net::PeerId cand : cands) {
+        if (!network_->IsOnline(cand)) continue;
+        if (std::find(st.buckets[b].begin(), st.buckets[b].end(), cand) !=
+            st.buckets[b].end()) {
+          continue;
+        }
+        if (!has_peer_rtt()) {
+          best = cand;
+          break;
+        }
+        const double rtt = PeerRtt(peer, cand);
+        if (best == net::kInvalidPeer || rtt < best_rtt ||
+            (rtt == best_rtt && cand < best)) {
+          best = cand;
+          best_rtt = rtt;
+        }
+      }
+      if (best != net::kInvalidPeer) st.buckets[b][idx] = best;
+    }
+  }
+  return sent;
+}
+
 uint64_t KademliaOverlay::RunMaintenanceRound(double env) {
   uint64_t probes = 0;
   for (net::PeerId peer : member_list_) {
     if (!network_->IsOnline(peer)) continue;
-    NodeState& st = nodes_.at(peer);
     size_t table_size = TableSize(peer);
     if (table_size == 0) continue;
     double& budget = probe_budget_[peer];
     budget += env * static_cast<double>(table_size);
-    while (budget >= 1.0) {
-      budget -= 1.0;
-      // Pick a uniformly random contact across the (ragged) buckets.
-      size_t idx = static_cast<size_t>(rng_.UniformU64(table_size));
-      size_t b = 0;
-      while (idx >= st.buckets[b].size()) {
-        idx -= st.buckets[b].size();
-        ++b;
-      }
-      net::PeerId contact = st.buckets[b][idx];
-      net::Message probe;
-      probe.type = net::MessageType::kRoutingProbe;
-      probe.from = peer;
-      probe.to = contact;
-      network_->Send(probe);
-      ++probes;
-      if (!network_->IsOnline(contact)) {
-        // Repair is free (piggybacked): swap in an online member of the
-        // same bucket not already referenced, if one exists.  With the
-        // PeerRtt hook installed the *cheapest* such replacement wins
-        // (proximity-aware repair); blind repair keeps first-found.
-        std::vector<net::PeerId> cands =
-            BucketCandidates(st.id, static_cast<int>(b));
-        net::PeerId best = net::kInvalidPeer;
-        double best_rtt = 0.0;
-        for (net::PeerId cand : cands) {
-          if (!network_->IsOnline(cand)) continue;
-          if (std::find(st.buckets[b].begin(), st.buckets[b].end(), cand) !=
-              st.buckets[b].end()) {
-            continue;
-          }
-          if (!has_peer_rtt()) {
-            best = cand;
-            break;
-          }
-          const double rtt = PeerRtt(peer, cand);
-          if (best == net::kInvalidPeer || rtt < best_rtt ||
-              (rtt == best_rtt && cand < best)) {
-            best = cand;
-            best_rtt = rtt;
-          }
-        }
-        if (best != net::kInvalidPeer) st.buckets[b][idx] = best;
-      }
-    }
+    // floor + subtract leaves the same residual as the historical
+    // `while (budget >= 1.0) budget -= 1.0` loop (integer subtraction
+    // from a double this size is exact), and the draw sequence through
+    // ProbeMember is probe-for-probe the old inline loop.
+    const uint32_t whole = static_cast<uint32_t>(budget);
+    budget -= static_cast<double>(whole);
+    if (whole > 0) probes += ProbeMember(peer, whole, rng_);
   }
   return probes;
 }
 
+uint32_t KademliaOverlay::PlanMaintenanceRound(double env) {
+  maint_tasks_.clear();
+  for (net::PeerId peer : member_list_) {
+    if (!network_->IsOnline(peer)) continue;
+    const size_t table_size = TableSize(peer);
+    if (table_size == 0) continue;
+    double& budget = probe_budget_[peer];
+    budget += env * static_cast<double>(table_size);
+    const uint32_t whole = static_cast<uint32_t>(budget);
+    budget -= static_cast<double>(whole);
+    if (whole > 0) maint_tasks_.push_back(MaintTask{peer, whole});
+  }
+  maint_task_probes_.assign(maint_tasks_.size(), 0);
+  return static_cast<uint32_t>(maint_tasks_.size());
+}
+
+void KademliaOverlay::ExecuteMaintenanceTask(uint32_t task, Rng& rng) {
+  const MaintTask& t = maint_tasks_[task];
+  // ProbeMember writes only t.peer's buckets and reads shared frozen
+  // state (sorted ids, membership, online flags), so distinct tasks are
+  // race-free.
+  maint_task_probes_[task] = ProbeMember(t.peer, t.probes, rng);
+}
+
+uint64_t KademliaOverlay::FinishMaintenanceRound() {
+  uint64_t probes = 0;
+  for (uint64_t p : maint_task_probes_) probes += p;
+  maint_tasks_.clear();
+  maint_task_probes_.clear();
+  return probes;
+}
+
+uint64_t KademliaOverlay::RoutingFingerprint() const {
+  uint64_t h = 0x6b61646d6cULL;  // "kadml"
+  for (net::PeerId peer : member_list_) {
+    const NodeState& st = nodes_.at(peer);
+    h = Mix64(HashCombine(h, HashCombine(st.id, peer)));
+    for (const auto& bucket : st.buckets) {
+      h = Mix64(HashCombine(h, bucket.size()));
+      for (net::PeerId c : bucket) h = Mix64(HashCombine(h, c));
+    }
+  }
+  return h;
+}
+
 void KademliaOverlay::RefreshNode(net::PeerId peer) {
-  if (nodes_.count(peer) > 0) BuildBuckets(peer);
+  if (nodes_.count(peer) > 0) BuildBuckets(peer, rng_);
 }
 
 size_t KademliaOverlay::TableSize(net::PeerId peer) const {

@@ -83,10 +83,31 @@ class KademliaOverlay : public StructuredOverlay {
   /// member of the same bucket (repair is free / piggybacked).
   uint64_t RunMaintenanceRound(double env) override;
 
+  /// Sharded maintenance (plan/execute/publish, see StructuredOverlay):
+  /// plan consumes the fractional budget map serially in member order,
+  /// execute probes/repairs one member's buckets with the task Rng
+  /// (in-place contact swaps -- bucket sizes never change mid-phase).
+  bool has_sharded_maintenance() const override { return true; }
+  uint32_t PlanMaintenanceRound(double env) override;
+  void ExecuteMaintenanceTask(uint32_t task, Rng& rng) override;
+  uint64_t FinishMaintenanceRound() override;
+
   /// Rejoin refresh: rebuilds the peer's buckets from current membership.
   void OnPeerRejoin(net::PeerId peer) override { RefreshNode(peer); }
 
+  /// Bucket rebuild draws (the over-full shuffle) route through the
+  /// caller's Rng, so distinct peers rebuild concurrently without
+  /// touching the shared stream.
+  bool has_sharded_rejoin() const override { return true; }
+  void RejoinNode(net::PeerId peer, Rng& rng) override {
+    if (nodes_.count(peer) > 0) BuildBuckets(peer, rng);
+  }
+
   void RefreshNode(net::PeerId peer);
+
+  /// Order-sensitive hash over every member's buckets (determinism-test
+  /// hook).
+  uint64_t RoutingFingerprint() const override;
 
   /// Total contacts of `peer` across buckets (for maintenance sizing).
   size_t TableSize(net::PeerId peer) const;
@@ -109,7 +130,13 @@ class KademliaOverlay : public StructuredOverlay {
     std::vector<std::vector<net::PeerId>> buckets;
   };
 
-  void BuildBuckets(net::PeerId peer);
+  /// Rebuilds `peer`'s buckets; the over-full shuffle draws from `rng`
+  /// (serial callers pass rng_, sharded rejoin passes a per-peer stream).
+  void BuildBuckets(net::PeerId peer, Rng& rng);
+  /// One member's probe round against its own buckets, drawing from
+  /// `rng`; shared by the serial and sharded maintenance paths.  Returns
+  /// probes sent.
+  uint64_t ProbeMember(net::PeerId peer, uint32_t probes, Rng& rng);
   /// Members whose id differs from `id` first at bit `bucket`.
   std::vector<net::PeerId> BucketCandidates(NodeId id, int bucket) const;
   /// The member id-closest (XOR) to `target`; kInvalidPeer when empty.
@@ -122,6 +149,14 @@ class KademliaOverlay : public StructuredOverlay {
   std::vector<net::PeerId> member_list_;  // sorted by node id
   std::vector<NodeId> sorted_ids_;        // parallel to member_list_
   std::unordered_map<net::PeerId, double> probe_budget_;
+
+  /// Sharded-maintenance round state (plan -> execute -> finish).
+  struct MaintTask {
+    net::PeerId peer = net::kInvalidPeer;
+    uint32_t probes = 0;
+  };
+  std::vector<MaintTask> maint_tasks_;
+  std::vector<uint64_t> maint_task_probes_;  // parallel to maint_tasks_
 
   /// Per-lookup routing state, one entry per lookup slot (set in
   /// StartLookup; concurrent walks each run under their own

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "net/network.h"
 #include "overlay/dht/chord.h"
@@ -40,6 +41,29 @@ class ChordMaintenance {
   /// Runs one maintenance round across all online members.
   void RunRound();
 
+  // --- Sharded round (plan/execute/finish) -----------------------------
+  //
+  // The StructuredOverlay sharded-maintenance contract, implemented
+  // here so the fractional budget map stays in one place.  PlanRound
+  // consumes budgets serially (unordered_map insertion is not
+  // thread-safe) in ring order and freezes each member's probe count at
+  // its round-start table size; ExecuteTask probes/repairs one member's
+  // table with the caller's Rng -- repairs write only that member's
+  // table, so distinct tasks are race-free -- accumulating stats into a
+  // per-task slot; FinishRound merges the slots in task order.
+
+  /// Serial PLAN: accrues env * table_size per online member, emits one
+  /// task per member with >= 1 whole probe.  Returns the task count.
+  uint32_t PlanRound();
+
+  /// Parallel EXECUTE of task `task` (in [0, PlanRound())), drawing only
+  /// from `rng`.  Safe to call concurrently for distinct tasks.
+  void ExecuteTask(uint32_t task, Rng& rng);
+
+  /// Serial FINISH: folds per-task stats into stats(); returns the
+  /// round's probes sent.
+  uint64_t FinishRound();
+
   /// Refreshes a peer's full table without message cost; call when a peer
   /// rejoins after downtime ("piggybacking routing information on queries"
   /// keeps rejoining cheap in the paper's model).
@@ -55,12 +79,24 @@ class ChordMaintenance {
   double ExpectedProbesPerPeer(net::PeerId peer) const;
 
  private:
+  struct MaintTask {
+    net::PeerId peer = net::kInvalidPeer;
+    uint32_t probes = 0;  ///< whole probes granted at plan time
+  };
+  struct TaskStats {
+    uint32_t probes = 0;
+    uint32_t stale = 0;
+    uint32_t repairs = 0;
+  };
+
   ChordOverlay* overlay_;
   net::Network* network_;
   double env_;
   Rng rng_;
   MaintenanceStats stats_;
   std::unordered_map<net::PeerId, double> budget_;  // fractional carry-over
+  std::vector<MaintTask> tasks_;       // sharded-round plan
+  std::vector<TaskStats> task_stats_;  // parallel to tasks_
 };
 
 }  // namespace pdht::overlay

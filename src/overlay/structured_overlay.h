@@ -251,10 +251,62 @@ class StructuredOverlay {
   /// (piggybacked).  Returns probes sent.
   virtual uint64_t RunMaintenanceRound(double env) = 0;
 
+  // --- Sharded maintenance (optional backend opt-in) --------------------
+  //
+  // The plan/execute/publish split of RunMaintenanceRound, for the
+  // sharded round engine (docs/architecture.md).  A backend that opts in
+  // (has_sharded_maintenance() true) promises:
+  //
+  //  * PlanMaintenanceRound (serial) consumes the fractional probe
+  //    budgets in canonical member order and returns a task count N; the
+  //    task list is a pure function of (budgets, tables, online set).
+  //  * ExecuteMaintenanceTask (called concurrently for distinct task
+  //    indices in [0, N), any order, any thread) draws only from the
+  //    caller-provided Rng, writes only the owning member's routing
+  //    table, and reads shared state (membership, other tables' sizes,
+  //    Network::IsOnline) that the engine guarantees frozen for the
+  //    phase.  Probe sends go through the Network (the engine binds a
+  //    counter lane around each task).
+  //  * FinishMaintenanceRound (serial) merges per-task stats in task
+  //    order and returns the round's probes sent.
+  //
+  // Backends that keep the default stay on the serial
+  // RunMaintenanceRound -- the engine checks has_sharded_maintenance()
+  // and falls back, so opting in is never required for correctness.
+  virtual bool has_sharded_maintenance() const { return false; }
+  virtual uint32_t PlanMaintenanceRound(double env) {
+    (void)env;
+    return 0;
+  }
+  virtual void ExecuteMaintenanceTask(uint32_t task, Rng& rng) {
+    (void)task;
+    (void)rng;
+  }
+  virtual uint64_t FinishMaintenanceRound() { return 0; }
+
   /// A member came back online after churn downtime: refresh its routing
   /// state (free, piggybacked).  Backends with static routing state (CAN
   /// zones) keep the no-op default.
   virtual void OnPeerRejoin(net::PeerId peer) { (void)peer; }
+
+  /// Sharded-rejoin opt-in: RejoinNode(peer, rng) must rebuild exactly
+  /// the named peer's routing state, drawing randomness only from `rng`
+  /// and reading only shared state that is frozen while the engine's
+  /// churn phase rebuilds distinct peers concurrently.  Backends with a
+  /// shared-Rng rebuild (Kademlia's bucket shuffle) opt in by routing
+  /// the draw through the parameter; the default keeps the serial
+  /// OnPeerRejoin path.
+  virtual bool has_sharded_rejoin() const { return false; }
+  virtual void RejoinNode(net::PeerId peer, Rng& rng) {
+    (void)rng;
+    OnPeerRejoin(peer);
+  }
+
+  /// Order-sensitive hash of every member's routing table (entry order
+  /// included), for bit-identity assertions across thread/shard counts
+  /// (integration/sharded_determinism_test).  0 for backends without
+  /// mutable routing state.
+  virtual uint64_t RoutingFingerprint() const { return 0; }
 
   /// Optional link-RTT oracle (milliseconds, symmetric), e.g. a latency
   /// DeliveryModel's RttMs.  Overlays with freedom in neighbor choice use

@@ -44,6 +44,18 @@ void RoundEngine::AddCounterRateMetric(std::string name, CounterId counter) {
             });
 }
 
+void RoundEngine::EnablePhaseTiming(std::vector<std::string> phases) {
+  phase_pending_.assign(phases.size(), 0.0);
+  phase_series_.clear();
+  phase_series_.reserve(phases.size());
+  for (const std::string& phase : phases) {
+    const std::string name = PhaseSeriesName(phase);
+    auto [it, inserted] = series_.emplace(name, TimeSeries(name));
+    (void)inserted;
+    phase_series_.push_back(&it->second);
+  }
+}
+
 void RoundEngine::Run(uint64_t rounds) {
   for (uint64_t i = 0; i < rounds; ++i) {
     RoundContext ctx;
@@ -58,6 +70,10 @@ void RoundEngine::Run(uint64_t rounds) {
     total_events_run_ += last_round_events_;
     for (auto& m : metrics_) {
       m.series->Append(m.probe(ctx));
+    }
+    for (size_t p = 0; p < phase_series_.size(); ++p) {
+      phase_series_[p]->Append(phase_pending_[p]);
+      phase_pending_[p] = 0.0;
     }
     ++round_;
   }

@@ -64,6 +64,27 @@ class RoundEngine {
   /// per round instead of a group sum.
   void AddCounterRateMetric(std::string name, CounterId counter);
 
+  /// Opt-in per-phase wall-clock instrumentation: declares one series
+  /// "round.phase.<name>.ms" per phase.  Actors report measured
+  /// milliseconds into AddPhaseMs during the round; the engine appends
+  /// each phase's accumulated value (0.0 when it never ran) after the
+  /// metric probes and resets the accumulators.  Off by default -- the
+  /// series would carry wall-clock noise into snapshots and break the
+  /// bit-identity the determinism suite asserts, so only explicitly
+  /// instrumented runs (bench_perf_roundloop --phase-times) pay for it.
+  void EnablePhaseTiming(std::vector<std::string> phases);
+  bool phase_timing() const { return !phase_series_.empty(); }
+
+  /// Accumulates `ms` into declared phase `phase` (index into the
+  /// EnablePhaseTiming list) for the current round.  No-op guard is the
+  /// caller's job: check phase_timing() before measuring.
+  void AddPhaseMs(size_t phase, double ms) { phase_pending_[phase] += ms; }
+
+  /// The series name a phase records under ("round.phase.<name>.ms").
+  static std::string PhaseSeriesName(const std::string& phase) {
+    return "round.phase." + phase + ".ms";
+  }
+
   /// Runs `rounds` rounds.  Each round: actors fire, then intra-round
   /// events up to the round boundary, then metric probes.
   void Run(uint64_t rounds);
@@ -97,6 +118,10 @@ class RoundEngine {
   };
   std::vector<Metric> metrics_;
   std::map<std::string, TimeSeries> series_;
+  // Phase timing (EnablePhaseTiming): per-phase pending accumulators and
+  // their series, appended/reset once per round.
+  std::vector<double> phase_pending_;
+  std::vector<TimeSeries*> phase_series_;
 };
 
 }  // namespace pdht::sim

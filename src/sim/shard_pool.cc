@@ -1,5 +1,7 @@
 #include "sim/shard_pool.h"
 
+#include <algorithm>
+
 namespace pdht::sim {
 
 ShardPool::ShardPool(uint32_t num_threads)
@@ -22,10 +24,15 @@ ShardPool::~ShardPool() {
 void ShardPool::ClaimLoop(uint32_t worker) {
   const TaskFn& fn = *job_;
   const uint32_t num_tasks = job_tasks_;
-  for (uint32_t t = next_task_.fetch_add(1, std::memory_order_relaxed);
-       t < num_tasks;
-       t = next_task_.fetch_add(1, std::memory_order_relaxed)) {
-    fn(worker, t);
+  const uint32_t chunk = job_chunk_;
+  // Chunked claiming: one RMW buys `chunk` consecutive tasks.  The
+  // counter overshoots num_tasks by at most num_threads * chunk, far from
+  // the uint32 range for any real phase.
+  for (uint32_t base = next_task_.fetch_add(chunk, std::memory_order_relaxed);
+       base < num_tasks;
+       base = next_task_.fetch_add(chunk, std::memory_order_relaxed)) {
+    const uint32_t end = std::min(base + chunk, num_tasks);
+    for (uint32_t t = base; t < end; ++t) fn(worker, t);
   }
 }
 
@@ -46,13 +53,19 @@ void ShardPool::WorkerLoop(uint32_t worker) {
   }
 }
 
-void ShardPool::Run(uint32_t num_tasks, const TaskFn& fn) {
+void ShardPool::Run(uint32_t num_tasks, const TaskFn& fn, uint32_t chunk) {
   if (num_tasks == 0) return;
   if (num_threads_ == 1 || num_tasks == 1) {
     // Inline fast path: no atomics, no wakeups.  The single-task case
     // also lands here so phases with one shard pay nothing for the pool.
     for (uint32_t t = 0; t < num_tasks; ++t) fn(0, t);
     return;
+  }
+  if (chunk == 0) {
+    // ~16 claims per thread balances contention (fewer RMWs) against
+    // load imbalance (the last chunks may straggle); the cap keeps one
+    // claim from serializing a visible fraction of a small phase.
+    chunk = std::min(256u, std::max(1u, num_tasks / (num_threads_ * 16)));
   }
   {
     std::unique_lock<std::mutex> lock(mu_);
@@ -63,6 +76,7 @@ void ShardPool::Run(uint32_t num_tasks, const TaskFn& fn) {
     cv_done_.wait(lock, [&] { return idle_workers_ == num_threads_ - 1; });
     job_ = &fn;
     job_tasks_ = num_tasks;
+    job_chunk_ = chunk;
     next_task_.store(0, std::memory_order_relaxed);
     ++job_gen_;
   }

@@ -1,14 +1,22 @@
 // Persistent worker pool for the sharded round engine.
 //
-// The round loop's parallel phases (queries, eviction) fan a fixed task
-// list out over a small set of long-lived threads, twice or more per
-// simulated round -- at 100k+ rounds/hour, thread start-up cost per phase
-// would dwarf the work.  ShardPool keeps num_threads - 1 workers parked on
-// a condition variable between phases; Run() wakes them, the *caller*
-// participates as worker 0 (so `--sim-threads=N` means N CPUs busy, and
-// N == 1 degenerates to a plain inline loop with no synchronization at
-// all), and tasks are claimed from a shared atomic counter so uneven task
-// costs self-balance.
+// The round loop's parallel phases (maintenance, queries, eviction,
+// updates) fan a fixed task list out over a small set of long-lived
+// threads, several times per simulated round -- at 100k+ rounds/hour,
+// thread start-up cost per phase would dwarf the work.  ShardPool keeps
+// num_threads - 1 workers parked on a condition variable between phases;
+// Run() wakes them, the *caller* participates as worker 0 (so
+// `--sim-threads=N` means N CPUs busy, and N == 1 degenerates to a plain
+// inline loop with no synchronization at all), and tasks are claimed from
+// a shared atomic counter so uneven task costs self-balance.
+//
+// Claiming is *chunked*: each fetch_add grabs a run of `chunk` consecutive
+// task indices instead of one, so phases with many tiny tasks (per-member
+// maintenance probes, per-shard eviction sweeps) pay one atomic RMW per
+// chunk rather than per task.  The claim counter lives on its own cache
+// line so the RMW traffic never false-shares with the pool's mutex or job
+// descriptor.  Chunking changes which worker runs which task, never which
+// tasks run -- the determinism contract below is unaffected.
 //
 // Determinism contract: the pool assigns *workers* to *tasks*
 // nondeterministically -- any task may run on any worker in any order.
@@ -49,7 +57,10 @@ class ShardPool {
 
   /// Runs fn over [0, num_tasks), caller participating as worker 0;
   /// returns after all tasks finish (barrier).  Not reentrant.
-  void Run(uint32_t num_tasks, const TaskFn& fn);
+  /// `chunk` is the number of consecutive task indices claimed per atomic
+  /// RMW; 0 picks a heuristic (~16 claims per thread, capped) that keeps
+  /// both contention and load imbalance low.
+  void Run(uint32_t num_tasks, const TaskFn& fn, uint32_t chunk = 0);
 
  private:
   void WorkerLoop(uint32_t worker);
@@ -68,7 +79,13 @@ class ShardPool {
   // Current job; valid while job_gen_ names it.
   const TaskFn* job_ = nullptr;
   uint32_t job_tasks_ = 0;
-  std::atomic<uint32_t> next_task_{0};
+  uint32_t job_chunk_ = 1;
+
+  // The claim counter is the only word every worker hammers during a
+  // phase; isolate it on its own cache line so claim RMWs never
+  // false-share with the mutex/job fields above (touched around parking).
+  alignas(64) std::atomic<uint32_t> next_task_{0};
+  [[maybe_unused]] char pad_after_counter_[64 - sizeof(std::atomic<uint32_t>)];
 };
 
 }  // namespace pdht::sim

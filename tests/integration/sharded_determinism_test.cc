@@ -53,6 +53,11 @@ SystemConfig BaseConfig(Strategy strategy) {
 struct RunRecord {
   std::map<std::string, std::vector<double>> series;
   RunSnapshot snap;
+  /// Order-sensitive hash over every member's routing table at the end
+  /// of the run (0 when the backend doesn't implement it, and for
+  /// kNoIndex).  The series above can't see a table whose *contents*
+  /// differ but whose message counts happen to agree; this can.
+  uint64_t fingerprint = 0;
 };
 
 RunRecord RunOnce(const SystemConfig& config) {
@@ -66,6 +71,9 @@ RunRecord RunOnce(const SystemConfig& config) {
     for (size_t i = 0; i < ts.size(); ++i) out.push_back(ts.at(i));
   }
   rec.snap = system.Snapshot(kTail);
+  if (system.dht_overlay() != nullptr) {
+    rec.fingerprint = system.dht_overlay()->RoutingFingerprint();
+  }
   return rec;
 }
 
@@ -87,6 +95,7 @@ void ExpectIdentical(const RunRecord& a, const RunRecord& b,
   EXPECT_EQ(a.snap.effective_key_ttl, b.snap.effective_key_ttl) << label;
   EXPECT_EQ(a.snap.dht_members, b.snap.dht_members) << label;
   EXPECT_EQ(a.snap.latency, b.snap.latency) << label;
+  EXPECT_EQ(a.fingerprint, b.fingerprint) << label << ": routing tables";
 }
 
 SystemConfig Sharded(SystemConfig c, uint32_t threads, uint32_t shards) {
@@ -145,6 +154,80 @@ TEST(ShardedDeterminismTest, UnstructuredOnlyStrategyIsThreadInvariant) {
   ExpectIdentical(RunOnce(Sharded(base, 1, 4)),
                   RunOnce(Sharded(base, 4, 4)),
                   "noindex threads 1 vs 4");
+}
+
+TEST(ShardedDeterminismTest, MaintenanceFingerprintMatrixChord) {
+  // Sharded maintenance + parallel churn rejoins mutate routing tables
+  // from worker threads; the fingerprint (an order-sensitive hash over
+  // every finger/successor of every member) must be bit-identical across
+  // the full threads x shards matrix.  Churn is on in BaseConfig, so
+  // both the probe/repair path and the rejoin-rebuild path run.
+  const SystemConfig base = BaseConfig(Strategy::kPartialTtl);
+  const RunRecord ref = RunOnce(Sharded(base, 1, 1));
+  EXPECT_NE(ref.fingerprint, 0u);
+  for (uint32_t threads : {2u, 4u}) {
+    for (uint32_t shards : {1u, 4u}) {
+      ExpectIdentical(ref, RunOnce(Sharded(base, threads, shards)),
+                      "chord fp threads " + std::to_string(threads) +
+                          " shards " + std::to_string(shards));
+    }
+  }
+}
+
+TEST(ShardedDeterminismTest, MaintenanceFingerprintMatrixKademlia) {
+  // Kademlia's rejoin rebuild *draws* (bucket shuffles) run on worker
+  // threads under per-peer derived streams -- the strongest test of the
+  // parallel-rejoin stream discipline.  Covered under both delivery
+  // models: with latency + PNS the bucket contents come from RTT sorts,
+  // without it from Rng shuffles.
+  SystemConfig base = BaseConfig(Strategy::kPartialTtl);
+  base.backend = DhtBackend::kKademlia;
+  const RunRecord ref = RunOnce(Sharded(base, 1, 1));
+  EXPECT_NE(ref.fingerprint, 0u);
+  for (uint32_t threads : {2u, 4u}) {
+    for (uint32_t shards : {1u, 4u}) {
+      ExpectIdentical(ref, RunOnce(Sharded(base, threads, shards)),
+                      "kademlia fp threads " + std::to_string(threads) +
+                          " shards " + std::to_string(shards));
+    }
+  }
+  SystemConfig lat = base;
+  lat.delivery_model = net::DeliveryModelKind::kLatency;
+  ExpectIdentical(RunOnce(Sharded(lat, 1, 4)),
+                  RunOnce(Sharded(lat, 4, 4)),
+                  "kademlia latency fp threads 1 vs 4");
+}
+
+TEST(ShardedDeterminismTest, ProactiveUpdatesAreThreadInvariant) {
+  // kIndexAll exercises the sharded proactive-update actor (plan draws
+  // ranks serially, lookups + flood costing run parallel, replica Puts
+  // publish in task order) together with sharded maintenance.
+  const SystemConfig base = BaseConfig(Strategy::kIndexAll);
+  const RunRecord ref = RunOnce(Sharded(base, 1, 4));
+  ExpectIdentical(ref, RunOnce(Sharded(base, 2, 4)),
+                  "indexAll threads 1 vs 2");
+  ExpectIdentical(ref, RunOnce(Sharded(base, 4, 4)),
+                  "indexAll threads 1 vs 4");
+  // Updates actually flowed: the replica-push series is non-trivial.
+  EXPECT_GT(ref.snap.series_tail.at(PdhtSystem::kSeriesMsgReplica), 0.0);
+  SystemConfig lat = base;
+  lat.delivery_model = net::DeliveryModelKind::kLatency;
+  lat.proximity_routing = false;
+  ExpectIdentical(RunOnce(Sharded(lat, 1, 4)),
+                  RunOnce(Sharded(lat, 4, 4)),
+                  "indexAll latency threads 1 vs 4");
+}
+
+TEST(ShardedDeterminismTest, AutoModeIsAnAliasNotAThirdStream) {
+  // sim_threads_auto must select one of the two existing engines, never
+  // invent a third stream: below the work floor it IS the serial run;
+  // above it (not reachable at this test's scale) it is the sharded run
+  // at some thread count, which the matrix above already pins.
+  const SystemConfig base = BaseConfig(Strategy::kPartialTtl);
+  SystemConfig autod = base;
+  autod.sim_threads_auto = true;
+  ExpectIdentical(RunOnce(base), RunOnce(autod),
+                  "auto(small) vs explicit serial");
 }
 
 TEST(ShardedDeterminismTest, ShardedEngineMatchesSerialAggregates) {
