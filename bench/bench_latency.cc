@@ -10,7 +10,12 @@
 //   +route-pns    -- + route-time PNS (RoutingDriver candidate scoring +
 //                    proximity entry selection),
 //   +timeout      -- + timeout-aware failed-probe costing (failed probe
-//                    rounds charge LatencyConfig::timeout_ms).
+//                    rounds charge LatencyConfig::timeout_ms),
+//   +adaptive-rto -- + per-peer Jacobson RTO estimation (failed probes
+//                    charge srtt + 4*rttvar instead of the fixed ceiling),
+//   +replica-route-- + latency-aware replica failover at terminal hops
+//                    (route to the cheapest live replica of the key's
+//                    group instead of insisting on the primary).
 //
 // Table 2 -- the routing-policy grid per registered backend (blind /
 // table-pns / table-pns+route-pns / +timeout costing at the same 1/14
@@ -28,6 +33,12 @@
 //      prices them (mean lookup RTT >= the uncosted variant); counts
 //      stay bit-identical to the +route-pns cell.
 //   5. Routing stretch falls monotonically blind -> table -> +route.
+//   6. Adaptive RTO re-prices timeouts without touching a routing
+//      decision: counts stay bit-identical to +timeout while the mean
+//      lookup RTT strictly drops.
+//   7. Replica failover strictly reduces mean lookup RTT vs +timeout
+//      (dead primaries stop costing full timeout ladders).
+//   8. (full grid) Both wins replicate on the CAN and Kademlia rows.
 //
 // Seeds are paired across the variant runs (same ExperimentSpec shape,
 // same base seed, no extra axes), so the comparisons are per-cell, not
@@ -83,13 +94,17 @@ struct Policy {
   bool table_pns;
   bool route_pns;
   bool timeout;
+  bool adaptive;
+  bool replica;
 };
 
 constexpr Policy kPolicies[] = {
-    {"blind", false, false, false},
-    {"table-pns", true, false, false},
-    {"table+route-pns", true, true, false},
-    {"+timeout", true, true, true},
+    {"blind", false, false, false, false, false},
+    {"table-pns", true, false, false, false, false},
+    {"table+route-pns", true, true, false, false, false},
+    {"+timeout", true, true, true, false, false},
+    {"+adaptive-rto", true, true, true, true, false},
+    {"+replica-route", true, true, true, true, true},
 };
 
 void ApplyPolicy(SystemConfig* c, const Policy& p) {
@@ -97,6 +112,8 @@ void ApplyPolicy(SystemConfig* c, const Policy& p) {
   c->proximity_routing = p.table_pns;
   c->route_proximity = p.route_pns;
   c->timeout_costing = p.timeout;
+  c->adaptive_rto = p.adaptive;
+  c->replica_route = p.replica;
 }
 
 struct VariantResult {
@@ -145,7 +162,8 @@ void PrintJsonRow(std::FILE* f, const pdht::exp::AggregateRow& row) {
       {"lookup_rtt_p95_ms", PdhtSystem::kMetricLookupRttP95},
       {"lookup_rtt_p99_ms", PdhtSystem::kMetricLookupRttP99},
       {"lookup_hops_mean", PdhtSystem::kMetricLookupHopsMean},
-      {"timeouts", PdhtSystem::kMetricLookupTimeouts}};
+      {"timeouts", PdhtSystem::kMetricLookupTimeouts},
+      {"failovers", PdhtSystem::kMetricLookupFailovers}};
   for (const auto& [name, key] : fields) {
     std::fprintf(f, "\"%s\": ", name);
     PrintJsonNumber(f, Mean(row, key), 3);
@@ -249,7 +267,7 @@ int main(int argc, char** argv) {
                   headline, flags.csv);
 
   // --- Table 2: routing policies per registered backend ----------------
-  // 16 cells of latency-delivery simulation: skipped on smoke budgets so
+  // 24 cells of latency-delivery simulation: skipped on smoke budgets so
   // the CTest smoke target stays cheap (the headline ladder above
   // already proves count invariance and the policy wins; the full grid
   // runs at the default budget and nightly's --full).
@@ -311,6 +329,10 @@ int main(int argc, char** argv) {
       Mean(headline[3].row, PdhtSystem::kMetricLookupRttMean);
   const double timeout_rtt =
       Mean(headline[4].row, PdhtSystem::kMetricLookupRttMean);
+  const double adaptive_rtt =
+      Mean(headline[5].row, PdhtSystem::kMetricLookupRttMean);
+  const double replica_rtt =
+      Mean(headline[6].row, PdhtSystem::kMetricLookupRttMean);
 
   // 2. The PR 4 win still holds: table-build PNS beats blind.
   const bool table_wins = table_rtt > 0.0 && table_rtt < blind_rtt;
@@ -369,9 +391,76 @@ int main(int argc, char** argv) {
               blind_stretch, route_stretch, stretch_wins ? "PASS" : "FAIL");
   pass &= stretch_wins;
 
+  // 6. Adaptive RTO is pure re-pricing: no routing decision changes
+  //    (counts bit-identical to +timeout), yet failed probes now charge
+  //    the learned per-link srtt + 4*rttvar instead of the fixed
+  //    ceiling, so the mean lookup RTT strictly drops.
+  bool adaptive_ok = adaptive_rtt > 0.0 && adaptive_rtt < timeout_rtt;
+  if (adaptive_ok) {
+    const auto& timeout_cells = headline[4].cells;
+    const auto& adaptive_cells = headline[5].cells;
+    for (size_t i = 0; i < timeout_cells.size() && adaptive_ok; ++i) {
+      for (const char* key :
+           {PdhtSystem::kSeriesMsgTotal, PdhtSystem::kSeriesHitRate}) {
+        if (timeout_cells[i].metrics.at(key) !=
+            adaptive_cells[i].metrics.at(key)) {
+          adaptive_ok = false;
+          std::printf("  adaptive RTO changed counts: cell %zu %s\n", i,
+                      key);
+          break;
+        }
+      }
+    }
+  }
+  std::printf("shape check: adaptive RTO re-prices timeouts "
+              "(rtt %.2f -> %.2f ms, %.1f%% win) with bit-identical "
+              "counts: %s\n",
+              timeout_rtt, adaptive_rtt,
+              timeout_rtt > 0.0 ? 100.0 * (1.0 - adaptive_rtt / timeout_rtt)
+                                : 0.0,
+              adaptive_ok ? "PASS" : "FAIL");
+  pass &= adaptive_ok;
+
+  // 7. Replica failover beats the fixed-timeout rung: terminal hops stop
+  //    paying full timeout ladders for dead primaries.
+  const bool replica_wins = replica_rtt > 0.0 && replica_rtt < timeout_rtt;
+  const double failovers =
+      Mean(headline[6].row, PdhtSystem::kMetricLookupFailovers);
+  std::printf("shape check: replica failover reduces mean lookup RTT vs "
+              "+timeout (%.2f -> %.2f ms, %.1f%% win; %.0f failovers): %s\n",
+              timeout_rtt, replica_rtt,
+              timeout_rtt > 0.0 ? 100.0 * (1.0 - replica_rtt / timeout_rtt)
+                                : 0.0,
+              failovers, replica_wins ? "PASS" : "FAIL");
+  pass &= replica_wins;
+
+  // 8. (full grid only) The resilience wins replicate on the CAN and
+  //    Kademlia rows -- the two backends the motivation data shows
+  //    exploding under fixed timeouts.
+  constexpr size_t kRungs = std::size(kPolicies);
+  if (!flags.smoke) {
+    for (size_t i = 0; i + kRungs - 1 < policy_rows.size(); i += kRungs) {
+      const std::string& label = policy_rows[i].label;
+      const bool checked = label.rfind("can/", 0) == 0 ||
+                           label.rfind("kademlia/", 0) == 0;
+      if (!checked) continue;
+      const double t =
+          Mean(policy_rows[i + 3].row, PdhtSystem::kMetricLookupRttMean);
+      const double a =
+          Mean(policy_rows[i + 4].row, PdhtSystem::kMetricLookupRttMean);
+      const double rr =
+          Mean(policy_rows[i + 5].row, PdhtSystem::kMetricLookupRttMean);
+      const bool ok = a > 0.0 && a < t && rr > 0.0 && rr < t;
+      std::printf("shape check: %-10s +timeout %.2f ms -> adaptive %.2f / "
+                  "replica %.2f ms: %s\n",
+                  label.c_str(), t, a, rr, ok ? "PASS" : "FAIL");
+      pass &= ok;
+    }
+  }
+
   // Informational: per-backend route-PNS wins (structural for CAN, whose
   // exact-tie candidate groups leave little reordering freedom).
-  for (size_t i = 0; i + 3 < policy_rows.size(); i += 4) {
+  for (size_t i = 0; i + kRungs - 1 < policy_rows.size(); i += kRungs) {
     const double b = Mean(policy_rows[i].row, PdhtSystem::kMetricLookupRttMean);
     const double r =
         Mean(policy_rows[i + 2].row, PdhtSystem::kMetricLookupRttMean);

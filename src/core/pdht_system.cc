@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "model/selection_model.h"
+#include "net/rtt_estimator.h"
 #include "util/hash.h"
 #include "util/logging.h"
 
@@ -69,6 +70,14 @@ std::string SystemConfig::Validate() const {
     std::string lat_err = latency.Validate();
     if (!lat_err.empty()) return lat_err;
   }
+  std::string sc_err = scenario.Validate();
+  if (!sc_err.empty()) return sc_err;
+  if (scenario.kind == sim::ScenarioKind::kClusterOutage &&
+      (delivery_model != net::DeliveryModelKind::kLatency ||
+       latency.topology != net::LatencyTopology::kTransitStub)) {
+    return "scenario cluster_outage requires the latency delivery model "
+           "with transit_stub topology (the cluster is a stub domain)";
+  }
   if (sim_threads > 256) return "sim_threads must be <= 256";
   if (sim_shards > (1u << 20)) return "sim_shards must be <= 2^20";
   return "";
@@ -85,6 +94,9 @@ PdhtSystem::PdhtSystem(const SystemConfig& config)
   lookup_rtt_ms_.TrackStreamingQuantiles({0.5, 0.95, 0.99});
   lookup_direct_ms_.TrackStreamingQuantiles({});  // mean-only (stretch)
   lookup_hops_.TrackStreamingQuantiles({0.95});
+  for (Histogram& h : hop_rtt_ms_) {
+    h.TrackStreamingQuantiles({});  // mean-only, O(1) memory per hop bucket
+  }
   DeriveSettings();
   BuildSubstrates();
   SelectDhtMembers();
@@ -167,6 +179,27 @@ void PdhtSystem::BuildSubstrates() {
     delivery_ = std::make_unique<net::ImmediateDelivery>();
   }
   network_->SetDeliveryModel(delivery_.get(), &engine_.events());
+  if (config_.adaptive_rto && config_.timeout_costing &&
+      config_.proximity_routing &&
+      config_.delivery_model == net::DeliveryModelKind::kLatency) {
+    // Adaptive per-peer RTO: the latency model consults the estimator in
+    // ProbeTimeoutSeconds, the network feeds it observed link delays.
+    // Gated on proximity_routing because the RTT oracle seeds unsampled
+    // destinations; with any leg of the condition off, nothing is
+    // installed and timeout costing stays the fixed timeout_ms, bit for
+    // bit.  Construction consumes no Rng stream.
+    auto* lat = static_cast<net::LatencyDelivery*>(delivery_.get());
+    net::RtoConfig rc;
+    rc.min_ms = config_.latency.rto_min_ms;
+    rc.max_ms = config_.latency.rto_max_ms > 0.0
+                    ? config_.latency.rto_max_ms
+                    : config_.latency.timeout_ms;
+    rc.fallback_ms = config_.latency.timeout_ms;
+    rto_ = std::make_unique<net::PeerRtoEstimator>(
+        rc, [lat](net::PeerId a, net::PeerId b) { return lat->RttMs(a, b); });
+    lat->SetRtoEstimator(rto_.get());
+    network_->SetRttObserver(rto_.get());
+  }
   nodes_.resize(p.num_peers);
   for (uint32_t i = 0; i < p.num_peers; ++i) {
     nodes_[i] = PdhtNode(i, p.stor, &index_arena_);
@@ -180,6 +213,30 @@ void PdhtSystem::BuildSubstrates() {
   // Align network state with the churn model's initial draw.
   for (uint32_t i = 0; i < p.num_peers; ++i) {
     network_->SetOnline(i, churn_->IsOnline(i));
+  }
+
+  if (config_.scenario.kind == sim::ScenarioKind::kClusterOutage) {
+    // Resolve the scripted cluster's membership once (Validate() vetted
+    // kLatency + transit_stub, so the cast holds).  Pure hash reads: no
+    // Rng stream is consumed, so enabling a scenario never perturbs the
+    // baseline's draws.
+    const auto* lat =
+        static_cast<const net::LatencyDelivery*>(delivery_.get());
+    uint32_t cluster = config_.scenario.cluster;
+    if (cluster == sim::ScenarioConfig::kLargestCluster) {
+      std::vector<uint32_t> population(config_.latency.num_clusters, 0);
+      for (uint32_t i = 0; i < p.num_peers; ++i) {
+        ++population[lat->ClusterOf(i)];
+      }
+      cluster = 0;
+      for (uint32_t c = 1; c < population.size(); ++c) {
+        if (population[c] > population[cluster]) cluster = c;
+      }
+    }
+    outage_peers_.clear();
+    for (uint32_t i = 0; i < p.num_peers; ++i) {
+      if (lat->ClusterOf(i) == cluster) outage_peers_.push_back(i);
+    }
   }
 
   Rng graph_rng = rng_.Fork();
@@ -242,7 +299,14 @@ void PdhtSystem::SelectDhtMembers() {
       config_.proximity_routing && config_.route_proximity && deferred;
   route_pns_ = rp.proximity;
   rp.timeout_costing = config_.timeout_costing && deferred;
-  if (rp.proximity) {
+  rp.replica_route = config_.replica_route && deferred;
+  if (rp.replica_route) {
+    rp.replica_count = static_cast<uint32_t>(std::min<uint64_t>(
+        p.repl, std::numeric_limits<uint32_t>::max()));
+  }
+  if (rp.proximity || rp.replica_route) {
+    // The oracle serves route-PNS ordering, cheapest-replica selection
+    // and the per-hop RTT trace.
     rp.rtt = [model](net::PeerId a, net::PeerId b) {
       return model->RttMs(a, b);
     };
@@ -342,6 +406,11 @@ void PdhtSystem::RegisterActors() {
       // costing is on so existing latency runs keep their series set.
       engine_.AddCounterRateMetric(kSeriesTimeoutRate,
                                    network_->timeout_counter_id());
+    }
+    if (config_.replica_route) {
+      // Per-round replica-failover counts, same presence rules.
+      engine_.AddCounterRateMetric(kSeriesFailoverRate,
+                                   network_->failover_counter_id());
     }
   }
   engine_.AddMetric(kSeriesHitRate, [this](const sim::RoundContext&) {
@@ -493,6 +562,9 @@ QueryOutcome PdhtSystem::RunIndexFirstQuery(net::PeerId origin, uint64_t key,
     lookup_rtt_ms_.Add((network_->total_latency_s() - lat_before) * 1e3);
     lookup_direct_ms_.Add(delivery_->RttMs(origin, route.terminus));
     lookup_hops_.Add(static_cast<double>(route.hops));
+    for (uint32_t k = 0; k < route.hop_rtt_n; ++k) {
+      hop_rtt_ms_[k].Add(route.hop_rtt_ms[k]);
+    }
   }
   net::PeerId holder = net::kInvalidPeer;
   if (route.success && route.terminus != net::kInvalidPeer &&
@@ -790,6 +862,10 @@ void PdhtSystem::ShardIndexFirstQuery(Rng& rng, uint32_t worker,
     r->rtt_ms = (network_->ObservedLatencyS() - lat_before) * 1e3;
     r->direct_ms = delivery_->RttMs(origin, route.terminus);
     r->hops = static_cast<double>(route.hops);
+    r->hop_rtt_n = route.hop_rtt_n;
+    for (uint32_t k = 0; k < route.hop_rtt_n; ++k) {
+      r->hop_rtt_ms[k] = route.hop_rtt_ms[k];
+    }
   }
   net::PeerId holder = net::kInvalidPeer;
   if (route.success && route.terminus != net::kInvalidPeer &&
@@ -879,6 +955,9 @@ void PdhtSystem::PublishQueryResults() {
       lookup_rtt_ms_.Add(r.rtt_ms);
       lookup_direct_ms_.Add(r.direct_ms);
       lookup_hops_.Add(r.hops);
+      for (uint32_t k = 0; k < r.hop_rtt_n; ++k) {
+        hop_rtt_ms_[k].Add(r.hop_rtt_ms[k]);
+      }
     }
     // (5) Per-origin stats and the round's hit-rate tally.
     if (t.origin != net::kInvalidPeer) {
@@ -1088,9 +1167,27 @@ void PdhtSystem::RunEvictionActor(sim::RoundContext& ctx) {
   }
 }
 
+void PdhtSystem::ApplyScenarioTransitions(uint64_t round) {
+  if (config_.scenario.kind != sim::ScenarioKind::kClusterOutage) return;
+  const sim::ScenarioConfig& sc = config_.scenario;
+  if (!outage_active_ && round >= sc.outage_start_round &&
+      round < sc.outage_end_round) {
+    outage_active_ = true;
+    // Ascending-peer-id order: the flips (and their observer effects on
+    // the dense online index) are a fixed sequence, so scenario runs are
+    // bit-identical at any thread/shard count.  Force/Heal consume no
+    // randomness (see sim/churn.h).
+    for (net::PeerId peer : outage_peers_) churn_->ForceOffline(peer);
+  } else if (outage_active_ && round >= sc.outage_end_round) {
+    outage_active_ = false;
+    for (net::PeerId peer : outage_peers_) churn_->Heal(peer);
+  }
+}
+
 void PdhtSystem::RunChurnActor(sim::RoundContext& ctx) {
   ScopedPhaseMs timer(&engine_, kPhaseChurn);
   if (!sharded_ || !overlay_ || !overlay_->has_sharded_rejoin()) {
+    ApplyScenarioTransitions(ctx.round);
     churn_->AdvanceTo(ctx.time);
     return;
   }
@@ -1103,6 +1200,10 @@ void PdhtSystem::RunChurnActor(sim::RoundContext& ctx) {
   // running them after the round's remaining flips changes nothing.
   rejoin_queue_.clear();
   defer_rejoins_ = true;
+  // Scenario heals fire the rejoin observers inside the deferral window
+  // so a healed cluster's members rebuild through the same deduped
+  // parallel path as ordinary rejoins.
+  ApplyScenarioTransitions(ctx.round);
   churn_->AdvanceTo(ctx.time);
   defer_rejoins_ = false;
   if (rejoin_queue_.empty()) return;
@@ -1205,6 +1306,18 @@ RunSnapshot PdhtSystem::Snapshot(size_t tail) const {
     snap.latency[kMetricLookupHopsP95] = lookup_hops_.Quantile(0.95);
     snap.latency[kMetricLookupTimeouts] =
         static_cast<double>(network_->TimeoutCount());
+    if (config_.replica_route) {
+      snap.latency[kMetricLookupFailovers] =
+          static_cast<double>(network_->FailoverCount());
+    }
+    // Per-hop RTT means, keyed by hop index; only buckets that collected
+    // samples emit a metric (blind runs emit none, keeping their
+    // snapshots unchanged).
+    for (size_t k = 0; k < hop_rtt_ms_.size(); ++k) {
+      if (hop_rtt_ms_[k].count() == 0) continue;
+      snap.latency[std::string(kMetricLookupHopRttPrefix) +
+                   std::to_string(k)] = hop_rtt_ms_[k].mean();
+    }
   }
   return snap;
 }

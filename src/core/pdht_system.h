@@ -46,6 +46,7 @@
 #include "overlay/unstructured/replication.h"
 #include "sim/churn.h"
 #include "sim/round_engine.h"
+#include "sim/scenario.h"
 #include "sim/shard_pool.h"
 
 namespace pdht::core {
@@ -132,6 +133,25 @@ struct SystemConfig {
   /// unchanged -- this prices the *waiting*, not the wire.  Only
   /// meaningful with kLatency.
   bool timeout_costing = false;
+  /// Adaptive per-peer RTO (net/rtt_estimator.h): timeout costing charges
+  /// a Jacobson-estimated per-link detection timeout -- seeded from the
+  /// RTT oracle, updated from observed link delays, clamped to
+  /// [latency.rto_min_ms, latency.rto_max_ms or timeout_ms] -- instead of
+  /// the fixed latency.timeout_ms.  Effective only with timeout_costing
+  /// and proximity_routing (the oracle seeds the estimator) under
+  /// kLatency; otherwise nothing is installed and behaviour is
+  /// bit-identical to the fixed timeout.
+  bool adaptive_rto = false;
+  /// Latency-aware replica failover (overlay::RoutingPolicy::
+  /// replica_route): terminal hops route to the cheapest live replica of
+  /// the key's group and fail over past dead ones instead of failing the
+  /// lookup; failovers surface as "net.failover" / lookup.failover.n.
+  /// Only meaningful with kLatency (deferred delivery).
+  bool replica_route = false;
+  /// Correlated-failure scenario script (sim/scenario.h).  kClusterOutage
+  /// requires kLatency with transit_stub topology (the cluster is a
+  /// transit-stub domain).
+  sim::ScenarioConfig scenario;
 
   /// Worker threads for the parallel phases of the round loop (queries,
   /// eviction).  sim_threads <= 1 with sim_shards == 0 runs the legacy
@@ -309,6 +329,26 @@ class PdhtSystem {
   static constexpr const char* kMetricLookupHopsMean = "lookup.hops.mean";
   static constexpr const char* kMetricLookupHopsP95 = "lookup.hops.p95";
   static constexpr const char* kMetricLookupTimeouts = "lookup.timeout.n";
+  /// Total replica failovers (present only when replica_route is on).
+  static constexpr const char* kMetricLookupFailovers = "lookup.failover.n";
+  /// Per-hop RTT histogram means, keyed by hop index: the metric
+  /// "lookup.hop.rtt.mean.<k>" is emitted for every hop bucket k that
+  /// collected samples (needs the driver's RTT oracle -- route_proximity
+  /// or replica_route).
+  static constexpr const char* kMetricLookupHopRttPrefix =
+      "lookup.hop.rtt.mean.";
+  /// Replica failovers per round; recorded only when replica_route is on.
+  static constexpr const char* kSeriesFailoverRate = "net.rate.failover";
+
+  /// Per-hop-index RTT samples (hop k of every bracketed lookup), for
+  /// tests; Snapshot() surfaces the means.
+  const Histogram& lookup_hop_rtt_ms(size_t k) const {
+    return hop_rtt_ms_[k];
+  }
+
+  /// The installed adaptive-RTO estimator; null unless adaptive_rto is
+  /// effective (see SystemConfig::adaptive_rto).
+  const net::PeerRtoEstimator* rto_estimator() const { return rto_.get(); }
 
  private:
   void DeriveSettings();
@@ -342,6 +382,9 @@ class PdhtSystem {
   void OnChurnFlip(net::PeerId peer, bool online);
   static void ChurnTrampoline(void* ctx, uint32_t peer, bool online,
                               double when);
+  /// Applies the scenario script's forced-outage/heal transitions due at
+  /// `round` (serial, before the round's churn flips drain).
+  void ApplyScenarioTransitions(uint64_t round);
   void RunChurnActor(sim::RoundContext& ctx);
   void RunMaintenanceActor(sim::RoundContext& ctx);
   void RunQueryActor(sim::RoundContext& ctx);
@@ -381,6 +424,8 @@ class PdhtSystem {
     double rtt_ms = 0.0;
     double direct_ms = 0.0;
     double hops = 0.0;
+    uint32_t hop_rtt_n = 0;  ///< per-hop RTT trace (replayed at publish)
+    float hop_rtt_ms[overlay::LookupResult::kMaxHopRtt] = {};
   };
 
   /// Lane-local effect slice of one parallel task: which worker lane it
@@ -470,6 +515,20 @@ class PdhtSystem {
   /// Routing hops per bracketed lookup (driver walk length), same
   /// deferred-delivery-only population rules.
   Histogram lookup_hops_;
+  /// Per-hop-index RTT samples: hop_rtt_ms_[k] collects the oracle RTT
+  /// of hop k's link across bracketed lookups (mean-only; populated only
+  /// when the routing policy has an RTT oracle).
+  std::array<Histogram, overlay::LookupResult::kMaxHopRtt> hop_rtt_ms_;
+
+  /// Adaptive per-peer RTO estimator (config_.adaptive_rto): consulted by
+  /// the latency model's ProbeTimeoutSeconds, fed by the network's
+  /// deferred-delivery observer.  Null = fixed timeout_ms.
+  std::unique_ptr<net::PeerRtoEstimator> rto_;
+
+  /// Correlated-failure scenario state: the scripted cluster's peers and
+  /// whether the outage window is currently in force.
+  std::vector<net::PeerId> outage_peers_;
+  bool outage_active_ = false;
 
   // Sharded-engine state (empty/unused when the legacy serial engine is
   // active).  Lanes, walk searchers and replica scratch are per *worker*

@@ -4,6 +4,7 @@
 #include <cctype>
 #include <cmath>
 
+#include "net/rtt_estimator.h"
 #include "util/hash.h"
 
 namespace pdht::net {
@@ -78,6 +79,11 @@ std::string LatencyConfig::Validate() const {
   if (!(ms_per_unit >= 0.0)) return "latency.ms_per_unit must be >= 0";
   if (!(jitter_ms >= 0.0)) return "latency.jitter_ms must be >= 0";
   if (!(timeout_ms >= 0.0)) return "latency.timeout_ms must be >= 0";
+  if (!(rto_min_ms >= 0.0)) return "latency.rto_min_ms must be >= 0";
+  if (!(rto_max_ms >= 0.0)) return "latency.rto_max_ms must be >= 0";
+  if (rto_max_ms > 0.0 && rto_max_ms < rto_min_ms) {
+    return "latency.rto_max_ms must be >= rto_min_ms";
+  }
   if (base_ms + ms_per_unit + jitter_ms <= 0.0) {
     return "latency model with all-zero delays: use delivery_model = "
            "immediate instead";
@@ -140,7 +146,15 @@ double LatencyDelivery::LinkDelaySeconds(PeerId from, PeerId to) const {
   const double dist = std::hypot(fx - tx, fy - ty);
   const double ms =
       config_.base_ms + config_.ms_per_unit * dist + JitterMs(from, to);
-  return ms * 1e-3;
+  // No link is ever cheaper than the fixed per-link floor, whatever the
+  // distance/jitter terms evaluate to (a no-op under Validate()d configs,
+  // where both terms are non-negative).
+  return std::max(ms, config_.base_ms) * 1e-3;
+}
+
+double LatencyDelivery::ProbeTimeoutSeconds(PeerId from, PeerId to) const {
+  if (rto_ != nullptr) return rto_->RtoMs(from, to) * 1e-3;
+  return config_.timeout_ms * 1e-3;
 }
 
 }  // namespace pdht::net

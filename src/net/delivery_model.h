@@ -39,6 +39,8 @@
 
 namespace pdht::net {
 
+class PeerRtoEstimator;
+
 /// Selects the delivery model a system builds (core::SystemConfig knob;
 /// sweepable as an experiment axis like any other config field).
 enum class DeliveryModelKind : uint8_t {
@@ -131,8 +133,17 @@ struct LatencyConfig {
   double jitter_ms = 2.0;
   /// Failed-probe detection timeout in milliseconds, charged per failed
   /// probe round when timeout-aware routing is on
-  /// (core::SystemConfig::timeout_costing).  Ignored otherwise.
+  /// (core::SystemConfig::timeout_costing).  Ignored otherwise.  With an
+  /// adaptive RTO estimator installed (SetRtoEstimator) this becomes the
+  /// fallback/ceiling instead of the every-probe constant.
   double timeout_ms = 250.0;
+
+  /// Adaptive-RTO clamp (used only when a PeerRtoEstimator is installed,
+  /// core::SystemConfig::adaptive_rto): per-peer RTOs never drop below
+  /// rto_min_ms, and never exceed rto_max_ms (0 = use timeout_ms, which
+  /// guarantees adaptive waits are <= the fixed-timeout ones).
+  double rto_min_ms = 10.0;
+  double rto_max_ms = 0.0;
 
   /// Coordinate-space shape and its clustering knobs (used by
   /// kTransitStub only).  Everything stays a pure hash of
@@ -155,13 +166,18 @@ class LatencyDelivery final : public DeliveryModel {
   LatencyDelivery(const LatencyConfig& config, uint64_t seed);
 
   double LinkDelaySeconds(PeerId from, PeerId to) const override;
-  double ProbeTimeoutSeconds(PeerId from, PeerId to) const override {
-    (void)from;
-    (void)to;
-    return config_.timeout_ms * 1e-3;
-  }
+  /// The fixed config timeout, or -- with an estimator installed -- the
+  /// adaptive per-peer RTO (net/rtt_estimator.h).
+  double ProbeTimeoutSeconds(PeerId from, PeerId to) const override;
   bool immediate() const override { return false; }
   const char* name() const override { return "latency"; }
+
+  /// Installs (or clears, with nullptr) the adaptive per-peer RTO
+  /// estimator consulted by ProbeTimeoutSeconds.  Not owned; must
+  /// outlive the model.  With none installed the fixed timeout_ms is
+  /// charged -- today's behaviour, bit for bit.
+  void SetRtoEstimator(const PeerRtoEstimator* rto) { rto_ = rto; }
+  const PeerRtoEstimator* rto_estimator() const { return rto_; }
 
   /// The peer's synthetic coordinate: uniform in the unit square, or its
   /// cluster center plus a [-spread, spread] offset under kTransitStub
@@ -180,6 +196,7 @@ class LatencyDelivery final : public DeliveryModel {
 
   LatencyConfig config_;
   uint64_t seed_;
+  const PeerRtoEstimator* rto_ = nullptr;  ///< not owned; null = fixed
 };
 
 }  // namespace pdht::net

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "net/rtt_estimator.h"
 #include "sim/event_queue.h"
 
 namespace pdht::net {
@@ -29,6 +30,7 @@ Network::Network(CounterRegistry* counters) : counters_(counters) {
   deferred_id_ = counters_->Intern("net.delivery.deferred");
   dropped_id_ = counters_->Intern("net.delivery.dropped");
   timeout_id_ = counters_->Intern("net.timeout");
+  failover_id_ = counters_->Intern("net.failover");
   // One latency sample lands here per deferred message -- an unbounded
   // stream at paper scale -- so bound the per-type retention; moments
   // stay exact and quantiles degrade to systematic-subsample estimates.
@@ -117,6 +119,9 @@ bool Network::SendDeferred(const Message& msg) {
   latency_sum_s_ += delay;
   type_latency_ms_[TypeIndex(msg.type)].Add(delay * 1e3);
   counters_->Add(deferred_id_);
+  // Successful delivery = an implicit RTT sample for the destination
+  // (2x one-way as the round-trip proxy).  Serial path: safe to mutate.
+  if (rtt_observer_ != nullptr) rtt_observer_->Observe(msg.to, 2e3 * delay);
   ScheduleArrival(msg, delay);
   return true;
 }
@@ -148,6 +153,13 @@ bool Network::LaneSend(ShardLane& lane, const Message& msg) {
 void Network::CommitDeferred(const ShardLane::Deferred& d) {
   latency_sum_s_ += d.seconds;
   if (d.timeout) return;
+  // Replayed serially in global task order, so lane-mode runs feed the
+  // estimator the same sample sequence as a serial run.  Timeout entries
+  // returned above: Karn's rule, a timed-out probe contributes no sample
+  // (and its `seconds` is a wait, not a link delay).
+  if (rtt_observer_ != nullptr) {
+    rtt_observer_->Observe(d.msg.to, 2e3 * d.seconds);
+  }
   type_latency_ms_[TypeIndex(d.msg.type)].Add(d.seconds * 1e3);
   ScheduleArrival(d.msg, d.seconds);
 }

@@ -242,6 +242,32 @@ class Network {
   /// The interned id timeouts are counted under (for per-round series).
   CounterId timeout_counter_id() const { return timeout_id_; }
 
+  /// Tallies one replica-failover event under "net.failover": a dead
+  /// terminal replica was skipped in favour of the next live one
+  /// (overlay::RoutingPolicy::replica_route).  Timeout waits for the
+  /// skipped replicas are charged separately via ChargeProbeTimeout.
+  void CountFailover() {
+    if (ShardLane* lane = tls_lane_; lane != nullptr) {
+      lane->counter_delta[failover_id_] += 1;
+      return;
+    }
+    counters_->Add(failover_id_);
+  }
+
+  /// Replica failovers so far (the "net.failover" counter).
+  uint64_t FailoverCount() const { return counters_->Value(failover_id_); }
+  /// The interned id failovers are counted under (for per-round series).
+  CounterId failover_counter_id() const { return failover_id_; }
+
+  /// Installs (or clears, with nullptr) the adaptive-RTO estimator fed
+  /// by observed deferred-delivery delays (2x the one-way link delay as
+  /// the round-trip proxy).  Not owned; must outlive the network.
+  /// Determinism: Observe() fires only at serial points -- SendDeferred
+  /// on the serial path and CommitDeferred's in-task-order replay --
+  /// never from LaneSend inside a parallel phase, so estimator state is
+  /// frozen while workers read it and results are shard-count invariant.
+  void SetRttObserver(PeerRtoEstimator* obs) { rtt_observer_ = obs; }
+
   /// Per-message-type one-way link-delay samples, in milliseconds.
   const Histogram& TypeLatencyMs(MessageType type) const {
     return type_latency_ms_[TypeIndex(type)];
@@ -291,6 +317,7 @@ class Network {
   CounterId deferred_id_;  ///< "net.delivery.deferred"
   CounterId dropped_id_;   ///< "net.delivery.dropped"
   CounterId timeout_id_;   ///< "net.timeout": charged probe timeouts
+  CounterId failover_id_;  ///< "net.failover": replica failover events
   // Struct-of-arrays peer state: parallel flat arrays indexed by PeerId,
   // plus a dense list of online peers for O(1) uniform draws.
   std::vector<MessageHandler*> handlers_;
@@ -303,6 +330,7 @@ class Network {
 
   const DeliveryModel* delivery_ = nullptr;  ///< not owned; null = immediate
   sim::EventQueue* events_ = nullptr;        ///< not owned
+  PeerRtoEstimator* rtt_observer_ = nullptr;  ///< not owned; null = no RTO
   bool deferred_ = false;  ///< delivery_ != null && !delivery_->immediate()
   double latency_sum_s_ = 0.0;
   std::array<Histogram, kNumTypes> type_latency_ms_;

@@ -1,0 +1,46 @@
+#include "net/rtt_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pdht::net {
+
+PeerRtoEstimator::PeerRtoEstimator(const RtoConfig& config, SeedFn seed)
+    : config_(config), seed_(std::move(seed)) {}
+
+double PeerRtoEstimator::Clamp(double rto_ms) const {
+  return std::min(std::max(rto_ms, config_.min_ms), config_.max_ms);
+}
+
+void PeerRtoEstimator::Observe(PeerId to, double rtt_ms) {
+  if (to >= state_.size()) state_.resize(to + 1);
+  State& s = state_[to];
+  const float r = static_cast<float>(rtt_ms);
+  if (s.rttvar_ms < 0.0f) {
+    // First sample (RFC 6298 2.2).
+    s.srtt_ms = r;
+    s.rttvar_ms = r * 0.5f;
+  } else {
+    // RFC 6298 2.3: rttvar uses the *old* srtt.
+    s.rttvar_ms =
+        0.75f * s.rttvar_ms + 0.25f * std::fabs(s.srtt_ms - r);
+    s.srtt_ms = 0.875f * s.srtt_ms + 0.125f * r;
+  }
+  ++samples_;
+}
+
+double PeerRtoEstimator::RtoMs(PeerId from, PeerId to) const {
+  if (to < state_.size() && state_[to].rttvar_ms >= 0.0f) {
+    const State& s = state_[to];
+    return Clamp(static_cast<double>(s.srtt_ms) +
+                 4.0 * static_cast<double>(s.rttvar_ms));
+  }
+  if (seed_) {
+    // Unsampled destination: seed srtt from the oracle with the
+    // conventional rttvar = srtt/2, i.e. RTO = 3 * RTT.
+    return Clamp(3.0 * seed_(from, to));
+  }
+  return config_.fallback_ms;
+}
+
+}  // namespace pdht::net

@@ -89,11 +89,15 @@ LookupResult RoutingDriver::Route(StructuredOverlay& overlay,
 
   const uint32_t hop_limit = overlay.LookupHopLimit();
   const uint32_t alpha = std::max<uint32_t>(1, overlay.LookupParallelism());
+  const bool replica_mode =
+      policy_.replica_route && policy_.replica_count > 0;
   // Blind sequential walks take the incremental primary path when the
   // backend offers one: candidates are produced (and paid for) only as
-  // probes fail, exactly like the pre-driver monolithic walks.
+  // probes fail, exactly like the pre-driver monolithic walks.  Replica
+  // failover needs the materialized list to spot terminal-bound hops, so
+  // it opts out like the other policies.
   const bool incremental = overlay.has_incremental_primary() &&
-                           !policy_.proximity && alpha == 1;
+                           !policy_.proximity && !replica_mode && alpha == 1;
 
   // One probe: a real kDhtLookup on the wire, tagged with the hop index.
   auto probe = [&](net::PeerId from, net::PeerId to) {
@@ -114,6 +118,65 @@ LookupResult RoutingDriver::Route(StructuredOverlay& overlay,
   state.origin = origin;
   state.cur = origin;
 
+  // One replica-failover pass (RoutingPolicy::replica_route): probe the
+  // key's replica group cheapest-live-link-first, alpha at a time, and
+  // hand back the first live replica as a terminal advance.  Dead
+  // replicas are skipped -- each one a failover event ("net.failover" /
+  // LookupResult::failovers) -- and a fully-dead batch charges ONE
+  // shared detection timeout, exactly like the primary phase (the alpha
+  // probes wait concurrently).  Sets *standin_out instead when the walk
+  // already stands on a replica: routing ends here without a message.
+  auto replica_phase = [&](net::PeerId* next_out, bool* terminal_out,
+                           bool* standin_out) {
+    std::vector<net::PeerId>& replicas = scratch.replicas;
+    overlay.ResponsiblePeersInto(key, policy_.replica_count, &replicas);
+    for (net::PeerId p : replicas) {
+      if (p == state.cur) {
+        *standin_out = true;
+        return;
+      }
+    }
+    std::vector<net::PeerId>& order = scratch.replica_order;
+    order.assign(replicas.begin(), replicas.end());
+    if (policy_.rtt && order.size() > 1) {
+      // Cheapest link first; the (rtt, group index) key keeps exact-RTT
+      // ties on the group order (responsible member first), which is
+      // also the whole order when no oracle is installed.
+      scratch.rank.clear();
+      for (size_t i = 0; i < replicas.size(); ++i) {
+        scratch.rank.emplace_back(policy_.rtt(state.cur, replicas[i]),
+                                  static_cast<uint32_t>(i));
+      }
+      std::sort(scratch.rank.begin(), scratch.rank.end());
+      for (size_t i = 0; i < scratch.rank.size(); ++i) {
+        order[i] = replicas[scratch.rank[i].second];
+      }
+    }
+    for (size_t base = 0;
+         base < order.size() && *next_out == net::kInvalidPeer;
+         base += alpha) {
+      const size_t batch_end =
+          std::min(order.size(), base + static_cast<size_t>(alpha));
+      bool any_online = false;
+      for (size_t i = base; i < batch_end; ++i) {
+        if (probe(state.cur, order[i])) {
+          any_online = true;
+          if (*next_out == net::kInvalidPeer) *next_out = order[i];
+        } else {
+          ++result.failed_probes;
+          ++result.failovers;
+          network_->CountFailover();
+        }
+      }
+      if (!any_online && policy_.timeout_costing) {
+        network_->ChargeProbeTimeout(state.cur, order[base]);
+      }
+    }
+    // A live replica serves the key by construction: the advance is
+    // terminal (see the structured_overlay.h contract note).
+    if (*next_out != net::kInvalidPeer) *terminal_out = true;
+  };
+
   while (true) {
     if (overlay.AtDestination(state.cur, key)) {
       end = End::kDestination;
@@ -127,6 +190,8 @@ LookupResult RoutingDriver::Route(StructuredOverlay& overlay,
 
     net::PeerId next = net::kInvalidPeer;
     bool terminal = false;
+    bool replicas_tried = false;
+    bool replica_standin = false;
     if (incremental) {
       // Incremental primary phase: one candidate produced per failed
       // probe, nothing materialized.
@@ -152,6 +217,21 @@ LookupResult RoutingDriver::Route(StructuredOverlay& overlay,
         } else {
           ReorderEqualProgressByRtt(scratch, state.cur);
         }
+      }
+      // Terminal-bound hop under replica failover: the walk is about to
+      // end at candidates[0] (an explicitly terminal candidate, or the
+      // responsible member itself); route to the cheapest live replica
+      // of the key's group instead of gambling on that single peer.
+      if (replica_mode && !candidates.empty() &&
+          (candidates[0].terminal || candidates[0].peer == responsible)) {
+        replicas_tried = true;
+        replica_phase(&next, &terminal, &replica_standin);
+        if (replica_standin) {
+          end = End::kStandIn;
+          break;
+        }
+        // All replicas dead: fall through to the normal candidate walk
+        // (the fallback scans may still find an online stand-in).
       }
       // Primary phase: probe in emission order, `alpha` at a time.  The
       // advance target is the first online candidate in order -- with
@@ -206,12 +286,28 @@ LookupResult RoutingDriver::Route(StructuredOverlay& overlay,
         }
       }
       if (end == End::kStandIn) break;
+      if (next == net::kInvalidPeer && replica_mode && !replicas_tried) {
+        // Exhaustion rescue: every candidate and fallback was dead, but
+        // a live replica of the key's group can still serve the lookup.
+        replica_phase(&next, &terminal, &replica_standin);
+        if (replica_standin) {
+          end = End::kStandIn;
+          break;
+        }
+      }
       if (next == net::kInvalidPeer) {
         end = End::kExhausted;
         break;
       }
     }
 
+    // Per-hop RTT trace: the link cost of the advance the walk is about
+    // to take, keyed by hop index (first kMaxHopRtt hops).  Needs the
+    // oracle; blind walks leave the trace empty.
+    if (policy_.rtt && result.hop_rtt_n < LookupResult::kMaxHopRtt) {
+      result.hop_rtt_ms[result.hop_rtt_n++] =
+          static_cast<float>(policy_.rtt(state.cur, next));
+    }
     state.cur = next;
     ++result.hops;
     overlay.OnAdvance(state.cur);

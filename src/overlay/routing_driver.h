@@ -41,7 +41,20 @@
 //    (counted under "net.timeout" and folded into the per-lookup RTT
 //    brackets).  With parallelism > 1 the alpha probes of a batch time
 //    out concurrently, so a fully-failed batch charges one timeout, not
-//    alpha.
+//    alpha.  With an adaptive RTO estimator installed on the delivery
+//    model (net/rtt_estimator.h) the charged wait is per-link, not the
+//    fixed LatencyConfig::timeout_ms.
+//  * replica_route -- latency-aware replica failover at the terminal
+//    hop: when a hop is about to end the walk (a terminal candidate, or
+//    the responsible member itself, leads the candidate list), the
+//    driver instead probes the key's replica group (StructuredOverlay::
+//    ResponsiblePeersInto) cheapest-live-link-first and advances to the
+//    first live replica as a terminal step; dead replicas are skipped
+//    (tallied under "net.failover" and LookupResult::failovers) instead
+//    of failing the lookup, and a walk whose candidates are exhausted
+//    gets one replica pass as a rescue before being declared dead.
+//    Probing runs in the same alpha batches as the primary phase, so a
+//    fully-dead batch charges ONE shared timeout.
 //
 // With both policies off and parallelism 1 the driver reproduces every
 // backend's pre-refactor walk bit-for-bit: same probe order, same
@@ -111,8 +124,20 @@ struct RoutingPolicy {
   /// (Network::ChargeProbeTimeout); off = failed probes cost messages but
   /// no latency, the pre-refactor behaviour.
   bool timeout_costing = false;
+  /// Latency-aware replica failover at the terminal hop (see the header
+  /// comment): route to the cheapest live replica of the key's group and
+  /// fail over past dead ones instead of failing the lookup.  Requires
+  /// replica_count > 0; cheapest-first ordering needs `rtt` (the group's
+  /// own order, responsible member first, is used without it).
+  bool replica_route = false;
+  /// Replica-group size consulted by replica_route (the system's
+  /// replication factor).  0 disables the policy.
+  uint32_t replica_count = 0;
   /// Link-RTT oracle in milliseconds (symmetric), e.g. DeliveryModel::
-  /// RttMs.  Consulted per candidate per hop only when `proximity`.
+  /// RttMs.  Consulted per candidate per hop when `proximity`, per
+  /// replica at terminal hops when `replica_route`, and -- whenever
+  /// installed -- once per advance to record LookupResult's per-hop RTT
+  /// trace.
   std::function<double(net::PeerId, net::PeerId)> rtt;
 };
 
@@ -147,6 +172,8 @@ class RoutingDriver {
     std::vector<RouteCandidate> candidates;
     std::vector<std::pair<double, uint32_t>> rank;
     std::vector<RouteCandidate> reorder;
+    std::vector<net::PeerId> replicas;       ///< key's replica group
+    std::vector<net::PeerId> replica_order;  ///< cheapest-first probe order
   };
 
   /// Within each maximal run of equal-progress candidates, reorder by

@@ -30,6 +30,18 @@
 //    hash-derived members (successor-consecutive replicas would overflow
 //    whole arcs together); overlays with a structural replica group --
 //    P-Grid's leaf peers -- override it.
+//  * Replica terminals: under RoutingPolicy::replica_route the driver
+//    treats EVERY member of the key's replica group as a valid terminal
+//    -- a hop that is about to end the walk (a candidate with
+//    terminal = true, or the responsible member leading the candidate
+//    list) is rerouted to the cheapest live replica, and that advance
+//    ends routing exactly like a backend-emitted terminal candidate.
+//    Backends therefore must keep ResponsiblePeersInto consistent with
+//    storage placement (PdhtSystem replicates inserts to the same
+//    group), and must tolerate a walk terminating at a group member
+//    other than ResponsibleMember(key).  ResponsiblePeersInto is also
+//    called from concurrent lookup slots, so overrides must be
+//    read-only over state frozen during parallel phases.
 //  * SetPeerRtt (optional, before SetMembers) installs a link-RTT oracle
 //    for proximity-aware neighbor selection at *table build* time;
 //    route-time proximity selection is a RoutingPolicy knob
@@ -81,7 +93,21 @@ namespace pdht::overlay {
 ///                     step, or (for backends whose walk tolerates
 ///                     stand-ins) the closest online member.  Candidate
 ///                     exhaustion is always a failure.
+///  * failovers     -- dead replicas skipped by latency-aware replica
+///                     failover (RoutingPolicy::replica_route; always 0
+///                     without it).  Failover probes are also counted
+///                     under failed_probes and messages, so the
+///                     sequential messages identity above gains the
+///                     replica batches' wasted parallel probes.
+///  * hop_rtt_ms    -- per-hop RTT trace: the oracle RTT of the link
+///                     each advance traversed, keyed by hop index
+///                     (first kMaxHopRtt hops; hop_rtt_n entries are
+///                     populated).  Recorded only when the policy has
+///                     an RTT oracle installed; empty on blind walks.
 struct LookupResult {
+  /// Per-hop RTT trace capacity; deeper walks drop the tail.
+  static constexpr uint32_t kMaxHopRtt = 8;
+
   bool success = false;
   net::PeerId responsible = net::kInvalidPeer;  ///< member owning the key.
   net::PeerId terminus = net::kInvalidPeer;     ///< where routing ended.
@@ -89,6 +115,9 @@ struct LookupResult {
   uint32_t hops = 0;          ///< successful routing advances.
   uint32_t failed_probes = 0; ///< sends to stale (offline) entries.
   uint64_t messages = 0;      ///< probes + failures + reply.
+  uint32_t failovers = 0;     ///< dead replicas skipped (replica_route).
+  uint32_t hop_rtt_n = 0;     ///< populated hop_rtt_ms entries.
+  float hop_rtt_ms[kMaxHopRtt] = {};  ///< RTT of hop k's link, ms.
 };
 
 class StructuredOverlay {

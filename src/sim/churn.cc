@@ -5,7 +5,10 @@
 namespace pdht::sim {
 
 ChurnModel::ChurnModel(uint32_t num_peers, const ChurnConfig& config, Rng rng)
-    : config_(config), rng_(rng), online_(num_peers, true) {
+    : config_(config),
+      rng_(rng),
+      online_(num_peers, true),
+      forced_off_(num_peers, false) {
   online_count_ = num_peers;
   if (!config_.enabled) return;
   // Start every peer online with a fresh session; staggering the first
@@ -42,16 +45,41 @@ void ChurnModel::AdvanceTo(double t) {
     now_ = f.when;
     bool new_state = !online_[f.peer];
     online_[f.peer] = new_state;
-    if (new_state) {
-      ++online_count_;
-    } else {
-      assert(online_count_ > 0);
-      --online_count_;
+    // A forced-offline peer's underlying sessions keep flipping (and
+    // ScheduleNext keeps consuming the same Rng draws as an outage-free
+    // run), but its *effective* state stays pinned offline: the count
+    // and the observers only track effective flips.
+    if (!forced_off_[f.peer]) {
+      if (new_state) {
+        ++online_count_;
+      } else {
+        assert(online_count_ > 0);
+        --online_count_;
+      }
+      for (auto& [fn, ctx] : observers_) fn(ctx, f.peer, new_state, f.when);
     }
-    for (auto& [fn, ctx] : observers_) fn(ctx, f.peer, new_state, f.when);
     ScheduleNext(f.peer);
   }
   now_ = t;
+}
+
+void ChurnModel::ForceOffline(uint32_t peer) {
+  if (forced_off_[peer]) return;
+  forced_off_[peer] = true;
+  if (online_[peer]) {
+    assert(online_count_ > 0);
+    --online_count_;
+    for (auto& [fn, ctx] : observers_) fn(ctx, peer, false, now_);
+  }
+}
+
+void ChurnModel::Heal(uint32_t peer) {
+  if (!forced_off_[peer]) return;
+  forced_off_[peer] = false;
+  if (online_[peer]) {
+    ++online_count_;
+    for (auto& [fn, ctx] : observers_) fn(ctx, peer, true, now_);
+  }
 }
 
 void ChurnModel::AddObserver(TransitionFn fn, void* ctx) {

@@ -12,6 +12,16 @@
 // cites (see DESIGN.md "Substitutions"): it exercises the identical code
 // path -- stale routing entries appear at a controllable rate and must be
 // detected by probing.
+//
+// Correlated failures (sim/scenario.h) layer a *forced-outage mask* on
+// top of the i.i.d. renewal processes: ForceOffline(peer) pins a peer's
+// effective state offline until Heal(peer), regardless of its underlying
+// session state.  The mask is deliberately non-invasive to the renewal
+// machinery -- the underlying sessions keep flipping (and keep drawing
+// from the Rng stream) while a peer is forced down, so the random stream
+// and post-heal trajectories are bit-identical whether or not an outage
+// was injected; observers simply don't hear about flips of masked peers
+// (their effective state isn't changing).
 
 #ifndef PDHT_SIM_CHURN_H_
 #define PDHT_SIM_CHURN_H_
@@ -54,7 +64,11 @@ class ChurnModel {
   /// Applies all transitions up to and including time `t`.
   void AdvanceTo(double t);
 
-  bool IsOnline(uint32_t peer) const { return online_[peer]; }
+  /// Effective state: the renewal-process state masked by any forced
+  /// outage.
+  bool IsOnline(uint32_t peer) const {
+    return online_[peer] && !forced_off_[peer];
+  }
   uint32_t num_peers() const { return static_cast<uint32_t>(online_.size()); }
   uint32_t online_count() const { return online_count_; }
   const ChurnConfig& config() const { return config_; }
@@ -63,6 +77,21 @@ class ChurnModel {
   /// Registers a transition observer (plain function + context to keep the
   /// hot path allocation-free).  Observers fire in registration order.
   void AddObserver(TransitionFn fn, void* ctx);
+
+  // --- Forced outages (correlated-failure scenarios) -------------------
+
+  /// Pins `peer`'s effective state offline until Heal, independent of its
+  /// renewal process (which keeps running underneath -- see the header
+  /// comment's determinism note).  Fires the offline observers iff the
+  /// effective state actually flips.  Idempotent; consumes no randomness.
+  void ForceOffline(uint32_t peer);
+
+  /// Lifts a forced outage; fires the online observers iff the peer's
+  /// underlying session state makes it effectively online again.
+  /// Idempotent; consumes no randomness.
+  void Heal(uint32_t peer);
+
+  bool IsForcedOffline(uint32_t peer) const { return forced_off_[peer]; }
 
   /// Fraction of peers currently online.
   double OnlineFraction() const;
@@ -85,7 +114,8 @@ class ChurnModel {
 
   ChurnConfig config_;
   Rng rng_;
-  std::vector<bool> online_;
+  std::vector<bool> online_;      ///< underlying renewal-process state
+  std::vector<bool> forced_off_;  ///< forced-outage mask (scenarios)
   std::priority_queue<PendingFlip, std::vector<PendingFlip>,
                       std::greater<PendingFlip>>
       heap_;

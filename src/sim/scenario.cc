@@ -1,0 +1,80 @@
+#include "sim/scenario.h"
+
+#include <algorithm>
+
+namespace pdht::sim {
+
+namespace {
+
+/// Mean over series[first, last) with the bounds clamped to the series;
+/// 0 on an empty range.
+double RangeMean(const std::vector<double>& series, size_t first,
+                 size_t last) {
+  first = std::min(first, series.size());
+  last = std::min(last, series.size());
+  if (first >= last) return 0.0;
+  double sum = 0.0;
+  for (size_t i = first; i < last; ++i) sum += series[i];
+  return sum / static_cast<double>(last - first);
+}
+
+}  // namespace
+
+const char* ScenarioKindName(ScenarioKind k) {
+  switch (k) {
+    case ScenarioKind::kNone:
+      return "none";
+    case ScenarioKind::kClusterOutage:
+      return "cluster_outage";
+  }
+  return "unknown";
+}
+
+std::string ScenarioConfig::Validate() const {
+  if (kind == ScenarioKind::kNone) return "";
+  if (outage_end_round <= outage_start_round) {
+    return "scenario.outage_end_round must be > outage_start_round";
+  }
+  return "";
+}
+
+RecoveryMetrics ComputeRecoveryMetrics(const std::vector<double>& series,
+                                       uint64_t outage_start,
+                                       uint64_t heal_round, size_t window,
+                                       double threshold) {
+  RecoveryMetrics m;
+  const size_t n = series.size();
+  const size_t start = static_cast<size_t>(outage_start);
+  window = std::max<size_t>(window, 1);
+  if (start >= n) return m;
+
+  // Steady state: the window leading up to the outage.
+  const size_t pre_first = start >= window ? start - window : 0;
+  m.pre_outage_mean = RangeMean(series, pre_first, start);
+
+  // Depth of the dip: worst forward-window mean from the outage on.
+  m.worst_window = RangeMean(series, start, start + window);
+  for (size_t r = start; r < n; ++r) {
+    m.worst_window =
+        std::min(m.worst_window, RangeMean(series, r, r + window));
+  }
+
+  // Recovery: first round at/after the heal whose forward window is back
+  // within `threshold` of steady state.
+  const double bar = threshold * m.pre_outage_mean;
+  m.recovery_round = n;
+  const size_t heal = std::min(static_cast<size_t>(heal_round), n);
+  for (size_t r = heal; r < n; ++r) {
+    if (RangeMean(series, r, r + window) >= bar) {
+      m.recovery_round = r;
+      m.recovered = true;
+      break;
+    }
+  }
+  if (m.recovered && m.recovery_round > heal_round) {
+    m.recovery_rounds = m.recovery_round - heal_round;
+  }
+  return m;
+}
+
+}  // namespace pdht::sim

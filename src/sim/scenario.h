@@ -1,0 +1,88 @@
+// Correlated-failure scenarios and recovery metrics.
+//
+// The i.i.d. renewal churn of sim/churn.h is the steady-state background;
+// real deployments additionally suffer *correlated* failures -- a region,
+// rack or AS drops out as a unit.  This module scripts the first such
+// scenario from the ROADMAP's production-diversity item: a cluster
+// outage.  At a configured round every peer of one transit-stub cluster
+// (net::LatencyDelivery::ClusterOf under LatencyTopology::kTransitStub)
+// is forced offline via ChurnModel::ForceOffline; at a later round the
+// cluster heals.  The forced-outage mask leaves the underlying renewal
+// processes (and their Rng draws) untouched, so a run with the scenario
+// differs from the baseline only by the scripted flips -- deterministic
+// at any --sim-threads/shard count like everything else.
+//
+// Recovery is judged from the per-round hit-rate series:
+//  * pre-outage steady state  -- mean over the window before the outage;
+//  * worst window             -- the minimum sliding-window mean at or
+//                                after the outage (depth of the dip);
+//  * recovery round           -- the first round >= heal whose forward
+//                                window mean is back within `threshold`
+//                                of the pre-outage mean.
+// ComputeRecoveryMetrics is a pure function of the series so the bench
+// (bench_scenarios) and the tests share one definition.
+
+#ifndef PDHT_SIM_SCENARIO_H_
+#define PDHT_SIM_SCENARIO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pdht::sim {
+
+enum class ScenarioKind : uint8_t {
+  kNone,
+  /// Force one whole transit-stub cluster offline for
+  /// [outage_start_round, outage_end_round), then heal it.
+  kClusterOutage,
+};
+
+const char* ScenarioKindName(ScenarioKind k);
+
+struct ScenarioConfig {
+  /// Selects the largest cluster (ties broken toward the lowest cluster
+  /// id) instead of a fixed one -- the default, so the outage is always
+  /// a meaningful fraction of the population.
+  static constexpr uint32_t kLargestCluster = 0xffffffffu;
+
+  ScenarioKind kind = ScenarioKind::kNone;
+  /// Outage window in rounds: the cluster goes down at the start of
+  /// round outage_start_round and heals at the start of
+  /// outage_end_round.
+  uint64_t outage_start_round = 0;
+  uint64_t outage_end_round = 0;
+  /// Which cluster to take down (kLargestCluster = pick the most
+  /// populous one).
+  uint32_t cluster = kLargestCluster;
+
+  /// Empty when self-consistent.  Delivery-model requirements (latency
+  /// model, transit-stub topology) are checked by the system config,
+  /// which knows what is installed.
+  std::string Validate() const;
+};
+
+/// Recovery judgment over a per-round quality series (hit rate).
+struct RecoveryMetrics {
+  double pre_outage_mean = 0.0;  ///< steady state before the outage.
+  double worst_window = 0.0;     ///< minimum window mean from the outage on.
+  /// First round >= heal_round whose forward window mean reaches
+  /// threshold * pre_outage_mean; the series size when never reached.
+  uint64_t recovery_round = 0;
+  bool recovered = false;
+  /// recovery_round - heal_round (0 when unrecovered or instant).
+  uint64_t recovery_rounds = 0;
+};
+
+/// Pure series analysis (see the header comment).  `window` is clamped
+/// to >= 1; windows are truncated at the series edges.  A series shorter
+/// than the outage round yields an all-default result.
+RecoveryMetrics ComputeRecoveryMetrics(const std::vector<double>& series,
+                                       uint64_t outage_start,
+                                       uint64_t heal_round, size_t window,
+                                       double threshold);
+
+}  // namespace pdht::sim
+
+#endif  // PDHT_SIM_SCENARIO_H_

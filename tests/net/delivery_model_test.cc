@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include "net/network.h"
+#include "net/rtt_estimator.h"
 #include "sim/event_queue.h"
 #include "stats/counter.h"
 
@@ -99,6 +100,20 @@ TEST(LatencyDeliveryTest, DelayWithinConfiguredBounds) {
     const double ms = model.LinkDelaySeconds(i, 200 + i) * 1e3;
     EXPECT_GE(ms, cfg.base_ms);
     EXPECT_LT(ms, max_ms);
+  }
+}
+
+TEST(LatencyDeliveryTest, LinkDelayNeverDropsBelowBaseFloor) {
+  // Regression: the per-link delay is clamped to >= base_ms even under
+  // an adversarial config constructed around Validate() (negative
+  // jitter could otherwise push a short link below the physical floor).
+  LatencyConfig cfg;
+  cfg.base_ms = 5.0;
+  cfg.ms_per_unit = 0.0;
+  cfg.jitter_ms = -50.0;  // bypasses Validate(); the clamp must hold
+  LatencyDelivery model(cfg, 13);
+  for (PeerId i = 0; i < 100; ++i) {
+    EXPECT_GE(model.LinkDelaySeconds(i, 100 + i), cfg.base_ms * 1e-3);
   }
 }
 
@@ -212,6 +227,108 @@ TEST(ProbeTimeoutTest, ModelsExposeConfiguredTimeout) {
   cfg.timeout_ms = 400.0;
   LatencyDelivery lat(cfg, 5);
   EXPECT_DOUBLE_EQ(lat.ProbeTimeoutSeconds(0, 1), 0.4);
+}
+
+TEST(RtoEstimatorTest, JacobsonUpdateMatchesRfc6298) {
+  RtoConfig rc;
+  rc.min_ms = 1.0;
+  rc.max_ms = 10000.0;
+  PeerRtoEstimator est(rc);
+  // First sample: srtt = R, rttvar = R/2 -> RTO = 3R.
+  est.Observe(5, 100.0);
+  EXPECT_DOUBLE_EQ(est.RtoMs(0, 5), 300.0);
+  // Second sample (rttvar updates BEFORE srtt, RFC 6298 order):
+  //   rttvar = 3/4 * 50 + 1/4 * |100 - 50| = 50
+  //   srtt   = 7/8 * 100 + 1/8 * 50       = 93.75
+  est.Observe(5, 50.0);
+  EXPECT_DOUBLE_EQ(est.RtoMs(0, 5), 93.75 + 4.0 * 50.0);
+  EXPECT_EQ(est.samples(), 2u);
+}
+
+TEST(RtoEstimatorTest, RtoClampsToFloorAndCeiling) {
+  RtoConfig rc;
+  rc.min_ms = 200.0;
+  rc.max_ms = 400.0;
+  PeerRtoEstimator est(rc);
+  est.Observe(1, 10.0);     // 3 * 10 = 30 -> floor
+  est.Observe(2, 1000.0);   // 3000 -> ceiling
+  EXPECT_DOUBLE_EQ(est.RtoMs(0, 1), 200.0);
+  EXPECT_DOUBLE_EQ(est.RtoMs(0, 2), 400.0);
+}
+
+TEST(RtoEstimatorTest, UnsampledDestinationsSeedFromOracle) {
+  RtoConfig rc;
+  rc.min_ms = 10.0;
+  rc.max_ms = 500.0;
+  PeerRtoEstimator est(rc, [](PeerId, PeerId to) {
+    return to == 7 ? 40.0 : 1000.0;
+  });
+  // No samples yet: RTO = 3 * seed RTT, clamped.
+  EXPECT_DOUBLE_EQ(est.RtoMs(0, 7), 120.0);
+  EXPECT_DOUBLE_EQ(est.RtoMs(0, 8), 500.0);  // 3000 clamped to max
+  // A real sample overrides the seed.
+  est.Observe(7, 10.0);
+  EXPECT_DOUBLE_EQ(est.RtoMs(0, 7), 30.0);
+}
+
+TEST(RtoEstimatorTest, NoOracleNoSamplesDegradesToExactFallback) {
+  // The PeerRtt-null degradation contract: with no oracle and no
+  // samples the estimator returns fallback_ms VERBATIM (no clamping),
+  // so a system wired this way is bit-identical to the fixed
+  // timeout_ms path even when fallback lies outside [min, max].
+  RtoConfig rc;
+  rc.min_ms = 10.0;
+  rc.max_ms = 100.0;
+  rc.fallback_ms = 250.0;
+  PeerRtoEstimator est(rc);
+  EXPECT_DOUBLE_EQ(est.RtoMs(0, 1), 250.0);
+  EXPECT_DOUBLE_EQ(est.RtoMs(3, 9999), 250.0);
+}
+
+TEST(ProbeTimeoutTest, AdaptiveEstimatorOverridesFixedTimeout) {
+  LatencyConfig cfg;
+  cfg.timeout_ms = 400.0;
+  LatencyDelivery lat(cfg, 5);
+  EXPECT_DOUBLE_EQ(lat.ProbeTimeoutSeconds(0, 1), 0.4);
+
+  RtoConfig rc;
+  rc.min_ms = 1.0;
+  rc.max_ms = 10000.0;
+  PeerRtoEstimator est(rc);
+  est.Observe(1, 100.0);
+  lat.SetRtoEstimator(&est);
+  EXPECT_DOUBLE_EQ(lat.ProbeTimeoutSeconds(0, 1), 0.3);  // 3 * 100 ms
+  lat.SetRtoEstimator(nullptr);
+  EXPECT_DOUBLE_EQ(lat.ProbeTimeoutSeconds(0, 1), 0.4);
+}
+
+TEST(NetworkDeliveryTest, DeferredSendsFeedRttObserverButTimeoutsDoNot) {
+  CounterRegistry counters;
+  sim::EventQueue events;
+  Network net(&counters);
+  LatencyConfig cfg;
+  cfg.timeout_ms = 250.0;
+  LatencyDelivery model(cfg, 17);
+  net.SetDeliveryModel(&model, &events);
+
+  RtoConfig rc;
+  rc.min_ms = 0.0;
+  rc.max_ms = 100000.0;
+  PeerRtoEstimator est(rc);
+  net.SetRttObserver(&est);
+
+  RecordingHandler h(&events);
+  net.Register(1, &h);
+  EXPECT_TRUE(net.Send(Msg(0, 1)));
+  // One deferred delivery = one RTT sample: twice the charged one-way
+  // delay, in milliseconds.
+  EXPECT_EQ(est.samples(), 1u);
+  const double rtt_ms = 2e3 * model.LinkDelaySeconds(0, 1);
+  EXPECT_NEAR(est.RtoMs(0, 1), 3.0 * static_cast<float>(rtt_ms), 1e-3);
+
+  // Karn's rule: charged timeouts contribute no sample.
+  net.ChargeProbeTimeout(0, 2);
+  EXPECT_EQ(est.samples(), 1u);
 }
 
 TEST(NetworkDeliveryTest, ImmediateModelObjectKeepsSynchronousDelivery) {

@@ -16,7 +16,10 @@
 #include "core/pdht_system.h"
 #include "metadata/trace.h"
 #include "metadata/workload.h"
+#include "net/delivery_model.h"
+#include "net/rtt_estimator.h"
 #include "overlay/structured_overlay.h"
+#include "sim/event_queue.h"
 
 namespace pdht {
 namespace {
@@ -276,6 +279,120 @@ TEST(RoutingDriverParity, BlindModeMatchesMonolithicWalksBitForBit) {
   }
 }
 
+// --- Adaptive-RTO degradation parity -----------------------------------
+//
+// The PeerRtt-null contract (net/rtt_estimator.h): an estimator with no
+// seed oracle and no samples returns fallback_ms verbatim, so a
+// timeout-costing walk charges exactly the fixed timeout_ms -- the
+// routing and the charged latency must be bit-identical to running with
+// no estimator at all, for every backend.
+
+struct TimedChecksum {
+  ChecksumResult routing;
+  double latency_s = 0.0;
+  uint64_t timeouts = 0;
+};
+
+TimedChecksum TimeoutCostingChecksum(core::DhtBackend backend,
+                                     bool null_estimator) {
+  CounterRegistry counters;
+  net::Network net(&counters);
+  sim::EventQueue events;
+  net::LatencyConfig cfg;
+  cfg.timeout_ms = 250.0;
+  net::LatencyDelivery model(cfg, 31);
+  net.SetDeliveryModel(&model, &events);
+
+  net::RtoConfig rc;
+  rc.min_ms = cfg.rto_min_ms;
+  rc.max_ms = cfg.timeout_ms;
+  rc.fallback_ms = cfg.timeout_ms;
+  net::PeerRtoEstimator est(rc, /*seed=*/nullptr);
+  // Installed on the model but never fed (no SetRttObserver, no seed):
+  // every ProbeTimeoutSeconds call takes the fallback path.
+  if (null_estimator) model.SetRtoEstimator(&est);
+
+  std::vector<net::PeerId> members;
+  for (uint32_t i = 0; i < 96; ++i) {
+    members.push_back(i);
+    net.SetOnline(i, true);
+  }
+  overlay::OverlayParams op;
+  op.repl = 4;
+  op.num_peers = 96;
+  auto ov = overlay::MakeOverlay(backend, &net, op, Rng(13));
+  ov->SetMembers(members);
+  overlay::RoutingPolicy policy;
+  policy.timeout_costing = true;
+  ov->SetRoutingPolicy(std::move(policy));
+  for (uint32_t i = 0; i < 96; i += 4) net.SetOnline(i, false);
+
+  TimedChecksum out;
+  for (uint64_t key = 0; key < 200; ++key) {
+    net::PeerId origin = 1 + (key % 3);
+    Absorb(&out.routing, ov->Lookup(origin, key));
+  }
+  out.latency_s = net.total_latency_s();
+  out.timeouts = net.TimeoutCount();
+  EXPECT_EQ(est.samples(), 0u);  // the null path never observed anything
+  return out;
+}
+
+TEST(RoutingDriverParity, NullOracleEstimatorDegradesToFixedTimeoutBitwise) {
+  for (core::DhtBackend backend : overlay::RegisteredBackends()) {
+    TimedChecksum fixed = TimeoutCostingChecksum(backend, false);
+    TimedChecksum nullest = TimeoutCostingChecksum(backend, true);
+    EXPECT_EQ(fixed.routing.checksum, nullest.routing.checksum)
+        << core::DhtBackendName(backend);
+    EXPECT_EQ(fixed.routing.messages, nullest.routing.messages)
+        << core::DhtBackendName(backend);
+    EXPECT_EQ(fixed.timeouts, nullest.timeouts)
+        << core::DhtBackendName(backend);
+    // Bit-identical, not approximately equal: the fallback returns
+    // timeout_ms verbatim.
+    EXPECT_EQ(fixed.latency_s, nullest.latency_s)
+        << core::DhtBackendName(backend);
+    EXPECT_GT(fixed.timeouts, 0u) << core::DhtBackendName(backend);
+  }
+}
+
+TEST(RoutingDriverParity, AdaptiveRtoWithoutOracleLeavesSnapshotIdentical) {
+  // System-level degradation: adaptive_rto = true without
+  // proximity_routing has no PeerRtt oracle to seed from, so PdhtSystem
+  // installs nothing and the whole run -- every series, every latency
+  // metric -- is bit-identical to adaptive_rto = false.
+  for (core::DhtBackend backend : overlay::RegisteredBackends()) {
+    auto snapshot_of = [backend](bool adaptive) {
+      core::SystemConfig c;
+      c.params.num_peers = 200;
+      c.params.keys = 400;
+      c.params.stor = 20;
+      c.params.repl = 10;
+      c.params.f_qry = 1.0 / 5.0;
+      c.params.f_upd = 1.0 / 3600.0;
+      c.strategy = core::Strategy::kPartialTtl;
+      c.backend = backend;
+      c.churn.enabled = true;
+      c.seed = 17;
+      c.delivery_model = net::DeliveryModelKind::kLatency;
+      c.timeout_costing = true;
+      c.proximity_routing = false;  // no PeerRtt oracle
+      c.adaptive_rto = adaptive;
+      core::PdhtSystem sys(c);
+      EXPECT_EQ(sys.rto_estimator() != nullptr, false);
+      sys.RunRounds(40);
+      return sys.Snapshot(10);
+    };
+    core::RunSnapshot off = snapshot_of(false);
+    core::RunSnapshot on = snapshot_of(true);
+    EXPECT_EQ(off.series_tail, on.series_tail)
+        << core::DhtBackendName(backend);
+    EXPECT_EQ(off.latency, on.latency) << core::DhtBackendName(backend);
+    EXPECT_EQ(off.index_keys, on.index_keys)
+        << core::DhtBackendName(backend);
+  }
+}
+
 TEST(RoutingDriverParity, EveryBackendHonoursTheLookupResultContract) {
   // The unified accounting contract (structured_overlay.h): with
   // sequential routing, messages == hops + failed_probes + reply, and
@@ -305,7 +422,9 @@ TEST(RoutingDriverParity, EveryBackendHonoursTheLookupResultContract) {
       ASSERT_NE(r.responsible, net::kInvalidPeer);
       EXPECT_EQ(r.responsible_online, net.IsOnline(r.responsible))
           << core::DhtBackendName(backend) << " key " << key;
-      if (r.success) EXPECT_TRUE(net.IsOnline(r.terminus));
+      if (r.success) {
+        EXPECT_TRUE(net.IsOnline(r.terminus));
+      }
     }
   }
 }

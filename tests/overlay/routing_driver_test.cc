@@ -33,6 +33,7 @@ class ScriptedOverlay : public StructuredOverlay {
 
   std::map<net::PeerId, std::vector<RouteCandidate>> candidates;
   std::map<net::PeerId, std::vector<RouteCandidate>> fallbacks;
+  std::vector<net::PeerId> replica_group;  ///< scripted replica group
   uint32_t hop_limit = 32;
   uint32_t parallelism = 1;
   bool lenient = false;
@@ -52,6 +53,11 @@ class ScriptedOverlay : public StructuredOverlay {
     return members_;
   }
   net::PeerId ResponsibleMember(uint64_t) const override { return dest_; }
+  void ResponsiblePeersInto(uint64_t, uint32_t count,
+                            std::vector<net::PeerId>* out) const override {
+    out->assign(replica_group.begin(), replica_group.end());
+    if (out->size() > count) out->resize(count);
+  }
   uint64_t RunMaintenanceRound(double) override { return 0; }
 
   bool StartLookup(net::PeerId, uint64_t, net::PeerId* responsible) override {
@@ -190,6 +196,110 @@ TEST_F(ScriptedFixture, AlphaBatchChargesParallelProbesAndOneTimeout) {
   // wasted parallel probes make messages exceed hops+failed+reply.
   EXPECT_EQ(r.messages, 6u);
   EXPECT_GE(r.messages, r.hops + r.failed_probes + 1);
+}
+
+TEST_F(ScriptedFixture, ReplicaBatchFailoverChargesOneSharedTimeout) {
+  // Satellite invariant: an alpha-concurrent replica batch that fails
+  // over past dead replicas waits ONE shared detection timeout per
+  // fully-dead batch, exactly like the primary phase.
+  sim::EventQueue events;
+  net::LatencyConfig cfg;
+  cfg.timeout_ms = 200.0;
+  net::LatencyDelivery model(cfg, 3);
+  net.SetDeliveryModel(&model, &events);
+
+  // 0 is terminal-bound (responsible member 9 leads its candidates);
+  // replica group {9, 3, 2, 4} with 9 and 3 dead: batch 1 = {9, 3}
+  // fully dead (2 failovers, one shared timeout), batch 2 = {2, 4}
+  // advances to 2 -- a terminal advance short of the dead primary.
+  ov.candidates[0] = {{9, 1.0, false}};
+  ov.replica_group = {9, 3, 2, 4};
+  ov.parallelism = 2;
+  net.SetOnline(9, false);
+  net.SetOnline(3, false);
+  RoutingPolicy policy;
+  policy.timeout_costing = true;
+  policy.replica_route = true;
+  policy.replica_count = 4;
+  ov.SetRoutingPolicy(std::move(policy));
+
+  const double before = net.total_latency_s();
+  LookupResult r = ov.Lookup(0, 5);
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.terminus, 2u);
+  EXPECT_EQ(r.hops, 1u);
+  EXPECT_EQ(r.failed_probes, 2u);
+  EXPECT_EQ(r.failovers, 2u);
+  EXPECT_EQ(net.FailoverCount(), 2u);
+  // ONE timeout for the fully-dead {9, 3} batch; the {2, 4} batch found
+  // a live replica and charges nothing.
+  EXPECT_EQ(net.TimeoutCount(), 1u);
+  EXPECT_GE(net.total_latency_s() - before, 0.2);
+  EXPECT_LT(net.total_latency_s() - before, 0.4);
+  // Messages: 4 replica probes (two batches of two) + the reply.
+  EXPECT_EQ(r.messages, 5u);
+  EXPECT_EQ(ov.advances, (std::vector<net::PeerId>{2}));
+}
+
+TEST_F(ScriptedFixture, ReplicaFailoverPicksCheapestLiveReplicaByRtt) {
+  // With an RTT oracle the replica order is cheapest-link-first: the
+  // walk lands on the cheapest LIVE replica, skipping the cheaper dead
+  // one (a failover), never touching the expensive tail.
+  ov.candidates[0] = {{9, 1.0, false}};
+  ov.replica_group = {9, 3, 2, 4};
+  net.SetOnline(3, false);
+  RoutingPolicy policy;
+  policy.replica_route = true;
+  policy.replica_count = 4;
+  policy.rtt = [](net::PeerId, net::PeerId b) {
+    return b == 3 ? 1.0 : (b == 2 ? 5.0 : 50.0);
+  };
+  ov.SetRoutingPolicy(std::move(policy));
+
+  LookupResult r = ov.Lookup(0, 5);
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.terminus, 2u);  // 3 (1 ms) dead -> 2 (5 ms); 9/4 unprobed
+  EXPECT_EQ(r.failovers, 1u);
+  EXPECT_EQ(r.messages, 3u);  // probes 3, 2 + reply
+}
+
+TEST_F(ScriptedFixture, ReplicaStandInEndsWalkWhenAlreadyOnAReplica) {
+  // The walk's own peer is in the replica group: it can serve the key
+  // itself -- no probe, no reply, no hop.
+  ov.candidates[0] = {{9, 1.0, false}};
+  ov.replica_group = {9, 0};
+  RoutingPolicy policy;
+  policy.replica_route = true;
+  policy.replica_count = 2;
+  ov.SetRoutingPolicy(std::move(policy));
+
+  LookupResult r = ov.Lookup(0, 5);
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.terminus, 0u);
+  EXPECT_EQ(r.hops, 0u);
+  EXPECT_EQ(r.messages, 0u);
+  EXPECT_EQ(r.failovers, 0u);
+}
+
+TEST_F(ScriptedFixture, ReplicaRescueAfterExhaustionReachesLiveReplica) {
+  // No terminal-bound trigger (candidates never lead with the
+  // responsible member) and every primary/fallback candidate is dead:
+  // the exhaustion rescue still reaches a live replica instead of
+  // failing the lookup.
+  ov.candidates[0] = {{1, 5.0, false}};
+  ov.replica_group = {9, 4};
+  net.SetOnline(1, false);
+  net.SetOnline(9, false);
+  RoutingPolicy policy;
+  policy.replica_route = true;
+  policy.replica_count = 2;
+  ov.SetRoutingPolicy(std::move(policy));
+
+  LookupResult r = ov.Lookup(0, 5);
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.terminus, 4u);
+  EXPECT_EQ(r.failovers, 1u);   // the dead replica 9
+  EXPECT_EQ(r.failed_probes, 2u);  // dead primary 1 + dead replica 9
 }
 
 TEST_F(ScriptedFixture, FallbackStandInEndsWalkWithoutAMessage) {

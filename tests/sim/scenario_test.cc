@@ -1,0 +1,182 @@
+// Correlated-failure scenario tests: the pure recovery-metric analysis
+// (ComputeRecoveryMetrics) and the ChurnModel forced-outage mask it is
+// built on -- effective-state pinning, observer behaviour, and the
+// Rng-stream invariance that keeps scenario runs deterministic relative
+// to outage-free ones.
+
+#include "sim/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/churn.h"
+
+namespace pdht::sim {
+namespace {
+
+TEST(ScenarioConfigTest, ValidateRequiresOrderedOutageWindow) {
+  ScenarioConfig c;
+  EXPECT_TRUE(c.Validate().empty());  // kNone needs nothing
+  c.kind = ScenarioKind::kClusterOutage;
+  c.outage_start_round = 100;
+  c.outage_end_round = 100;
+  EXPECT_FALSE(c.Validate().empty());
+  c.outage_end_round = 200;
+  EXPECT_TRUE(c.Validate().empty());
+  EXPECT_STREQ(ScenarioKindName(c.kind), "cluster_outage");
+  EXPECT_STREQ(ScenarioKindName(ScenarioKind::kNone), "none");
+}
+
+TEST(RecoveryMetricsTest, DipAndRecoveryOnAStepSeries) {
+  // Steady 0.9, dip to 0.5 during [10, 20), back to 0.9 from 20 on.
+  std::vector<double> s;
+  for (int r = 0; r < 10; ++r) s.push_back(0.9);
+  for (int r = 10; r < 20; ++r) s.push_back(0.5);
+  for (int r = 20; r < 40; ++r) s.push_back(0.9);
+  RecoveryMetrics m = ComputeRecoveryMetrics(s, /*outage_start=*/10,
+                                             /*heal_round=*/20,
+                                             /*window=*/5, 0.95);
+  EXPECT_DOUBLE_EQ(m.pre_outage_mean, 0.9);
+  EXPECT_DOUBLE_EQ(m.worst_window, 0.5);
+  EXPECT_TRUE(m.recovered);
+  EXPECT_EQ(m.recovery_round, 20u);  // instantly whole again at the heal
+  EXPECT_EQ(m.recovery_rounds, 0u);
+}
+
+TEST(RecoveryMetricsTest, SlowRecoveryCountsRoundsPastTheHeal) {
+  // The dip persists past the heal: 0.5 until round 28, then 0.9.
+  std::vector<double> s;
+  for (int r = 0; r < 10; ++r) s.push_back(0.9);
+  for (int r = 10; r < 28; ++r) s.push_back(0.5);
+  for (int r = 28; r < 60; ++r) s.push_back(0.9);
+  RecoveryMetrics m = ComputeRecoveryMetrics(s, 10, 20, 4, 0.95);
+  EXPECT_TRUE(m.recovered);
+  EXPECT_EQ(m.recovery_round, 28u);
+  EXPECT_EQ(m.recovery_rounds, 8u);
+}
+
+TEST(RecoveryMetricsTest, NeverRecoveringReportsSeriesSize) {
+  std::vector<double> s;
+  for (int r = 0; r < 10; ++r) s.push_back(0.9);
+  for (int r = 10; r < 30; ++r) s.push_back(0.2);
+  RecoveryMetrics m = ComputeRecoveryMetrics(s, 10, 20, 5, 0.95);
+  EXPECT_FALSE(m.recovered);
+  EXPECT_EQ(m.recovery_round, s.size());
+  EXPECT_EQ(m.recovery_rounds, 0u);
+  EXPECT_DOUBLE_EQ(m.worst_window, 0.2);
+}
+
+TEST(RecoveryMetricsTest, DegenerateInputsAreSafe) {
+  // Outage beyond the series: all defaults.
+  RecoveryMetrics m =
+      ComputeRecoveryMetrics({0.9, 0.9}, /*outage_start=*/10, 20, 5, 0.95);
+  EXPECT_DOUBLE_EQ(m.pre_outage_mean, 0.0);
+  EXPECT_FALSE(m.recovered);
+  // Empty series.
+  m = ComputeRecoveryMetrics({}, 0, 0, 5, 0.95);
+  EXPECT_FALSE(m.recovered);
+  // window = 0 is clamped to 1 instead of dividing by zero.
+  m = ComputeRecoveryMetrics({0.9, 0.1, 0.9}, 1, 2, 0, 0.95);
+  EXPECT_DOUBLE_EQ(m.worst_window, 0.1);
+  EXPECT_TRUE(m.recovered);
+}
+
+TEST(ChurnForcedOutageTest, ForceOfflinePinsEffectiveStateAndHealRestores) {
+  ChurnConfig c;
+  c.enabled = false;  // everyone online, no background flips
+  ChurnModel m(10, c, Rng(1));
+  EXPECT_TRUE(m.IsOnline(3));
+  m.ForceOffline(3);
+  EXPECT_FALSE(m.IsOnline(3));
+  EXPECT_TRUE(m.IsForcedOffline(3));
+  EXPECT_EQ(m.online_count(), 9u);
+  m.ForceOffline(3);  // idempotent
+  EXPECT_EQ(m.online_count(), 9u);
+  m.Heal(3);
+  EXPECT_TRUE(m.IsOnline(3));
+  EXPECT_FALSE(m.IsForcedOffline(3));
+  EXPECT_EQ(m.online_count(), 10u);
+  m.Heal(3);  // idempotent
+  EXPECT_EQ(m.online_count(), 10u);
+}
+
+TEST(ChurnForcedOutageTest, ObserversSeeForcedTransitionsOnce) {
+  ChurnConfig c;
+  c.enabled = false;
+  ChurnModel m(4, c, Rng(2));
+  struct Rec {
+    std::vector<std::pair<uint32_t, bool>> flips;
+  } rec;
+  m.AddObserver(
+      [](void* ctx, uint32_t peer, bool online, double) {
+        static_cast<Rec*>(ctx)->flips.emplace_back(peer, online);
+      },
+      &rec);
+  m.ForceOffline(2);
+  m.ForceOffline(2);  // repeat: no second notification
+  m.Heal(2);
+  ASSERT_EQ(rec.flips.size(), 2u);
+  EXPECT_EQ(rec.flips[0], (std::pair<uint32_t, bool>{2, false}));
+  EXPECT_EQ(rec.flips[1], (std::pair<uint32_t, bool>{2, true}));
+}
+
+TEST(ChurnForcedOutageTest, MaskLeavesUnderlyingRngStreamUntouched) {
+  // The determinism contract (sim/churn.h): a forced outage must not
+  // consume or reorder any Rng draws -- after the heal, a masked run's
+  // effective online pattern reconverges exactly with an outage-free
+  // twin fed the same seed.
+  ChurnConfig c;
+  c.mean_online_s = 50.0;
+  c.mean_offline_s = 25.0;
+  ChurnModel plain(64, c, Rng(7));
+  ChurnModel masked(64, c, Rng(7));
+
+  plain.AdvanceTo(100.0);
+  masked.AdvanceTo(100.0);
+  for (uint32_t p = 0; p < 16; ++p) masked.ForceOffline(p);
+  // During the outage the underlying sessions keep flipping in both.
+  for (double t = 110.0; t <= 300.0; t += 10.0) {
+    plain.AdvanceTo(t);
+    masked.AdvanceTo(t);
+    for (uint32_t p = 0; p < 16; ++p) EXPECT_FALSE(masked.IsOnline(p));
+  }
+  for (uint32_t p = 0; p < 16; ++p) masked.Heal(p);
+  // Post-heal: bit-identical effective state, forever.
+  for (double t = 310.0; t <= 600.0; t += 10.0) {
+    plain.AdvanceTo(t);
+    masked.AdvanceTo(t);
+    for (uint32_t p = 0; p < 64; ++p) {
+      ASSERT_EQ(plain.IsOnline(p), masked.IsOnline(p))
+          << "peer " << p << " at t " << t;
+    }
+    ASSERT_EQ(plain.online_count(), masked.online_count()) << "t " << t;
+  }
+}
+
+TEST(ChurnForcedOutageTest, ForcedPeerOnlineAtForceTimeCountsDownOnce) {
+  // A peer that is *already* offline by churn when forced must not move
+  // the count; one that churns back online while forced must stay
+  // effectively offline.
+  ChurnConfig c;
+  c.mean_online_s = 5.0;
+  c.mean_offline_s = 5.0;
+  ChurnModel m(32, c, Rng(11));
+  m.AdvanceTo(50.0);
+  const uint32_t count_before = m.online_count();
+  uint32_t online_forced = 0;
+  for (uint32_t p = 0; p < 32; ++p) {
+    if (m.IsOnline(p)) ++online_forced;
+    m.ForceOffline(p);
+  }
+  EXPECT_EQ(m.online_count(), count_before - online_forced);
+  EXPECT_EQ(m.online_count(), 0u);  // every peer is now masked
+  m.AdvanceTo(200.0);               // churn keeps flipping underneath
+  EXPECT_EQ(m.online_count(), 0u);
+  for (uint32_t p = 0; p < 32; ++p) m.Heal(p);
+  m.AdvanceTo(201.0);
+  EXPECT_GT(m.online_count(), 0u);
+}
+
+}  // namespace
+}  // namespace pdht::sim
