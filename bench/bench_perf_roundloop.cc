@@ -40,8 +40,9 @@
 // "auto" as an axis point (the system picks serial vs sharded from the
 // work size and sizes the pool from the host).  --phase-times enables
 // the opt-in round.phase.*.ms series and prints a per-phase wall-clock
-// breakdown -- the tool for spotting which serial phase is the Amdahl
-// floor at a given scale.
+// breakdown plus a serial_fraction column ((plan + publish + drain) /
+// total, the sharded engine's Amdahl floor) -- the tool for spotting
+// which serial remainder dominates at a given scale.
 
 #include <algorithm>
 #include <chrono>
@@ -155,10 +156,30 @@ SystemConfig Scale1MConfig() {
 
 /// The round loop's instrumented phases, in actor order (must match the
 /// EnablePhaseTiming list in core/pdht_system.cc).
-constexpr const char* kPhaseNames[] = {"churn",   "maint",  "plan",
-                                       "query",   "publish", "update",
-                                       "evict"};
+constexpr const char* kPhaseNames[] = {"churn",  "maint",   "plan",
+                                       "query",  "publish", "update",
+                                       "evict",  "drain"};
 constexpr size_t kNumPhases = sizeof(kPhaseNames) / sizeof(kPhaseNames[0]);
+
+/// Phases that still hold serial work in the sharded engine.  plan and
+/// publish keep a serial remainder (prefix sum, the order-sensitive
+/// publish slice) and drain falls back to serial whenever a batch holds
+/// an unkeyed or cancelled event, so their combined share of the round is
+/// the engine's Amdahl floor.  Computed from the same round.phase.*.ms
+/// means the breakdown table shows.
+constexpr const char* kSerialPhases[] = {"plan", "publish", "drain"};
+
+double SerialFraction(const double (&phase_ms)[kNumPhases]) {
+  double total = 0.0;
+  double serial = 0.0;
+  for (size_t p = 0; p < kNumPhases; ++p) {
+    total += phase_ms[p];
+    for (const char* name : kSerialPhases) {
+      if (std::string(kPhaseNames[p]) == name) serial += phase_ms[p];
+    }
+  }
+  return total > 0.0 ? serial / total : 0.0;
+}
 
 struct Measurement {
   std::string scenario;
@@ -175,6 +196,9 @@ struct Measurement {
   /// Mean ms/round per phase over the timed window (--phase-times only).
   bool has_phases = false;
   double phase_ms[kNumPhases] = {};
+  /// (plan + publish + drain) / total phase time: the serial share of the
+  /// round under the sharded engine.  0 when phases were not recorded.
+  double serial_fraction = 0.0;
   /// Scenarios have different default budgets, so smoke (reduced budget,
   /// shape checks informational) is tracked per measurement, not in the
   /// shared flags.
@@ -227,6 +251,7 @@ Measurement MeasureOne(const Scenario& sc, Strategy strategy,
       // too, but the steady-state mean is what the breakdown should show.
       m.phase_ms[p] = system.engine().Series(name).TailMean(rounds);
     }
+    m.serial_fraction = SerialFraction(m.phase_ms);
   }
   return m;
 }
@@ -253,14 +278,15 @@ bool WriteJson(const std::string& path,
                  "\"warmup_rounds\": %llu, "
                  "\"timed_rounds\": %llu, \"smoke\": %s, "
                  "\"seconds\": %.6f, "
-                 "\"rounds_per_sec\": %.2f, \"msgs_per_round\": %.2f}%s\n",
+                 "\"rounds_per_sec\": %.2f, \"msgs_per_round\": %.2f, "
+                 "\"serial_fraction\": %.4f}%s\n",
                  m.scenario.c_str(), m.strategy.c_str(),
                  static_cast<unsigned long long>(m.peers),
                  m.sim_threads.c_str(),
                  static_cast<unsigned long long>(m.warmup),
                  static_cast<unsigned long long>(m.rounds),
                  m.smoke ? "true" : "false", m.seconds,
-                 m.rounds_per_sec, m.msgs_per_round,
+                 m.rounds_per_sec, m.msgs_per_round, m.serial_fraction,
                  i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -327,14 +353,17 @@ int main(int argc, char** argv) {
 
   if (flags.phase_times) {
     // Per-phase wall-clock breakdown (mean ms/round over the timed
-    // window).  plan/publish are the sharded engine's serial bookends;
-    // their share of the row is the Amdahl floor of the parallel query
-    // phase.  Serial-engine rows charge whole actors (no plan/publish
-    // split), so those two columns read 0 there.
+    // window).  plan, publish and drain carry the sharded engine's serial
+    // remainders (prefix sum, the order-sensitive publish slice, the
+    // serial-fallback drain path); serial_frac = their combined share of
+    // the row, i.e. the Amdahl floor of the parallel phases.  Serial-
+    // engine rows charge whole actors (no plan/publish split), so those
+    // columns read 0 there.
     std::vector<std::string> cols = {"scenario", "strategy", "sim threads"};
     for (size_t p = 0; p < kNumPhases; ++p) {
       cols.push_back(std::string(kPhaseNames[p]) + " ms");
     }
+    cols.push_back("serial_frac");
     TableWriter phases(cols);
     for (const Measurement& m : results) {
       if (!m.has_phases) continue;
@@ -343,6 +372,7 @@ int main(int argc, char** argv) {
       for (size_t p = 0; p < kNumPhases; ++p) {
         row.push_back(TableWriter::FormatDouble(m.phase_ms[p], 4));
       }
+      row.push_back(TableWriter::FormatDouble(m.serial_fraction, 4));
       phases.AddRow(row);
     }
     std::printf("per-phase wall clock (mean ms/round, timed window):\n");

@@ -368,8 +368,8 @@ void PdhtSystem::PreloadIndex() {
 void PdhtSystem::RegisterActors() {
   if (config_.phase_timing) {
     // List order must match the SimPhase enum (pdht_system.h).
-    engine_.EnablePhaseTiming(
-        {"churn", "maint", "plan", "query", "publish", "update", "evict"});
+    engine_.EnablePhaseTiming({"churn", "maint", "plan", "query", "publish",
+                               "update", "evict", "drain"});
   }
   engine_.AddActor("churn", [this](sim::RoundContext& ctx) {
     RunChurnActor(ctx);
@@ -736,12 +736,34 @@ void PdhtSystem::SetupShardedEngine() {
     shard_members_[Mix64(m) % num_shards_].push_back(m);
   }
   evict_buffers_.assign(num_shards_, {});
+  // Partitioned boundary drain: deferred-delivery arrivals are tagged
+  // with their destination (PDHT peers are handler-free, so an arrival's
+  // only effect is the commutative drop tally), letting the drain hand
+  // per-destination-shard batches to the pool.  Workers bind lanes so
+  // the tallies accumulate race-free and merge after -- commutative, so
+  // the result is bit-identical to the serial drain, which the queue
+  // falls back to whenever any batch event is order-sensitive.
+  engine_.SetBoundaryDrainer([this](double until) {
+    return engine_.events().DrainBoundaryPartitioned(
+        until, num_shards_,
+        [this](uint32_t shards, const sim::EventQueue::ShardRunFn& run) {
+          const size_t num_counters = engine_.counters().NumCounters();
+          for (net::ShardLane& lane : lanes_) lane.Prepare(num_counters);
+          pool_->Run(shards, [this, &run](uint32_t w, uint32_t shard) {
+            network_->BeginLane(&lanes_[w]);
+            run(shard);
+            network_->EndLane();
+          });
+          MergeLaneCounters();
+        });
+  });
 }
 
-void PdhtSystem::AppendQueryTask(uint64_t key) {
+PdhtSystem::QueryTask PdhtSystem::MakeQueryTask(uint64_t key,
+                                                net::PeerId origin) const {
   QueryTask t;
   t.key = key;
-  t.origin = RandomOnlinePeer();  // main stream, serial planning order
+  t.origin = origin;
   switch (config_.strategy) {
     case Strategy::kNoIndex:
       break;
@@ -756,8 +778,18 @@ void PdhtSystem::AppendQueryTask(uint64_t key) {
       t.ttl_semantics = true;
       break;
   }
-  query_tasks_.push_back(t);
+  return t;
 }
+
+void PdhtSystem::AppendQueryTask(uint64_t key) {
+  // Trace-replay planning: origin off the main stream, in entry order.
+  query_tasks_.push_back(MakeQueryTask(key, RandomOnlinePeer()));
+}
+
+/// Counting-sort planner chunk: fixed size so the chunk partition -- and
+/// with it every task offset -- is a pure function of the online count,
+/// never of the thread count.
+constexpr uint32_t kPlanChunk = 8192;
 
 void PdhtSystem::PlanQueryTasks(sim::RoundContext& ctx) {
   const auto& p = config_.params;
@@ -771,13 +803,79 @@ void PdhtSystem::PlanQueryTasks(sim::RoundContext& ctx) {
     }
     return;
   }
-  uint64_t count = workload_->SampleQueryCount(p.num_peers, p.f_qry);
-  for (uint64_t q = 0; q < count; ++q) {
-    AppendQueryTask(workload_->SampleKey());
+  // Counting-sort plan over the dense online index, two parallel passes:
+  // A counts each online peer's queries this round, B materializes tasks
+  // at exact offsets.  Each peer's draws come from its own streams --
+  // pure functions of (seed, round, peer) -- so the plan consumes ZERO
+  // main-stream values and is bit-identical at every thread/shard count
+  // (the legacy planner burned one main-stream draw per query on the
+  // origin alone, a serial floor at 100k+ queries/round).  Semantics
+  // shift with the stream: each online peer issues floor(rate) +
+  // Bernoulli(frac) queries where rate spreads the round's expected
+  // total (num_peers * f_qry) over the online population, and the peer
+  // itself is the query's origin -- the same aggregate mean as the old
+  // binomial count with uniformly drawn origins, realized per-peer.
+  const uint32_t online = network_->online_count();
+  if (online == 0) return;  // nothing can originate a query
+  const double rate =
+      static_cast<double>(p.num_peers) * p.f_qry / static_cast<double>(online);
+  const uint32_t whole = static_cast<uint32_t>(rate);
+  const double frac = rate - static_cast<double>(whole);
+  const uint64_t count_seed =
+      Mix64(HashCombine(round_seed_, 0x706c636eULL));  // "plcn"
+  const uint64_t key_seed =
+      Mix64(HashCombine(round_seed_, 0x706c6b79ULL));  // "plky"
+  const uint32_t num_chunks = (online + kPlanChunk - 1) / kPlanChunk;
+  plan_counts_.resize(online);
+  plan_chunk_bases_.assign(num_chunks, 0);
+  // Pass A (parallel): per-peer query counts and per-chunk totals.
+  pool_->Run(num_chunks, [this, online, whole, frac,
+                          count_seed](uint32_t /*w*/, uint32_t chunk) {
+    const uint32_t begin = chunk * kPlanChunk;
+    const uint32_t end = std::min(online, begin + kPlanChunk);
+    uint64_t total = 0;
+    for (uint32_t i = begin; i < end; ++i) {
+      Rng rng(Mix64(HashCombine(count_seed, network_->OnlinePeerAt(i))));
+      const uint32_t c = whole + (rng.Bernoulli(frac) ? 1 : 0);
+      plan_counts_[i] = c;
+      total += c;
+    }
+    plan_chunk_bases_[chunk] = total;
+  });
+  // Serial seam: exclusive prefix sum of the chunk totals = each chunk's
+  // base task offset.
+  uint64_t total = 0;
+  for (uint32_t c = 0; c < num_chunks; ++c) {
+    const uint64_t chunk_total = plan_chunk_bases_[c];
+    plan_chunk_bases_[c] = total;
+    total += chunk_total;
   }
+  query_tasks_.resize(total);
+  if (total == 0) return;
+  // Pass B (parallel): materialize each peer's tasks at its exact slot
+  // range; keys come from the peer's key stream, in issue order.
+  pool_->Run(num_chunks,
+             [this, online, key_seed](uint32_t /*w*/, uint32_t chunk) {
+               const uint32_t begin = chunk * kPlanChunk;
+               const uint32_t end = std::min(online, begin + kPlanChunk);
+               uint64_t slot = plan_chunk_bases_[chunk];
+               for (uint32_t i = begin; i < end; ++i) {
+                 const uint32_t c = plan_counts_[i];
+                 if (c == 0) continue;
+                 const net::PeerId peer = network_->OnlinePeerAt(i);
+                 Rng rng(Mix64(HashCombine(key_seed, peer)));
+                 for (uint32_t q = 0; q < c; ++q) {
+                   query_tasks_[slot++] =
+                       MakeQueryTask(workload_->SampleKey(rng), peer);
+                 }
+               }
+             });
 }
 
 void PdhtSystem::RunShardedQueryActor(sim::RoundContext& ctx) {
+  // The planner's per-peer streams derive from the round seed, so set it
+  // before planning (task streams hang off it too, as before).
+  round_seed_ = Mix64(HashCombine(config_.seed, ctx.round));
   {
     ScopedPhaseMs timer(&engine_, kPhasePlan);
     PlanQueryTasks(ctx);
@@ -788,7 +886,6 @@ void PdhtSystem::RunShardedQueryActor(sim::RoundContext& ctx) {
   // Warm lazily-built shared read state serially (e.g. Chord's mutable
   // members cache) so the parallel phase only ever reads it.
   if (overlay_) overlay_->members();
-  round_seed_ = Mix64(HashCombine(config_.seed, ctx.round));
   const size_t num_counters = engine_.counters().NumCounters();
   for (net::ShardLane& lane : lanes_) lane.Prepare(num_counters);
   query_results_.resize(query_tasks_.size());
@@ -914,13 +1011,32 @@ void PdhtSystem::ShardIndexFirstQuery(Rng& rng, uint32_t worker,
   }
 }
 
-void PdhtSystem::PublishQueryResults() {
-  const double now = engine_.now();
-  // Counter deltas first: integer adds commute, so lane-major merge order
-  // is immaterial (and cheap -- one flat vector add per lane).
+void PdhtSystem::MergeLaneCounters() {
+  // Integer adds commute, so lane-major merge order is immaterial (and
+  // cheap -- one flat vector add per lane).  The audit knob merges in
+  // reverse to prove the claim stays true (the determinism suite pins
+  // shuffled-vs-default snapshots bit for bit).
+  if (config_.debug_shuffle_publish) {
+    for (auto it = lanes_.rbegin(); it != lanes_.rend(); ++it) {
+      engine_.counters().MergeDelta(it->counter_delta);
+    }
+    return;
+  }
   for (const net::ShardLane& lane : lanes_) {
     engine_.counters().MergeDelta(lane.counter_delta);
   }
+}
+
+void PdhtSystem::PublishQueryResults() {
+  const double now = engine_.now();
+  // Commutative slice 1: lane counter deltas (order-free).
+  MergeLaneCounters();
+  // Ordered slice: everything below is genuinely order-sensitive under
+  // the bit-identity contract -- CommitDeferred feeds floating-point
+  // latency sums, capped/P^2 histograms and event scheduling; the
+  // autotuner EWMAs and the Touch/Put index mutations see state the
+  // previous task may have moved -- so it replays serially in global
+  // task order, exactly as a serial engine would interleave it.
   for (size_t q = 0; q < query_tasks_.size(); ++q) {
     const QueryTask& t = query_tasks_[q];
     const QueryTaskResult& r = query_results_[q];
@@ -959,12 +1075,43 @@ void PdhtSystem::PublishQueryResults() {
         hop_rtt_ms_[k].Add(r.hop_rtt_ms[k]);
       }
     }
-    // (5) Per-origin stats and the round's hit-rate tally.
-    if (t.origin != net::kInvalidPeer) {
-      nodes_[t.origin].RecordQuery(r.answered_from_index);
+  }
+  // Commutative slice 2 (parallel): per-origin stats and the round's
+  // hit-rate tally.  RecordQuery is integer increments on the origin's
+  // node, so partitioning tasks by origin shard -- a pure function of
+  // the origin id -- gives every shard task a disjoint node set, and the
+  // per-shard query/hit partials sum serially after the barrier.  Scan
+  // order within a shard is task order, though nothing here needs it.
+  publish_queries_.assign(num_shards_, 0);
+  publish_hits_.assign(num_shards_, 0);
+  const bool shuffle = config_.debug_shuffle_publish;
+  pool_->Run(num_shards_, [this, shuffle](uint32_t /*w*/, uint32_t s) {
+    // Audit knob: visit shards in reversed index order (shard s processes
+    // partition num_shards-1-s).  The partition itself is unchanged, so
+    // results must be bit-identical.
+    const uint32_t shard = shuffle ? num_shards_ - 1 - s : s;
+    uint64_t queries = 0;
+    uint64_t hits = 0;
+    for (size_t q = 0; q < query_tasks_.size(); ++q) {
+      const net::PeerId origin = query_tasks_[q].origin;
+      const uint32_t home =
+          origin == net::kInvalidPeer
+              ? 0
+              : static_cast<uint32_t>(Mix64(origin) % num_shards_);
+      if (home != shard) continue;
+      const bool hit = query_results_[q].answered_from_index;
+      if (origin != net::kInvalidPeer) {
+        nodes_[origin].RecordQuery(hit);
+      }
+      ++queries;
+      if (hit) ++hits;
     }
-    ++round_queries_;
-    if (r.answered_from_index) ++round_hits_;
+    publish_queries_[shard] = queries;
+    publish_hits_[shard] = hits;
+  });
+  for (uint32_t s = 0; s < num_shards_; ++s) {
+    round_queries_ += publish_queries_[s];
+    round_hits_ += publish_hits_[s];
   }
 }
 
@@ -1017,9 +1164,7 @@ void PdhtSystem::RunShardedMaintenance(sim::RoundContext& ctx) {
   // PUBLISH (serial): lane counter deltas merge (order-free integer
   // adds), deferred network effects replay in global task order, then
   // the overlay folds its per-task repair stats.
-  for (const net::ShardLane& lane : lanes_) {
-    engine_.counters().MergeDelta(lane.counter_delta);
-  }
+  MergeLaneCounters();
   for (const PhaseSlice& s : maint_slices_) {
     for (uint32_t i = s.def_begin; i < s.def_end; ++i) {
       network_->CommitDeferred(lanes_[s.lane].deferred[i]);
@@ -1118,9 +1263,7 @@ void PdhtSystem::RunShardedUpdateActor(sim::RoundContext& ctx,
       });
   // PUBLISH (serial): merge lane counter deltas, then replay each task's
   // deferred effects and apply its replica Puts in global task order.
-  for (const net::ShardLane& lane : lanes_) {
-    engine_.counters().MergeDelta(lane.counter_delta);
-  }
+  MergeLaneCounters();
   constexpr double kForever = 1e15;
   const double now = engine_.now();
   for (size_t task = 0; task < update_tasks_.size(); ++task) {

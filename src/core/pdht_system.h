@@ -182,11 +182,21 @@ struct SystemConfig {
   bool sim_threads_auto = false;
 
   /// Record per-phase wall-clock series round.phase.{churn,maint,plan,
-  /// query,publish,update,evict}.ms (sim/round_engine.h).  Off by
-  /// default: the values are timing noise, so enabling this forfeits
-  /// run-to-run bit-identity of the recorded series (the determinism
-  /// and golden suites run with it off).
+  /// query,publish,update,evict,drain}.ms (sim/round_engine.h; "drain"
+  /// is the round-boundary event drain, timed by the engine itself).
+  /// Off by default: the values are timing noise, so enabling this
+  /// forfeits run-to-run bit-identity of the recorded series (the
+  /// determinism and golden suites run with it off).
   bool phase_timing = false;
+
+  /// Determinism-audit knob: publish commutative slices in a deliberately
+  /// perturbed order -- lane counter deltas merge last-to-first and the
+  /// parallel per-origin stats pass visits shards in reversed index
+  /// order.  Every perturbed operation commutes by construction, so all
+  /// results must be bit-identical to the default order; the sharded
+  /// determinism suite asserts exactly that.  Never affects the serial
+  /// engine.
+  bool debug_shuffle_publish = false;
 
   /// Returns an empty string when the configuration is self-consistent.
   std::string Validate() const;
@@ -449,8 +459,16 @@ class PdhtSystem {
   void SetupShardedEngine();
   void RunShardedQueryActor(sim::RoundContext& ctx);
   void PlanQueryTasks(sim::RoundContext& ctx);
+  /// Strategy dispatch for one planned query (pure function of config +
+  /// the workload permutation; safe from parallel planning passes).
+  QueryTask MakeQueryTask(uint64_t key, net::PeerId origin) const;
   void AppendQueryTask(uint64_t key);
   void RunQueryTask(uint32_t worker, uint32_t task_index);
+  /// Merges every lane's counter delta into the shared registry (order-
+  /// free integer adds; debug_shuffle_publish reverses the lane order to
+  /// prove it).  Shared by the query/maintenance/update publish steps and
+  /// the partitioned boundary drain.
+  void MergeLaneCounters();
   void PublishQueryResults();
   void ShardIndexFirstQuery(Rng& rng, uint32_t worker, net::PeerId origin,
                             uint64_t key, bool ttl_semantics,
@@ -545,6 +563,14 @@ class PdhtSystem {
   std::vector<std::vector<uint64_t>> evict_buffers_;
   std::vector<QueryTask> query_tasks_;
   std::vector<QueryTaskResult> query_results_;
+  /// Counting-sort planner scratch (PlanQueryTasks): per-online-peer
+  /// query counts, per-chunk task-offset bases (exclusive prefix sums of
+  /// chunk totals), and per-shard partial tallies of the parallel
+  /// publish's per-origin stats pass.
+  std::vector<uint32_t> plan_counts_;
+  std::vector<uint64_t> plan_chunk_bases_;
+  std::vector<uint64_t> publish_queries_;
+  std::vector<uint64_t> publish_hits_;
   /// Sharded-maintenance / sharded-update round state (resized per
   /// round, reused across rounds).
   std::vector<PhaseSlice> maint_slices_;
@@ -566,6 +592,7 @@ class PdhtSystem {
     kPhasePublish,
     kPhaseUpdate,
     kPhaseEvict,
+    kPhaseDrain,  ///< timed by RoundEngine itself (runs after the actors)
     kNumPhases,
   };
 };

@@ -25,6 +25,11 @@ uint64_t QueryWorkload::SampleKey() {
   return rank_to_key_[rank - 1];
 }
 
+uint64_t QueryWorkload::SampleKey(Rng& rng) const {
+  uint64_t rank = sampler_.Sample(rng);
+  return rank_to_key_[rank - 1];
+}
+
 uint64_t QueryWorkload::SampleQueryCount(uint64_t num_peers, double f_qry) {
   // Expected queries per round = num_peers * f_qry.  Use a normal
   // approximation to Binomial(num_peers, f_qry) for large networks and the

@@ -27,6 +27,12 @@ class QueryWorkload {
   /// Samples the key of one query.
   uint64_t SampleKey();
 
+  /// Samples the key of one query from a caller-provided stream.  Const:
+  /// reads only the precomputed sampler tables and the current
+  /// permutation, so concurrent calls with distinct Rngs are race-free
+  /// (the sharded planner's per-peer key streams rely on this).
+  uint64_t SampleKey(Rng& rng) const;
+
   /// Samples the number of queries in a round given `num_peers` peers each
   /// querying with frequency `f_qry` (binomial approximated by the exact
   /// per-peer Bernoulli when f_qry < 1, else deterministic + Bernoulli

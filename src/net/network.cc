@@ -102,16 +102,32 @@ void Network::ChargeProbeTimeout(PeerId from, PeerId to) {
 }
 
 void Network::ScheduleArrival(const Message& msg, double delay_s) {
-  events_->ScheduleAfter(delay_s, [this, msg] {
+  auto arrival = [this, msg] {
     // Arrival: the destination may have churned offline mid-flight; the
     // message was charged at send time, so the drop is free but tallied.
+    // The tally is lane-aware because tagged arrivals may run inside the
+    // partitioned boundary drain, where each worker holds a bound lane
+    // and the commutative deltas merge after (serial drains have no lane
+    // bound and hit the registry directly, as before).
     if (msg.to < handlers_.size() && online_[msg.to]) {
       MessageHandler* h = handlers_[msg.to];
       if (h != nullptr) h->HandleMessage(msg);
+    } else if (ShardLane* lane = tls_lane_; lane != nullptr) {
+      lane->counter_delta[dropped_id_] += 1;
     } else {
       counters_->Add(dropped_id_);
     }
-  });
+  };
+  if (msg.to >= handlers_.size() || handlers_[msg.to] == nullptr) {
+    // Handler-free destination (the PDHT system runs all protocol logic
+    // at system level): the arrival's only possible effect is the
+    // commutative drop tally above, so tag it with the destination for
+    // the partitioned boundary drain.  A registered handler is
+    // order-sensitive by assumption and keeps the event serial-only.
+    events_->ScheduleAfter(delay_s, std::move(arrival), msg.to);
+  } else {
+    events_->ScheduleAfter(delay_s, std::move(arrival));
+  }
 }
 
 bool Network::SendDeferred(const Message& msg) {

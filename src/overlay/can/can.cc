@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstring>
 #include <functional>
 #include <sstream>
 
@@ -247,6 +248,67 @@ uint64_t CanOverlay::RunMaintenanceRound(double env) {
     }
   }
   return probes;
+}
+
+uint32_t CanOverlay::PlanMaintenanceRound(double env) {
+  // Same budget accrual as the serial round, in the same member order;
+  // whole probes frozen at plan time.  Draws no randomness, so rng_
+  // advances identically whichever engine runs maintenance.
+  maint_tasks_.clear();
+  for (net::PeerId peer : member_list_) {
+    if (!network_->IsOnline(peer)) continue;
+    const auto& nbrs = NeighborsOf(peer);
+    if (nbrs.empty()) continue;
+    double& budget = probe_budget_[peer];
+    budget += env * static_cast<double>(nbrs.size());
+    const uint32_t probes = static_cast<uint32_t>(budget);
+    budget -= static_cast<double>(probes);
+    if (probes > 0) maint_tasks_.push_back(MaintTask{peer, probes});
+  }
+  return static_cast<uint32_t>(maint_tasks_.size());
+}
+
+void CanOverlay::ExecuteMaintenanceTask(uint32_t task, Rng& rng) {
+  const MaintTask& t = maint_tasks_[task];
+  const auto& nbrs = NeighborsOf(t.peer);
+  if (nbrs.empty()) return;
+  for (uint32_t p = 0; p < t.probes; ++p) {
+    net::PeerId target = nbrs[rng.UniformU64(nbrs.size())];
+    net::Message probe;
+    probe.type = net::MessageType::kRoutingProbe;
+    probe.from = t.peer;
+    probe.to = target;
+    network_->Send(probe);
+  }
+}
+
+uint64_t CanOverlay::FinishMaintenanceRound() {
+  uint64_t probes = 0;
+  for (const MaintTask& t : maint_tasks_) probes += t.probes;
+  maint_tasks_.clear();
+  return probes;
+}
+
+uint64_t CanOverlay::RoutingFingerprint() const {
+  auto double_bits = [](double d) {
+    uint64_t b;
+    std::memcpy(&b, &d, sizeof(b));
+    return b;
+  };
+  uint64_t h = 0x63616eULL;  // "can"
+  for (net::PeerId peer : member_list_) {
+    auto zit = zones_.find(peer);
+    if (zit == zones_.end()) continue;
+    h = Mix64(HashCombine(h, peer));
+    for (int d = 0; d < kCanDims; ++d) {
+      h = Mix64(HashCombine(h, double_bits(zit->second.lo[d])));
+      h = Mix64(HashCombine(h, double_bits(zit->second.hi[d])));
+    }
+    const auto& nbrs = NeighborsOf(peer);
+    h = Mix64(HashCombine(h, nbrs.size()));
+    for (net::PeerId n : nbrs) h = Mix64(HashCombine(h, n));
+  }
+  return h;
 }
 
 size_t CanOverlay::TableSize(net::PeerId peer) const {

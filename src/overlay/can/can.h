@@ -93,6 +93,22 @@ class CanOverlay : public StructuredOverlay {
   /// Rejoin needs no refresh either (OnPeerRejoin keeps the base no-op).
   uint64_t RunMaintenanceRound(double env) override;
 
+  /// Sharded maintenance (plan/execute/publish, see StructuredOverlay).
+  /// Plan consumes the same fractional probe budgets as the serial round
+  /// in member-list order; execute only probes (CAN has no repair --
+  /// zones and neighbor lists are static), reading the frozen neighbor
+  /// lists and drawing from the caller Rng, so distinct tasks are
+  /// trivially race-free.
+  bool has_sharded_maintenance() const override { return true; }
+  uint32_t PlanMaintenanceRound(double env) override;
+  void ExecuteMaintenanceTask(uint32_t task, Rng& rng) override;
+  uint64_t FinishMaintenanceRound() override;
+
+  /// Order-sensitive hash over zone bounds and neighbor lists of every
+  /// member (determinism-test hook).  Static after SetMembers, but the
+  /// matrix tests still pin it across thread/shard counts.
+  uint64_t RoutingFingerprint() const override;
+
   size_t TableSize(net::PeerId peer) const;
 
   /// Zone-partition invariants: volumes sum to 1, zones don't overlap (on
@@ -138,6 +154,14 @@ class CanOverlay : public StructuredOverlay {
   std::vector<net::PeerId> member_list_;
   std::unordered_map<net::PeerId, double> probe_budget_;
   std::vector<net::PeerId> empty_;
+
+  /// One sharded-maintenance task: all of a member's probes for the
+  /// round, frozen at plan time (neighbor lists are static).
+  struct MaintTask {
+    net::PeerId peer = net::kInvalidPeer;
+    uint32_t probes = 0;
+  };
+  std::vector<MaintTask> maint_tasks_;
 
   std::vector<LookupSlot> lookup_slots_{1};
   void ResizeLookupSlots(uint32_t n) override { lookup_slots_.resize(n); }

@@ -284,7 +284,24 @@ void ChordOverlay::NextHops(const RouteState& state, uint64_t /*key*/,
   for (const HopEntry& e : hop_scratch) {
     const double progress =
         want_progress ? std::log2(static_cast<double>(e.dist)) : 0.0;
-    out->push_back(RouteCandidate{e.peer, progress, false});
+    // Successor-of-key detection: a hop to the key's owner ends the walk
+    // (AtDestination would confirm next iteration -- same probes, same
+    // success), and marking it lets the replica-failover phase spot
+    // terminal-bound hops before gambling on that single peer.
+    out->push_back(RouteCandidate{e.peer, progress, e.peer == slot.owner});
+  }
+  // Terminal-bound moment: no table entry lies inside (cur, target), so
+  // cur is the key's closest predecessor and the next advance is the
+  // owner itself -- which the in-interval filter above can never emit
+  // (the owner sits at or past the target).  Under replica routing,
+  // surface it as an explicit terminal candidate so the driver's
+  // failover phase engages instead of gambling on that single peer.
+  // Without replica routing the fallback scan reaches the same peer
+  // (the owner is cur's immediate ring successor here) with identical
+  // probe and terminal accounting, so the blind and PNS walks stay
+  // byte-identical -- the recorded parity checksums depend on that.
+  if (hop_scratch.empty() && routing_policy().replica_route) {
+    out->push_back(RouteCandidate{slot.owner, 0.0, true});
   }
 }
 
@@ -306,7 +323,10 @@ bool ChordOverlay::PrimaryHop(const RouteState& state, uint64_t /*key*/,
   if (idx >= 0 && idx < 64) slot.primary_skip |= (uint64_t{1} << idx);
   out->peer = next->peer;
   out->progress = 0.0;  // unread on the blind path
-  out->terminal = false;
+  // Terminal iff the entry is the key's owner (successor-of-key): the
+  // walk would stop there via AtDestination anyway, with identical
+  // message and success accounting.
+  out->terminal = next->peer == slot.owner;
   return true;
 }
 

@@ -8,6 +8,7 @@
 
 #include "overlay/dht/id.h"
 #include "util/bits.h"
+#include "util/hash.h"
 
 namespace pdht::overlay {
 
@@ -251,6 +252,89 @@ uint64_t PGridOverlay::RunMaintenanceRound(double env) {
     }
   }
   return probes;
+}
+
+uint32_t PGridOverlay::PlanMaintenanceRound(double env) {
+  // Same budget accrual as the serial round, in the same member order;
+  // whole probes are frozen at round-start table sizes.  The plan draws
+  // no randomness, so rng_ advances identically whichever engine runs
+  // maintenance for a given configuration.
+  maint_tasks_.clear();
+  for (net::PeerId peer : member_list_) {
+    if (!network_->IsOnline(peer)) continue;
+    const size_t table = TableSize(peer);
+    if (table == 0) continue;
+    double& budget = probe_budget_[peer];
+    budget += env * static_cast<double>(table);
+    const uint32_t probes = static_cast<uint32_t>(budget);
+    budget -= static_cast<double>(probes);
+    if (probes > 0) maint_tasks_.push_back(MaintTask{peer, probes});
+  }
+  return static_cast<uint32_t>(maint_tasks_.size());
+}
+
+void PGridOverlay::ExecuteMaintenanceTask(uint32_t task, Rng& rng) {
+  const MaintTask& t = maint_tasks_[task];
+  auto pit = paths_.find(t.peer);
+  assert(pit != paths_.end());
+  NodeState& st = pit->second;
+  size_t table = 0;
+  for (const auto& lvl : st.levels) table += lvl.refs.size();
+  if (table == 0) return;
+  for (uint32_t p = 0; p < t.probes; ++p) {
+    // Pick a random reference uniformly across levels (as the serial
+    // round does), drawing from the caller Rng only.
+    size_t idx = rng.UniformU64(table);
+    for (auto& lvl : st.levels) {
+      if (idx < lvl.refs.size()) {
+        net::PeerId target = lvl.refs[idx];
+        net::Message probe;
+        probe.type = net::MessageType::kRoutingProbe;
+        probe.from = t.peer;
+        probe.to = target;
+        network_->Send(probe);
+        if (!network_->IsOnline(target)) {
+          // Repair writes only this member's reference slot; the
+          // candidate scan reads other members' paths, which are frozen
+          // for the phase.
+          int level = static_cast<int>(&lvl - st.levels.data());
+          auto cands = PeersUnder(st.path.SiblingAt(level));
+          for (int a = 0; a < 16 && !cands.empty(); ++a) {
+            net::PeerId cand = cands[rng.UniformU64(cands.size())];
+            if (network_->IsOnline(cand) && cand != target) {
+              lvl.refs[idx] = cand;
+              break;
+            }
+          }
+        }
+        break;
+      }
+      idx -= lvl.refs.size();
+    }
+  }
+}
+
+uint64_t PGridOverlay::FinishMaintenanceRound() {
+  uint64_t probes = 0;
+  for (const MaintTask& t : maint_tasks_) probes += t.probes;
+  maint_tasks_.clear();
+  return probes;
+}
+
+uint64_t PGridOverlay::RoutingFingerprint() const {
+  uint64_t h = 0x7067726964ULL;  // "pgrid"
+  for (net::PeerId peer : member_list_) {
+    auto it = paths_.find(peer);
+    if (it == paths_.end()) continue;
+    const NodeState& st = it->second;
+    h = Mix64(HashCombine(h, HashCombine(peer, st.path.msb_bits())));
+    h = Mix64(HashCombine(h, static_cast<uint64_t>(st.path.length())));
+    for (const auto& lvl : st.levels) {
+      h = Mix64(HashCombine(h, lvl.refs.size()));
+      for (net::PeerId ref : lvl.refs) h = Mix64(HashCombine(h, ref));
+    }
+  }
+  return h;
 }
 
 void PGridOverlay::RefreshNode(net::PeerId peer) {

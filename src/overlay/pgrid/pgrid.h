@@ -99,6 +99,21 @@ class PGridOverlay : public StructuredOverlay {
   /// Returns probes sent.
   uint64_t RunMaintenanceRound(double env) override;
 
+  /// Sharded maintenance (plan/execute/publish, see StructuredOverlay).
+  /// Plan consumes the same fractional probe budgets as the serial round
+  /// in member-list order; execute probes and repairs only the owning
+  /// member's reference lists, drawing from the caller Rng (repair
+  /// candidate scans read only other members' immutable paths, so
+  /// distinct tasks are race-free).
+  bool has_sharded_maintenance() const override { return true; }
+  uint32_t PlanMaintenanceRound(double env) override;
+  void ExecuteMaintenanceTask(uint32_t task, Rng& rng) override;
+  uint64_t FinishMaintenanceRound() override;
+
+  /// Order-sensitive hash over paths and per-level reference lists of
+  /// every member (determinism-test hook).
+  uint64_t RoutingFingerprint() const override;
+
   /// Rejoin refresh, free/piggybacked.
   void OnPeerRejoin(net::PeerId peer) override { RefreshNode(peer); }
 
@@ -130,6 +145,15 @@ class PGridOverlay : public StructuredOverlay {
   std::unordered_map<net::PeerId, NodeState> paths_;
   std::vector<net::PeerId> member_list_;
   std::unordered_map<net::PeerId, double> probe_budget_;
+
+  /// One sharded-maintenance task: all of a member's probes for the
+  /// round, frozen at plan time (reference-list sizes don't change
+  /// mid-round: repair replaces entries in place).
+  struct MaintTask {
+    net::PeerId peer = net::kInvalidPeer;
+    uint32_t probes = 0;
+  };
+  std::vector<MaintTask> maint_tasks_;
 
   /// Per-lookup routing state, one entry per lookup slot (set in
   /// StartLookup; concurrent walks each run under their own

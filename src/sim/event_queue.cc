@@ -1,21 +1,26 @@
 #include "sim/event_queue.h"
 
 #include <algorithm>
+#include <cassert>
+
+#include "util/hash.h"
 
 namespace pdht::sim {
 
-uint64_t EventQueue::ScheduleAt(double when, EventFn fn) {
+uint64_t EventQueue::ScheduleAt(double when, EventFn fn,
+                                uint32_t shard_key) {
   if (when < now_) when = now_;
   uint64_t id = next_id_++;
   if (heap_.empty() || when > max_pending_when_) max_pending_when_ = when;
-  heap_.push_back(Entry{when, next_seq_++, id, std::move(fn)});
+  heap_.push_back(Entry{when, next_seq_++, id, shard_key, std::move(fn)});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
   ++live_count_;
   return id;
 }
 
-uint64_t EventQueue::ScheduleAfter(double delay, EventFn fn) {
-  return ScheduleAt(now_ + delay, std::move(fn));
+uint64_t EventQueue::ScheduleAfter(double delay, EventFn fn,
+                                   uint32_t shard_key) {
+  return ScheduleAt(now_ + delay, std::move(fn), shard_key);
 }
 
 bool EventQueue::Cancel(uint64_t id) {
@@ -59,6 +64,19 @@ uint64_t EventQueue::RunUntil(double until) {
   return ran;
 }
 
+uint64_t EventQueue::RunBatchSerial() {
+  uint64_t ran = 0;
+  for (Entry& e : batch_) {
+    if (IsCancelled(e.id)) continue;
+    now_ = e.when;
+    if (live_count_ > 0) --live_count_;
+    e.fn();
+    ++ran;
+  }
+  batch_.clear();
+  return ran;
+}
+
 uint64_t EventQueue::DrainBoundary(double until) {
   uint64_t ran = 0;
   while (!heap_.empty() && heap_.front().when <= until) {
@@ -74,19 +92,74 @@ uint64_t EventQueue::DrainBoundary(double until) {
                   if (a.when != b.when) return a.when < b.when;
                   return a.seq < b.seq;
                 });
-      for (Entry& e : batch_) {
-        if (IsCancelled(e.id)) continue;
-        now_ = e.when;
-        if (live_count_ > 0) --live_count_;
-        e.fn();
-        ++ran;
-      }
-      batch_.clear();
+      ran += RunBatchSerial();
     } else {
       // Mixed horizon: some events are due later; fall back to heap pops
       // for the due prefix.
       if (PopOne()) ++ran;
     }
+  }
+  if (now_ < until) now_ = until;
+  return ran;
+}
+
+uint64_t EventQueue::DrainBoundaryPartitioned(double until,
+                                              uint32_t num_shards,
+                                              const ParallelFor& pf) {
+  if (num_shards <= 1) return DrainBoundary(until);
+  uint64_t ran = 0;
+  while (!heap_.empty() && heap_.front().when <= until) {
+    if (max_pending_when_ > until) {
+      // Mixed horizon: heap pops for the due prefix, as DrainBoundary.
+      if (PopOne()) ++ran;
+      continue;
+    }
+    batch_.clear();
+    batch_.swap(heap_);
+    std::sort(batch_.begin(), batch_.end(),
+              [](const Entry& a, const Entry& b) {
+                if (a.when != b.when) return a.when < b.when;
+                return a.seq < b.seq;
+              });
+    // Eligibility: every event keyed (order-sensitive ones force the
+    // serial path) and no pending cancellations (IsCancelled consumes
+    // tombstones and must not run concurrently).
+    bool partitionable = cancelled_.empty();
+    if (partitionable) {
+      for (const Entry& e : batch_) {
+        if (e.shard_key == kNoShardKey) {
+          partitionable = false;
+          break;
+        }
+      }
+    }
+    if (!partitionable) {
+      ran += RunBatchSerial();
+      continue;
+    }
+    // Partition by key: a pure function of (shard_key, num_shards), so
+    // the shard lists -- and with them every per-shard effect sequence --
+    // are identical at any executor/thread choice.  Within a shard,
+    // events keep (when, seq) order.
+    shard_batches_.resize(num_shards);
+    for (auto& sb : shard_batches_) sb.clear();
+    for (uint32_t i = 0; i < batch_.size(); ++i) {
+      shard_batches_[Mix64(batch_[i].shard_key) % num_shards].push_back(i);
+    }
+    const size_t heap_before = heap_.size();
+    pf(num_shards, [this](uint32_t shard) {
+      for (uint32_t idx : shard_batches_[shard]) batch_[idx].fn();
+    });
+    // Keyed events must not schedule (the heap is not thread-safe while
+    // the executor runs); the contract is cheap to spot-check here.
+    assert(heap_.size() == heap_before);
+    (void)heap_before;
+    // Serial epilogue: time/liveness bookkeeping the workers skipped.
+    // Every batch entry was live (no cancellations) and ran.
+    now_ = batch_.back().when;
+    live_count_ -= std::min(live_count_, batch_.size());
+    ran += batch_.size();
+    batch_.clear();
   }
   if (now_ < until) now_ = until;
   return ran;

@@ -20,13 +20,26 @@ using EventFn = std::function<void()>;
 
 class EventQueue {
  public:
+  /// Shard key marking an event as order-sensitive (the default): such
+  /// events only ever run on the serial drain paths.
+  static constexpr uint32_t kNoShardKey = UINT32_MAX;
+
   /// Schedules `fn` at absolute time `when` (seconds).  Events scheduled in
   /// the past run at the current time (no reordering before already-popped
   /// events).  Returns a monotonically increasing event id.
-  uint64_t ScheduleAt(double when, EventFn fn);
+  ///
+  /// `shard_key` (optional) declares the event safe for the partitioned
+  /// boundary drain: its effects are confined to the keyed destination
+  /// plus commutative counting, it never reads now(), and it never
+  /// schedules or cancels events.  Events sharing a key always run in
+  /// (when, seq) order relative to each other; ordering against other
+  /// keys is unspecified on the partitioned path.
+  uint64_t ScheduleAt(double when, EventFn fn,
+                      uint32_t shard_key = kNoShardKey);
 
   /// Schedules `fn` `delay` seconds after the current time.
-  uint64_t ScheduleAfter(double delay, EventFn fn);
+  uint64_t ScheduleAfter(double delay, EventFn fn,
+                         uint32_t shard_key = kNoShardKey);
 
   /// Cancels a pending event; returns false if it already ran or is unknown.
   bool Cancel(uint64_t id);
@@ -44,6 +57,29 @@ class EventQueue {
   /// before `until`.
   uint64_t DrainBoundary(double until);
 
+  /// One shard's work in a partitioned drain: runs every batch event
+  /// whose shard key maps to `shard`, in (when, seq) order.
+  using ShardRunFn = std::function<void(uint32_t shard)>;
+  /// Caller-supplied executor for the partitioned drain: must invoke the
+  /// given ShardRunFn exactly once per shard in [0, num_shards) -- on any
+  /// threads, in any order -- and return only when all shards finished.
+  using ParallelFor =
+      std::function<void(uint32_t num_shards, const ShardRunFn& run)>;
+
+  /// Partitioned round-boundary drain: observably identical to
+  /// DrainBoundary, but a whole-batch extraction whose events ALL carry a
+  /// shard key (and no cancellation is pending) is partitioned by
+  /// Mix64(shard_key) % num_shards and handed to `parallel_for` for
+  /// concurrent consumption -- per-destination batches, the deferred-
+  /// delivery common case.  Any untagged event in a batch (an
+  /// order-sensitive handler) falls the whole batch back to the serial
+  /// path, as does a mixed event horizon.  The partition is a pure
+  /// function of shard keys and num_shards, and tagged events are
+  /// commutative by contract (see ScheduleAt), so results are identical
+  /// to the serial drain at every (num_shards, executor) choice.
+  uint64_t DrainBoundaryPartitioned(double until, uint32_t num_shards,
+                                    const ParallelFor& parallel_for);
+
   /// Runs every pending event (including ones scheduled by event handlers);
   /// `max_events` guards against non-terminating chains.
   uint64_t RunAll(uint64_t max_events = UINT64_MAX);
@@ -57,6 +93,7 @@ class EventQueue {
     double when;
     uint64_t seq;
     uint64_t id;
+    uint32_t shard_key;  ///< kNoShardKey = order-sensitive (serial only)
     EventFn fn;
   };
   // Heap comparator: the *top* of the heap is the earliest (when, seq).
@@ -70,8 +107,14 @@ class EventQueue {
   bool PopOne();
   bool IsCancelled(uint64_t id);
 
+  /// Runs one already-sorted batch serially (the DrainBoundary inner
+  /// loop); shared by the serial drain and the partitioned drain's
+  /// fallback.  Returns events run.
+  uint64_t RunBatchSerial();
+
   std::vector<Entry> heap_;          // binary heap via std::push/pop_heap
   std::vector<Entry> batch_;         // scratch for DrainBoundary
+  std::vector<std::vector<uint32_t>> shard_batches_;  // partitioned indices
   std::vector<uint64_t> cancelled_;  // sorted lazily; small in practice
   double now_ = 0.0;
   double max_pending_when_ = 0.0;  ///< max `when` in heap_ (valid iff nonempty)

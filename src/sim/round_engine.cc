@@ -1,6 +1,7 @@
 #include "sim/round_engine.h"
 
 #include <cassert>
+#include <chrono>
 #include <stdexcept>
 
 namespace pdht::sim {
@@ -48,11 +49,15 @@ void RoundEngine::EnablePhaseTiming(std::vector<std::string> phases) {
   phase_pending_.assign(phases.size(), 0.0);
   phase_series_.clear();
   phase_series_.reserve(phases.size());
-  for (const std::string& phase : phases) {
-    const std::string name = PhaseSeriesName(phase);
+  drain_phase_ = SIZE_MAX;
+  for (size_t i = 0; i < phases.size(); ++i) {
+    const std::string name = PhaseSeriesName(phases[i]);
     auto [it, inserted] = series_.emplace(name, TimeSeries(name));
     (void)inserted;
     phase_series_.push_back(&it->second);
+    // The boundary drain runs inside Run(), after the actors; a declared
+    // "drain" phase is therefore timed by the engine itself.
+    if (phases[i] == "drain") drain_phase_ = i;
   }
 }
 
@@ -65,8 +70,22 @@ void RoundEngine::Run(uint64_t rounds) {
     ctx.counters = &counters_;
     for (auto& [name, actor] : actors_) actor(ctx);
     // Boundary drain: every intra-round event -- deferred deliveries
-    // included -- runs before the metric probes observe the round.
-    last_round_events_ = queue_.DrainBoundary(ctx.time + round_length_);
+    // included -- runs before the metric probes observe the round.  An
+    // installed drainer (the sharded engine's partitioned drain) replaces
+    // the built-in serial one.
+    const double boundary = ctx.time + round_length_;
+    if (drain_phase_ != SIZE_MAX) {
+      const auto start = std::chrono::steady_clock::now();
+      last_round_events_ = boundary_drainer_ ? boundary_drainer_(boundary)
+                                             : queue_.DrainBoundary(boundary);
+      AddPhaseMs(drain_phase_,
+                 std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - start)
+                     .count());
+    } else {
+      last_round_events_ = boundary_drainer_ ? boundary_drainer_(boundary)
+                                             : queue_.DrainBoundary(boundary);
+    }
     total_events_run_ += last_round_events_;
     for (auto& m : metrics_) {
       m.series->Append(m.probe(ctx));

@@ -85,6 +85,17 @@ class RoundEngine {
     return "round.phase." + phase + ".ms";
   }
 
+  /// Installs a replacement for the round-boundary drain -- the sharded
+  /// engine's partitioned drain (EventQueue::DrainBoundaryPartitioned)
+  /// plugs in here.  The drainer is called once per round with the
+  /// boundary time and returns the number of events run; it must leave
+  /// the queue in the same state DrainBoundary(until) would (same events
+  /// run, now() advanced to the boundary).  nullptr restores the
+  /// built-in serial drain.
+  void SetBoundaryDrainer(std::function<uint64_t(double until)> drainer) {
+    boundary_drainer_ = std::move(drainer);
+  }
+
   /// Runs `rounds` rounds.  Each round: actors fire, then intra-round
   /// events up to the round boundary, then metric probes.
   void Run(uint64_t rounds);
@@ -122,6 +133,11 @@ class RoundEngine {
   // their series, appended/reset once per round.
   std::vector<double> phase_pending_;
   std::vector<TimeSeries*> phase_series_;
+  /// Index of the declared phase named "drain", if any: the engine times
+  /// its own boundary drain into it (actors can't -- the drain runs after
+  /// them).  SIZE_MAX = not declared.
+  size_t drain_phase_ = SIZE_MAX;
+  std::function<uint64_t(double)> boundary_drainer_;
 };
 
 }  // namespace pdht::sim

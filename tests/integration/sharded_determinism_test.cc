@@ -15,6 +15,16 @@
 // different, equally valid stream -- it interleaves Rng draws per query
 // instead of splitting planning from execution -- so it is pinned by the
 // golden-series recordings, not compared against the sharded runs here.
+//
+// Golden-series implication of the counting-sort planner: the sharded
+// engine's query plan now draws per-peer counts and keys from streams
+// keyed on (seed, round, peer) instead of burning main-stream draws per
+// query, so the sharded stream differs from pre-planner sharded
+// recordings.  That is within contract -- only the SERIAL stream is
+// golden-pinned (RunQueryActor's legacy sampling loop is untouched);
+// the sharded engine promises bit-identity across (threads, shards)
+// settings plus statistical agreement with the serial aggregates, and
+// both promises are asserted below.
 
 #include <algorithm>
 #include <cmath>
@@ -174,6 +184,80 @@ TEST(ShardedDeterminismTest, MaintenanceFingerprintMatrixChord) {
   }
 }
 
+TEST(ShardedDeterminismTest, MaintenanceFingerprintMatrixPGrid) {
+  // P-Grid's sharded maintenance repairs reference lists from worker
+  // threads (each task writes only its own member's refs; candidate
+  // scans read the other members' frozen paths).  The fingerprint hashes
+  // every path and per-level reference list, so a single repair landing
+  // in a different slot at a different thread count would show.
+  SystemConfig base = BaseConfig(Strategy::kPartialTtl);
+  base.backend = DhtBackend::kPGrid;
+  const RunRecord ref = RunOnce(Sharded(base, 1, 1));
+  EXPECT_NE(ref.fingerprint, 0u);
+  for (uint32_t threads : {2u, 4u}) {
+    for (uint32_t shards : {1u, 4u}) {
+      ExpectIdentical(ref, RunOnce(Sharded(base, threads, shards)),
+                      "pgrid fp threads " + std::to_string(threads) +
+                          " shards " + std::to_string(shards));
+    }
+  }
+}
+
+TEST(ShardedDeterminismTest, MaintenanceFingerprintMatrixCan) {
+  // CAN's maintenance is probe-only (zones and neighbor lists are static
+  // after SetMembers), so the fingerprint doubles as a check that the
+  // parallel phase never mutates shared geometry.
+  SystemConfig base = BaseConfig(Strategy::kPartialTtl);
+  base.backend = DhtBackend::kCan;
+  const RunRecord ref = RunOnce(Sharded(base, 1, 1));
+  EXPECT_NE(ref.fingerprint, 0u);
+  for (uint32_t threads : {2u, 4u}) {
+    for (uint32_t shards : {1u, 4u}) {
+      ExpectIdentical(ref, RunOnce(Sharded(base, threads, shards)),
+                      "can fp threads " + std::to_string(threads) +
+                          " shards " + std::to_string(shards));
+    }
+  }
+}
+
+TEST(ShardedDeterminismTest, EveryBackendHasShardedMaintenance) {
+  // The per-backend matrices above only bite if the sharded path is
+  // actually taken; pin the capability bit for all four backends.
+  for (DhtBackend backend : {DhtBackend::kChord, DhtBackend::kPGrid,
+                             DhtBackend::kCan, DhtBackend::kKademlia}) {
+    SystemConfig base = BaseConfig(Strategy::kPartialTtl);
+    base.backend = backend;
+    PdhtSystem system(Sharded(base, 2, 4));
+    ASSERT_NE(system.dht_overlay(), nullptr);
+    EXPECT_TRUE(system.dht_overlay()->has_sharded_maintenance())
+        << DhtBackendName(backend);
+  }
+}
+
+TEST(ShardedDeterminismTest, ShuffledPublishOrderIsBitIdentical) {
+  // debug_shuffle_publish perturbs every *commutative* publish slice --
+  // lane counter merges run last-to-first, the parallel per-origin stats
+  // pass visits shards in reversed order -- while leaving the ordered
+  // replay alone.  Bit-identical results prove the commutative/ordered
+  // split is sound: nothing order-sensitive leaked into the shuffled
+  // slices.  Covers both delivery models (deferred delivery additionally
+  // routes boundary-drain drop tallies through the lanes).
+  const SystemConfig base = BaseConfig(Strategy::kPartialTtl);
+  SystemConfig shuffled = base;
+  shuffled.debug_shuffle_publish = true;
+  ExpectIdentical(RunOnce(Sharded(base, 4, 4)),
+                  RunOnce(Sharded(shuffled, 4, 4)),
+                  "immediate shuffled publish");
+  SystemConfig lat = base;
+  lat.delivery_model = net::DeliveryModelKind::kLatency;
+  lat.proximity_routing = false;
+  SystemConfig lat_shuffled = lat;
+  lat_shuffled.debug_shuffle_publish = true;
+  ExpectIdentical(RunOnce(Sharded(lat, 4, 4)),
+                  RunOnce(Sharded(lat_shuffled, 4, 4)),
+                  "latency shuffled publish");
+}
+
 TEST(ShardedDeterminismTest, MaintenanceFingerprintMatrixKademlia) {
   // Kademlia's rejoin rebuild *draws* (bucket shuffles) run on worker
   // threads under per-peer derived streams -- the strongest test of the
@@ -248,6 +332,40 @@ TEST(ShardedDeterminismTest, ShardedEngineMatchesSerialAggregates) {
       sharded.snap.series_tail.at(PdhtSystem::kSeriesMsgTotal);
   EXPECT_LT(std::abs(serial_msg - sharded_msg),
             0.5 * std::max(serial_msg, sharded_msg));
+}
+
+TEST(ShardedDeterminismTest, CountingSortPlannerMatchesLegacyStatistics) {
+  // The sharded planner replaces the legacy serial plan (one binomial
+  // count draw + one origin draw + one key draw per query, all off the
+  // main stream) with per-peer floor(rate) + Bernoulli counts and
+  // per-peer key streams.  Same aggregate model: expected queries per
+  // round = num_peers * f_qry either way (the per-peer rate spreads it
+  // over the online population), keys Zipf(alpha) either way, origins
+  // uniform over online peers either way (each online peer issues its
+  // own queries).  The serial engine still runs the legacy sampling, so
+  // comparing tail aggregates across the engines checks the new planner
+  // against the old statistics on live runs.  Wider coverage than the
+  // aggregate test above: every strategy's dispatch path.
+  for (Strategy strategy :
+       {Strategy::kPartialTtl, Strategy::kPartialIdeal, Strategy::kNoIndex}) {
+    const SystemConfig base = BaseConfig(strategy);
+    RunRecord serial = RunOnce(base);
+    RunRecord sharded = RunOnce(Sharded(base, 4, 4));
+    const double serial_msg =
+        serial.snap.series_tail.at(PdhtSystem::kSeriesMsgTotal);
+    const double sharded_msg =
+        sharded.snap.series_tail.at(PdhtSystem::kSeriesMsgTotal);
+    EXPECT_GT(sharded_msg, 0.0) << static_cast<int>(strategy);
+    EXPECT_LT(std::abs(serial_msg - sharded_msg),
+              0.5 * std::max(serial_msg, sharded_msg))
+        << "strategy " << static_cast<int>(strategy);
+    const double serial_hit =
+        serial.snap.series_tail.at(PdhtSystem::kSeriesHitRate);
+    const double sharded_hit =
+        sharded.snap.series_tail.at(PdhtSystem::kSeriesHitRate);
+    EXPECT_NEAR(serial_hit, sharded_hit, 0.2)
+        << "strategy " << static_cast<int>(strategy);
+  }
 }
 
 }  // namespace
